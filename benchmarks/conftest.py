@@ -1,0 +1,29 @@
+"""Shared fixtures for the benchmark suite.
+
+Each figure's simulation runs once per session (module-scoped fixtures);
+the per-panel benchmarks then measure the panel extraction and assert the
+paper's qualitative shape.  Every figure also writes its rendered
+rows/series to ``benchmarks/results/`` so the output can be diffed
+against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory collecting rendered figure output."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_result(name: str, text: str) -> None:
+    """Persist one figure's rendered output."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / name).write_text(text + "\n", encoding="utf-8")

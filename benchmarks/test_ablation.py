@@ -1,0 +1,55 @@
+"""Benchmarks E11-E12: ablations of Aurora's design choices."""
+
+import pytest
+
+from conftest import write_result
+from repro.experiments.ablation import (
+    make_instance,
+    render_ablations,
+    run_epsilon_ablation,
+    run_factor_ablation,
+    run_initial_placement_ablation,
+)
+
+
+@pytest.fixture(scope="module")
+def ablation_instance():
+    return make_instance(num_blocks=300, seed=5)
+
+
+def test_initial_placement_ablation(ablation_instance, benchmark):
+    """E11: Algorithm 4 starts closer to optimal than random placement."""
+    result = benchmark.pedantic(
+        run_initial_placement_ablation, args=(ablation_instance,),
+        rounds=1, iterations=1,
+    )
+    assert result.greedy_initial_cost <= result.random_initial_cost
+    # Greedy's head start: the random start needs at least comparable
+    # balancing work to reach the same quality.
+    assert result.converged_cost_greedy <= result.converged_cost_random + 1e-6
+
+
+def test_factor_ablation(ablation_instance, benchmark):
+    """E12: Algorithm 3 never loses to Scarlett's heuristics."""
+    result = benchmark.pedantic(
+        run_factor_ablation, args=(ablation_instance,),
+        rounds=1, iterations=1,
+    )
+    assert result.aurora_wins()
+    # Round-robin wastes budget on cold blocks; the gap should be large.
+    assert result.round_robin_max_share >= result.aurora_max_share
+
+
+def test_render_full_ablation_report(ablation_instance, benchmark):
+    """Bundle all three ablations into one report artifact."""
+
+    def build():
+        return render_ablations(
+            run_initial_placement_ablation(ablation_instance),
+            run_factor_ablation(ablation_instance),
+            run_epsilon_ablation(ablation_instance, epsilons=(0.1, 0.8)),
+        )
+
+    text = benchmark.pedantic(build, rounds=1, iterations=1)
+    write_result("ablations.txt", text)
+    assert "E11" in text and "E12" in text and "E10" in text

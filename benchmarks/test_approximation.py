@@ -1,0 +1,93 @@
+"""Benchmark E9: empirical check of the approximation guarantees.
+
+Solves random small instances exactly (MILP) and measures the local
+search's empirical ratio against the true optimum — Theorems 2 and 4
+promise ``OPT + p_max`` / ``OPT + 3 p_max`` (2x / 4x).  Also benchmarks
+raw local-search throughput at period scale.
+"""
+
+import random
+
+import pytest
+
+from conftest import write_result
+from repro.cluster.topology import ClusterTopology
+from repro.core.exact import solve_exact
+from repro.core.initial_placement import place_all_blocks
+from repro.core.instance import PlacementProblem
+from repro.core.local_search import balance_node_level, balance_rack_aware
+from repro.core.placement import PlacementState
+from repro.experiments.ablation import make_instance
+from repro.experiments.report import render_table
+
+
+def _random_instance(seed, rack_aware):
+    rng = random.Random(seed)
+    if rack_aware:
+        topology = ClusterTopology.uniform(2, 3, capacity=8)
+        k, rho = 2, 2
+    else:
+        topology = ClusterTopology.uniform(1, rng.randint(3, 5), capacity=8)
+        k, rho = 1, 1
+    pops = [rng.uniform(0.5, 20.0) for _ in range(rng.randint(4, 8))]
+    return PlacementProblem.from_popularities(
+        topology, pops, replication_factor=k, rack_spread=rho
+    )
+
+
+def _empirical_ratios(rack_aware, seeds):
+    rows = []
+    for seed in seeds:
+        problem = _random_instance(seed, rack_aware)
+        state = PlacementState(problem)
+        place_all_blocks(state)
+        if rack_aware:
+            balance_rack_aware(state)
+        else:
+            balance_node_level(state)
+        optimum = solve_exact(problem).objective
+        ratio = state.cost() / optimum if optimum > 0 else 1.0
+        rows.append((seed, state.cost(), optimum, ratio))
+    return rows
+
+
+def test_approx_algorithm1_vs_exact(benchmark):
+    """Table: Algorithm 1's empirical ratio stays within 2x of OPT."""
+    rows = benchmark.pedantic(
+        _empirical_ratios, args=(False, range(12)), rounds=1, iterations=1
+    )
+    worst = max(row[3] for row in rows)
+    assert worst <= 2.0 + 1e-6
+    write_result(
+        "approx_algorithm1.txt",
+        render_table(["seed", "SOL", "OPT", "ratio"], rows)
+        + f"\nworst ratio: {worst:.3f} (Theorem 2 bound: 2.0)",
+    )
+
+
+def test_approx_algorithm2_vs_exact(benchmark):
+    """Table: Algorithm 2's empirical ratio stays within 4x of OPT."""
+    rows = benchmark.pedantic(
+        _empirical_ratios, args=(True, range(10)), rounds=1, iterations=1
+    )
+    worst = max(row[3] for row in rows)
+    assert worst <= 4.0 + 1e-6
+    write_result(
+        "approx_algorithm2.txt",
+        render_table(["seed", "SOL", "OPT", "ratio"], rows)
+        + f"\nworst ratio: {worst:.3f} (Theorem 4 bound: 4.0)",
+    )
+
+
+def test_local_search_throughput(benchmark):
+    """Raw Algorithm 2 speed on a period-sized instance (300 blocks)."""
+    instance = make_instance(num_blocks=300, seed=7)
+
+    def converge():
+        problem = instance.problem()
+        state = PlacementState(problem)
+        place_all_blocks(state)
+        return balance_rack_aware(state)
+
+    stats = benchmark(converge)
+    assert stats.converged

@@ -1,0 +1,79 @@
+"""Benchmark E10: the Theorem 9 optimality-vs-movement trade-off."""
+
+import pytest
+
+from conftest import write_result
+from repro.core.admissibility import theorem9_approximation_factor
+from repro.experiments.ablation import make_instance, run_epsilon_ablation
+from repro.experiments.report import render_table
+
+
+@pytest.fixture(scope="module")
+def epsilon_rows():
+    instance = make_instance(num_blocks=250, seed=11)
+    result = run_epsilon_ablation(
+        instance, epsilons=(0.1, 0.3, 0.6, 0.8)
+    )
+    write_result(
+        "epsilon_tradeoff.txt",
+        render_table(
+            ["epsilon", "semantics", "ops", "blocks moved", "final cost"],
+            [
+                (r["epsilon"], r["semantics"], r["operations"],
+                 r["blocks_moved"], r["final_cost"])
+                for r in result.rows
+            ],
+        ),
+    )
+    return result.rows
+
+
+def test_epsilon_gap_semantics_tradeoff(epsilon_rows, benchmark):
+    """Larger epsilon => no more block movement, no better cost."""
+
+    def extract():
+        return {
+            r["epsilon"]: (r["blocks_moved"], r["final_cost"])
+            for r in epsilon_rows if r["semantics"] == "gap"
+        }
+
+    rows = benchmark(extract)
+    # Movement at the loosest threshold dominates the strictest.
+    assert rows[0.1][0] >= rows[0.8][0]
+    # Cost can only degrade (or stay) as epsilon grows.
+    assert rows[0.1][1] <= rows[0.8][1] + 1e-9
+
+
+def test_epsilon_cost_semantics_stricter(epsilon_rows, benchmark):
+    """The literal Theorem 9 semantics moves at most as much as gap."""
+
+    def extract():
+        by_key = {}
+        for r in epsilon_rows:
+            by_key[(r["epsilon"], r["semantics"])] = r["operations"]
+        return by_key
+
+    by_key = benchmark(extract)
+    for epsilon in (0.1, 0.3, 0.6, 0.8):
+        assert by_key[(epsilon, "cost")] <= by_key[(epsilon, "gap")]
+
+
+def test_theorem9_factors_table(benchmark):
+    """Table of the guaranteed factors 2+eps and 4+3eps."""
+
+    def build():
+        return [
+            (eps,
+             theorem9_approximation_factor(False, eps),
+             theorem9_approximation_factor(True, eps))
+            for eps in (0.0, 0.1, 0.3, 0.6, 0.8)
+        ]
+
+    rows = benchmark(build)
+    write_result(
+        "theorem9_factors.txt",
+        render_table(["epsilon", "BP-Node factor", "BP-Rack factor"], rows),
+    )
+    assert rows[0][1] == 2.0 and rows[0][2] == 4.0
+    assert rows[-1][1] == pytest.approx(2.8)
+    assert rows[-1][2] == pytest.approx(6.4)

@@ -1,0 +1,137 @@
+"""Benchmark E13: the paper's future-work extensions in action.
+
+Section VIII: "we are interested in implementing techniques such as
+replication on read [9] and compression [10] for dynamic block
+replication".  Both are implemented; this bench quantifies them on the
+Figure 3 workload:
+
+* replicate-on-read piggybacks extra replicas on remote reads, lifting
+  locality beyond the periodic optimizer alone;
+* movement compression shrinks migration durations without changing
+  placement decisions.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from conftest import write_result
+from repro.aurora.config import AuroraConfig
+from repro.aurora.system import AuroraSystem
+from repro.cluster.topology import ClusterTopology
+from repro.dfs.namenode import Namenode
+from repro.dfs.policies import DefaultHdfsPolicy
+from repro.experiments.fig3 import default_trace
+from repro.experiments.harness import (
+    ClusterConfig,
+    ExperimentConfig,
+    SystemKind,
+    run_experiment,
+)
+from repro.experiments.report import render_table
+
+
+@pytest.fixture(scope="module")
+def base_runs():
+    """Aurora with and without replicate-on-read on the same trace."""
+    trace = default_trace(seed=0, duration_hours=2.0)
+    plain = run_experiment(trace, ExperimentConfig(
+        system=SystemKind.AURORA, epsilon=0.8, seed=0,
+    ))
+    # Replicate-on-read needs the full system wiring; reuse the harness
+    # by monkeypatching is brittle, so drive a simulator directly.
+    return trace, plain
+
+
+def test_replicate_on_read_improves_locality(benchmark):
+    """Remote reads seed replicas where demand actually lands."""
+
+    def run():
+        topo = ClusterTopology.uniform(3, 4, capacity=200)
+        results = {}
+        for label, probability in (("off", 0.0), ("on", 1.0)):
+            nn = Namenode(
+                topo,
+                placement_policy=DefaultHdfsPolicy(random.Random(0)),
+                rng=random.Random(0),
+            )
+            AuroraSystem(nn, AuroraConfig(
+                replicate_on_read_probability=probability,
+                replicate_on_read_budget=400,
+            ))
+            metas = [nn.create_file(f"/f{i}", num_blocks=2)
+                     for i in range(20)]
+            rng = random.Random(1)
+            remote = 0
+            reads = 600
+            for _ in range(reads):
+                meta = rng.choice(metas)
+                block = rng.choice(meta.block_ids)
+                reader = rng.randrange(topo.num_machines)
+                source = nn.record_access(block, reader)
+                if source != reader:
+                    remote += 1
+            results[label] = remote / reads
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert results["on"] < results["off"]
+    write_result(
+        "extension_replicate_on_read.txt",
+        render_table(
+            ["replicate-on-read", "remote read fraction"],
+            [(k, v) for k, v in results.items()],
+        ),
+    )
+
+
+def test_movement_compression_shrinks_durations(base_runs, benchmark):
+    """27x compression cuts migration durations by ~27x."""
+    trace, _plain = base_runs
+
+    def run():
+        durations = {}
+        for label, ratio in (("uncompressed", 1.0), ("27x", 27.0)):
+            result = run_experiment(trace, ExperimentConfig(
+                system=SystemKind.AURORA, epsilon=0.1, seed=0,
+                compression_ratio=ratio,
+            ))
+            samples = result.movement_durations
+            durations[label] = float(np.median(samples)) if samples else 0.0
+        return durations
+
+    durations = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert durations["27x"] < durations["uncompressed"] / 5
+    write_result(
+        "extension_compression.txt",
+        render_table(
+            ["movement traffic", "median duration (s)"],
+            [(k, v) for k, v in durations.items()],
+        ),
+    )
+
+
+def test_replicate_on_read_respects_budget(benchmark):
+    """The LRU budget bounds the extra storage footprint."""
+
+    def run():
+        topo = ClusterTopology.uniform(2, 4, capacity=100)
+        nn = Namenode(
+            topo, placement_policy=DefaultHdfsPolicy(random.Random(2)),
+            rng=random.Random(2),
+        )
+        aurora = AuroraSystem(nn, AuroraConfig(
+            replicate_on_read_probability=1.0,
+            replicate_on_read_budget=10,
+        ))
+        metas = [nn.create_file(f"/f{i}", num_blocks=1) for i in range(30)]
+        rng = random.Random(3)
+        for meta in metas:
+            block = meta.block_ids[0]
+            for _ in range(3):
+                nn.record_access(block, rng.randrange(topo.num_machines))
+        return aurora.replicate_on_read.extra_replicas
+
+    extras = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert extras <= 10

@@ -1,0 +1,84 @@
+"""Benchmark E1-E3: regenerate Figure 3 (Case 1, node-level only).
+
+The module fixture replays the Yahoo!-like trace once per system and
+epsilon; the three panel benchmarks extract each panel's series and check
+the paper's qualitative claims:
+
+* (a) Aurora produces fewer remote tasks than stock HDFS;
+* (b) Aurora's machine-load distribution is tighter;
+* (c) block movement falls as epsilon grows.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import write_result
+from repro.experiments.fig3 import default_trace, render_fig3, run_fig3
+from repro.experiments.report import cdf_series
+
+EPSILONS = (0.1, 0.3, 0.6, 0.8)
+
+
+@pytest.fixture(scope="module")
+def fig3_result():
+    result = run_fig3(
+        trace=default_trace(seed=0), epsilons=EPSILONS, seed=0
+    )
+    write_result("fig3.txt", render_fig3(result))
+    return result
+
+
+def test_fig3a_remote_tasks(fig3_result, benchmark):
+    """Panel (a): average remote tasks per hour, HDFS vs Aurora."""
+
+    def panel():
+        rows = [("HDFS", fig3_result.baseline.remote_tasks_per_hour)]
+        rows += [
+            (f"eps={eps}", run.remote_tasks_per_hour)
+            for eps, run in sorted(fig3_result.aurora.items())
+        ]
+        return rows
+
+    rows = benchmark(panel)
+    baseline = rows[0][1]
+    assert baseline > 0
+    # The paper: Aurora reduces remote tasks (12.5% at eps=0.1).
+    for _, value in rows[1:]:
+        assert value < baseline
+    assert fig3_result.best_reduction() > 0.05
+
+
+def test_fig3b_machine_load_cdf(fig3_result, benchmark):
+    """Panel (b): machine-load CDF is tighter under Aurora."""
+
+    def panel():
+        return {
+            "HDFS": cdf_series(fig3_result.baseline.machine_task_loads, 20),
+            **{
+                f"eps={eps}": cdf_series(run.machine_task_loads, 20)
+                for eps, run in fig3_result.aurora.items()
+            },
+        }
+
+    series = benchmark(panel)
+    assert len(series) == 1 + len(EPSILONS)
+    hdfs_std = float(np.std(fig3_result.baseline.machine_task_loads))
+    aurora_std = float(np.std(fig3_result.aurora[0.1].machine_task_loads))
+    assert aurora_std < hdfs_std
+
+
+def test_fig3c_block_movements(fig3_result, benchmark):
+    """Panel (c): movement overhead shrinks with epsilon."""
+
+    def panel():
+        return [
+            (eps, run.moves_per_machine_per_hour)
+            for eps, run in sorted(fig3_result.aurora.items())
+        ]
+
+    rows = benchmark(panel)
+    moves = dict(rows)
+    # HDFS never moves blocks; Aurora does, less so at high epsilon.
+    assert fig3_result.baseline.moves_per_machine_per_hour == 0.0
+    assert moves[0.1] > 0
+    assert moves[0.8] <= moves[0.1]

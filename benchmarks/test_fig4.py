@@ -1,0 +1,68 @@
+"""Benchmark E4: regenerate Figure 4 (Case 2, rack-aware).
+
+Same panels as Figure 3 with every block required to span two racks, so
+Aurora runs the full Algorithm 2 operation set.  Checks that the
+locality win survives the rack constraint and that no run ever violates
+it (the harness would fail job streams otherwise).
+"""
+
+import numpy as np
+import pytest
+
+from conftest import write_result
+from repro.experiments.fig3 import default_trace
+from repro.experiments.fig4 import render_fig4, run_fig4
+
+EPSILONS = (0.1, 0.6, 0.8)
+
+
+@pytest.fixture(scope="module")
+def fig4_result():
+    result = run_fig4(
+        trace=default_trace(seed=0), epsilons=EPSILONS, seed=0
+    )
+    write_result("fig4.txt", render_fig4(result))
+    return result
+
+
+def test_fig4a_remote_tasks(fig4_result, benchmark):
+    """Panel (a): Aurora beats HDFS under the rack constraint too."""
+
+    def panel():
+        return {
+            eps: run.remote_tasks_per_hour
+            for eps, run in fig4_result.aurora.items()
+        }
+
+    values = benchmark(panel)
+    baseline = fig4_result.baseline.remote_tasks_per_hour
+    assert baseline > 0
+    assert all(value < baseline for value in values.values())
+
+
+def test_fig4b_machine_load_cdf(fig4_result, benchmark):
+    """Panel (b): load distribution tightens."""
+
+    def panel():
+        return float(np.std(fig4_result.aurora[0.1].machine_task_loads))
+
+    aurora_std = benchmark(panel)
+    hdfs_std = float(np.std(fig4_result.baseline.machine_task_loads))
+    assert aurora_std < hdfs_std
+
+
+def test_fig4c_block_movements(fig4_result, benchmark):
+    """Panel (c): movement overhead shrinks with epsilon."""
+
+    def panel():
+        return {
+            eps: run.moves_per_machine_per_hour
+            for eps, run in fig4_result.aurora.items()
+        }
+
+    moves = benchmark(panel)
+    assert moves[0.1] > 0
+    assert moves[0.8] <= moves[0.1]
+    # All jobs completed despite migrations: rack constraints held.
+    for run in fig4_result.aurora.values():
+        assert run.jobs_completed == run.jobs_submitted

@@ -1,0 +1,63 @@
+"""Benchmarks E6-E8: regenerate Figure 6 (the 10-node testbed).
+
+Checks the paper's three testbed claims: Aurora achieves the highest
+task locality, positive average speed-up over Scarlett, and block
+movements that mostly complete within seconds.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import write_result
+from repro.experiments.fig6 import render_fig6, run_fig6, speedup_over
+
+
+@pytest.fixture(scope="module")
+def fig6_result():
+    result = run_fig6(seed=0)
+    write_result("fig6.txt", render_fig6(result))
+    return result
+
+
+def test_fig6a_remote_percentage(fig6_result, benchmark):
+    """Panel (a): locality ordering Aurora >= Scarlett > HDFS."""
+
+    def panel():
+        return {
+            name: run.remote_fraction
+            for name, run in fig6_result.runs().items()
+        }
+
+    fractions = benchmark(panel)
+    assert fractions["Aurora"] <= fractions["Scarlett"] + 0.02
+    assert fractions["Scarlett"] < fractions["HDFS"]
+    assert fractions["HDFS"] > 0.05  # the testbed is actually contended
+
+
+def test_fig6b_speedup_cdf(fig6_result, benchmark):
+    """Panel (b): per-job speed-up of Aurora over Scarlett."""
+
+    def panel():
+        return speedup_over(fig6_result.scarlett, fig6_result.aurora)
+
+    ratios = benchmark(panel)
+    assert len(ratios) > 100
+    # Paper: Aurora outperforms Scarlett on average (up to 8%).
+    assert float(np.mean(ratios)) > 0.0
+    # And HDFS is clearly slower than Scarlett.
+    hdfs_ratios = speedup_over(fig6_result.scarlett, fig6_result.hdfs)
+    assert float(np.mean(hdfs_ratios)) < 0.0
+
+
+def test_fig6c_movement_durations(fig6_result, benchmark):
+    """Panel (c): most block movements finish within ~10 seconds."""
+
+    def panel():
+        durations = fig6_result.aurora.movement_durations
+        return float(np.percentile(durations, 80)) if durations else 0.0
+
+    p80 = benchmark(panel)
+    assert fig6_result.aurora.movement_durations, "no movements recorded"
+    assert p80 < 30.0
+    median = float(np.median(fig6_result.aurora.movement_durations))
+    assert median < 10.0

@@ -1,0 +1,99 @@
+"""Performance benchmarks: core algorithm throughput and scaling.
+
+Not a paper figure — these track the implementation's own performance so
+regressions in the hot paths (local search, Rep-Factor, placement-state
+mutation) are visible in benchmark history.
+"""
+
+import random
+
+import pytest
+
+from repro.core.instance import PlacementProblem
+from repro.core.local_search import balance_rack_aware
+from repro.core.placement import PlacementState
+from repro.core.initial_placement import place_all_blocks
+from repro.core.rep_factor import compute_replication_factors
+from repro.cluster.topology import ClusterTopology
+from repro.experiments.ablation import make_instance
+from repro.workload.popularity import zipf_weights
+
+
+@pytest.mark.parametrize("num_blocks", [100, 300, 1000])
+def test_local_search_scaling(benchmark, num_blocks):
+    """Algorithm 2 convergence time vs block count."""
+    instance = make_instance(num_blocks=num_blocks, seed=13)
+
+    def converge():
+        state = PlacementState(instance.problem())
+        place_all_blocks(state)
+        return balance_rack_aware(state)
+
+    stats = benchmark.pedantic(converge, rounds=1, iterations=1)
+    assert stats.converged
+
+
+@pytest.mark.parametrize("num_blocks", [1_000, 10_000])
+def test_rep_factor_scaling(benchmark, num_blocks):
+    """Algorithm 3 on large block populations (heap-based, near-linear)."""
+    weights = zipf_weights(num_blocks, 1.1)
+    pops = {i: float(w * 1_000_000) for i, w in enumerate(weights)}
+    mins = {i: 3 for i in pops}
+
+    def solve():
+        return compute_replication_factors(
+            pops, mins,
+            budget=4 * num_blocks,
+            num_machines=845,
+        )
+
+    result = benchmark.pedantic(solve, rounds=1, iterations=1)
+    assert result.budget_used <= 4 * num_blocks
+
+
+def test_placement_mutation_throughput(benchmark):
+    """Moves per second on a dense placement state."""
+    rng = random.Random(7)
+    topo = ClusterTopology.uniform(10, 10, capacity=200)
+    problem = PlacementProblem.from_popularities(
+        topo, [rng.uniform(1, 100) for _ in range(2_000)],
+        replication_factor=3, rack_spread=2,
+    )
+    state = PlacementState(problem)
+    place_all_blocks(state)
+    moves = []
+    for block in range(0, 2_000, 4):
+        holders = sorted(state.machines_of(block))
+        src = holders[-1]
+        for dst in topo.machines:
+            if state.can_move(block, src, dst):
+                moves.append((block, src, dst))
+                break
+
+    def churn():
+        for block, src, dst in moves:
+            state.move(block, src, dst)
+            state.move(block, dst, src)
+        return len(moves) * 2
+
+    count = benchmark(churn)
+    assert count > 0
+    state.audit()
+
+
+def test_snapshot_and_audit_cost(benchmark):
+    """Namenode-scale audit cost (runs after every fuzz batch)."""
+    import random as _random
+
+    from repro.dfs.namenode import Namenode
+    from repro.dfs.policies import DefaultHdfsPolicy
+
+    topo = ClusterTopology.uniform(10, 10, capacity=200)
+    nn = Namenode(
+        topo, placement_policy=DefaultHdfsPolicy(_random.Random(0)),
+        rng=_random.Random(0),
+    )
+    for i in range(200):
+        nn.create_file(f"/f{i}", num_blocks=4)
+
+    benchmark(nn.audit)

@@ -1,0 +1,42 @@
+"""Benchmark E14: the paper's cluster-size conjecture.
+
+"We believe this gain will be higher if larger clusters are used, as
+data locality tends to decrease as the number of machines increases."
+"""
+
+import pytest
+
+from conftest import write_result
+from repro.experiments.scale import render_scale_study, run_scale_study
+
+
+@pytest.fixture(scope="module")
+def scale_points():
+    points = run_scale_study(
+        machines_per_rack_options=(3, 5, 8), duration_hours=2.0,
+    )
+    write_result("scale_study.txt", render_scale_study(points))
+    return points
+
+
+def test_scale_gain_grows_with_cluster_size(scale_points, benchmark):
+    """The Aurora-over-HDFS gain is monotone in machine count."""
+
+    def extract():
+        return [(p.num_machines, p.gain) for p in scale_points]
+
+    rows = benchmark(extract)
+    gains = [gain for _, gain in rows]
+    assert all(b >= a - 0.01 for a, b in zip(gains, gains[1:]))
+    assert gains[-1] > gains[0]
+
+
+def test_scale_locality_decreases_for_hdfs(scale_points, benchmark):
+    """Stock HDFS locality degrades (or stagnates) at larger scales."""
+
+    def extract():
+        return [p.hdfs_remote_fraction for p in scale_points]
+
+    fractions = benchmark(extract)
+    # Random placement never gets *better* with more machines.
+    assert fractions[-1] >= fractions[0] - 0.05

@@ -1,0 +1,61 @@
+"""Benchmark E16: sensitivity to the operator knobs W and K."""
+
+import pytest
+
+from conftest import write_result
+from repro.experiments.fig3 import default_trace
+from repro.experiments.sensitivity import (
+    render_sensitivity,
+    run_cap_sensitivity,
+    run_window_sensitivity,
+)
+
+
+@pytest.fixture(scope="module")
+def sensitivity_trace():
+    return default_trace(seed=0, duration_hours=2.0)
+
+
+def test_window_sensitivity(sensitivity_trace, benchmark):
+    """W sweep: every setting works; the paper's 2 h default is sane."""
+    rows = benchmark.pedantic(
+        run_window_sensitivity, args=(sensitivity_trace,),
+        kwargs={"windows_hours": (0.5, 2.0, 4.0)},
+        rounds=1, iterations=1,
+    )
+    write_result(
+        "sensitivity_window.txt",
+        render_sensitivity(rows, "E16: usage window W (hours)"),
+    )
+    for row in rows:
+        assert row.result.jobs_completed == row.result.jobs_submitted
+    by_value = {row.value: row for row in rows}
+    # The default (2 h) must not be dominated by the shortest window on
+    # both axes simultaneously.
+    default = by_value[2.0]
+    short = by_value[0.5]
+    assert (
+        default.remote_fraction <= short.remote_fraction + 0.05
+        or default.movement <= short.movement + 0.5
+    )
+
+
+def test_cap_sensitivity(sensitivity_trace, benchmark):
+    """K sweep: tighter caps bound replication work per period."""
+    rows = benchmark.pedantic(
+        run_cap_sensitivity, args=(sensitivity_trace,),
+        kwargs={"caps": (10, 200, 20_000)},
+        rounds=1, iterations=1,
+    )
+    write_result(
+        "sensitivity_cap.txt",
+        render_sensitivity(rows, "E16: replication cap K"),
+    )
+    by_value = {int(row.value): row for row in rows}
+    # A tight cap cannot replicate more than an unbounded one.
+    assert (
+        by_value[10].result.replications_completed
+        <= by_value[20_000].result.replications_completed
+    )
+    for row in rows:
+        assert row.result.jobs_completed == row.result.jobs_submitted

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Extending the library: write your own block placement policy.
+
+The namenode accepts any object implementing the
+:class:`~repro.dfs.policies.BlockPlacementPolicy` protocol.  This
+example implements a *power-of-two-choices* policy — sample two
+candidate machines per replica, take the less loaded — and compares it
+against stock random placement and Aurora's greedy controller on the
+same write stream.
+
+Run with ``python examples/custom_policy.py``.
+"""
+
+import random
+
+from repro.cluster.topology import ClusterTopology
+from repro.dfs.namenode import Namenode
+from repro.dfs.policies import DefaultHdfsPolicy, LoadAwarePolicy
+from repro.errors import CapacityExceededError
+from repro.experiments.report import render_table
+from repro.workload.popularity import zipf_weights
+
+
+class PowerOfTwoChoicesPolicy:
+    """Two random candidates per replica; the less loaded one wins.
+
+    The classic balls-into-bins result: two choices drop the maximum
+    load from Theta(log n / log log n) to Theta(log log n) — a nice
+    middle ground between random (no load queries) and greedy (a full
+    scan per replica).
+    """
+
+    def __init__(self, rng: random.Random) -> None:
+        self._rng = rng
+
+    def choose_targets(self, context, meta, writer=None):
+        topo = context.topology
+        chosen = []
+        chosen_racks = []
+
+        def pick(candidates):
+            pool = [
+                node for node in candidates
+                if node not in chosen and context.can_store(node, meta.block_id)
+            ]
+            if not pool:
+                return None
+            if len(pool) == 1:
+                return pool[0]
+            first, second = self._rng.sample(pool, 2)
+            return min((first, second), key=context.node_load)
+
+        first = writer if (
+            writer is not None and context.can_store(writer, meta.block_id)
+        ) else pick(list(topo.machines))
+        if first is None:
+            raise CapacityExceededError("no machine available")
+        chosen.append(first)
+        chosen_racks.append(topo.rack_of[first])
+        while len(chosen_racks) < meta.rack_spread:
+            other_racks = [r for r in topo.racks if r not in chosen_racks]
+            self._rng.shuffle(other_racks)
+            placed = False
+            for rack in other_racks:
+                node = pick(list(topo.machines_in_rack(rack)))
+                if node is not None:
+                    chosen.append(node)
+                    chosen_racks.append(rack)
+                    placed = True
+                    break
+            if not placed:
+                raise CapacityExceededError("cannot satisfy rack spread")
+        while len(chosen) < meta.replication_factor:
+            pool = [
+                node for rack in chosen_racks
+                for node in topo.machines_in_rack(rack)
+            ]
+            node = pick(pool)
+            if node is None:
+                raise CapacityExceededError("chosen racks are full")
+            chosen.append(node)
+        return chosen
+
+
+def evaluate(policy_name: str, policy, seed: int = 0) -> tuple:
+    """Write a skewed block population and report the load imbalance."""
+    topo = ClusterTopology.uniform(4, 5, capacity=200)
+    nn = Namenode(topo, placement_policy=policy, rng=random.Random(seed))
+    num_files = 60
+    weights = zipf_weights(num_files, 1.1)
+    popularity = {}
+    for i, w in enumerate(weights):
+        meta = nn.create_file(f"/f{i}", num_blocks=4)
+        for block in meta.block_ids:
+            popularity[block] = 10_000 * w / 4
+    # Popularity-weighted machine loads under this placement.
+    loads = [0.0] * topo.num_machines
+    for block, pop in popularity.items():
+        locations = nn.blockmap.locations(block)
+        for node in locations:
+            loads[node] += pop / len(locations)
+    imbalance = max(loads) / (sum(loads) / len(loads))
+    return policy_name, max(loads), imbalance
+
+
+def main() -> None:
+    rows = [
+        evaluate("HDFS random", DefaultHdfsPolicy(random.Random(1))),
+        evaluate("power-of-two", PowerOfTwoChoicesPolicy(random.Random(1))),
+        evaluate("Aurora greedy (Alg 4)", LoadAwarePolicy()),
+    ]
+    print(render_table(
+        ["policy", "max machine load", "max/mean imbalance"], rows
+    ))
+    print()
+    print(
+        "power-of-two needs only two load queries per replica yet "
+        "narrows most of the gap between random and the full greedy scan"
+    )
+
+
+if __name__ == "__main__":
+    main()

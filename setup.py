@@ -1,0 +1,4 @@
+"""Legacy setuptools shim (environment lacks the `wheel` package)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,31 @@
+"""repro — reproduction of "Aurora: Adaptive Block Replication in
+Distributed File Systems" (ICDCS 2015).
+
+The package is organized in layers:
+
+* :mod:`repro.core` — the paper's algorithms: the three block placement
+  ILPs, the local-search approximation algorithms (Algorithms 1 and 2),
+  the Rep-Factor solver (Algorithm 3), greedy initial placement
+  (Algorithm 4) and epsilon-admissibility (Section IV).
+* :mod:`repro.cluster` — machines, racks, capacities, failures.
+* :mod:`repro.simulation` — a discrete-event simulation engine.
+* :mod:`repro.dfs` — an HDFS-like distributed file system simulator
+  (namenode, datanodes, block map, replication pipeline, balancer).
+* :mod:`repro.scheduler` — a MapReduce-style locality-aware task
+  scheduler with a local-vs-remote runtime model.
+* :mod:`repro.workload` — long-tail popularity models and synthetic
+  Yahoo!/SWIM-style trace generators.
+* :mod:`repro.monitor` — sliding-window block usage monitoring.
+* :mod:`repro.baselines` — default-HDFS random placement, Scarlett and
+  DARE-style baselines.
+* :mod:`repro.aurora` — the Aurora system tying everything together
+  (Algorithm 5's periodic optimizer).
+* :mod:`repro.experiments` — harnesses regenerating every figure of the
+  paper's evaluation section.
+"""
+
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = ["ReproError", "__version__"]

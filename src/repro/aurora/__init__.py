@@ -1,0 +1,14 @@
+"""Aurora: dynamic block placement and replication for the DFS simulator."""
+
+from repro.aurora.bridge import ReplayReport, replay_operations, snapshot_placement
+from repro.aurora.config import AuroraConfig
+from repro.aurora.system import AuroraSystem, PeriodReport
+
+__all__ = [
+    "ReplayReport",
+    "replay_operations",
+    "snapshot_placement",
+    "AuroraConfig",
+    "AuroraSystem",
+    "PeriodReport",
+]

@@ -1,0 +1,105 @@
+"""Bridge between the abstract placement model and the DFS simulator.
+
+Aurora's optimizer reasons over :class:`~repro.core.placement.PlacementState`
+(the paper's model) but acts on a live :class:`~repro.dfs.namenode.Namenode`.
+This module converts between the two:
+
+* :func:`snapshot_placement` builds a placement problem + state from the
+  namenode's block map and a popularity snapshot;
+* :func:`replay_operations` executes a local-search operation log as
+  make-before-break block migrations (a swap is two opposing moves),
+  skipping operations the live system can no longer satisfy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Tuple
+
+from repro.core.instance import BlockSpec, PlacementProblem
+from repro.core.operations import MoveOp, Operation, SwapOp
+from repro.core.placement import PlacementState
+from repro.dfs.namenode import Namenode
+
+__all__ = ["snapshot_placement", "replay_operations", "ReplayReport"]
+
+
+def snapshot_placement(
+    namenode: Namenode, popularities: Mapping[int, float]
+) -> PlacementState:
+    """Freeze the namenode's current placement into an abstract state.
+
+    Each block's spec uses the *current* replica count as its (fixed)
+    replication factor — the load-balancing phase of Algorithm 5 moves
+    replicas but never changes their number — and the popularity from
+    the monitor snapshot (0 for blocks never accessed in the window).
+    """
+    specs = []
+    assignment = {}
+    for block_id in namenode.blockmap.block_ids():
+        locations = namenode.blockmap.locations(block_id)
+        if not locations:
+            continue
+        meta = namenode.blockmap.meta(block_id)
+        count = len(locations)
+        specs.append(
+            BlockSpec(
+                block_id=block_id,
+                popularity=float(popularities.get(block_id, 0.0)),
+                replication_factor=count,
+                rack_spread=min(meta.rack_spread, count),
+            )
+        )
+        assignment[block_id] = locations
+    problem = PlacementProblem(
+        topology=namenode.topology, blocks=tuple(specs)
+    )
+    return PlacementState.from_assignment(problem, assignment)
+
+
+@dataclass
+class ReplayReport:
+    """Outcome of replaying a local-search log on the live system."""
+
+    moves_issued: int = 0
+    moves_skipped: int = 0
+    blocks_transferred: int = 0
+
+    @property
+    def attempted(self) -> int:
+        """Total migrations attempted."""
+        return self.moves_issued + self.moves_skipped
+
+
+def _issue_move(
+    namenode: Namenode, report: ReplayReport, block: int, src: int, dst: int
+) -> bool:
+    started = False
+    if src in namenode.blockmap.locations(block):
+        started = namenode.move_block(block, src, dst)
+    if started:
+        report.moves_issued += 1
+        report.blocks_transferred += 1
+    else:
+        report.moves_skipped += 1
+    return started
+
+
+def replay_operations(
+    namenode: Namenode, operations: Iterable[Operation]
+) -> ReplayReport:
+    """Execute an operation log against the live namenode.
+
+    Moves become ``move_block`` migrations; swaps become two opposing
+    migrations.  Operations that the live system rejects (node died,
+    disk filled, replica already moved by a concurrent mechanism) are
+    counted as skipped rather than failing the period.
+    """
+    report = ReplayReport()
+    for op in operations:
+        if isinstance(op, MoveOp):
+            _issue_move(namenode, report, op.block, op.src, op.dst)
+        elif isinstance(op, SwapOp):
+            _issue_move(namenode, report, op.block_i, op.src, op.dst)
+            _issue_move(namenode, report, op.block_j, op.dst, op.src)
+    return report

@@ -1,0 +1,24 @@
+"""Baseline systems the paper compares against.
+
+* default HDFS random placement lives in
+  :class:`repro.dfs.policies.DefaultHdfsPolicy`;
+* Scarlett (priority / round-robin) in :mod:`repro.baselines.scarlett`;
+* DARE-style replicate-on-read in :mod:`repro.baselines.dare`.
+"""
+
+from repro.baselines.dare import DareConfig, DareSystem
+from repro.baselines.scarlett import (
+    ScarlettConfig,
+    ScarlettScheme,
+    ScarlettSystem,
+    scarlett_factors,
+)
+
+__all__ = [
+    "DareConfig",
+    "DareSystem",
+    "ScarlettConfig",
+    "ScarlettScheme",
+    "ScarlettSystem",
+    "scarlett_factors",
+]

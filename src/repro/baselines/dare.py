@@ -1,0 +1,118 @@
+"""DARE-style replicate-on-read baseline (Abad et al., CLUSTER 2011).
+
+"DARE replicates popular blocks with a probability p after each read
+access.  Unpopular blocks are evicted according to a least-recently used
+(LRU) policy.  However, DARE does not consider the placement of blocks in
+the system."  Aurora's conclusion also lists replication-on-read as
+future work, so this baseline doubles as that extension:
+
+* every *remote* read of a block creates, with probability ``p``, a new
+  replica on the reading machine (the data already crossed the network,
+  so the copy is nearly free — the paper's "use remote map tasks to
+  facilitate block replication" optimization);
+* a storage budget bounds the extra replicas; when exceeded, the
+  least-recently-used extra replicas are evicted (never below a block's
+  base replication factor or rack spread).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.dfs.namenode import Namenode
+from repro.errors import InvalidProblemError
+
+__all__ = ["DareConfig", "DareSystem"]
+
+
+@dataclass(frozen=True)
+class DareConfig:
+    """DARE's knobs: replication probability and extra-storage budget."""
+
+    probability: float = 0.5
+    budget_blocks: int = 1000
+
+    def __post_init__(self) -> None:
+        if not 0 < self.probability <= 1:
+            raise InvalidProblemError("probability must be in (0, 1]")
+        if self.budget_blocks < 0:
+            raise InvalidProblemError("budget_blocks must be non-negative")
+
+
+class DareSystem:
+    """Probabilistic replicate-on-read with LRU eviction."""
+
+    def __init__(
+        self,
+        namenode: Namenode,
+        config: Optional[DareConfig] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.namenode = namenode
+        self.config = config or DareConfig()
+        self._rng = rng or random.Random(0)
+        # Extra replicas we created: (block, node) -> last-use time.
+        self._extras: Dict[Tuple[int, int], float] = {}
+        self.replicas_created = 0
+        self.replicas_evicted = 0
+
+    @property
+    def extra_replicas(self) -> int:
+        """Extra replicas currently alive."""
+        return len(self._extras)
+
+    def on_read(self, block_id: int, reader: int, source: int) -> bool:
+        """Handle one read; returns True when a replica was created.
+
+        Call after the DFS served a read: if the read was remote and the
+        coin flip succeeds, the reader machine keeps a local copy.
+        """
+        if block_id not in self.namenode.blockmap:
+            return False
+        key = (block_id, source)
+        if key in self._extras:
+            self._extras[key] = self.namenode.now
+        if reader == source:
+            return False
+        if self._rng.random() >= self.config.probability:
+            return False
+        if reader in self.namenode.blockmap.locations(block_id):
+            return False
+        if not self.namenode.can_store(reader, block_id):
+            return False
+        created = self.namenode.replicate_block(block_id, target=reader)
+        if not created:
+            return False
+        self._extras[(block_id, reader)] = self.namenode.now
+        self.replicas_created += 1
+        self._enforce_budget()
+        return True
+
+    def _enforce_budget(self) -> None:
+        """Evict LRU extra replicas beyond the budget."""
+        while len(self._extras) > self.config.budget_blocks:
+            victim = min(self._extras, key=self._extras.get)
+            del self._extras[victim]
+            block_id, node = victim
+            if block_id not in self.namenode.blockmap:
+                continue
+            if node not in self.namenode.blockmap.locations(block_id):
+                continue
+            meta = self.namenode.blockmap.meta(block_id)
+            if self.namenode.blockmap.replica_count(block_id) <= \
+                    meta.replication_factor:
+                continue
+            # Never collapse the block's rack spread below target.
+            remaining_racks = {
+                self.namenode.topology.rack_of[n]
+                for n in self.namenode.blockmap.locations(block_id)
+                if n != node
+            }
+            if len(remaining_racks) < meta.rack_spread:
+                continue
+            self.namenode.blockmap.remove_location(block_id, node)
+            if self.namenode.datanode(node).holds(block_id):
+                self.namenode.datanode(node).erase(block_id)
+            self.replicas_evicted += 1

@@ -1,0 +1,237 @@
+"""Command-line interface: regenerate figures, traces and ablations.
+
+Usage (installed as ``python -m repro``):
+
+.. code-block:: text
+
+    python -m repro figures --out results/ --figures 3 6
+    python -m repro figures --quick            # small-scale smoke run
+    python -m repro trace yahoo --out trace.jsonl --files 120 --hours 3
+    python -m repro trace swim --out swim.jsonl --scale-to 10
+    python -m repro ablation --out results/
+
+All commands are deterministic for a given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.experiments.ablation import (
+    make_instance,
+    render_ablations,
+    run_epsilon_ablation,
+    run_factor_ablation,
+    run_initial_placement_ablation,
+)
+from repro.experiments.fig3 import default_trace, render_fig3, run_fig3
+from repro.experiments.fig4 import render_fig4, run_fig4
+from repro.experiments.fig5 import render_fig5, run_fig5
+from repro.experiments.fig6 import render_fig6, run_fig6
+from repro.experiments.harness import ClusterConfig
+from repro.workload.stats import describe_trace
+from repro.workload.swim import SwimTraceConfig, generate_swim_trace, scale_down
+from repro.workload.yahoo import YahooTraceConfig, generate_yahoo_trace
+
+__all__ = ["main"]
+
+_QUICK_CLUSTER = ClusterConfig(
+    num_racks=3, machines_per_rack=3, capacity_blocks=150,
+    slots_per_machine=2,
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Aurora (ICDCS 2015) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    figures = sub.add_parser(
+        "figures", help="regenerate the paper's evaluation figures"
+    )
+    figures.add_argument(
+        "--figures", nargs="+", type=int, default=[3, 4, 5, 6],
+        choices=[3, 4, 5, 6], help="which figures to run",
+    )
+    figures.add_argument("--out", type=Path, default=Path("results"))
+    figures.add_argument("--seed", type=int, default=0)
+    figures.add_argument(
+        "--epsilons", nargs="+", type=float, default=[0.1, 0.6, 0.8],
+    )
+    figures.add_argument(
+        "--quick", action="store_true",
+        help="tiny cluster and trace for a fast smoke run",
+    )
+
+    trace = sub.add_parser("trace", help="generate a workload trace")
+    trace.add_argument("kind", choices=["yahoo", "swim"])
+    trace.add_argument("--out", type=Path, required=True)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--files", type=int, default=120)
+    trace.add_argument("--jobs-per-hour", type=float, default=550.0)
+    trace.add_argument("--hours", type=float, default=3.0)
+    trace.add_argument(
+        "--scale-to", type=int, default=None,
+        help="SWIM only: scale the 600-node workload down to N nodes",
+    )
+
+    ablation = sub.add_parser("ablation", help="run the design ablations")
+    ablation.add_argument("--out", type=Path, default=Path("results"))
+    ablation.add_argument("--seed", type=int, default=0)
+    ablation.add_argument("--blocks", type=int, default=300)
+
+    scale = sub.add_parser(
+        "scale", help="run the cluster-size study (E14)"
+    )
+    scale.add_argument("--out", type=Path, default=Path("results"))
+    scale.add_argument("--seed", type=int, default=0)
+    scale.add_argument(
+        "--machines-per-rack", nargs="+", type=int, default=[3, 5, 8],
+    )
+    scale.add_argument("--hours", type=float, default=2.0)
+
+    sensitivity = sub.add_parser(
+        "sensitivity", help="sweep the W and K operator knobs (E16)"
+    )
+    sensitivity.add_argument("--out", type=Path, default=Path("results"))
+    sensitivity.add_argument("--seed", type=int, default=0)
+    sensitivity.add_argument("--hours", type=float, default=2.0)
+    return parser
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    args.out.mkdir(parents=True, exist_ok=True)
+    epsilons = tuple(args.epsilons)
+    if args.quick:
+        cluster: Optional[ClusterConfig] = _QUICK_CLUSTER
+        trace = generate_yahoo_trace(YahooTraceConfig(
+            num_files=25, jobs_per_hour=150.0, duration_hours=1.5,
+            mean_task_duration=60.0, seed=args.seed,
+        ))
+    else:
+        cluster = None
+        trace = default_trace(seed=args.seed)
+    runners = {
+        3: lambda: render_fig3(run_fig3(
+            trace=trace, cluster=cluster, epsilons=epsilons, seed=args.seed)),
+        4: lambda: render_fig4(run_fig4(
+            trace=trace, cluster=cluster, epsilons=epsilons, seed=args.seed)),
+        5: lambda: render_fig5(run_fig5(
+            trace=trace, cluster=cluster, epsilons=epsilons, seed=args.seed)),
+        6: lambda: render_fig6(run_fig6(seed=args.seed)),
+    }
+    for number in args.figures:
+        text = runners[number]()
+        target = args.out / f"fig{number}.txt"
+        target.write_text(text + "\n", encoding="utf-8")
+        print(text)
+        print(f"[written {target}]")
+        print()
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.kind == "yahoo":
+        trace = generate_yahoo_trace(YahooTraceConfig(
+            num_files=args.files,
+            jobs_per_hour=args.jobs_per_hour,
+            duration_hours=args.hours,
+            seed=args.seed,
+        ))
+    else:
+        trace = generate_swim_trace(SwimTraceConfig(
+            num_files=args.files,
+            jobs_per_hour=args.jobs_per_hour,
+            duration_hours=args.hours,
+            seed=args.seed,
+        ))
+        if args.scale_to is not None:
+            trace = scale_down(trace, source_nodes=600,
+                               target_nodes=args.scale_to)
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    trace.dump(args.out)
+    print(f"wrote {args.out}")
+    print(describe_trace(trace))
+    return 0
+
+
+def _cmd_ablation(args: argparse.Namespace) -> int:
+    args.out.mkdir(parents=True, exist_ok=True)
+    instance = make_instance(num_blocks=args.blocks, seed=args.seed)
+    text = render_ablations(
+        run_initial_placement_ablation(instance),
+        run_factor_ablation(instance),
+        run_epsilon_ablation(instance),
+    )
+    target = args.out / "ablations.txt"
+    target.write_text(text + "\n", encoding="utf-8")
+    print(text)
+    print(f"[written {target}]")
+    return 0
+
+
+def _cmd_scale(args: argparse.Namespace) -> int:
+    from repro.experiments.scale import render_scale_study, run_scale_study
+
+    args.out.mkdir(parents=True, exist_ok=True)
+    points = run_scale_study(
+        machines_per_rack_options=tuple(args.machines_per_rack),
+        duration_hours=args.hours,
+        seed=args.seed,
+    )
+    text = render_scale_study(points)
+    target = args.out / "scale_study.txt"
+    target.write_text(text + "\n", encoding="utf-8")
+    print(text)
+    print(f"[written {target}]")
+    return 0
+
+
+def _cmd_sensitivity(args: argparse.Namespace) -> int:
+    from repro.experiments.sensitivity import (
+        render_sensitivity,
+        run_cap_sensitivity,
+        run_window_sensitivity,
+    )
+
+    args.out.mkdir(parents=True, exist_ok=True)
+    trace = default_trace(seed=args.seed, duration_hours=args.hours)
+    window = render_sensitivity(
+        run_window_sensitivity(trace, seed=args.seed),
+        "usage window W (hours)",
+    )
+    cap = render_sensitivity(
+        run_cap_sensitivity(trace, seed=args.seed),
+        "replication cap K",
+    )
+    text = window + "\n\n" + cap
+    target = args.out / "sensitivity.txt"
+    target.write_text(text + "\n", encoding="utf-8")
+    print(text)
+    print(f"[written {target}]")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "figures":
+        return _cmd_figures(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "ablation":
+        return _cmd_ablation(args)
+    if args.command == "scale":
+        return _cmd_scale(args)
+    if args.command == "sensitivity":
+        return _cmd_sensitivity(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,5 @@
+"""Cluster substrate: topology, machine state and failure modelling."""
+
+from repro.cluster.topology import ClusterTopology
+
+__all__ = ["ClusterTopology"]

@@ -1,0 +1,127 @@
+"""Failure modelling: machine and rack (ToR switch) outages.
+
+The placement problems exist because "the failure of a single node or a
+Top-of-Rack switch should not render a file inaccessible".  This module
+generates deterministic failure/recovery schedules that the DFS simulator
+replays to validate exactly that property: with ``k_i`` replicas over
+``rho_i >= 2`` racks, any single machine or rack outage leaves every block
+readable.
+
+Failure times are exponential (memoryless MTBF model) and repair times
+constant, all driven by an injected :class:`random.Random` so experiments
+are reproducible.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.cluster.topology import ClusterTopology
+from repro.errors import InvalidProblemError
+
+__all__ = ["FailureKind", "FailureEvent", "FailurePlan", "generate_failure_plan"]
+
+
+class FailureKind(enum.Enum):
+    """What failed (or recovered)."""
+
+    MACHINE = "machine"
+    RACK = "rack"
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """One outage or recovery at a simulated time.
+
+    ``target`` is a machine id for ``MACHINE`` events and a rack id for
+    ``RACK`` events.
+    """
+
+    time: float
+    kind: FailureKind
+    target: int
+    is_recovery: bool
+
+    def describe(self) -> str:
+        """Human-readable one-liner for logs."""
+        action = "recovers" if self.is_recovery else "fails"
+        return f"t={self.time:.0f}s: {self.kind.value} {self.target} {action}"
+
+
+@dataclass(frozen=True)
+class FailurePlan:
+    """A chronologically sorted schedule of failure and recovery events."""
+
+    events: tuple
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def machine_outages(self) -> int:
+        """Number of machine failure events (not recoveries)."""
+        return sum(
+            1 for e in self.events
+            if e.kind is FailureKind.MACHINE and not e.is_recovery
+        )
+
+    def rack_outages(self) -> int:
+        """Number of rack failure events (not recoveries)."""
+        return sum(
+            1 for e in self.events
+            if e.kind is FailureKind.RACK and not e.is_recovery
+        )
+
+
+def generate_failure_plan(
+    topology: ClusterTopology,
+    horizon: float,
+    rng: random.Random,
+    machine_mtbf: Optional[float] = None,
+    rack_mtbf: Optional[float] = None,
+    repair_time: float = 600.0,
+) -> FailurePlan:
+    """Sample a failure/recovery schedule over ``[0, horizon)`` seconds.
+
+    ``machine_mtbf`` / ``rack_mtbf`` are mean times between failures per
+    machine / per rack; ``None`` disables that failure class.  Each outage
+    is followed by a recovery ``repair_time`` seconds later (clamped to
+    the horizon).  Overlapping outages of the same target are merged by
+    skipping failures that land while the target is already down.
+    """
+    if horizon <= 0:
+        raise InvalidProblemError("failure horizon must be positive")
+    if repair_time <= 0:
+        raise InvalidProblemError("repair_time must be positive")
+    events: List[FailureEvent] = []
+
+    def sample_outages(count: int, mtbf: float, kind: FailureKind) -> None:
+        for target in range(count):
+            down_until = 0.0
+            t = rng.expovariate(1.0 / mtbf)
+            while t < horizon:
+                if t >= down_until:
+                    events.append(FailureEvent(t, kind, target, is_recovery=False))
+                    recovery = t + repair_time
+                    down_until = recovery
+                    if recovery < horizon:
+                        events.append(
+                            FailureEvent(recovery, kind, target, is_recovery=True)
+                        )
+                t += rng.expovariate(1.0 / mtbf)
+
+    if machine_mtbf is not None:
+        if machine_mtbf <= 0:
+            raise InvalidProblemError("machine_mtbf must be positive")
+        sample_outages(topology.num_machines, machine_mtbf, FailureKind.MACHINE)
+    if rack_mtbf is not None:
+        if rack_mtbf <= 0:
+            raise InvalidProblemError("rack_mtbf must be positive")
+        sample_outages(topology.num_racks, rack_mtbf, FailureKind.RACK)
+    events.sort(key=lambda e: (e.time, e.is_recovery))
+    return FailurePlan(events=tuple(events))

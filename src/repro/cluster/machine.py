@@ -1,0 +1,71 @@
+"""Per-machine runtime state: liveness and task slots.
+
+The paper's simulations give each machine a fixed number of task slots
+("each machine has sufficient resources for scheduling 14 tasks
+simultaneously").  :class:`MachineState` tracks slot occupancy for the
+scheduler and a liveness flag for failure experiments; static properties
+(rack, capacity) live in :class:`~repro.cluster.topology.ClusterTopology`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SchedulerError
+
+__all__ = ["MachineState"]
+
+
+@dataclass
+class MachineState:
+    """Dynamic state of one machine."""
+
+    machine_id: int
+    task_slots: int
+    alive: bool = True
+    used_slots: int = 0
+    tasks_executed: int = 0
+    failures: int = 0
+
+    @property
+    def free_slots(self) -> int:
+        """Slots currently available for new tasks (0 when dead)."""
+        if not self.alive:
+            return 0
+        return self.task_slots - self.used_slots
+
+    def reserve_slot(self) -> None:
+        """Occupy one task slot."""
+        if not self.alive:
+            raise SchedulerError(
+                f"machine {self.machine_id} is down; cannot reserve a slot"
+            )
+        if self.used_slots >= self.task_slots:
+            raise SchedulerError(f"machine {self.machine_id} has no free slots")
+        self.used_slots += 1
+        self.tasks_executed += 1
+
+    def release_slot(self) -> None:
+        """Free one task slot."""
+        if self.used_slots <= 0:
+            raise SchedulerError(
+                f"machine {self.machine_id} has no slot to release"
+            )
+        self.used_slots -= 1
+
+    def fail(self) -> None:
+        """Mark the machine dead; running tasks are the caller's problem."""
+        self.alive = False
+        self.failures += 1
+        self.used_slots = 0
+
+    def recover(self) -> None:
+        """Bring the machine back with all slots free.
+
+        A no-op on a machine that is already alive — overlapping repair
+        events must not wipe the slot ledger of running tasks.
+        """
+        if self.alive:
+            return
+        self.alive = True
+        self.used_slots = 0

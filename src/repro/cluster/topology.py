@@ -1,0 +1,156 @@
+"""Static cluster topology: machines grouped into racks.
+
+The topology is the substrate shared by the placement algorithms
+(:mod:`repro.core`), the HDFS simulator (:mod:`repro.dfs`) and the task
+scheduler (:mod:`repro.scheduler`).  Machines and racks are identified by
+dense integer ids (``0 .. M-1`` and ``0 .. R-1``) so that per-machine state
+can live in flat arrays.
+
+The paper (Section III) models ``M`` identical machines grouped in ``R``
+racks, each machine with a capacity ``C_m`` expressed as a maximum number
+of blocks.  :class:`ClusterTopology` supports both the identical-machine
+case (:meth:`ClusterTopology.uniform`) and heterogeneous capacities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.errors import InvalidTopologyError, UnknownMachineError
+
+__all__ = ["ClusterTopology"]
+
+
+@dataclass(frozen=True)
+class ClusterTopology:
+    """Immutable description of machines, racks and capacities.
+
+    Parameters
+    ----------
+    rack_of:
+        ``rack_of[m]`` is the rack id of machine ``m``.  Rack ids must be
+        dense: every rack id in ``0 .. max(rack_of)`` must appear.
+    capacities:
+        ``capacities[m]`` is the maximum number of block replicas machine
+        ``m`` may hold.
+    """
+
+    rack_of: tuple
+    capacities: tuple
+    _machines_in_rack: tuple = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if len(self.rack_of) == 0:
+            raise InvalidTopologyError("topology must contain at least one machine")
+        if len(self.rack_of) != len(self.capacities):
+            raise InvalidTopologyError(
+                "rack_of and capacities must have the same length "
+                f"({len(self.rack_of)} != {len(self.capacities)})"
+            )
+        object.__setattr__(self, "rack_of", tuple(int(r) for r in self.rack_of))
+        object.__setattr__(self, "capacities", tuple(int(c) for c in self.capacities))
+        for capacity in self.capacities:
+            if capacity < 0:
+                raise InvalidTopologyError("machine capacity must be non-negative")
+        num_racks = max(self.rack_of) + 1
+        members = [[] for _ in range(num_racks)]
+        for machine, rack in enumerate(self.rack_of):
+            if rack < 0:
+                raise InvalidTopologyError("rack ids must be non-negative")
+            members[rack].append(machine)
+        for rack, machines in enumerate(members):
+            if not machines:
+                raise InvalidTopologyError(f"rack id {rack} has no machines")
+        object.__setattr__(
+            self, "_machines_in_rack", tuple(tuple(ms) for ms in members)
+        )
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def uniform(
+        cls, num_racks: int, machines_per_rack: int, capacity: int
+    ) -> "ClusterTopology":
+        """Build the paper's identical-machine topology.
+
+        ``num_racks`` racks, each containing ``machines_per_rack`` machines
+        of block capacity ``capacity``.
+        """
+        if num_racks <= 0 or machines_per_rack <= 0:
+            raise InvalidTopologyError("num_racks and machines_per_rack must be > 0")
+        rack_of = [r for r in range(num_racks) for _ in range(machines_per_rack)]
+        return cls(tuple(rack_of), tuple([capacity] * len(rack_of)))
+
+    @classmethod
+    def from_rack_sizes(
+        cls, rack_sizes: Sequence[int], capacity: int
+    ) -> "ClusterTopology":
+        """Build a topology with per-rack machine counts and uniform capacity."""
+        rack_of = [r for r, size in enumerate(rack_sizes) for _ in range(size)]
+        return cls(tuple(rack_of), tuple([capacity] * len(rack_of)))
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def num_machines(self) -> int:
+        """Total machine count ``M``."""
+        return len(self.rack_of)
+
+    @property
+    def num_racks(self) -> int:
+        """Total rack count ``R``."""
+        return len(self._machines_in_rack)
+
+    @property
+    def machines(self) -> range:
+        """All machine ids, densely numbered from zero."""
+        return range(self.num_machines)
+
+    @property
+    def racks(self) -> range:
+        """All rack ids, densely numbered from zero."""
+        return range(self.num_racks)
+
+    def machines_in_rack(self, rack: int) -> tuple:
+        """Machine ids located in ``rack``."""
+        try:
+            return self._machines_in_rack[rack]
+        except IndexError:
+            raise UnknownMachineError(f"unknown rack id {rack}") from None
+
+    def rack_of_machine(self, machine: int) -> int:
+        """Rack id hosting ``machine``."""
+        self.check_machine(machine)
+        return self.rack_of[machine]
+
+    def capacity_of(self, machine: int) -> int:
+        """Block capacity ``C_m`` of ``machine``."""
+        self.check_machine(machine)
+        return self.capacities[machine]
+
+    def total_capacity(self) -> int:
+        """Sum of block capacities over all machines."""
+        return sum(self.capacities)
+
+    def check_machine(self, machine: int) -> None:
+        """Raise :class:`UnknownMachineError` unless ``machine`` exists."""
+        if not 0 <= machine < self.num_machines:
+            raise UnknownMachineError(f"unknown machine id {machine}")
+
+    def same_rack(self, machine_a: int, machine_b: int) -> bool:
+        """Whether two machines share a rack (and hence a ToR switch)."""
+        self.check_machine(machine_a)
+        self.check_machine(machine_b)
+        return self.rack_of[machine_a] == self.rack_of[machine_b]
+
+    def other_racks(self, rack: int) -> Iterable[int]:
+        """All rack ids except ``rack``."""
+        return (r for r in self.racks if r != rack)
+
+    def describe(self) -> str:
+        """One-line human-readable summary of the topology."""
+        return (
+            f"{self.num_machines} machines / {self.num_racks} racks, "
+            f"total capacity {self.total_capacity()} blocks"
+        )

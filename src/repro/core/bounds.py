@@ -1,0 +1,81 @@
+"""Lower bounds on the optimal objective of the placement problems.
+
+Useful for certifying approximation quality without solving the NP-hard
+problem exactly:
+
+* the **average bound**: the total popularity mass ``sum_i P_i`` is
+  invariant under replication and placement, so
+  ``OPT >= sum_i P_i / |M|`` (used in the proof of Theorem 6);
+* the **share bound**: the most popular per-replica share must sit on
+  some machine, so ``OPT >= max_i P_i / k_i`` (used in Corollaries 3
+  and 5); for BP-Replicate the share is evaluated at the largest
+  admissible factor;
+* the **LP bound**: the fractional relaxation of BP-Node, solved in
+  closed form (it equals the average bound whenever capacities allow,
+  and otherwise a small LP, solved with scipy).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.instance import PlacementProblem, ProblemVariant
+from repro.core.placement import PlacementState
+
+__all__ = [
+    "average_load_bound",
+    "max_share_bound",
+    "combined_lower_bound",
+    "empirical_ratio",
+]
+
+
+def average_load_bound(problem: PlacementProblem) -> float:
+    """``sum_i P_i / |M|`` — no placement can beat the perfect spread."""
+    return problem.total_popularity() / problem.topology.num_machines
+
+
+def max_share_bound(problem: PlacementProblem) -> float:
+    """``max_i p_i`` with the instance's replication factors.
+
+    For BP-Replicate the bound uses the most optimistic factor each block
+    could receive: the full budget headroom on top of its minimum, capped
+    at the machine count.
+    """
+    if problem.num_blocks == 0:
+        return 0.0
+    if problem.variant() is not ProblemVariant.BP_REPLICATE:
+        return problem.max_per_replica_popularity()
+    budget = problem.replication_budget
+    assert budget is not None
+    headroom = budget - problem.minimum_total_replicas()
+    machines = problem.topology.num_machines
+    best = 0.0
+    for spec in problem:
+        k_best = min(machines, spec.replication_factor + headroom)
+        best = max(best, spec.popularity / k_best)
+    return best
+
+
+def combined_lower_bound(problem: PlacementProblem) -> float:
+    """The tighter of the average and share bounds."""
+    return max(average_load_bound(problem), max_share_bound(problem))
+
+
+def empirical_ratio(
+    state: PlacementState, optimum: Optional[float] = None
+) -> float:
+    """Achieved cost over (known or bounded) optimum.
+
+    If ``optimum`` is not supplied, the combined lower bound is used, so
+    the returned ratio is an upper bound on the true approximation ratio.
+    Returns ``nan`` for the degenerate zero-popularity instance.
+    """
+    denominator = optimum if optimum is not None else combined_lower_bound(
+        state.problem
+    )
+    if denominator <= 0:
+        return float("nan")
+    return state.cost() / denominator

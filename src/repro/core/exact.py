@@ -1,0 +1,280 @@
+"""Exact solvers for small placement instances.
+
+BP-Node and BP-Rack are solved as mixed-integer linear programs with
+scipy's HiGHS backend (:func:`solve_exact`); BP-Replicate is solved by
+enumerating replication-factor vectors and solving the induced BP-Rack
+instance for each (:func:`solve_bp_replicate_exact`).  A pure-Python brute
+force (:func:`brute_force_bp_node`) cross-checks the MILP on tiny
+instances.
+
+These solvers exist to *validate the approximation guarantees* of the
+local-search algorithms in tests and benchmarks; they are exponential or
+worse in general and guarded by size limits.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+import numpy as np
+from scipy.optimize import Bounds, LinearConstraint, milp
+from scipy.sparse import lil_matrix
+
+from repro.core.instance import BlockSpec, PlacementProblem, ProblemVariant
+from repro.errors import InvalidProblemError, ReproError
+
+__all__ = [
+    "ExactSolution",
+    "solve_exact",
+    "solve_bp_replicate_exact",
+    "brute_force_bp_node",
+]
+
+_MAX_MILP_VARIABLES = 20000
+_MAX_ENUMERATED_VECTORS = 250000
+
+
+class ExactSolverError(ReproError):
+    """The exact solver failed or the instance exceeds its size limits."""
+
+
+@dataclass(frozen=True)
+class ExactSolution:
+    """An optimal placement: objective value and block-to-machine map."""
+
+    objective: float
+    assignment: Dict[int, FrozenSet[int]]
+    factors: Optional[Dict[int, int]] = None
+
+
+def solve_exact(problem: PlacementProblem, time_limit: float = 60.0) -> ExactSolution:
+    """Solve BP-Node or BP-Rack to optimality via MILP (HiGHS).
+
+    Variables are the binary placement indicators ``x_im`` (plus rack
+    indicators ``y_ir`` for BP-Rack) and the continuous makespan
+    ``lambda``.  Raises :class:`ExactSolverError` on instances that are
+    too large or infeasible.
+    """
+    if problem.variant() is ProblemVariant.BP_REPLICATE:
+        raise InvalidProblemError(
+            "solve_exact handles fixed-factor instances; use "
+            "solve_bp_replicate_exact for BP-Replicate"
+        )
+    num_blocks = problem.num_blocks
+    machines = problem.topology.num_machines
+    racks = problem.topology.num_racks
+    rack_aware = problem.variant() is ProblemVariant.BP_RACK
+
+    num_x = num_blocks * machines
+    num_y = num_blocks * racks if rack_aware else 0
+    num_vars = num_x + num_y + 1  # + lambda
+    if num_vars > _MAX_MILP_VARIABLES:
+        raise ExactSolverError(
+            f"instance too large for the exact solver ({num_vars} variables)"
+        )
+
+    block_list = list(problem)
+    lam = num_vars - 1
+
+    def x_index(block_pos: int, machine: int) -> int:
+        return block_pos * machines + machine
+
+    def y_index(block_pos: int, rack: int) -> int:
+        return num_x + block_pos * racks + rack
+
+    objective = np.zeros(num_vars)
+    objective[lam] = 1.0
+
+    rows: List[Tuple[lil_matrix, float, float]] = []
+    num_rack_link = num_x if rack_aware else 0
+    total_rows = machines * 2 + num_blocks + num_rack_link + (
+        num_blocks if rack_aware else 0
+    )
+    matrix = lil_matrix((total_rows, num_vars))
+    lower = np.empty(total_rows)
+    upper = np.empty(total_rows)
+    row = 0
+
+    # Load constraints: sum_i p_i x_im - lambda <= 0.
+    for machine in range(machines):
+        for pos, spec in enumerate(block_list):
+            matrix[row, x_index(pos, machine)] = spec.per_replica_popularity
+        matrix[row, lam] = -1.0
+        lower[row] = -np.inf
+        upper[row] = 0.0
+        row += 1
+    # Capacity constraints: sum_i x_im <= C_m.
+    for machine in range(machines):
+        for pos in range(num_blocks):
+            matrix[row, x_index(pos, machine)] = 1.0
+        lower[row] = 0.0
+        upper[row] = problem.topology.capacity_of(machine)
+        row += 1
+    # Replication constraints: sum_m x_im == k_i.
+    for pos, spec in enumerate(block_list):
+        for machine in range(machines):
+            matrix[row, x_index(pos, machine)] = 1.0
+        lower[row] = spec.replication_factor
+        upper[row] = spec.replication_factor
+        row += 1
+    if rack_aware:
+        # Linking: x_im <= y_ir for machine m in rack r.
+        for pos in range(num_blocks):
+            for machine in range(machines):
+                rack = problem.topology.rack_of[machine]
+                matrix[row, x_index(pos, machine)] = 1.0
+                matrix[row, y_index(pos, rack)] = -1.0
+                lower[row] = -np.inf
+                upper[row] = 0.0
+                row += 1
+        # Spread: sum_r y_ir >= rho_i.
+        for pos, spec in enumerate(block_list):
+            for rack in range(racks):
+                matrix[row, y_index(pos, rack)] = 1.0
+            lower[row] = spec.rack_spread
+            upper[row] = np.inf
+            row += 1
+    assert row == total_rows
+
+    integrality = np.ones(num_vars)
+    integrality[lam] = 0.0
+    var_lower = np.zeros(num_vars)
+    var_upper = np.ones(num_vars)
+    var_upper[lam] = np.inf
+
+    result = milp(
+        c=objective,
+        constraints=LinearConstraint(matrix.tocsr(), lower, upper),
+        integrality=integrality,
+        bounds=Bounds(var_lower, var_upper),
+        options={"time_limit": time_limit},
+    )
+    if not result.success:
+        raise ExactSolverError(f"MILP solver failed: {result.message}")
+
+    assignment: Dict[int, FrozenSet[int]] = {}
+    for pos, spec in enumerate(block_list):
+        holders = frozenset(
+            machine
+            for machine in range(machines)
+            if result.x[x_index(pos, machine)] > 0.5
+        )
+        assignment[spec.block_id] = holders
+    return ExactSolution(objective=float(result.x[lam]), assignment=assignment)
+
+
+def _factor_vectors(problem: PlacementProblem):
+    """Enumerate feasible replication-factor vectors for BP-Replicate."""
+    budget = problem.replication_budget
+    assert budget is not None
+    machines = problem.topology.num_machines
+    ranges = []
+    for spec in problem:
+        slack = budget - (problem.minimum_total_replicas() - spec.replication_factor)
+        top = min(machines, slack)
+        ranges.append(range(spec.replication_factor, top + 1))
+    count = 1
+    for factor_range in ranges:
+        count *= len(factor_range)
+        if count > _MAX_ENUMERATED_VECTORS:
+            raise ExactSolverError(
+                "BP-Replicate instance too large for exhaustive factor search"
+            )
+    for vector in itertools.product(*ranges):
+        if sum(vector) <= budget:
+            yield vector
+
+
+def solve_bp_replicate_exact(
+    problem: PlacementProblem, time_limit: float = 60.0
+) -> ExactSolution:
+    """Solve tiny BP-Replicate instances by exhaustive factor enumeration.
+
+    For every feasible factor vector the induced fixed-factor instance is
+    solved exactly; the best combination wins.  Exponential — intended for
+    validation only.
+    """
+    if problem.replication_budget is None:
+        raise InvalidProblemError("problem is not a BP-Replicate instance")
+    best: Optional[ExactSolution] = None
+    block_list = list(problem)
+    for vector in _factor_vectors(problem):
+        specs = tuple(
+            BlockSpec(
+                block_id=spec.block_id,
+                popularity=spec.popularity,
+                replication_factor=factor,
+                rack_spread=spec.rack_spread,
+            )
+            for spec, factor in zip(block_list, vector)
+        )
+        candidate_problem = PlacementProblem(
+            topology=problem.topology, blocks=specs, replication_budget=None
+        )
+        try:
+            solution = solve_exact(candidate_problem, time_limit=time_limit)
+        except ExactSolverError:
+            continue
+        if best is None or solution.objective < best.objective - 1e-12:
+            best = ExactSolution(
+                objective=solution.objective,
+                assignment=solution.assignment,
+                factors={
+                    spec.block_id: factor
+                    for spec, factor in zip(block_list, vector)
+                },
+            )
+    if best is None:
+        raise ExactSolverError("no feasible factor vector found")
+    return best
+
+
+def brute_force_bp_node(problem: PlacementProblem) -> ExactSolution:
+    """Exhaustive BP-Node solver (pure Python) for cross-checking the MILP.
+
+    Enumerates, block by block, every machine subset of size ``k_i``;
+    prunes on machine capacity and the incumbent objective.  Only viable
+    for a handful of blocks and machines.
+    """
+    machines = list(problem.topology.machines)
+    if problem.num_blocks > 8 or len(machines) > 8:
+        raise ExactSolverError("instance too large for brute force")
+    blocks = sorted(problem, key=lambda s: s.per_replica_popularity, reverse=True)
+    capacities = [problem.topology.capacity_of(m) for m in machines]
+    loads = [0.0] * len(machines)
+    used = [0] * len(machines)
+    best_objective = float("inf")
+    best_assignment: Dict[int, FrozenSet[int]] = {}
+    current: Dict[int, Tuple[int, ...]] = {}
+
+    def recurse(index: int) -> None:
+        nonlocal best_objective, best_assignment
+        if max(loads) >= best_objective - 1e-12:
+            return
+        if index == len(blocks):
+            best_objective = max(loads) if loads else 0.0
+            best_assignment = {
+                block_id: frozenset(holders) for block_id, holders in current.items()
+            }
+            return
+        spec = blocks[index]
+        share = spec.per_replica_popularity
+        for holders in itertools.combinations(machines, spec.replication_factor):
+            if any(used[m] + 1 > capacities[m] for m in holders):
+                continue
+            for m in holders:
+                loads[m] += share
+                used[m] += 1
+            current[spec.block_id] = holders
+            recurse(index + 1)
+            del current[spec.block_id]
+            for m in holders:
+                loads[m] -= share
+                used[m] -= 1
+
+    recurse(0)
+    if best_objective == float("inf"):
+        raise ExactSolverError("no feasible assignment exists")
+    return ExactSolution(objective=best_objective, assignment=best_assignment)

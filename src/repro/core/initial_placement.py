@@ -1,0 +1,144 @@
+"""Greedy initial block placement: Algorithm 4 of the paper.
+
+Aurora's block placement controller handles a freshly written block with a
+greedy rule:
+
+* if the block was written by a task, the first replica lands on the
+  writer's machine (HDFS's local-write rule); otherwise it lands on the
+  lowest-loaded machine in the lowest-loaded rack;
+* replicas ``2 .. rho_i`` go to the lowest-loaded machine of the next
+  lowest-loaded racks, one rack each, establishing the rack spread;
+* the remaining ``k_i - rho_i`` replicas go to the lowest-loaded machines
+  among the ``rho_i`` racks already chosen.
+
+Machines that are full or already hold the block are skipped; if a chosen
+rack cannot host a replica the next-lowest-loaded rack is used, so the
+placement degrades gracefully on nearly full clusters.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.instance import BlockSpec
+from repro.core.placement import PlacementState
+from repro.errors import CapacityExceededError
+
+__all__ = ["place_block", "place_all_blocks"]
+
+
+def _eligible_machine(
+    state: PlacementState, block_id: int, rack: int
+) -> Optional[int]:
+    """Lowest-loaded machine in ``rack`` that can accept the block."""
+    candidates = [
+        machine
+        for machine in state.topology.machines_in_rack(rack)
+        if state.can_add(block_id, machine)
+    ]
+    if not candidates:
+        return None
+    return min(candidates, key=state.load)
+
+
+def _racks_by_load(state: PlacementState, exclude: Sequence[int]) -> List[int]:
+    """Racks sorted by ascending total load, minus ``exclude``."""
+    excluded = set(exclude)
+    racks = [rack for rack in state.topology.racks if rack not in excluded]
+    racks.sort(key=state.rack_load)
+    return racks
+
+
+def place_block(
+    state: PlacementState,
+    spec: BlockSpec,
+    writer_machine: Optional[int] = None,
+) -> List[int]:
+    """Algorithm 4: place all ``k_i`` replicas of a new block.
+
+    ``writer_machine`` is the machine of the task that produced the block,
+    or ``None`` for an external write.  Returns the machines chosen, in
+    placement order.  Raises :class:`CapacityExceededError` if the cluster
+    cannot host all replicas.
+    """
+    block_id = spec.block_id
+    chosen: List[int] = []
+    chosen_racks: List[int] = []
+
+    # First replica: writer-local, or globally least-loaded machine in the
+    # least-loaded rack.
+    first: Optional[int] = None
+    if writer_machine is not None and state.can_add(block_id, writer_machine):
+        first = writer_machine
+    if first is None:
+        for rack in _racks_by_load(state, exclude=()):
+            first = _eligible_machine(state, block_id, rack)
+            if first is not None:
+                break
+    if first is None:
+        raise CapacityExceededError(
+            f"no machine can host the first replica of block {block_id}"
+        )
+    state.add_replica(block_id, first)
+    chosen.append(first)
+    chosen_racks.append(state.topology.rack_of[first])
+
+    # Replicas 2 .. rho_i: one per additional rack, ascending rack load.
+    while len(chosen_racks) < spec.rack_spread:
+        placed = False
+        for rack in _racks_by_load(state, exclude=chosen_racks):
+            machine = _eligible_machine(state, block_id, rack)
+            if machine is None:
+                continue
+            state.add_replica(block_id, machine)
+            chosen.append(machine)
+            chosen_racks.append(rack)
+            placed = True
+            break
+        if not placed:
+            raise CapacityExceededError(
+                f"cannot satisfy rack spread {spec.rack_spread} for block "
+                f"{block_id}: only {len(chosen_racks)} racks have space"
+            )
+
+    # Remaining replicas: lowest-loaded machines within the chosen racks,
+    # spilling into other racks only when the chosen ones are full.
+    while len(chosen) < spec.replication_factor:
+        candidates = []
+        for rack in chosen_racks:
+            machine = _eligible_machine(state, block_id, rack)
+            if machine is not None:
+                candidates.append(machine)
+        if not candidates:
+            for rack in _racks_by_load(state, exclude=chosen_racks):
+                machine = _eligible_machine(state, block_id, rack)
+                if machine is not None:
+                    candidates.append(machine)
+                    chosen_racks.append(rack)
+                    break
+        if not candidates:
+            raise CapacityExceededError(
+                f"cluster cannot host {spec.replication_factor} replicas of "
+                f"block {block_id}"
+            )
+        machine = min(candidates, key=state.load)
+        state.add_replica(block_id, machine)
+        chosen.append(machine)
+    return chosen
+
+
+def place_all_blocks(
+    state: PlacementState, writer_machines: Optional[dict] = None
+) -> None:
+    """Place every block of the state's problem with Algorithm 4.
+
+    ``writer_machines`` optionally maps block ids to the machine of the
+    producing task.  Blocks are placed in descending popularity order so
+    that hot blocks get first pick of the least-loaded machines.
+    """
+    writers = writer_machines or {}
+    specs = sorted(state.problem, key=lambda s: s.popularity, reverse=True)
+    for spec in specs:
+        if state.replica_count(spec.block_id) > 0:
+            continue
+        place_block(state, spec, writer_machine=writers.get(spec.block_id))

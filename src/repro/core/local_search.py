@@ -1,0 +1,287 @@
+"""Local-search load balancing: Algorithms 1 and 2 of the paper.
+
+* :func:`balance_node_level` implements **Algorithm 1** for BP-Node:
+  repeatedly take the highest- and lowest-loaded machines ``(m, n)`` and
+  perform a ``Move(m, i, n)`` or ``Swap(m, i, n, j)`` that improves the
+  solution, until no admissible operation exists.  With the
+  :class:`~repro.core.admissibility.AlwaysAdmissible` policy this is a
+  2-approximation (Theorem 2 / Corollary 3).
+* :func:`balance_rack_aware` implements **Algorithm 2** for BP-Rack: per
+  rack it balances the intra-rack extremes, and across rack pairs it
+  performs ``RackMove``/``RackSwap`` operations, giving a 4-approximation
+  (Theorem 4 / Corollary 5).  Operations never violate a block's
+  rack-spread requirement — feasibility is checked by the placement
+  state.
+
+Termination: every applied operation strictly reduces ``max(L_m, L_n)``
+of its endpoint pair, which strictly decreases the sum of squared machine
+loads; with finitely many configurations the search cannot cycle.  A
+``max_operations`` cap is still supported for Aurora's budgeted periodic
+runs (Algorithm 5).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.admissibility import AdmissibilityPolicy, AlwaysAdmissible
+from repro.core.operations import MoveOp, Operation, SwapOp
+from repro.core.placement import PlacementState
+
+__all__ = ["SearchStats", "balance_node_level", "balance_rack_aware"]
+
+_TOLERANCE = 1e-12
+
+
+@dataclass
+class SearchStats:
+    """Outcome of one local-search run.
+
+    ``converged`` is True when the search stopped because no admissible
+    operation existed (the paper's natural termination), False when it hit
+    the ``max_operations`` cap.
+    """
+
+    initial_cost: float
+    final_cost: float
+    iterations: int = 0
+    moves: int = 0
+    swaps: int = 0
+    cross_rack_moves: int = 0
+    cross_rack_swaps: int = 0
+    blocks_transferred: int = 0
+    converged: bool = False
+    operations: List[Operation] = field(default_factory=list)
+
+    @property
+    def total_operations(self) -> int:
+        """Moves plus swaps performed."""
+        return self.moves + self.swaps
+
+    def record(self, op: Operation, cross_rack: bool, log_operations: bool) -> None:
+        """Account one applied operation."""
+        if isinstance(op, MoveOp):
+            self.moves += 1
+            if cross_rack:
+                self.cross_rack_moves += 1
+        else:
+            self.swaps += 1
+            if cross_rack:
+                self.cross_rack_swaps += 1
+        self.blocks_transferred += op.blocks_touched
+        if log_operations:
+            self.operations.append(op)
+
+
+def _exclusive_blocks(
+    state: PlacementState, machine: int, other: int
+) -> List[Tuple[float, int]]:
+    """Blocks on ``machine`` but not on ``other``, as (share, id) pairs."""
+    other_blocks = state.blocks_on(other)
+    pairs = [
+        (state.share(block_id), block_id)
+        for block_id in state.blocks_on(machine)
+        if block_id not in other_blocks
+    ]
+    pairs.sort()
+    return pairs
+
+
+def _find_swap_partner(
+    state: PlacementState,
+    policy: AdmissibilityPolicy,
+    global_cost: float,
+    block_i: int,
+    share_i: float,
+    src: int,
+    dst: int,
+    dst_candidates: List[Tuple[float, int]],
+    gap: float,
+) -> Optional[SwapOp]:
+    """Best feasible, admissible swap partner for ``block_i`` on ``dst``.
+
+    A swap transfers net load ``share_i - share_j`` from ``src`` to
+    ``dst``; it strictly improves the pair cost iff ``share_j`` lies in
+    the open window ``(share_i - gap, share_i)``.  The pair cost after is
+    minimized at ``share_j = share_i - gap/2``, so candidates are probed
+    outward from that ideal value.
+    """
+    if not dst_candidates:
+        return None
+    ideal = share_i - gap / 2.0
+    lower = share_i - gap
+    center = bisect.bisect_left(dst_candidates, (ideal, -1))
+    left = center - 1
+    right = center
+    num = len(dst_candidates)
+    while left >= 0 or right < num:
+        candidates = []
+        if left >= 0:
+            candidates.append(dst_candidates[left])
+        if right < num:
+            candidates.append(dst_candidates[right])
+        # probe the candidate nearest the ideal share first
+        candidates.sort(key=lambda pair: abs(pair[0] - ideal))
+        for share_j, block_j in candidates:
+            if not lower + _TOLERANCE < share_j < share_i - _TOLERANCE:
+                continue
+            op = SwapOp(block_i=block_i, src=src, block_j=block_j, dst=dst)
+            if not op.is_feasible(state):
+                continue
+            outcome = op.outcome(state)
+            if policy.is_admissible(outcome, global_cost):
+                return op
+        if left >= 0 and dst_candidates[left][0] <= lower:
+            left = -1
+        else:
+            left -= 1
+        if right < num and dst_candidates[right][0] >= share_i:
+            right = num
+        else:
+            right += 1
+    return None
+
+
+def find_operation_between(
+    state: PlacementState,
+    src: int,
+    dst: int,
+    policy: AdmissibilityPolicy,
+    global_cost: float,
+) -> Optional[Operation]:
+    """Find an admissible ``Move`` or ``Swap`` from ``src`` towards ``dst``.
+
+    Blocks exclusive to ``src`` are tried in descending share order — the
+    paper's proofs reason about the most popular movable block first.
+    For each such block a direct move is attempted, then the best swap
+    partner on ``dst``.  Returns ``None`` when no admissible operation
+    exists between this machine pair.
+    """
+    load_src = state.load(src)
+    load_dst = state.load(dst)
+    gap = load_src - load_dst
+    if gap <= _TOLERANCE:
+        return None
+    src_blocks = _exclusive_blocks(state, src, dst)
+    dst_blocks = _exclusive_blocks(state, dst, src)
+    for share_i, block_i in reversed(src_blocks):
+        if share_i <= _TOLERANCE:
+            break
+        move = MoveOp(block=block_i, src=src, dst=dst)
+        if move.is_feasible(state):
+            outcome = move.outcome(state)
+            if policy.is_admissible(outcome, global_cost):
+                return move
+        swap = _find_swap_partner(
+            state,
+            policy,
+            global_cost,
+            block_i,
+            share_i,
+            src,
+            dst,
+            dst_blocks,
+            gap,
+        )
+        if swap is not None:
+            return swap
+    return None
+
+
+def balance_node_level(
+    state: PlacementState,
+    policy: Optional[AdmissibilityPolicy] = None,
+    max_operations: Optional[int] = None,
+    log_operations: bool = False,
+) -> SearchStats:
+    """Algorithm 1: balance loads with moves/swaps between extremes.
+
+    Mutates ``state`` in place and returns the run's
+    :class:`SearchStats`.  ``policy`` defaults to
+    :class:`~repro.core.admissibility.AlwaysAdmissible` (the verbatim
+    algorithm); pass an epsilon policy for Section IV's budgeted variant.
+    """
+    policy = policy or AlwaysAdmissible()
+    stats = SearchStats(initial_cost=state.cost(), final_cost=state.cost())
+    while max_operations is None or stats.total_operations < max_operations:
+        stats.iterations += 1
+        src = state.argmax_machine()
+        dst = state.argmin_machine()
+        op = find_operation_between(state, src, dst, policy, state.cost())
+        if op is None:
+            stats.converged = True
+            break
+        cross = op.is_cross_rack(state)
+        op.apply(state)
+        stats.record(op, cross, log_operations)
+    stats.final_cost = state.cost()
+    return stats
+
+
+def _rack_pairs_by_gap(state: PlacementState) -> List[Tuple[int, int]]:
+    """All ordered rack pairs, heaviest-to-lightest gaps first."""
+    racks = sorted(state.topology.racks, key=state.rack_load, reverse=True)
+    pairs = []
+    for i, src_rack in enumerate(racks):
+        for dst_rack in reversed(racks[i + 1 :]):
+            pairs.append((src_rack, dst_rack))
+    return pairs
+
+
+def _find_rack_aware_operation(
+    state: PlacementState, policy: AdmissibilityPolicy
+) -> Optional[Operation]:
+    """One admissible operation for Algorithm 2's combined search space."""
+    global_cost = state.cost()
+    # Intra-rack phase: balance the extremes of each rack, worst rack first.
+    intra = []
+    for rack in state.topology.racks:
+        high = state.argmax_machine_in_rack(rack)
+        low = state.argmin_machine_in_rack(rack)
+        gap = state.load(high) - state.load(low)
+        if gap > _TOLERANCE:
+            intra.append((gap, high, low))
+    intra.sort(reverse=True)
+    for _, high, low in intra:
+        op = find_operation_between(state, high, low, policy, global_cost)
+        if op is not None:
+            return op
+    # Inter-rack phase: RackMove / RackSwap between extreme machines of
+    # rack pairs, largest rack-load gaps first.
+    for src_rack, dst_rack in _rack_pairs_by_gap(state):
+        src = state.argmax_machine_in_rack(src_rack)
+        dst = state.argmin_machine_in_rack(dst_rack)
+        op = find_operation_between(state, src, dst, policy, global_cost)
+        if op is not None:
+            return op
+    return None
+
+
+def balance_rack_aware(
+    state: PlacementState,
+    policy: Optional[AdmissibilityPolicy] = None,
+    max_operations: Optional[int] = None,
+    log_operations: bool = False,
+) -> SearchStats:
+    """Algorithm 2: rack-aware balancing with all four operations.
+
+    Performs intra-rack moves/swaps between each rack's extremes and
+    inter-rack ``RackMove``/``RackSwap`` operations between rack pairs
+    until no admissible operation remains.  Every operation preserves each
+    block's rack-spread requirement ``rho_i``.
+    """
+    policy = policy or AlwaysAdmissible()
+    stats = SearchStats(initial_cost=state.cost(), final_cost=state.cost())
+    while max_operations is None or stats.total_operations < max_operations:
+        stats.iterations += 1
+        op = _find_rack_aware_operation(state, policy)
+        if op is None:
+            stats.converged = True
+            break
+        cross = op.is_cross_rack(state)
+        op.apply(state)
+        stats.record(op, cross, log_operations)
+    stats.final_cost = state.cost()
+    return stats

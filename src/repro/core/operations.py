@@ -1,0 +1,154 @@
+"""Local-search operations: ``Move``, ``Swap`` and their rack variants.
+
+The paper defines four operations (Sections III.A and III.B):
+
+* ``Move(m, i, n)`` — relocate one replica of block ``i`` from machine
+  ``m`` to machine ``n``;
+* ``Swap(m, i, n, j)`` — exchange a replica of ``i`` on ``m`` with a
+  replica of ``j`` on ``n``;
+* ``RackMove(r, m, i, t, n)`` / ``RackSwap(r, m, i, t, n, j)`` — the same
+  operations across racks ``r`` and ``t``.
+
+Structurally a rack move *is* a move whose endpoints sit in different
+racks, so we model all four with two dataclasses and expose
+:attr:`MoveOp.is_cross_rack` for statistics.  Each operation can be
+evaluated against a :class:`~repro.core.placement.PlacementState` without
+being applied: :meth:`MoveOp.outcome` returns the endpoint loads before and
+after, which admissibility policies consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.core.placement import PlacementState
+
+__all__ = ["MoveOp", "SwapOp", "Operation", "OperationOutcome"]
+
+
+@dataclass(frozen=True)
+class OperationOutcome:
+    """Endpoint loads of an operation, before and after applying it.
+
+    ``src`` is the higher-loaded machine the operation unloads; ``dst``
+    the machine receiving load.  ``pair_cost_before``/``after`` are the
+    max of the two endpoint loads, which is what the local search must
+    strictly reduce.
+    """
+
+    src_load_before: float
+    dst_load_before: float
+    src_load_after: float
+    dst_load_after: float
+
+    @property
+    def pair_cost_before(self) -> float:
+        """Max endpoint load before the operation."""
+        return max(self.src_load_before, self.dst_load_before)
+
+    @property
+    def pair_cost_after(self) -> float:
+        """Max endpoint load after the operation."""
+        return max(self.src_load_after, self.dst_load_after)
+
+    @property
+    def pair_gap_before(self) -> float:
+        """Absolute endpoint load gap before the operation."""
+        return abs(self.src_load_before - self.dst_load_before)
+
+    @property
+    def pair_gap_after(self) -> float:
+        """Absolute endpoint load gap after the operation."""
+        return abs(self.src_load_after - self.dst_load_after)
+
+    @property
+    def improves(self) -> bool:
+        """Whether the operation strictly reduces the pair cost.
+
+        A strictly improving operation also strictly reduces the sum of
+        squared machine loads, which is the potential-function argument
+        guaranteeing the local search terminates.
+        """
+        return self.pair_cost_after < self.pair_cost_before - 1e-12
+
+
+@dataclass(frozen=True)
+class MoveOp:
+    """``Move(src, block, dst)`` — also the paper's ``RackMove``."""
+
+    block: int
+    src: int
+    dst: int
+
+    def is_cross_rack(self, state: PlacementState) -> bool:
+        """Whether the endpoints are in different racks."""
+        return not state.topology.same_rack(self.src, self.dst)
+
+    def is_feasible(self, state: PlacementState) -> bool:
+        """Whether the move can legally be applied to ``state``."""
+        return state.can_move(self.block, self.src, self.dst)
+
+    def outcome(self, state: PlacementState) -> OperationOutcome:
+        """Endpoint loads before/after, without mutating the state."""
+        share = state.share(self.block)
+        src_load = state.load(self.src)
+        dst_load = state.load(self.dst)
+        return OperationOutcome(
+            src_load_before=src_load,
+            dst_load_before=dst_load,
+            src_load_after=src_load - share,
+            dst_load_after=dst_load + share,
+        )
+
+    def apply(self, state: PlacementState) -> None:
+        """Mutate ``state`` by performing the move."""
+        state.move(self.block, self.src, self.dst)
+
+    @property
+    def blocks_touched(self) -> int:
+        """Number of block replicas physically transferred (always 1)."""
+        return 1
+
+
+@dataclass(frozen=True)
+class SwapOp:
+    """``Swap(src, block_i, dst, block_j)`` — also the paper's ``RackSwap``."""
+
+    block_i: int
+    src: int
+    block_j: int
+    dst: int
+
+    def is_cross_rack(self, state: PlacementState) -> bool:
+        """Whether the endpoints are in different racks."""
+        return not state.topology.same_rack(self.src, self.dst)
+
+    def is_feasible(self, state: PlacementState) -> bool:
+        """Whether the swap can legally be applied to ``state``."""
+        return state.can_swap(self.block_i, self.src, self.block_j, self.dst)
+
+    def outcome(self, state: PlacementState) -> OperationOutcome:
+        """Endpoint loads before/after, without mutating the state."""
+        share_i = state.share(self.block_i)
+        share_j = state.share(self.block_j)
+        src_load = state.load(self.src)
+        dst_load = state.load(self.dst)
+        return OperationOutcome(
+            src_load_before=src_load,
+            dst_load_before=dst_load,
+            src_load_after=src_load - share_i + share_j,
+            dst_load_after=dst_load + share_i - share_j,
+        )
+
+    def apply(self, state: PlacementState) -> None:
+        """Mutate ``state`` by performing the swap."""
+        state.swap(self.block_i, self.src, self.block_j, self.dst)
+
+    @property
+    def blocks_touched(self) -> int:
+        """Number of block replicas physically transferred (always 2)."""
+        return 2
+
+
+Operation = Union[MoveOp, SwapOp]

@@ -1,0 +1,488 @@
+"""Mutable placement state with incremental load bookkeeping.
+
+:class:`PlacementState` tracks, for one :class:`~repro.core.instance.PlacementProblem`,
+which machines hold a replica of each block, and maintains derived
+quantities incrementally:
+
+* per-machine popularity load ``L_m = sum_i p_i x_im`` where the share is
+  ``p_i = P_i / (current replica count of i)`` — the paper's model in which
+  a block's popularity is divided evenly among its replicas;
+* per-rack total load;
+* per-block rack spread (number of distinct racks holding a replica);
+* per-machine used capacity.
+
+All local-search operations of the paper (``Move``, ``Swap``, ``RackMove``,
+``RackSwap``) and the replication-factor changes of Algorithm 5 reduce to
+:meth:`add_replica`, :meth:`remove_replica`, :meth:`move` and :meth:`swap`.
+
+Loads are floats updated incrementally; :meth:`recompute` rebuilds them
+from scratch and runs automatically every ``_RECOMPUTE_INTERVAL`` mutations
+to bound floating-point drift.  :meth:`audit` verifies every invariant and
+is used heavily by the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set
+
+import numpy as np
+
+from repro.core.instance import PlacementProblem
+from repro.errors import (
+    CapacityExceededError,
+    InfeasibleOperationError,
+    ReplicaConstraintError,
+    UnknownBlockError,
+)
+
+__all__ = ["PlacementState"]
+
+_RECOMPUTE_INTERVAL = 65536
+
+
+class PlacementState:
+    """Assignment of block replicas to machines, with incremental loads."""
+
+    def __init__(self, problem: PlacementProblem) -> None:
+        self.problem = problem
+        topo = problem.topology
+        self._machines_of: Dict[int, Set[int]] = {
+            spec.block_id: set() for spec in problem
+        }
+        self._blocks_on: List[Set[int]] = [set() for _ in topo.machines]
+        self._loads = np.zeros(topo.num_machines, dtype=np.float64)
+        self._rack_loads = np.zeros(topo.num_racks, dtype=np.float64)
+        self._rack_holders: Dict[int, Dict[int, int]] = {
+            spec.block_id: {} for spec in problem
+        }
+        self._mutations = 0
+
+    # -- basic queries -------------------------------------------------------
+
+    @property
+    def topology(self):
+        """The cluster topology of the underlying problem."""
+        return self.problem.topology
+
+    def machines_of(self, block_id: int) -> FrozenSet[int]:
+        """Machines currently holding a replica of ``block_id``."""
+        return frozenset(self._machines_for(block_id))
+
+    def blocks_on(self, machine: int) -> FrozenSet[int]:
+        """Blocks with a replica on ``machine``."""
+        self.topology.check_machine(machine)
+        return frozenset(self._blocks_on[machine])
+
+    def has_replica(self, block_id: int, machine: int) -> bool:
+        """Whether ``machine`` holds a replica of ``block_id``."""
+        return machine in self._machines_for(block_id)
+
+    def replica_count(self, block_id: int) -> int:
+        """Current number of replicas of ``block_id``."""
+        return len(self._machines_for(block_id))
+
+    def rack_spread(self, block_id: int) -> int:
+        """Number of distinct racks holding a replica of ``block_id``."""
+        return len(self._rack_holders_for(block_id))
+
+    def share(self, block_id: int) -> float:
+        """Per-replica popularity ``P_i / count`` with the current count.
+
+        Zero when the block currently has no replicas.
+        """
+        count = self.replica_count(block_id)
+        if count == 0:
+            return 0.0
+        return self.problem.block(block_id).popularity / count
+
+    def used_capacity(self, machine: int) -> int:
+        """Number of replicas currently stored on ``machine``."""
+        self.topology.check_machine(machine)
+        return len(self._blocks_on[machine])
+
+    def free_capacity(self, machine: int) -> int:
+        """Remaining block slots on ``machine``."""
+        return self.topology.capacity_of(machine) - self.used_capacity(machine)
+
+    def is_full(self, machine: int) -> bool:
+        """Whether ``machine`` has no free block slots."""
+        return self.free_capacity(machine) <= 0
+
+    # -- load queries ----------------------------------------------------------
+
+    def load(self, machine: int) -> float:
+        """Popularity-weighted load ``L_m`` of ``machine``."""
+        self.topology.check_machine(machine)
+        return float(self._loads[machine])
+
+    def loads(self) -> np.ndarray:
+        """Copy of the per-machine load vector."""
+        return self._loads.copy()
+
+    def cost(self) -> float:
+        """Objective value ``lambda = max_m L_m``."""
+        return float(self._loads.max())
+
+    def min_load(self) -> float:
+        """Smallest machine load in the cluster."""
+        return float(self._loads.min())
+
+    def argmax_machine(self) -> int:
+        """A machine with the highest load."""
+        return int(self._loads.argmax())
+
+    def argmin_machine(self) -> int:
+        """A machine with the lowest load."""
+        return int(self._loads.argmin())
+
+    def rack_load(self, rack: int) -> float:
+        """Total load of the machines in ``rack``."""
+        return float(self._rack_loads[rack])
+
+    def rack_loads(self) -> np.ndarray:
+        """Copy of the per-rack total load vector."""
+        return self._rack_loads.copy()
+
+    def argmax_machine_in_rack(self, rack: int) -> int:
+        """The highest-loaded machine within ``rack``."""
+        members = self.topology.machines_in_rack(rack)
+        return max(members, key=lambda m: self._loads[m])
+
+    def argmin_machine_in_rack(self, rack: int) -> int:
+        """The lowest-loaded machine within ``rack``."""
+        members = self.topology.machines_in_rack(rack)
+        return min(members, key=lambda m: self._loads[m])
+
+    # -- feasibility predicates --------------------------------------------------
+
+    def can_add(self, block_id: int, machine: int) -> bool:
+        """Whether a new replica of ``block_id`` fits on ``machine``.
+
+        True iff the machine has a free slot and does not already hold the
+        block (node-level fault tolerance: ``x_im`` is binary).
+        """
+        self.topology.check_machine(machine)
+        if self.has_replica(block_id, machine):
+            return False
+        return not self.is_full(machine)
+
+    def can_remove(self, block_id: int, machine: int, enforce_min: bool = True) -> bool:
+        """Whether a replica may be deleted from ``machine``.
+
+        With ``enforce_min`` the deletion must keep the block at or above
+        its node-level replication factor and rack spread requirement.
+        """
+        if not self.has_replica(block_id, machine):
+            return False
+        if not enforce_min:
+            return True
+        spec = self.problem.block(block_id)
+        if self.replica_count(block_id) - 1 < spec.replication_factor:
+            return False
+        return self._spread_after_remove(block_id, machine) >= spec.rack_spread
+
+    def can_move(self, block_id: int, src: int, dst: int) -> bool:
+        """Whether ``Move(src, block, dst)`` is feasible.
+
+        Feasible iff ``src`` holds the block, ``dst`` does not, ``dst`` has
+        a free slot, and the block's rack spread stays at or above
+        ``rho_i`` after the move.
+        """
+        if src == dst:
+            return False
+        if not self.has_replica(block_id, src):
+            return False
+        if not self.can_add(block_id, dst):
+            return False
+        return self._spread_after_move(block_id, src, dst) >= self.problem.block(
+            block_id
+        ).rack_spread
+
+    def can_swap(self, block_i: int, machine_m: int, block_j: int, machine_n: int) -> bool:
+        """Whether ``Swap(m, i, n, j)`` is feasible.
+
+        Swapping exchanges one replica of ``block_i`` on ``machine_m`` with
+        one replica of ``block_j`` on ``machine_n``; capacities are
+        unaffected, but both blocks must remain single-copy per machine and
+        keep their rack spreads.
+        """
+        if machine_m == machine_n or block_i == block_j:
+            return False
+        if not self.has_replica(block_i, machine_m):
+            return False
+        if not self.has_replica(block_j, machine_n):
+            return False
+        if self.has_replica(block_i, machine_n) or self.has_replica(block_j, machine_m):
+            return False
+        spec_i = self.problem.block(block_i)
+        spec_j = self.problem.block(block_j)
+        if self._spread_after_move(block_i, machine_m, machine_n) < spec_i.rack_spread:
+            return False
+        return (
+            self._spread_after_move(block_j, machine_n, machine_m)
+            >= spec_j.rack_spread
+        )
+
+    # -- mutations ---------------------------------------------------------------
+
+    def add_replica(self, block_id: int, machine: int) -> None:
+        """Create a replica of ``block_id`` on ``machine``.
+
+        Adding a replica dilutes the block's per-replica popularity from
+        ``P/c`` to ``P/(c+1)``, so the load of every existing holder drops.
+        """
+        if not self.can_add(block_id, machine):
+            if self.has_replica(block_id, machine):
+                raise ReplicaConstraintError(
+                    f"machine {machine} already holds block {block_id}"
+                )
+            raise CapacityExceededError(f"machine {machine} is full")
+        machines = self._machines_for(block_id)
+        popularity = self.problem.block(block_id).popularity
+        old_count = len(machines)
+        if old_count:
+            dilution = popularity / old_count - popularity / (old_count + 1)
+            for holder in machines:
+                self._shift_load(holder, -dilution)
+        machines.add(machine)
+        self._blocks_on[machine].add(block_id)
+        self._shift_load(machine, popularity / (old_count + 1))
+        rack = self.topology.rack_of[machine]
+        holders = self._rack_holders_for(block_id)
+        holders[rack] = holders.get(rack, 0) + 1
+        self._tick()
+
+    def remove_replica(
+        self, block_id: int, machine: int, enforce_min: bool = True
+    ) -> None:
+        """Delete the replica of ``block_id`` stored on ``machine``.
+
+        Removal concentrates the block's popularity on the survivors.  Set
+        ``enforce_min=False`` to bypass the replication-factor and
+        rack-spread checks (used when simulating failures and lazy
+        deletion).
+        """
+        if not self.can_remove(block_id, machine, enforce_min=enforce_min):
+            if not self.has_replica(block_id, machine):
+                raise ReplicaConstraintError(
+                    f"machine {machine} does not hold block {block_id}"
+                )
+            raise ReplicaConstraintError(
+                f"removing block {block_id} from machine {machine} would "
+                "violate its replication or rack-spread requirement"
+            )
+        machines = self._machines_for(block_id)
+        popularity = self.problem.block(block_id).popularity
+        old_count = len(machines)
+        machines.discard(machine)
+        self._blocks_on[machine].discard(block_id)
+        self._shift_load(machine, -popularity / old_count)
+        new_count = old_count - 1
+        if new_count:
+            concentration = popularity / new_count - popularity / old_count
+            for holder in machines:
+                self._shift_load(holder, concentration)
+        rack = self.topology.rack_of[machine]
+        holders = self._rack_holders_for(block_id)
+        holders[rack] -= 1
+        if holders[rack] == 0:
+            del holders[rack]
+        self._tick()
+
+    def move(self, block_id: int, src: int, dst: int) -> None:
+        """Apply ``Move(src, block, dst)``: relocate one replica.
+
+        The replica count is unchanged, so only the two machines' loads
+        shift by the block's share.
+        """
+        if not self.can_move(block_id, src, dst):
+            raise InfeasibleOperationError(
+                f"Move(block={block_id}, src={src}, dst={dst}) is infeasible"
+            )
+        share = self.share(block_id)
+        self._machines_for(block_id).discard(src)
+        self._machines_for(block_id).add(dst)
+        self._blocks_on[src].discard(block_id)
+        self._blocks_on[dst].add(block_id)
+        self._shift_load(src, -share)
+        self._shift_load(dst, share)
+        self._transfer_rack_holder(block_id, src, dst)
+        self._tick()
+
+    def swap(self, block_i: int, machine_m: int, block_j: int, machine_n: int) -> None:
+        """Apply ``Swap(m, i, n, j)``: exchange two replicas across machines."""
+        if not self.can_swap(block_i, machine_m, block_j, machine_n):
+            raise InfeasibleOperationError(
+                f"Swap(m={machine_m}, i={block_i}, n={machine_n}, j={block_j}) "
+                "is infeasible"
+            )
+        share_i = self.share(block_i)
+        share_j = self.share(block_j)
+        self._machines_for(block_i).discard(machine_m)
+        self._machines_for(block_i).add(machine_n)
+        self._machines_for(block_j).discard(machine_n)
+        self._machines_for(block_j).add(machine_m)
+        self._blocks_on[machine_m].discard(block_i)
+        self._blocks_on[machine_m].add(block_j)
+        self._blocks_on[machine_n].discard(block_j)
+        self._blocks_on[machine_n].add(block_i)
+        self._shift_load(machine_m, share_j - share_i)
+        self._shift_load(machine_n, share_i - share_j)
+        self._transfer_rack_holder(block_i, machine_m, machine_n)
+        self._transfer_rack_holder(block_j, machine_n, machine_m)
+        self._tick()
+
+    # -- bulk helpers -------------------------------------------------------------
+
+    def copy(self) -> "PlacementState":
+        """Deep copy of the state (shares the immutable problem)."""
+        clone = PlacementState(self.problem)
+        for block_id, machines in self._machines_of.items():
+            clone._machines_of[block_id] = set(machines)
+        clone._blocks_on = [set(blocks) for blocks in self._blocks_on]
+        clone._loads = self._loads.copy()
+        clone._rack_loads = self._rack_loads.copy()
+        clone._rack_holders = {
+            block_id: dict(holders)
+            for block_id, holders in self._rack_holders.items()
+        }
+        return clone
+
+    def to_assignment(self) -> Dict[int, FrozenSet[int]]:
+        """Snapshot mapping each block id to its holder set."""
+        return {
+            block_id: frozenset(machines)
+            for block_id, machines in self._machines_of.items()
+        }
+
+    @classmethod
+    def from_assignment(
+        cls, problem: PlacementProblem, assignment: Mapping[int, Iterable[int]]
+    ) -> "PlacementState":
+        """Rebuild a state from a block-to-machines mapping."""
+        state = cls(problem)
+        for block_id, machines in assignment.items():
+            for machine in machines:
+                state.add_replica(block_id, machine)
+        return state
+
+    def recompute(self) -> None:
+        """Rebuild loads from scratch, clearing floating-point drift."""
+        self._loads[:] = 0.0
+        self._rack_loads[:] = 0.0
+        rack_of = self.topology.rack_of
+        for block_id, machines in self._machines_of.items():
+            if not machines:
+                continue
+            share = self.problem.block(block_id).popularity / len(machines)
+            for machine in machines:
+                self._loads[machine] += share
+                self._rack_loads[rack_of[machine]] += share
+
+    def is_fully_replicated(self) -> bool:
+        """Whether every block meets its node and rack requirements."""
+        for spec in self.problem:
+            if self.replica_count(spec.block_id) < spec.replication_factor:
+                return False
+            if self.rack_spread(spec.block_id) < spec.rack_spread:
+                return False
+        return True
+
+    def under_replicated_blocks(self) -> List[int]:
+        """Blocks with fewer replicas than their replication factor."""
+        return [
+            spec.block_id
+            for spec in self.problem
+            if self.replica_count(spec.block_id) < spec.replication_factor
+        ]
+
+    def audit(self) -> None:
+        """Verify every structural invariant; raise ``AssertionError`` on drift.
+
+        Checks the forward and reverse replica indexes agree, capacities
+        are respected, rack holder counters are exact, and incremental
+        loads match a from-scratch recomputation.
+        """
+        for block_id, machines in self._machines_of.items():
+            for machine in machines:
+                assert block_id in self._blocks_on[machine], (
+                    f"index mismatch: block {block_id} missing on machine {machine}"
+                )
+        for machine, blocks in enumerate(self._blocks_on):
+            assert len(blocks) <= self.topology.capacity_of(machine), (
+                f"machine {machine} over capacity"
+            )
+            for block_id in blocks:
+                assert machine in self._machines_of[block_id], (
+                    f"reverse index mismatch: machine {machine}, block {block_id}"
+                )
+        for block_id, machines in self._machines_of.items():
+            expected: Dict[int, int] = {}
+            for machine in machines:
+                rack = self.topology.rack_of[machine]
+                expected[rack] = expected.get(rack, 0) + 1
+            assert expected == self._rack_holders[block_id], (
+                f"rack holder drift for block {block_id}"
+            )
+        snapshot = self._loads.copy()
+        rack_snapshot = self._rack_loads.copy()
+        self.recompute()
+        assert np.allclose(snapshot, self._loads, atol=1e-6), "machine load drift"
+        assert np.allclose(rack_snapshot, self._rack_loads, atol=1e-6), (
+            "rack load drift"
+        )
+
+    # -- internals -----------------------------------------------------------------
+
+    def _machines_for(self, block_id: int) -> Set[int]:
+        try:
+            return self._machines_of[block_id]
+        except KeyError:
+            raise UnknownBlockError(f"unknown block id {block_id}") from None
+
+    def _rack_holders_for(self, block_id: int) -> Dict[int, int]:
+        try:
+            return self._rack_holders[block_id]
+        except KeyError:
+            raise UnknownBlockError(f"unknown block id {block_id}") from None
+
+    def _shift_load(self, machine: int, delta: float) -> None:
+        self._loads[machine] += delta
+        self._rack_loads[self.topology.rack_of[machine]] += delta
+
+    def _transfer_rack_holder(self, block_id: int, src: int, dst: int) -> None:
+        src_rack = self.topology.rack_of[src]
+        dst_rack = self.topology.rack_of[dst]
+        if src_rack == dst_rack:
+            return
+        holders = self._rack_holders_for(block_id)
+        holders[src_rack] -= 1
+        if holders[src_rack] == 0:
+            del holders[src_rack]
+        holders[dst_rack] = holders.get(dst_rack, 0) + 1
+
+    def _spread_after_remove(self, block_id: int, machine: int) -> int:
+        holders = self._rack_holders_for(block_id)
+        rack = self.topology.rack_of[machine]
+        spread = len(holders)
+        if holders.get(rack, 0) == 1:
+            spread -= 1
+        return spread
+
+    def _spread_after_move(self, block_id: int, src: int, dst: int) -> int:
+        holders = self._rack_holders_for(block_id)
+        src_rack = self.topology.rack_of[src]
+        dst_rack = self.topology.rack_of[dst]
+        if src_rack == dst_rack:
+            return len(holders)
+        spread = len(holders)
+        if holders.get(src_rack, 0) == 1:
+            spread -= 1
+        if holders.get(dst_rack, 0) == 0:
+            spread += 1
+        return spread
+
+    def _tick(self) -> None:
+        self._mutations += 1
+        if self._mutations % _RECOMPUTE_INTERVAL == 0:
+            self.recompute()

@@ -1,0 +1,120 @@
+"""LP relaxation of BP-Node: integrality-gap measurement.
+
+Relaxing the binary placement variables ``x_im`` to ``[0, 1]`` turns
+BP-Node into a linear program whose optimum lower-bounds the integral
+one.  Because a fractional solution may split a block's popularity
+across machines, the LP bound typically equals the average-load bound
+and sits *below* the ``p_max`` share bound — which is exactly why the
+paper's guarantee carries an additive ``p_max`` term: the empirical
+integrality gap ``OPT / LP`` quantifies how much of the hardness is
+integrality rather than load mass.  :func:`certified_lower_bound`
+therefore takes the max over all available bounds.
+
+Solved with scipy's HiGHS ``linprog`` backend; guarded by a size limit
+since the variable count is ``|B| * |M|``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import linprog
+from scipy.sparse import lil_matrix
+
+from repro.core.bounds import combined_lower_bound
+from repro.core.instance import PlacementProblem, ProblemVariant
+from repro.errors import InvalidProblemError, ReproError
+
+__all__ = ["lp_lower_bound", "certified_lower_bound"]
+
+_MAX_LP_VARIABLES = 200_000
+
+
+class RelaxationError(ReproError):
+    """The LP relaxation failed or the instance exceeds the size limit."""
+
+
+def lp_lower_bound(problem: PlacementProblem) -> float:
+    """Optimal value of BP-Node's LP relaxation (a valid lower bound).
+
+    Variables: fractional ``x_im`` in ``[0, 1]`` plus the makespan
+    ``lambda``; constraints mirror the ILP with integrality dropped.
+    Only fixed-factor instances are supported (for BP-Replicate, build
+    the instance with the factors chosen by Algorithm 3 first).
+    """
+    if problem.variant() is ProblemVariant.BP_REPLICATE:
+        raise InvalidProblemError(
+            "lp_lower_bound handles fixed-factor instances; fix the "
+            "factors (e.g. via Algorithm 3) first"
+        )
+    num_blocks = problem.num_blocks
+    machines = problem.topology.num_machines
+    if num_blocks == 0:
+        return 0.0
+    num_vars = num_blocks * machines + 1
+    if num_vars > _MAX_LP_VARIABLES:
+        raise RelaxationError(
+            f"instance too large for the LP relaxation ({num_vars} vars)"
+        )
+    lam = num_vars - 1
+    blocks = list(problem)
+
+    def x_index(pos: int, machine: int) -> int:
+        return pos * machines + machine
+
+    objective = np.zeros(num_vars)
+    objective[lam] = 1.0
+
+    # Inequalities: load rows (<= 0 after moving lambda) and capacities.
+    num_ineq = machines * 2
+    a_ub = lil_matrix((num_ineq, num_vars))
+    b_ub = np.zeros(num_ineq)
+    row = 0
+    for machine in range(machines):
+        for pos, spec in enumerate(blocks):
+            a_ub[row, x_index(pos, machine)] = spec.per_replica_popularity
+        a_ub[row, lam] = -1.0
+        b_ub[row] = 0.0
+        row += 1
+    for machine in range(machines):
+        for pos in range(num_blocks):
+            a_ub[row, x_index(pos, machine)] = 1.0
+        b_ub[row] = problem.topology.capacity_of(machine)
+        row += 1
+
+    # Equalities: each block places exactly k_i fractional copies.
+    a_eq = lil_matrix((num_blocks, num_vars))
+    b_eq = np.zeros(num_blocks)
+    for pos, spec in enumerate(blocks):
+        for machine in range(machines):
+            a_eq[pos, x_index(pos, machine)] = 1.0
+        b_eq[pos] = spec.replication_factor
+
+    bounds = [(0.0, 1.0)] * (num_vars - 1) + [(0.0, None)]
+    result = linprog(
+        c=objective,
+        A_ub=a_ub.tocsr(),
+        b_ub=b_ub,
+        A_eq=a_eq.tocsr(),
+        b_eq=b_eq,
+        bounds=bounds,
+        method="highs",
+    )
+    if not result.success:
+        raise RelaxationError(f"LP solver failed: {result.message}")
+    return float(result.fun)
+
+
+def certified_lower_bound(problem: PlacementProblem) -> float:
+    """The best certified lower bound available for the instance.
+
+    The max of the closed-form bounds and (when the instance is small
+    enough and has fixed factors) the LP relaxation.
+    """
+    best = combined_lower_bound(problem)
+    if problem.variant() is ProblemVariant.BP_REPLICATE:
+        return best
+    try:
+        best = max(best, lp_lower_bound(problem))
+    except RelaxationError:
+        pass
+    return best

@@ -1,0 +1,296 @@
+"""Replication-factor computation: Algorithm 3 / the Rep-Factor program.
+
+Given block popularities ``P_i``, minimum factors ``k_low_i``, the machine
+count ``|M|`` and a global replication budget ``beta``, the Rep-Factor
+program chooses integer replication factors ``k_i`` minimizing the maximum
+per-replica popularity ``max_i P_i / k_i``.
+
+Algorithm 3 of the paper solves Rep-Factor optimally (Theorem 8) by greedy
+water-filling: repeatedly take the block with the highest per-replica
+popularity and give it one more replica — either from unused budget, or by
+stealing a replica from a block ``l`` whose per-replica popularity after
+the steal, ``P_l / (k_l - 1)``, does not exceed the current maximum.
+
+Implementation notes
+--------------------
+* The steal is only performed when it *strictly* lowers the donor below
+  the current maximum; at equality the maximum provably cannot be reduced
+  further (the optimality condition in the proof of Theorem 8), so the
+  algorithm stops.  This guard also guarantees termination: each steal
+  strictly shrinks the multiset of shares at the current maximum.
+* Factors are capped at ``|M|`` (a block cannot have two replicas on one
+  machine).
+* :func:`verify_optimal_factors` checks the optimality certificate and is
+  used by the tests.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence
+
+from repro.core.instance import PlacementProblem
+from repro.errors import InvalidProblemError
+
+__all__ = [
+    "RepFactorResult",
+    "compute_replication_factors",
+    "factors_for_problem",
+    "verify_optimal_factors",
+    "max_share",
+]
+
+
+@dataclass(frozen=True)
+class RepFactorResult:
+    """Solution of the Rep-Factor program.
+
+    ``factors`` maps block id to the chosen ``k_i``; ``iterations`` counts
+    the greedy steps (grants plus steals) performed, which Algorithm 5
+    caps at ``K``.
+    """
+
+    factors: Dict[int, int]
+    max_share: float
+    iterations: int
+    budget_used: int
+    exhausted_budget: bool
+
+
+def max_share(popularities: Mapping[int, float], factors: Mapping[int, int]) -> float:
+    """Maximum per-replica popularity ``max_i P_i / k_i`` of an allocation."""
+    if not popularities:
+        return 0.0
+    return max(popularities[i] / factors[i] for i in popularities)
+
+
+def compute_replication_factors(
+    popularities: Mapping[int, float],
+    min_factors: Mapping[int, int],
+    budget: int,
+    num_machines: int,
+    initial_factors: Optional[Mapping[int, int]] = None,
+    max_iterations: Optional[int] = None,
+) -> RepFactorResult:
+    """Algorithm 3: optimal replication factors under a global budget.
+
+    Parameters
+    ----------
+    popularities:
+        ``P_i`` per block id.
+    min_factors:
+        ``k_low_i`` per block id (node-level reliability requirement).
+    budget:
+        ``beta`` — upper bound on ``sum_i k_i``.
+    num_machines:
+        ``|M|`` — upper bound on each ``k_i``.
+    initial_factors:
+        Starting factors (e.g. the currently deployed ones, for Aurora's
+        incremental periods).  Defaults to the minimum factors.  Values
+        are clamped into ``[k_low_i, |M|]``.
+    max_iterations:
+        Optional cap ``K`` on greedy steps, Algorithm 5's
+        reconfiguration budget.  When hit, the result is feasible but may
+        be sub-optimal (``exhausted_budget`` stays meaningful).
+    """
+    block_ids = list(popularities)
+    if set(min_factors) != set(block_ids):
+        raise InvalidProblemError("popularities and min_factors must share keys")
+    min_total = sum(min_factors.values())
+    if budget < min_total:
+        raise InvalidProblemError(
+            f"budget {budget} below the minimum replica total {min_total}"
+        )
+    for block_id in block_ids:
+        if min_factors[block_id] < 1:
+            raise InvalidProblemError(f"block {block_id}: min factor must be >= 1")
+        if min_factors[block_id] > num_machines:
+            raise InvalidProblemError(
+                f"block {block_id}: min factor exceeds machine count"
+            )
+        if popularities[block_id] < 0:
+            raise InvalidProblemError(
+                f"block {block_id}: popularity must be non-negative"
+            )
+
+    factors: Dict[int, int] = {}
+    for block_id in block_ids:
+        start = (initial_factors or min_factors).get(block_id, min_factors[block_id])
+        factors[block_id] = max(min_factors[block_id], min(int(start), num_machines))
+    used = sum(factors.values())
+    if used > budget:
+        # Trim the lowest-share blocks back towards their minima until the
+        # starting point is feasible.
+        trim_order = sorted(
+            block_ids, key=lambda b: popularities[b] / factors[b]
+        )
+        for block_id in trim_order:
+            while used > budget and factors[block_id] > min_factors[block_id]:
+                factors[block_id] -= 1
+                used -= 1
+        if used > budget:
+            raise InvalidProblemError("initial factors cannot fit the budget")
+
+    # Max-heap on per-replica popularity (receiver side); lazily refreshed.
+    def share(block_id: int) -> float:
+        return popularities[block_id] / factors[block_id]
+
+    receiver_heap = [(-share(b), b, factors[b]) for b in block_ids]
+    heapq.heapify(receiver_heap)
+    # Min-heap of donor shares after a hypothetical steal.
+    donor_heap = [
+        (popularities[b] / (factors[b] - 1), b, factors[b])
+        for b in block_ids
+        if factors[b] > min_factors[b]
+    ]
+    heapq.heapify(donor_heap)
+
+    iterations = 0
+    while max_iterations is None or iterations < max_iterations:
+        # Pop the highest-share block that can still receive a replica,
+        # skipping stale entries.  Blocks at the machine cap (or with
+        # zero popularity) are dropped from consideration: the paper's
+        # Lemma 7 lets the leftover budget flow to the next-hottest
+        # blocks without affecting optimality.
+        receiver = None
+        while receiver_heap:
+            neg_share, block_id, stamp = heapq.heappop(receiver_heap)
+            if stamp != factors[block_id]:
+                continue
+            if factors[block_id] >= num_machines or neg_share == 0.0:
+                continue
+            receiver = block_id
+            break
+        if receiver is None:
+            break
+        current_max = share(receiver)
+        if used < budget:
+            factors[receiver] += 1
+            used += 1
+            iterations += 1
+            _push_block(receiver_heap, donor_heap, popularities, min_factors,
+                        factors, receiver)
+            continue
+        # Budget exhausted: steal from the donor with the smallest
+        # post-steal share, provided that share stays strictly below the
+        # current maximum.
+        donor = None
+        while donor_heap:
+            post_share, block_id, stamp = heapq.heappop(donor_heap)
+            if stamp != factors[block_id] or factors[block_id] <= min_factors[block_id]:
+                continue
+            if block_id == receiver:
+                # A block never donates to itself; re-queue and look deeper.
+                requeue = (post_share, block_id, stamp)
+                donor = _pop_second_donor(donor_heap, factors, min_factors)
+                heapq.heappush(donor_heap, requeue)
+                break
+            donor = (post_share, block_id)
+            break
+        if donor is None:
+            heapq.heappush(
+                receiver_heap, (-current_max, receiver, factors[receiver])
+            )
+            break
+        post_share, donor_id = donor
+        if post_share >= current_max:
+            # Optimality certificate (Theorem 8): every possible steal
+            # raises some block to at least the current maximum.
+            heapq.heappush(receiver_heap, (-current_max, receiver, factors[receiver]))
+            heapq.heappush(donor_heap, (post_share, donor_id, factors[donor_id]))
+            break
+        factors[donor_id] -= 1
+        factors[receiver] += 1
+        iterations += 1
+        _push_block(receiver_heap, donor_heap, popularities, min_factors,
+                    factors, donor_id)
+        _push_block(receiver_heap, donor_heap, popularities, min_factors,
+                    factors, receiver)
+
+    return RepFactorResult(
+        factors=factors,
+        max_share=max_share(popularities, factors),
+        iterations=iterations,
+        budget_used=used,
+        exhausted_budget=used >= budget,
+    )
+
+
+def _push_block(receiver_heap, donor_heap, popularities, min_factors, factors,
+                block_id) -> None:
+    """Refresh both heaps after ``block_id``'s factor changed."""
+    count = factors[block_id]
+    heapq.heappush(receiver_heap, (-(popularities[block_id] / count), block_id, count))
+    if count > min_factors[block_id]:
+        heapq.heappush(
+            donor_heap, (popularities[block_id] / (count - 1), block_id, count)
+        )
+
+
+def _pop_second_donor(donor_heap, factors, min_factors):
+    """Next valid donor after skipping the heap head, or ``None``."""
+    while donor_heap:
+        post_share, block_id, stamp = heapq.heappop(donor_heap)
+        if stamp != factors[block_id] or factors[block_id] <= min_factors[block_id]:
+            continue
+        return (post_share, block_id)
+    return None
+
+
+def factors_for_problem(
+    problem: PlacementProblem,
+    initial_factors: Optional[Mapping[int, int]] = None,
+    max_iterations: Optional[int] = None,
+) -> RepFactorResult:
+    """Run Algorithm 3 on a BP-Replicate problem instance."""
+    if problem.replication_budget is None:
+        raise InvalidProblemError(
+            "problem has no replication budget; Rep-Factor applies to "
+            "BP-Replicate instances only"
+        )
+    popularities = {spec.block_id: spec.popularity for spec in problem}
+    min_factors = {spec.block_id: spec.replication_factor for spec in problem}
+    return compute_replication_factors(
+        popularities,
+        min_factors,
+        budget=problem.replication_budget,
+        num_machines=problem.topology.num_machines,
+        initial_factors=initial_factors,
+        max_iterations=max_iterations,
+    )
+
+
+def verify_optimal_factors(
+    popularities: Mapping[int, float],
+    min_factors: Mapping[int, int],
+    factors: Mapping[int, int],
+    budget: int,
+    num_machines: int,
+    tolerance: float = 1e-9,
+) -> bool:
+    """Check Algorithm 3's optimality certificate.
+
+    An allocation is optimal iff the max-share block cannot be granted a
+    replica from spare budget, and every steal from another block would
+    raise that donor to at least the current maximum.
+    """
+    current = max_share(popularities, factors)
+    if current == 0.0:
+        return True
+    top_blocks = [
+        b for b in popularities
+        if abs(popularities[b] / factors[b] - current) <= tolerance
+    ]
+    used = sum(factors.values())
+    for top in top_blocks:
+        if factors[top] >= num_machines:
+            continue
+        if used < budget:
+            return False
+        for donor in popularities:
+            if donor == top or factors[donor] <= min_factors[donor]:
+                continue
+            if popularities[donor] / (factors[donor] - 1) < current - tolerance:
+                return False
+    return True

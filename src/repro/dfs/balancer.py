@@ -1,0 +1,124 @@
+"""The stock HDFS balancer: equalizes *disk usage*, not load.
+
+"While HDFS does provide a balancer tool, its purpose is to balance disk
+usage rather than machine load."  This is the baseline Aurora's
+load-aware balancing is contrasted with: it iteratively moves blocks from
+over-utilized to under-utilized datanodes until every node's disk
+utilization is within ``threshold`` of the cluster mean, ignoring block
+popularity entirely.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.dfs.namenode import Namenode
+from repro.errors import DfsError
+
+__all__ = ["Balancer", "BalancerReport"]
+
+
+@dataclass
+class BalancerReport:
+    """Outcome of one balancer run."""
+
+    moves_attempted: int = 0
+    moves_started: int = 0
+    iterations: int = 0
+    converged: bool = False
+
+    def describe(self) -> str:
+        """One-line summary for logs."""
+        status = "converged" if self.converged else "stopped"
+        return (
+            f"balancer {status} after {self.iterations} iterations, "
+            f"{self.moves_started}/{self.moves_attempted} moves started"
+        )
+
+
+class Balancer:
+    """Iterative disk-usage balancer over a namenode."""
+
+    def __init__(
+        self,
+        namenode: Namenode,
+        threshold: float = 0.1,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if not 0 < threshold < 1:
+            raise DfsError("threshold must be in (0, 1)")
+        self.namenode = namenode
+        self.threshold = threshold
+        self._rng = rng or random.Random(0)
+
+    def utilization(self, node: int) -> float:
+        """Disk utilization of ``node``."""
+        return self.namenode.datanodes[node].disk_utilization
+
+    def mean_utilization(self) -> float:
+        """Average utilization over live datanodes."""
+        live = sorted(self.namenode.live_nodes())
+        if not live:
+            return 0.0
+        return sum(self.utilization(n) for n in live) / len(live)
+
+    def over_utilized(self) -> List[int]:
+        """Live nodes above ``mean + threshold``."""
+        mean = self.mean_utilization()
+        return [
+            n for n in sorted(self.namenode.live_nodes())
+            if self.utilization(n) > mean + self.threshold
+        ]
+
+    def under_utilized(self) -> List[int]:
+        """Live nodes below ``mean - threshold``."""
+        mean = self.mean_utilization()
+        return [
+            n for n in sorted(self.namenode.live_nodes())
+            if self.utilization(n) < mean - self.threshold
+        ]
+
+    def run(self, max_moves: int = 1000) -> BalancerReport:
+        """Move blocks until utilizations converge or the cap is hit.
+
+        Moves are make-before-break via :meth:`Namenode.move_block`, so
+        replication and rack-spread guarantees hold throughout.
+        """
+        report = BalancerReport()
+        while report.moves_started < max_moves:
+            report.iterations += 1
+            over = self.over_utilized()
+            under = self.under_utilized()
+            if not over and not under:
+                report.converged = True
+                break
+            mean = self.mean_utilization()
+            live = sorted(self.namenode.live_nodes())
+            # Like the real balancer, pair over-utilized nodes with any
+            # below-average node (and under-utilized ones with any
+            # above-average node) once the strict categories run dry.
+            sources = over or [n for n in live if self.utilization(n) > mean]
+            receivers = under or [n for n in live if self.utilization(n) < mean]
+            if not sources or not receivers:
+                break
+            source = max(sources, key=self.utilization)
+            progressed = False
+            candidates = list(self.namenode.blockmap.blocks_on(source))
+            self._rng.shuffle(candidates)
+            targets = sorted(receivers, key=self.utilization)
+            for block_id in candidates:
+                for target in targets:
+                    report.moves_attempted += 1
+                    if self.namenode.move_block(block_id, source, target):
+                        report.moves_started += 1
+                        progressed = True
+                        break
+                if progressed:
+                    break
+            if not progressed:
+                # Nothing movable off the worst node: give up to avoid
+                # spinning (e.g. every block pinned by rack spread).
+                break
+        return report

@@ -1,0 +1,71 @@
+"""Block and file metadata for the DFS simulator.
+
+HDFS partitions each file into fixed-size blocks (64 MB by default);
+"except the last block, every block in a file has the size equal to the
+maximum block size".  :class:`BlockMeta` carries a block's identity,
+size and replication targets; :class:`FileMeta` groups a file's blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.errors import InvalidProblemError
+
+__all__ = ["BlockMeta", "FileMeta", "DEFAULT_MAX_BLOCK_SIZE"]
+
+DEFAULT_MAX_BLOCK_SIZE = 64 * 1024 * 1024
+
+
+@dataclass
+class BlockMeta:
+    """Metadata of one block: identity, size, replication targets.
+
+    ``replication_factor`` and ``rack_spread`` are the *targets* the
+    namenode maintains (``k_i`` and ``rho_i``); actual replica locations
+    live in the block map.
+    """
+
+    block_id: int
+    file_id: int
+    size: int = DEFAULT_MAX_BLOCK_SIZE
+    replication_factor: int = 3
+    rack_spread: int = 2
+
+    def __post_init__(self) -> None:
+        if self.block_id < 0 or self.file_id < 0:
+            raise InvalidProblemError("ids must be non-negative")
+        if self.size <= 0:
+            raise InvalidProblemError("block size must be positive")
+        if self.replication_factor < 1:
+            raise InvalidProblemError("replication_factor must be >= 1")
+        if not 1 <= self.rack_spread <= self.replication_factor:
+            raise InvalidProblemError(
+                "rack_spread must be in [1, replication_factor]"
+            )
+
+
+@dataclass(frozen=True)
+class FileMeta:
+    """Metadata of one file: its path and the ids of its blocks."""
+
+    file_id: int
+    path: str
+    block_ids: Tuple[int, ...]
+    block_size: int = DEFAULT_MAX_BLOCK_SIZE
+
+    def __post_init__(self) -> None:
+        if not self.path:
+            raise InvalidProblemError("file path must be non-empty")
+        object.__setattr__(self, "block_ids", tuple(self.block_ids))
+
+    @property
+    def num_blocks(self) -> int:
+        """Number of blocks the file spans."""
+        return len(self.block_ids)
+
+    @property
+    def total_bytes(self) -> int:
+        """Nominal file size (all blocks at the maximum block size)."""
+        return self.num_blocks * self.block_size

@@ -1,0 +1,101 @@
+"""DFS client: the application-facing read/write interface.
+
+"Each application creates a HDFS client to access the file system."  The
+client wraps the namenode protocol: writes ask the namenode for targets
+and stream the blocks; reads ask for a replica location and classify the
+resulting access by network distance (node-local / rack-local / remote),
+which is exactly the signal the locality experiments measure.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.dfs.block import DEFAULT_MAX_BLOCK_SIZE, FileMeta
+from repro.dfs.namenode import Namenode
+
+__all__ = ["Locality", "ReadResult", "DfsClient"]
+
+
+class Locality(enum.Enum):
+    """Network distance of a block read."""
+
+    NODE_LOCAL = "node-local"
+    RACK_LOCAL = "rack-local"
+    REMOTE = "remote"
+
+
+@dataclass(frozen=True)
+class ReadResult:
+    """Outcome of reading one block."""
+
+    block_id: int
+    source: int
+    locality: Locality
+
+    @property
+    def is_local(self) -> bool:
+        """Whether the read avoided the network entirely."""
+        return self.locality is Locality.NODE_LOCAL
+
+
+class DfsClient:
+    """Thin client over a :class:`~repro.dfs.namenode.Namenode`."""
+
+    def __init__(self, namenode: Namenode) -> None:
+        self.namenode = namenode
+
+    def write_file(
+        self,
+        path: str,
+        num_blocks: int,
+        block_size: int = DEFAULT_MAX_BLOCK_SIZE,
+        writer: Optional[int] = None,
+        replication: Optional[int] = None,
+        rack_spread: Optional[int] = None,
+    ) -> FileMeta:
+        """Create a file of ``num_blocks`` blocks through the namenode."""
+        return self.namenode.create_file(
+            path,
+            num_blocks,
+            block_size=block_size,
+            writer=writer,
+            replication=replication,
+            rack_spread=rack_spread,
+        )
+
+    def read_block(self, block_id: int, reader: int) -> ReadResult:
+        """Read one block from the best replica for ``reader``."""
+        source = self.namenode.record_access(block_id, reader)
+        return ReadResult(
+            block_id=block_id,
+            source=source,
+            locality=self._classify(reader, source),
+        )
+
+    def read_file(self, path: str, reader: int) -> List[ReadResult]:
+        """Read every block of ``path`` from ``reader``'s machine."""
+        meta = self.namenode.file(path)
+        return [self.read_block(block_id, reader) for block_id in meta.block_ids]
+
+    def delete_file(self, path: str) -> None:
+        """Remove ``path`` and all its block replicas."""
+        self.namenode.delete_file(path)
+
+    def set_replication(self, path: str, factor: int) -> None:
+        """Set the replication factor of every block of ``path``.
+
+        This is the public HDFS API the paper notes "must be done
+        manually by the operator" without Aurora.
+        """
+        for block_id in self.namenode.file(path).block_ids:
+            self.namenode.set_replication(block_id, factor)
+
+    def _classify(self, reader: int, source: int) -> Locality:
+        if reader == source:
+            return Locality.NODE_LOCAL
+        if self.namenode.topology.same_rack(reader, source):
+            return Locality.RACK_LOCAL
+        return Locality.REMOTE

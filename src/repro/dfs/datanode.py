@@ -1,0 +1,105 @@
+"""Datanode: per-machine block storage and liveness.
+
+"Each datanode is responsible for storing the actual data blocks on each
+machine, and handling incoming read and write requests.  Each datanode
+also periodically sends a heartbeat message to the namenode to report
+machine and block status."  The heartbeat protocol itself lives in
+:mod:`repro.dfs.heartbeat`; this class is the storage container with
+capacity accounting.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Set
+
+from repro.errors import CapacityExceededError, DfsError
+
+__all__ = ["Datanode"]
+
+
+class Datanode:
+    """Storage state of one datanode."""
+
+    def __init__(self, node_id: int, capacity_blocks: int) -> None:
+        if capacity_blocks < 0:
+            raise DfsError("capacity must be non-negative")
+        self.node_id = node_id
+        self.capacity_blocks = capacity_blocks
+        self.alive = True
+        self.last_heartbeat = 0.0
+        self._blocks: Set[int] = set()
+        self.bytes_written = 0
+        self.bytes_read = 0
+
+    @property
+    def used_blocks(self) -> int:
+        """Replicas currently stored."""
+        return len(self._blocks)
+
+    @property
+    def free_blocks(self) -> int:
+        """Remaining block slots."""
+        return self.capacity_blocks - len(self._blocks)
+
+    @property
+    def disk_utilization(self) -> float:
+        """Fraction of capacity in use (what the HDFS balancer equalizes)."""
+        if self.capacity_blocks == 0:
+            return 1.0
+        return len(self._blocks) / self.capacity_blocks
+
+    def blocks(self) -> FrozenSet[int]:
+        """Snapshot of stored block ids (the heartbeat block report)."""
+        return frozenset(self._blocks)
+
+    def holds(self, block_id: int) -> bool:
+        """Whether this node stores a replica of ``block_id``."""
+        return block_id in self._blocks
+
+    def store(self, block_id: int, size: int = 0) -> None:
+        """Write a replica onto local disk."""
+        if not self.alive:
+            raise DfsError(f"datanode {self.node_id} is down")
+        if block_id in self._blocks:
+            raise DfsError(
+                f"datanode {self.node_id} already stores block {block_id}"
+            )
+        if len(self._blocks) >= self.capacity_blocks:
+            raise CapacityExceededError(f"datanode {self.node_id} disk full")
+        self._blocks.add(block_id)
+        self.bytes_written += size
+
+    def erase(self, block_id: int) -> None:
+        """Delete a replica from local disk."""
+        if block_id not in self._blocks:
+            raise DfsError(
+                f"datanode {self.node_id} does not store block {block_id}"
+            )
+        self._blocks.discard(block_id)
+
+    def read(self, block_id: int, size: int = 0) -> None:
+        """Serve a read of a stored replica (accounting only)."""
+        if not self.alive:
+            raise DfsError(f"datanode {self.node_id} is down")
+        if block_id not in self._blocks:
+            raise DfsError(
+                f"datanode {self.node_id} does not store block {block_id}"
+            )
+        self.bytes_read += size
+
+    def crash(self) -> None:
+        """Simulate a failure: the node stops serving but keeps its disk.
+
+        HDFS datanodes that come back after a failure re-report their
+        blocks, so stored replicas survive a crash/recover cycle.
+        """
+        self.alive = False
+
+    def recover(self) -> None:
+        """Bring the node back online with its disk contents intact."""
+        self.alive = True
+
+    def wipe(self) -> None:
+        """Permanently lose the disk (e.g. hardware replacement)."""
+        self._blocks.clear()
+        self.alive = True

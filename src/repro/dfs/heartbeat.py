@@ -1,0 +1,80 @@
+"""Heartbeat protocol between datanodes and the namenode.
+
+"Each datanode also periodically sends a heartbeat message to the
+namenode to report machine and block status."  In the simulator the
+heartbeat's observable effect is failure *detection latency*: a crashed
+datanode stops beating, and only once its last heartbeat is older than
+the expiry does the namenode drop its replicas from the block map and
+start re-replication.  Reads in the interim are already safe because
+replica selection intersects with ground-truth liveness (real clients
+fail over to another replica on connection errors).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dfs.namenode import Namenode
+from repro.errors import DfsError
+from repro.simulation.engine import EventToken, Simulation
+
+__all__ = ["HeartbeatService"]
+
+
+class HeartbeatService:
+    """Drives heartbeats and failure detection on the simulation clock."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        namenode: Namenode,
+        interval: float = 3.0,
+        expiry: float = 30.0,
+    ) -> None:
+        if interval <= 0:
+            raise DfsError("heartbeat interval must be positive")
+        if expiry <= interval:
+            raise DfsError("expiry must exceed the heartbeat interval")
+        self.sim = sim
+        self.namenode = namenode
+        self.interval = interval
+        self.expiry = expiry
+        self.detected_failures = 0
+        self._beat_token: Optional[EventToken] = None
+        self._check_token: Optional[EventToken] = None
+        for dn in namenode.datanodes:
+            dn.last_heartbeat = sim.now
+
+    def start(self) -> None:
+        """Begin heartbeating and expiry checks."""
+        if self._beat_token is not None:
+            raise DfsError("heartbeat service already started")
+        self._beat_token = self.sim.schedule_periodic(self.interval, self._beat)
+        self._check_token = self.sim.schedule_periodic(self.interval, self._check)
+
+    def stop(self) -> None:
+        """Cancel all scheduled heartbeat activity."""
+        if self._beat_token is not None:
+            self._beat_token.cancel()
+            self._beat_token = None
+        if self._check_token is not None:
+            self._check_token.cancel()
+            self._check_token = None
+
+    def _beat(self) -> None:
+        for dn in self.namenode.datanodes:
+            if dn.alive:
+                dn.last_heartbeat = self.sim.now
+
+    def _check(self) -> None:
+        now = self.sim.now
+        stale = [
+            dn.node_id
+            for dn in self.namenode.datanodes
+            if not dn.alive
+            and self.namenode.blockmap.blocks_on(dn.node_id)
+            and now - dn.last_heartbeat > self.expiry
+        ]
+        for node in stale:
+            self.detected_failures += 1
+            self.namenode.fail_node(node)

@@ -1,0 +1,714 @@
+"""The namenode: namespace, block map, replication management.
+
+This is the metadata brain of the HDFS simulator.  It owns the file
+namespace, the :class:`~repro.dfs.blockmap.BlockMap`, the datanode
+registry, and implements the behaviours Aurora builds on:
+
+* writes through a pluggable
+  :class:`~repro.dfs.policies.BlockPlacementPolicy`;
+* reads that prefer node-local, then rack-local, then remote replicas;
+* a run-time ``set_replication`` API (the paper: "The current HDFS
+  already provides the API to control the number of replicas of each
+  block at run-time");
+* **lazy replica deletion**: when a block's target factor drops, excess
+  replicas stay on disk serving reads and are only evicted when their
+  node needs the space — "deletion of local block replicas is done lazily
+  when disk space is needed ... allowing Aurora to reclaim the block if
+  the replication factor needs to be increased again";
+* failure handling: dead nodes lose their locations and under-replicated
+  blocks are re-replicated from surviving copies;
+* block migration (``move_block``) with make-before-break semantics.
+
+All data movement goes through a :class:`~repro.dfs.replication.TransferService`,
+so it costs simulated time and network bytes when a simulator is attached.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.cluster.topology import ClusterTopology
+from repro.dfs.block import DEFAULT_MAX_BLOCK_SIZE, BlockMeta, FileMeta
+from repro.dfs.blockmap import BlockMap
+from repro.dfs.datanode import Datanode
+from repro.dfs.namespace import NamespaceTree
+from repro.dfs.policies import BlockPlacementPolicy, DefaultHdfsPolicy
+from repro.dfs.replication import TransferService
+from repro.errors import (
+    CapacityExceededError,
+    DatanodeUnavailableError,
+    DfsError,
+    FileExistsInDfsError,
+    FileNotFoundInDfsError,
+    SafeModeError,
+)
+from repro.simulation.engine import Simulation
+
+__all__ = ["Namenode"]
+
+
+class Namenode:
+    """Metadata server of the simulated distributed file system."""
+
+    def __init__(
+        self,
+        topology: ClusterTopology,
+        placement_policy: Optional[BlockPlacementPolicy] = None,
+        sim: Optional[Simulation] = None,
+        transfer_service: Optional[TransferService] = None,
+        default_replication: int = 3,
+        default_rack_spread: int = 2,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if default_rack_spread > topology.num_racks:
+            default_rack_spread = topology.num_racks
+        self.topology = topology
+        self.sim = sim
+        self.placement_policy = placement_policy or DefaultHdfsPolicy()
+        self.transfers = transfer_service or TransferService(topology, sim=sim)
+        self.default_replication = default_replication
+        self.default_rack_spread = default_rack_spread
+        self.blockmap = BlockMap(topology)
+        self.datanodes: List[Datanode] = [
+            Datanode(node, topology.capacity_of(node)) for node in topology.machines
+        ]
+        self._rng = rng or random.Random(0)
+        self.namespace = NamespaceTree()
+        self._files_by_id: Dict[int, FileMeta] = {}
+        self._next_file_id = 0
+        self._next_block_id = 0
+        # Lazily deletable replicas: (block_id, node) pairs above target.
+        self._lazy: Set[Tuple[int, int]] = set()
+        self._inflight: Set[Tuple[int, int]] = set()
+        self._decommissioning: Set[int] = set()
+        # Safe mode: mutations rejected until enough blocks have
+        # reported a replica (see repro.dfs.safemode).
+        self.safe_mode = False
+        # Listeners notified on every block access: fn(block_id, time).
+        self.access_listeners: List[Callable[[int, float], None]] = []
+        # Richer read listeners: fn(block_id, reader, source, time) —
+        # used by replicate-on-read mechanisms that need to know where
+        # the bytes landed.
+        self.read_listeners: List[Callable[[int, int, int, float], None]] = []
+        # Optional popularity-load metric for load-aware policies; defaults
+        # to disk usage when unset.
+        self.load_provider: Optional[Callable[[int], float]] = None
+        # Compression applied to replication/migration traffic only
+        # (the paper cites a 27x ratio making movement overhead
+        # acceptable); None defers to the transfer service's default.
+        self.movement_compression: Optional[float] = None
+        # Counters.
+        self.replications_completed = 0
+        self.moves_completed = 0
+        self.lazy_evictions = 0
+        self.reclaimed_replicas = 0
+
+    # -- time & liveness -------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (0 without a simulator)."""
+        return self.sim.now if self.sim is not None else 0.0
+
+    def datanode(self, node: int) -> Datanode:
+        """The datanode object for machine ``node``."""
+        self.topology.check_machine(node)
+        return self.datanodes[node]
+
+    def live_nodes(self) -> Set[int]:
+        """Ids of datanodes currently alive."""
+        return {dn.node_id for dn in self.datanodes if dn.alive}
+
+    def fail_node(self, node: int, re_replicate: bool = True) -> None:
+        """Take a datanode down (crash); optionally repair replication.
+
+        The node's replicas are removed from the block map (the namenode
+        can no longer serve them) but stay on the dead node's disk, so a
+        later :meth:`recover_node` re-registers them via its block
+        report.
+        """
+        dn = self.datanode(node)
+        dn.crash()
+        # Idempotent: a node already processed has no locations left, so
+        # the loop below is a no-op on repeat calls (e.g. when the
+        # heartbeat service confirms a crash injected directly).
+        for block_id in list(self.blockmap.blocks_on(node)):
+            self.blockmap.remove_location(block_id, node)
+            self._lazy.discard((block_id, node))
+        if re_replicate:
+            self.check_replication()
+
+    def recover_node(self, node: int) -> None:
+        """Bring a datanode back; its block report restores locations."""
+        dn = self.datanode(node)
+        if dn.alive:
+            return
+        dn.recover()
+        for block_id in dn.blocks():
+            if block_id not in self.blockmap:
+                dn.erase(block_id)
+                continue
+            if node not in self.blockmap.locations(block_id):
+                self.blockmap.add_location(block_id, node)
+            # Re-replication during the outage may leave the block above
+            # its target factor; mark the excess lazily deletable.
+            meta = self.blockmap.meta(block_id)
+            excess = (
+                self._active_replica_count(block_id) - meta.replication_factor
+            )
+            if excess > 0:
+                self._mark_excess_lazy(block_id, excess)
+
+    def fail_rack(self, rack: int, re_replicate: bool = True) -> None:
+        """Fail every datanode in ``rack`` (ToR switch outage)."""
+        for node in self.topology.machines_in_rack(rack):
+            self.fail_node(node, re_replicate=False)
+        if re_replicate:
+            self.check_replication()
+
+    def recover_rack(self, rack: int) -> None:
+        """Recover every datanode in ``rack``."""
+        for node in self.topology.machines_in_rack(rack):
+            self.recover_node(node)
+
+    # -- capacity & lazy deletion ----------------------------------------------
+
+    def can_store(self, node: int, block_id: int) -> bool:
+        """Whether ``node`` can accept a replica of ``block_id``.
+
+        Lazily deletable replicas count as reclaimable space.
+        """
+        dn = self.datanodes[node]
+        if not dn.alive or dn.holds(block_id):
+            return False
+        if node in self._decommissioning:
+            return False
+        if dn.free_blocks > 0:
+            return True
+        return any(pair[1] == node for pair in self._lazy)
+
+    def node_load(self, node: int) -> float:
+        """Load metric exposed to placement policies.
+
+        Defaults to disk usage; Aurora installs a popularity-based
+        provider via :attr:`load_provider`.
+        """
+        if self.load_provider is not None:
+            return self.load_provider(node)
+        return float(self.datanodes[node].used_blocks)
+
+    def lazy_replicas(self) -> Set[Tuple[int, int]]:
+        """Snapshot of (block, node) pairs pending lazy deletion."""
+        return set(self._lazy)
+
+    def _ensure_space(self, node: int) -> None:
+        """Evict lazily deletable replicas until ``node`` has a free slot."""
+        dn = self.datanodes[node]
+        if dn.free_blocks > 0:
+            return
+        evictable = [pair for pair in self._lazy if pair[1] == node]
+        for block_id, holder in evictable:
+            self._lazy.discard((block_id, holder))
+            self.blockmap.remove_location(block_id, holder)
+            dn.erase(block_id)
+            self.lazy_evictions += 1
+            if dn.free_blocks > 0:
+                return
+        raise CapacityExceededError(f"datanode {node} disk full")
+
+    def _check_writable(self) -> None:
+        """Raise :class:`SafeModeError` while safe mode is on."""
+        if self.safe_mode:
+            raise SafeModeError("namenode is in safe mode")
+
+    # -- namespace --------------------------------------------------------------
+
+    def create_file(
+        self,
+        path: str,
+        num_blocks: int,
+        block_size: int = DEFAULT_MAX_BLOCK_SIZE,
+        writer: Optional[int] = None,
+        replication: Optional[int] = None,
+        rack_spread: Optional[int] = None,
+    ) -> FileMeta:
+        """Create a file and write all its blocks through the policy.
+
+        ``writer`` is the machine of the producing task (enables the
+        local-write rule).  Each block's replicas are written through the
+        transfer service as a pipeline: first replica, then each
+        subsequent replica copied from the previous one.
+        """
+        self._check_writable()
+        if self.namespace.exists(path):
+            raise FileExistsInDfsError(f"path exists: {path}")
+        if num_blocks < 1:
+            raise DfsError("a file needs at least one block")
+        replication = replication or self.default_replication
+        rack_spread = rack_spread or min(self.default_rack_spread, replication)
+        block_ids = []
+        for _ in range(num_blocks):
+            meta = BlockMeta(
+                block_id=self._next_block_id,
+                file_id=self._next_file_id,
+                size=block_size,
+                replication_factor=replication,
+                rack_spread=min(rack_spread, replication),
+            )
+            self._next_block_id += 1
+            self.blockmap.register(meta)
+            targets = self.placement_policy.choose_targets(self, meta, writer)
+            previous: Optional[int] = None
+            for node in targets:
+                self._write_replica(meta, node, source=previous)
+                previous = node
+            block_ids.append(meta.block_id)
+        file_meta = FileMeta(
+            file_id=self._next_file_id,
+            path=path,
+            block_ids=tuple(block_ids),
+            block_size=block_size,
+        )
+        self._next_file_id += 1
+        self.namespace.add_file(path, file_meta.file_id)
+        self._files_by_id[file_meta.file_id] = file_meta
+        return file_meta
+
+    def delete_file(self, path: str) -> None:
+        """Remove a file, its blocks and their replicas."""
+        self._check_writable()
+        meta = self.file(path)
+        self.namespace.remove_file(path)
+        self._drop_file_blocks(meta)
+
+    def _drop_file_blocks(self, meta: FileMeta) -> None:
+        for block_id in meta.block_ids:
+            for node in self.blockmap.locations(block_id):
+                if self.datanodes[node].holds(block_id):
+                    self.datanodes[node].erase(block_id)
+                self._lazy.discard((block_id, node))
+            self.blockmap.unregister(block_id)
+        del self._files_by_id[meta.file_id]
+
+    def mkdir(self, path: str) -> None:
+        """Create a directory (with parents, like ``hdfs dfs -mkdir -p``)."""
+        self.namespace.mkdir(path)
+
+    def list_directory(self, path: str) -> List[str]:
+        """Names directly under the directory at ``path``."""
+        return self.namespace.list_directory(path)
+
+    def rename(self, source: str, destination: str) -> None:
+        """Move a file or directory — pure metadata, no data movement."""
+        self.namespace.rename(source, destination)
+        for new_path, file_id in self.namespace.walk_files(destination):
+            meta = self._files_by_id[file_id]
+            if meta.path != new_path:
+                self._files_by_id[file_id] = FileMeta(
+                    file_id=meta.file_id,
+                    path=new_path,
+                    block_ids=meta.block_ids,
+                    block_size=meta.block_size,
+                )
+
+    def delete_directory(self, path: str) -> int:
+        """Recursively delete a directory; returns files removed."""
+        removed = self.namespace.remove_directory(path)
+        for file_id in removed:
+            self._drop_file_blocks(self._files_by_id[file_id])
+        return len(removed)
+
+    def file(self, path: str) -> FileMeta:
+        """Look up a file by path."""
+        return self._files_by_id[self.namespace.file_id(path)]
+
+    def file_by_id(self, file_id: int) -> FileMeta:
+        """Look up a file by id."""
+        try:
+            return self._files_by_id[file_id]
+        except KeyError:
+            raise FileNotFoundInDfsError(f"no such file id: {file_id}") from None
+
+    def list_files(self) -> List[str]:
+        """All file paths, sorted."""
+        return sorted(path for path, _ in self.namespace.walk_files("/"))
+
+    # -- reads -------------------------------------------------------------------
+
+    def choose_read_replica(self, block_id: int, reader: int) -> int:
+        """The replica a client on ``reader`` should fetch.
+
+        Preference: node-local, then rack-local, then a uniformly random
+        remote replica — mirroring HDFS's network-distance ordering.
+        """
+        live = self.live_nodes()
+        locations = self.blockmap.live_locations(block_id, live)
+        if not locations:
+            raise DatanodeUnavailableError(
+                f"block {block_id} has no live replica"
+            )
+        if reader in locations:
+            return reader
+        reader_rack = self.topology.rack_of[reader]
+        rack_local = [
+            node for node in locations
+            if self.topology.rack_of[node] == reader_rack
+        ]
+        if rack_local:
+            return self._rng.choice(sorted(rack_local))
+        return self._rng.choice(sorted(locations))
+
+    def record_access(self, block_id: int, reader: int) -> int:
+        """Read a block: pick a replica, account it, notify listeners.
+
+        Returns the node that served the read.
+        """
+        source = self.choose_read_replica(block_id, reader)
+        meta = self.blockmap.meta(block_id)
+        self.datanodes[source].read(block_id, meta.size)
+        for listener in self.access_listeners:
+            listener(block_id, self.now)
+        for listener in self.read_listeners:
+            listener(block_id, reader, source, self.now)
+        return source
+
+    def is_file_available(self, path: str) -> bool:
+        """Whether every block of ``path`` has a live replica."""
+        live = self.live_nodes()
+        return all(
+            self.blockmap.is_available(block_id, live)
+            for block_id in self.file(path).block_ids
+        )
+
+    # -- replication management ---------------------------------------------------
+
+    def set_replication(self, block_id: int, factor: int) -> None:
+        """Change a block's target replication factor at run time.
+
+        Raising the factor first *reclaims* lazily deletable replicas
+        (free — the bytes are still on disk), then copies new replicas.
+        Lowering it marks the excess replicas lazily deletable.
+        """
+        self._check_writable()
+        meta = self.blockmap.meta(block_id)
+        if factor < 1:
+            raise DfsError("replication factor must be >= 1")
+        if factor > self.topology.num_machines:
+            raise DfsError("replication factor exceeds cluster size")
+        meta.replication_factor = factor
+        meta.rack_spread = min(meta.rack_spread, factor)
+        current = self._active_replica_count(block_id)
+        if factor > current:
+            deficit = factor - current
+            deficit -= self._reclaim_lazy(block_id, deficit)
+            for _ in range(deficit):
+                if not self.replicate_block(block_id):
+                    break
+        elif factor < current:
+            self._mark_excess_lazy(block_id, current - factor)
+
+    def _active_replica_count(self, block_id: int) -> int:
+        """Replicas not marked for lazy deletion."""
+        lazy_here = sum(1 for pair in self._lazy if pair[0] == block_id)
+        return self.blockmap.replica_count(block_id) - lazy_here
+
+    def _reclaim_lazy(self, block_id: int, want: int) -> int:
+        """Un-mark up to ``want`` lazy replicas of ``block_id``; free."""
+        reclaimed = 0
+        for pair in sorted(p for p in self._lazy if p[0] == block_id):
+            if reclaimed >= want:
+                break
+            self._lazy.discard(pair)
+            reclaimed += 1
+            self.reclaimed_replicas += 1
+        return reclaimed
+
+    def _mark_excess_lazy(self, block_id: int, count: int) -> None:
+        """Mark ``count`` replicas of ``block_id`` lazily deletable.
+
+        Replicas on the most loaded nodes go first, and the block's rack
+        spread (over non-lazy replicas) is preserved.
+        """
+        meta = self.blockmap.meta(block_id)
+        active = [
+            node for node in self.blockmap.locations(block_id)
+            if (block_id, node) not in self._lazy
+        ]
+        active.sort(key=self.node_load, reverse=True)
+        for node in active:
+            if count <= 0:
+                return
+            remaining = [n for n in active if n != node
+                         and (block_id, n) not in self._lazy]
+            racks = {self.topology.rack_of[n] for n in remaining}
+            if len(racks) < meta.rack_spread:
+                continue
+            self._lazy.add((block_id, node))
+            count -= 1
+
+    def replicate_block(
+        self, block_id: int, target: Optional[int] = None,
+        on_done: Optional[Callable[[], None]] = None,
+    ) -> bool:
+        """Copy one more replica of ``block_id`` from a live source.
+
+        The target defaults to the least-loaded feasible node, preferring
+        a new rack while the block is under its rack-spread target.
+        Returns False when no source or target exists.
+        """
+        meta = self.blockmap.meta(block_id)
+        live = self.live_nodes()
+        sources = sorted(self.blockmap.live_locations(block_id, live))
+        if not sources:
+            return False
+        if target is None:
+            target = self._pick_replication_target(block_id, meta, live)
+            if target is None:
+                return False
+        if (block_id, target) in self._inflight:
+            return False
+        source = min(sources, key=self.transfers.active_transfers)
+        self._inflight.add((block_id, target))
+
+        def complete() -> None:
+            self._inflight.discard((block_id, target))
+            dn = self.datanodes[target]
+            if not dn.alive or dn.holds(block_id) or block_id not in self.blockmap:
+                return
+            try:
+                self._ensure_space(target)
+            except CapacityExceededError:
+                return
+            dn.store(block_id, meta.size)
+            self.blockmap.add_location(block_id, target)
+            self.replications_completed += 1
+            if on_done is not None:
+                on_done()
+
+        self.transfers.transfer(
+            meta.size, source, target, complete,
+            compression_ratio=self.movement_compression,
+        )
+        return True
+
+    def _pick_replication_target(
+        self, block_id: int, meta: BlockMeta, live: Set[int]
+    ) -> Optional[int]:
+        holders = self.blockmap.locations(block_id)
+        holder_racks = {self.topology.rack_of[n] for n in holders}
+        inflight_targets = {t for (b, t) in self._inflight if b == block_id}
+        candidates = [
+            node for node in live
+            if node not in holders
+            and node not in inflight_targets
+            and self.can_store(node, block_id)
+        ]
+        if not candidates:
+            return None
+        if len(holder_racks) < meta.rack_spread:
+            fresh = [
+                node for node in candidates
+                if self.topology.rack_of[node] not in holder_racks
+            ]
+            if fresh:
+                candidates = fresh
+        return min(candidates, key=self.node_load)
+
+    def move_block(
+        self, block_id: int, src: int, dst: int,
+        on_done: Optional[Callable[[], None]] = None,
+    ) -> bool:
+        """Migrate a replica from ``src`` to ``dst`` (make-before-break).
+
+        The block is first copied to ``dst``; only after the copy lands is
+        the ``src`` replica deleted, so availability never dips.  Rack
+        spread is validated before starting.
+        """
+        meta = self.blockmap.meta(block_id)
+        locations = self.blockmap.locations(block_id)
+        if src not in locations:
+            raise DfsError(f"block {block_id} has no replica on {src}")
+        if dst in locations or not self.can_store(dst, block_id):
+            return False
+        if (block_id, dst) in self._inflight:
+            return False
+        racks_after = {
+            self.topology.rack_of[n] for n in locations if n != src
+        }
+        racks_after.add(self.topology.rack_of[dst])
+        if len(racks_after) < meta.rack_spread:
+            return False
+        self._inflight.add((block_id, dst))
+
+        def complete() -> None:
+            self._inflight.discard((block_id, dst))
+            dn = self.datanodes[dst]
+            if not dn.alive or dn.holds(block_id) or block_id not in self.blockmap:
+                return
+            try:
+                self._ensure_space(dst)
+            except CapacityExceededError:
+                return
+            dn.store(block_id, meta.size)
+            self.blockmap.add_location(block_id, dst)
+            if src in self.blockmap.locations(block_id):
+                self.blockmap.remove_location(block_id, src)
+                self._lazy.discard((block_id, src))
+                if self.datanodes[src].holds(block_id):
+                    self.datanodes[src].erase(block_id)
+            self.moves_completed += 1
+            if on_done is not None:
+                on_done()
+
+        self.transfers.transfer(
+            meta.size, src, dst, complete,
+            compression_ratio=self.movement_compression,
+        )
+        return True
+
+    def decommission_node(self, node: int) -> int:
+        """Gracefully drain ``node``: migrate all its replicas elsewhere.
+
+        The node stops accepting new replicas immediately; existing
+        replicas are migrated make-before-break (lazily deletable ones
+        are simply evicted).  Returns the number of migrations started;
+        in timed mode call again until :meth:`is_decommissioned` reports
+        completion, mirroring HDFS's iterative decommission monitor.
+        """
+        self.topology.check_machine(node)
+        self._decommissioning.add(node)
+        started = 0
+        for block_id in list(self.blockmap.blocks_on(node)):
+            if (block_id, node) in self._lazy:
+                self._lazy.discard((block_id, node))
+                self.blockmap.remove_location(block_id, node)
+                self.datanodes[node].erase(block_id)
+                self.lazy_evictions += 1
+                continue
+            meta = self.blockmap.meta(block_id)
+            target = self._pick_replication_target(
+                block_id, meta, self.live_nodes()
+            )
+            if target is not None and self.move_block(block_id, node, target):
+                started += 1
+                continue
+            # The global pick may break the rack spread (the draining
+            # node can be its rack's sole holder); retry within-rack.
+            rack = self.topology.rack_of[node]
+            rack_targets = [
+                m for m in self.topology.machines_in_rack(rack)
+                if m != node and self.can_store(m, block_id)
+            ]
+            for candidate in sorted(rack_targets, key=self.node_load):
+                if self.move_block(block_id, node, candidate):
+                    started += 1
+                    break
+        return started
+
+    def is_decommissioned(self, node: int) -> bool:
+        """Whether a draining node no longer stores any replica."""
+        return (
+            node in self._decommissioning
+            and not self.blockmap.blocks_on(node)
+        )
+
+    def recommission_node(self, node: int) -> None:
+        """Return a draining or drained node to normal service."""
+        self._decommissioning.discard(node)
+
+    def check_replication(self) -> int:
+        """Re-replicate all under-replicated / under-spread blocks.
+
+        Returns the number of replication transfers started.  Called
+        after failures and periodically by the heartbeat service.
+        """
+        live = self.live_nodes()
+        started = 0
+        for block_id in self.blockmap.under_replicated(live):
+            meta = self.blockmap.meta(block_id)
+            missing = meta.replication_factor - len(
+                self.blockmap.live_locations(block_id, live)
+            )
+            missing -= sum(1 for (b, _t) in self._inflight if b == block_id)
+            for _ in range(max(0, missing)):
+                if self.replicate_block(block_id):
+                    started += 1
+        for block_id in self.blockmap.under_spread(live):
+            meta = self.blockmap.meta(block_id)
+            if self.blockmap.rack_spread(block_id) >= meta.rack_spread:
+                continue
+            if self.replicate_block(block_id):
+                started += 1
+        return started
+
+    def audit(self) -> None:
+        """Cross-check every piece of namenode state; raise on drift.
+
+        Verifies that the block map, the datanode disks, the lazy set
+        and the namespace agree.  Used by the fuzz tests after every
+        random operation batch.
+        """
+        for block_id in self.blockmap.block_ids():
+            meta = self.blockmap.meta(block_id)
+            assert meta.file_id in self._files_by_id, (
+                f"block {block_id} references unknown file {meta.file_id}"
+            )
+            for node in self.blockmap.locations(block_id):
+                assert self.datanodes[node].holds(block_id), (
+                    f"location drift: block {block_id} on node {node}"
+                )
+        for dn in self.datanodes:
+            assert dn.used_blocks <= dn.capacity_blocks, (
+                f"node {dn.node_id} over capacity"
+            )
+            if not dn.alive:
+                continue
+            for block_id in dn.blocks():
+                if block_id in self.blockmap:
+                    assert dn.node_id in self.blockmap.locations(block_id), (
+                        f"unreported replica: block {block_id} on "
+                        f"{dn.node_id}"
+                    )
+        for block_id, node in self._lazy:
+            assert block_id in self.blockmap, (
+                f"lazy entry for deleted block {block_id}"
+            )
+            assert node in self.blockmap.locations(block_id), (
+                f"lazy entry without a location: {block_id}@{node}"
+            )
+        seen_ids = set()
+        for path, file_id in self.namespace.walk_files("/"):
+            assert file_id in self._files_by_id, (
+                f"namespace references unknown file id {file_id}"
+            )
+            assert self._files_by_id[file_id].path == path, (
+                f"stale path for file {file_id}: "
+                f"{self._files_by_id[file_id].path} != {path}"
+            )
+            seen_ids.add(file_id)
+        assert seen_ids == set(self._files_by_id), (
+            "files_by_id and namespace disagree"
+        )
+        for meta in self._files_by_id.values():
+            for block_id in meta.block_ids:
+                assert block_id in self.blockmap, (
+                    f"file {meta.path} references unregistered block "
+                    f"{block_id}"
+                )
+
+    def _write_replica(
+        self, meta: BlockMeta, node: int, source: Optional[int]
+    ) -> None:
+        """Write one replica during file creation (pipeline hop)."""
+        dn = self.datanodes[node]
+        if not dn.alive:
+            raise DatanodeUnavailableError(f"datanode {node} is down")
+        self._ensure_space(node)
+        dn.store(meta.block_id, meta.size)
+        self.blockmap.add_location(meta.block_id, node)
+        if source is not None:
+            # The pipeline hop costs network time but the metadata commit
+            # is synchronous (the paper's write path: the client blocks
+            # until all replicas are written).
+            self.transfers.transfer(meta.size, source, node, lambda: None)

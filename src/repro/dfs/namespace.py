@@ -1,0 +1,241 @@
+"""Hierarchical namespace: the namenode's directory tree.
+
+"The namenode maintains the metadata of the file system, which stores
+the directory structure, file descriptions and a block map."  This module
+provides the directory-structure third: a POSIX-style tree supporting
+``mkdir -p``, listing, rename and recursive delete, with files as leaf
+entries pointing at :class:`~repro.dfs.block.FileMeta` records.
+
+The tree is a pure metadata structure — block storage stays in the block
+map — so it can be snapshotted and replayed by the edit log.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import (
+    DfsError,
+    FileExistsInDfsError,
+    FileNotFoundInDfsError,
+)
+
+__all__ = ["NamespaceTree", "split_path", "parent_of"]
+
+
+def split_path(path: str) -> Tuple[str, ...]:
+    """Validate an absolute path and split it into components."""
+    if not path.startswith("/"):
+        raise DfsError(f"paths must be absolute: {path!r}")
+    parts = tuple(part for part in path.split("/") if part)
+    for part in parts:
+        if part in (".", ".."):
+            raise DfsError(f"path component {part!r} is not allowed")
+    return parts
+
+
+def parent_of(path: str) -> str:
+    """The parent directory of ``path`` ('/' for top-level entries)."""
+    parts = split_path(path)
+    if not parts:
+        return "/"
+    return "/" + "/".join(parts[:-1])
+
+
+class _Node:
+    """One tree node: a directory (with children) or a file (with id)."""
+
+    __slots__ = ("name", "children", "file_id")
+
+    def __init__(self, name: str, file_id: Optional[int] = None) -> None:
+        self.name = name
+        self.file_id = file_id
+        self.children: Optional[Dict[str, _Node]] = (
+            None if file_id is not None else {}
+        )
+
+    @property
+    def is_directory(self) -> bool:
+        return self.children is not None
+
+
+class NamespaceTree:
+    """POSIX-style directory tree mapping paths to file ids."""
+
+    def __init__(self) -> None:
+        self._root = _Node("/")
+        self._num_files = 0
+        self._num_directories = 0
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def num_files(self) -> int:
+        """Number of files in the tree."""
+        return self._num_files
+
+    @property
+    def num_directories(self) -> int:
+        """Number of explicit directories (excluding the root)."""
+        return self._num_directories
+
+    def exists(self, path: str) -> bool:
+        """Whether ``path`` names a file or directory."""
+        return self._lookup(path) is not None
+
+    def is_directory(self, path: str) -> bool:
+        """Whether ``path`` names a directory."""
+        node = self._lookup(path)
+        return node is not None and node.is_directory
+
+    def is_file(self, path: str) -> bool:
+        """Whether ``path`` names a file."""
+        node = self._lookup(path)
+        return node is not None and not node.is_directory
+
+    def file_id(self, path: str) -> int:
+        """The file id stored at ``path``."""
+        node = self._lookup(path)
+        if node is None or node.is_directory:
+            raise FileNotFoundInDfsError(f"no such file: {path}")
+        assert node.file_id is not None
+        return node.file_id
+
+    def list_directory(self, path: str) -> List[str]:
+        """Sorted child names of the directory at ``path``."""
+        node = self._lookup(path)
+        if node is None or not node.is_directory:
+            raise FileNotFoundInDfsError(f"no such directory: {path}")
+        assert node.children is not None
+        return sorted(node.children)
+
+    def walk_files(self, path: str = "/") -> Iterator[Tuple[str, int]]:
+        """Yield (path, file_id) for every file under ``path``."""
+        node = self._lookup(path)
+        if node is None:
+            raise FileNotFoundInDfsError(f"no such path: {path}")
+        prefix = "/" + "/".join(split_path(path))
+        if prefix == "/":
+            prefix = ""
+        yield from self._walk(node, prefix or "")
+
+    def _walk(self, node: _Node, prefix: str) -> Iterator[Tuple[str, int]]:
+        if not node.is_directory:
+            assert node.file_id is not None
+            yield (prefix or "/", node.file_id)
+            return
+        assert node.children is not None
+        for name in sorted(node.children):
+            yield from self._walk(node.children[name], f"{prefix}/{name}")
+
+    # -- mutations -----------------------------------------------------------
+
+    def mkdir(self, path: str) -> None:
+        """Create a directory, making parents as needed (``mkdir -p``)."""
+        parts = split_path(path)
+        node = self._root
+        for part in parts:
+            assert node.children is not None
+            child = node.children.get(part)
+            if child is None:
+                child = _Node(part)
+                node.children[part] = child
+                self._num_directories += 1
+            elif not child.is_directory:
+                raise FileExistsInDfsError(
+                    f"cannot mkdir over a file: {path}"
+                )
+            node = child
+
+    def add_file(self, path: str, file_id: int) -> None:
+        """Register a file at ``path``, creating parent directories."""
+        parts = split_path(path)
+        if not parts:
+            raise DfsError("cannot create a file at '/'")
+        self.mkdir(parent_of(path))
+        parent = self._lookup(parent_of(path))
+        assert parent is not None and parent.children is not None
+        name = parts[-1]
+        if name in parent.children:
+            raise FileExistsInDfsError(f"path exists: {path}")
+        parent.children[name] = _Node(name, file_id=file_id)
+        self._num_files += 1
+
+    def remove_file(self, path: str) -> int:
+        """Delete the file at ``path``; returns its file id."""
+        parts = split_path(path)
+        parent = self._lookup(parent_of(path))
+        if parent is None or parent.children is None:
+            raise FileNotFoundInDfsError(f"no such file: {path}")
+        node = parent.children.get(parts[-1]) if parts else None
+        if node is None or node.is_directory:
+            raise FileNotFoundInDfsError(f"no such file: {path}")
+        del parent.children[parts[-1]]
+        self._num_files -= 1
+        assert node.file_id is not None
+        return node.file_id
+
+    def remove_directory(self, path: str) -> List[int]:
+        """Recursively delete a directory; returns the removed file ids."""
+        parts = split_path(path)
+        if not parts:
+            raise DfsError("refusing to delete the root directory")
+        parent = self._lookup(parent_of(path))
+        if parent is None or parent.children is None:
+            raise FileNotFoundInDfsError(f"no such directory: {path}")
+        node = parent.children.get(parts[-1])
+        if node is None or not node.is_directory:
+            raise FileNotFoundInDfsError(f"no such directory: {path}")
+        removed = [file_id for _, file_id in self._walk(node, "")]
+        dirs_removed = self._count_directories(node)
+        del parent.children[parts[-1]]
+        self._num_files -= len(removed)
+        self._num_directories -= dirs_removed
+        return removed
+
+    def rename(self, source: str, destination: str) -> None:
+        """Move a file or directory to a new path.
+
+        The destination must not exist; its parent directories are
+        created as needed.  Renaming never touches block locations — it
+        is a pure metadata operation, as in HDFS.
+        """
+        src_parts = split_path(source)
+        dst_parts = split_path(destination)
+        if not src_parts:
+            raise DfsError("cannot rename the root directory")
+        if dst_parts[: len(src_parts)] == src_parts:
+            raise DfsError("cannot rename a directory into itself")
+        src_parent = self._lookup(parent_of(source))
+        if src_parent is None or src_parent.children is None \
+                or src_parts[-1] not in src_parent.children:
+            raise FileNotFoundInDfsError(f"no such path: {source}")
+        if self.exists(destination):
+            raise FileExistsInDfsError(f"destination exists: {destination}")
+        self.mkdir(parent_of(destination))
+        dst_parent = self._lookup(parent_of(destination))
+        assert dst_parent is not None and dst_parent.children is not None
+        node = src_parent.children.pop(src_parts[-1])
+        node.name = dst_parts[-1]
+        dst_parent.children[dst_parts[-1]] = node
+
+    # -- internals ------------------------------------------------------------
+
+    def _lookup(self, path: str) -> Optional[_Node]:
+        parts = split_path(path)
+        node = self._root
+        for part in parts:
+            if node.children is None:
+                return None
+            node = node.children.get(part)
+            if node is None:
+                return None
+        return node
+
+    def _count_directories(self, node: _Node) -> int:
+        if not node.is_directory:
+            return 0
+        assert node.children is not None
+        return 1 + sum(
+            self._count_directories(child) for child in node.children.values()
+        )

@@ -1,0 +1,172 @@
+"""Directory quotas: bounding namespace and storage consumption.
+
+HDFS lets operators cap a directory's item count (namespace quota) and
+its replicated storage footprint (space quota, which — importantly for
+Aurora — counts *replicas*, so raising a block's replication factor
+consumes quota).  :class:`QuotaManager` reproduces both, wrapping the
+namenode's mutators the same way the edit log does:
+
+* ``create_file`` is rejected when it would push any ancestor directory
+  over its file-count or replicated-block quota;
+* ``set_replication`` increases are rejected when the extra replicas
+  would not fit the space quota — which means a quota on a tenant's
+  directory also caps how much replication budget Aurora may spend on
+  that tenant's hot data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.dfs.namenode import Namenode
+from repro.dfs.namespace import split_path
+from repro.errors import FileNotFoundInDfsError, QuotaExceededError
+
+__all__ = ["DirectoryQuota", "QuotaManager"]
+
+
+@dataclass(frozen=True)
+class DirectoryQuota:
+    """Limits for one directory (None = unlimited)."""
+
+    max_files: Optional[int] = None
+    max_replicated_blocks: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_files is not None and self.max_files < 0:
+            raise QuotaExceededError("max_files must be non-negative")
+        if (self.max_replicated_blocks is not None
+                and self.max_replicated_blocks < 0):
+            raise QuotaExceededError(
+                "max_replicated_blocks must be non-negative"
+            )
+
+
+def _ancestors(path: str):
+    """Yield '/', then every ancestor directory of ``path``."""
+    parts = split_path(path)
+    yield "/"
+    for depth in range(1, len(parts)):
+        yield "/" + "/".join(parts[:depth])
+
+
+class QuotaManager:
+    """Tracks and enforces directory quotas on one namenode."""
+
+    def __init__(self, namenode: Namenode) -> None:
+        self.namenode = namenode
+        self._quotas: Dict[str, DirectoryQuota] = {}
+        self.rejections = 0
+        self._install()
+
+    # -- quota administration ------------------------------------------------
+
+    def set_quota(
+        self,
+        path: str,
+        max_files: Optional[int] = None,
+        max_replicated_blocks: Optional[int] = None,
+    ) -> None:
+        """Set (or replace) the quota of a directory.
+
+        The directory must exist; the quota may be set below current
+        usage (as in HDFS), in which case only *new* consumption is
+        blocked.
+        """
+        if not self.namenode.namespace.is_directory(path):
+            raise FileNotFoundInDfsError(f"no such directory: {path}")
+        self._quotas["/" + "/".join(split_path(path))] = DirectoryQuota(
+            max_files=max_files,
+            max_replicated_blocks=max_replicated_blocks,
+        )
+
+    def clear_quota(self, path: str) -> None:
+        """Remove a directory's quota."""
+        self._quotas.pop("/" + "/".join(split_path(path)), None)
+
+    def quota_of(self, path: str) -> Optional[DirectoryQuota]:
+        """The quota set on ``path``, if any."""
+        return self._quotas.get("/" + "/".join(split_path(path)))
+
+    # -- usage accounting ------------------------------------------------------
+
+    def usage(self, path: str) -> Tuple[int, int]:
+        """(files, replicated blocks) currently under ``path``.
+
+        Replicated blocks count each block times its *target* factor,
+        matching HDFS's space quota semantics (lazily deletable excess
+        replicas do not count — they are reclaimable).
+        """
+        files = 0
+        replicated = 0
+        for _file_path, file_id in self.namenode.namespace.walk_files(path):
+            files += 1
+            meta = self.namenode.file_by_id(file_id)
+            for block_id in meta.block_ids:
+                block = self.namenode.blockmap.meta(block_id)
+                replicated += block.replication_factor
+        return files, replicated
+
+    # -- enforcement -------------------------------------------------------------
+
+    def _governing_quotas(self, path: str):
+        for directory in _ancestors(path):
+            quota = self._quotas.get(directory)
+            if quota is not None:
+                yield directory, quota
+
+    def _check_create(self, path: str, num_blocks: int, replication: int) -> None:
+        for directory, quota in self._governing_quotas(path):
+            files, replicated = self.usage(directory)
+            if quota.max_files is not None and files + 1 > quota.max_files:
+                self.rejections += 1
+                raise QuotaExceededError(
+                    f"{directory}: file-count quota {quota.max_files} "
+                    "exceeded"
+                )
+            if quota.max_replicated_blocks is not None:
+                wanted = replicated + num_blocks * replication
+                if wanted > quota.max_replicated_blocks:
+                    self.rejections += 1
+                    raise QuotaExceededError(
+                        f"{directory}: space quota "
+                        f"{quota.max_replicated_blocks} replicated blocks "
+                        "exceeded"
+                    )
+
+    def _check_set_replication(self, block_id: int, factor: int) -> None:
+        block = self.namenode.blockmap.meta(block_id)
+        delta = factor - block.replication_factor
+        if delta <= 0:
+            return
+        path = self.namenode.file_by_id(block.file_id).path
+        for directory, quota in self._governing_quotas(path):
+            if quota.max_replicated_blocks is None:
+                continue
+            _files, replicated = self.usage(directory)
+            if replicated + delta > quota.max_replicated_blocks:
+                self.rejections += 1
+                raise QuotaExceededError(
+                    f"{directory}: space quota "
+                    f"{quota.max_replicated_blocks} replicated blocks "
+                    "exceeded"
+                )
+
+    def _install(self) -> None:
+        original_create = self.namenode.create_file
+        original_set_replication = self.namenode.set_replication
+        namenode = self.namenode
+
+        def create_file(path, num_blocks, **kwargs):
+            replication = kwargs.get("replication") \
+                or namenode.default_replication
+            self._check_create(path, num_blocks, replication)
+            return original_create(path, num_blocks, **kwargs)
+
+        def set_replication(block_id, factor):
+            self._check_set_replication(block_id, factor)
+            original_set_replication(block_id, factor)
+
+        namenode.create_file = create_file  # type: ignore[method-assign]
+        namenode.set_replication = set_replication  # type: ignore[method-assign]

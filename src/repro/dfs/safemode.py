@@ -1,0 +1,110 @@
+"""Namenode safe mode: startup write protection.
+
+A restarted HDFS namenode refuses mutations until enough of its blocks
+have been confirmed by datanode block reports; only then does it leave
+"safe mode" and accept writes and replication changes.  This module
+reproduces that protocol for the simulator's recovery path
+(:func:`repro.dfs.editlog.recover_namenode`):
+
+* :func:`enter_safe_mode` flips the namenode into the read-only state;
+* :class:`SafeModeMonitor` tracks the fraction of blocks with at least
+  ``min_replicas`` reported locations and exits safe mode automatically
+  once the threshold holds (optionally after an extension delay, like
+  HDFS's ``dfs.namenode.safemode.extension``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dfs.namenode import Namenode
+from repro.errors import DfsError
+from repro.simulation.engine import EventToken, Simulation
+
+__all__ = ["enter_safe_mode", "reported_fraction", "SafeModeMonitor"]
+
+
+def enter_safe_mode(namenode: Namenode) -> None:
+    """Put the namenode into safe mode (mutations rejected)."""
+    namenode.safe_mode = True
+
+
+def reported_fraction(namenode: Namenode, min_replicas: int = 1) -> float:
+    """Fraction of blocks with >= ``min_replicas`` live locations.
+
+    1.0 for an empty namespace (nothing is missing).
+    """
+    total = namenode.blockmap.num_blocks
+    if total == 0:
+        return 1.0
+    live = namenode.live_nodes()
+    reported = sum(
+        1 for block_id in namenode.blockmap.block_ids()
+        if len(namenode.blockmap.live_locations(block_id, live))
+        >= min_replicas
+    )
+    return reported / total
+
+
+class SafeModeMonitor:
+    """Automatically exits safe mode once enough blocks have reported."""
+
+    def __init__(
+        self,
+        namenode: Namenode,
+        threshold: float = 0.999,
+        min_replicas: int = 1,
+        extension: float = 0.0,
+    ) -> None:
+        if not 0.0 < threshold <= 1.0:
+            raise DfsError("threshold must be in (0, 1]")
+        if min_replicas < 1:
+            raise DfsError("min_replicas must be >= 1")
+        if extension < 0:
+            raise DfsError("extension must be non-negative")
+        self.namenode = namenode
+        self.threshold = threshold
+        self.min_replicas = min_replicas
+        self.extension = extension
+        self._token: Optional[EventToken] = None
+        self._threshold_met_at: Optional[float] = None
+        enter_safe_mode(namenode)
+
+    @property
+    def active(self) -> bool:
+        """Whether the namenode is still in safe mode."""
+        return self.namenode.safe_mode
+
+    def check(self, now: float = 0.0) -> bool:
+        """Evaluate the exit condition; returns True when safe mode ends.
+
+        The threshold must hold continuously for ``extension`` seconds
+        (0 exits immediately).
+        """
+        if not self.namenode.safe_mode:
+            return True
+        fraction = reported_fraction(self.namenode, self.min_replicas)
+        if fraction < self.threshold:
+            self._threshold_met_at = None
+            return False
+        if self._threshold_met_at is None:
+            self._threshold_met_at = now
+        if now - self._threshold_met_at >= self.extension:
+            self.namenode.safe_mode = False
+            if self._token is not None:
+                self._token.cancel()
+                self._token = None
+            # Leaving safe mode: repair anything still missing.
+            self.namenode.check_replication()
+            return True
+        return False
+
+    def run_on(self, sim: Simulation, interval: float = 3.0) -> None:
+        """Poll the exit condition on the simulation clock."""
+        if interval <= 0:
+            raise DfsError("interval must be positive")
+        if self._token is not None:
+            raise DfsError("safe mode monitor already running")
+        self._token = sim.schedule_periodic(
+            interval, lambda: self.check(sim.now)
+        )

@@ -1,0 +1,27 @@
+"""Experiment harnesses regenerating the paper's evaluation section."""
+
+from repro.experiments.harness import (
+    ClusterConfig,
+    ExperimentConfig,
+    RunResult,
+    SystemKind,
+    run_experiment,
+)
+from repro.experiments.report import (
+    cdf_series,
+    format_number,
+    render_cdf,
+    render_table,
+)
+
+__all__ = [
+    "ClusterConfig",
+    "ExperimentConfig",
+    "RunResult",
+    "SystemKind",
+    "run_experiment",
+    "cdf_series",
+    "format_number",
+    "render_cdf",
+    "render_table",
+]

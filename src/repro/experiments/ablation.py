@@ -1,0 +1,276 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+* **Initial placement (E11)** — Algorithm 4's greedy controller versus
+  HDFS-style random initial placement: cost before balancing and the
+  work the local search needs to converge from each start.
+* **Replication factors (E12)** — Algorithm 3's optimal water-filling
+  versus Scarlett's priority and round-robin heuristics under the same
+  budget: resulting max per-replica popularity and post-balancing cost.
+* **Epsilon semantics (E10)** — measured operation counts under the
+  gap- and cost-based admissibility policies against the Theorem 9
+  bound.
+
+All three run on the abstract placement model (no DES), so they are fast
+enough for property-style sweeps.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.baselines.scarlett import ScarlettScheme, scarlett_factors
+from repro.cluster.topology import ClusterTopology
+from repro.core.admissibility import (
+    RelativeCostPolicy,
+    RelativeGapPolicy,
+    theorem9_iteration_bound,
+)
+from repro.core.initial_placement import place_all_blocks
+from repro.core.instance import BlockSpec, PlacementProblem
+from repro.core.local_search import balance_rack_aware
+from repro.core.placement import PlacementState
+from repro.core.rep_factor import compute_replication_factors, max_share
+from repro.experiments.report import render_table
+from repro.workload.popularity import zipf_weights
+
+__all__ = [
+    "AblationInstance",
+    "make_instance",
+    "InitialPlacementAblation",
+    "run_initial_placement_ablation",
+    "FactorAblation",
+    "run_factor_ablation",
+    "EpsilonAblation",
+    "run_epsilon_ablation",
+    "render_ablations",
+]
+
+
+@dataclass(frozen=True)
+class AblationInstance:
+    """A synthetic placement instance with long-tail popularity."""
+
+    topology: ClusterTopology
+    popularities: Tuple[float, ...]
+    replication: int
+    rack_spread: int
+
+    def problem(self) -> PlacementProblem:
+        """Materialize the fixed-factor problem."""
+        return PlacementProblem.from_popularities(
+            self.topology,
+            self.popularities,
+            replication_factor=self.replication,
+            rack_spread=self.rack_spread,
+        )
+
+
+def make_instance(
+    num_racks: int = 6,
+    machines_per_rack: int = 6,
+    num_blocks: int = 300,
+    replication: int = 3,
+    rack_spread: int = 2,
+    skew: float = 1.1,
+    total_popularity: float = 10_000.0,
+    seed: int = 0,
+) -> AblationInstance:
+    """Build a Zipf-popular instance sized like one Aurora period."""
+    rng = random.Random(seed)
+    weights = zipf_weights(num_blocks, skew)
+    pops = [float(total_popularity * w) for w in weights]
+    rng.shuffle(pops)
+    capacity = max(8, (num_blocks * replication * 2) // (num_racks * machines_per_rack))
+    topology = ClusterTopology.uniform(num_racks, machines_per_rack, capacity)
+    return AblationInstance(
+        topology=topology,
+        popularities=tuple(pops),
+        replication=replication,
+        rack_spread=rack_spread,
+    )
+
+
+def _random_state(problem: PlacementProblem, seed: int) -> PlacementState:
+    """HDFS-style random initial placement (spread-respecting)."""
+    rng = random.Random(seed)
+    state = PlacementState(problem)
+    racks = list(problem.topology.racks)
+    for spec in problem:
+        chosen_racks = rng.sample(racks, spec.rack_spread)
+        for rack in chosen_racks:
+            options = [
+                m for m in problem.topology.machines_in_rack(rack)
+                if state.can_add(spec.block_id, m)
+            ]
+            state.add_replica(spec.block_id, rng.choice(options))
+        while state.replica_count(spec.block_id) < spec.replication_factor:
+            options = [
+                m for m in problem.topology.machines
+                if state.can_add(spec.block_id, m)
+            ]
+            state.add_replica(spec.block_id, rng.choice(options))
+    return state
+
+
+@dataclass
+class InitialPlacementAblation:
+    """E11 outcome: greedy Algorithm 4 versus random initial placement."""
+
+    greedy_initial_cost: float
+    random_initial_cost: float
+    greedy_ops_to_converge: int
+    random_ops_to_converge: int
+    converged_cost_greedy: float
+    converged_cost_random: float
+
+
+def run_initial_placement_ablation(
+    instance: Optional[AblationInstance] = None, seed: int = 0
+) -> InitialPlacementAblation:
+    """Compare Algorithm 4 against random initial placement."""
+    instance = instance or make_instance(seed=seed)
+    problem = instance.problem()
+    greedy = PlacementState(problem)
+    place_all_blocks(greedy)
+    random_state = _random_state(problem, seed)
+    greedy_cost = greedy.cost()
+    random_cost = random_state.cost()
+    greedy_stats = balance_rack_aware(greedy)
+    random_stats = balance_rack_aware(random_state)
+    return InitialPlacementAblation(
+        greedy_initial_cost=greedy_cost,
+        random_initial_cost=random_cost,
+        greedy_ops_to_converge=greedy_stats.total_operations,
+        random_ops_to_converge=random_stats.total_operations,
+        converged_cost_greedy=greedy_stats.final_cost,
+        converged_cost_random=random_stats.final_cost,
+    )
+
+
+@dataclass
+class FactorAblation:
+    """E12 outcome: max per-replica share by factor-allocation scheme."""
+
+    aurora_max_share: float
+    priority_max_share: float
+    round_robin_max_share: float
+    budget: int
+
+    def aurora_wins(self) -> bool:
+        """Whether Algorithm 3 is at least as good as both heuristics."""
+        return (
+            self.aurora_max_share <= self.priority_max_share + 1e-9
+            and self.aurora_max_share <= self.round_robin_max_share + 1e-9
+        )
+
+
+def run_factor_ablation(
+    instance: Optional[AblationInstance] = None,
+    budget_extra: Optional[int] = None,
+    seed: int = 0,
+) -> FactorAblation:
+    """Compare Algorithm 3 with Scarlett's two heuristics."""
+    instance = instance or make_instance(seed=seed)
+    pops = {i: p for i, p in enumerate(instance.popularities)}
+    mins = {i: instance.replication for i in pops}
+    min_total = sum(mins.values())
+    if budget_extra is None:
+        budget_extra = min_total // 2
+    budget = min_total + budget_extra
+    machines = instance.topology.num_machines
+    aurora = compute_replication_factors(pops, mins, budget, machines)
+    priority = scarlett_factors(
+        pops, mins, budget_extra, ScarlettScheme.PRIORITY,
+        desired_per_access=1.0, max_factor=machines,
+    )
+    robin = scarlett_factors(
+        pops, mins, budget_extra, ScarlettScheme.ROUND_ROBIN,
+        desired_per_access=1.0, max_factor=machines,
+    )
+    return FactorAblation(
+        aurora_max_share=aurora.max_share,
+        priority_max_share=max_share(pops, priority),
+        round_robin_max_share=max_share(pops, robin),
+        budget=budget,
+    )
+
+
+@dataclass
+class EpsilonAblation:
+    """E10 outcome: one row per epsilon and admissibility semantics."""
+
+    rows: List[Dict[str, float]]
+
+
+def run_epsilon_ablation(
+    instance: Optional[AblationInstance] = None,
+    epsilons: Tuple[float, ...] = (0.1, 0.3, 0.6, 0.8),
+    seed: int = 0,
+) -> EpsilonAblation:
+    """Measure ops and final cost per epsilon under both semantics."""
+    instance = instance or make_instance(seed=seed)
+    problem = instance.problem()
+    rows: List[Dict[str, float]] = []
+    base = _random_state(problem, seed)
+    for epsilon in epsilons:
+        for name, policy in (
+            ("gap", RelativeGapPolicy(epsilon)),
+            ("cost", RelativeCostPolicy(epsilon)),
+        ):
+            state = base.copy()
+            initial = state.cost()
+            stats = balance_rack_aware(state, policy)
+            bound = theorem9_iteration_bound(
+                max(initial, 1e-9), max(stats.final_cost, 1e-9), epsilon
+            )
+            rows.append({
+                "epsilon": epsilon,
+                "semantics": name,
+                "operations": stats.total_operations,
+                "blocks_moved": stats.blocks_transferred,
+                "final_cost": stats.final_cost,
+                "theorem9_bound": bound,
+            })
+    return EpsilonAblation(rows=rows)
+
+
+def render_ablations(
+    initial: InitialPlacementAblation,
+    factors: FactorAblation,
+    epsilon: EpsilonAblation,
+) -> str:
+    """Render all three ablations as tables."""
+    lines = ["E11: initial placement (Algorithm 4 vs random)"]
+    lines.append(render_table(
+        ["start", "initial cost", "ops to converge", "final cost"],
+        [
+            ("Algorithm 4", initial.greedy_initial_cost,
+             initial.greedy_ops_to_converge, initial.converged_cost_greedy),
+            ("random", initial.random_initial_cost,
+             initial.random_ops_to_converge, initial.converged_cost_random),
+        ],
+    ))
+    lines.append("")
+    lines.append("E12: replication factors (Algorithm 3 vs Scarlett)")
+    lines.append(render_table(
+        ["scheme", "max per-replica popularity"],
+        [
+            ("Algorithm 3 (Aurora)", factors.aurora_max_share),
+            ("Scarlett priority", factors.priority_max_share),
+            ("Scarlett round-robin", factors.round_robin_max_share),
+        ],
+    ))
+    lines.append("")
+    lines.append("E10: epsilon admissibility semantics")
+    lines.append(render_table(
+        ["epsilon", "semantics", "ops", "blocks moved", "final cost",
+         "Theorem 9 bound"],
+        [
+            (row["epsilon"], row["semantics"], row["operations"],
+             row["blocks_moved"], row["final_cost"], row["theorem9_bound"])
+            for row in epsilon.rows
+        ],
+    ))
+    return "\n".join(lines)

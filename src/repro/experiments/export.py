@@ -1,0 +1,141 @@
+"""CSV export of figure results for external plotting.
+
+The rendered ASCII tables are for eyeballing; these writers emit the
+same series as plain CSV so the figures can be re-plotted with any
+tool.  One file per panel, mirroring the paper's layout:
+
+* ``fig3a.csv`` / ``fig4a.csv`` — system, epsilon, remote tasks/h;
+* ``fig3b.csv`` / ... — machine-load CDF series;
+* ``fig3c.csv`` — epsilon vs moves/machine/h;
+* ``fig5*.csv`` — same panels against Scarlett;
+* ``fig6a.csv`` / ``fig6b.csv`` / ``fig6c.csv`` — testbed panels.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Union
+
+from repro.experiments.fig3 import Fig3Result
+from repro.experiments.fig5 import Fig5Result
+from repro.experiments.fig6 import Fig6Result, speedup_over
+from repro.experiments.report import cdf_series
+
+__all__ = ["export_fig3", "export_fig5", "export_fig6"]
+
+_PathLike = Union[str, Path]
+
+
+def _write_csv(path: Path, header, rows) -> None:
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        writer.writerows(rows)
+
+
+def export_fig3(
+    result: Fig3Result, directory: _PathLike, prefix: str = "fig3"
+) -> None:
+    """Write the three panels of a Figure 3/4-style result as CSV."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    rows_a = [("hdfs", "", result.baseline.remote_tasks_per_hour,
+               result.baseline.remote_fraction)]
+    rows_a += [
+        ("aurora", eps, run.remote_tasks_per_hour, run.remote_fraction)
+        for eps, run in sorted(result.aurora.items())
+    ]
+    _write_csv(
+        directory / f"{prefix}a.csv",
+        ("system", "epsilon", "remote_tasks_per_hour", "remote_fraction"),
+        rows_a,
+    )
+    rows_b = []
+    for value, prob in cdf_series(result.baseline.machine_task_loads, 50):
+        rows_b.append(("hdfs", "", value, prob))
+    for eps, run in sorted(result.aurora.items()):
+        for value, prob in cdf_series(run.machine_task_loads, 50):
+            rows_b.append(("aurora", eps, value, prob))
+    _write_csv(
+        directory / f"{prefix}b.csv",
+        ("system", "epsilon", "machine_load", "cdf"),
+        rows_b,
+    )
+    rows_c = [
+        (eps, run.moves_per_machine_per_hour)
+        for eps, run in sorted(result.aurora.items())
+    ]
+    _write_csv(
+        directory / f"{prefix}c.csv",
+        ("epsilon", "moves_per_machine_per_hour"),
+        rows_c,
+    )
+
+
+def export_fig5(result: Fig5Result, directory: _PathLike) -> None:
+    """Write Figure 5's panels as CSV."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    rows_a = [("scarlett", "", result.scarlett.remote_tasks_per_hour,
+               result.scarlett.remote_fraction)]
+    rows_a += [
+        ("aurora", eps, run.remote_tasks_per_hour, run.remote_fraction)
+        for eps, run in sorted(result.aurora.items())
+    ]
+    _write_csv(
+        directory / "fig5a.csv",
+        ("system", "epsilon", "remote_tasks_per_hour", "remote_fraction"),
+        rows_a,
+    )
+    rows_b = []
+    for value, prob in cdf_series(result.scarlett.machine_task_loads, 50):
+        rows_b.append(("scarlett", "", value, prob))
+    for eps, run in sorted(result.aurora.items()):
+        for value, prob in cdf_series(run.machine_task_loads, 50):
+            rows_b.append(("aurora", eps, value, prob))
+    _write_csv(
+        directory / "fig5b.csv",
+        ("system", "epsilon", "machine_load", "cdf"),
+        rows_b,
+    )
+    rows_c = [
+        (eps, run.data_movement_per_machine_per_hour)
+        for eps, run in sorted(result.aurora.items())
+    ]
+    _write_csv(
+        directory / "fig5c.csv",
+        ("epsilon", "movement_per_machine_per_hour"),
+        rows_c,
+    )
+
+
+def export_fig6(result: Fig6Result, directory: _PathLike) -> None:
+    """Write Figure 6's panels as CSV."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    _write_csv(
+        directory / "fig6a.csv",
+        ("system", "remote_fraction", "jobs_completed"),
+        [
+            (name, run.remote_fraction, run.jobs_completed)
+            for name, run in result.runs().items()
+        ],
+    )
+    rows_b = []
+    for name, run in (("aurora", result.aurora), ("hdfs", result.hdfs)):
+        for value, prob in cdf_series(
+                speedup_over(result.scarlett, run), 50):
+            rows_b.append((name, value, prob))
+    _write_csv(
+        directory / "fig6b.csv",
+        ("system", "speedup_over_scarlett", "cdf"),
+        rows_b,
+    )
+    rows_c = [
+        (value, prob)
+        for value, prob in cdf_series(result.aurora.movement_durations, 50)
+    ]
+    _write_csv(
+        directory / "fig6c.csv", ("movement_duration_s", "cdf"), rows_c,
+    )

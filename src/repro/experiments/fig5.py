@@ -1,0 +1,130 @@
+"""Figure 5 — Case 3: dynamic replication, Aurora versus Scarlett.
+
+Both systems get the same extra-replica budget (the paper used beta =
+70 000 additional blocks on its 845-machine trace; the default here
+scales proportionally to the workload).  The paper's headline: Scarlett
+already halves remote tasks versus stock HDFS, and Aurora cuts them a
+further 26.9%, with near-perfect load balancing and the movement
+overhead dropping to fractions of a block per machine per hour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.experiments.fig3 import DEFAULT_EPSILONS, default_trace
+from repro.experiments.harness import (
+    ClusterConfig,
+    ExperimentConfig,
+    RunResult,
+    SystemKind,
+    run_experiment,
+)
+from repro.experiments.report import cdf_series, render_table
+from repro.workload.trace import WorkloadTrace
+
+__all__ = ["Fig5Result", "run_fig5", "render_fig5", "default_budget"]
+
+
+def default_budget(trace: WorkloadTrace) -> int:
+    """Extra-replica budget scaled from the paper's beta.
+
+    The paper grants 70 000 additional blocks; relative to its trace that
+    is on the order of half the base replica count, so we default to
+    ``0.5 * 3 * total_blocks`` extra replicas.
+    """
+    return max(1, (3 * trace.total_blocks) // 2)
+
+
+@dataclass
+class Fig5Result:
+    """Scarlett baseline plus Aurora runs per epsilon."""
+
+    scarlett: RunResult
+    aurora: Dict[float, RunResult] = field(default_factory=dict)
+
+    def best_reduction(self) -> float:
+        """Largest remote-task reduction versus Scarlett."""
+        base = self.scarlett.remote_tasks_per_hour
+        if base == 0:
+            return 0.0
+        best = min(run.remote_tasks_per_hour for run in self.aurora.values())
+        return (base - best) / base
+
+
+def _case_config(
+    system: SystemKind,
+    epsilon: float,
+    cluster: ClusterConfig,
+    budget_extra: int,
+    seed: int,
+) -> ExperimentConfig:
+    return ExperimentConfig(
+        system=system,
+        cluster=cluster,
+        replication=3,
+        rack_spread=2,
+        epsilon=epsilon,
+        budget_extra_blocks=budget_extra,
+        seed=seed,
+    )
+
+
+def run_fig5(
+    trace: Optional[WorkloadTrace] = None,
+    cluster: Optional[ClusterConfig] = None,
+    epsilons: Tuple[float, ...] = DEFAULT_EPSILONS,
+    budget_extra: Optional[int] = None,
+    seed: int = 0,
+) -> Fig5Result:
+    """Regenerate Figure 5's data points."""
+    trace = trace or default_trace(seed)
+    cluster = cluster or ClusterConfig()
+    budget = default_budget(trace) if budget_extra is None else budget_extra
+    scarlett = run_experiment(
+        trace, _case_config(SystemKind.SCARLETT, 0.0, cluster, budget, seed)
+    )
+    result = Fig5Result(scarlett=scarlett)
+    for epsilon in epsilons:
+        result.aurora[epsilon] = run_experiment(
+            trace,
+            _case_config(SystemKind.AURORA, epsilon, cluster, budget, seed),
+        )
+    return result
+
+
+def render_fig5(result: Fig5Result) -> str:
+    """Render the three panels as the paper's rows/series."""
+    rows = [(
+        "Scarlett",
+        result.scarlett.remote_tasks_per_hour,
+        result.scarlett.remote_fraction * 100,
+        result.scarlett.data_movement_per_machine_per_hour,
+    )]
+    for epsilon, run in sorted(result.aurora.items()):
+        rows.append((
+            f"Aurora eps={epsilon}",
+            run.remote_tasks_per_hour,
+            run.remote_fraction * 100,
+            run.data_movement_per_machine_per_hour,
+        ))
+    panel_a = render_table(
+        ["system", "remote tasks/h", "remote %", "moves+reps/machine/h"],
+        rows,
+    )
+    lines = ["Figure 5(a,c): remote tasks and movement overhead", panel_a, ""]
+    lines.append("Figure 5(b): machine load CDF (tasks per machine)")
+    cdf_rows = []
+    for value, prob in cdf_series(result.scarlett.machine_task_loads, points=5):
+        cdf_rows.append(("Scarlett", value, prob))
+    for epsilon, run in sorted(result.aurora.items()):
+        for value, prob in cdf_series(run.machine_task_loads, points=5):
+            cdf_rows.append((f"eps={epsilon}", value, prob))
+    lines.append(render_table(["series", "load", "P(X<=x)"], cdf_rows))
+    lines.append("")
+    lines.append(
+        "max remote-task reduction vs Scarlett: "
+        f"{result.best_reduction() * 100:.1f}% (paper: 26.9%)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,66 @@
+"""Textual rendering of experiment results.
+
+Each figure harness returns structured results; these helpers print them
+as the rows/series the paper reports — plain ASCII tables and CDF series,
+so benchmark output is directly comparable to the published plots.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["render_table", "cdf_series", "render_cdf", "format_number"]
+
+
+def format_number(value: float, digits: int = 2) -> str:
+    """Human-friendly fixed-point formatting ('-' for NaN)."""
+    if value != value:  # NaN
+        return "-"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.{digits}f}"
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """ASCII table with right-aligned numeric columns."""
+    text_rows: List[List[str]] = [
+        [cell if isinstance(cell, str) else format_number(cell) for cell in row]
+        for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    header = " | ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append(
+            " | ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def cdf_series(
+    samples: Sequence[float], points: int = 10
+) -> List[Tuple[float, float]]:
+    """Empirical CDF of ``samples`` as ``points`` (value, prob) pairs."""
+    if len(samples) == 0:
+        return []
+    ordered = np.sort(np.asarray(samples, dtype=np.float64))
+    n = len(ordered)
+    indices = np.linspace(0, n - 1, num=min(points, n)).astype(int)
+    return [(float(ordered[i]), float((i + 1) / n)) for i in indices]
+
+
+def render_cdf(
+    label: str, samples: Sequence[float], points: int = 10
+) -> str:
+    """A CDF as a two-column table headed by ``label``."""
+    series = cdf_series(samples, points)
+    rows = [(format_number(v), format_number(p, 3)) for v, p in series]
+    table = render_table(["value", "P(X<=x)"], rows)
+    return f"{label}\n{table}"

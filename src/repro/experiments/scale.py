@@ -1,0 +1,115 @@
+"""Cluster-scale study: does Aurora's advantage grow with cluster size?
+
+Section VI.B conjectures: "We believe this gain will be higher if larger
+clusters are used, as data locality tends to decrease as the number of
+machines increases."  This experiment tests that claim directly: the
+same workload intensity per machine is replayed on clusters of
+increasing size, and the locality gap between stock HDFS and Aurora is
+measured at each scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.experiments.harness import (
+    ClusterConfig,
+    ExperimentConfig,
+    RunResult,
+    SystemKind,
+    run_experiment,
+)
+from repro.experiments.report import render_table
+from repro.workload.yahoo import YahooTraceConfig, generate_yahoo_trace
+
+__all__ = ["ScalePoint", "run_scale_study", "render_scale_study"]
+
+
+@dataclass(frozen=True)
+class ScalePoint:
+    """One cluster size's HDFS-vs-Aurora comparison."""
+
+    num_machines: int
+    hdfs: RunResult
+    aurora: RunResult
+
+    @property
+    def hdfs_remote_fraction(self) -> float:
+        """Stock HDFS's remote-task fraction at this scale."""
+        return self.hdfs.remote_fraction
+
+    @property
+    def gain(self) -> float:
+        """Absolute locality gain of Aurora over HDFS."""
+        return self.hdfs.remote_fraction - self.aurora.remote_fraction
+
+
+def run_scale_study(
+    machines_per_rack_options: Tuple[int, ...] = (3, 5, 8),
+    num_racks: int = 13,
+    jobs_per_machine_hour: float = 8.5,
+    duration_hours: float = 2.0,
+    epsilon: float = 0.1,
+    seed: int = 0,
+) -> List[ScalePoint]:
+    """Sweep cluster sizes at constant per-machine workload intensity.
+
+    The job arrival rate scales with the machine count so utilization is
+    comparable at every point; only the cluster size (and hence the
+    replica dilution random placement suffers) varies.
+    """
+    points: List[ScalePoint] = []
+    for per_rack in machines_per_rack_options:
+        cluster = ClusterConfig(
+            num_racks=num_racks,
+            machines_per_rack=per_rack,
+            capacity_blocks=200,
+            slots_per_machine=4,
+        )
+        trace = generate_yahoo_trace(YahooTraceConfig(
+            num_files=max(40, 2 * cluster.num_machines),
+            jobs_per_hour=jobs_per_machine_hour * cluster.num_machines,
+            duration_hours=duration_hours,
+            mean_task_duration=90.0,
+            seed=seed,
+        ))
+        runs: Dict[SystemKind, RunResult] = {}
+        for kind in (SystemKind.HDFS, SystemKind.AURORA):
+            runs[kind] = run_experiment(trace, ExperimentConfig(
+                system=kind,
+                cluster=cluster,
+                rack_spread=2,
+                epsilon=epsilon,
+                seed=seed,
+            ))
+        points.append(ScalePoint(
+            num_machines=cluster.num_machines,
+            hdfs=runs[SystemKind.HDFS],
+            aurora=runs[SystemKind.AURORA],
+        ))
+    return points
+
+
+def render_scale_study(points: List[ScalePoint]) -> str:
+    """Table: machines vs HDFS/Aurora remote fractions and gain."""
+    rows = [
+        (
+            point.num_machines,
+            point.hdfs.remote_fraction * 100,
+            point.aurora.remote_fraction * 100,
+            point.gain * 100,
+        )
+        for point in points
+    ]
+    table = render_table(
+        ["machines", "HDFS remote %", "Aurora remote %", "gain (pp)"], rows
+    )
+    claim = (
+        "paper's conjecture: the gain grows with cluster size — "
+        + ("CONFIRMED" if all(
+            later.gain >= earlier.gain - 0.01
+            for earlier, later in zip(points, points[1:])
+        ) else "NOT CONFIRMED at this scale")
+    )
+    return f"Scale study (E14)\n{table}\n{claim}"

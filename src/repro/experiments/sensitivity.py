@@ -1,0 +1,131 @@
+"""Parameter sensitivity: the operator knobs the paper leaves open.
+
+Section V: "the exact value of W can be controlled by the operator" and
+"we can limit the maximum number of iterations in Algorithm 3 to a
+constant K, which is a tunable parameter".  This study sweeps both on
+the standard workload so an operator can see what each knob buys:
+
+* **W (usage window)** — too short and the popularity estimate is
+  noisy (churny reconfiguration); too long and Aurora reacts slowly to
+  drift;
+* **K (replication-op cap)** — bounds per-period replication traffic at
+  the price of converging to the optimal factors over more periods.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.experiments.harness import (
+    ClusterConfig,
+    ExperimentConfig,
+    RunResult,
+    SystemKind,
+    run_experiment,
+)
+from repro.experiments.report import render_table
+from repro.workload.trace import WorkloadTrace
+
+__all__ = [
+    "SensitivityRow",
+    "run_window_sensitivity",
+    "run_cap_sensitivity",
+    "render_sensitivity",
+]
+
+_SECONDS_PER_HOUR = 3600.0
+
+
+@dataclass(frozen=True)
+class SensitivityRow:
+    """One parameter setting's outcome."""
+
+    parameter: str
+    value: float
+    result: RunResult
+
+    @property
+    def remote_fraction(self) -> float:
+        """Remote-task fraction at this setting."""
+        return self.result.remote_fraction
+
+    @property
+    def movement(self) -> float:
+        """Data movement (moves + replications) per machine-hour."""
+        return self.result.data_movement_per_machine_per_hour
+
+
+def _config(
+    cluster: ClusterConfig,
+    trace: WorkloadTrace,
+    window_hours: float,
+    cap: int,
+    seed: int,
+) -> ExperimentConfig:
+    return ExperimentConfig(
+        system=SystemKind.AURORA,
+        cluster=cluster,
+        epsilon=0.1,
+        window=window_hours * _SECONDS_PER_HOUR,
+        max_replication_ops=cap,
+        budget_extra_blocks=trace.total_blocks,
+        seed=seed,
+    )
+
+
+def run_window_sensitivity(
+    trace: WorkloadTrace,
+    cluster: Optional[ClusterConfig] = None,
+    windows_hours: Tuple[float, ...] = (0.5, 1.0, 2.0, 4.0),
+    seed: int = 0,
+) -> List[SensitivityRow]:
+    """Sweep the usage-monitor window ``W`` (paper default: 2 h)."""
+    cluster = cluster or ClusterConfig()
+    return [
+        SensitivityRow(
+            parameter="W_hours",
+            value=hours,
+            result=run_experiment(
+                trace, _config(cluster, trace, hours, 20_000, seed)
+            ),
+        )
+        for hours in windows_hours
+    ]
+
+
+def run_cap_sensitivity(
+    trace: WorkloadTrace,
+    cluster: Optional[ClusterConfig] = None,
+    caps: Tuple[int, ...] = (10, 100, 1000, 20_000),
+    seed: int = 0,
+) -> List[SensitivityRow]:
+    """Sweep Algorithm 3's per-period cap ``K`` (paper default: 20 000)."""
+    cluster = cluster or ClusterConfig()
+    return [
+        SensitivityRow(
+            parameter="K",
+            value=float(cap),
+            result=run_experiment(
+                trace, _config(cluster, trace, 2.0, cap, seed)
+            ),
+        )
+        for cap in caps
+    ]
+
+
+def render_sensitivity(rows: List[SensitivityRow], title: str) -> str:
+    """Table: parameter value vs locality and movement."""
+    table = render_table(
+        ["value", "remote %", "movement/machine/h", "jobs done"],
+        [
+            (
+                row.value,
+                row.remote_fraction * 100,
+                row.movement,
+                row.result.jobs_completed,
+            )
+            for row in rows
+        ],
+    )
+    return f"{title}\n{table}"

@@ -1,0 +1,17 @@
+"""Block usage monitoring and popularity forecasting."""
+
+from repro.monitor.forecast import (
+    Ar1Predictor,
+    EwmaPredictor,
+    HistoricalPredictor,
+    PopularityPredictor,
+)
+from repro.monitor.usage import UsageMonitor
+
+__all__ = [
+    "Ar1Predictor",
+    "EwmaPredictor",
+    "HistoricalPredictor",
+    "PopularityPredictor",
+    "UsageMonitor",
+]

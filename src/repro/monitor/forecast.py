@@ -1,0 +1,142 @@
+"""Popularity forecasting for future reconfiguration periods.
+
+The paper notes that "while many algorithms (e.g. ARIMA) may be used to
+predict file popularity in future time periods, we found using the
+historical value is sufficient".  We therefore ship the paper's choice —
+:class:`HistoricalPredictor` — plus two light-weight alternatives used in
+the ablation benches: exponentially weighted smoothing and an AR(1)
+autoregressive model fitted online (the closest in-library stand-in for
+the ARIMA pointer).
+
+All predictors share one interface: feed each period's observed per-block
+popularity with :meth:`observe`, read the next-period estimate with
+:meth:`predict`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from typing import Dict, Mapping, Protocol, runtime_checkable
+
+from repro.errors import InvalidProblemError
+
+__all__ = [
+    "PopularityPredictor",
+    "HistoricalPredictor",
+    "EwmaPredictor",
+    "Ar1Predictor",
+]
+
+
+@runtime_checkable
+class PopularityPredictor(Protocol):
+    """Interface for per-block popularity forecasters."""
+
+    def observe(self, popularities: Mapping[int, float]) -> None:
+        """Feed one period's observed popularity per block."""
+        ...  # pragma: no cover - protocol definition
+
+    def predict(self) -> Dict[int, float]:
+        """Estimate each block's popularity for the next period."""
+        ...  # pragma: no cover - protocol definition
+
+
+class HistoricalPredictor:
+    """The paper's predictor: next period = last observed period."""
+
+    def __init__(self) -> None:
+        self._last: Dict[int, float] = {}
+
+    def observe(self, popularities: Mapping[int, float]) -> None:
+        """Replace the estimate with the latest observation."""
+        self._last = dict(popularities)
+
+    def predict(self) -> Dict[int, float]:
+        """The most recent observation, verbatim."""
+        return dict(self._last)
+
+
+class EwmaPredictor:
+    """Exponentially weighted moving average of per-block popularity."""
+
+    def __init__(self, alpha: float = 0.5) -> None:
+        if not 0 < alpha <= 1:
+            raise InvalidProblemError("alpha must be in (0, 1]")
+        self.alpha = alpha
+        self._estimate: Dict[int, float] = defaultdict(float)
+
+    def observe(self, popularities: Mapping[int, float]) -> None:
+        """Blend the new observation into the running average.
+
+        Blocks absent from the observation decay towards zero.
+        """
+        seen = set(popularities)
+        for block_id, value in popularities.items():
+            previous = self._estimate.get(block_id, 0.0)
+            self._estimate[block_id] = (
+                self.alpha * value + (1 - self.alpha) * previous
+            )
+        for block_id in list(self._estimate):
+            if block_id not in seen:
+                self._estimate[block_id] *= 1 - self.alpha
+                if self._estimate[block_id] < 1e-9:
+                    del self._estimate[block_id]
+
+    def predict(self) -> Dict[int, float]:
+        """Current smoothed estimates."""
+        return dict(self._estimate)
+
+
+class Ar1Predictor:
+    """Per-block AR(1) model ``x_{t+1} = c + phi * x_t`` fitted online.
+
+    Keeps a short history per block and fits ``phi``/``c`` by least
+    squares over consecutive pairs; falls back to the historical value
+    until enough history accumulates.  Predictions are clamped to be
+    non-negative.
+    """
+
+    def __init__(self, history: int = 8) -> None:
+        if history < 3:
+            raise InvalidProblemError("history must be >= 3")
+        self.history = history
+        self._series: Dict[int, deque] = {}
+
+    def observe(self, popularities: Mapping[int, float]) -> None:
+        """Append one period of observations to each block's history."""
+        seen = set(popularities)
+        for block_id, value in popularities.items():
+            series = self._series.setdefault(
+                block_id, deque(maxlen=self.history)
+            )
+            series.append(float(value))
+        # Blocks that vanished observed a zero this period.
+        for block_id, series in self._series.items():
+            if block_id not in seen:
+                series.append(0.0)
+
+    def predict(self) -> Dict[int, float]:
+        """One-step-ahead AR(1) forecast per block."""
+        result: Dict[int, float] = {}
+        for block_id, series in self._series.items():
+            values = list(series)
+            if not values:
+                continue
+            if len(values) < 3:
+                result[block_id] = values[-1]
+                continue
+            xs = values[:-1]
+            ys = values[1:]
+            n = len(xs)
+            mean_x = sum(xs) / n
+            mean_y = sum(ys) / n
+            var_x = sum((x - mean_x) ** 2 for x in xs)
+            if var_x < 1e-12:
+                result[block_id] = values[-1]
+                continue
+            phi = sum(
+                (x - mean_x) * (y - mean_y) for x, y in zip(xs, ys)
+            ) / var_x
+            intercept = mean_y - phi * mean_x
+            result[block_id] = max(0.0, intercept + phi * values[-1])
+        return result

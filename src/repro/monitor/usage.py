@@ -1,0 +1,82 @@
+"""Sliding-window block usage monitoring (Aurora's usage monitor).
+
+"The usage monitor in Aurora determines block popularity by recording the
+number of accesses of a block within a sliding time window W (i.e. the
+number of recent accesses in W hours)."  :class:`UsageMonitor` implements
+exactly that: per-block access timestamps in deques, expired lazily, with
+``W`` configurable by the operator.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable
+
+from repro.errors import InvalidProblemError
+
+__all__ = ["UsageMonitor"]
+
+
+class UsageMonitor:
+    """Counts block accesses inside a sliding window of ``window`` seconds."""
+
+    def __init__(self, window: float) -> None:
+        if window <= 0:
+            raise InvalidProblemError("window must be positive")
+        self.window = float(window)
+        self._accesses: Dict[int, deque] = {}
+        self._total_recorded = 0
+
+    @property
+    def total_recorded(self) -> int:
+        """All accesses ever recorded (not just those inside the window)."""
+        return self._total_recorded
+
+    def record_access(self, block_id: int, time: float) -> None:
+        """Record that ``block_id`` was read at simulated ``time``."""
+        queue = self._accesses.get(block_id)
+        if queue is None:
+            queue = deque()
+            self._accesses[block_id] = queue
+        queue.append(time)
+        self._total_recorded += 1
+
+    def record_many(self, block_ids: Iterable[int], time: float) -> None:
+        """Record one access for each block in ``block_ids``."""
+        for block_id in block_ids:
+            self.record_access(block_id, time)
+
+    def popularity(self, block_id: int, now: float) -> int:
+        """Accesses of ``block_id`` within ``[now - window, now]``."""
+        queue = self._accesses.get(block_id)
+        if queue is None:
+            return 0
+        self._expire(queue, now)
+        return len(queue)
+
+    def snapshot(self, now: float) -> Dict[int, int]:
+        """Window popularity of every block with at least one access.
+
+        This is the ``P_i`` vector Aurora's optimizer feeds to
+        Algorithm 3 at each reconfiguration period.
+        """
+        result: Dict[int, int] = {}
+        empty = []
+        for block_id, queue in self._accesses.items():
+            self._expire(queue, now)
+            if queue:
+                result[block_id] = len(queue)
+            else:
+                empty.append(block_id)
+        for block_id in empty:
+            del self._accesses[block_id]
+        return result
+
+    def forget(self, block_id: int) -> None:
+        """Drop all state for a deleted block."""
+        self._accesses.pop(block_id, None)
+
+    def _expire(self, queue: deque, now: float) -> None:
+        cutoff = now - self.window
+        while queue and queue[0] < cutoff:
+            queue.popleft()

@@ -1,0 +1,32 @@
+"""MapReduce-style task scheduling substrate.
+
+Slot-based capacity scheduler with locality awareness, delay scheduling
+and the paper's 2x local-vs-remote runtime model.
+"""
+
+from repro.scheduler.capacity import MapReduceScheduler, QueueConfig, TaskAttempt
+from repro.scheduler.fair import FairScheduler
+from repro.scheduler.speculation import SpeculativeExecutor
+from repro.scheduler.delay import (
+    DelaySchedulingPolicy,
+    NoDelayPolicy,
+    SchedulingDelayPolicy,
+)
+from repro.scheduler.job import Job, MapTask, TaskLocality, TaskState
+from repro.scheduler.runtime import TaskRuntimeModel
+
+__all__ = [
+    "MapReduceScheduler",
+    "FairScheduler",
+    "QueueConfig",
+    "TaskAttempt",
+    "SpeculativeExecutor",
+    "DelaySchedulingPolicy",
+    "NoDelayPolicy",
+    "SchedulingDelayPolicy",
+    "Job",
+    "MapTask",
+    "TaskLocality",
+    "TaskState",
+    "TaskRuntimeModel",
+]

@@ -1,0 +1,57 @@
+"""Delay scheduling (Zaharia et al., EuroSys 2010).
+
+The paper cites delay scheduling as the standard locality-improving
+technique whose effectiveness dynamic replication amplifies: "many recent
+scheduling algorithms have been proposed to improve data locality [17],
+[20]".  The policy is tiny: a task whose block has no free local slot
+declines up to ``max_skips`` scheduling opportunities before conceding a
+rack-local or remote launch.  With the scheduler's retry cadence this
+bounds each task's wait to ``max_skips * retry_interval`` simulated
+seconds — short relative to task runtimes, exactly the regime delay
+scheduling targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+from repro.errors import SchedulerError
+from repro.scheduler.job import MapTask
+
+__all__ = ["SchedulingDelayPolicy", "NoDelayPolicy", "DelaySchedulingPolicy"]
+
+
+@runtime_checkable
+class SchedulingDelayPolicy(Protocol):
+    """Decides whether a task should keep waiting for a local slot."""
+
+    def should_wait(self, task: MapTask) -> bool:
+        """Whether ``task`` should decline a non-local launch for now."""
+        ...  # pragma: no cover - protocol definition
+
+
+class NoDelayPolicy:
+    """Never wait: take any slot immediately (plain FIFO locality)."""
+
+    def should_wait(self, task: MapTask) -> bool:
+        """Never."""
+        return False
+
+
+@dataclass
+class DelaySchedulingPolicy:
+    """Skip up to ``max_skips`` offers per task while waiting for locality."""
+
+    max_skips: int = 3
+
+    def __post_init__(self) -> None:
+        if self.max_skips < 1:
+            raise SchedulerError("max_skips must be >= 1")
+
+    def should_wait(self, task: MapTask) -> bool:
+        """Wait while the task's skip budget lasts, then concede."""
+        if task.skip_count < self.max_skips:
+            task.skip_count += 1
+            return True
+        return False

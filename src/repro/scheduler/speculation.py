@@ -1,0 +1,90 @@
+"""Speculative execution: backup attempts for straggler tasks.
+
+MapReduce's classic mitigation for slow machines: when a running task
+has taken much longer than the job's expected task duration, launch a
+duplicate attempt elsewhere; the first finisher wins and the loser is
+killed.  In this simulator stragglers arise from remote reads (2x) and
+runtime jitter, and speculation converts a slow remote attempt into a
+fast local one whenever replicas free up.
+
+Attach to a scheduler with::
+
+    executor = SpeculativeExecutor(sim, scheduler)
+    executor.start()
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import SchedulerError
+from repro.scheduler.capacity import MapReduceScheduler
+from repro.scheduler.job import TaskState
+from repro.simulation.engine import EventToken, Simulation
+
+__all__ = ["SpeculativeExecutor"]
+
+
+class SpeculativeExecutor:
+    """Periodically scans for stragglers and launches backup attempts."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        scheduler: MapReduceScheduler,
+        check_interval: float = 15.0,
+        slowdown_threshold: float = 1.5,
+        max_backups_per_scan: int = 4,
+    ) -> None:
+        if check_interval <= 0:
+            raise SchedulerError("check_interval must be positive")
+        if slowdown_threshold <= 1.0:
+            raise SchedulerError("slowdown_threshold must exceed 1")
+        if max_backups_per_scan < 1:
+            raise SchedulerError("max_backups_per_scan must be >= 1")
+        self.sim = sim
+        self.scheduler = scheduler
+        self.check_interval = check_interval
+        self.slowdown_threshold = slowdown_threshold
+        self.max_backups_per_scan = max_backups_per_scan
+        self._token: Optional[EventToken] = None
+
+    def start(self) -> None:
+        """Begin periodic straggler scans."""
+        if self._token is not None:
+            raise SchedulerError("speculative executor already started")
+        self._token = self.sim.schedule_periodic(
+            self.check_interval, self.scan
+        )
+
+    def stop(self) -> None:
+        """Cancel the scans."""
+        if self._token is not None:
+            self._token.cancel()
+            self._token = None
+
+    def scan(self) -> int:
+        """One pass: back up the slowest overdue tasks; returns launches."""
+        candidates = []
+        for queue in self.scheduler._queues.values():
+            for job in queue.jobs:
+                deadline = job.task_duration * self.slowdown_threshold
+                for task in job.tasks:
+                    if task.state is not TaskState.RUNNING:
+                        continue
+                    assert task.start_time is not None
+                    elapsed = self.sim.now - task.start_time
+                    if elapsed <= deadline:
+                        continue
+                    if len(self.scheduler.live_attempts(
+                            job.job_id, task.task_id)) > 1:
+                        continue  # already backed up
+                    candidates.append((elapsed / deadline, job, task))
+        candidates.sort(key=lambda item: item[0], reverse=True)
+        launched = 0
+        for _, job, task in candidates:
+            if launched >= self.max_backups_per_scan:
+                break
+            if self.scheduler.launch_speculative(job, task):
+                launched += 1
+        return launched

@@ -1,0 +1,20 @@
+"""Discrete-event simulation kernel and metric collectors."""
+
+from repro.simulation.engine import EventToken, Simulation
+from repro.simulation.metrics import (
+    Counter,
+    Distribution,
+    HourlyRate,
+    MetricsRecorder,
+    TimeSeries,
+)
+
+__all__ = [
+    "EventToken",
+    "Simulation",
+    "Counter",
+    "Distribution",
+    "HourlyRate",
+    "MetricsRecorder",
+    "TimeSeries",
+]

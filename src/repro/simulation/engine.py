@@ -1,0 +1,169 @@
+"""Discrete-event simulation engine.
+
+A small, deterministic DES kernel used by the HDFS simulator and the task
+scheduler.  Events are callbacks scheduled at absolute simulated times;
+ties are broken by insertion order so runs are fully reproducible.
+
+Typical use::
+
+    sim = Simulation()
+    sim.schedule(10.0, lambda: print("at t=10"))
+    token = sim.schedule_periodic(3600.0, optimize_placement)
+    sim.run(until=7 * 24 * 3600.0)
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional
+
+from repro.errors import SimulationError
+
+__all__ = ["Simulation", "EventToken"]
+
+
+class EventToken:
+    """Handle to a scheduled event; supports cancellation.
+
+    For periodic events the token covers every future firing.
+    """
+
+    __slots__ = ("cancelled",)
+
+    def __init__(self) -> None:
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event (and, if periodic, all future firings)."""
+        self.cancelled = True
+
+
+class _Entry:
+    """Heap entry; orders by (time, sequence)."""
+
+    __slots__ = ("time", "seq", "action", "token")
+
+    def __init__(self, time: float, seq: int, action: Callable[[], None],
+                 token: EventToken) -> None:
+        self.time = time
+        self.seq = seq
+        self.action = action
+        self.token = token
+
+    def __lt__(self, other: "_Entry") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+
+class Simulation:
+    """Deterministic discrete-event simulator.
+
+    ``now`` is the current simulated time in seconds.  Events scheduled at
+    the same instant fire in scheduling order.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self._queue: List[_Entry] = []
+        self._seq = 0
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of events executed so far."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._queue)
+
+    def schedule(self, delay: float, action: Callable[[], None]) -> EventToken:
+        """Run ``action`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self._now + delay, action)
+
+    def schedule_at(self, time: float, action: Callable[[], None]) -> EventToken:
+        """Run ``action`` at absolute simulated time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} before current time {self._now}"
+            )
+        token = EventToken()
+        self._push(time, action, token)
+        return token
+
+    def schedule_periodic(
+        self,
+        interval: float,
+        action: Callable[[], None],
+        first_at: Optional[float] = None,
+    ) -> EventToken:
+        """Run ``action`` every ``interval`` seconds until cancelled.
+
+        The first firing defaults to one full interval from now; pass
+        ``first_at`` to override.
+        """
+        if interval <= 0:
+            raise SimulationError("periodic interval must be positive")
+        token = EventToken()
+
+        def fire() -> None:
+            action()
+            if not token.cancelled:
+                self._push(self._now + interval, fire, token)
+
+        start = self._now + interval if first_at is None else first_at
+        if start < self._now:
+            raise SimulationError("first_at must not be in the past")
+        self._push(start, fire, token)
+        return token
+
+    def step(self) -> bool:
+        """Execute the next event; returns False when the queue is empty."""
+        while self._queue:
+            entry = heapq.heappop(self._queue)
+            if entry.token.cancelled:
+                continue
+            self._now = entry.time
+            self._events_processed += 1
+            entry.action()
+            return True
+        return False
+
+    def run(
+        self, until: Optional[float] = None, max_events: Optional[int] = None
+    ) -> None:
+        """Run events until the queue drains, ``until`` passes, or the cap hits.
+
+        With ``until`` set, events strictly after that time remain queued
+        and the clock is advanced exactly to ``until``.
+        """
+        executed = 0
+        while self._queue:
+            if max_events is not None and executed >= max_events:
+                return
+            head = self._queue[0]
+            if head.token.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if until is not None and head.time > until:
+                self._now = until
+                return
+            if not self.step():
+                break
+            executed += 1
+        if until is not None and self._now < until:
+            self._now = until
+
+    def _push(self, time: float, action: Callable[[], None],
+              token: EventToken) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, _Entry(time, self._seq, action, token))

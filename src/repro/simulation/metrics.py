@@ -1,0 +1,191 @@
+"""Metric collection for simulation runs.
+
+The experiments report per-hour event rates (remote tasks, block moves),
+distributions (machine load CDFs, movement durations) and plain counters.
+This module provides small, dependency-light collectors for each:
+
+* :class:`Counter` — named integer/float counters;
+* :class:`HourlyRate` — time-bucketed event counts with per-hour rates;
+* :class:`Distribution` — sample collector with percentile/CDF helpers;
+* :class:`TimeSeries` — (time, value) pairs;
+* :class:`MetricsRecorder` — a registry bundling the above by name.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Counter", "HourlyRate", "Distribution", "TimeSeries", "MetricsRecorder"]
+
+_SECONDS_PER_HOUR = 3600.0
+
+
+class Counter:
+    """Named scalar counters."""
+
+    def __init__(self) -> None:
+        self._values: Dict[str, float] = defaultdict(float)
+
+    def add(self, name: str, amount: float = 1.0) -> None:
+        """Increment ``name`` by ``amount``."""
+        self._values[name] += amount
+
+    def get(self, name: str) -> float:
+        """Current value of ``name`` (0 when never incremented)."""
+        return self._values.get(name, 0.0)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Snapshot of all counters."""
+        return dict(self._values)
+
+
+class HourlyRate:
+    """Event counts bucketed by simulated hour."""
+
+    def __init__(self) -> None:
+        self._buckets: Dict[int, float] = defaultdict(float)
+
+    def record(self, time: float, amount: float = 1.0) -> None:
+        """Record ``amount`` events at simulated ``time`` (seconds)."""
+        self._buckets[int(time // _SECONDS_PER_HOUR)] += amount
+
+    def total(self) -> float:
+        """Total events across all hours."""
+        return sum(self._buckets.values())
+
+    def per_hour(self, horizon_hours: int) -> List[float]:
+        """Counts for hours ``0 .. horizon_hours-1`` (zeros where idle)."""
+        return [self._buckets.get(h, 0.0) for h in range(horizon_hours)]
+
+    def mean_per_hour(self, horizon_hours: int) -> float:
+        """Average events per hour over the horizon."""
+        if horizon_hours <= 0:
+            return 0.0
+        return self.total() / horizon_hours
+
+
+class Distribution:
+    """Sample collector with summary statistics and CDF extraction."""
+
+    def __init__(self) -> None:
+        self._samples: List[float] = []
+
+    def record(self, value: float) -> None:
+        """Add one sample."""
+        self._samples.append(float(value))
+
+    def extend(self, values: Sequence[float]) -> None:
+        """Add many samples."""
+        self._samples.extend(float(v) for v in values)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def samples(self) -> List[float]:
+        """All recorded samples, in insertion order."""
+        return list(self._samples)
+
+    def mean(self) -> float:
+        """Arithmetic mean (nan when empty)."""
+        if not self._samples:
+            return math.nan
+        return float(np.mean(self._samples))
+
+    def std(self) -> float:
+        """Population standard deviation (nan when empty)."""
+        if not self._samples:
+            return math.nan
+        return float(np.std(self._samples))
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile, ``q`` in [0, 100]."""
+        if not self._samples:
+            return math.nan
+        return float(np.percentile(self._samples, q))
+
+    def max(self) -> float:
+        """Largest sample (nan when empty)."""
+        if not self._samples:
+            return math.nan
+        return float(np.max(self._samples))
+
+    def min(self) -> float:
+        """Smallest sample (nan when empty)."""
+        if not self._samples:
+            return math.nan
+        return float(np.min(self._samples))
+
+    def cdf(self, points: int = 20) -> List[Tuple[float, float]]:
+        """Empirical CDF as ``points`` (value, probability) pairs."""
+        if not self._samples:
+            return []
+        ordered = np.sort(self._samples)
+        n = len(ordered)
+        indices = np.linspace(0, n - 1, num=min(points, n)).astype(int)
+        return [(float(ordered[i]), float((i + 1) / n)) for i in indices]
+
+    def coefficient_of_variation(self) -> float:
+        """std / mean — the load-imbalance scalar used in summaries."""
+        mean = self.mean()
+        if not self._samples or mean == 0:
+            return math.nan
+        return self.std() / mean
+
+
+class TimeSeries:
+    """Sequence of (time, value) observations."""
+
+    def __init__(self) -> None:
+        self._points: List[Tuple[float, float]] = []
+
+    def record(self, time: float, value: float) -> None:
+        """Append an observation."""
+        self._points.append((float(time), float(value)))
+
+    @property
+    def points(self) -> List[Tuple[float, float]]:
+        """All observations, in insertion order."""
+        return list(self._points)
+
+    def values(self) -> List[float]:
+        """Just the observed values."""
+        return [value for _, value in self._points]
+
+    def last(self) -> Tuple[float, float]:
+        """Most recent observation."""
+        if not self._points:
+            raise IndexError("empty time series")
+        return self._points[-1]
+
+
+class MetricsRecorder:
+    """Named registry of counters, rates, distributions and series."""
+
+    def __init__(self) -> None:
+        self.counters = Counter()
+        self._rates: Dict[str, HourlyRate] = {}
+        self._distributions: Dict[str, Distribution] = {}
+        self._series: Dict[str, TimeSeries] = {}
+
+    def rate(self, name: str) -> HourlyRate:
+        """The hourly-rate collector called ``name`` (created on demand)."""
+        if name not in self._rates:
+            self._rates[name] = HourlyRate()
+        return self._rates[name]
+
+    def distribution(self, name: str) -> Distribution:
+        """The distribution collector called ``name`` (created on demand)."""
+        if name not in self._distributions:
+            self._distributions[name] = Distribution()
+        return self._distributions[name]
+
+    def series(self, name: str) -> TimeSeries:
+        """The time series called ``name`` (created on demand)."""
+        if name not in self._series:
+            self._series[name] = TimeSeries()
+        return self._series[name]

@@ -1,0 +1,53 @@
+"""Workload substrate: popularity models and trace synthesizers.
+
+The paper evaluates on a Yahoo! grid trace and SWIM's Facebook traces;
+both are access-gated, so this package synthesizes workloads with the
+same statistical properties (see DESIGN.md, substitutions table).
+"""
+
+from repro.workload.popularity import (
+    PopularityDrift,
+    WeightedSampler,
+    gini_coefficient,
+    top_share,
+    zipf_weights,
+)
+from repro.workload.stats import TraceStats, compute_trace_stats, describe_trace
+from repro.workload.swim import SwimTraceConfig, generate_swim_trace, scale_down
+from repro.workload.trace import (
+    DEFAULT_BLOCK_SIZE,
+    TraceFile,
+    TraceJob,
+    WorkloadTrace,
+)
+from repro.workload.transform import (
+    merge_traces,
+    scale_arrival_rate,
+    slice_trace,
+    truncate_jobs,
+)
+from repro.workload.yahoo import YahooTraceConfig, generate_yahoo_trace
+
+__all__ = [
+    "PopularityDrift",
+    "WeightedSampler",
+    "gini_coefficient",
+    "top_share",
+    "zipf_weights",
+    "TraceStats",
+    "compute_trace_stats",
+    "describe_trace",
+    "SwimTraceConfig",
+    "generate_swim_trace",
+    "scale_down",
+    "DEFAULT_BLOCK_SIZE",
+    "TraceFile",
+    "TraceJob",
+    "WorkloadTrace",
+    "merge_traces",
+    "scale_arrival_rate",
+    "slice_trace",
+    "truncate_jobs",
+    "YahooTraceConfig",
+    "generate_yahoo_trace",
+]

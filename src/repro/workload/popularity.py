@@ -1,0 +1,155 @@
+"""Popularity models: long-tail (Zipf-like) file popularity.
+
+The paper's motivation rests on production observations that "file
+popularity in one of Yahoo!'s MapReduce clusters follows a long-tail
+distribution" and that a sixth of machines can account for half the
+locality contention.  This module provides the Zipf machinery used by the
+trace synthesizers, plus popularity *drift* so traces exercise Aurora's
+periodic re-optimization.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import random
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import InvalidProblemError
+
+__all__ = [
+    "zipf_weights",
+    "WeightedSampler",
+    "PopularityDrift",
+    "gini_coefficient",
+    "top_share",
+]
+
+
+def zipf_weights(num_items: int, skew: float = 1.1) -> np.ndarray:
+    """Normalized Zipf weights ``w_r ∝ 1 / r^skew`` for ranks ``1..n``.
+
+    ``skew`` around 1.1 reproduces the long-tail shape reported for the
+    Yahoo! trace; larger values concentrate popularity further.
+    """
+    if num_items <= 0:
+        raise InvalidProblemError("num_items must be positive")
+    if skew < 0:
+        raise InvalidProblemError("skew must be non-negative")
+    ranks = np.arange(1, num_items + 1, dtype=np.float64)
+    weights = ranks ** (-skew)
+    return weights / weights.sum()
+
+
+class WeightedSampler:
+    """Draw indices proportionally to a fixed weight vector.
+
+    Uses a cumulative table and binary search so sampling is O(log n) and
+    driven entirely by the injected :class:`random.Random`.
+    """
+
+    def __init__(self, weights: Sequence[float]) -> None:
+        weights = list(weights)
+        if not weights:
+            raise InvalidProblemError("weights must be non-empty")
+        if any(w < 0 for w in weights):
+            raise InvalidProblemError("weights must be non-negative")
+        total = float(sum(weights))
+        if total <= 0:
+            raise InvalidProblemError("weights must not all be zero")
+        self._cdf = list(itertools.accumulate(w / total for w in weights))
+        # Guard the top end against floating point shortfall.
+        self._cdf[-1] = 1.0
+
+    def __len__(self) -> int:
+        return len(self._cdf)
+
+    def sample(self, rng: random.Random) -> int:
+        """One index drawn proportionally to the weights."""
+        return bisect.bisect_left(self._cdf, rng.random())
+
+    def sample_many(self, rng: random.Random, count: int) -> List[int]:
+        """``count`` independent draws."""
+        return [self.sample(rng) for _ in range(count)]
+
+
+class PopularityDrift:
+    """Slowly permute popularity ranks so hotness changes over time.
+
+    Each application swaps a fraction of adjacent ranks and occasionally
+    promotes a cold item to the head — the "block popularities can also
+    change dynamically" behaviour Aurora must track.  Operates on an index
+    permutation so the underlying weight vector stays a clean Zipf.
+    """
+
+    def __init__(self, num_items: int, swap_fraction: float = 0.05,
+                 promotions: int = 1) -> None:
+        if not 0 <= swap_fraction <= 1:
+            raise InvalidProblemError("swap_fraction must be in [0, 1]")
+        if promotions < 0:
+            raise InvalidProblemError("promotions must be non-negative")
+        self._perm = list(range(num_items))
+        self._swap_fraction = swap_fraction
+        self._promotions = promotions
+
+    @property
+    def permutation(self) -> List[int]:
+        """Current rank permutation (rank position -> item id)."""
+        return list(self._perm)
+
+    def item_at_rank(self, rank: int) -> int:
+        """The item currently occupying ``rank`` (0 = hottest)."""
+        return self._perm[rank]
+
+    def step(self, rng: random.Random) -> None:
+        """Advance the drift by one period."""
+        n = len(self._perm)
+        if n < 2:
+            return
+        swaps = int(self._swap_fraction * n)
+        for _ in range(swaps):
+            i = rng.randrange(n - 1)
+            self._perm[i], self._perm[i + 1] = self._perm[i + 1], self._perm[i]
+        for _ in range(self._promotions):
+            source = rng.randrange(n // 2, n)
+            item = self._perm.pop(source)
+            self._perm.insert(0, item)
+
+
+def gini_coefficient(values: Sequence[float]) -> float:
+    """Gini coefficient of a non-negative value vector (0 = equal).
+
+    Used by tests and reports to quantify how skewed a popularity or
+    machine-load vector is.
+    """
+    array = np.sort(np.asarray(list(values), dtype=np.float64))
+    if array.size == 0:
+        raise InvalidProblemError("values must be non-empty")
+    if np.any(array < 0):
+        raise InvalidProblemError("values must be non-negative")
+    total = array.sum()
+    if total == 0:
+        return 0.0
+    n = array.size
+    index = np.arange(1, n + 1)
+    return float((2.0 * (index * array).sum() - (n + 1) * total) / (n * total))
+
+
+def top_share(values: Sequence[float], fraction: float = 1.0 / 6.0) -> float:
+    """Share of total mass held by the top ``fraction`` of items.
+
+    Mirrors the paper's "one-sixth of the machines account for half the
+    locality contention" observation.
+    """
+    if not 0 < fraction <= 1:
+        raise InvalidProblemError("fraction must be in (0, 1]")
+    array = np.sort(np.asarray(list(values), dtype=np.float64))[::-1]
+    if array.size == 0:
+        raise InvalidProblemError("values must be non-empty")
+    total = array.sum()
+    if total == 0:
+        return 0.0
+    head = max(1, int(round(fraction * array.size)))
+    return float(array[:head].sum() / total)

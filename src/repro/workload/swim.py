@@ -1,0 +1,157 @@
+"""SWIM-style Facebook workload synthesizer with scale-down.
+
+The paper's testbed evaluation (Section VI.B) uses the Statistical
+Workload Injector for MapReduce (SWIM), whose repository contains traces
+from a 600-node Facebook cluster, scaled down to the 10-node testbed.
+This module reproduces SWIM's methodology on synthetic data:
+
+* job input sizes are heavy-tailed (log-normal body with a Pareto tail):
+  most jobs are small, a few scan very large files;
+* inter-arrival times are exponential with configurable burstiness
+  (arrival rate multipliers per simulated hour);
+* :func:`scale_down` shrinks a workload to a smaller cluster the way SWIM
+  does — input bytes are scaled by the cluster-size ratio while the job
+  count and arrival pattern are preserved.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence
+
+from repro.errors import InvalidProblemError
+from repro.workload.popularity import WeightedSampler, zipf_weights
+from repro.workload.trace import DEFAULT_BLOCK_SIZE, TraceFile, TraceJob, WorkloadTrace
+
+__all__ = ["SwimTraceConfig", "generate_swim_trace", "scale_down"]
+
+_SECONDS_PER_HOUR = 3600.0
+
+
+@dataclass(frozen=True)
+class SwimTraceConfig:
+    """Parameters of the synthetic SWIM/Facebook-like workload."""
+
+    source_cluster_nodes: int = 600
+    num_files: int = 80
+    jobs_per_hour: float = 60.0
+    duration_hours: float = 4.0
+    popularity_skew: float = 0.9
+    small_job_blocks_mu: float = 1.0   # log of median small-job blocks
+    small_job_blocks_sigma: float = 0.8
+    large_job_fraction: float = 0.08
+    pareto_alpha: float = 1.3
+    pareto_min_blocks: int = 16
+    max_blocks_per_file: int = 256
+    mean_task_duration: float = 25.0
+    task_duration_sigma: float = 0.5
+    hourly_burstiness: Sequence[float] = (1.0, 1.6, 0.7, 1.2)
+    block_size: int = DEFAULT_BLOCK_SIZE
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.source_cluster_nodes <= 0:
+            raise InvalidProblemError("source_cluster_nodes must be positive")
+        if self.num_files <= 0:
+            raise InvalidProblemError("num_files must be positive")
+        if self.jobs_per_hour <= 0:
+            raise InvalidProblemError("jobs_per_hour must be positive")
+        if self.duration_hours <= 0:
+            raise InvalidProblemError("duration_hours must be positive")
+        if not 0 <= self.large_job_fraction <= 1:
+            raise InvalidProblemError("large_job_fraction must be in [0, 1]")
+        if self.pareto_alpha <= 1.0:
+            raise InvalidProblemError(
+                "pareto_alpha must exceed 1 for a finite mean"
+            )
+        if not self.hourly_burstiness:
+            raise InvalidProblemError("hourly_burstiness must be non-empty")
+        if any(b <= 0 for b in self.hourly_burstiness):
+            raise InvalidProblemError("burstiness multipliers must be positive")
+
+
+def _sample_file_blocks(rng: random.Random, config: SwimTraceConfig) -> int:
+    """Heavy-tailed block count: log-normal body, Pareto tail."""
+    if rng.random() < config.large_job_fraction:
+        u = rng.random()
+        blocks = config.pareto_min_blocks / (u ** (1.0 / config.pareto_alpha))
+    else:
+        blocks = math.exp(rng.gauss(config.small_job_blocks_mu,
+                                    config.small_job_blocks_sigma))
+    return max(1, min(config.max_blocks_per_file, int(round(blocks))))
+
+
+def generate_swim_trace(config: Optional[SwimTraceConfig] = None) -> WorkloadTrace:
+    """Synthesize a SWIM-like workload for the source cluster size.
+
+    Pair with :func:`scale_down` to shrink it to a testbed, mirroring the
+    paper's use of SWIM to "scale-down the workload so it runs in our
+    testbed".
+    """
+    config = config or SwimTraceConfig()
+    rng = random.Random(config.seed)
+
+    files = [
+        TraceFile(
+            file_id=file_id,
+            num_blocks=_sample_file_blocks(rng, config),
+            block_size=config.block_size,
+        )
+        for file_id in range(config.num_files)
+    ]
+
+    sampler = WeightedSampler(zipf_weights(config.num_files, config.popularity_skew))
+    horizon = config.duration_hours * _SECONDS_PER_HOUR
+    jobs: List[TraceJob] = []
+    job_id = 0
+    time = 0.0
+    burst = config.hourly_burstiness
+    while True:
+        hour = int(time // _SECONDS_PER_HOUR)
+        rate = config.jobs_per_hour * burst[hour % len(burst)] / _SECONDS_PER_HOUR
+        time += rng.expovariate(rate)
+        if time >= horizon:
+            break
+        duration = rng.lognormvariate(
+            math.log(config.mean_task_duration)
+            - config.task_duration_sigma ** 2 / 2.0,
+            config.task_duration_sigma,
+        )
+        jobs.append(
+            TraceJob(
+                job_id=job_id,
+                submit_time=time,
+                file_id=sampler.sample(rng),
+                task_duration=max(1.0, duration),
+            )
+        )
+        job_id += 1
+    return WorkloadTrace.from_records(files, jobs)
+
+
+def scale_down(
+    trace: WorkloadTrace,
+    source_nodes: int,
+    target_nodes: int,
+    min_blocks: int = 1,
+) -> WorkloadTrace:
+    """SWIM-style scale-down of a workload to a smaller cluster.
+
+    File sizes (block counts) shrink by the node ratio while the job
+    stream — arrival times, popularity, task durations — is preserved, so
+    per-node load intensity is comparable on the smaller cluster.
+    """
+    if source_nodes <= 0 or target_nodes <= 0:
+        raise InvalidProblemError("node counts must be positive")
+    if target_nodes > source_nodes:
+        raise InvalidProblemError(
+            "scale_down shrinks traces; target exceeds source"
+        )
+    ratio = target_nodes / source_nodes
+    scaled_files = tuple(
+        replace(f, num_blocks=max(min_blocks, int(round(f.num_blocks * ratio))))
+        for f in trace.files
+    )
+    return WorkloadTrace(files=scaled_files, jobs=trace.jobs)

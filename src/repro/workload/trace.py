@@ -1,0 +1,194 @@
+"""Workload trace records and (de)serialization.
+
+A trace is the interface between the synthesizers
+(:mod:`repro.workload.yahoo`, :mod:`repro.workload.swim`) and the
+simulator: a set of files (each split into fixed-size blocks) plus a
+time-ordered stream of MapReduce jobs, each reading one input file with
+one map task per block.
+
+Traces serialize to JSON-lines so generated workloads can be saved,
+inspected and replayed byte-identically.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Iterable, List, Tuple, Union
+
+from repro.errors import TraceFormatError
+
+__all__ = ["TraceFile", "TraceJob", "WorkloadTrace", "DEFAULT_BLOCK_SIZE"]
+
+DEFAULT_BLOCK_SIZE = 64 * 1024 * 1024  # HDFS default: 64 MB
+
+
+@dataclass(frozen=True)
+class TraceFile:
+    """One file stored in the DFS before the job stream begins.
+
+    ``num_blocks`` fixed-size blocks (the paper: "the mean number of
+    blocks per file is set to 8").
+    """
+
+    file_id: int
+    num_blocks: int
+    block_size: int = DEFAULT_BLOCK_SIZE
+
+    def __post_init__(self) -> None:
+        if self.file_id < 0:
+            raise TraceFormatError("file_id must be non-negative")
+        if self.num_blocks < 1:
+            raise TraceFormatError("num_blocks must be >= 1")
+        if self.block_size < 1:
+            raise TraceFormatError("block_size must be >= 1")
+
+    @property
+    def total_bytes(self) -> int:
+        """File size in bytes."""
+        return self.num_blocks * self.block_size
+
+
+@dataclass(frozen=True)
+class TraceJob:
+    """One MapReduce job: reads ``file_id``, one map task per block.
+
+    ``task_duration`` is the *local* map-task runtime in seconds; remote
+    tasks are slowed by the scheduler's runtime model (2x by default,
+    following the paper's citation of [20]).
+    """
+
+    job_id: int
+    submit_time: float
+    file_id: int
+    task_duration: float
+
+    def __post_init__(self) -> None:
+        if self.job_id < 0:
+            raise TraceFormatError("job_id must be non-negative")
+        if self.submit_time < 0:
+            raise TraceFormatError("submit_time must be non-negative")
+        if self.task_duration <= 0:
+            raise TraceFormatError("task_duration must be positive")
+
+
+@dataclass(frozen=True)
+class WorkloadTrace:
+    """A complete workload: files plus a time-ordered job stream."""
+
+    files: Tuple[TraceFile, ...]
+    jobs: Tuple[TraceJob, ...]
+
+    def __post_init__(self) -> None:
+        files = tuple(self.files)
+        jobs = tuple(self.jobs)
+        object.__setattr__(self, "files", files)
+        object.__setattr__(self, "jobs", jobs)
+        file_ids = {f.file_id for f in files}
+        if len(file_ids) != len(files):
+            raise TraceFormatError("duplicate file ids in trace")
+        job_ids = {j.job_id for j in jobs}
+        if len(job_ids) != len(jobs):
+            raise TraceFormatError("duplicate job ids in trace")
+        for job in jobs:
+            if job.file_id not in file_ids:
+                raise TraceFormatError(
+                    f"job {job.job_id} references unknown file {job.file_id}"
+                )
+        times = [j.submit_time for j in jobs]
+        if times != sorted(times):
+            raise TraceFormatError("jobs must be sorted by submit_time")
+
+    # -- stats ---------------------------------------------------------------
+
+    @property
+    def num_files(self) -> int:
+        """Number of distinct files."""
+        return len(self.files)
+
+    @property
+    def num_jobs(self) -> int:
+        """Number of jobs in the stream."""
+        return len(self.jobs)
+
+    @property
+    def total_blocks(self) -> int:
+        """Total number of blocks across all files."""
+        return sum(f.num_blocks for f in self.files)
+
+    @property
+    def horizon(self) -> float:
+        """Submit time of the last job (0 for an empty stream)."""
+        if not self.jobs:
+            return 0.0
+        return self.jobs[-1].submit_time
+
+    def file(self, file_id: int) -> TraceFile:
+        """Look up a file record by id."""
+        for f in self.files:
+            if f.file_id == file_id:
+                return f
+        raise TraceFormatError(f"unknown file id {file_id}")
+
+    def accesses_per_file(self) -> dict:
+        """Job count per file id — the empirical popularity."""
+        counts: dict = {f.file_id: 0 for f in self.files}
+        for job in self.jobs:
+            counts[job.file_id] += 1
+        return counts
+
+    # -- serialization ------------------------------------------------------
+
+    def dump(self, path: Union[str, Path]) -> None:
+        """Write the trace as JSON lines (one record per line)."""
+        path = Path(path)
+        with path.open("w", encoding="utf-8") as handle:
+            for file in self.files:
+                record = {"type": "file", **asdict(file)}
+                handle.write(json.dumps(record) + "\n")
+            for job in self.jobs:
+                record = {"type": "job", **asdict(job)}
+                handle.write(json.dumps(record) + "\n")
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "WorkloadTrace":
+        """Read a trace previously written by :meth:`dump`."""
+        files: List[TraceFile] = []
+        jobs: List[TraceJob] = []
+        path = Path(path)
+        with path.open("r", encoding="utf-8") as handle:
+            for line_number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise TraceFormatError(
+                        f"{path}:{line_number}: invalid JSON: {exc}"
+                    ) from exc
+                kind = record.pop("type", None)
+                try:
+                    if kind == "file":
+                        files.append(TraceFile(**record))
+                    elif kind == "job":
+                        jobs.append(TraceJob(**record))
+                    else:
+                        raise TraceFormatError(
+                            f"{path}:{line_number}: unknown record type {kind!r}"
+                        )
+                except TypeError as exc:
+                    raise TraceFormatError(
+                        f"{path}:{line_number}: malformed record: {exc}"
+                    ) from exc
+        jobs.sort(key=lambda j: (j.submit_time, j.job_id))
+        return cls(files=tuple(files), jobs=tuple(jobs))
+
+    @classmethod
+    def from_records(
+        cls, files: Iterable[TraceFile], jobs: Iterable[TraceJob]
+    ) -> "WorkloadTrace":
+        """Build a trace, sorting the job stream by submit time."""
+        ordered = sorted(jobs, key=lambda j: (j.submit_time, j.job_id))
+        return cls(files=tuple(files), jobs=tuple(ordered))

@@ -1,0 +1,89 @@
+"""Trace transformations: slice, merge, re-rate.
+
+Utilities for composing experiment workloads out of existing traces —
+take one busy hour out of a long trace, overlay two tenants' workloads
+on a shared cluster, or stress-test by compressing arrivals — all
+without touching the generators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Iterable
+
+from repro.errors import TraceFormatError
+from repro.workload.trace import TraceFile, TraceJob, WorkloadTrace
+
+__all__ = ["slice_trace", "merge_traces", "scale_arrival_rate",
+           "truncate_jobs"]
+
+
+def slice_trace(
+    trace: WorkloadTrace,
+    start: float,
+    end: float,
+    rebase: bool = True,
+) -> WorkloadTrace:
+    """Keep only the jobs submitted in ``[start, end)``.
+
+    All files are retained (the job slice may touch any of them).  With
+    ``rebase`` the remaining submit times shift so the window starts at
+    time zero.
+    """
+    if not 0 <= start < end:
+        raise TraceFormatError("need 0 <= start < end")
+    offset = start if rebase else 0.0
+    jobs = tuple(
+        replace(job, submit_time=job.submit_time - offset)
+        for job in trace.jobs
+        if start <= job.submit_time < end
+    )
+    return WorkloadTrace(files=trace.files, jobs=jobs)
+
+
+def merge_traces(first: WorkloadTrace, second: WorkloadTrace) -> WorkloadTrace:
+    """Overlay two workloads on one cluster.
+
+    The second trace's file and job ids are shifted past the first's so
+    the merged trace stays well-formed; submit times are untouched, so
+    the two job streams interleave chronologically.
+    """
+    file_offset = 1 + max(
+        (f.file_id for f in first.files), default=-1
+    )
+    job_offset = 1 + max((j.job_id for j in first.jobs), default=-1)
+    shifted_files = tuple(
+        replace(f, file_id=f.file_id + file_offset) for f in second.files
+    )
+    shifted_jobs = tuple(
+        replace(j, job_id=j.job_id + job_offset,
+                file_id=j.file_id + file_offset)
+        for j in second.jobs
+    )
+    return WorkloadTrace.from_records(
+        files=first.files + shifted_files,
+        jobs=first.jobs + shifted_jobs,
+    )
+
+
+def scale_arrival_rate(trace: WorkloadTrace, factor: float) -> WorkloadTrace:
+    """Compress (``factor > 1``) or stretch (``< 1``) the arrival process.
+
+    Submit times are divided by ``factor``; file contents and task
+    durations are unchanged, so the same work arrives ``factor`` times
+    faster.
+    """
+    if factor <= 0:
+        raise TraceFormatError("factor must be positive")
+    jobs = tuple(
+        replace(job, submit_time=job.submit_time / factor)
+        for job in trace.jobs
+    )
+    return WorkloadTrace(files=trace.files, jobs=jobs)
+
+
+def truncate_jobs(trace: WorkloadTrace, max_jobs: int) -> WorkloadTrace:
+    """Keep only the first ``max_jobs`` jobs (by submit order)."""
+    if max_jobs < 0:
+        raise TraceFormatError("max_jobs must be non-negative")
+    return WorkloadTrace(files=trace.files, jobs=trace.jobs[:max_jobs])

@@ -1,0 +1,72 @@
+"""Property test: the optimizer's plan equals the live system's outcome.
+
+Algorithm 5 plans on the abstract :class:`PlacementState` and then
+replays the operation log against the namenode.  In instant-transfer
+mode nothing can interfere, so after replay the namenode's block map
+must be *identical* to the abstract state the local search produced —
+any divergence means the bridge (or the namenode's move machinery)
+rewrites history.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aurora.bridge import replay_operations, snapshot_placement
+from repro.cluster.topology import ClusterTopology
+from repro.core.admissibility import RelativeGapPolicy
+from repro.core.local_search import balance_rack_aware
+from repro.dfs.namenode import Namenode
+from repro.dfs.policies import DefaultHdfsPolicy
+
+
+def build_loaded_namenode(seed, num_racks=3, per_rack=3, files=10):
+    rng = random.Random(seed)
+    topo = ClusterTopology.uniform(num_racks, per_rack, capacity=100)
+    nn = Namenode(
+        topo, placement_policy=DefaultHdfsPolicy(random.Random(seed + 1)),
+        rng=random.Random(seed + 2),
+    )
+    for i in range(files):
+        nn.create_file(f"/f{i}", num_blocks=rng.randint(1, 3))
+    popularities = {
+        block: rng.uniform(0.0, 50.0) for block in nn.blockmap.block_ids()
+    }
+    return nn, popularities
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 50_000), epsilon=st.sampled_from([0.0, 0.1, 0.5]))
+def test_replay_reproduces_planned_state(seed, epsilon):
+    nn, popularities = build_loaded_namenode(seed)
+    planned = snapshot_placement(nn, popularities)
+    policy = RelativeGapPolicy(epsilon)
+    stats = balance_rack_aware(planned, policy=policy, log_operations=True)
+    report = replay_operations(nn, stats.operations)
+    # Instant transfers, no interference: nothing may be skipped...
+    assert report.moves_skipped == 0
+    # ...and the live block map must equal the planned placement exactly.
+    for block_id in nn.blockmap.block_ids():
+        assert nn.blockmap.locations(block_id) == planned.machines_of(block_id)
+    nn.audit()
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 50_000))
+def test_replay_preserves_counts_and_spreads(seed):
+    nn, popularities = build_loaded_namenode(seed, files=8)
+    before = {
+        block: nn.blockmap.replica_count(block)
+        for block in nn.blockmap.block_ids()
+    }
+    planned = snapshot_placement(nn, popularities)
+    stats = balance_rack_aware(planned, log_operations=True)
+    replay_operations(nn, stats.operations)
+    for block, count in before.items():
+        assert nn.blockmap.replica_count(block) == count
+        meta = nn.blockmap.meta(block)
+        assert nn.blockmap.rack_spread(block) >= min(
+            meta.rack_spread, count
+        )

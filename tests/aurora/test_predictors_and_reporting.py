@@ -1,0 +1,78 @@
+"""Aurora with non-default predictors, plus period reporting."""
+
+import random
+
+import pytest
+
+from repro.aurora.config import AuroraConfig
+from repro.aurora.system import AuroraSystem
+from repro.cluster.topology import ClusterTopology
+from repro.dfs.namenode import Namenode
+from repro.dfs.policies import DefaultHdfsPolicy
+from repro.monitor.forecast import Ar1Predictor, EwmaPredictor
+
+
+def make_namenode(seed=0):
+    topo = ClusterTopology.uniform(3, 4, capacity=120)
+    return Namenode(
+        topo, placement_policy=DefaultHdfsPolicy(random.Random(seed)),
+        rng=random.Random(seed),
+    )
+
+
+class TestPredictorIntegration:
+    def drive(self, predictor):
+        nn = make_namenode()
+        aurora = AuroraSystem(
+            nn, AuroraConfig(epsilon=0.0, replication_budget=100),
+            predictor=predictor,
+        )
+        hot = nn.create_file("/hot", num_blocks=1)
+        block = hot.block_ids[0]
+        # Rising popularity across three periods.
+        for period, reads in enumerate((4, 8, 16)):
+            now = period * 3600.0
+            for _ in range(reads):
+                aurora.monitor.record_access(block, now)
+            aurora.optimize(now=now + 1.0)
+        return nn, aurora, block
+
+    def test_ewma_smooths_the_estimate(self):
+        nn, aurora, block = self.drive(EwmaPredictor(alpha=0.5))
+        prediction = aurora.predictor.predict()[block]
+        # EWMA lags the latest spike (28 accesses live in the window at
+        # the last period; the smoothed estimate sits below it).
+        assert prediction < 28.0
+        assert nn.blockmap.meta(block).replication_factor > 3
+
+    def test_ar1_extrapolates_growth(self):
+        nn, aurora, block = self.drive(Ar1Predictor())
+        prediction = aurora.predictor.predict()[block]
+        assert prediction > 0
+        assert nn.blockmap.meta(block).replication_factor > 3
+
+    def test_default_historical_equals_window_count(self):
+        from repro.monitor.forecast import HistoricalPredictor
+
+        nn, aurora, block = self.drive(HistoricalPredictor())
+        # The 2 h window at t=2 h+ holds the last two periods' reads.
+        assert aurora.predictor.predict()[block] == pytest.approx(24.0)
+
+
+class TestReportsTable:
+    def test_renders_all_periods(self):
+        nn = make_namenode()
+        aurora = AuroraSystem(nn, AuroraConfig(epsilon=0.0))
+        nn.create_file("/a", num_blocks=2)
+        aurora.optimize(now=3600.0)
+        aurora.optimize(now=7200.0)
+        table = aurora.reports_table()
+        lines = table.splitlines()
+        assert "period" in lines[0]
+        assert len(lines) == 4  # header + rule + 2 periods
+
+    def test_empty_reports_table(self):
+        nn = make_namenode()
+        aurora = AuroraSystem(nn, AuroraConfig())
+        table = aurora.reports_table()
+        assert "cost before" in table

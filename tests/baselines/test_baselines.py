@@ -1,0 +1,185 @@
+"""Tests for the Scarlett and DARE baseline systems."""
+
+import random
+
+import pytest
+
+from repro.baselines.dare import DareConfig, DareSystem
+from repro.baselines.scarlett import (
+    ScarlettConfig,
+    ScarlettScheme,
+    ScarlettSystem,
+    scarlett_factors,
+)
+from repro.cluster.topology import ClusterTopology
+from repro.dfs.namenode import Namenode
+from repro.dfs.policies import DefaultHdfsPolicy
+from repro.errors import InvalidProblemError
+
+
+def make_namenode(num_racks=2, per_rack=4, capacity=100, seed=0):
+    topo = ClusterTopology.uniform(num_racks, per_rack, capacity)
+    return Namenode(
+        topo, placement_policy=DefaultHdfsPolicy(random.Random(seed)),
+        rng=random.Random(seed),
+    )
+
+
+class TestScarlettFactors:
+    def test_priority_serves_hottest_first(self):
+        factors = scarlett_factors(
+            popularities={0: 10.0, 1: 5.0, 2: 1.0},
+            base_factors={0: 3, 1: 3, 2: 3},
+            budget_blocks=7,
+            scheme=ScarlettScheme.PRIORITY,
+        )
+        # File 0 wants 10, gets all 7 extra replicas.
+        assert factors[0] == 10
+        assert factors[1] == 3
+        assert factors[2] == 3
+
+    def test_round_robin_spreads_budget(self):
+        factors = scarlett_factors(
+            popularities={0: 10.0, 1: 5.0, 2: 1.0},
+            base_factors={0: 3, 1: 3, 2: 3},
+            budget_blocks=4,
+            scheme=ScarlettScheme.ROUND_ROBIN,
+        )
+        # Rounds: 0->4, 1->4, 0->5, 1->5 (file 2 already at desired 3).
+        assert factors[0] == 5
+        assert factors[1] == 5
+        assert factors[2] == 3
+
+    def test_budget_never_exceeded(self):
+        for scheme in ScarlettScheme:
+            factors = scarlett_factors(
+                popularities={i: float(10 - i) for i in range(5)},
+                base_factors={i: 2 for i in range(5)},
+                budget_blocks=6,
+                scheme=scheme,
+            )
+            extra = sum(factors[i] - 2 for i in range(5))
+            assert extra <= 6
+
+    def test_max_factor_cap(self):
+        factors = scarlett_factors(
+            popularities={0: 100.0},
+            base_factors={0: 1},
+            budget_blocks=50,
+            scheme=ScarlettScheme.PRIORITY,
+            max_factor=4,
+        )
+        assert factors[0] == 4
+
+    def test_desired_never_below_base(self):
+        factors = scarlett_factors(
+            popularities={0: 0.0},
+            base_factors={0: 3},
+            budget_blocks=10,
+            scheme=ScarlettScheme.PRIORITY,
+        )
+        assert factors[0] == 3
+
+    def test_key_mismatch_rejected(self):
+        with pytest.raises(InvalidProblemError):
+            scarlett_factors({0: 1.0}, {1: 3}, 5, ScarlettScheme.PRIORITY)
+
+
+class TestScarlettSystem:
+    def test_periodic_optimization_raises_hot_file_factor(self):
+        nn = make_namenode()
+        config = ScarlettConfig(budget_blocks=10, window=3600.0)
+        system = ScarlettSystem(nn, config)
+        hot = nn.create_file("/hot", num_blocks=2)
+        nn.create_file("/cold", num_blocks=2)
+        for _ in range(12):
+            for block_id in hot.block_ids:
+                nn.record_access(block_id, reader=0)
+        factors = system.optimize(now=100.0)
+        assert factors[hot.file_id] > 3
+        for block_id in hot.block_ids:
+            assert nn.blockmap.meta(block_id).replication_factor > 3
+        assert system.periods_run == 1
+        assert system.replicas_granted > 0
+
+    def test_noop_without_accesses(self):
+        nn = make_namenode()
+        system = ScarlettSystem(nn, ScarlettConfig(budget_blocks=10))
+        nn.create_file("/a", num_blocks=1)
+        assert system.optimize(now=10.0) == {}
+
+    def test_config_validation(self):
+        with pytest.raises(InvalidProblemError):
+            ScarlettConfig(budget_blocks=-1)
+        with pytest.raises(InvalidProblemError):
+            ScarlettConfig(budget_blocks=1, base_replication=0)
+        with pytest.raises(InvalidProblemError):
+            ScarlettConfig(budget_blocks=1, desired_per_access=0.0)
+        with pytest.raises(InvalidProblemError):
+            ScarlettConfig(budget_blocks=1, window=0.0)
+
+
+class TestDareSystem:
+    def test_remote_read_replicates_with_probability_one(self):
+        nn = make_namenode()
+        dare = DareSystem(nn, DareConfig(probability=1.0, budget_blocks=10),
+                          rng=random.Random(0))
+        meta = nn.create_file("/a", num_blocks=1)
+        block = meta.block_ids[0]
+        outsider = next(
+            n for n in nn.topology.machines
+            if n not in nn.blockmap.locations(block)
+        )
+        source = nn.record_access(block, outsider)
+        created = dare.on_read(block, reader=outsider, source=source)
+        assert created
+        assert outsider in nn.blockmap.locations(block)
+        assert dare.replicas_created == 1
+        assert dare.extra_replicas == 1
+
+    def test_local_read_never_replicates(self):
+        nn = make_namenode()
+        dare = DareSystem(nn, DareConfig(probability=1.0))
+        meta = nn.create_file("/a", num_blocks=1)
+        block = meta.block_ids[0]
+        holder = next(iter(nn.blockmap.locations(block)))
+        assert not dare.on_read(block, reader=holder, source=holder)
+
+    def test_budget_evicts_lru(self):
+        nn = make_namenode(per_rack=8)
+        dare = DareSystem(nn, DareConfig(probability=1.0, budget_blocks=2),
+                          rng=random.Random(0))
+        metas = [nn.create_file(f"/f{i}", num_blocks=1) for i in range(4)]
+        for meta in metas:
+            block = meta.block_ids[0]
+            outsider = next(
+                n for n in nn.topology.machines
+                if n not in nn.blockmap.locations(block)
+            )
+            source = nn.record_access(block, outsider)
+            dare.on_read(block, reader=outsider, source=source)
+        assert dare.extra_replicas <= 2
+        assert dare.replicas_evicted >= 1
+        # Eviction never breaks the base factor.
+        for meta in metas:
+            assert nn.blockmap.replica_count(meta.block_ids[0]) >= 3
+
+    def test_probability_zero_rejected(self):
+        with pytest.raises(InvalidProblemError):
+            DareConfig(probability=0.0)
+        with pytest.raises(InvalidProblemError):
+            DareConfig(budget_blocks=-1)
+
+    def test_deterministic_coin_flips(self):
+        nn = make_namenode()
+        dare = DareSystem(nn, DareConfig(probability=0.5, budget_blocks=100),
+                          rng=random.Random(42))
+        meta = nn.create_file("/a", num_blocks=1)
+        block = meta.block_ids[0]
+        outcomes = []
+        for reader in nn.topology.machines:
+            if reader in nn.blockmap.locations(block):
+                continue
+            outcomes.append(dare.on_read(block, reader=reader, source=0))
+        # Some flips succeed, some fail, deterministically.
+        assert any(outcomes) and not all(outcomes)

@@ -1,0 +1,130 @@
+"""Unit tests for machine runtime state and failure plans."""
+
+import random
+
+import pytest
+
+from repro.cluster.failures import (
+    FailureKind,
+    generate_failure_plan,
+)
+from repro.cluster.machine import MachineState
+from repro.cluster.topology import ClusterTopology
+from repro.errors import InvalidProblemError, SchedulerError
+
+
+class TestMachineState:
+    def test_slot_accounting(self):
+        machine = MachineState(machine_id=0, task_slots=2)
+        assert machine.free_slots == 2
+        machine.reserve_slot()
+        machine.reserve_slot()
+        assert machine.free_slots == 0
+        assert machine.tasks_executed == 2
+        with pytest.raises(SchedulerError):
+            machine.reserve_slot()
+        machine.release_slot()
+        assert machine.free_slots == 1
+
+    def test_release_without_reserve_raises(self):
+        machine = MachineState(machine_id=0, task_slots=1)
+        with pytest.raises(SchedulerError):
+            machine.release_slot()
+
+    def test_failure_clears_slots(self):
+        machine = MachineState(machine_id=0, task_slots=4)
+        machine.reserve_slot()
+        machine.fail()
+        assert not machine.alive
+        assert machine.free_slots == 0
+        assert machine.failures == 1
+        with pytest.raises(SchedulerError):
+            machine.reserve_slot()
+        machine.recover()
+        assert machine.alive
+        assert machine.free_slots == 4
+
+
+class TestFailurePlan:
+    def topo(self):
+        return ClusterTopology.uniform(3, 4, capacity=10)
+
+    def test_deterministic_for_seed(self):
+        plan_a = generate_failure_plan(
+            self.topo(), horizon=50_000.0, rng=random.Random(5),
+            machine_mtbf=20_000.0,
+        )
+        plan_b = generate_failure_plan(
+            self.topo(), horizon=50_000.0, rng=random.Random(5),
+            machine_mtbf=20_000.0,
+        )
+        assert plan_a == plan_b
+
+    def test_events_sorted_and_paired(self):
+        plan = generate_failure_plan(
+            self.topo(), horizon=100_000.0, rng=random.Random(1),
+            machine_mtbf=30_000.0, rack_mtbf=80_000.0, repair_time=600.0,
+        )
+        times = [e.time for e in plan]
+        assert times == sorted(times)
+        down = set()
+        for event in plan:
+            key = (event.kind, event.target)
+            if event.is_recovery:
+                assert key in down
+                down.discard(key)
+            else:
+                # No double-failure while a target is already down.
+                assert key not in down
+                down.add(key)
+
+    def test_recovery_follows_repair_time(self):
+        plan = generate_failure_plan(
+            self.topo(), horizon=1_000_000.0, rng=random.Random(2),
+            machine_mtbf=100_000.0, repair_time=500.0,
+        )
+        failures = {}
+        for event in plan:
+            key = (event.kind, event.target)
+            if not event.is_recovery:
+                failures[key] = event.time
+            else:
+                assert event.time == pytest.approx(failures[key] + 500.0)
+
+    def test_counts(self):
+        plan = generate_failure_plan(
+            self.topo(), horizon=500_000.0, rng=random.Random(3),
+            machine_mtbf=50_000.0, rack_mtbf=200_000.0,
+        )
+        assert plan.machine_outages() > 0
+        assert plan.rack_outages() > 0
+        assert len(plan) == sum(1 for _ in plan)
+
+    def test_no_failures_without_mtbf(self):
+        plan = generate_failure_plan(
+            self.topo(), horizon=1_000.0, rng=random.Random(0)
+        )
+        assert len(plan) == 0
+
+    def test_validation(self):
+        with pytest.raises(InvalidProblemError):
+            generate_failure_plan(self.topo(), horizon=0.0, rng=random.Random(0))
+        with pytest.raises(InvalidProblemError):
+            generate_failure_plan(
+                self.topo(), horizon=10.0, rng=random.Random(0),
+                machine_mtbf=-1.0,
+            )
+        with pytest.raises(InvalidProblemError):
+            generate_failure_plan(
+                self.topo(), horizon=10.0, rng=random.Random(0),
+                repair_time=0.0,
+            )
+
+    def test_describe(self):
+        plan = generate_failure_plan(
+            self.topo(), horizon=200_000.0, rng=random.Random(4),
+            machine_mtbf=50_000.0,
+        )
+        if plan.events:
+            text = plan.events[0].describe()
+            assert "machine" in text

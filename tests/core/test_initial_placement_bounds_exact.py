@@ -1,0 +1,250 @@
+"""Tests for Algorithm 4, the lower bounds and the exact solvers."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.topology import ClusterTopology
+from repro.core.bounds import (
+    average_load_bound,
+    combined_lower_bound,
+    empirical_ratio,
+    max_share_bound,
+)
+from repro.core.exact import (
+    ExactSolverError,
+    brute_force_bp_node,
+    solve_bp_replicate_exact,
+    solve_exact,
+)
+from repro.core.initial_placement import place_all_blocks, place_block
+from repro.core.instance import BlockSpec, PlacementProblem
+from repro.core.local_search import balance_node_level, balance_rack_aware
+from repro.core.placement import PlacementState
+from repro.errors import CapacityExceededError, InvalidProblemError
+
+
+class TestInitialPlacement:
+    def test_respects_rack_spread(self):
+        topo = ClusterTopology.uniform(3, 2, capacity=10)
+        problem = PlacementProblem.from_popularities(
+            topo, [6.0], replication_factor=3, rack_spread=2
+        )
+        state = PlacementState(problem)
+        machines = place_block(state, problem.block(0))
+        assert len(machines) == 3
+        assert state.rack_spread(0) >= 2
+        state.audit()
+
+    def test_writer_local_rule(self):
+        topo = ClusterTopology.uniform(2, 3, capacity=10)
+        problem = PlacementProblem.from_popularities(
+            topo, [6.0], replication_factor=3, rack_spread=2
+        )
+        state = PlacementState(problem)
+        machines = place_block(state, problem.block(0), writer_machine=4)
+        assert machines[0] == 4
+
+    def test_writer_skipped_when_full(self):
+        topo = ClusterTopology((0, 0, 1, 1), (0, 5, 5, 5))
+        problem = PlacementProblem.from_popularities(
+            topo, [6.0], replication_factor=2, rack_spread=2
+        )
+        state = PlacementState(problem)
+        machines = place_block(state, problem.block(0), writer_machine=0)
+        assert machines[0] != 0
+
+    def test_prefers_low_load_machines(self):
+        topo = ClusterTopology.uniform(2, 2, capacity=10)
+        problem = PlacementProblem.from_popularities(
+            topo, [8.0, 1.0], replication_factor=1
+        )
+        state = PlacementState(problem)
+        place_block(state, problem.block(0))
+        machines = place_block(state, problem.block(1))
+        # The second block avoids the machine already loaded with block 0.
+        assert not state.has_replica(0, machines[0])
+
+    def test_spillover_when_chosen_racks_full(self):
+        # Rack 0 has a single slot; the 3 replicas must spill to rack 1.
+        topo = ClusterTopology((0, 1, 1, 1), (1, 1, 1, 1))
+        problem = PlacementProblem.from_popularities(
+            topo, [6.0], replication_factor=3, rack_spread=2
+        )
+        state = PlacementState(problem)
+        machines = place_block(state, problem.block(0))
+        assert len(machines) == 3
+        assert state.rack_spread(0) == 2
+
+    def test_raises_when_cluster_cannot_host(self):
+        topo = ClusterTopology.uniform(1, 3, capacity=1)
+        problem = PlacementProblem.from_popularities(
+            topo, [1.0, 1.0, 1.0], replication_factor=1
+        )
+        state = PlacementState(problem)
+        for spec in problem:
+            place_block(state, spec)
+        extra = BlockSpec(99, 1.0, replication_factor=1)
+        state._machines_of[99] = set()  # inject an unplaced block
+        state._rack_holders[99] = {}
+        with pytest.raises(CapacityExceededError):
+            place_block(state, extra)
+
+    def test_place_all_blocks_full_coverage(self):
+        topo = ClusterTopology.uniform(3, 4, capacity=20)
+        rng = random.Random(5)
+        pops = [rng.uniform(0, 10) for _ in range(30)]
+        problem = PlacementProblem.from_popularities(
+            topo, pops, replication_factor=3, rack_spread=2
+        )
+        state = PlacementState(problem)
+        place_all_blocks(state)
+        assert state.is_fully_replicated()
+        state.audit()
+
+    def test_place_all_skips_already_placed(self):
+        topo = ClusterTopology.uniform(2, 2, capacity=10)
+        problem = PlacementProblem.from_popularities(
+            topo, [4.0, 2.0], replication_factor=1
+        )
+        state = PlacementState(problem)
+        state.add_replica(0, 3)
+        place_all_blocks(state)
+        assert state.machines_of(0) == frozenset({3})
+
+
+class TestBounds:
+    def problem(self):
+        topo = ClusterTopology.uniform(2, 2, capacity=10)
+        return PlacementProblem.from_popularities(
+            topo, [8.0, 4.0], replication_factor=2
+        )
+
+    def test_average_bound(self):
+        assert average_load_bound(self.problem()) == pytest.approx(3.0)
+
+    def test_max_share_bound_fixed_factors(self):
+        assert max_share_bound(self.problem()) == pytest.approx(4.0)
+
+    def test_combined_bound(self):
+        assert combined_lower_bound(self.problem()) == pytest.approx(4.0)
+
+    def test_max_share_bound_with_budget(self):
+        topo = ClusterTopology.uniform(2, 2, capacity=10)
+        problem = PlacementProblem.from_popularities(
+            topo, [8.0, 4.0], replication_factor=1, replication_budget=4
+        )
+        # Headroom 2: the hot block could reach factor 3 -> share 8/3.
+        assert max_share_bound(problem) == pytest.approx(8.0 / 3.0)
+
+    def test_empirical_ratio(self):
+        problem = self.problem()
+        state = PlacementState(problem)
+        state.add_replica(0, 0)
+        state.add_replica(0, 1)
+        state.add_replica(1, 0)
+        state.add_replica(1, 1)
+        # Both machines carry 4+2 = 6; LB is 4.
+        assert empirical_ratio(state) == pytest.approx(1.5)
+        assert empirical_ratio(state, optimum=6.0) == pytest.approx(1.0)
+
+    def test_empirical_ratio_degenerate(self):
+        topo = ClusterTopology.uniform(1, 2, capacity=5)
+        problem = PlacementProblem.from_popularities(
+            topo, [0.0], replication_factor=1
+        )
+        state = PlacementState(problem)
+        state.add_replica(0, 0)
+        assert empirical_ratio(state) != empirical_ratio(state)  # NaN
+
+
+class TestExactSolvers:
+    def test_milp_matches_brute_force(self):
+        rng = random.Random(3)
+        topo = ClusterTopology.uniform(2, 2, capacity=3)
+        pops = [rng.uniform(1, 10) for _ in range(5)]
+        problem = PlacementProblem.from_popularities(
+            topo, pops, replication_factor=2
+        )
+        milp_solution = solve_exact(problem)
+        brute = brute_force_bp_node(problem)
+        assert milp_solution.objective == pytest.approx(brute.objective, rel=1e-6)
+
+    def test_milp_solution_is_feasible(self):
+        topo = ClusterTopology.uniform(3, 2, capacity=4)
+        problem = PlacementProblem.from_popularities(
+            [3.0, 5.0, 1.0] and topo, [3.0, 5.0, 1.0],
+            replication_factor=3, rack_spread=2,
+        )
+        solution = solve_exact(problem)
+        state = PlacementState.from_assignment(problem, solution.assignment)
+        assert state.is_fully_replicated()
+        assert state.cost() == pytest.approx(solution.objective, abs=1e-6)
+
+    def test_milp_rejects_replicate_variant(self):
+        topo = ClusterTopology.uniform(2, 2, capacity=10)
+        problem = PlacementProblem.from_popularities(
+            topo, [1.0], replication_budget=4
+        )
+        with pytest.raises(InvalidProblemError):
+            solve_exact(problem)
+
+    def test_replicate_exact_uses_budget(self):
+        topo = ClusterTopology.uniform(2, 2, capacity=10)
+        problem = PlacementProblem.from_popularities(
+            topo, [12.0, 1.0], replication_factor=1, replication_budget=4
+        )
+        solution = solve_bp_replicate_exact(problem)
+        assert solution.factors is not None
+        assert solution.factors[0] == 3
+        assert solution.objective == pytest.approx(4.0)
+
+    def test_brute_force_size_guard(self):
+        topo = ClusterTopology.uniform(3, 4, capacity=10)
+        problem = PlacementProblem.from_popularities(
+            topo, [1.0] * 20, replication_factor=1
+        )
+        with pytest.raises(ExactSolverError):
+            brute_force_bp_node(problem)
+
+
+class TestApproximationGuarantees:
+    """Empirical validation of Theorems 2 and 4 against exact optima."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 5_000))
+    def test_algorithm1_within_additive_pmax(self, seed):
+        rng = random.Random(seed)
+        topo = ClusterTopology.uniform(1, rng.randint(2, 4), capacity=6)
+        num_blocks = rng.randint(2, 6)
+        pops = [rng.uniform(0.5, 20.0) for _ in range(num_blocks)]
+        problem = PlacementProblem.from_popularities(
+            topo, pops, replication_factor=1
+        )
+        state = PlacementState(problem)
+        place_all_blocks(state)
+        balance_node_level(state)
+        optimum = solve_exact(problem).objective
+        p_max = problem.max_per_replica_popularity()
+        assert state.cost() <= optimum + p_max + 1e-6
+        assert state.cost() <= 2 * optimum + 1e-6
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 5_000))
+    def test_algorithm2_within_additive_3pmax(self, seed):
+        rng = random.Random(seed)
+        topo = ClusterTopology.uniform(2, 2, capacity=8)
+        num_blocks = rng.randint(2, 5)
+        pops = [rng.uniform(0.5, 20.0) for _ in range(num_blocks)]
+        problem = PlacementProblem.from_popularities(
+            topo, pops, replication_factor=2, rack_spread=2
+        )
+        state = PlacementState(problem)
+        place_all_blocks(state)
+        balance_rack_aware(state)
+        optimum = solve_exact(problem).objective
+        p_max = problem.max_per_replica_popularity()
+        assert state.cost() <= optimum + 3 * p_max + 1e-6
+        assert state.cost() <= 4 * optimum + 1e-6

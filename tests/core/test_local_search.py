@@ -1,0 +1,263 @@
+"""Unit and property tests for Algorithms 1 and 2 (local search)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.topology import ClusterTopology
+from repro.core.admissibility import AlwaysAdmissible, RelativeGapPolicy
+from repro.core.bounds import combined_lower_bound
+from repro.core.instance import PlacementProblem
+from repro.core.local_search import (
+    balance_node_level,
+    balance_rack_aware,
+    find_operation_between,
+)
+from repro.core.placement import PlacementState
+
+
+def random_state(rng, num_racks, per_rack, num_blocks, k=1, rho=1, capacity=None):
+    """A feasible random placement for property tests."""
+    capacity = capacity or max(4, (num_blocks * k * 2) // (num_racks * per_rack) + k)
+    topo = ClusterTopology.uniform(num_racks, per_rack, capacity)
+    pops = [rng.uniform(0.0, 100.0) for _ in range(num_blocks)]
+    problem = PlacementProblem.from_popularities(
+        topo, pops, replication_factor=k, rack_spread=rho
+    )
+    state = PlacementState(problem)
+    machines = list(topo.machines)
+    racks = list(topo.racks)
+    for spec in problem:
+        # Establish rack spread first, then fill arbitrarily.
+        chosen_racks = rng.sample(racks, rho)
+        chosen = []
+        for rack in chosen_racks:
+            options = [
+                m for m in topo.machines_in_rack(rack)
+                if state.can_add(spec.block_id, m)
+            ]
+            machine = rng.choice(options)
+            state.add_replica(spec.block_id, machine)
+            chosen.append(machine)
+        while state.replica_count(spec.block_id) < k:
+            options = [m for m in machines if state.can_add(spec.block_id, m)]
+            state.add_replica(spec.block_id, rng.choice(options))
+    return state
+
+
+class TestAlgorithm1:
+    def test_balances_trivial_two_machine_instance(self):
+        topo = ClusterTopology.uniform(2, 1, capacity=10)
+        problem = PlacementProblem.from_popularities(
+            topo, [4.0, 4.0], replication_factor=1
+        )
+        state = PlacementState(problem)
+        state.add_replica(0, 0)
+        state.add_replica(1, 0)
+        stats = balance_node_level(state)
+        assert stats.converged
+        assert state.load(0) == pytest.approx(4.0)
+        assert state.load(1) == pytest.approx(4.0)
+        assert stats.moves == 1
+
+    def test_never_increases_cost(self):
+        rng = random.Random(7)
+        state = random_state(rng, num_racks=2, per_rack=4, num_blocks=30, k=2)
+        before = state.cost()
+        stats = balance_node_level(state)
+        assert state.cost() <= before + 1e-9
+        assert stats.final_cost == pytest.approx(state.cost())
+        state.audit()
+
+    def test_respects_max_operations(self):
+        rng = random.Random(3)
+        state = random_state(rng, num_racks=2, per_rack=5, num_blocks=40, k=1)
+        stats = balance_node_level(state, max_operations=2)
+        assert stats.total_operations <= 2
+
+    def test_preserves_replica_counts(self):
+        rng = random.Random(11)
+        state = random_state(rng, num_racks=3, per_rack=3, num_blocks=25, k=2)
+        counts = {b: state.replica_count(b) for b in range(25)}
+        balance_node_level(state)
+        assert counts == {b: state.replica_count(b) for b in range(25)}
+
+    def test_theorem2_additive_bound(self):
+        # SOL <= OPT + p_max <= (avg + p_max) is implied; check against
+        # the certified lower bound: SOL <= LB + p_max >= OPT + p_max.
+        rng = random.Random(23)
+        for seed in range(5):
+            rng = random.Random(seed)
+            state = random_state(rng, num_racks=1, per_rack=6, num_blocks=40, k=1)
+            balance_node_level(state)
+            problem = state.problem
+            p_max = problem.max_per_replica_popularity()
+            lower = combined_lower_bound(problem)
+            assert state.cost() <= 2 * lower + 1e-6
+            assert state.cost() <= lower + p_max + 1e-6
+
+    def test_swap_used_when_destination_full(self):
+        topo = ClusterTopology.uniform(1, 2, capacity=2)
+        problem = PlacementProblem.from_popularities(
+            topo, [10.0, 1.0, 1.0, 2.0], replication_factor=1
+        )
+        state = PlacementState(problem)
+        state.add_replica(0, 0)  # load 10
+        state.add_replica(3, 0)  # load 12 on machine 0 (full)
+        state.add_replica(1, 1)
+        state.add_replica(2, 1)  # load 2 on machine 1 (full)
+        stats = balance_node_level(state)
+        assert stats.swaps >= 1
+        assert stats.moves == 0
+        assert state.cost() < 12.0
+
+    def test_stats_record_operation_log(self):
+        rng = random.Random(5)
+        state = random_state(rng, num_racks=2, per_rack=3, num_blocks=20, k=1)
+        stats = balance_node_level(state, log_operations=True)
+        assert len(stats.operations) == stats.total_operations
+
+    def test_converges_on_empty_problem(self):
+        topo = ClusterTopology.uniform(1, 2, capacity=2)
+        problem = PlacementProblem(topology=topo, blocks=())
+        state = PlacementState(problem)
+        stats = balance_node_level(state)
+        assert stats.converged
+        assert stats.total_operations == 0
+
+
+class TestAlgorithm2:
+    def test_preserves_rack_spread(self):
+        rng = random.Random(17)
+        state = random_state(
+            rng, num_racks=3, per_rack=3, num_blocks=30, k=3, rho=2
+        )
+        balance_rack_aware(state)
+        for spec in state.problem:
+            assert state.rack_spread(spec.block_id) >= spec.rack_spread
+        state.audit()
+
+    def test_never_increases_cost(self):
+        rng = random.Random(29)
+        state = random_state(
+            rng, num_racks=4, per_rack=2, num_blocks=30, k=2, rho=2
+        )
+        before = state.cost()
+        stats = balance_rack_aware(state)
+        assert state.cost() <= before + 1e-9
+        assert stats.converged
+
+    def test_theorem4_additive_bound(self):
+        for seed in range(5):
+            rng = random.Random(seed + 100)
+            state = random_state(
+                rng, num_racks=3, per_rack=3, num_blocks=40, k=3, rho=2
+            )
+            balance_rack_aware(state)
+            problem = state.problem
+            lower = combined_lower_bound(problem)
+            p_max = problem.max_per_replica_popularity()
+            assert state.cost() <= lower + 3 * p_max + 1e-6
+            assert state.cost() <= 4 * lower + 1e-6
+
+    def test_beats_or_matches_node_level_respecting_racks(self):
+        # Algorithm 2 includes Algorithm 1's moves, so from the same start
+        # it should reach at least as balanced a configuration.
+        rng = random.Random(41)
+        state_a = random_state(
+            rng, num_racks=3, per_rack=3, num_blocks=30, k=3, rho=2
+        )
+        state_b = state_a.copy()
+        balance_rack_aware(state_a)
+        # Intra-rack-only comparison: run Algorithm 1 but verify rack
+        # constraints still hold afterwards (it uses feasibility checks).
+        balance_node_level(state_b)
+        for spec in state_b.problem:
+            assert state_b.rack_spread(spec.block_id) >= spec.rack_spread
+        assert state_a.cost() <= state_b.cost() + 1e-6
+
+
+class TestEpsilonTradeOff:
+    def test_larger_epsilon_moves_fewer_blocks(self):
+        results = {}
+        for epsilon in (0.1, 0.6, 0.9):
+            rng = random.Random(55)
+            state = random_state(rng, num_racks=2, per_rack=5,
+                                 num_blocks=60, k=1)
+            stats = balance_node_level(state, RelativeGapPolicy(epsilon))
+            results[epsilon] = stats
+        assert (
+            results[0.1].blocks_transferred
+            >= results[0.6].blocks_transferred
+            >= results[0.9].blocks_transferred
+        )
+        assert results[0.1].final_cost <= results[0.9].final_cost + 1e-9
+
+    def test_epsilon_zero_policy_equals_default(self):
+        rng = random.Random(71)
+        state_a = random_state(rng, num_racks=2, per_rack=4, num_blocks=30, k=1)
+        state_b = state_a.copy()
+        stats_a = balance_node_level(state_a, AlwaysAdmissible())
+        stats_b = balance_node_level(state_b, RelativeGapPolicy(0.0))
+        assert stats_a.final_cost == pytest.approx(stats_b.final_cost)
+
+
+class TestFindOperationBetween:
+    def test_returns_none_when_balanced(self):
+        topo = ClusterTopology.uniform(1, 2, capacity=5)
+        problem = PlacementProblem.from_popularities(
+            topo, [3.0, 3.0], replication_factor=1
+        )
+        state = PlacementState(problem)
+        state.add_replica(0, 0)
+        state.add_replica(1, 1)
+        assert find_operation_between(
+            state, 0, 1, AlwaysAdmissible(), state.cost()
+        ) is None
+
+    def test_skips_shared_blocks(self):
+        # A block on both machines contributes equally; only exclusive
+        # blocks are candidates.
+        topo = ClusterTopology.uniform(1, 2, capacity=5)
+        problem = PlacementProblem.from_popularities(
+            topo, [8.0, 3.0, 1.0], replication_factor=1
+        )
+        state = PlacementState(problem)
+        state.add_replica(0, 0)
+        state.add_replica(0, 1)  # temporarily over-replicated, shared
+        state.add_replica(1, 0)
+        state.add_replica(2, 0)
+        op = find_operation_between(state, 0, 1, AlwaysAdmissible(), state.cost())
+        assert op is not None
+        # The shared block 0 must not be selected; the highest-share
+        # exclusive block (1) is preferred.
+        assert getattr(op, "block", getattr(op, "block_i", None)) == 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    num_blocks=st.integers(2, 40),
+    per_rack=st.integers(2, 5),
+    num_racks=st.integers(1, 4),
+)
+def test_property_local_search_invariants(seed, num_blocks, per_rack, num_racks):
+    """Local search preserves all replicas/constraints and never worsens."""
+    rng = random.Random(seed)
+    k = rng.randint(1, min(3, num_racks * per_rack))
+    rho = rng.randint(1, min(k, num_racks))
+    state = random_state(rng, num_racks, per_rack, num_blocks, k=k, rho=rho)
+    total_before = sum(state.replica_count(b) for b in range(num_blocks))
+    cost_before = state.cost()
+    stats = balance_rack_aware(state)
+    assert stats.converged
+    assert state.cost() <= cost_before + 1e-9
+    assert sum(state.replica_count(b) for b in range(num_blocks)) == total_before
+    for spec in state.problem:
+        assert state.rack_spread(spec.block_id) >= spec.rack_spread
+        assert state.replica_count(spec.block_id) == spec.replication_factor
+    for machine in state.topology.machines:
+        assert state.used_capacity(machine) <= state.topology.capacity_of(machine)
+    state.audit()

@@ -1,0 +1,146 @@
+"""Unit tests for operations and epsilon-admissibility policies."""
+
+import math
+
+import pytest
+
+from repro.cluster.topology import ClusterTopology
+from repro.core.admissibility import (
+    AlwaysAdmissible,
+    RelativeCostPolicy,
+    RelativeGapPolicy,
+    theorem9_approximation_factor,
+    theorem9_iteration_bound,
+)
+from repro.core.instance import PlacementProblem
+from repro.core.operations import MoveOp, OperationOutcome, SwapOp
+from repro.core.placement import PlacementState
+from repro.errors import InvalidProblemError
+
+
+def two_machine_state(pops=(6.0, 2.0)):
+    topo = ClusterTopology.uniform(2, 1, capacity=10)
+    problem = PlacementProblem.from_popularities(topo, pops, replication_factor=1)
+    state = PlacementState(problem)
+    state.add_replica(0, 0)
+    state.add_replica(1, 1)
+    return state
+
+
+class TestOperations:
+    def test_move_outcome_matches_application(self):
+        state = two_machine_state()
+        state2 = state.copy()
+        # free a slot: move block 1 to machine 0 first? simpler: move
+        # block 0 from machine 0 to machine 1.
+        op = MoveOp(block=0, src=0, dst=1)
+        outcome = op.outcome(state)
+        assert outcome.src_load_before == pytest.approx(6.0)
+        assert outcome.dst_load_before == pytest.approx(2.0)
+        assert outcome.src_load_after == pytest.approx(0.0)
+        assert outcome.dst_load_after == pytest.approx(8.0)
+        op.apply(state2)
+        assert state2.load(0) == pytest.approx(outcome.src_load_after)
+        assert state2.load(1) == pytest.approx(outcome.dst_load_after)
+
+    def test_swap_outcome_matches_application(self):
+        state = two_machine_state()
+        op = SwapOp(block_i=0, src=0, block_j=1, dst=1)
+        outcome = op.outcome(state)
+        assert outcome.src_load_after == pytest.approx(2.0)
+        assert outcome.dst_load_after == pytest.approx(6.0)
+        state2 = state.copy()
+        op.apply(state2)
+        assert state2.load(0) == pytest.approx(2.0)
+        assert state2.load(1) == pytest.approx(6.0)
+
+    def test_cross_rack_detection(self):
+        state = two_machine_state()
+        assert MoveOp(block=0, src=0, dst=1).is_cross_rack(state)
+        assert SwapOp(0, 0, 1, 1).is_cross_rack(state)
+
+    def test_blocks_touched(self):
+        assert MoveOp(0, 0, 1).blocks_touched == 1
+        assert SwapOp(0, 0, 1, 1).blocks_touched == 2
+
+    def test_improves_requires_strict_reduction(self):
+        flat = OperationOutcome(5.0, 5.0, 5.0, 5.0)
+        assert not flat.improves
+        better = OperationOutcome(5.0, 1.0, 3.0, 3.0)
+        assert better.improves
+        worse = OperationOutcome(5.0, 1.0, 0.0, 6.0)
+        assert not worse.improves
+
+
+class TestAdmissibilityPolicies:
+    def outcome(self, lm, ln, lm_after, ln_after):
+        return OperationOutcome(lm, ln, lm_after, ln_after)
+
+    def test_always_admissible_accepts_any_improvement(self):
+        policy = AlwaysAdmissible()
+        assert policy.is_admissible(self.outcome(10, 0, 9.9, 0.1), 10)
+        assert not policy.is_admissible(self.outcome(10, 0, 10, 0), 10)
+
+    def test_gap_policy_thresholds(self):
+        policy = RelativeGapPolicy(epsilon=0.5)
+        # gap 10 -> must close to <= 5.
+        assert policy.is_admissible(self.outcome(10, 0, 5.5, 4.5), 10)
+        assert not policy.is_admissible(self.outcome(10, 0, 9, 1), 10)
+        # Perfectly balancing move is always admissible.
+        assert policy.is_admissible(self.outcome(10, 0, 5, 5), 10)
+
+    def test_gap_policy_zero_equals_always(self):
+        policy = RelativeGapPolicy(epsilon=0.0)
+        assert policy.is_admissible(self.outcome(10, 0, 9.99, 0.01), 10)
+
+    def test_gap_policy_rejects_non_improving(self):
+        policy = RelativeGapPolicy(epsilon=0.1)
+        # Overshooting so far the pair max grows is inadmissible even if
+        # the gap shrinks.
+        assert not policy.is_admissible(self.outcome(10, 0, 0, 10.5), 10.5)
+
+    def test_cost_policy_requires_source_at_global_max(self):
+        policy = RelativeCostPolicy(epsilon=0.1)
+        # Source is below the global max: cannot reduce SOL.
+        assert not policy.is_admissible(self.outcome(8, 0, 4, 4), 10)
+        # Source at global max, resulting pair max below (1-eps)*SOL.
+        assert policy.is_admissible(self.outcome(10, 0, 5, 5), 10)
+        # Improvement too small.
+        assert not policy.is_admissible(self.outcome(10, 0, 9.5, 0.5), 10)
+
+    def test_epsilon_validation(self):
+        with pytest.raises(InvalidProblemError):
+            RelativeGapPolicy(epsilon=1.0)
+        with pytest.raises(InvalidProblemError):
+            RelativeGapPolicy(epsilon=-0.1)
+        with pytest.raises(InvalidProblemError):
+            RelativeCostPolicy(epsilon=2.0)
+
+
+class TestTheorem9Helpers:
+    def test_iteration_bound_formula(self):
+        bound = theorem9_iteration_bound(sol=100.0, opt=10.0, epsilon=0.5)
+        assert bound == pytest.approx(math.log(10.0) / -math.log(0.5))
+
+    def test_iteration_bound_zero_when_already_optimal(self):
+        assert theorem9_iteration_bound(5.0, 5.0, 0.3) == 0.0
+        assert theorem9_iteration_bound(4.0, 5.0, 0.3) == 0.0
+
+    def test_iteration_bound_shrinks_with_epsilon(self):
+        loose = theorem9_iteration_bound(100.0, 1.0, 0.1)
+        tight = theorem9_iteration_bound(100.0, 1.0, 0.9)
+        assert tight < loose
+
+    def test_iteration_bound_validation(self):
+        with pytest.raises(InvalidProblemError):
+            theorem9_iteration_bound(10.0, 1.0, 0.0)
+        with pytest.raises(InvalidProblemError):
+            theorem9_iteration_bound(0.0, 1.0, 0.5)
+
+    def test_approximation_factors(self):
+        assert theorem9_approximation_factor(False, 0.0) == 2.0
+        assert theorem9_approximation_factor(True, 0.0) == 4.0
+        assert theorem9_approximation_factor(False, 0.5) == pytest.approx(2.5)
+        assert theorem9_approximation_factor(True, 0.5) == pytest.approx(5.5)
+        with pytest.raises(InvalidProblemError):
+            theorem9_approximation_factor(True, -1.0)

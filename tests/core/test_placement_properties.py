@@ -1,0 +1,113 @@
+"""Property tests: placement-state bookkeeping under random mutations."""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.topology import ClusterTopology
+from repro.core.instance import PlacementProblem
+from repro.core.placement import PlacementState
+from repro.errors import ReproError
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 100_000), steps=st.integers(10, 120))
+def test_incremental_loads_match_recomputation(seed, steps):
+    """Any mix of add/remove/move/swap keeps loads exactly consistent."""
+    rng = random.Random(seed)
+    num_racks = rng.randint(1, 3)
+    per_rack = rng.randint(2, 4)
+    num_blocks = rng.randint(2, 20)
+    # Capacity always fits every block once, plus random slack.
+    base = -(-num_blocks // (num_racks * per_rack))  # ceil
+    topo = ClusterTopology.uniform(
+        num_racks, per_rack, capacity=base + rng.randint(1, 6)
+    )
+    pops = [rng.uniform(0.0, 50.0) for _ in range(num_blocks)]
+    problem = PlacementProblem.from_popularities(
+        topo, pops, replication_factor=1, rack_spread=1
+    )
+    state = PlacementState(problem)
+    machines = list(topo.machines)
+
+    for _ in range(steps):
+        op = rng.choice(["add", "add", "remove", "move", "swap"])
+        try:
+            if op == "add":
+                state.add_replica(
+                    rng.randrange(num_blocks), rng.choice(machines)
+                )
+            elif op == "remove":
+                block = rng.randrange(num_blocks)
+                holders = sorted(state.machines_of(block))
+                if holders:
+                    state.remove_replica(
+                        block, rng.choice(holders), enforce_min=False
+                    )
+            elif op == "move":
+                block = rng.randrange(num_blocks)
+                holders = sorted(state.machines_of(block))
+                if holders:
+                    state.move(block, rng.choice(holders),
+                               rng.choice(machines))
+            elif op == "swap":
+                block_i = rng.randrange(num_blocks)
+                block_j = rng.randrange(num_blocks)
+                holders_i = sorted(state.machines_of(block_i))
+                holders_j = sorted(state.machines_of(block_j))
+                if holders_i and holders_j:
+                    state.swap(block_i, rng.choice(holders_i),
+                               block_j, rng.choice(holders_j))
+        except ReproError:
+            continue
+
+    incremental = state.loads()
+    incremental_racks = state.rack_loads()
+    state.recompute()
+    assert np.allclose(incremental, state.loads(), atol=1e-6)
+    assert np.allclose(incremental_racks, state.rack_loads(), atol=1e-6)
+    state.audit()
+    # Load conservation: total load equals the popularity of every block
+    # that has at least one replica.
+    expected = sum(
+        problem.block(b).popularity
+        for b in range(num_blocks)
+        if state.replica_count(b) > 0
+    )
+    assert float(state.loads().sum()) == pytest.approx(expected)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_copy_equals_original_after_divergence_free_ops(seed):
+    rng = random.Random(seed)
+    topo = ClusterTopology.uniform(2, 3, capacity=6)
+    problem = PlacementProblem.from_popularities(
+        topo, [rng.uniform(1, 10) for _ in range(8)],
+        replication_factor=2, rack_spread=1,
+    )
+    state = PlacementState(problem)
+    for spec in problem:
+        placed = 0
+        for machine in rng.sample(list(topo.machines), topo.num_machines):
+            if placed == 2:
+                break
+            if state.can_add(spec.block_id, machine):
+                state.add_replica(spec.block_id, machine)
+                placed += 1
+    clone = state.copy()
+    assert clone.to_assignment() == state.to_assignment()
+    assert np.allclose(clone.loads(), state.loads())
+    # Mutating the clone never leaks into the original.
+    for block in range(8):
+        holders = sorted(clone.machines_of(block))
+        for machine in topo.machines:
+            if clone.can_move(block, holders[0], machine):
+                clone.move(block, holders[0], machine)
+                break
+        break
+    state.audit()
+    clone.audit()

@@ -1,0 +1,226 @@
+"""Unit tests for :class:`repro.core.placement.PlacementState`."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.topology import ClusterTopology
+from repro.core.instance import BlockSpec, PlacementProblem
+from repro.core.placement import PlacementState
+from repro.errors import (
+    CapacityExceededError,
+    InfeasibleOperationError,
+    ReplicaConstraintError,
+    UnknownBlockError,
+)
+
+
+def make_problem(num_racks=2, per_rack=3, capacity=10, pops=(6.0, 3.0, 1.0),
+                 k=2, rho=1, budget=None):
+    topo = ClusterTopology.uniform(num_racks, per_rack, capacity)
+    return PlacementProblem.from_popularities(
+        topo, pops, replication_factor=k, rack_spread=rho,
+        replication_budget=budget,
+    )
+
+
+class TestBasicBookkeeping:
+    def test_empty_state_has_zero_loads(self):
+        state = PlacementState(make_problem())
+        assert state.cost() == 0.0
+        assert state.min_load() == 0.0
+        assert state.replica_count(0) == 0
+        assert state.rack_spread(0) == 0
+
+    def test_add_replica_updates_load_and_indexes(self):
+        state = PlacementState(make_problem())
+        state.add_replica(0, 0)
+        assert state.has_replica(0, 0)
+        assert state.load(0) == pytest.approx(6.0)
+        assert state.replica_count(0) == 1
+        assert 0 in state.blocks_on(0)
+        assert 0 in state.machines_of(0)
+
+    def test_share_dilutes_with_replica_count(self):
+        state = PlacementState(make_problem())
+        state.add_replica(0, 0)
+        assert state.share(0) == pytest.approx(6.0)
+        state.add_replica(0, 1)
+        assert state.share(0) == pytest.approx(3.0)
+        assert state.load(0) == pytest.approx(3.0)
+        assert state.load(1) == pytest.approx(3.0)
+
+    def test_remove_replica_concentrates_popularity(self):
+        state = PlacementState(make_problem(k=1))
+        state.add_replica(0, 0)
+        state.add_replica(0, 1)
+        state.remove_replica(0, 1)
+        assert state.load(0) == pytest.approx(6.0)
+        assert state.load(1) == pytest.approx(0.0)
+        assert state.replica_count(0) == 1
+
+    def test_rack_spread_tracks_distinct_racks(self):
+        state = PlacementState(make_problem(num_racks=3, per_rack=2, k=3))
+        state.add_replica(0, 0)  # rack 0
+        state.add_replica(0, 1)  # rack 0
+        assert state.rack_spread(0) == 1
+        state.add_replica(0, 2)  # rack 1
+        assert state.rack_spread(0) == 2
+
+    def test_rack_load_aggregates_machine_loads(self):
+        state = PlacementState(make_problem(num_racks=2, per_rack=2))
+        state.add_replica(0, 0)
+        state.add_replica(1, 1)
+        assert state.rack_load(0) == pytest.approx(state.load(0) + state.load(1))
+        assert state.rack_load(1) == pytest.approx(0.0)
+
+    def test_unknown_block_raises(self):
+        state = PlacementState(make_problem())
+        with pytest.raises(UnknownBlockError):
+            state.machines_of(999)
+        with pytest.raises(UnknownBlockError):
+            state.share(999)
+
+
+class TestFeasibilityChecks:
+    def test_cannot_add_duplicate_replica(self):
+        state = PlacementState(make_problem())
+        state.add_replica(0, 0)
+        assert not state.can_add(0, 0)
+        with pytest.raises(ReplicaConstraintError):
+            state.add_replica(0, 0)
+
+    def test_capacity_limit_enforced(self):
+        problem = make_problem(num_racks=1, per_rack=2, capacity=1,
+                               pops=(1.0, 1.0), k=1)
+        state = PlacementState(problem)
+        state.add_replica(0, 0)
+        assert state.is_full(0)
+        assert not state.can_add(1, 0)
+        with pytest.raises(CapacityExceededError):
+            state.add_replica(1, 0)
+
+    def test_remove_respects_replication_minimum(self):
+        state = PlacementState(make_problem(k=2))
+        state.add_replica(0, 0)
+        state.add_replica(0, 1)
+        assert not state.can_remove(0, 0)
+        assert state.can_remove(0, 0, enforce_min=False)
+        with pytest.raises(ReplicaConstraintError):
+            state.remove_replica(0, 0)
+
+    def test_remove_respects_rack_spread(self):
+        problem = make_problem(num_racks=2, per_rack=2, pops=(4.0,), k=3, rho=2)
+        state = PlacementState(problem)
+        state.add_replica(0, 0)
+        state.add_replica(0, 1)
+        state.add_replica(0, 2)  # rack 1, sole holder there
+        # With exactly k=3 replicas no removal is allowed at all.
+        assert not state.can_remove(0, 0)
+        # With 4 replicas, removing a rack-0 replica is fine, but removing
+        # the sole rack-1 replica would break the spread requirement.
+        state.add_replica(0, 3)
+        assert state.can_remove(0, 0)
+        assert state.can_remove(0, 2)  # machine 3 also holds in rack 1
+        state.remove_replica(0, 3, enforce_min=False)
+        assert not state.can_remove(0, 2)
+
+    def test_can_move_rules(self):
+        state = PlacementState(make_problem(num_racks=2, per_rack=2, rho=2, k=2))
+        state.add_replica(0, 0)  # rack 0
+        state.add_replica(0, 2)  # rack 1
+        # Moving the rack-1 replica into rack 0 would break spread 2.
+        assert not state.can_move(0, 2, 1)
+        # Moving within rack 1 preserves spread.
+        assert state.can_move(0, 2, 3)
+        # Cannot move onto a machine already holding the block.
+        assert not state.can_move(0, 2, 0)
+        # Source must hold the block.
+        assert not state.can_move(0, 1, 3)
+        assert not state.can_move(0, 0, 0)
+
+    def test_can_swap_rules(self):
+        problem = make_problem(num_racks=2, per_rack=2, pops=(4.0, 2.0),
+                               k=2, rho=2)
+        state = PlacementState(problem)
+        state.add_replica(0, 0)
+        state.add_replica(0, 2)
+        state.add_replica(1, 1)
+        state.add_replica(1, 3)
+        # Intra-rack swap keeps both spreads intact.
+        assert state.can_swap(0, 0, 1, 1)
+        # Cross-rack swap of block 0 to machine 3 would collapse block 0
+        # onto rack 1 only, violating rho=2.
+        assert not state.can_swap(0, 0, 1, 3)
+        # Swapping a block with itself or the same machine is rejected.
+        assert not state.can_swap(0, 0, 0, 2)
+        assert not state.can_swap(0, 0, 1, 0)
+
+
+class TestMutations:
+    def test_move_shifts_load(self):
+        state = PlacementState(make_problem())
+        state.add_replica(0, 0)
+        state.add_replica(0, 1)
+        state.move(0, 1, 2)
+        assert not state.has_replica(0, 1)
+        assert state.has_replica(0, 2)
+        assert state.load(1) == pytest.approx(0.0)
+        assert state.load(2) == pytest.approx(3.0)
+        state.audit()
+
+    def test_infeasible_move_raises(self):
+        state = PlacementState(make_problem())
+        state.add_replica(0, 0)
+        with pytest.raises(InfeasibleOperationError):
+            state.move(0, 1, 2)
+
+    def test_swap_exchanges_loads(self):
+        state = PlacementState(make_problem(pops=(6.0, 2.0), k=1))
+        state.add_replica(0, 0)
+        state.add_replica(1, 1)
+        state.swap(0, 0, 1, 1)
+        assert state.has_replica(0, 1)
+        assert state.has_replica(1, 0)
+        assert state.load(0) == pytest.approx(2.0)
+        assert state.load(1) == pytest.approx(6.0)
+        state.audit()
+
+    def test_copy_is_independent(self):
+        state = PlacementState(make_problem())
+        state.add_replica(0, 0)
+        clone = state.copy()
+        clone.add_replica(0, 1)
+        assert state.replica_count(0) == 1
+        assert clone.replica_count(0) == 2
+        clone.audit()
+        state.audit()
+
+    def test_assignment_round_trip(self):
+        problem = make_problem()
+        state = PlacementState(problem)
+        state.add_replica(0, 0)
+        state.add_replica(0, 3)
+        state.add_replica(1, 1)
+        snapshot = state.to_assignment()
+        rebuilt = PlacementState.from_assignment(problem, snapshot)
+        assert rebuilt.to_assignment() == snapshot
+        assert np.allclose(rebuilt.loads(), state.loads())
+
+    def test_under_replicated_blocks_listed(self):
+        state = PlacementState(make_problem(k=2))
+        state.add_replica(0, 0)
+        assert 0 in state.under_replicated_blocks()
+        state.add_replica(0, 1)
+        assert 0 not in state.under_replicated_blocks()
+        assert not state.is_fully_replicated()  # blocks 1, 2 still missing
+
+    def test_recompute_matches_incremental(self):
+        state = PlacementState(make_problem(num_racks=3, per_rack=3, k=2))
+        state.add_replica(0, 0)
+        state.add_replica(0, 4)
+        state.add_replica(1, 2)
+        state.add_replica(1, 8)
+        state.move(0, 4, 5)
+        incremental = state.loads()
+        state.recompute()
+        assert np.allclose(incremental, state.loads())

@@ -1,0 +1,86 @@
+"""Tests for the LP relaxation lower bound."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.topology import ClusterTopology
+from repro.core.bounds import combined_lower_bound
+from repro.core.exact import solve_exact
+from repro.core.instance import PlacementProblem
+from repro.core.relaxation import certified_lower_bound, lp_lower_bound
+from repro.errors import InvalidProblemError
+
+
+def problem_from_seed(seed, num_blocks=None, capacity=None):
+    rng = random.Random(seed)
+    num_blocks = num_blocks or rng.randint(2, 8)
+    k = rng.randint(1, 2)
+    per_rack = rng.randint(2, 3)
+    # Capacity always fits the replicas (with optional slack).
+    min_capacity = -(-num_blocks * k // (2 * per_rack))  # ceil
+    topo = ClusterTopology.uniform(
+        2, per_rack,
+        capacity=capacity or (min_capacity + rng.randint(0, 4)),
+    )
+    pops = [rng.uniform(0.5, 20.0) for _ in range(num_blocks)]
+    return PlacementProblem.from_popularities(
+        topo, pops, replication_factor=k, rack_spread=1
+    )
+
+
+class TestLpLowerBound:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_valid_bound_at_least_average(self, seed):
+        from repro.core.bounds import average_load_bound
+
+        problem = problem_from_seed(seed)
+        lp = lp_lower_bound(problem)
+        opt = solve_exact(problem).objective
+        # Total load mass is conserved, so LP >= average; and relaxing
+        # integrality can only lower the optimum.
+        assert lp >= average_load_bound(problem) - 1e-6
+        assert lp <= opt + 1e-6
+
+    def test_fractional_splitting_shows_integrality_gap(self):
+        # One heavy block on two machines: the LP splits it in half
+        # (bound 5) while the ILP must place it whole (OPT 10).  The
+        # gap is exactly the p_max term of Theorem 2.
+        topo = ClusterTopology.uniform(1, 2, capacity=2)
+        problem = PlacementProblem.from_popularities(
+            topo, [10.0], replication_factor=1
+        )
+        lp = lp_lower_bound(problem)
+        assert lp == pytest.approx(5.0)
+        opt = solve_exact(problem).objective
+        assert opt == pytest.approx(10.0)
+        assert opt - lp <= problem.max_per_replica_popularity() + 1e-9
+
+    def test_rejects_replicate_variant(self):
+        topo = ClusterTopology.uniform(1, 3, capacity=5)
+        problem = PlacementProblem.from_popularities(
+            topo, [1.0], replication_budget=3
+        )
+        with pytest.raises(InvalidProblemError):
+            lp_lower_bound(problem)
+
+    def test_empty_instance(self):
+        topo = ClusterTopology.uniform(1, 2, capacity=2)
+        problem = PlacementProblem(topology=topo, blocks=())
+        assert lp_lower_bound(problem) == 0.0
+
+    def test_certified_bound_is_max(self):
+        problem = problem_from_seed(42)
+        certified = certified_lower_bound(problem)
+        assert certified >= combined_lower_bound(problem) - 1e-9
+        assert certified >= lp_lower_bound(problem) - 1e-9
+
+    def test_certified_bound_handles_replicate_variant(self):
+        topo = ClusterTopology.uniform(1, 3, capacity=5)
+        problem = PlacementProblem.from_popularities(
+            topo, [6.0], replication_budget=3
+        )
+        assert certified_lower_bound(problem) == combined_lower_bound(problem)

@@ -1,0 +1,176 @@
+"""Unit tests for the block map and datanode storage."""
+
+import pytest
+
+from repro.cluster.topology import ClusterTopology
+from repro.dfs.block import BlockMeta, FileMeta
+from repro.dfs.blockmap import BlockMap
+from repro.dfs.datanode import Datanode
+from repro.errors import (
+    BlockNotFoundError,
+    CapacityExceededError,
+    DfsError,
+    InvalidProblemError,
+)
+
+
+def topo():
+    return ClusterTopology.uniform(2, 3, capacity=10)
+
+
+class TestBlockMeta:
+    def test_validation(self):
+        with pytest.raises(InvalidProblemError):
+            BlockMeta(block_id=-1, file_id=0)
+        with pytest.raises(InvalidProblemError):
+            BlockMeta(block_id=0, file_id=0, size=0)
+        with pytest.raises(InvalidProblemError):
+            BlockMeta(block_id=0, file_id=0, replication_factor=0)
+        with pytest.raises(InvalidProblemError):
+            BlockMeta(block_id=0, file_id=0, replication_factor=2, rack_spread=3)
+
+    def test_file_meta(self):
+        meta = FileMeta(file_id=0, path="/a", block_ids=(1, 2, 3), block_size=10)
+        assert meta.num_blocks == 3
+        assert meta.total_bytes == 30
+        with pytest.raises(InvalidProblemError):
+            FileMeta(file_id=0, path="", block_ids=())
+
+
+class TestBlockMap:
+    def test_register_and_locations(self):
+        bm = BlockMap(topo())
+        bm.register(BlockMeta(block_id=0, file_id=0))
+        assert 0 in bm
+        assert bm.num_blocks == 1
+        bm.add_location(0, 1)
+        bm.add_location(0, 4)
+        assert bm.locations(0) == frozenset({1, 4})
+        assert bm.replica_count(0) == 2
+        assert bm.rack_spread(0) == 2
+        assert bm.blocks_on(1) == frozenset({0})
+        assert bm.used_capacity(1) == 1
+
+    def test_duplicate_registration_rejected(self):
+        bm = BlockMap(topo())
+        bm.register(BlockMeta(block_id=0, file_id=0))
+        with pytest.raises(DfsError):
+            bm.register(BlockMeta(block_id=0, file_id=1))
+
+    def test_duplicate_location_rejected(self):
+        bm = BlockMap(topo())
+        bm.register(BlockMeta(block_id=0, file_id=0))
+        bm.add_location(0, 1)
+        with pytest.raises(DfsError):
+            bm.add_location(0, 1)
+
+    def test_remove_location(self):
+        bm = BlockMap(topo())
+        bm.register(BlockMeta(block_id=0, file_id=0))
+        bm.add_location(0, 1)
+        bm.remove_location(0, 1)
+        assert bm.locations(0) == frozenset()
+        with pytest.raises(DfsError):
+            bm.remove_location(0, 1)
+
+    def test_unregister_clears_reverse_index(self):
+        bm = BlockMap(topo())
+        bm.register(BlockMeta(block_id=0, file_id=0))
+        bm.add_location(0, 2)
+        bm.unregister(0)
+        assert 0 not in bm
+        assert bm.blocks_on(2) == frozenset()
+        with pytest.raises(BlockNotFoundError):
+            bm.locations(0)
+
+    def test_under_replicated_and_availability(self):
+        bm = BlockMap(topo())
+        bm.register(BlockMeta(block_id=0, file_id=0, replication_factor=2,
+                              rack_spread=2))
+        bm.add_location(0, 0)
+        bm.add_location(0, 3)
+        live = {0, 3}
+        assert bm.under_replicated(live) == []
+        assert bm.under_spread(live) == []
+        assert bm.is_available(0, live)
+        # Node 3 (rack 1) dies: under-replicated and under-spread.
+        live = {0}
+        assert bm.under_replicated(live) == [0]
+        assert bm.under_spread(live) == [0]
+        assert bm.is_available(0, live)
+        assert not bm.is_available(0, set())
+        assert bm.live_locations(0, live) == frozenset({0})
+
+    def test_over_replicated(self):
+        bm = BlockMap(topo())
+        bm.register(BlockMeta(block_id=0, file_id=0, replication_factor=1,
+                              rack_spread=1))
+        bm.add_location(0, 0)
+        bm.add_location(0, 1)
+        assert bm.over_replicated() == [0]
+
+    def test_unknown_block_raises(self):
+        bm = BlockMap(topo())
+        with pytest.raises(BlockNotFoundError):
+            bm.meta(5)
+        with pytest.raises(BlockNotFoundError):
+            bm.add_location(5, 0)
+
+
+class TestDatanode:
+    def test_store_and_erase(self):
+        dn = Datanode(node_id=0, capacity_blocks=2)
+        dn.store(1, size=100)
+        assert dn.holds(1)
+        assert dn.used_blocks == 1
+        assert dn.free_blocks == 1
+        assert dn.bytes_written == 100
+        dn.erase(1)
+        assert not dn.holds(1)
+
+    def test_capacity_enforced(self):
+        dn = Datanode(node_id=0, capacity_blocks=1)
+        dn.store(1)
+        with pytest.raises(CapacityExceededError):
+            dn.store(2)
+        with pytest.raises(DfsError):
+            dn.store(1)  # duplicate after erase-less store
+
+    def test_disk_utilization(self):
+        dn = Datanode(node_id=0, capacity_blocks=4)
+        dn.store(1)
+        assert dn.disk_utilization == pytest.approx(0.25)
+        empty = Datanode(node_id=1, capacity_blocks=0)
+        assert empty.disk_utilization == 1.0
+
+    def test_crash_preserves_disk(self):
+        dn = Datanode(node_id=0, capacity_blocks=2)
+        dn.store(1)
+        dn.crash()
+        assert not dn.alive
+        with pytest.raises(DfsError):
+            dn.store(2)
+        with pytest.raises(DfsError):
+            dn.read(1)
+        dn.recover()
+        assert dn.holds(1)
+
+    def test_wipe_clears_disk(self):
+        dn = Datanode(node_id=0, capacity_blocks=2)
+        dn.store(1)
+        dn.crash()
+        dn.wipe()
+        assert dn.alive
+        assert not dn.holds(1)
+
+    def test_read_accounting(self):
+        dn = Datanode(node_id=0, capacity_blocks=2)
+        dn.store(1, size=10)
+        dn.read(1, size=10)
+        assert dn.bytes_read == 10
+        with pytest.raises(DfsError):
+            dn.read(99)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(DfsError):
+            Datanode(node_id=0, capacity_blocks=-1)

@@ -1,0 +1,78 @@
+"""Unit tests for the DFS client."""
+
+import random
+
+import pytest
+
+from repro.cluster.topology import ClusterTopology
+from repro.dfs.client import DfsClient, Locality, ReadResult
+from repro.dfs.namenode import Namenode
+from repro.dfs.policies import DefaultHdfsPolicy
+from repro.errors import FileNotFoundInDfsError
+
+
+def make_client(seed=0):
+    topo = ClusterTopology.uniform(3, 3, capacity=60)
+    nn = Namenode(
+        topo, placement_policy=DefaultHdfsPolicy(random.Random(seed)),
+        rng=random.Random(seed),
+    )
+    return nn, DfsClient(nn)
+
+
+class TestDfsClient:
+    def test_write_then_read_file(self):
+        nn, client = make_client()
+        meta = client.write_file("/a", num_blocks=3)
+        results = client.read_file("/a", reader=0)
+        assert len(results) == 3
+        assert [r.block_id for r in results] == list(meta.block_ids)
+        for result in results:
+            assert result.source in nn.blockmap.locations(result.block_id)
+
+    def test_locality_classification(self):
+        nn, client = make_client()
+        meta = client.write_file("/a", num_blocks=1)
+        block = meta.block_ids[0]
+        holders = nn.blockmap.locations(block)
+        holder = next(iter(holders))
+        local = client.read_block(block, reader=holder)
+        assert local.locality is Locality.NODE_LOCAL and local.is_local
+        # A reader sharing no rack with any holder reads remotely.
+        holder_racks = {nn.topology.rack_of[h] for h in holders}
+        outsiders = [
+            m for m in nn.topology.machines
+            if nn.topology.rack_of[m] not in holder_racks
+        ]
+        if outsiders:
+            remote = client.read_block(block, reader=outsiders[0])
+            assert remote.locality is Locality.REMOTE
+            assert not remote.is_local
+
+    def test_set_replication_applies_to_every_block(self):
+        nn, client = make_client()
+        meta = client.write_file("/a", num_blocks=2)
+        client.set_replication("/a", 5)
+        for block in meta.block_ids:
+            assert nn.blockmap.meta(block).replication_factor == 5
+            assert nn.blockmap.replica_count(block) == 5
+
+    def test_delete_file(self):
+        nn, client = make_client()
+        client.write_file("/a", num_blocks=1)
+        client.delete_file("/a")
+        with pytest.raises(FileNotFoundInDfsError):
+            client.read_file("/a", reader=0)
+
+    def test_reads_feed_the_usage_monitor(self):
+        nn, client = make_client()
+        seen = []
+        nn.access_listeners.append(lambda block, time: seen.append(block))
+        meta = client.write_file("/a", num_blocks=2)
+        client.read_file("/a", reader=0)
+        assert seen == list(meta.block_ids)
+
+    def test_read_result_is_immutable_value(self):
+        result = ReadResult(block_id=1, source=2, locality=Locality.REMOTE)
+        with pytest.raises(AttributeError):
+            result.source = 3

@@ -1,0 +1,129 @@
+"""Model-based property tests: namespace and block map vs naive models.
+
+Hypothesis drives random operation sequences against both the real data
+structure and a trivially correct reference model (flat dicts); every
+divergence is a bug.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.topology import ClusterTopology
+from repro.dfs.block import BlockMeta
+from repro.dfs.blockmap import BlockMap
+from repro.dfs.namespace import NamespaceTree, parent_of
+from repro.errors import ReproError
+
+
+# --- namespace vs dict-of-paths model -------------------------------------
+
+_SEGMENTS = ("a", "b", "c", "data", "x")
+
+
+def _random_path(rng: random.Random, depth_max: int = 3) -> str:
+    depth = rng.randint(1, depth_max)
+    return "/" + "/".join(rng.choice(_SEGMENTS) for _ in range(depth))
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 100_000), steps=st.integers(5, 60))
+def test_namespace_matches_dict_model(seed, steps):
+    rng = random.Random(seed)
+    tree = NamespaceTree()
+    model = {}  # path -> file_id
+    next_id = 0
+
+    for _ in range(steps):
+        op = rng.choice(["add", "add", "remove", "rename", "mkdir"])
+        path = _random_path(rng)
+        try:
+            if op == "add":
+                tree.add_file(path, next_id)
+                model[path] = next_id
+                next_id += 1
+            elif op == "remove":
+                if model:
+                    victim = rng.choice(sorted(model))
+                    assert tree.remove_file(victim) == model.pop(victim)
+            elif op == "rename":
+                if model:
+                    source = rng.choice(sorted(model))
+                    dest = _random_path(rng) + f"/r{next_id}"
+                    tree.rename(source, dest)
+                    model[dest] = model.pop(source)
+            elif op == "mkdir":
+                tree.mkdir(path)
+        except ReproError:
+            # Collisions with directories/files are legitimate failures;
+            # they must leave both structures unchanged, which the final
+            # comparison verifies.
+            continue
+
+    assert dict(tree.walk_files("/")) == model
+    assert tree.num_files == len(model)
+    for path, file_id in model.items():
+        assert tree.file_id(path) == file_id
+        assert tree.exists(parent_of(path))
+
+
+# --- block map vs dict-of-sets model -----------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 100_000), steps=st.integers(10, 80))
+def test_blockmap_matches_set_model(seed, steps):
+    rng = random.Random(seed)
+    topo = ClusterTopology.uniform(2, 4, capacity=100)
+    blockmap = BlockMap(topo)
+    model = {}  # block_id -> set of nodes
+    next_block = 0
+
+    for _ in range(steps):
+        op = rng.choice(
+            ["register", "add", "add", "remove", "unregister"]
+        )
+        try:
+            if op == "register":
+                blockmap.register(BlockMeta(block_id=next_block, file_id=0))
+                model[next_block] = set()
+                next_block += 1
+            elif op == "add" and model:
+                block = rng.choice(sorted(model))
+                node = rng.randrange(topo.num_machines)
+                blockmap.add_location(block, node)
+                model[block].add(node)
+            elif op == "remove" and model:
+                block = rng.choice(sorted(model))
+                if model[block]:
+                    node = rng.choice(sorted(model[block]))
+                    blockmap.remove_location(block, node)
+                    model[block].discard(node)
+            elif op == "unregister" and model:
+                block = rng.choice(sorted(model))
+                blockmap.unregister(block)
+                del model[block]
+        except ReproError:
+            continue
+
+    assert blockmap.num_blocks == len(model)
+    rack_of = topo.rack_of
+    for block, nodes in model.items():
+        assert blockmap.locations(block) == frozenset(nodes)
+        assert blockmap.replica_count(block) == len(nodes)
+        assert blockmap.rack_spread(block) == len(
+            {rack_of[n] for n in nodes}
+        )
+    # Reverse index agrees.
+    for node in topo.machines:
+        expected = {b for b, nodes in model.items() if node in nodes}
+        assert blockmap.blocks_on(node) == frozenset(expected)
+        assert blockmap.used_capacity(node) == len(expected)
+    # Health queries agree with a brute-force recomputation.
+    live = {n for n in topo.machines if rng.random() < 0.7}
+    under = {
+        b for b, nodes in model.items()
+        if len(nodes & live) < blockmap.meta(b).replication_factor
+    }
+    assert set(blockmap.under_replicated(live)) == under

@@ -1,0 +1,160 @@
+"""Fuzz test: random namenode operation sequences keep state consistent.
+
+Applies long random sequences of namespace, replication, migration and
+failure operations, auditing every invariant after each batch.  This is
+the strongest consistency check in the suite — any bookkeeping drift
+between the block map, the datanode disks, the lazy set and the
+namespace shows up here.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.topology import ClusterTopology
+from repro.dfs.namenode import Namenode
+from repro.dfs.policies import DefaultHdfsPolicy
+from repro.errors import ReproError
+
+
+class _Fuzzer:
+    """Drives one random operation sequence against a namenode."""
+
+    def __init__(self, seed: int) -> None:
+        self.rng = random.Random(seed)
+        topo = ClusterTopology.uniform(3, 4, capacity=30)
+        self.namenode = Namenode(
+            topo,
+            placement_policy=DefaultHdfsPolicy(random.Random(seed + 1)),
+            rng=random.Random(seed + 2),
+        )
+        self.counter = 0
+
+    def step(self) -> None:
+        ops = [
+            self.op_create, self.op_create, self.op_delete, self.op_read,
+            self.op_read, self.op_set_replication, self.op_move,
+            self.op_fail, self.op_recover, self.op_mkdir, self.op_rename,
+        ]
+        op = self.rng.choice(ops)
+        try:
+            op()
+        except ReproError:
+            # Individual operations may legitimately be infeasible
+            # (cluster full, path missing); state must stay consistent.
+            pass
+
+    # -- operations ---------------------------------------------------------
+
+    def paths(self):
+        return self.namenode.list_files()
+
+    def op_create(self):
+        self.counter += 1
+        self.namenode.create_file(
+            f"/dir{self.counter % 3}/f{self.counter}",
+            num_blocks=self.rng.randint(1, 3),
+            replication=self.rng.randint(2, 4),
+            rack_spread=self.rng.randint(1, 2),
+        )
+
+    def op_delete(self):
+        paths = self.paths()
+        if paths:
+            self.namenode.delete_file(self.rng.choice(paths))
+
+    def op_read(self):
+        paths = self.paths()
+        if not paths:
+            return
+        meta = self.namenode.file(self.rng.choice(paths))
+        block = self.rng.choice(meta.block_ids)
+        reader = self.rng.randrange(self.namenode.topology.num_machines)
+        self.namenode.record_access(block, reader)
+
+    def op_set_replication(self):
+        paths = self.paths()
+        if not paths:
+            return
+        meta = self.namenode.file(self.rng.choice(paths))
+        block = self.rng.choice(meta.block_ids)
+        self.namenode.set_replication(block, self.rng.randint(1, 6))
+
+    def op_move(self):
+        paths = self.paths()
+        if not paths:
+            return
+        meta = self.namenode.file(self.rng.choice(paths))
+        block = self.rng.choice(meta.block_ids)
+        locations = sorted(self.namenode.blockmap.locations(block))
+        if not locations:
+            return
+        src = self.rng.choice(locations)
+        dst = self.rng.randrange(self.namenode.topology.num_machines)
+        if dst not in locations:
+            self.namenode.move_block(block, src, dst)
+
+    def op_fail(self):
+        node = self.rng.randrange(self.namenode.topology.num_machines)
+        if len(self.namenode.live_nodes()) > 6:
+            self.namenode.fail_node(node)
+
+    def op_recover(self):
+        dead = [
+            dn.node_id for dn in self.namenode.datanodes if not dn.alive
+        ]
+        if dead:
+            self.namenode.recover_node(self.rng.choice(dead))
+
+    def op_mkdir(self):
+        self.namenode.mkdir(f"/dir{self.rng.randint(0, 4)}/sub")
+
+    def op_rename(self):
+        paths = self.paths()
+        if paths:
+            self.counter += 1
+            self.namenode.rename(
+                self.rng.choice(paths), f"/renamed/r{self.counter}"
+            )
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_random_operations_keep_invariants(seed):
+    fuzzer = _Fuzzer(seed)
+    for batch in range(8):
+        for _ in range(12):
+            fuzzer.step()
+        fuzzer.namenode.audit()
+    # Final deep check: every surviving file is fully described.
+    nn = fuzzer.namenode
+    for path in nn.list_files():
+        meta = nn.file(path)
+        assert meta.path == path
+        for block in meta.block_ids:
+            assert block in nn.blockmap
+
+
+def test_long_single_seed_run():
+    fuzzer = _Fuzzer(seed=12345)
+    for _ in range(400):
+        fuzzer.step()
+    fuzzer.namenode.audit()
+
+
+def test_fuzz_with_all_nodes_recovered_is_repairable():
+    fuzzer = _Fuzzer(seed=777)
+    for _ in range(200):
+        fuzzer.step()
+    nn = fuzzer.namenode
+    for dn in nn.datanodes:
+        if not dn.alive:
+            nn.recover_node(dn.node_id)
+    nn.check_replication()
+    nn.audit()
+    live = nn.live_nodes()
+    for path in nn.list_files():
+        for block in nn.file(path).block_ids:
+            assert nn.blockmap.is_available(block, live)

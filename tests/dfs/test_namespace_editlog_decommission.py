@@ -1,0 +1,308 @@
+"""Tests for the namespace tree, edit log recovery and decommissioning."""
+
+import random
+
+import pytest
+
+from repro.cluster.topology import ClusterTopology
+from repro.dfs.editlog import EditLog, attach_edit_log, recover_namenode
+from repro.dfs.namenode import Namenode
+from repro.dfs.namespace import NamespaceTree, parent_of, split_path
+from repro.dfs.policies import DefaultHdfsPolicy
+from repro.errors import (
+    DfsError,
+    FileExistsInDfsError,
+    FileNotFoundInDfsError,
+)
+
+
+def make_namenode(num_racks=3, per_rack=4, capacity=60, seed=0):
+    topo = ClusterTopology.uniform(num_racks, per_rack, capacity)
+    return Namenode(
+        topo, placement_policy=DefaultHdfsPolicy(random.Random(seed)),
+        rng=random.Random(seed),
+    )
+
+
+class TestPathHelpers:
+    def test_split_path(self):
+        assert split_path("/") == ()
+        assert split_path("/a/b/c") == ("a", "b", "c")
+        assert split_path("/a//b/") == ("a", "b")
+
+    def test_split_path_rejects_relative_and_dots(self):
+        with pytest.raises(DfsError):
+            split_path("a/b")
+        with pytest.raises(DfsError):
+            split_path("/a/../b")
+        with pytest.raises(DfsError):
+            split_path("/a/./b")
+
+    def test_parent_of(self):
+        assert parent_of("/a/b/c") == "/a/b"
+        assert parent_of("/a") == "/"
+        assert parent_of("/") == "/"
+
+
+class TestNamespaceTree:
+    def test_mkdir_and_listing(self):
+        tree = NamespaceTree()
+        tree.mkdir("/a/b/c")
+        assert tree.is_directory("/a")
+        assert tree.is_directory("/a/b/c")
+        assert tree.list_directory("/a") == ["b"]
+        assert tree.num_directories == 3
+
+    def test_mkdir_is_idempotent(self):
+        tree = NamespaceTree()
+        tree.mkdir("/a/b")
+        tree.mkdir("/a/b")
+        assert tree.num_directories == 2
+
+    def test_add_file_creates_parents(self):
+        tree = NamespaceTree()
+        tree.add_file("/data/logs/app.log", file_id=7)
+        assert tree.is_file("/data/logs/app.log")
+        assert tree.file_id("/data/logs/app.log") == 7
+        assert tree.num_files == 1
+        assert tree.is_directory("/data/logs")
+
+    def test_duplicate_paths_rejected(self):
+        tree = NamespaceTree()
+        tree.add_file("/a/f", file_id=1)
+        with pytest.raises(FileExistsInDfsError):
+            tree.add_file("/a/f", file_id=2)
+        with pytest.raises(FileExistsInDfsError):
+            tree.mkdir("/a/f")
+
+    def test_file_lookup_errors(self):
+        tree = NamespaceTree()
+        with pytest.raises(FileNotFoundInDfsError):
+            tree.file_id("/missing")
+        with pytest.raises(FileNotFoundInDfsError):
+            tree.list_directory("/missing")
+        tree.mkdir("/d")
+        with pytest.raises(FileNotFoundInDfsError):
+            tree.file_id("/d")  # a directory is not a file
+
+    def test_remove_file(self):
+        tree = NamespaceTree()
+        tree.add_file("/a/f", file_id=3)
+        assert tree.remove_file("/a/f") == 3
+        assert not tree.exists("/a/f")
+        assert tree.is_directory("/a")
+        with pytest.raises(FileNotFoundInDfsError):
+            tree.remove_file("/a/f")
+
+    def test_remove_directory_recursive(self):
+        tree = NamespaceTree()
+        tree.add_file("/a/b/f1", file_id=1)
+        tree.add_file("/a/b/c/f2", file_id=2)
+        tree.add_file("/a/g", file_id=3)
+        removed = tree.remove_directory("/a/b")
+        assert sorted(removed) == [1, 2]
+        assert tree.num_files == 1
+        assert not tree.exists("/a/b")
+        assert tree.exists("/a/g")
+
+    def test_remove_root_rejected(self):
+        tree = NamespaceTree()
+        with pytest.raises(DfsError):
+            tree.remove_directory("/")
+
+    def test_rename_file(self):
+        tree = NamespaceTree()
+        tree.add_file("/a/f", file_id=9)
+        tree.rename("/a/f", "/b/c/g")
+        assert not tree.exists("/a/f")
+        assert tree.file_id("/b/c/g") == 9
+
+    def test_rename_directory_moves_subtree(self):
+        tree = NamespaceTree()
+        tree.add_file("/a/b/f", file_id=1)
+        tree.rename("/a", "/z")
+        assert tree.file_id("/z/b/f") == 1
+        assert not tree.exists("/a")
+
+    def test_rename_rejects_conflicts_and_cycles(self):
+        tree = NamespaceTree()
+        tree.add_file("/a/f", file_id=1)
+        tree.add_file("/b", file_id=2)
+        with pytest.raises(FileExistsInDfsError):
+            tree.rename("/a/f", "/b")
+        with pytest.raises(DfsError):
+            tree.rename("/a", "/a/sub")
+        with pytest.raises(FileNotFoundInDfsError):
+            tree.rename("/nope", "/x")
+
+    def test_walk_files(self):
+        tree = NamespaceTree()
+        tree.add_file("/a/1", file_id=1)
+        tree.add_file("/a/b/2", file_id=2)
+        tree.add_file("/3", file_id=3)
+        assert list(tree.walk_files("/")) == [
+            ("/3", 3), ("/a/1", 1), ("/a/b/2", 2)
+        ]
+        assert list(tree.walk_files("/a/b")) == [("/a/b/2", 2)]
+
+
+class TestNamenodeNamespace:
+    def test_nested_files_and_listing(self):
+        nn = make_namenode()
+        nn.create_file("/data/warm/a", num_blocks=1)
+        nn.create_file("/data/hot/b", num_blocks=1)
+        nn.mkdir("/empty")
+        assert nn.list_files() == ["/data/hot/b", "/data/warm/a"]
+        assert nn.list_directory("/data") == ["hot", "warm"]
+        nn.audit()
+
+    def test_rename_updates_file_meta(self):
+        nn = make_namenode()
+        nn.create_file("/olddir/f", num_blocks=2)
+        nn.rename("/olddir", "/newdir")
+        meta = nn.file("/newdir/f")
+        assert meta.path == "/newdir/f"
+        assert nn.is_file_available("/newdir/f")
+        with pytest.raises(FileNotFoundInDfsError):
+            nn.file("/olddir/f")
+        nn.audit()
+
+    def test_delete_directory_frees_blocks(self):
+        nn = make_namenode()
+        nn.create_file("/proj/a", num_blocks=2)
+        nn.create_file("/proj/sub/b", num_blocks=1)
+        nn.create_file("/keep", num_blocks=1)
+        removed = nn.delete_directory("/proj")
+        assert removed == 2
+        assert nn.list_files() == ["/keep"]
+        assert sum(dn.used_blocks for dn in nn.datanodes) == 3
+        nn.audit()
+
+
+class TestEditLog:
+    def test_round_trip_serialization(self, tmp_path):
+        log = EditLog()
+        log.append("mkdir", path="/a")
+        log.append("create_file", path="/a/f", file_id=0, block_ids=[0],
+                   block_size=64, replication=3, rack_spread=2)
+        path = tmp_path / "edits.jsonl"
+        log.dump(path)
+        loaded = EditLog.load(path)
+        assert loaded.entries == log.entries
+        assert len(loaded) == 2
+
+    def test_journals_all_operations(self):
+        nn = make_namenode()
+        log = attach_edit_log(nn)
+        nn.mkdir("/d")
+        meta = nn.create_file("/d/f", num_blocks=1)
+        nn.set_replication(meta.block_ids[0], 4)
+        nn.rename("/d/f", "/d/g")
+        nn.delete_file("/d/g")
+        ops = [entry["op"] for entry in log.entries]
+        assert ops == ["mkdir", "create_file", "set_replication", "rename",
+                       "delete_file"]
+
+    def test_failed_operations_not_journaled(self):
+        nn = make_namenode()
+        log = attach_edit_log(nn)
+        nn.create_file("/f", num_blocks=1)
+        with pytest.raises(FileExistsInDfsError):
+            nn.create_file("/f", num_blocks=1)
+        assert [e["op"] for e in log.entries] == ["create_file"]
+
+    def test_namenode_crash_recovery(self):
+        nn = make_namenode(seed=4)
+        log = attach_edit_log(nn)
+        nn.create_file("/a/f1", num_blocks=2)
+        meta2 = nn.create_file("/a/f2", num_blocks=1)
+        nn.set_replication(meta2.block_ids[0], 5)
+        nn.rename("/a/f1", "/b/f1")
+        nn.create_file("/tmp/junk", num_blocks=1)
+        nn.delete_file("/tmp/junk")
+
+        # The namenode "crashes": rebuild from the journal + datanode
+        # block reports.
+        fresh = make_namenode(seed=99)
+        recover_namenode(fresh, log, surviving_datanodes=nn.datanodes)
+        assert fresh.list_files() == nn.list_files()
+        for path in nn.list_files():
+            old = nn.file(path)
+            new = fresh.file(path)
+            assert new.block_ids == old.block_ids
+            for block_id in new.block_ids:
+                assert (
+                    fresh.blockmap.locations(block_id)
+                    == nn.blockmap.locations(block_id)
+                )
+                assert (
+                    fresh.blockmap.meta(block_id).replication_factor
+                    == nn.blockmap.meta(block_id).replication_factor
+                )
+        fresh.audit()
+
+    def test_recovery_with_lost_datanode_repairs(self):
+        nn = make_namenode(seed=5)
+        log = attach_edit_log(nn)
+        meta = nn.create_file("/f", num_blocks=1)
+        block = meta.block_ids[0]
+        victim = next(iter(nn.blockmap.locations(block)))
+        # The victim's disk dies with the namenode.
+        survivors = [dn for dn in nn.datanodes if dn.node_id != victim]
+        fresh = make_namenode(seed=6)
+        recover_namenode(fresh, log, surviving_datanodes=survivors)
+        fresh.datanodes[victim].wipe()
+        assert fresh.blockmap.replica_count(block) == 2
+        fresh.check_replication()
+        assert fresh.blockmap.replica_count(block) == 3
+        fresh.audit()
+
+
+class TestDecommission:
+    def test_drains_all_replicas(self):
+        nn = make_namenode()
+        for i in range(5):
+            nn.create_file(f"/f{i}", num_blocks=2)
+        victim = max(
+            nn.topology.machines, key=lambda n: nn.blockmap.used_capacity(n)
+        )
+        assert nn.blockmap.blocks_on(victim)
+        nn.decommission_node(victim)
+        assert nn.is_decommissioned(victim)
+        assert not nn.blockmap.blocks_on(victim)
+        # No replication was lost and spreads hold.
+        for i in range(5):
+            meta = nn.file(f"/f{i}")
+            for block in meta.block_ids:
+                assert nn.blockmap.replica_count(block) == 3
+                assert nn.blockmap.rack_spread(block) >= 2
+        nn.audit()
+
+    def test_decommissioning_node_rejects_new_replicas(self):
+        nn = make_namenode()
+        nn.create_file("/a", num_blocks=1)
+        nn.decommission_node(0)
+        assert not nn.can_store(0, 999)
+        meta = nn.create_file("/b", num_blocks=3)
+        for block in meta.block_ids:
+            assert 0 not in nn.blockmap.locations(block)
+
+    def test_recommission(self):
+        nn = make_namenode()
+        nn.decommission_node(0)
+        nn.recommission_node(0)
+        meta = nn.create_file("/a", num_blocks=1, writer=0)
+        assert 0 in nn.blockmap.locations(meta.block_ids[0])
+
+    def test_lazy_replicas_evicted_not_moved(self):
+        nn = make_namenode()
+        meta = nn.create_file("/a", num_blocks=1)
+        block = meta.block_ids[0]
+        nn.set_replication(block, 5)
+        nn.set_replication(block, 3)
+        lazy_nodes = {n for b, n in nn.lazy_replicas() if b == block}
+        victim = next(iter(lazy_nodes))
+        nn.decommission_node(victim)
+        assert nn.lazy_evictions >= 1
+        assert not nn.blockmap.blocks_on(victim)
+        nn.audit()

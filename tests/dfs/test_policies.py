@@ -1,0 +1,149 @@
+"""Unit tests for the block placement policies (footnote-1 semantics)."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.cluster.topology import ClusterTopology
+from repro.dfs.block import BlockMeta
+from repro.dfs.policies import DefaultHdfsPolicy, LoadAwarePolicy
+from repro.errors import CapacityExceededError
+
+
+class FakeContext:
+    """Minimal PlacementContext over plain dicts."""
+
+    def __init__(self, topology, full=(), loads=None):
+        self.topology = topology
+        self._full = set(full)
+        self._loads = loads or {}
+
+    def can_store(self, node, block_id):
+        return node not in self._full
+
+    def node_load(self, node):
+        return self._loads.get(node, 0.0)
+
+
+def meta(block_id=0, k=3, rho=2):
+    return BlockMeta(block_id=block_id, file_id=0, replication_factor=k,
+                     rack_spread=rho)
+
+
+class TestDefaultHdfsPolicy:
+    def topo(self):
+        return ClusterTopology.uniform(4, 4, capacity=10)
+
+    def test_footnote_semantics_with_writer(self):
+        """Task-written block: first replica local, rest in ONE other rack."""
+        topo = self.topo()
+        policy = DefaultHdfsPolicy(random.Random(0))
+        context = FakeContext(topo)
+        for _ in range(50):
+            targets = policy.choose_targets(context, meta(), writer=0)
+            assert len(targets) == 3
+            assert targets[0] == 0
+            racks = [topo.rack_of[t] for t in targets]
+            # Exactly 2 distinct racks: the writer's and one remote rack.
+            assert len(set(racks)) == 2
+            assert len(set(targets)) == 3
+
+    def test_without_writer_uses_two_racks(self):
+        topo = self.topo()
+        policy = DefaultHdfsPolicy(random.Random(1))
+        context = FakeContext(topo)
+        targets = policy.choose_targets(context, meta())
+        racks = {topo.rack_of[t] for t in targets}
+        assert len(racks) == 2
+
+    def test_random_spread_across_cluster(self):
+        """Over many placements, every machine gets used."""
+        topo = self.topo()
+        policy = DefaultHdfsPolicy(random.Random(2))
+        context = FakeContext(topo)
+        counts = Counter()
+        for i in range(200):
+            for t in policy.choose_targets(context, meta(block_id=i)):
+                counts[t] += 1
+        assert len(counts) == topo.num_machines
+
+    def test_skips_full_machines(self):
+        topo = self.topo()
+        policy = DefaultHdfsPolicy(random.Random(3))
+        context = FakeContext(topo, full={0, 1, 2, 3})  # rack 0 full
+        for _ in range(20):
+            targets = policy.choose_targets(context, meta(), writer=0)
+            assert all(t > 3 for t in targets)
+
+    def test_raises_when_cluster_full(self):
+        topo = self.topo()
+        policy = DefaultHdfsPolicy(random.Random(4))
+        context = FakeContext(topo, full=set(topo.machines))
+        with pytest.raises(CapacityExceededError):
+            policy.choose_targets(context, meta())
+
+    def test_spread_infeasible_raises(self):
+        topo = ClusterTopology.uniform(2, 3, capacity=10)
+        policy = DefaultHdfsPolicy(random.Random(5))
+        # Rack 1 entirely full: spread 2 is impossible.
+        context = FakeContext(topo, full={3, 4, 5})
+        with pytest.raises(CapacityExceededError):
+            policy.choose_targets(context, meta())
+
+    def test_single_replica_single_rack(self):
+        topo = self.topo()
+        policy = DefaultHdfsPolicy(random.Random(6))
+        context = FakeContext(topo)
+        targets = policy.choose_targets(context, meta(k=1, rho=1))
+        assert len(targets) == 1
+
+
+class TestLoadAwarePolicy:
+    def topo(self):
+        return ClusterTopology.uniform(3, 3, capacity=10)
+
+    def test_picks_least_loaded_machines(self):
+        topo = self.topo()
+        loads = {n: float(n) for n in topo.machines}  # machine 0 coldest
+        context = FakeContext(topo, loads=loads)
+        targets = LoadAwarePolicy().choose_targets(context, meta())
+        assert 0 in targets
+        # The heaviest machine is never chosen.
+        assert 8 not in targets
+
+    def test_rack_spread_uses_lowest_load_racks(self):
+        topo = self.topo()
+        # Rack 2 is red-hot; racks 0 and 1 are cold.
+        loads = {n: (100.0 if topo.rack_of[n] == 2 else 1.0)
+                 for n in topo.machines}
+        context = FakeContext(topo, loads=loads)
+        targets = LoadAwarePolicy().choose_targets(context, meta())
+        racks = {topo.rack_of[t] for t in targets}
+        assert racks == {0, 1}
+
+    def test_writer_local_first(self):
+        topo = self.topo()
+        context = FakeContext(topo)
+        targets = LoadAwarePolicy().choose_targets(context, meta(), writer=4)
+        assert targets[0] == 4
+
+    def test_writer_skipped_when_full(self):
+        topo = self.topo()
+        context = FakeContext(topo, full={4})
+        targets = LoadAwarePolicy().choose_targets(context, meta(), writer=4)
+        assert 4 not in targets
+
+    def test_deterministic_given_loads(self):
+        topo = self.topo()
+        loads = {n: float((n * 7) % 5) for n in topo.machines}
+        context = FakeContext(topo, loads=loads)
+        a = LoadAwarePolicy().choose_targets(context, meta())
+        b = LoadAwarePolicy().choose_targets(context, meta())
+        assert a == b
+
+    def test_raises_when_cluster_full(self):
+        topo = self.topo()
+        context = FakeContext(topo, full=set(topo.machines))
+        with pytest.raises(CapacityExceededError):
+            LoadAwarePolicy().choose_targets(context, meta())

@@ -1,0 +1,134 @@
+"""Tests for directory quotas."""
+
+import random
+
+import pytest
+
+from repro.cluster.topology import ClusterTopology
+from repro.dfs.namenode import Namenode
+from repro.dfs.policies import DefaultHdfsPolicy
+from repro.dfs.quota import DirectoryQuota, QuotaManager
+from repro.errors import FileNotFoundInDfsError, QuotaExceededError
+
+
+def make(seed=0):
+    topo = ClusterTopology.uniform(3, 4, capacity=100)
+    nn = Namenode(
+        topo, placement_policy=DefaultHdfsPolicy(random.Random(seed)),
+        rng=random.Random(seed),
+    )
+    return nn, QuotaManager(nn)
+
+
+class TestQuotaAdministration:
+    def test_quota_requires_existing_directory(self):
+        nn, quotas = make()
+        with pytest.raises(FileNotFoundInDfsError):
+            quotas.set_quota("/nope", max_files=5)
+        nn.mkdir("/tenant")
+        quotas.set_quota("/tenant", max_files=5)
+        assert quotas.quota_of("/tenant") == DirectoryQuota(max_files=5)
+
+    def test_clear_quota(self):
+        nn, quotas = make()
+        nn.mkdir("/t")
+        quotas.set_quota("/t", max_files=1)
+        quotas.clear_quota("/t")
+        assert quotas.quota_of("/t") is None
+        nn.create_file("/t/a", num_blocks=1)
+        nn.create_file("/t/b", num_blocks=1)  # no longer limited
+
+    def test_validation(self):
+        with pytest.raises(QuotaExceededError):
+            DirectoryQuota(max_files=-1)
+        with pytest.raises(QuotaExceededError):
+            DirectoryQuota(max_replicated_blocks=-1)
+
+
+class TestFileCountQuota:
+    def test_rejects_over_limit(self):
+        nn, quotas = make()
+        nn.mkdir("/t")
+        quotas.set_quota("/t", max_files=2)
+        nn.create_file("/t/a", num_blocks=1)
+        nn.create_file("/t/sub/b", num_blocks=1)  # nested counts too
+        with pytest.raises(QuotaExceededError):
+            nn.create_file("/t/c", num_blocks=1)
+        assert quotas.rejections == 1
+        # Other directories are unaffected.
+        nn.create_file("/elsewhere", num_blocks=1)
+
+    def test_delete_frees_quota(self):
+        nn, quotas = make()
+        nn.mkdir("/t")
+        quotas.set_quota("/t", max_files=1)
+        nn.create_file("/t/a", num_blocks=1)
+        nn.delete_file("/t/a")
+        nn.create_file("/t/b", num_blocks=1)
+
+    def test_root_quota_governs_everything(self):
+        nn, quotas = make()
+        quotas.set_quota("/", max_files=1)
+        nn.create_file("/a", num_blocks=1)
+        with pytest.raises(QuotaExceededError):
+            nn.create_file("/deep/down/b", num_blocks=1)
+
+
+class TestSpaceQuota:
+    def test_rejects_oversized_create(self):
+        nn, quotas = make()
+        nn.mkdir("/t")
+        quotas.set_quota("/t", max_replicated_blocks=6)
+        nn.create_file("/t/a", num_blocks=2)  # 2 * 3 = 6 replicated
+        with pytest.raises(QuotaExceededError):
+            nn.create_file("/t/b", num_blocks=1)
+
+    def test_set_replication_consumes_quota(self):
+        nn, quotas = make()
+        nn.mkdir("/t")
+        quotas.set_quota("/t", max_replicated_blocks=7)
+        meta = nn.create_file("/t/a", num_blocks=2)  # 6 of 7
+        block = meta.block_ids[0]
+        with pytest.raises(QuotaExceededError):
+            nn.set_replication(block, 5)  # +2 would hit 8
+        nn.set_replication(block, 4)  # +1 fits exactly
+        assert quotas.usage("/t") == (1, 7)
+
+    def test_decreases_always_allowed(self):
+        nn, quotas = make()
+        nn.mkdir("/t")
+        quotas.set_quota("/t", max_replicated_blocks=6)
+        meta = nn.create_file("/t/a", num_blocks=2)
+        nn.set_replication(meta.block_ids[0], 2)  # below quota: fine
+        assert quotas.usage("/t") == (1, 5)
+
+    def test_usage_counts_targets_not_lazy_replicas(self):
+        nn, quotas = make()
+        nn.mkdir("/t")
+        quotas.set_quota("/t", max_replicated_blocks=100)
+        meta = nn.create_file("/t/a", num_blocks=1)
+        block = meta.block_ids[0]
+        nn.set_replication(block, 5)
+        nn.set_replication(block, 3)  # two replicas now lazy
+        _files, replicated = quotas.usage("/t")
+        assert replicated == 3  # lazy excess is reclaimable, not charged
+
+    def test_quota_caps_aurora_budget_spending(self):
+        """A tenant quota bounds what the optimizer may replicate."""
+        from repro.aurora.config import AuroraConfig
+        from repro.aurora.system import AuroraSystem
+
+        nn, quotas = make()
+        aurora = AuroraSystem(nn, AuroraConfig(
+            epsilon=0.0, replication_budget=100,
+        ))
+        nn.mkdir("/tenant")
+        quotas.set_quota("/tenant", max_replicated_blocks=4)
+        meta = nn.create_file("/tenant/hot", num_blocks=1)
+        for _ in range(50):
+            nn.record_access(meta.block_ids[0], reader=0)
+        # The optimizer wants many replicas; the quota rejects the grant
+        # and Aurora tolerates it and finishes the period.
+        report = aurora.optimize(now=10.0)
+        assert report.replication_rejections >= 1
+        assert nn.blockmap.meta(meta.block_ids[0]).replication_factor <= 4

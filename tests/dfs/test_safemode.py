@@ -1,0 +1,116 @@
+"""Tests for namenode safe mode."""
+
+import random
+
+import pytest
+
+from repro.cluster.topology import ClusterTopology
+from repro.dfs.editlog import attach_edit_log, recover_namenode
+from repro.dfs.namenode import Namenode
+from repro.dfs.policies import DefaultHdfsPolicy
+from repro.dfs.safemode import SafeModeMonitor, enter_safe_mode, reported_fraction
+from repro.errors import DfsError, SafeModeError
+from repro.simulation.engine import Simulation
+
+
+def make_namenode(seed=0, sim=None):
+    topo = ClusterTopology.uniform(2, 4, capacity=60)
+    return Namenode(
+        topo, placement_policy=DefaultHdfsPolicy(random.Random(seed)),
+        rng=random.Random(seed), sim=sim,
+    )
+
+
+class TestSafeModeGuards:
+    def test_mutations_rejected_in_safe_mode(self):
+        nn = make_namenode()
+        meta = nn.create_file("/a", num_blocks=1)
+        enter_safe_mode(nn)
+        with pytest.raises(SafeModeError):
+            nn.create_file("/b", num_blocks=1)
+        with pytest.raises(SafeModeError):
+            nn.delete_file("/a")
+        with pytest.raises(SafeModeError):
+            nn.set_replication(meta.block_ids[0], 4)
+
+    def test_reads_still_served(self):
+        nn = make_namenode()
+        meta = nn.create_file("/a", num_blocks=1)
+        enter_safe_mode(nn)
+        source = nn.record_access(meta.block_ids[0], reader=0)
+        assert source in nn.blockmap.locations(meta.block_ids[0])
+
+
+class TestReportedFraction:
+    def test_empty_namespace_is_fully_reported(self):
+        assert reported_fraction(make_namenode()) == 1.0
+
+    def test_counts_live_locations(self):
+        nn = make_namenode()
+        nn.create_file("/a", num_blocks=2)
+        assert reported_fraction(nn) == 1.0
+        # Kill every replica holder of one block.
+        block = nn.file("/a").block_ids[0]
+        for node in nn.blockmap.locations(block):
+            nn.fail_node(node, re_replicate=False)
+        fraction = reported_fraction(nn)
+        assert fraction < 1.0
+
+    def test_min_replica_requirement(self):
+        nn = make_namenode()
+        nn.create_file("/a", num_blocks=1)
+        assert reported_fraction(nn, min_replicas=3) == 1.0
+        assert reported_fraction(nn, min_replicas=4) == 0.0
+
+
+class TestSafeModeMonitor:
+    def test_recovery_exits_after_block_reports(self):
+        nn = make_namenode(seed=1)
+        log = attach_edit_log(nn)
+        nn.create_file("/a", num_blocks=3)
+        fresh = make_namenode(seed=2)
+        monitor = SafeModeMonitor(fresh, threshold=0.99)
+        assert monitor.active
+        with pytest.raises(SafeModeError):
+            fresh.create_file("/x", num_blocks=1)
+        # Before block reports, nothing is reported: stays in safe mode.
+        # (Recovery replays the namespace first.)
+        recover_namenode(fresh, log, surviving_datanodes=nn.datanodes)
+        assert monitor.check(now=0.0)
+        assert not fresh.safe_mode
+        fresh.create_file("/x", num_blocks=1)  # writable again
+
+    def test_stays_in_safe_mode_when_blocks_missing(self):
+        nn = make_namenode(seed=3)
+        log = attach_edit_log(nn)
+        nn.create_file("/a", num_blocks=2)
+        fresh = make_namenode(seed=4)
+        monitor = SafeModeMonitor(fresh, threshold=0.999)
+        # Lose ALL datanodes: no block ever reports.
+        recover_namenode(fresh, log, surviving_datanodes=[])
+        assert not monitor.check(now=0.0)
+        assert fresh.safe_mode
+
+    def test_extension_delays_exit(self):
+        sim = Simulation()
+        nn = make_namenode(seed=5, sim=sim)
+        monitor = SafeModeMonitor(nn, threshold=0.5, extension=10.0)
+        monitor.run_on(sim, interval=2.0)
+        sim.run(until=5.0)
+        assert monitor.active  # threshold met but extension pending
+        sim.run(until=20.0)
+        assert not monitor.active
+
+    def test_validation(self):
+        nn = make_namenode()
+        with pytest.raises(DfsError):
+            SafeModeMonitor(nn, threshold=0.0)
+        with pytest.raises(DfsError):
+            SafeModeMonitor(nn, min_replicas=0)
+        with pytest.raises(DfsError):
+            SafeModeMonitor(nn, extension=-1.0)
+        monitor = SafeModeMonitor(nn)
+        sim = Simulation()
+        monitor.run_on(sim)
+        with pytest.raises(DfsError):
+            monitor.run_on(sim)

@@ -1,0 +1,169 @@
+"""Tests for the per-figure harnesses and ablations (small scale)."""
+
+import pytest
+
+from repro.experiments.ablation import (
+    make_instance,
+    render_ablations,
+    run_epsilon_ablation,
+    run_factor_ablation,
+    run_initial_placement_ablation,
+)
+from repro.experiments.fig3 import Fig3Result, run_fig3, render_fig3
+from repro.experiments.fig4 import run_fig4, render_fig4
+from repro.experiments.fig5 import default_budget, run_fig5, render_fig5
+from repro.experiments.fig6 import (
+    run_fig6,
+    render_fig6,
+    speedup_over,
+    testbed_cluster as fig6_testbed_cluster,
+)
+from repro.experiments.harness import ClusterConfig, RunResult, SystemKind
+from repro.workload.yahoo import YahooTraceConfig, generate_yahoo_trace
+
+
+def small_trace(seed=0):
+    return generate_yahoo_trace(YahooTraceConfig(
+        num_files=25, jobs_per_hour=150.0, duration_hours=1.0,
+        mean_task_duration=60.0, seed=seed,
+    ))
+
+
+def small_cluster():
+    return ClusterConfig(num_racks=3, machines_per_rack=3,
+                         capacity_blocks=150, slots_per_machine=2)
+
+
+class TestFig3:
+    def test_runs_and_renders(self):
+        result = run_fig3(
+            trace=small_trace(), cluster=small_cluster(),
+            epsilons=(0.1, 0.8),
+        )
+        assert result.baseline.system is SystemKind.HDFS
+        assert set(result.aurora) == {0.1, 0.8}
+        text = render_fig3(result)
+        assert "Figure 3(a,c)" in text
+        assert "HDFS" in text
+        assert "eps=0.8" in text
+
+    def test_best_reduction_nonnegative(self):
+        result = run_fig3(
+            trace=small_trace(seed=2), cluster=small_cluster(),
+            epsilons=(0.1,),
+        )
+        # Aurora should never *increase* remote tasks materially.
+        assert result.best_reduction() >= -0.05
+
+    def test_best_reduction_zero_baseline(self):
+        result = Fig3Result(baseline=RunResult(
+            system=SystemKind.HDFS, epsilon=0.0, horizon_hours=1.0,
+            num_machines=1,
+        ))
+        result.aurora[0.1] = result.baseline
+        assert result.best_reduction() == 0.0
+
+
+class TestFig4:
+    def test_rack_spread_enforced(self):
+        result = run_fig4(
+            trace=small_trace(), cluster=small_cluster(), epsilons=(0.1,),
+        )
+        text = render_fig4(result)
+        assert "Figure 4" in text
+        # Both runs complete the whole job stream.
+        assert result.baseline.jobs_completed == result.baseline.jobs_submitted
+        run = result.aurora[0.1]
+        assert run.jobs_completed == run.jobs_submitted
+
+
+class TestFig5:
+    def test_aurora_vs_scarlett(self):
+        trace = small_trace(seed=1)
+        result = run_fig5(
+            trace=trace, cluster=small_cluster(), epsilons=(0.1,),
+            budget_extra=trace.total_blocks,
+        )
+        assert result.scarlett.system is SystemKind.SCARLETT
+        text = render_fig5(result)
+        assert "Scarlett" in text
+        assert "26.9%" in text  # the paper's reference number is cited
+
+    def test_default_budget_positive(self):
+        assert default_budget(small_trace()) > 0
+
+
+class TestFig6:
+    def test_testbed_shape(self):
+        result = run_fig6(seed=0)
+        runs = result.runs()
+        assert set(runs) == {"HDFS", "Scarlett", "Aurora"}
+        # Every system finishes the same job stream.
+        done = {run.jobs_completed for run in runs.values()}
+        assert len(done) == 1
+        # The paper's ordering: Aurora's locality is at least Scarlett's,
+        # and both beat stock HDFS.
+        assert result.aurora.remote_fraction <= result.scarlett.remote_fraction + 0.02
+        assert result.scarlett.remote_fraction <= result.hdfs.remote_fraction
+
+    def test_speedup_over_matching_jobs_only(self):
+        base = RunResult(system=SystemKind.SCARLETT, epsilon=0.0,
+                         horizon_hours=1.0, num_machines=1,
+                         job_completions={1: 10.0, 2: 20.0})
+        other = RunResult(system=SystemKind.AURORA, epsilon=0.8,
+                          horizon_hours=1.0, num_machines=1,
+                          job_completions={1: 5.0, 3: 7.0})
+        ratios = speedup_over(base, other)
+        assert ratios == [pytest.approx(0.5)]
+
+    def test_render(self):
+        result = run_fig6(seed=0)
+        text = render_fig6(result)
+        assert "Figure 6(a)" in text
+        assert "Figure 6(b)" in text
+        assert "Figure 6(c)" in text
+
+    def test_testbed_cluster_is_10_nodes(self):
+        assert fig6_testbed_cluster().num_machines == 10
+
+
+class TestAblations:
+    def test_initial_placement_greedy_starts_lower(self):
+        result = run_initial_placement_ablation(
+            make_instance(num_blocks=120, seed=3)
+        )
+        assert result.greedy_initial_cost <= result.random_initial_cost
+        # Both starts converge to comparable final quality.
+        assert result.converged_cost_greedy <= result.converged_cost_random * 1.05
+
+    def test_factor_ablation_aurora_optimal(self):
+        for seed in range(3):
+            result = run_factor_ablation(
+                make_instance(num_blocks=100, seed=seed)
+            )
+            assert result.aurora_wins()
+
+    def test_epsilon_ablation_rows(self):
+        result = run_epsilon_ablation(
+            make_instance(num_blocks=80, seed=1), epsilons=(0.1, 0.8),
+        )
+        assert len(result.rows) == 4
+        by_key = {
+            (row["epsilon"], row["semantics"]): row for row in result.rows
+        }
+        # Literal cost semantics always moves at most as much as the
+        # gap semantics (it is far stricter).
+        for epsilon in (0.1, 0.8):
+            assert (
+                by_key[(epsilon, "cost")]["operations"]
+                <= by_key[(epsilon, "gap")]["operations"]
+            )
+
+    def test_render_ablations(self):
+        instance = make_instance(num_blocks=60, seed=2)
+        text = render_ablations(
+            run_initial_placement_ablation(instance),
+            run_factor_ablation(instance),
+            run_epsilon_ablation(instance, epsilons=(0.1,)),
+        )
+        assert "E11" in text and "E12" in text and "E10" in text

@@ -1,0 +1,148 @@
+"""Tests for the experiment harness and report rendering."""
+
+import math
+
+import pytest
+
+from repro.errors import InvalidProblemError
+from repro.experiments.harness import (
+    ClusterConfig,
+    ExperimentConfig,
+    RunResult,
+    SystemKind,
+    run_experiment,
+)
+from repro.experiments.report import (
+    cdf_series,
+    format_number,
+    render_cdf,
+    render_table,
+)
+from repro.workload.yahoo import YahooTraceConfig, generate_yahoo_trace
+
+
+def tiny_trace(seed=0):
+    # 1.5 simulated hours so the hourly optimizers fire at least once
+    # before the job stream ends.
+    return generate_yahoo_trace(YahooTraceConfig(
+        num_files=20,
+        jobs_per_hour=120.0,
+        duration_hours=1.5,
+        mean_task_duration=60.0,
+        seed=seed,
+    ))
+
+
+def tiny_cluster():
+    return ClusterConfig(
+        num_racks=3, machines_per_rack=3, capacity_blocks=120,
+        slots_per_machine=2,
+    )
+
+
+class TestRunExperiment:
+    def test_hdfs_run_completes_all_jobs(self):
+        trace = tiny_trace()
+        result = run_experiment(trace, ExperimentConfig(
+            system=SystemKind.HDFS, cluster=tiny_cluster(), epsilon=0.0,
+        ))
+        assert result.jobs_submitted == trace.num_jobs
+        assert result.jobs_completed == trace.num_jobs
+        assert result.total_tasks > 0
+        assert len(result.machine_task_loads) == 9
+        assert sum(result.machine_task_loads) == result.total_tasks
+        assert result.moves_completed == 0  # plain HDFS never migrates
+
+    def test_aurora_run_is_deterministic(self):
+        trace = tiny_trace()
+        config = ExperimentConfig(
+            system=SystemKind.AURORA, cluster=tiny_cluster(), epsilon=0.1,
+        )
+        a = run_experiment(trace, config)
+        b = run_experiment(trace, config)
+        assert a.remote_tasks == b.remote_tasks
+        assert a.machine_task_loads == b.machine_task_loads
+        assert a.moves_completed == b.moves_completed
+        assert a.job_completions == b.job_completions
+
+    def test_aurora_never_more_remote_than_hdfs(self):
+        trace = tiny_trace(seed=3)
+        cluster = tiny_cluster()
+        hdfs = run_experiment(trace, ExperimentConfig(
+            system=SystemKind.HDFS, cluster=cluster, epsilon=0.0,
+        ))
+        aurora = run_experiment(trace, ExperimentConfig(
+            system=SystemKind.AURORA, cluster=cluster, epsilon=0.1,
+        ))
+        assert aurora.remote_fraction <= hdfs.remote_fraction + 0.02
+
+    def test_scarlett_run_replicates(self):
+        trace = tiny_trace(seed=1)
+        result = run_experiment(trace, ExperimentConfig(
+            system=SystemKind.SCARLETT, cluster=tiny_cluster(), epsilon=0.0,
+            budget_extra_blocks=trace.total_blocks,
+        ))
+        assert result.jobs_completed == trace.num_jobs
+        assert result.replications_completed > 0
+
+    def test_config_validation(self):
+        with pytest.raises(InvalidProblemError):
+            ExperimentConfig(system=SystemKind.HDFS, replication=2,
+                             rack_spread=3)
+        with pytest.raises(InvalidProblemError):
+            ExperimentConfig(system=SystemKind.HDFS, drain_hours=-1)
+
+    def test_derived_metrics(self):
+        result = RunResult(
+            system=SystemKind.AURORA, epsilon=0.1, horizon_hours=2.0,
+            num_machines=10, local_tasks=60, remote_tasks=40,
+            moves_completed=20, replications_completed=10,
+        )
+        assert result.total_tasks == 100
+        assert result.remote_fraction == pytest.approx(0.4)
+        assert result.remote_tasks_per_hour == pytest.approx(20.0)
+        assert result.moves_per_machine_per_hour == pytest.approx(1.0)
+        assert result.data_movement_per_machine_per_hour == pytest.approx(1.5)
+
+    def test_degenerate_metrics(self):
+        result = RunResult(
+            system=SystemKind.HDFS, epsilon=0.0, horizon_hours=0.0,
+            num_machines=0,
+        )
+        assert result.remote_fraction == 0.0
+        assert result.remote_tasks_per_hour == 0.0
+        assert result.moves_per_machine_per_hour == 0.0
+
+
+class TestReport:
+    def test_format_number(self):
+        assert format_number(3.0) == "3"
+        assert format_number(3.14159) == "3.14"
+        assert format_number(float("nan")) == "-"
+
+    def test_render_table_alignment(self):
+        table = render_table(["name", "value"], [("a", 1.0), ("bb", 22.5)])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert "name" in lines[0]
+        assert "22.50" in lines[3]
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all rows equal width
+
+    def test_cdf_series_monotone(self):
+        series = cdf_series([3.0, 1.0, 2.0, 5.0, 4.0], points=5)
+        values = [v for v, _ in series]
+        probs = [p for _, p in series]
+        assert values == sorted(values)
+        assert probs[-1] == pytest.approx(1.0)
+        assert cdf_series([], points=3) == []
+
+    def test_render_cdf(self):
+        text = render_cdf("label", [1.0, 2.0], points=2)
+        assert text.startswith("label")
+        assert "P(X<=x)" in text
+
+    def test_cdf_handles_fewer_samples_than_points(self):
+        series = cdf_series([7.0], points=10)
+        assert series == [(7.0, 1.0)]
+        assert not math.isnan(series[0][0])

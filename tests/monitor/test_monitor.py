@@ -1,0 +1,108 @@
+"""Unit tests for the usage monitor and popularity predictors."""
+
+import pytest
+
+from repro.errors import InvalidProblemError
+from repro.monitor.forecast import Ar1Predictor, EwmaPredictor, HistoricalPredictor
+from repro.monitor.usage import UsageMonitor
+
+
+class TestUsageMonitor:
+    def test_counts_accesses_inside_window(self):
+        monitor = UsageMonitor(window=100.0)
+        monitor.record_access(1, 10.0)
+        monitor.record_access(1, 20.0)
+        monitor.record_access(2, 30.0)
+        assert monitor.popularity(1, now=50.0) == 2
+        assert monitor.popularity(2, now=50.0) == 1
+        assert monitor.popularity(3, now=50.0) == 0
+
+    def test_window_expiry(self):
+        monitor = UsageMonitor(window=100.0)
+        monitor.record_access(1, 10.0)
+        monitor.record_access(1, 150.0)
+        assert monitor.popularity(1, now=200.0) == 1
+        assert monitor.popularity(1, now=300.0) == 0
+
+    def test_snapshot_drops_expired_blocks(self):
+        monitor = UsageMonitor(window=50.0)
+        monitor.record_access(1, 0.0)
+        monitor.record_access(2, 100.0)
+        snapshot = monitor.snapshot(now=120.0)
+        assert snapshot == {2: 1}
+
+    def test_record_many(self):
+        monitor = UsageMonitor(window=10.0)
+        monitor.record_many([1, 2, 3], time=5.0)
+        assert monitor.snapshot(now=6.0) == {1: 1, 2: 1, 3: 1}
+        assert monitor.total_recorded == 3
+
+    def test_forget(self):
+        monitor = UsageMonitor(window=10.0)
+        monitor.record_access(1, 0.0)
+        monitor.forget(1)
+        assert monitor.popularity(1, now=1.0) == 0
+
+    def test_validation(self):
+        with pytest.raises(InvalidProblemError):
+            UsageMonitor(window=0.0)
+
+
+class TestHistoricalPredictor:
+    def test_predicts_last_observation(self):
+        predictor = HistoricalPredictor()
+        assert predictor.predict() == {}
+        predictor.observe({1: 5.0, 2: 3.0})
+        predictor.observe({1: 7.0})
+        assert predictor.predict() == {1: 7.0}
+
+
+class TestEwmaPredictor:
+    def test_blends_observations(self):
+        predictor = EwmaPredictor(alpha=0.5)
+        predictor.observe({1: 10.0})
+        predictor.observe({1: 20.0})
+        assert predictor.predict()[1] == pytest.approx(12.5)
+
+    def test_absent_blocks_decay(self):
+        predictor = EwmaPredictor(alpha=0.5)
+        predictor.observe({1: 16.0})
+        predictor.observe({})
+        predictor.observe({})
+        assert predictor.predict().get(1, 0.0) == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(InvalidProblemError):
+            EwmaPredictor(alpha=0.0)
+        with pytest.raises(InvalidProblemError):
+            EwmaPredictor(alpha=1.5)
+
+
+class TestAr1Predictor:
+    def test_falls_back_to_last_value_with_short_history(self):
+        predictor = Ar1Predictor()
+        predictor.observe({1: 5.0})
+        assert predictor.predict()[1] == pytest.approx(5.0)
+
+    def test_learns_linear_growth(self):
+        predictor = Ar1Predictor(history=8)
+        for value in (2.0, 4.0, 8.0, 16.0):
+            predictor.observe({1: value})
+        # Doubling each period: AR(1) should extrapolate beyond 16.
+        assert predictor.predict()[1] > 16.0
+
+    def test_constant_series_predicts_constant(self):
+        predictor = Ar1Predictor()
+        for _ in range(5):
+            predictor.observe({1: 7.0})
+        assert predictor.predict()[1] == pytest.approx(7.0)
+
+    def test_never_negative(self):
+        predictor = Ar1Predictor()
+        for value in (100.0, 50.0, 10.0, 1.0):
+            predictor.observe({1: value})
+        assert predictor.predict()[1] >= 0.0
+
+    def test_validation(self):
+        with pytest.raises(InvalidProblemError):
+            Ar1Predictor(history=2)

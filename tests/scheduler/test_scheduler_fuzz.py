@@ -1,0 +1,97 @@
+"""Scheduler fuzz: slot accounting survives random failures + speculation.
+
+Random job streams, machine failures/recoveries and speculative backups
+run concurrently; at every checkpoint the slot ledger must balance
+(used slots == live attempts on that machine) and at the end every job
+must complete with all slots free.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.topology import ClusterTopology
+from repro.dfs.namenode import Namenode
+from repro.dfs.policies import DefaultHdfsPolicy
+from repro.scheduler.capacity import MapReduceScheduler
+from repro.scheduler.job import Job
+from repro.scheduler.runtime import TaskRuntimeModel
+from repro.scheduler.speculation import SpeculativeExecutor
+from repro.simulation.engine import Simulation
+
+
+def _slot_ledger_balanced(scheduler):
+    """used_slots per machine equals its live attempt count."""
+    per_machine = {m.machine_id: 0 for m in scheduler.machines}
+    for attempts in scheduler._attempts.values():
+        for attempt in attempts:
+            if not attempt.cancelled:
+                per_machine[attempt.machine_id] += 1
+    for machine in scheduler.machines:
+        if machine.alive:
+            if machine.used_slots != per_machine[machine.machine_id]:
+                return False
+    return True
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_slot_ledger_balances_under_chaos(seed):
+    rng = random.Random(seed)
+    sim = Simulation()
+    topo = ClusterTopology.uniform(2, 4, capacity=100)
+    nn = Namenode(
+        topo, placement_policy=DefaultHdfsPolicy(random.Random(seed + 1)),
+        sim=sim, rng=random.Random(seed + 2),
+    )
+    scheduler = MapReduceScheduler(
+        sim, nn, slots_per_machine=2,
+        runtime=TaskRuntimeModel(jitter=0.2, rng=random.Random(seed + 3)),
+    )
+    executor = SpeculativeExecutor(
+        sim, scheduler, check_interval=7.0, slowdown_threshold=1.2,
+    )
+    executor.start()
+
+    jobs = []
+    for i in range(rng.randint(3, 8)):
+        meta = nn.create_file(f"/f{i}", num_blocks=rng.randint(1, 4))
+        job = Job(job_id=i, submit_time=rng.uniform(0, 60),
+                  block_ids=list(meta.block_ids),
+                  task_duration=rng.uniform(5, 25))
+        jobs.append(job)
+        sim.schedule_at(job.submit_time, lambda j=job: scheduler.submit_job(j))
+
+    # Random failure/recovery churn, never sinking below quorum.
+    for _ in range(rng.randint(1, 4)):
+        victim = rng.randrange(topo.num_machines)
+        down_at = rng.uniform(5, 80)
+        up_at = down_at + rng.uniform(10, 40)
+        sim.schedule_at(down_at, lambda v=victim: (
+            nn.datanode(v).crash() if len(nn.live_nodes()) > 4 else None,
+            scheduler.fail_machine(v) if len(nn.live_nodes()) > 4 else None,
+        ))
+        sim.schedule_at(up_at, lambda v=victim: (
+            nn.recover_node(v),
+            scheduler.recover_machine(v),
+        ))
+
+    checkpoints = [20.0, 60.0, 120.0]
+    for checkpoint in checkpoints:
+        sim.run(until=checkpoint)
+        assert _slot_ledger_balanced(scheduler)
+
+    executor.stop()
+    # Recover everything and drain the backlog.
+    for dn in nn.datanodes:
+        if not dn.alive:
+            nn.recover_node(dn.node_id)
+            scheduler.recover_machine(dn.node_id)
+    nn.check_replication()
+    sim.run(until=5000.0)
+    assert scheduler.jobs_completed == len(jobs)
+    assert all(job.is_complete() for job in jobs)
+    assert all(m.used_slots == 0 for m in scheduler.machines)
+    assert _slot_ledger_balanced(scheduler)

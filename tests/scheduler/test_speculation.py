@@ -1,0 +1,168 @@
+"""Tests for speculative execution and task attempts."""
+
+import random
+
+import pytest
+
+from repro.cluster.topology import ClusterTopology
+from repro.dfs.namenode import Namenode
+from repro.dfs.policies import DefaultHdfsPolicy
+from repro.errors import SchedulerError
+from repro.scheduler.capacity import MapReduceScheduler
+from repro.scheduler.job import Job, TaskState
+from repro.scheduler.runtime import TaskRuntimeModel
+from repro.scheduler.speculation import SpeculativeExecutor
+from repro.simulation.engine import Simulation
+
+
+def build(num_racks=2, per_rack=3, slots=1, seed=0):
+    sim = Simulation()
+    topo = ClusterTopology.uniform(num_racks, per_rack, capacity=100)
+    nn = Namenode(
+        topo, placement_policy=DefaultHdfsPolicy(random.Random(seed)),
+        sim=sim, rng=random.Random(seed),
+    )
+    scheduler = MapReduceScheduler(
+        sim, nn, slots_per_machine=slots,
+        runtime=TaskRuntimeModel(jitter=0.0),
+    )
+    return sim, nn, scheduler
+
+
+class TestTaskAttempts:
+    def test_primary_attempt_tracked_and_cleared(self):
+        sim, nn, scheduler = build()
+        meta = nn.create_file("/a", num_blocks=1)
+        job = Job(job_id=0, submit_time=0.0, block_ids=list(meta.block_ids),
+                  task_duration=10.0)
+        scheduler.submit_job(job)
+        assert len(scheduler.live_attempts(0, 0)) == 1
+        sim.run()
+        assert scheduler.live_attempts(0, 0) == []
+        assert job.is_complete()
+
+    def test_speculative_attempt_wins_when_faster(self):
+        sim, nn, scheduler = build(slots=2)
+        meta = nn.create_file("/a", num_blocks=1, replication=1,
+                              rack_spread=1)
+        block = meta.block_ids[0]
+        holder = next(iter(nn.blockmap.locations(block)))
+        # Pin the holder so the primary goes remote (2x slower).
+        scheduler.machines[holder].reserve_slot()
+        scheduler.machines[holder].reserve_slot()
+        job = Job(job_id=0, submit_time=0.0, block_ids=[block],
+                  task_duration=10.0)
+        scheduler.submit_job(job)
+        task = job.tasks[0]
+        assert task.state is TaskState.RUNNING
+        assert task.locality.is_remote
+        # Free the holder and launch a backup: it reads locally and wins.
+        scheduler.machines[holder].release_slot()
+        scheduler.machines[holder].release_slot()
+        sim.run(until=5.0)
+        assert scheduler.launch_speculative(job, task)
+        assert len(scheduler.live_attempts(0, 0)) == 2
+        sim.run()
+        assert job.is_complete()
+        assert task.machine == holder
+        assert scheduler.speculative_wins == 1
+        # The loser's slot was released.
+        assert all(m.used_slots == 0 for m in scheduler.machines)
+
+    def test_speculative_attempt_loses_when_slower(self):
+        sim, nn, scheduler = build(slots=2)
+        meta = nn.create_file("/a", num_blocks=1)
+        job = Job(job_id=0, submit_time=0.0, block_ids=list(meta.block_ids),
+                  task_duration=10.0)
+        scheduler.submit_job(job)
+        task = job.tasks[0]
+        primary_machine = task.machine
+        sim.run(until=8.0)
+        # Backup started near the end: primary finishes first.
+        scheduler.launch_speculative(job, task)
+        sim.run()
+        assert task.machine == primary_machine
+        assert scheduler.speculative_wins == 0
+        assert all(m.used_slots == 0 for m in scheduler.machines)
+
+    def test_failed_machine_with_backup_keeps_task_running(self):
+        sim, nn, scheduler = build(slots=2)
+        meta = nn.create_file("/a", num_blocks=1)
+        job = Job(job_id=0, submit_time=0.0, block_ids=list(meta.block_ids),
+                  task_duration=50.0)
+        scheduler.submit_job(job)
+        task = job.tasks[0]
+        sim.run(until=5.0)
+        assert scheduler.launch_speculative(job, task)
+        primary_machine = task.machine
+        scheduler.fail_machine(primary_machine)
+        nn.fail_node(primary_machine)
+        # The surviving backup finishes the task without a re-queue.
+        assert task.state is TaskState.RUNNING
+        sim.run()
+        assert job.is_complete()
+        assert task.machine != primary_machine
+
+
+class TestSpeculativeExecutor:
+    def test_scan_backs_up_stragglers(self):
+        sim, nn, scheduler = build(slots=2)
+        # Model a genuinely sick machine: remote execution is 4x slower,
+        # the regime speculation targets (a 2x remote task cannot be
+        # beaten once detection has already cost one local task-time).
+        scheduler.runtime = TaskRuntimeModel(
+            rack_local_factor=4.0, remote_factor=4.0, jitter=0.0,
+        )
+        meta = nn.create_file("/a", num_blocks=1, replication=1,
+                              rack_spread=1)
+        block = meta.block_ids[0]
+        holder = next(iter(nn.blockmap.locations(block)))
+        scheduler.machines[holder].reserve_slot()
+        scheduler.machines[holder].reserve_slot()
+        job = Job(job_id=0, submit_time=0.0, block_ids=[block],
+                  task_duration=10.0)
+        scheduler.submit_job(job)
+        scheduler.machines[holder].release_slot()
+        scheduler.machines[holder].release_slot()
+        executor = SpeculativeExecutor(
+            sim, scheduler, check_interval=4.0, slowdown_threshold=1.2,
+        )
+        executor.start()
+        sim.run(until=100.0)  # bounded: the periodic scan never drains
+        executor.stop()
+        sim.run()
+        assert scheduler.speculative_launches >= 1
+        assert job.is_complete()
+        # The backup (local, 10s) beats the remote primary (20s).
+        assert scheduler.speculative_wins == 1
+        assert job.tasks[0].machine == holder
+
+    def test_no_backups_for_healthy_tasks(self):
+        sim, nn, scheduler = build(slots=2)
+        meta = nn.create_file("/a", num_blocks=2)
+        job = Job(job_id=0, submit_time=0.0, block_ids=list(meta.block_ids),
+                  task_duration=10.0)
+        scheduler.submit_job(job)
+        executor = SpeculativeExecutor(
+            sim, scheduler, check_interval=3.0, slowdown_threshold=1.5,
+        )
+        executor.start()
+        sim.run(until=60.0)
+        executor.stop()
+        sim.run()
+        assert scheduler.speculative_launches == 0
+
+    def test_validation_and_double_start(self):
+        sim, nn, scheduler = build()
+        with pytest.raises(SchedulerError):
+            SpeculativeExecutor(sim, scheduler, check_interval=0.0)
+        with pytest.raises(SchedulerError):
+            SpeculativeExecutor(sim, scheduler, slowdown_threshold=1.0)
+        with pytest.raises(SchedulerError):
+            SpeculativeExecutor(sim, scheduler, max_backups_per_scan=0)
+        executor = SpeculativeExecutor(sim, scheduler)
+        executor.start()
+        with pytest.raises(SchedulerError):
+            executor.start()
+        executor.stop()
+        executor.stop()  # idempotent

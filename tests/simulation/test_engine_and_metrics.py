@@ -1,0 +1,180 @@
+"""Unit tests for the DES engine and metric collectors."""
+
+import math
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation.engine import Simulation
+from repro.simulation.metrics import (
+    Counter,
+    Distribution,
+    HourlyRate,
+    MetricsRecorder,
+    TimeSeries,
+)
+
+
+class TestSimulation:
+    def test_events_fire_in_time_order(self):
+        sim = Simulation()
+        log = []
+        sim.schedule(5.0, lambda: log.append("b"))
+        sim.schedule(1.0, lambda: log.append("a"))
+        sim.schedule(9.0, lambda: log.append("c"))
+        sim.run()
+        assert log == ["a", "b", "c"]
+        assert sim.now == 9.0
+        assert sim.events_processed == 3
+
+    def test_ties_break_by_insertion_order(self):
+        sim = Simulation()
+        log = []
+        sim.schedule(1.0, lambda: log.append(1))
+        sim.schedule(1.0, lambda: log.append(2))
+        sim.run()
+        assert log == [1, 2]
+
+    def test_run_until_stops_clock_exactly(self):
+        sim = Simulation()
+        log = []
+        sim.schedule(10.0, lambda: log.append("late"))
+        sim.run(until=4.0)
+        assert log == []
+        assert sim.now == 4.0
+        sim.run()
+        assert log == ["late"]
+
+    def test_run_until_advances_clock_on_empty_queue(self):
+        sim = Simulation()
+        sim.run(until=42.0)
+        assert sim.now == 42.0
+
+    def test_cancellation(self):
+        sim = Simulation()
+        log = []
+        token = sim.schedule(1.0, lambda: log.append("x"))
+        token.cancel()
+        sim.run()
+        assert log == []
+
+    def test_periodic_fires_repeatedly_until_cancelled(self):
+        sim = Simulation()
+        log = []
+        token = sim.schedule_periodic(2.0, lambda: log.append(sim.now))
+        sim.run(until=7.0)
+        assert log == [2.0, 4.0, 6.0]
+        token.cancel()
+        sim.run(until=20.0)
+        assert log == [2.0, 4.0, 6.0]
+
+    def test_periodic_first_at_override(self):
+        sim = Simulation()
+        log = []
+        sim.schedule_periodic(5.0, lambda: log.append(sim.now), first_at=0.0)
+        sim.run(until=11.0)
+        assert log == [0.0, 5.0, 10.0]
+
+    def test_events_scheduled_during_events(self):
+        sim = Simulation()
+        log = []
+
+        def outer():
+            sim.schedule(1.0, lambda: log.append("inner"))
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert log == ["inner"]
+        assert sim.now == 2.0
+
+    def test_max_events_cap(self):
+        sim = Simulation()
+        log = []
+        for i in range(5):
+            sim.schedule(float(i + 1), lambda i=i: log.append(i))
+        sim.run(max_events=2)
+        assert log == [0, 1]
+
+    def test_rejects_past_scheduling(self):
+        sim = Simulation(start=10.0)
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+        with pytest.raises(SimulationError):
+            sim.schedule_at(5.0, lambda: None)
+        with pytest.raises(SimulationError):
+            sim.schedule_periodic(0.0, lambda: None)
+
+    def test_step_returns_false_when_empty(self):
+        sim = Simulation()
+        assert not sim.step()
+
+
+class TestMetrics:
+    def test_counter(self):
+        counter = Counter()
+        counter.add("x")
+        counter.add("x", 2.5)
+        assert counter.get("x") == pytest.approx(3.5)
+        assert counter.get("missing") == 0.0
+        assert counter.as_dict() == {"x": 3.5}
+
+    def test_hourly_rate_bucketing(self):
+        rate = HourlyRate()
+        rate.record(10.0)           # hour 0
+        rate.record(3599.0)         # hour 0
+        rate.record(3600.0, 2.0)    # hour 1
+        assert rate.per_hour(3) == [2.0, 2.0, 0.0]
+        assert rate.total() == 4.0
+        assert rate.mean_per_hour(4) == pytest.approx(1.0)
+        assert rate.mean_per_hour(0) == 0.0
+
+    def test_distribution_statistics(self):
+        dist = Distribution()
+        dist.extend([1.0, 2.0, 3.0, 4.0])
+        assert dist.mean() == pytest.approx(2.5)
+        assert dist.min() == 1.0
+        assert dist.max() == 4.0
+        assert dist.percentile(50) == pytest.approx(2.5)
+        assert len(dist) == 4
+        cv = dist.coefficient_of_variation()
+        assert cv == pytest.approx(dist.std() / dist.mean())
+
+    def test_distribution_empty_is_nan(self):
+        dist = Distribution()
+        assert math.isnan(dist.mean())
+        assert math.isnan(dist.percentile(50))
+        assert math.isnan(dist.coefficient_of_variation())
+        assert dist.cdf() == []
+
+    def test_distribution_cdf_monotone(self):
+        dist = Distribution()
+        dist.extend([5.0, 1.0, 3.0, 2.0, 4.0])
+        points = dist.cdf(points=5)
+        values = [v for v, _ in points]
+        probs = [p for _, p in points]
+        assert values == sorted(values)
+        assert probs == sorted(probs)
+        assert probs[-1] == pytest.approx(1.0)
+
+    def test_time_series(self):
+        series = TimeSeries()
+        series.record(1.0, 10.0)
+        series.record(2.0, 20.0)
+        assert series.points == [(1.0, 10.0), (2.0, 20.0)]
+        assert series.values() == [10.0, 20.0]
+        assert series.last() == (2.0, 20.0)
+        with pytest.raises(IndexError):
+            TimeSeries().last()
+
+    def test_recorder_registry(self):
+        recorder = MetricsRecorder()
+        recorder.rate("moves").record(0.0)
+        recorder.distribution("load").record(5.0)
+        recorder.series("cost").record(0.0, 1.0)
+        recorder.counters.add("jobs")
+        assert recorder.rate("moves").total() == 1.0
+        assert recorder.distribution("load").mean() == 5.0
+        assert recorder.series("cost").last() == (0.0, 1.0)
+        assert recorder.counters.get("jobs") == 1.0
+        # Same name returns the same collector.
+        assert recorder.rate("moves") is recorder.rate("moves")

@@ -1,0 +1,85 @@
+"""Property tests for the DES engine."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulation.engine import Simulation
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    delays=st.lists(st.floats(min_value=0.0, max_value=1000.0),
+                    min_size=1, max_size=40),
+)
+def test_events_fire_in_nondecreasing_time_order(delays):
+    sim = Simulation()
+    fired = []
+    for delay in delays:
+        sim.schedule(delay, lambda d=delay: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+    assert sim.now == max(delays)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_random_cancellations_never_fire(seed):
+    rng = random.Random(seed)
+    sim = Simulation()
+    fired = []
+    tokens = []
+    cancelled_ids = set()
+    for index in range(30):
+        token = sim.schedule(
+            rng.uniform(0, 100), lambda i=index: fired.append(i)
+        )
+        tokens.append((index, token))
+    for index, token in tokens:
+        if rng.random() < 0.4:
+            token.cancel()
+            cancelled_ids.add(index)
+    sim.run()
+    assert set(fired).isdisjoint(cancelled_ids)
+    assert len(fired) == 30 - len(cancelled_ids)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    interval=st.floats(min_value=0.5, max_value=10.0),
+    horizon=st.floats(min_value=1.0, max_value=200.0),
+)
+def test_periodic_fire_count_matches_interval(interval, horizon):
+    sim = Simulation()
+    fires = []
+    sim.schedule_periodic(interval, lambda: fires.append(sim.now))
+    sim.run(until=horizon)
+    expected = int(horizon / interval)
+    # Floating-point accumulation may shift the last firing across the
+    # horizon boundary by one event.
+    assert abs(len(fires) - expected) <= 1
+    for count, time in enumerate(fires, start=1):
+        assert time == pytest.approx(count * interval, rel=1e-9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_run_in_chunks_equals_run_at_once(seed):
+    def build():
+        rng = random.Random(seed)
+        sim = Simulation()
+        log = []
+        for index in range(25):
+            sim.schedule(rng.uniform(0, 50), lambda i=index: log.append(i))
+        return sim, log
+
+    sim_a, log_a = build()
+    sim_a.run()
+    sim_b, log_b = build()
+    for checkpoint in (10.0, 20.0, 30.0, 40.0):
+        sim_b.run(until=checkpoint)
+    sim_b.run()
+    assert log_a == log_b

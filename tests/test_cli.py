@@ -1,0 +1,94 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.workload.trace import WorkloadTrace
+
+
+class TestTraceCommand:
+    def test_generate_yahoo_trace(self, tmp_path, capsys):
+        out = tmp_path / "trace.jsonl"
+        code = main([
+            "trace", "yahoo", "--out", str(out),
+            "--files", "10", "--jobs-per-hour", "30", "--hours", "1",
+        ])
+        assert code == 0
+        trace = WorkloadTrace.load(out)
+        assert trace.num_files == 10
+        assert "wrote" in capsys.readouterr().out
+
+    def test_generate_swim_trace_scaled(self, tmp_path):
+        out = tmp_path / "swim.jsonl"
+        code = main([
+            "trace", "swim", "--out", str(out),
+            "--files", "12", "--jobs-per-hour", "30", "--hours", "1",
+            "--scale-to", "10",
+        ])
+        assert code == 0
+        trace = WorkloadTrace.load(out)
+        assert trace.num_files == 12
+        # Scaling to 10 of 600 nodes makes every file tiny.
+        assert all(f.num_blocks <= 8 for f in trace.files)
+
+    def test_deterministic_for_seed(self, tmp_path):
+        out_a = tmp_path / "a.jsonl"
+        out_b = tmp_path / "b.jsonl"
+        for out in (out_a, out_b):
+            main(["trace", "yahoo", "--out", str(out), "--files", "5",
+                  "--hours", "1", "--seed", "9"])
+        assert out_a.read_text() == out_b.read_text()
+
+
+class TestFiguresCommand:
+    def test_quick_single_figure(self, tmp_path, capsys):
+        code = main([
+            "figures", "--quick", "--figures", "3",
+            "--out", str(tmp_path), "--epsilons", "0.1",
+        ])
+        assert code == 0
+        text = (tmp_path / "fig3.txt").read_text()
+        assert "Figure 3(a,c)" in text
+        assert "HDFS" in text
+        assert "fig3.txt" in capsys.readouterr().out
+
+    def test_quick_fig6(self, tmp_path):
+        code = main([
+            "figures", "--quick", "--figures", "6", "--out", str(tmp_path),
+        ])
+        assert code == 0
+        assert "Figure 6(a)" in (tmp_path / "fig6.txt").read_text()
+
+
+class TestAblationCommand:
+    def test_writes_report(self, tmp_path, capsys):
+        code = main([
+            "ablation", "--out", str(tmp_path), "--blocks", "60",
+        ])
+        assert code == 0
+        text = (tmp_path / "ablations.txt").read_text()
+        assert "E11" in text and "E12" in text
+        assert "E10" in capsys.readouterr().out
+
+
+class TestScaleCommand:
+    def test_tiny_scale_study(self, tmp_path, capsys):
+        code = main([
+            "scale", "--machines-per-rack", "2", "--hours", "0.5",
+            "--out", str(tmp_path),
+        ])
+        assert code == 0
+        text = (tmp_path / "scale_study.txt").read_text()
+        assert "Scale study" in text
+        assert "machines" in text
+        assert "conjecture" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["nonsense"])
+
+    def test_missing_required_out_exits(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "yahoo"])

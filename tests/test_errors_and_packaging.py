@@ -1,0 +1,57 @@
+"""Tests for the error hierarchy and package surface."""
+
+import importlib
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestErrorHierarchy:
+    def test_every_public_error_derives_from_repro_error(self):
+        for name in errors.__all__:
+            cls = getattr(errors, name)
+            assert issubclass(cls, Exception)
+            assert issubclass(cls, errors.ReproError), name
+
+    def test_dfs_errors_are_dfs_errors(self):
+        for name in ("BlockNotFoundError", "FileNotFoundInDfsError",
+                     "FileExistsInDfsError", "DatanodeUnavailableError",
+                     "SafeModeError"):
+            assert issubclass(getattr(errors, name), errors.DfsError)
+
+    def test_capacity_error_is_infeasible_operation(self):
+        assert issubclass(
+            errors.CapacityExceededError, errors.InfeasibleOperationError
+        )
+
+    def test_single_except_clause_catches_everything(self):
+        caught = []
+        for cls in (errors.SchedulerError, errors.TraceFormatError,
+                    errors.SimulationError, errors.SafeModeError):
+            try:
+                raise cls("boom")
+            except errors.ReproError as exc:
+                caught.append(type(exc))
+        assert len(caught) == 4
+
+
+class TestPackageSurface:
+    def test_version_is_set(self):
+        assert repro.__version__
+
+    def test_all_subpackages_import(self):
+        for name in ("core", "cluster", "simulation", "dfs", "scheduler",
+                     "workload", "monitor", "baselines", "aurora",
+                     "experiments", "cli"):
+            module = importlib.import_module(f"repro.{name}")
+            assert module is not None
+
+    def test_dunder_all_names_resolve(self):
+        for name in ("core", "dfs", "scheduler", "workload", "monitor",
+                     "baselines", "aurora", "experiments", "simulation",
+                     "cluster"):
+            module = importlib.import_module(f"repro.{name}")
+            for symbol in getattr(module, "__all__", ()):
+                assert hasattr(module, symbol), f"repro.{name}.{symbol}"

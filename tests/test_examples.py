@@ -1,0 +1,31 @@
+"""Every example script must run clean — examples are executable docs."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLES, ids=[path.stem for path in EXAMPLES]
+)
+def test_example_runs_clean(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), "examples must print their findings"
+
+
+def test_expected_examples_present():
+    names = {path.name for path in EXAMPLES}
+    assert {"quickstart.py", "hotspot_mitigation.py",
+            "failure_recovery.py", "epsilon_tuning.py",
+            "dfs_admin.py", "custom_policy.py"} <= names

@@ -1,0 +1,134 @@
+"""Unit and property tests for the popularity models."""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidProblemError
+from repro.workload.popularity import (
+    PopularityDrift,
+    WeightedSampler,
+    gini_coefficient,
+    top_share,
+    zipf_weights,
+)
+
+
+class TestZipfWeights:
+    def test_normalized_and_decreasing(self):
+        weights = zipf_weights(100, skew=1.1)
+        assert weights.sum() == pytest.approx(1.0)
+        assert all(weights[i] >= weights[i + 1] for i in range(99))
+
+    def test_skew_zero_is_uniform(self):
+        weights = zipf_weights(10, skew=0.0)
+        assert np.allclose(weights, 0.1)
+
+    def test_higher_skew_concentrates(self):
+        mild = zipf_weights(50, skew=0.5)
+        steep = zipf_weights(50, skew=2.0)
+        assert steep[0] > mild[0]
+
+    def test_validation(self):
+        with pytest.raises(InvalidProblemError):
+            zipf_weights(0)
+        with pytest.raises(InvalidProblemError):
+            zipf_weights(5, skew=-1.0)
+
+
+class TestWeightedSampler:
+    def test_respects_weights_statistically(self):
+        sampler = WeightedSampler([0.9, 0.1])
+        rng = random.Random(0)
+        draws = sampler.sample_many(rng, 5000)
+        frequency = draws.count(0) / len(draws)
+        assert 0.85 < frequency < 0.95
+
+    def test_zero_weight_never_drawn(self):
+        sampler = WeightedSampler([0.0, 1.0, 0.0])
+        rng = random.Random(1)
+        assert set(sampler.sample_many(rng, 200)) == {1}
+
+    def test_validation(self):
+        with pytest.raises(InvalidProblemError):
+            WeightedSampler([])
+        with pytest.raises(InvalidProblemError):
+            WeightedSampler([-1.0, 2.0])
+        with pytest.raises(InvalidProblemError):
+            WeightedSampler([0.0, 0.0])
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 1_000), size=st.integers(1, 30))
+    def test_samples_always_in_range(self, seed, size):
+        rng = random.Random(seed)
+        weights = [rng.random() + 0.01 for _ in range(size)]
+        sampler = WeightedSampler(weights)
+        for _ in range(50):
+            assert 0 <= sampler.sample(rng) < size
+
+
+class TestPopularityDrift:
+    def test_is_permutation_after_steps(self):
+        drift = PopularityDrift(20, swap_fraction=0.3, promotions=2)
+        rng = random.Random(0)
+        for _ in range(10):
+            drift.step(rng)
+        assert sorted(drift.permutation) == list(range(20))
+
+    def test_changes_head_over_time(self):
+        drift = PopularityDrift(50, swap_fraction=0.1, promotions=1)
+        rng = random.Random(3)
+        initial_head = drift.item_at_rank(0)
+        changed = False
+        for _ in range(20):
+            drift.step(rng)
+            if drift.item_at_rank(0) != initial_head:
+                changed = True
+                break
+        assert changed
+
+    def test_single_item_is_stable(self):
+        drift = PopularityDrift(1)
+        drift.step(random.Random(0))
+        assert drift.permutation == [0]
+
+    def test_validation(self):
+        with pytest.raises(InvalidProblemError):
+            PopularityDrift(5, swap_fraction=1.5)
+        with pytest.raises(InvalidProblemError):
+            PopularityDrift(5, promotions=-1)
+
+
+class TestInequalityMetrics:
+    def test_gini_extremes(self):
+        assert gini_coefficient([1.0, 1.0, 1.0]) == pytest.approx(0.0)
+        strongly_unequal = gini_coefficient([0.0, 0.0, 0.0, 100.0])
+        assert strongly_unequal > 0.7
+
+    def test_gini_zero_mass(self):
+        assert gini_coefficient([0.0, 0.0]) == 0.0
+
+    def test_gini_validation(self):
+        with pytest.raises(InvalidProblemError):
+            gini_coefficient([])
+        with pytest.raises(InvalidProblemError):
+            gini_coefficient([-1.0, 1.0])
+
+    def test_top_share_long_tail(self):
+        weights = zipf_weights(600, skew=1.1)
+        # The long-tail shape the paper cites: a small head owns a
+        # disproportionate share.
+        assert top_share(weights, fraction=1.0 / 6.0) > 0.45
+
+    def test_top_share_uniform(self):
+        share = top_share([1.0] * 100, fraction=0.25)
+        assert share == pytest.approx(0.25, abs=0.01)
+
+    def test_top_share_validation(self):
+        with pytest.raises(InvalidProblemError):
+            top_share([1.0], fraction=0.0)
+        with pytest.raises(InvalidProblemError):
+            top_share([], fraction=0.5)

@@ -1,0 +1,79 @@
+"""Tests for trace statistics."""
+
+import math
+
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.workload.stats import compute_trace_stats, describe_trace
+from repro.workload.swim import SwimTraceConfig, generate_swim_trace
+from repro.workload.trace import TraceFile, TraceJob, WorkloadTrace
+from repro.workload.yahoo import YahooTraceConfig, generate_yahoo_trace
+
+
+class TestComputeTraceStats:
+    def test_basic_counts(self):
+        trace = WorkloadTrace(
+            files=(TraceFile(0, 4), TraceFile(1, 2)),
+            jobs=(
+                TraceJob(0, 0.0, 0, 10.0),
+                TraceJob(1, 1800.0, 0, 20.0),
+                TraceJob(2, 3600.0, 1, 30.0),
+            ),
+        )
+        stats = compute_trace_stats(trace)
+        assert stats.num_files == 2
+        assert stats.num_jobs == 3
+        assert stats.total_blocks == 6
+        assert stats.horizon_hours == pytest.approx(1.0)
+        assert stats.mean_blocks_per_file == pytest.approx(3.0)
+        assert stats.max_blocks_per_file == 4
+        assert stats.jobs_per_hour == pytest.approx(3.0)
+        assert stats.mean_task_duration == pytest.approx(20.0)
+
+    def test_yahoo_trace_is_long_tailed(self):
+        trace = generate_yahoo_trace(YahooTraceConfig(
+            num_files=100, jobs_per_hour=400, duration_hours=3.0, seed=0,
+        ))
+        stats = compute_trace_stats(trace)
+        assert stats.is_long_tailed()
+        assert stats.access_gini > 0.4
+
+    def test_swim_trace_stats(self):
+        trace = generate_swim_trace(SwimTraceConfig(
+            num_files=50, jobs_per_hour=100, duration_hours=2.0, seed=1,
+        ))
+        stats = compute_trace_stats(trace)
+        assert stats.arrival_cv > 0.5  # Poisson-like or burstier
+        assert stats.max_blocks_per_file >= stats.mean_blocks_per_file
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(TraceFormatError):
+            compute_trace_stats(WorkloadTrace(files=(), jobs=()))
+
+    def test_single_job_arrival_cv_is_nan(self):
+        trace = WorkloadTrace(
+            files=(TraceFile(0, 1),),
+            jobs=(TraceJob(0, 10.0, 0, 5.0),),
+        )
+        stats = compute_trace_stats(trace)
+        assert math.isnan(stats.arrival_cv)
+
+    def test_no_jobs(self):
+        trace = WorkloadTrace(files=(TraceFile(0, 1),), jobs=())
+        stats = compute_trace_stats(trace)
+        assert stats.jobs_per_hour == 0.0
+        assert stats.access_gini == 0.0
+        assert stats.top_sixth_share == 0.0
+
+
+class TestDescribeTrace:
+    def test_mentions_key_numbers(self):
+        trace = generate_yahoo_trace(YahooTraceConfig(
+            num_files=30, jobs_per_hour=60, duration_hours=1.0, seed=2,
+        ))
+        text = describe_trace(trace)
+        assert "files: 30" in text
+        assert "jobs:" in text
+        assert "popularity:" in text
+        assert "long-tailed" in text or "flat" in text

@@ -1,0 +1,182 @@
+"""Unit tests for trace records and the Yahoo!/SWIM synthesizers."""
+
+import pytest
+
+from repro.errors import InvalidProblemError, TraceFormatError
+from repro.workload.swim import SwimTraceConfig, generate_swim_trace, scale_down
+from repro.workload.trace import TraceFile, TraceJob, WorkloadTrace
+from repro.workload.yahoo import YahooTraceConfig, generate_yahoo_trace
+
+
+class TestTraceRecords:
+    def test_file_properties(self):
+        f = TraceFile(file_id=1, num_blocks=8, block_size=64)
+        assert f.total_bytes == 512
+
+    def test_file_validation(self):
+        with pytest.raises(TraceFormatError):
+            TraceFile(file_id=-1, num_blocks=1)
+        with pytest.raises(TraceFormatError):
+            TraceFile(file_id=0, num_blocks=0)
+        with pytest.raises(TraceFormatError):
+            TraceFile(file_id=0, num_blocks=1, block_size=0)
+
+    def test_job_validation(self):
+        with pytest.raises(TraceFormatError):
+            TraceJob(job_id=-1, submit_time=0.0, file_id=0, task_duration=1.0)
+        with pytest.raises(TraceFormatError):
+            TraceJob(job_id=0, submit_time=-1.0, file_id=0, task_duration=1.0)
+        with pytest.raises(TraceFormatError):
+            TraceJob(job_id=0, submit_time=0.0, file_id=0, task_duration=0.0)
+
+    def test_trace_validation(self):
+        files = (TraceFile(0, 2),)
+        with pytest.raises(TraceFormatError):
+            WorkloadTrace(files=files, jobs=(
+                TraceJob(0, 0.0, file_id=9, task_duration=1.0),
+            ))
+        with pytest.raises(TraceFormatError):
+            WorkloadTrace(files=(TraceFile(0, 1), TraceFile(0, 2)), jobs=())
+        with pytest.raises(TraceFormatError):
+            WorkloadTrace(files=files, jobs=(
+                TraceJob(0, 5.0, 0, 1.0), TraceJob(1, 1.0, 0, 1.0),
+            ))
+
+    def test_trace_stats(self):
+        files = (TraceFile(0, 3), TraceFile(1, 5))
+        jobs = (
+            TraceJob(0, 1.0, 0, 10.0),
+            TraceJob(1, 2.0, 0, 10.0),
+            TraceJob(2, 3.0, 1, 10.0),
+        )
+        trace = WorkloadTrace(files=files, jobs=jobs)
+        assert trace.num_files == 2
+        assert trace.num_jobs == 3
+        assert trace.total_blocks == 8
+        assert trace.horizon == 3.0
+        assert trace.accesses_per_file() == {0: 2, 1: 1}
+        assert trace.file(1).num_blocks == 5
+        with pytest.raises(TraceFormatError):
+            trace.file(9)
+
+    def test_round_trip_serialization(self, tmp_path):
+        trace = generate_yahoo_trace(YahooTraceConfig(
+            num_files=10, jobs_per_hour=20, duration_hours=1.0, seed=3,
+        ))
+        path = tmp_path / "trace.jsonl"
+        trace.dump(path)
+        loaded = WorkloadTrace.load(path)
+        assert loaded == trace
+
+    def test_load_rejects_bad_lines(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(TraceFormatError):
+            WorkloadTrace.load(path)
+        path.write_text('{"type": "mystery"}\n')
+        with pytest.raises(TraceFormatError):
+            WorkloadTrace.load(path)
+        path.write_text('{"type": "file", "bogus_field": 1}\n')
+        with pytest.raises(TraceFormatError):
+            WorkloadTrace.load(path)
+
+
+class TestYahooSynthesizer:
+    def test_deterministic(self):
+        config = YahooTraceConfig(num_files=20, duration_hours=2.0, seed=9)
+        assert generate_yahoo_trace(config) == generate_yahoo_trace(config)
+
+    def test_mean_blocks_near_target(self):
+        config = YahooTraceConfig(num_files=800, seed=1)
+        trace = generate_yahoo_trace(config)
+        mean = trace.total_blocks / trace.num_files
+        assert 6.0 < mean < 10.0  # target 8
+
+    def test_popularity_is_long_tailed(self):
+        config = YahooTraceConfig(
+            num_files=100, jobs_per_hour=400, duration_hours=4.0, seed=2,
+            drift_swap_fraction=0.0, drift_promotions=0,
+        )
+        trace = generate_yahoo_trace(config)
+        counts = sorted(trace.accesses_per_file().values(), reverse=True)
+        top_decile = sum(counts[:10])
+        assert top_decile > 0.4 * sum(counts)
+
+    def test_jobs_within_horizon_and_ordered(self):
+        config = YahooTraceConfig(duration_hours=3.0, seed=4)
+        trace = generate_yahoo_trace(config)
+        times = [j.submit_time for j in trace.jobs]
+        assert times == sorted(times)
+        assert all(0 <= t < 3 * 3600 for t in times)
+
+    def test_drift_changes_hot_file(self):
+        hot_early = generate_yahoo_trace(YahooTraceConfig(
+            num_files=50, jobs_per_hour=300, duration_hours=6.0, seed=5,
+            drift_swap_fraction=0.2, drift_promotions=3,
+        ))
+        early = [j.file_id for j in hot_early.jobs if j.submit_time < 3600]
+        late = [j.file_id for j in hot_early.jobs if j.submit_time > 5 * 3600]
+        top_early = max(set(early), key=early.count)
+        top_late = max(set(late), key=late.count)
+        # With aggressive drift the hot file should change across hours.
+        assert top_early != top_late
+
+    def test_config_validation(self):
+        with pytest.raises(InvalidProblemError):
+            YahooTraceConfig(num_files=0)
+        with pytest.raises(InvalidProblemError):
+            YahooTraceConfig(jobs_per_hour=0)
+        with pytest.raises(InvalidProblemError):
+            YahooTraceConfig(mean_blocks_per_file=0.5)
+        with pytest.raises(InvalidProblemError):
+            YahooTraceConfig(duration_hours=-1)
+
+
+class TestSwimSynthesizer:
+    def test_deterministic(self):
+        config = SwimTraceConfig(seed=7, duration_hours=1.0)
+        assert generate_swim_trace(config) == generate_swim_trace(config)
+
+    def test_heavy_tail_in_file_sizes(self):
+        config = SwimTraceConfig(num_files=400, seed=8)
+        trace = generate_swim_trace(config)
+        sizes = sorted((f.num_blocks for f in trace.files), reverse=True)
+        # Most files are small, some are much larger.
+        assert sizes[0] >= 8 * sizes[len(sizes) // 2]
+
+    def test_scale_down_shrinks_files_only(self):
+        trace = generate_swim_trace(SwimTraceConfig(seed=9, duration_hours=1.0))
+        scaled = scale_down(trace, source_nodes=600, target_nodes=10)
+        assert scaled.num_jobs == trace.num_jobs
+        assert scaled.total_blocks < trace.total_blocks
+        assert all(f.num_blocks >= 1 for f in scaled.files)
+        assert [j.submit_time for j in scaled.jobs] == [
+            j.submit_time for j in trace.jobs
+        ]
+
+    def test_scale_down_validation(self):
+        trace = generate_swim_trace(SwimTraceConfig(seed=1, duration_hours=0.5))
+        with pytest.raises(InvalidProblemError):
+            scale_down(trace, source_nodes=10, target_nodes=600)
+        with pytest.raises(InvalidProblemError):
+            scale_down(trace, source_nodes=0, target_nodes=1)
+
+    def test_config_validation(self):
+        with pytest.raises(InvalidProblemError):
+            SwimTraceConfig(pareto_alpha=0.9)
+        with pytest.raises(InvalidProblemError):
+            SwimTraceConfig(large_job_fraction=1.5)
+        with pytest.raises(InvalidProblemError):
+            SwimTraceConfig(hourly_burstiness=())
+        with pytest.raises(InvalidProblemError):
+            SwimTraceConfig(hourly_burstiness=(1.0, -1.0))
+
+    def test_burstiness_modulates_arrivals(self):
+        config = SwimTraceConfig(
+            seed=11, duration_hours=2.0, jobs_per_hour=300,
+            hourly_burstiness=(2.0, 0.2),
+        )
+        trace = generate_swim_trace(config)
+        first = sum(1 for j in trace.jobs if j.submit_time < 3600)
+        second = trace.num_jobs - first
+        assert first > 2 * second

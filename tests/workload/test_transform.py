@@ -1,0 +1,104 @@
+"""Tests for trace transformations."""
+
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.workload.trace import TraceFile, TraceJob, WorkloadTrace
+from repro.workload.transform import (
+    merge_traces,
+    scale_arrival_rate,
+    slice_trace,
+    truncate_jobs,
+)
+from repro.workload.yahoo import YahooTraceConfig, generate_yahoo_trace
+
+
+def toy_trace():
+    files = (TraceFile(0, 2), TraceFile(1, 3))
+    jobs = (
+        TraceJob(0, 100.0, 0, 10.0),
+        TraceJob(1, 200.0, 1, 10.0),
+        TraceJob(2, 300.0, 0, 10.0),
+        TraceJob(3, 400.0, 1, 10.0),
+    )
+    return WorkloadTrace(files=files, jobs=jobs)
+
+
+class TestSliceTrace:
+    def test_window_and_rebase(self):
+        sliced = slice_trace(toy_trace(), start=150.0, end=350.0)
+        assert [j.job_id for j in sliced.jobs] == [1, 2]
+        assert [j.submit_time for j in sliced.jobs] == [50.0, 150.0]
+        assert sliced.num_files == 2
+
+    def test_without_rebase(self):
+        sliced = slice_trace(toy_trace(), 150.0, 350.0, rebase=False)
+        assert [j.submit_time for j in sliced.jobs] == [200.0, 300.0]
+
+    def test_empty_window(self):
+        sliced = slice_trace(toy_trace(), 500.0, 600.0)
+        assert sliced.num_jobs == 0
+
+    def test_validation(self):
+        with pytest.raises(TraceFormatError):
+            slice_trace(toy_trace(), 200.0, 100.0)
+        with pytest.raises(TraceFormatError):
+            slice_trace(toy_trace(), -1.0, 100.0)
+
+
+class TestMergeTraces:
+    def test_ids_are_disjoint_and_jobs_interleave(self):
+        merged = merge_traces(toy_trace(), toy_trace())
+        assert merged.num_files == 4
+        assert merged.num_jobs == 8
+        file_ids = [f.file_id for f in merged.files]
+        assert len(set(file_ids)) == 4
+        times = [j.submit_time for j in merged.jobs]
+        assert times == sorted(times)
+        # Second tenant's jobs reference its shifted files.
+        late_jobs = [j for j in merged.jobs if j.job_id >= 4]
+        assert all(j.file_id >= 2 for j in late_jobs)
+
+    def test_merge_with_empty(self):
+        empty = WorkloadTrace(files=(), jobs=())
+        merged = merge_traces(empty, toy_trace())
+        assert merged.num_jobs == 4
+
+    def test_merge_generated_traces_valid(self):
+        a = generate_yahoo_trace(YahooTraceConfig(
+            num_files=5, jobs_per_hour=20, duration_hours=1.0, seed=1))
+        b = generate_yahoo_trace(YahooTraceConfig(
+            num_files=7, jobs_per_hour=30, duration_hours=1.0, seed=2))
+        merged = merge_traces(a, b)
+        assert merged.num_files == 12
+        assert merged.num_jobs == a.num_jobs + b.num_jobs
+
+
+class TestScaleArrivalRate:
+    def test_compression(self):
+        fast = scale_arrival_rate(toy_trace(), factor=2.0)
+        assert [j.submit_time for j in fast.jobs] == [50.0, 100.0, 150.0,
+                                                      200.0]
+        assert fast.horizon == 200.0
+
+    def test_stretch(self):
+        slow = scale_arrival_rate(toy_trace(), factor=0.5)
+        assert slow.horizon == 800.0
+
+    def test_validation(self):
+        with pytest.raises(TraceFormatError):
+            scale_arrival_rate(toy_trace(), factor=0.0)
+
+
+class TestTruncateJobs:
+    def test_keeps_prefix(self):
+        cut = truncate_jobs(toy_trace(), 2)
+        assert [j.job_id for j in cut.jobs] == [0, 1]
+
+    def test_zero_and_overlong(self):
+        assert truncate_jobs(toy_trace(), 0).num_jobs == 0
+        assert truncate_jobs(toy_trace(), 99).num_jobs == 4
+
+    def test_validation(self):
+        with pytest.raises(TraceFormatError):
+            truncate_jobs(toy_trace(), -1)
