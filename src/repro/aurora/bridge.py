@@ -13,15 +13,31 @@ This module converts between the two:
 
 from __future__ import annotations
 
+import logging
+import time
 from dataclasses import dataclass
-from typing import Iterable, Mapping, Tuple
+from typing import Iterable, Mapping
 
 from repro.core.instance import BlockSpec, PlacementProblem
 from repro.core.operations import MoveOp, Operation, SwapOp
 from repro.core.placement import PlacementState
 from repro.dfs.namenode import Namenode
+from repro.obs.registry import get_registry
 
 __all__ = ["snapshot_placement", "replay_operations", "ReplayReport"]
+
+_LOG = logging.getLogger(__name__)
+
+_REG = get_registry()
+_MIGRATIONS = _REG.counter(
+    "repro_aurora_migrations_total",
+    "Replayed local-search migrations, by live-system outcome",
+    ["outcome"],
+)
+_MIGRATED_BYTES = _REG.counter(
+    "repro_aurora_migrated_bytes_total",
+    "Bytes of block data scheduled for migration by Aurora replays",
+)
 
 
 def snapshot_placement(
@@ -59,11 +75,18 @@ def snapshot_placement(
 
 @dataclass
 class ReplayReport:
-    """Outcome of replaying a local-search log on the live system."""
+    """Outcome of replaying a local-search log on the live system.
+
+    ``bytes_transferred`` sums the sizes of the blocks whose migration
+    was issued (the reconfiguration traffic Theorem 9 trades against
+    epsilon); ``elapsed_seconds`` is the wall-clock time spent issuing.
+    """
 
     moves_issued: int = 0
     moves_skipped: int = 0
     blocks_transferred: int = 0
+    bytes_transferred: int = 0
+    elapsed_seconds: float = 0.0
 
     @property
     def attempted(self) -> int:
@@ -80,6 +103,7 @@ def _issue_move(
     if started:
         report.moves_issued += 1
         report.blocks_transferred += 1
+        report.bytes_transferred += namenode.blockmap.meta(block).size
     else:
         report.moves_skipped += 1
     return started
@@ -95,6 +119,7 @@ def replay_operations(
     disk filled, replica already moved by a concurrent mechanism) are
     counted as skipped rather than failing the period.
     """
+    started = time.perf_counter()
     report = ReplayReport()
     for op in operations:
         if isinstance(op, MoveOp):
@@ -102,4 +127,17 @@ def replay_operations(
         elif isinstance(op, SwapOp):
             _issue_move(namenode, report, op.block_i, op.src, op.dst)
             _issue_move(namenode, report, op.block_j, op.dst, op.src)
+    report.elapsed_seconds = time.perf_counter() - started
+    if _REG.enabled:
+        if report.moves_issued:
+            _MIGRATIONS.labels(outcome="issued").inc(report.moves_issued)
+        if report.moves_skipped:
+            _MIGRATIONS.labels(outcome="skipped").inc(report.moves_skipped)
+        if report.bytes_transferred:
+            _MIGRATED_BYTES.inc(report.bytes_transferred)
+    if report.moves_skipped:
+        _LOG.debug(
+            "replay skipped %d of %d migrations",
+            report.moves_skipped, report.attempted,
+        )
     return report

@@ -19,6 +19,8 @@ The same object exposes :meth:`optimize` for offline single-shot use and
 
 from __future__ import annotations
 
+import logging
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -36,16 +38,54 @@ from repro.dfs.namenode import Namenode
 from repro.dfs.policies import LoadAwarePolicy
 from repro.monitor.forecast import HistoricalPredictor, PopularityPredictor
 from repro.monitor.usage import UsageMonitor
+from repro.obs.registry import get_registry
+from repro.obs.tracer import trace
 from repro.simulation.engine import Simulation
 
 __all__ = ["AuroraSystem", "PeriodReport"]
 
 _DISK_TIEBREAK_WEIGHT = 1e-6
 
+_LOG = logging.getLogger(__name__)
+
+_REG = get_registry()
+_PERIODS = _REG.counter(
+    "repro_aurora_periods_total",
+    "Completed Algorithm 5 reconfiguration periods",
+)
+_PERIOD_SECONDS = _REG.histogram(
+    "repro_aurora_period_seconds",
+    "Wall-clock duration of one full reconfiguration period",
+)
+_PHASE_SECONDS = _REG.histogram(
+    "repro_aurora_phase_seconds",
+    "Wall-clock duration of one Algorithm 5 phase",
+    ["phase"],
+)
+_COST = _REG.gauge(
+    "repro_aurora_cost",
+    "Max per-machine load before/after the latest balancing phase",
+    ["stage"],
+)
+_REPLICATION_CHANGES = _REG.counter(
+    "repro_aurora_replication_changes_total",
+    "Replica-count deltas applied by the replication phase",
+    ["direction"],
+)
+_OP_CAP_SATURATION = _REG.gauge(
+    "repro_aurora_op_cap_saturation_ratio",
+    "Fraction of the per-period operation cap K the last period used",
+)
+
 
 @dataclass
 class PeriodReport:
-    """What one Algorithm 5 period did."""
+    """What one Algorithm 5 period did.
+
+    ``elapsed_seconds`` is the period's wall-clock duration;
+    ``phase_seconds`` breaks it down by phase (``snapshot``,
+    ``rep_factor``, ``local_search``, ``replay``).
+    """
 
     time: float
     cost_before: float = 0.0
@@ -55,6 +95,8 @@ class PeriodReport:
     replication_rejections: int = 0
     search: Optional[SearchStats] = None
     replay: ReplayReport = field(default_factory=ReplayReport)
+    elapsed_seconds: float = 0.0
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
 
     @property
     def improvement(self) -> float:
@@ -62,6 +104,13 @@ class PeriodReport:
         if self.cost_before <= 0:
             return 0.0
         return (self.cost_before - self.cost_after) / self.cost_before
+
+    @property
+    def operations_by_kind(self) -> Dict[str, int]:
+        """The search phase's applied operations by kind (empty if none)."""
+        if self.search is None:
+            return {}
+        return self.search.operations_by_kind
 
 
 class AuroraSystem:
@@ -159,15 +208,74 @@ class AuroraSystem:
     def optimize(self, now: Optional[float] = None) -> PeriodReport:
         """Run one reconfiguration period (Algorithm 5)."""
         now = self.namenode.now if now is None else now
+        period_start = time.perf_counter()
         report = PeriodReport(time=now)
-        popularities = self.predicted_popularities(now)
-        self.refresh_loads(popularities)
-        if self.config.replication_budget is not None:
-            self._replication_phase(popularities, report)
-            self.refresh_loads(popularities)
-        self._balancing_phase(popularities, report)
+        with trace("aurora.period", sim_time=now) as span:
+            with trace("aurora.snapshot", sim_time=now) as phase:
+                phase_start = time.perf_counter()
+                popularities = self.predicted_popularities(now)
+                self.refresh_loads(popularities)
+                phase.set(tracked_blocks=len(popularities))
+                report.phase_seconds["snapshot"] = (
+                    time.perf_counter() - phase_start
+                )
+            if self.config.replication_budget is not None:
+                with trace("aurora.rep_factor", sim_time=now) as phase:
+                    phase_start = time.perf_counter()
+                    self._replication_phase(popularities, report)
+                    self.refresh_loads(popularities)
+                    phase.set(
+                        increases=report.replication_increases,
+                        decreases=report.replication_decreases,
+                    )
+                    report.phase_seconds["rep_factor"] = (
+                        time.perf_counter() - phase_start
+                    )
+            self._balancing_phase(popularities, report, now)
+            report.elapsed_seconds = time.perf_counter() - period_start
+            span.set(
+                cost_before=report.cost_before,
+                cost_after=report.cost_after,
+                migrations_issued=report.replay.moves_issued,
+                bytes_transferred=report.replay.bytes_transferred,
+            )
+        self._flush_period_metrics(report)
+        _LOG.info(
+            "aurora period done sim_time=%.0f cost=%.6g->%.6g k+=%d k-=%d "
+            "migrations=%d elapsed=%.4fs",
+            now, report.cost_before, report.cost_after,
+            report.replication_increases, report.replication_decreases,
+            report.replay.moves_issued, report.elapsed_seconds,
+        )
         self.reports.append(report)
         return report
+
+    def _flush_period_metrics(self, report: PeriodReport) -> None:
+        """Publish one period's outcome to the metrics registry."""
+        if not _REG.enabled:
+            return
+        _PERIODS.inc()
+        _PERIOD_SECONDS.observe(report.elapsed_seconds)
+        for phase, seconds in report.phase_seconds.items():
+            _PHASE_SECONDS.labels(phase=phase).observe(seconds)
+        _COST.labels(stage="before").set(report.cost_before)
+        _COST.labels(stage="after").set(report.cost_after)
+        if report.replication_increases:
+            _REPLICATION_CHANGES.labels(direction="increase").inc(
+                report.replication_increases
+            )
+        if report.replication_decreases:
+            _REPLICATION_CHANGES.labels(direction="decrease").inc(
+                report.replication_decreases
+            )
+        if report.replication_rejections:
+            _REPLICATION_CHANGES.labels(direction="rejected").inc(
+                report.replication_rejections
+            )
+        cap = self.config.max_replication_ops
+        if cap > 0:
+            used = report.replication_increases + report.replication_decreases
+            _OP_CAP_SATURATION.set(min(1.0, used / cap))
 
     def run_periodic(self, sim: Simulation) -> None:
         """Schedule :meth:`optimize` every ``period`` seconds."""
@@ -175,25 +283,9 @@ class AuroraSystem:
 
     def reports_table(self) -> str:
         """All periods as a rendered table (for logs and reports)."""
-        from repro.experiments.report import render_table
+        from repro.experiments.report import render_period_reports
 
-        rows = [
-            (
-                index,
-                report.time / 3600.0,
-                report.cost_before,
-                report.cost_after,
-                report.replication_increases,
-                report.replication_decreases,
-                report.replay.blocks_transferred,
-            )
-            for index, report in enumerate(self.reports)
-        ]
-        return render_table(
-            ["period", "hour", "cost before", "cost after", "k+", "k-",
-             "blocks moved"],
-            rows,
-        )
+        return render_period_reports(self.reports)
 
     def _replication_phase(
         self, popularities: Dict[int, float], report: PeriodReport
@@ -255,17 +347,36 @@ class AuroraSystem:
             remaining_ops -= grant
 
     def _balancing_phase(
-        self, popularities: Dict[int, float], report: PeriodReport
+        self,
+        popularities: Dict[int, float],
+        report: PeriodReport,
+        now: float = 0.0,
     ) -> None:
         """Epsilon-admissible rack-aware local search + live replay."""
-        state = snapshot_placement(self.namenode, popularities)
-        report.cost_before = state.cost()
-        stats = balance_rack_aware(
-            state,
-            policy=self.admissibility_policy(),
-            max_operations=self.config.max_move_ops,
-            log_operations=True,
-        )
-        report.search = stats
-        report.cost_after = stats.final_cost
-        report.replay = replay_operations(self.namenode, stats.operations)
+        with trace("aurora.local_search", sim_time=now) as phase:
+            phase_start = time.perf_counter()
+            state = snapshot_placement(self.namenode, popularities)
+            report.cost_before = state.cost()
+            stats = balance_rack_aware(
+                state,
+                policy=self.admissibility_policy(),
+                max_operations=self.config.max_move_ops,
+                log_operations=True,
+            )
+            report.search = stats
+            report.cost_after = stats.final_cost
+            phase.set(
+                operations=stats.total_operations,
+                converged=stats.converged,
+            )
+            report.phase_seconds["local_search"] = (
+                time.perf_counter() - phase_start
+            )
+        with trace("aurora.replay", sim_time=now) as phase:
+            phase_start = time.perf_counter()
+            report.replay = replay_operations(self.namenode, stats.operations)
+            phase.set(
+                issued=report.replay.moves_issued,
+                skipped=report.replay.moves_skipped,
+            )
+            report.phase_seconds["replay"] = time.perf_counter() - phase_start

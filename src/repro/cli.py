@@ -9,8 +9,12 @@ Usage (installed as ``python -m repro``):
     python -m repro trace yahoo --out trace.jsonl --files 120 --hours 3
     python -m repro trace swim --out swim.jsonl --scale-to 10
     python -m repro ablation --out results/
+    python -m repro metrics --demo             # observability smoke run
+    python -m repro -v figures --quick         # INFO-level run logging
 
-All commands are deterministic for a given ``--seed``.
+All commands are deterministic for a given ``--seed``.  ``-v``/``-q``
+(repeatable) raise or lower the log level; ``figures --metrics-out DIR``
+dumps one observability snapshot per figure.
 """
 
 from __future__ import annotations
@@ -20,6 +24,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from repro import obs
 from repro.experiments.ablation import (
     make_instance,
     render_ablations,
@@ -31,7 +36,12 @@ from repro.experiments.fig3 import default_trace, render_fig3, run_fig3
 from repro.experiments.fig4 import render_fig4, run_fig4
 from repro.experiments.fig5 import render_fig5, run_fig5
 from repro.experiments.fig6 import render_fig6, run_fig6
-from repro.experiments.harness import ClusterConfig
+from repro.experiments.harness import (
+    ClusterConfig,
+    ExperimentConfig,
+    SystemKind,
+    run_experiment,
+)
 from repro.workload.stats import describe_trace
 from repro.workload.swim import SwimTraceConfig, generate_swim_trace, scale_down
 from repro.workload.yahoo import YahooTraceConfig, generate_yahoo_trace
@@ -48,6 +58,14 @@ def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Aurora (ICDCS 2015) reproduction toolkit",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="raise the log level (-v INFO, -vv DEBUG)",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="count", default=0,
+        help="lower the log level (-q ERROR, -qq CRITICAL)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -66,6 +84,11 @@ def _build_parser() -> argparse.ArgumentParser:
     figures.add_argument(
         "--quick", action="store_true",
         help="tiny cluster and trace for a fast smoke run",
+    )
+    figures.add_argument(
+        "--metrics-out", type=Path, default=None,
+        help="directory for per-figure observability snapshots "
+             "(figN.metrics.json); enables metric collection",
     )
 
     trace = sub.add_parser("trace", help="generate a workload trace")
@@ -101,6 +124,21 @@ def _build_parser() -> argparse.ArgumentParser:
     sensitivity.add_argument("--out", type=Path, default=Path("results"))
     sensitivity.add_argument("--seed", type=int, default=0)
     sensitivity.add_argument("--hours", type=float, default=2.0)
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="expose the observability registry (Prometheus text / JSON)",
+    )
+    metrics.add_argument(
+        "--demo", action="store_true",
+        help="run a small instrumented Aurora workload first, so the "
+             "registry has something to show",
+    )
+    metrics.add_argument(
+        "--out", type=Path, default=None,
+        help="also write the JSON snapshot (metrics plus spans) here",
+    )
+    metrics.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -125,12 +163,23 @@ def _cmd_figures(args: argparse.Namespace) -> int:
             trace=trace, cluster=cluster, epsilons=epsilons, seed=args.seed)),
         6: lambda: render_fig6(run_fig6(seed=args.seed)),
     }
+    if args.metrics_out is not None:
+        obs.enable()
+        args.metrics_out.mkdir(parents=True, exist_ok=True)
     for number in args.figures:
+        if args.metrics_out is not None:
+            obs.get_registry().reset()
+            obs.get_tracer().clear()
         text = runners[number]()
         target = args.out / f"fig{number}.txt"
         target.write_text(text + "\n", encoding="utf-8")
         print(text)
         print(f"[written {target}]")
+        if args.metrics_out is not None:
+            snapshot = obs.write_snapshot(
+                args.metrics_out / f"fig{number}.metrics.json"
+            )
+            print(f"[written {snapshot}]")
         print()
     return 0
 
@@ -217,9 +266,37 @@ def _cmd_sensitivity(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    obs.enable()
+    registry = obs.get_registry()
+    tracer = obs.get_tracer()
+    if args.demo:
+        registry.reset()
+        tracer.clear()
+        # Two hours so the hourly reconfiguration period fires at least
+        # once inside the horizon (exercising the core + aurora layers).
+        trace = generate_yahoo_trace(YahooTraceConfig(
+            num_files=15, jobs_per_hour=80.0, duration_hours=2.0,
+            mean_task_duration=60.0, seed=args.seed,
+        ))
+        run_experiment(
+            trace,
+            ExperimentConfig(
+                system=SystemKind.AURORA, cluster=_QUICK_CLUSTER,
+                drain_hours=1.0, seed=args.seed,
+            ),
+        )
+    print(obs.to_prometheus_text(registry), end="")
+    if args.out is not None:
+        obs.write_snapshot(args.out, registry, tracer)
+        print(f"[written {args.out}]")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
+    obs.configure(level=obs.verbosity_to_level(args.verbose, args.quiet))
     if args.command == "figures":
         return _cmd_figures(args)
     if args.command == "trace":
@@ -230,6 +307,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_scale(args)
     if args.command == "sensitivity":
         return _cmd_sensitivity(args)
+    if args.command == "metrics":
+        return _cmd_metrics(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -23,16 +23,72 @@ runs (Algorithm 5).
 from __future__ import annotations
 
 import bisect
+import logging
+import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.admissibility import AdmissibilityPolicy, AlwaysAdmissible
 from repro.core.operations import MoveOp, Operation, SwapOp
 from repro.core.placement import PlacementState
+from repro.obs.registry import get_registry
 
 __all__ = ["SearchStats", "balance_node_level", "balance_rack_aware"]
 
 _TOLERANCE = 1e-12
+
+_LOG = logging.getLogger(__name__)
+
+_REG = get_registry()
+_SEARCH_RUNS = _REG.counter(
+    "repro_core_search_runs_total",
+    "Local-search runs, by algorithm and whether they converged",
+    ["algorithm", "converged"],
+)
+_SEARCH_OPS = _REG.counter(
+    "repro_core_search_operations_total",
+    "Applied local-search operations by kind (Algorithms 1/2)",
+    ["algorithm", "kind"],
+)
+_SEARCH_REJECTIONS = _REG.counter(
+    "repro_core_search_rejections_total",
+    "Feasible operations rejected by the admissibility policy",
+    ["algorithm"],
+)
+_SEARCH_SECONDS = _REG.histogram(
+    "repro_core_search_seconds",
+    "Wall-clock duration of one local-search run",
+    ["algorithm"],
+)
+_SEARCH_COST_REDUCTION = _REG.histogram(
+    "repro_core_search_cost_reduction_ratio",
+    "Relative cost reduction (1 - final/initial) achieved per run",
+    ["algorithm"],
+    buckets=(0.01, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0),
+)
+
+
+def _flush_search_metrics(algorithm: str, stats: "SearchStats") -> None:
+    """Publish one run's stats to the registry (one flush per run,
+
+    so the search loop itself stays free of metric calls)."""
+    if not _REG.enabled:
+        return
+    _SEARCH_RUNS.labels(
+        algorithm=algorithm, converged=str(stats.converged).lower()
+    ).inc()
+    for kind, count in stats.operations_by_kind.items():
+        if count:
+            _SEARCH_OPS.labels(algorithm=algorithm, kind=kind).inc(count)
+    if stats.admissibility_rejections:
+        _SEARCH_REJECTIONS.labels(algorithm=algorithm).inc(
+            stats.admissibility_rejections
+        )
+    _SEARCH_SECONDS.labels(algorithm=algorithm).observe(stats.elapsed_seconds)
+    if stats.initial_cost > 0:
+        _SEARCH_COST_REDUCTION.labels(algorithm=algorithm).observe(
+            max(0.0, 1.0 - stats.final_cost / stats.initial_cost)
+        )
 
 
 @dataclass
@@ -42,6 +98,12 @@ class SearchStats:
     ``converged`` is True when the search stopped because no admissible
     operation existed (the paper's natural termination), False when it hit
     the ``max_operations`` cap.
+
+    ``elapsed_seconds`` is the run's wall-clock duration (perf_counter);
+    ``admissibility_rejections`` counts feasible operations the epsilon
+    policy turned down; ``cost_trajectory`` records the cost after each
+    applied operation when ``log_operations`` is on (index-aligned with
+    ``operations``).
     """
 
     initial_cost: float
@@ -54,11 +116,28 @@ class SearchStats:
     blocks_transferred: int = 0
     converged: bool = False
     operations: List[Operation] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+    admissibility_rejections: int = 0
+    cost_trajectory: List[float] = field(default_factory=list)
 
     @property
     def total_operations(self) -> int:
         """Moves plus swaps performed."""
         return self.moves + self.swaps
+
+    @property
+    def operations_by_kind(self) -> Dict[str, int]:
+        """Applied operations split into the paper's four kinds.
+
+        Cross-rack moves/swaps are the ``RackMove``/``RackSwap`` of
+        Algorithm 2; the plain kinds are the intra-rack remainder.
+        """
+        return {
+            "move": self.moves - self.cross_rack_moves,
+            "swap": self.swaps - self.cross_rack_swaps,
+            "rack_move": self.cross_rack_moves,
+            "rack_swap": self.cross_rack_swaps,
+        }
 
     def record(self, op: Operation, cross_rack: bool, log_operations: bool) -> None:
         """Account one applied operation."""
@@ -99,6 +178,7 @@ def _find_swap_partner(
     dst: int,
     dst_candidates: List[Tuple[float, int]],
     gap: float,
+    stats: Optional[SearchStats] = None,
 ) -> Optional[SwapOp]:
     """Best feasible, admissible swap partner for ``block_i`` on ``dst``.
 
@@ -133,6 +213,8 @@ def _find_swap_partner(
             outcome = op.outcome(state)
             if policy.is_admissible(outcome, global_cost):
                 return op
+            if stats is not None:
+                stats.admissibility_rejections += 1
         if left >= 0 and dst_candidates[left][0] <= lower:
             left = -1
         else:
@@ -150,6 +232,7 @@ def find_operation_between(
     dst: int,
     policy: AdmissibilityPolicy,
     global_cost: float,
+    stats: Optional[SearchStats] = None,
 ) -> Optional[Operation]:
     """Find an admissible ``Move`` or ``Swap`` from ``src`` towards ``dst``.
 
@@ -157,7 +240,8 @@ def find_operation_between(
     paper's proofs reason about the most popular movable block first.
     For each such block a direct move is attempted, then the best swap
     partner on ``dst``.  Returns ``None`` when no admissible operation
-    exists between this machine pair.
+    exists between this machine pair.  When ``stats`` is given, feasible
+    operations turned down by ``policy`` are counted on it.
     """
     load_src = state.load(src)
     load_dst = state.load(dst)
@@ -174,6 +258,8 @@ def find_operation_between(
             outcome = move.outcome(state)
             if policy.is_admissible(outcome, global_cost):
                 return move
+            if stats is not None:
+                stats.admissibility_rejections += 1
         swap = _find_swap_partner(
             state,
             policy,
@@ -184,6 +270,7 @@ def find_operation_between(
             dst,
             dst_blocks,
             gap,
+            stats,
         )
         if swap is not None:
             return swap
@@ -204,19 +291,33 @@ def balance_node_level(
     algorithm); pass an epsilon policy for Section IV's budgeted variant.
     """
     policy = policy or AlwaysAdmissible()
+    started = time.perf_counter()
     stats = SearchStats(initial_cost=state.cost(), final_cost=state.cost())
     while max_operations is None or stats.total_operations < max_operations:
         stats.iterations += 1
         src = state.argmax_machine()
         dst = state.argmin_machine()
-        op = find_operation_between(state, src, dst, policy, state.cost())
+        op = find_operation_between(
+            state, src, dst, policy, state.cost(), stats
+        )
         if op is None:
             stats.converged = True
             break
         cross = op.is_cross_rack(state)
         op.apply(state)
         stats.record(op, cross, log_operations)
+        if log_operations:
+            stats.cost_trajectory.append(state.cost())
     stats.final_cost = state.cost()
+    stats.elapsed_seconds = time.perf_counter() - started
+    _flush_search_metrics("node", stats)
+    _LOG.debug(
+        "balance_node_level done ops=%d rejections=%d converged=%s "
+        "cost=%.6g->%.6g elapsed=%.4fs",
+        stats.total_operations, stats.admissibility_rejections,
+        stats.converged, stats.initial_cost, stats.final_cost,
+        stats.elapsed_seconds,
+    )
     return stats
 
 
@@ -231,7 +332,9 @@ def _rack_pairs_by_gap(state: PlacementState) -> List[Tuple[int, int]]:
 
 
 def _find_rack_aware_operation(
-    state: PlacementState, policy: AdmissibilityPolicy
+    state: PlacementState,
+    policy: AdmissibilityPolicy,
+    stats: Optional[SearchStats] = None,
 ) -> Optional[Operation]:
     """One admissible operation for Algorithm 2's combined search space."""
     global_cost = state.cost()
@@ -245,7 +348,9 @@ def _find_rack_aware_operation(
             intra.append((gap, high, low))
     intra.sort(reverse=True)
     for _, high, low in intra:
-        op = find_operation_between(state, high, low, policy, global_cost)
+        op = find_operation_between(
+            state, high, low, policy, global_cost, stats
+        )
         if op is not None:
             return op
     # Inter-rack phase: RackMove / RackSwap between extreme machines of
@@ -253,7 +358,9 @@ def _find_rack_aware_operation(
     for src_rack, dst_rack in _rack_pairs_by_gap(state):
         src = state.argmax_machine_in_rack(src_rack)
         dst = state.argmin_machine_in_rack(dst_rack)
-        op = find_operation_between(state, src, dst, policy, global_cost)
+        op = find_operation_between(
+            state, src, dst, policy, global_cost, stats
+        )
         if op is not None:
             return op
     return None
@@ -273,15 +380,27 @@ def balance_rack_aware(
     block's rack-spread requirement ``rho_i``.
     """
     policy = policy or AlwaysAdmissible()
+    started = time.perf_counter()
     stats = SearchStats(initial_cost=state.cost(), final_cost=state.cost())
     while max_operations is None or stats.total_operations < max_operations:
         stats.iterations += 1
-        op = _find_rack_aware_operation(state, policy)
+        op = _find_rack_aware_operation(state, policy, stats)
         if op is None:
             stats.converged = True
             break
         cross = op.is_cross_rack(state)
         op.apply(state)
         stats.record(op, cross, log_operations)
+        if log_operations:
+            stats.cost_trajectory.append(state.cost())
     stats.final_cost = state.cost()
+    stats.elapsed_seconds = time.perf_counter() - started
+    _flush_search_metrics("rack", stats)
+    _LOG.debug(
+        "balance_rack_aware done ops=%d rejections=%d converged=%s "
+        "cost=%.6g->%.6g elapsed=%.4fs",
+        stats.total_operations, stats.admissibility_rejections,
+        stats.converged, stats.initial_cost, stats.final_cost,
+        stats.elapsed_seconds,
+    )
     return stats

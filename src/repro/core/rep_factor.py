@@ -27,11 +27,32 @@ Implementation notes
 from __future__ import annotations
 
 import heapq
+import logging
+import time
 from dataclasses import dataclass
 from typing import Dict, Mapping, Optional, Sequence
 
 from repro.core.instance import PlacementProblem
 from repro.errors import InvalidProblemError
+from repro.obs.registry import get_registry
+
+_LOG = logging.getLogger(__name__)
+
+_REG = get_registry()
+_REPFACTOR_RUNS = _REG.counter(
+    "repro_core_repfactor_runs_total",
+    "Algorithm 3 (water-filling) invocations, by termination cause",
+    ["outcome"],
+)
+_REPFACTOR_ITERATIONS = _REG.counter(
+    "repro_core_repfactor_iterations_total",
+    "Greedy water-filling steps performed, split into grants and steals",
+    ["kind"],
+)
+_REPFACTOR_SECONDS = _REG.histogram(
+    "repro_core_repfactor_seconds",
+    "Wall-clock duration of one Algorithm 3 run",
+)
 
 __all__ = [
     "RepFactorResult",
@@ -48,7 +69,8 @@ class RepFactorResult:
 
     ``factors`` maps block id to the chosen ``k_i``; ``iterations`` counts
     the greedy steps (grants plus steals) performed, which Algorithm 5
-    caps at ``K``.
+    caps at ``K``.  ``grants``/``steals`` split those steps by kind and
+    ``elapsed_seconds`` is the run's wall-clock duration.
     """
 
     factors: Dict[int, int]
@@ -56,6 +78,9 @@ class RepFactorResult:
     iterations: int
     budget_used: int
     exhausted_budget: bool
+    grants: int = 0
+    steals: int = 0
+    elapsed_seconds: float = 0.0
 
 
 def max_share(popularities: Mapping[int, float], factors: Mapping[int, int]) -> float:
@@ -94,6 +119,7 @@ def compute_replication_factors(
         reconfiguration budget.  When hit, the result is feasible but may
         be sub-optimal (``exhausted_budget`` stays meaningful).
     """
+    started = time.perf_counter()
     block_ids = list(popularities)
     if set(min_factors) != set(block_ids):
         raise InvalidProblemError("popularities and min_factors must share keys")
@@ -147,6 +173,8 @@ def compute_replication_factors(
     heapq.heapify(donor_heap)
 
     iterations = 0
+    grants = 0
+    steals = 0
     while max_iterations is None or iterations < max_iterations:
         # Pop the highest-share block that can still receive a replica,
         # skipping stale entries.  Blocks at the machine cap (or with
@@ -169,6 +197,7 @@ def compute_replication_factors(
             factors[receiver] += 1
             used += 1
             iterations += 1
+            grants += 1
             _push_block(receiver_heap, donor_heap, popularities, min_factors,
                         factors, receiver)
             continue
@@ -203,17 +232,37 @@ def compute_replication_factors(
         factors[donor_id] -= 1
         factors[receiver] += 1
         iterations += 1
+        steals += 1
         _push_block(receiver_heap, donor_heap, popularities, min_factors,
                     factors, donor_id)
         _push_block(receiver_heap, donor_heap, popularities, min_factors,
                     factors, receiver)
 
+    elapsed = time.perf_counter() - started
+    capped = max_iterations is not None and iterations >= max_iterations
+    if _REG.enabled:
+        _REPFACTOR_RUNS.labels(
+            outcome="capped" if capped else "optimal"
+        ).inc()
+        if grants:
+            _REPFACTOR_ITERATIONS.labels(kind="grant").inc(grants)
+        if steals:
+            _REPFACTOR_ITERATIONS.labels(kind="steal").inc(steals)
+        _REPFACTOR_SECONDS.observe(elapsed)
+    _LOG.debug(
+        "rep-factor done blocks=%d iterations=%d grants=%d steals=%d "
+        "budget_used=%d/%d elapsed=%.4fs",
+        len(block_ids), iterations, grants, steals, used, budget, elapsed,
+    )
     return RepFactorResult(
         factors=factors,
         max_share=max_share(popularities, factors),
         iterations=iterations,
         budget_used=used,
         exhausted_budget=used >= budget,
+        grants=grants,
+        steals=steals,
+        elapsed_seconds=elapsed,
     )
 
 

@@ -10,14 +10,30 @@ popularity entirely.
 
 from __future__ import annotations
 
+import logging
 import random
 from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.dfs.namenode import Namenode
 from repro.errors import DfsError
+from repro.obs.registry import get_registry
 
 __all__ = ["Balancer", "BalancerReport"]
+
+_LOG = logging.getLogger(__name__)
+
+_REG = get_registry()
+_BALANCER_RUNS = _REG.counter(
+    "repro_dfs_balancer_runs_total",
+    "Balancer invocations, by termination state",
+    ["converged"],
+)
+_BALANCER_MOVES = _REG.counter(
+    "repro_dfs_balancer_moves_total",
+    "Balancer block-move attempts, by outcome",
+    ["outcome"],
+)
 
 
 @dataclass
@@ -121,4 +137,16 @@ class Balancer:
                 # Nothing movable off the worst node: give up to avoid
                 # spinning (e.g. every block pinned by rack spread).
                 break
+        if _REG.enabled:
+            _BALANCER_RUNS.labels(
+                converged="true" if report.converged else "false"
+            ).inc()
+            if report.moves_started:
+                _BALANCER_MOVES.labels(outcome="started").inc(
+                    report.moves_started
+                )
+            rejected = report.moves_attempted - report.moves_started
+            if rejected:
+                _BALANCER_MOVES.labels(outcome="rejected").inc(rejected)
+        _LOG.debug("%s", report.describe())
         return report

@@ -12,13 +12,23 @@ fail over to another replica on connection errors).
 
 from __future__ import annotations
 
+import logging
 from typing import Optional
 
 from repro.dfs.namenode import Namenode
 from repro.errors import DfsError
+from repro.obs.registry import get_registry
 from repro.simulation.engine import EventToken, Simulation
 
 __all__ = ["HeartbeatService"]
+
+_LOG = logging.getLogger(__name__)
+
+_REG = get_registry()
+_DETECTED_FAILURES = _REG.counter(
+    "repro_dfs_heartbeat_detected_failures_total",
+    "Datanode failures detected through heartbeat expiry",
+)
 
 
 class HeartbeatService:
@@ -77,4 +87,10 @@ class HeartbeatService:
         ]
         for node in stale:
             self.detected_failures += 1
+            if _REG.enabled:
+                _DETECTED_FAILURES.inc()
+            _LOG.warning(
+                "heartbeat expiry: datanode %d declared dead at t=%.1f",
+                node, now,
+            )
             self.namenode.fail_node(node)

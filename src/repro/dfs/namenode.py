@@ -25,6 +25,7 @@ so it costs simulated time and network bytes when a simulator is attached.
 
 from __future__ import annotations
 
+import logging
 import random
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
@@ -43,9 +44,48 @@ from repro.errors import (
     FileNotFoundInDfsError,
     SafeModeError,
 )
+from repro.obs.registry import get_registry
 from repro.simulation.engine import Simulation
 
 __all__ = ["Namenode"]
+
+_LOG = logging.getLogger(__name__)
+
+_REG = get_registry()
+_READS = _REG.counter(
+    "repro_dfs_reads_total",
+    "Block reads routed by the namenode, by replica locality",
+    ["locality"],
+)
+_REPLICATIONS = _REG.counter(
+    "repro_dfs_replications_total",
+    "Replica copies completed (re-replication and factor increases)",
+)
+_MIGRATIONS = _REG.counter(
+    "repro_dfs_migrations_total",
+    "Make-before-break block migrations completed",
+)
+_LAZY_EVICTIONS = _REG.counter(
+    "repro_dfs_lazy_evictions_total",
+    "Lazily deletable replicas evicted to reclaim disk space",
+)
+_RECLAIMED = _REG.counter(
+    "repro_dfs_reclaimed_replicas_total",
+    "Lazy replicas reclaimed for free when a factor rose again",
+)
+_NODE_EVENTS = _REG.counter(
+    "repro_dfs_node_events_total",
+    "Datanode lifecycle events seen by the namenode",
+    ["event"],
+)
+_UNDER_REPLICATED = _REG.gauge(
+    "repro_dfs_under_replicated_blocks",
+    "Blocks below their target factor at the last replication check",
+)
+_UNDER_SPREAD = _REG.gauge(
+    "repro_dfs_under_spread_blocks",
+    "Blocks below their rack-spread target at the last replication check",
+)
 
 
 class Namenode:
@@ -129,7 +169,12 @@ class Namenode:
         report.
         """
         dn = self.datanode(node)
+        was_alive = dn.alive
         dn.crash()
+        if was_alive:
+            if _REG.enabled:
+                _NODE_EVENTS.labels(event="fail").inc()
+            _LOG.warning("datanode %d failed re_replicate=%s", node, re_replicate)
         # Idempotent: a node already processed has no locations left, so
         # the loop below is a no-op on repeat calls (e.g. when the
         # heartbeat service confirms a crash injected directly).
@@ -145,6 +190,9 @@ class Namenode:
         if dn.alive:
             return
         dn.recover()
+        if _REG.enabled:
+            _NODE_EVENTS.labels(event="recover").inc()
+        _LOG.info("datanode %d recovered blocks=%d", node, len(dn.blocks()))
         for block_id in dn.blocks():
             if block_id not in self.blockmap:
                 dn.erase(block_id)
@@ -213,6 +261,8 @@ class Namenode:
             self.blockmap.remove_location(block_id, holder)
             dn.erase(block_id)
             self.lazy_evictions += 1
+            if _REG.enabled:
+                _LAZY_EVICTIONS.inc()
             if dn.free_blocks > 0:
                 return
         raise CapacityExceededError(f"datanode {node} disk full")
@@ -367,6 +417,14 @@ class Namenode:
         source = self.choose_read_replica(block_id, reader)
         meta = self.blockmap.meta(block_id)
         self.datanodes[source].read(block_id, meta.size)
+        if _REG.enabled:
+            if source == reader:
+                locality = "node_local"
+            elif self.topology.rack_of[source] == self.topology.rack_of[reader]:
+                locality = "rack_local"
+            else:
+                locality = "remote"
+            _READS.labels(locality=locality).inc()
         for listener in self.access_listeners:
             listener(block_id, self.now)
         for listener in self.read_listeners:
@@ -422,6 +480,8 @@ class Namenode:
             self._lazy.discard(pair)
             reclaimed += 1
             self.reclaimed_replicas += 1
+            if _REG.enabled:
+                _RECLAIMED.inc()
         return reclaimed
 
     def _mark_excess_lazy(self, block_id: int, count: int) -> None:
@@ -483,6 +543,8 @@ class Namenode:
             dn.store(block_id, meta.size)
             self.blockmap.add_location(block_id, target)
             self.replications_completed += 1
+            if _REG.enabled:
+                _REPLICATIONS.inc()
             if on_done is not None:
                 on_done()
 
@@ -558,6 +620,8 @@ class Namenode:
                 if self.datanodes[src].holds(block_id):
                     self.datanodes[src].erase(block_id)
             self.moves_completed += 1
+            if _REG.enabled:
+                _MIGRATIONS.inc()
             if on_done is not None:
                 on_done()
 
@@ -577,6 +641,10 @@ class Namenode:
         completion, mirroring HDFS's iterative decommission monitor.
         """
         self.topology.check_machine(node)
+        if node not in self._decommissioning:
+            if _REG.enabled:
+                _NODE_EVENTS.labels(event="decommission").inc()
+            _LOG.info("decommissioning datanode %d", node)
         self._decommissioning.add(node)
         started = 0
         for block_id in list(self.blockmap.blocks_on(node)):
@@ -585,6 +653,8 @@ class Namenode:
                 self.blockmap.remove_location(block_id, node)
                 self.datanodes[node].erase(block_id)
                 self.lazy_evictions += 1
+                if _REG.enabled:
+                    _LAZY_EVICTIONS.inc()
                 continue
             meta = self.blockmap.meta(block_id)
             target = self._pick_replication_target(
@@ -625,7 +695,8 @@ class Namenode:
         """
         live = self.live_nodes()
         started = 0
-        for block_id in self.blockmap.under_replicated(live):
+        under_replicated = list(self.blockmap.under_replicated(live))
+        for block_id in under_replicated:
             meta = self.blockmap.meta(block_id)
             missing = meta.replication_factor - len(
                 self.blockmap.live_locations(block_id, live)
@@ -634,12 +705,22 @@ class Namenode:
             for _ in range(max(0, missing)):
                 if self.replicate_block(block_id):
                     started += 1
-        for block_id in self.blockmap.under_spread(live):
+        under_spread = list(self.blockmap.under_spread(live))
+        for block_id in under_spread:
             meta = self.blockmap.meta(block_id)
             if self.blockmap.rack_spread(block_id) >= meta.rack_spread:
                 continue
             if self.replicate_block(block_id):
                 started += 1
+        if _REG.enabled:
+            _UNDER_REPLICATED.set(len(under_replicated))
+            _UNDER_SPREAD.set(len(under_spread))
+        if started:
+            _LOG.info(
+                "replication check started=%d under_replicated=%d "
+                "under_spread=%d",
+                started, len(under_replicated), len(under_spread),
+            )
         return started
 
     def audit(self) -> None:

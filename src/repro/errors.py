@@ -26,6 +26,7 @@ __all__ = [
     "QuotaExceededError",
     "SchedulerError",
     "TraceFormatError",
+    "MetricsError",
 ]
 
 
@@ -99,3 +100,7 @@ class SchedulerError(ReproError):
 
 class TraceFormatError(ReproError):
     """A workload trace file or record is malformed."""
+
+
+class MetricsError(ReproError):
+    """Misuse of the observability layer (labels, names, buckets)."""

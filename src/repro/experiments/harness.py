@@ -19,8 +19,10 @@ machines per rack instead of 65 so the harness runs on a laptop; pass
 from __future__ import annotations
 
 import enum
+import logging
 import random
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, List, Optional
 
 from repro.aurora.config import AuroraConfig
@@ -31,6 +33,7 @@ from repro.dfs.namenode import Namenode
 from repro.dfs.policies import DefaultHdfsPolicy
 from repro.dfs.replication import TransferService
 from repro.errors import InvalidProblemError
+from repro.obs.exporters import write_snapshot
 from repro.scheduler.capacity import MapReduceScheduler
 from repro.scheduler.delay import DelaySchedulingPolicy
 from repro.scheduler.runtime import TaskRuntimeModel
@@ -40,6 +43,8 @@ from repro.scheduler.job import Job
 
 __all__ = ["SystemKind", "ClusterConfig", "ExperimentConfig", "RunResult",
            "run_experiment"]
+
+_LOG = logging.getLogger(__name__)
 
 _SECONDS_PER_HOUR = 3600.0
 
@@ -162,7 +167,9 @@ class RunResult:
 
 
 def run_experiment(
-    trace: WorkloadTrace, config: ExperimentConfig
+    trace: WorkloadTrace,
+    config: ExperimentConfig,
+    metrics_out: Optional[Path] = None,
 ) -> RunResult:
     """Replay ``trace`` under ``config`` and collect the metrics.
 
@@ -170,7 +177,18 @@ def run_experiment(
     to its horizon, periodic optimizers are then cancelled, and the
     simulation drains (bounded by ``drain_hours``) so in-flight jobs and
     transfers finish.
+
+    When ``metrics_out`` is given, a JSON snapshot of the observability
+    registry (and tracer spans) is written there after the drain.  The
+    registry must already be enabled (``repro.obs.enable()``) for the
+    snapshot to contain anything; this function neither enables nor
+    resets it, so callers control accumulation across runs.
     """
+    _LOG.info(
+        "run start system=%s machines=%d epsilon=%.2f seed=%d",
+        config.system.value, config.cluster.num_machines, config.epsilon,
+        config.seed,
+    )
     sim = Simulation()
     topology = config.cluster.topology()
     transfers = TransferService(
@@ -296,4 +314,12 @@ def run_experiment(
         jobs_completed=scheduler.jobs_completed,
         jobs_submitted=scheduler.jobs_submitted,
     )
+    _LOG.info(
+        "run done system=%s jobs=%d/%d remote_fraction=%.3f moves=%d",
+        config.system.value, result.jobs_completed, result.jobs_submitted,
+        result.remote_fraction, result.moves_completed,
+    )
+    if metrics_out is not None:
+        write_snapshot(metrics_out)
+        _LOG.info("metrics snapshot written to %s", metrics_out)
     return result

@@ -7,11 +7,22 @@ so benchmark output is directly comparable to the published plots.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["render_table", "cdf_series", "render_cdf", "format_number"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.aurora.system import PeriodReport
+    from repro.core.local_search import SearchStats
+
+__all__ = [
+    "render_table",
+    "cdf_series",
+    "render_cdf",
+    "format_number",
+    "render_period_reports",
+    "describe_search_stats",
+]
 
 
 def format_number(value: float, digits: int = 2) -> str:
@@ -42,6 +53,45 @@ def render_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
             " | ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
         )
     return "\n".join(lines)
+
+
+def render_period_reports(reports: Sequence["PeriodReport"]) -> str:
+    """Aurora's per-period outcomes, one row per Algorithm 5 period.
+
+    Includes the wall-clock ``elapsed_seconds`` and the operation-kind
+    breakdown the observability layer records.
+    """
+    rows = [
+        (
+            index,
+            report.time / 3600.0,
+            report.cost_before,
+            report.cost_after,
+            report.replication_increases,
+            report.replication_decreases,
+            report.replay.blocks_transferred,
+            report.elapsed_seconds,
+            describe_search_stats(report.search),
+        )
+        for index, report in enumerate(reports)
+    ]
+    return render_table(
+        ["period", "hour", "cost before", "cost after", "k+", "k-",
+         "blocks moved", "wall (s)", "ops by kind"],
+        rows,
+    )
+
+
+def describe_search_stats(stats: "SearchStats") -> str:
+    """Compact ``move=3 swap=1 ...`` rendering of a search's op mix."""
+    if stats is None:
+        return "-"
+    parts = [
+        f"{kind}={count}"
+        for kind, count in stats.operations_by_kind.items()
+        if count
+    ]
+    return " ".join(parts) if parts else "none"
 
 
 def cdf_series(

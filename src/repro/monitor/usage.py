@@ -9,12 +9,30 @@ exactly that: per-block access timestamps in deques, expired lazily, with
 
 from __future__ import annotations
 
+import logging
 from collections import deque
 from typing import Dict, Iterable
 
 from repro.errors import InvalidProblemError
+from repro.obs.registry import get_registry
 
 __all__ = ["UsageMonitor"]
+
+_LOG = logging.getLogger(__name__)
+
+_REG = get_registry()
+_ACCESSES = _REG.counter(
+    "repro_monitor_accesses_total",
+    "Block accesses recorded by the usage monitor",
+)
+_WINDOW_EVICTIONS = _REG.counter(
+    "repro_monitor_window_evictions_total",
+    "Access timestamps aged out of the sliding window",
+)
+_TRACKED_BLOCKS = _REG.gauge(
+    "repro_monitor_tracked_blocks",
+    "Blocks with at least one in-window access at the last snapshot",
+)
 
 
 class UsageMonitor:
@@ -26,6 +44,7 @@ class UsageMonitor:
         self.window = float(window)
         self._accesses: Dict[int, deque] = {}
         self._total_recorded = 0
+        self.window_evictions = 0
 
     @property
     def total_recorded(self) -> int:
@@ -40,6 +59,8 @@ class UsageMonitor:
             self._accesses[block_id] = queue
         queue.append(time)
         self._total_recorded += 1
+        if _REG.enabled:
+            _ACCESSES.inc()
 
     def record_many(self, block_ids: Iterable[int], time: float) -> None:
         """Record one access for each block in ``block_ids``."""
@@ -70,6 +91,12 @@ class UsageMonitor:
                 empty.append(block_id)
         for block_id in empty:
             del self._accesses[block_id]
+        if _REG.enabled:
+            _TRACKED_BLOCKS.set(len(result))
+        _LOG.debug(
+            "usage snapshot t=%.1f tracked=%d evicted_total=%d",
+            now, len(result), self.window_evictions,
+        )
         return result
 
     def forget(self, block_id: int) -> None:
@@ -78,5 +105,11 @@ class UsageMonitor:
 
     def _expire(self, queue: deque, now: float) -> None:
         cutoff = now - self.window
+        evicted = 0
         while queue and queue[0] < cutoff:
             queue.popleft()
+            evicted += 1
+        if evicted:
+            self.window_evictions += evicted
+            if _REG.enabled:
+                _WINDOW_EVICTIONS.inc(evicted)

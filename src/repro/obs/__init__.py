@@ -1,0 +1,76 @@
+"""Observability layer: metrics, tracing, exporters, logging.
+
+The numbers behind every claim this reproduction makes — load-imbalance
+reduction, reconfiguration traffic vs. epsilon, Algorithm 5's bounded
+per-period operation count ``K`` — flow through this package:
+
+* :mod:`repro.obs.registry` — labeled ``Counter``/``Gauge``/``Histogram``
+  metrics behind a process-global :func:`get_registry`;
+* :mod:`repro.obs.tracer` — ring-buffered spans via
+  ``with trace("aurora.period", ...) as span``;
+* :mod:`repro.obs.exporters` — Prometheus text and JSON snapshots;
+* :mod:`repro.obs.logging_setup` — structured ``key=value`` logging.
+
+Both the registry and the tracer start **disabled** so the instrumented
+hot paths cost one attribute check until an operator enables them
+(:func:`enable`, the CLI's ``metrics`` subcommand, or the harness's
+``metrics_out`` hook).  Metric names follow
+``repro_<layer>_<what>[_total|_seconds|_bytes]``; the full catalog
+lives in ``docs/observability.md``.
+"""
+
+from repro.obs.exporters import (
+    snapshot_dict,
+    to_json,
+    to_prometheus_text,
+    write_snapshot,
+)
+from repro.obs.logging_setup import configure, verbosity_to_level
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    disable_metrics,
+    enable_metrics,
+    get_registry,
+    metrics_enabled,
+)
+from repro.obs.tracer import Span, Tracer, get_tracer, trace
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "get_registry",
+    "enable_metrics",
+    "disable_metrics",
+    "metrics_enabled",
+    "Span",
+    "Tracer",
+    "get_tracer",
+    "trace",
+    "to_prometheus_text",
+    "to_json",
+    "snapshot_dict",
+    "write_snapshot",
+    "configure",
+    "verbosity_to_level",
+    "enable",
+    "disable",
+]
+
+
+def enable() -> None:
+    """Turn on both the default registry and the default tracer."""
+    enable_metrics()
+    get_tracer().enable()
+
+
+def disable() -> None:
+    """Turn off both the default registry and the default tracer."""
+    disable_metrics()
+    get_tracer().disable()

@@ -1,0 +1,126 @@
+"""Exporters: render a registry snapshot as Prometheus text or JSON.
+
+The Prometheus renderer follows the text exposition format version
+0.0.4 (``# HELP`` / ``# TYPE`` headers, ``_bucket{le=...}`` cumulative
+histogram series ending in ``le="+Inf"``, ``_sum`` and ``_count``), so
+the output can be scraped by a real Prometheus or diffed in golden
+tests.  The JSON renderer serializes :meth:`MetricsRegistry.snapshot`
+plus, optionally, the tracer's retained spans.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.registry import Histogram, MetricsRegistry, get_registry
+from repro.obs.tracer import Tracer, get_tracer
+
+__all__ = [
+    "to_prometheus_text",
+    "to_json",
+    "snapshot_dict",
+    "write_snapshot",
+]
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _render_labels(pairs: List[Tuple[str, str]]) -> str:
+    if not pairs:
+        return ""
+    body = ",".join(
+        f'{name}="{_escape_label_value(value)}"' for name, value in pairs
+    )
+    return "{" + body + "}"
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_bound(bound: float) -> str:
+    if float(bound).is_integer() and abs(bound) < 1e15:
+        return f"{bound:.1f}"
+    return repr(float(bound))
+
+
+def to_prometheus_text(registry: Optional[MetricsRegistry] = None) -> str:
+    """The registry in Prometheus text exposition format."""
+    registry = registry or get_registry()
+    lines: List[str] = []
+    for metric in registry.metrics():
+        lines.append(f"# HELP {metric.name} {metric.help}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        for key, leaf in metric._series():
+            pairs = list(zip(metric.labelnames, key))
+            if isinstance(leaf, Histogram):
+                for index, cumulative in enumerate(leaf.cumulative_counts()):
+                    bound = (
+                        "+Inf" if index == len(leaf.buckets)
+                        else _format_bound(leaf.buckets[index])
+                    )
+                    bucket_labels = _render_labels(pairs + [("le", bound)])
+                    lines.append(
+                        f"{metric.name}_bucket{bucket_labels} {cumulative}"
+                    )
+                sum_labels = _render_labels(pairs)
+                lines.append(
+                    f"{metric.name}_sum{sum_labels} {_format_value(leaf.sum)}"
+                )
+                lines.append(f"{metric.name}_count{sum_labels} {leaf.count}")
+            else:
+                labels = _render_labels(pairs)
+                lines.append(
+                    f"{metric.name}{labels} {_format_value(leaf.value)}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def snapshot_dict(
+    registry: Optional[MetricsRegistry] = None,
+    tracer: Optional[Tracer] = None,
+    include_spans: bool = True,
+) -> Dict[str, object]:
+    """Registry snapshot (and optionally spans) as one plain dict."""
+    registry = registry or get_registry()
+    out: Dict[str, object] = {"metrics": registry.snapshot()}
+    if include_spans:
+        tracer = tracer or get_tracer()
+        out["spans"] = tracer.as_dicts()
+    return out
+
+
+def to_json(
+    registry: Optional[MetricsRegistry] = None,
+    tracer: Optional[Tracer] = None,
+    include_spans: bool = True,
+    indent: int = 2,
+) -> str:
+    """The snapshot serialized as a JSON document."""
+    return json.dumps(
+        snapshot_dict(registry, tracer, include_spans=include_spans),
+        indent=indent,
+        sort_keys=True,
+    )
+
+
+def write_snapshot(
+    path: Path,
+    registry: Optional[MetricsRegistry] = None,
+    tracer: Optional[Tracer] = None,
+) -> Path:
+    """Dump the JSON snapshot to ``path`` (parents created); returns it."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(to_json(registry, tracer) + "\n", encoding="utf-8")
+    return path

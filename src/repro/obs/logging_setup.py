@@ -1,0 +1,119 @@
+"""Structured logging configuration for the ``repro`` package.
+
+Every module logs through ``logging.getLogger(__name__)``; nothing is
+emitted until an entry point opts in by calling :func:`configure`
+(libraries must not configure logging on import).  The formatter renders
+``key=value`` pairs so log lines are grep- and parse-friendly:
+
+.. code-block:: text
+
+    t=2026-08-05T12:00:00 level=INFO logger=repro.aurora.system \
+        msg="period done" cost_before=12.5 cost_after=8.1
+
+Extra fields are passed through the stdlib ``extra=`` mechanism or by
+formatting them into the message; :func:`kv` helps render a dict as the
+canonical suffix.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Any, Mapping, Optional
+
+__all__ = ["configure", "verbosity_to_level", "KeyValueFormatter", "kv"]
+
+PACKAGE_LOGGER = "repro"
+
+_RESERVED = frozenset(logging.LogRecord(
+    "", 0, "", 0, "", (), None
+).__dict__) | {"message", "asctime", "taskName"}
+
+
+def kv(fields: Mapping[str, Any]) -> str:
+    """Render a mapping as a ``key=value`` suffix for a log message."""
+    return " ".join(f"{key}={_scalar(value)}" for key, value in fields.items())
+
+
+def _scalar(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    text = str(value)
+    if " " in text or "=" in text:
+        return '"' + text.replace('"', '\\"') + '"'
+    return text
+
+
+class KeyValueFormatter(logging.Formatter):
+    """``t=... level=... logger=... msg="..." k=v`` structured lines."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        message = record.getMessage()
+        parts = [
+            f"t={self.formatTime(record, datefmt='%Y-%m-%dT%H:%M:%S')}",
+            f"level={record.levelname}",
+            f"logger={record.name}",
+            f'msg="{message}"',
+        ]
+        extras = {
+            key: value for key, value in record.__dict__.items()
+            if key not in _RESERVED
+        }
+        if extras:
+            parts.append(kv(extras))
+        if record.exc_info:
+            parts.append(f'exc="{self.formatException(record.exc_info)}"')
+        return " ".join(parts)
+
+
+def verbosity_to_level(verbose: int = 0, quiet: int = 0) -> int:
+    """Map CLI ``-v``/``-q`` counts to a stdlib logging level.
+
+    Default WARNING; each ``-v`` steps towards DEBUG, each ``-q``
+    towards CRITICAL.
+    """
+    steps = verbose - quiet
+    if steps >= 2:
+        return logging.DEBUG
+    if steps == 1:
+        return logging.INFO
+    if steps == 0:
+        return logging.WARNING
+    if steps == -1:
+        return logging.ERROR
+    return logging.CRITICAL
+
+
+def configure(
+    level: int = logging.INFO,
+    stream: Any = None,
+    fmt: Optional[logging.Formatter] = None,
+    force: bool = False,
+) -> logging.Logger:
+    """Attach a structured handler to the ``repro`` package logger.
+
+    Idempotent: calling twice adjusts the level but installs a second
+    handler only with ``force=True`` (which first removes the handlers
+    this function previously added).  Returns the package logger.
+    """
+    logger = logging.getLogger(PACKAGE_LOGGER)
+    logger.setLevel(level)
+    configured = [
+        handler for handler in logger.handlers
+        if getattr(handler, "_repro_obs_handler", False)
+    ]
+    if configured and not force:
+        for handler in configured:
+            handler.setLevel(level)
+        return logger
+    for handler in configured:
+        logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setLevel(level)
+    handler.setFormatter(fmt or KeyValueFormatter())
+    handler._repro_obs_handler = True  # type: ignore[attr-defined]
+    logger.addHandler(handler)
+    # Don't double-log through the root logger's handlers (pytest adds
+    # its own); the package handler is authoritative once configured.
+    logger.propagate = False
+    return logger

@@ -1,0 +1,196 @@
+"""Lightweight structured event tracing with a bounded span buffer.
+
+A :class:`Span` is one named, timed unit of work — "one Algorithm 5
+period", "the local-search phase" — with free-form key/value fields.
+Spans record wall-clock durations via :func:`time.perf_counter` and,
+when the caller passes it, the simulated time the work happened at
+(the two clocks are deliberately distinct: the DES kernel never reads
+real time, see ``docs/architecture.md``).
+
+The :class:`Tracer` keeps the most recent ``capacity`` spans in a ring
+buffer, so long periodic runs cannot grow memory without bound.  Like
+the metrics registry it is disabled by default and costs one attribute
+check per ``trace()`` entry when off.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.errors import MetricsError
+
+__all__ = ["Span", "Tracer", "get_tracer", "trace"]
+
+
+@dataclass
+class Span:
+    """One completed (or in-flight) traced operation."""
+
+    name: str
+    span_id: int
+    parent_id: Optional[int] = None
+    start_wall: float = 0.0
+    end_wall: Optional[float] = None
+    sim_time: Optional[float] = None
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration_seconds(self) -> float:
+        """Wall-clock duration (0.0 while still open)."""
+        if self.end_wall is None:
+            return 0.0
+        return self.end_wall - self.start_wall
+
+    def set(self, **fields: Any) -> None:
+        """Attach result fields to the span (e.g. counts, outcomes)."""
+        self.fields.update(fields)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-friendly rendering."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "duration_seconds": self.duration_seconds,
+            "sim_time": self.sim_time,
+            "fields": dict(self.fields),
+        }
+
+
+class _NullSpan:
+    """Shared sink for traces taken while the tracer is disabled."""
+
+    __slots__ = ()
+    name = ""
+    fields: Dict[str, Any] = {}
+    duration_seconds = 0.0
+
+    def set(self, **fields: Any) -> None:
+        """Discard fields."""
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Ring-buffered span recorder.
+
+    ``capacity`` bounds retained spans: the buffer wraps, keeping the
+    most recent ones.  Nested ``trace()`` calls record parent/child
+    links through a simple stack (single-threaded, like the rest of the
+    simulator).
+    """
+
+    def __init__(self, capacity: int = 1024, enabled: bool = True) -> None:
+        if capacity < 1:
+            raise MetricsError("tracer capacity must be >= 1")
+        self.capacity = capacity
+        self._enabled = bool(enabled)
+        self._buffer: List[Optional[Span]] = [None] * capacity
+        self._next_slot = 0
+        self._recorded = 0
+        self._ids = itertools.count(1)
+        self._stack: List[Span] = []
+
+    # -- enablement ----------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        """Whether spans are being recorded."""
+        return self._enabled
+
+    def enable(self) -> None:
+        """Start recording spans."""
+        self._enabled = True
+
+    def disable(self) -> None:
+        """Stop recording; ``trace()`` becomes a no-op context."""
+        self._enabled = False
+
+    # -- recording -----------------------------------------------------------
+
+    @contextmanager
+    def trace(self, name: str, sim_time: Optional[float] = None,
+              **fields: Any) -> Iterator[Any]:
+        """Context manager timing one operation.
+
+        Yields the open :class:`Span` so the body can ``span.set(...)``
+        result fields.  The span is committed to the ring buffer on
+        exit, even when the body raises (the exception propagates and
+        the span records ``error=<type name>``).
+        """
+        if not self._enabled:
+            yield _NULL_SPAN
+            return
+        span = Span(
+            name=name,
+            span_id=next(self._ids),
+            parent_id=self._stack[-1].span_id if self._stack else None,
+            sim_time=sim_time,
+            fields=dict(fields),
+            start_wall=time.perf_counter(),
+        )
+        self._stack.append(span)
+        try:
+            yield span
+        except BaseException as exc:
+            span.fields.setdefault("error", type(exc).__name__)
+            raise
+        finally:
+            span.end_wall = time.perf_counter()
+            self._stack.pop()
+            self._commit(span)
+
+    def _commit(self, span: Span) -> None:
+        self._buffer[self._next_slot] = span
+        self._next_slot = (self._next_slot + 1) % self.capacity
+        self._recorded += 1
+
+    # -- inspection ----------------------------------------------------------
+
+    @property
+    def recorded(self) -> int:
+        """Spans committed since the last :meth:`clear` (incl. evicted)."""
+        return self._recorded
+
+    def spans(self, name: Optional[str] = None) -> List[Span]:
+        """Retained spans, oldest first; optionally filtered by name."""
+        if self._recorded < self.capacity:
+            ordered = [s for s in self._buffer[: self._next_slot]]
+        else:
+            ordered = (
+                self._buffer[self._next_slot:] + self._buffer[: self._next_slot]
+            )
+        out = [s for s in ordered if s is not None]
+        if name is not None:
+            out = [s for s in out if s.name == name]
+        return out
+
+    def clear(self) -> None:
+        """Drop all retained spans."""
+        self._buffer = [None] * self.capacity
+        self._next_slot = 0
+        self._recorded = 0
+        self._stack = []
+
+    def as_dicts(self) -> List[Dict[str, Any]]:
+        """All retained spans as JSON-friendly dicts, oldest first."""
+        return [span.as_dict() for span in self.spans()]
+
+
+# Disabled by default, mirroring the metrics registry's contract.
+_DEFAULT = Tracer(enabled=False)
+
+
+def get_tracer() -> Tracer:
+    """The process-global default tracer."""
+    return _DEFAULT
+
+
+def trace(name: str, sim_time: Optional[float] = None, **fields: Any):
+    """``get_tracer().trace(...)`` — the one-line instrumentation entry."""
+    return _DEFAULT.trace(name, sim_time=sim_time, **fields)

@@ -20,6 +20,7 @@ setup:
 
 from __future__ import annotations
 
+import logging
 import random
 from collections import deque
 from dataclasses import dataclass
@@ -28,6 +29,7 @@ from typing import Deque, Dict, List, Optional
 from repro.cluster.machine import MachineState
 from repro.dfs.namenode import Namenode
 from repro.errors import DatanodeUnavailableError, SchedulerError
+from repro.obs.registry import get_registry
 from repro.scheduler.delay import NoDelayPolicy, SchedulingDelayPolicy
 from repro.scheduler.job import Job, MapTask, TaskLocality, TaskState
 from repro.scheduler.runtime import TaskRuntimeModel
@@ -35,6 +37,27 @@ from repro.simulation.engine import Simulation
 from repro.simulation.metrics import MetricsRecorder
 
 __all__ = ["QueueConfig", "MapReduceScheduler", "TaskAttempt"]
+
+_LOG = logging.getLogger(__name__)
+
+_REG = get_registry()
+_TASKS = _REG.counter(
+    "repro_scheduler_tasks_total",
+    "Task launches (primary attempts), by input locality",
+    ["locality"],
+)
+_TASK_WAIT = _REG.histogram(
+    "repro_scheduler_task_wait_seconds",
+    "Simulated time from job submission to each task's launch",
+)
+_TASK_RUN = _REG.histogram(
+    "repro_scheduler_task_run_seconds",
+    "Simulated run time of winning task attempts",
+)
+_JOB_COMPLETION = _REG.histogram(
+    "repro_scheduler_job_completion_seconds",
+    "Simulated end-to-end job completion times",
+)
 
 
 @dataclass
@@ -348,6 +371,9 @@ class MapReduceScheduler:
             else:
                 self.metrics.counters.add("local_tasks")
                 self.metrics.rate("local_tasks").record(self.sim.now)
+            if _REG.enabled:
+                _TASKS.labels(locality=locality.value).inc()
+                _TASK_WAIT.observe(self.sim.now - job.submit_time)
         duration = self.runtime.duration(job.task_duration, locality)
         self.sim.schedule(
             duration, lambda: self._complete(attempt, machine)
@@ -394,6 +420,8 @@ class MapReduceScheduler:
         task.machine = attempt.machine_id
         task.locality = attempt.locality
         task.finish(self.sim.now)
+        if _REG.enabled:
+            _TASK_RUN.observe(self.sim.now - attempt.start_time)
         if attempt.speculative:
             self.speculative_wins += 1
         queue = self._queues[self._job_queue[job.job_id]]
@@ -406,6 +434,12 @@ class MapReduceScheduler:
             self.completed_jobs.append(job)
             self.metrics.distribution("job_completion").record(
                 job.completion_time
+            )
+            if _REG.enabled:
+                _JOB_COMPLETION.observe(job.completion_time)
+            _LOG.debug(
+                "job %d completed in %.1fs (%d tasks)",
+                job.job_id, job.completion_time, len(job.tasks),
             )
         self.dispatch()
 

@@ -14,9 +14,17 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.errors import SchedulerError
+from repro.obs.registry import get_registry
 from repro.scheduler.job import TaskLocality
 
 __all__ = ["TaskRuntimeModel"]
+
+_REG = get_registry()
+_TASK_DURATION = _REG.histogram(
+    "repro_scheduler_task_duration_seconds",
+    "Simulated task durations produced by the runtime model, by locality",
+    ["locality"],
+)
 
 
 @dataclass
@@ -60,4 +68,6 @@ class TaskRuntimeModel:
         value = base_duration * self.factor(locality)
         if self.jitter:
             value *= 1.0 + self.rng.uniform(-self.jitter, self.jitter)
+        if _REG.enabled:
+            _TASK_DURATION.labels(locality=locality.value).observe(value)
         return value

@@ -48,6 +48,46 @@ class TestUsageMonitor:
             UsageMonitor(window=0.0)
 
 
+class TestUsageMonitorEdgeCases:
+    def test_access_at_exact_window_boundary_is_retained(self):
+        # The window is [now - W, now] inclusive: an access exactly W
+        # seconds old still counts (eviction uses strict <).
+        monitor = UsageMonitor(window=100.0)
+        monitor.record_access(1, 0.0)
+        assert monitor.popularity(1, now=100.0) == 1
+        assert monitor.window_evictions == 0
+        # One instant later it ages out.
+        assert monitor.popularity(1, now=100.0 + 1e-9) == 0
+        assert monitor.window_evictions == 1
+
+    def test_total_recorded_monotonic_across_evictions(self):
+        monitor = UsageMonitor(window=10.0)
+        monitor.record_access(1, 0.0)
+        monitor.record_access(1, 1.0)
+        assert monitor.total_recorded == 2
+        assert monitor.popularity(1, now=50.0) == 0  # both evicted
+        assert monitor.total_recorded == 2
+        monitor.record_access(1, 51.0)
+        assert monitor.total_recorded == 3
+        assert monitor.window_evictions == 2
+
+    def test_empty_window_snapshot(self):
+        monitor = UsageMonitor(window=10.0)
+        monitor.record_access(1, 0.0)
+        monitor.record_access(2, 1.0)
+        assert monitor.snapshot(now=100.0) == {}
+        # Expired blocks are dropped entirely, so the next snapshot does
+        # not revisit them.
+        assert monitor._accesses == {}
+        assert monitor.snapshot(now=101.0) == {}
+
+    def test_snapshot_on_fresh_monitor(self):
+        monitor = UsageMonitor(window=10.0)
+        assert monitor.snapshot(now=0.0) == {}
+        assert monitor.total_recorded == 0
+        assert monitor.window_evictions == 0
+
+
 class TestHistoricalPredictor:
     def test_predicts_last_observation(self):
         predictor = HistoricalPredictor()

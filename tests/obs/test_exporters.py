@@ -1,0 +1,79 @@
+"""Golden-output tests for the Prometheus and JSON exporters."""
+
+import json
+
+from repro.obs.exporters import (
+    snapshot_dict,
+    to_json,
+    to_prometheus_text,
+    write_snapshot,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracer import Tracer
+
+
+def make_registry():
+    reg = MetricsRegistry()
+    c = reg.counter("demo_ops_total", "Operations", labelnames=["kind"])
+    c.labels(kind="move").inc(3)
+    c.labels(kind="swap").inc(1)
+    reg.gauge("demo_depth", "Queue depth").set(2.5)
+    h = reg.histogram("demo_latency_seconds", "Latency", buckets=(0.1, 1.0))
+    h.observe(0.05)
+    h.observe(0.5)
+    h.observe(5.0)
+    return reg
+
+
+class TestPrometheusText:
+    def test_golden_output(self):
+        text = to_prometheus_text(make_registry())
+        assert text == (
+            "# HELP demo_depth Queue depth\n"
+            "# TYPE demo_depth gauge\n"
+            "demo_depth 2.5\n"
+            "# HELP demo_latency_seconds Latency\n"
+            "# TYPE demo_latency_seconds histogram\n"
+            'demo_latency_seconds_bucket{le="0.1"} 1\n'
+            'demo_latency_seconds_bucket{le="1.0"} 2\n'
+            'demo_latency_seconds_bucket{le="+Inf"} 3\n'
+            "demo_latency_seconds_sum 5.55\n"
+            "demo_latency_seconds_count 3\n"
+            "# HELP demo_ops_total Operations\n"
+            "# TYPE demo_ops_total counter\n"
+            'demo_ops_total{kind="move"} 3\n'
+            'demo_ops_total{kind="swap"} 1\n'
+        )
+
+    def test_empty_registry_renders_empty(self):
+        assert to_prometheus_text(MetricsRegistry()) == ""
+
+    def test_label_values_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", labelnames=["path"]).labels(
+            path='a"b\\c\nd'
+        ).inc()
+        text = to_prometheus_text(reg)
+        assert 'path="a\\"b\\\\c\\nd"' in text
+
+
+class TestJsonSnapshot:
+    def test_round_trip(self):
+        tracer = Tracer()
+        with tracer.trace("phase", sim_time=3.0):
+            pass
+        doc = json.loads(to_json(make_registry(), tracer))
+        assert doc["metrics"]["demo_depth"]["series"][""] == 2.5
+        assert doc["spans"][0]["name"] == "phase"
+
+    def test_spans_can_be_omitted(self):
+        doc = snapshot_dict(make_registry(), include_spans=False)
+        assert "spans" not in doc
+
+    def test_write_snapshot_creates_parents(self, tmp_path):
+        target = tmp_path / "deep" / "dir" / "snap.json"
+        written = write_snapshot(target, make_registry(), Tracer())
+        assert written == target
+        doc = json.loads(target.read_text())
+        assert "demo_ops_total" in doc["metrics"]
+        assert doc["spans"] == []

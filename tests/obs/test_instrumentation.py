@@ -1,0 +1,162 @@
+"""Smoke tests: the instrumented stack populates the default registry."""
+
+import random
+
+import pytest
+
+from repro import obs
+from repro.aurora.config import AuroraConfig
+from repro.aurora.system import AuroraSystem
+from repro.cluster.topology import ClusterTopology
+from repro.core.instance import BlockSpec, PlacementProblem
+from repro.core.local_search import balance_rack_aware
+from repro.core.placement import PlacementState
+from repro.core.rep_factor import compute_replication_factors
+from repro.dfs.namenode import Namenode
+from repro.dfs.policies import DefaultHdfsPolicy
+from repro.simulation.engine import Simulation
+
+
+@pytest.fixture
+def observability():
+    """Enable the global registry/tracer for one test, clean on exit."""
+    obs.enable()
+    obs.get_registry().reset()
+    obs.get_tracer().clear()
+    yield obs.get_registry()
+    obs.get_registry().reset()
+    obs.get_tracer().clear()
+    obs.disable()
+
+
+def make_namenode(num_racks=3, per_rack=4, capacity=200, seed=0, sim=None):
+    topo = ClusterTopology.uniform(num_racks, per_rack, capacity)
+    return Namenode(
+        topo, placement_policy=DefaultHdfsPolicy(random.Random(seed)),
+        rng=random.Random(seed), sim=sim,
+    )
+
+
+def counter_total(registry, name):
+    """Sum of a counter's series (0 when never incremented)."""
+    metric = registry.get(name)
+    if metric is None:
+        return 0.0
+    return sum(leaf.value for _, leaf in metric._series())
+
+
+class TestCoreInstrumentation:
+    def test_local_search_flushes_counters(self, observability):
+        rng = random.Random(3)
+        topo = ClusterTopology.uniform(2, 3, 100)
+        specs = tuple(
+            BlockSpec(block_id=i, popularity=rng.uniform(1, 10),
+                      replication_factor=1, rack_spread=1)
+            for i in range(12)
+        )
+        problem = PlacementProblem(topology=topo, blocks=specs)
+        # Stack everything on one machine so the search must move blocks.
+        state = PlacementState.from_assignment(
+            problem, {spec.block_id: {0} for spec in specs}
+        )
+        stats = balance_rack_aware(state)
+        assert stats.elapsed_seconds > 0.0
+        assert counter_total(
+            observability, "repro_core_search_runs_total"
+        ) == 1
+        ops = counter_total(
+            observability, "repro_core_search_operations_total"
+        )
+        assert ops == stats.total_operations
+        assert observability.get("repro_core_search_seconds") is not None
+
+    def test_rep_factor_flushes_counters(self, observability):
+        result = compute_replication_factors(
+            popularities={0: 10.0, 1: 1.0},
+            min_factors={0: 1, 1: 1},
+            budget=5,
+            num_machines=6,
+        )
+        assert result.elapsed_seconds > 0.0
+        assert result.grants + result.steals == result.iterations
+        assert counter_total(
+            observability, "repro_core_repfactor_runs_total"
+        ) == 1
+        assert counter_total(
+            observability, "repro_core_repfactor_iterations_total"
+        ) == result.iterations
+
+
+class TestDfsInstrumentation:
+    def test_reads_classified_by_locality(self, observability):
+        nn = make_namenode()
+        meta = nn.create_file("/a", num_blocks=1)
+        holder = next(iter(nn.blockmap.locations(meta.block_ids[0])))
+        nn.record_access(meta.block_ids[0], reader=holder)
+        reads = observability.get("repro_dfs_reads_total")
+        assert reads.labels(locality="node_local").value == 1
+
+    def test_failure_and_recovery_count_node_events(self, observability):
+        nn = make_namenode()
+        nn.create_file("/a", num_blocks=2)
+        nn.fail_node(0)
+        nn.fail_node(0)  # idempotent: second call must not double-count
+        nn.recover_node(0)
+        events = observability.get("repro_dfs_node_events_total")
+        assert events.labels(event="fail").value == 1
+        assert events.labels(event="recover").value == 1
+
+
+class TestAuroraPeriodInstrumentation:
+    def test_run_periodic_populates_metrics_and_spans(self, observability):
+        sim = Simulation()
+        nn = make_namenode(num_racks=2, per_rack=3, sim=sim)
+        aurora = AuroraSystem(nn, AuroraConfig(period=3600.0, epsilon=0.0))
+        metas = [
+            nn.create_file(f"/f{i}", num_blocks=1, replication=1,
+                           rack_spread=1, writer=0)
+            for i in range(6)
+        ]
+        for meta in metas:
+            for _ in range(10):
+                nn.record_access(meta.block_ids[0], reader=0)
+        aurora.run_periodic(sim)
+        sim.run(until=3600.0 + 1)
+
+        assert len(aurora.reports) == 1
+        report = aurora.reports[0]
+        assert report.elapsed_seconds > 0.0
+        assert set(report.phase_seconds) >= {"snapshot", "local_search",
+                                             "replay"}
+
+        assert counter_total(
+            observability, "repro_aurora_periods_total"
+        ) == 1
+        for name in (
+            "repro_core_search_runs_total",
+            "repro_dfs_reads_total",
+            "repro_monitor_accesses_total",
+        ):
+            assert counter_total(observability, name) > 0, name
+
+        tracer = obs.get_tracer()
+        period_spans = tracer.spans("aurora.period")
+        assert len(period_spans) == 1
+        assert period_spans[0].duration_seconds > 0.0
+        assert period_spans[0].sim_time == pytest.approx(3600.0)
+        child_names = {
+            s.name for s in tracer.spans()
+            if s.parent_id == period_spans[0].span_id
+        }
+        assert {"aurora.snapshot", "aurora.local_search",
+                "aurora.replay"} <= child_names
+
+    def test_disabled_registry_records_nothing(self):
+        obs.disable()
+        obs.get_registry().reset()
+        nn = make_namenode()
+        meta = nn.create_file("/a", num_blocks=1)
+        nn.record_access(meta.block_ids[0], reader=0)
+        assert counter_total(
+            obs.get_registry(), "repro_dfs_reads_total"
+        ) == 0

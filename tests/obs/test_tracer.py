@@ -1,0 +1,85 @@
+"""Unit tests for the ring-buffered span tracer."""
+
+import pytest
+
+from repro.errors import MetricsError
+from repro.obs.tracer import Tracer
+
+
+class TestTracer:
+    def test_records_span_with_fields_and_duration(self):
+        tracer = Tracer()
+        with tracer.trace("work", sim_time=42.0, kind="demo") as span:
+            span.set(result="ok")
+        spans = tracer.spans()
+        assert len(spans) == 1
+        assert spans[0].name == "work"
+        assert spans[0].sim_time == 42.0
+        assert spans[0].fields == {"kind": "demo", "result": "ok"}
+        assert spans[0].duration_seconds >= 0.0
+        assert spans[0].end_wall is not None
+
+    def test_ring_buffer_wraps_keeping_most_recent(self):
+        tracer = Tracer(capacity=3)
+        for i in range(5):
+            with tracer.trace(f"op{i}"):
+                pass
+        names = [s.name for s in tracer.spans()]
+        assert names == ["op2", "op3", "op4"]
+        assert tracer.recorded == 5
+
+    def test_nested_spans_record_parent_links(self):
+        tracer = Tracer()
+        with tracer.trace("outer") as outer:
+            with tracer.trace("inner"):
+                pass
+        inner, outer_span = tracer.spans()
+        # Children commit first (they close first).
+        assert inner.name == "inner"
+        assert inner.parent_id == outer.span_id
+        assert outer_span.parent_id is None
+
+    def test_exception_recorded_and_propagated(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.trace("fails"):
+                raise ValueError("boom")
+        (span,) = tracer.spans()
+        assert span.fields["error"] == "ValueError"
+        assert span.end_wall is not None
+
+    def test_disabled_tracer_yields_null_span(self):
+        tracer = Tracer(enabled=False)
+        with tracer.trace("ignored") as span:
+            span.set(anything="goes")  # must not raise
+        assert tracer.spans() == []
+        assert tracer.recorded == 0
+
+    def test_name_filter(self):
+        tracer = Tracer()
+        with tracer.trace("a"):
+            pass
+        with tracer.trace("b"):
+            pass
+        assert [s.name for s in tracer.spans("b")] == ["b"]
+
+    def test_clear(self):
+        tracer = Tracer()
+        with tracer.trace("a"):
+            pass
+        tracer.clear()
+        assert tracer.spans() == []
+        assert tracer.recorded == 0
+
+    def test_as_dicts_round_trips(self):
+        tracer = Tracer()
+        with tracer.trace("a", sim_time=1.0):
+            pass
+        (d,) = tracer.as_dicts()
+        assert d["name"] == "a"
+        assert d["sim_time"] == 1.0
+        assert "duration_seconds" in d
+
+    def test_capacity_validation(self):
+        with pytest.raises(MetricsError):
+            Tracer(capacity=0)

@@ -1,9 +1,37 @@
 """Tests for the command-line interface."""
 
+import json
+import logging
+
 import pytest
 
+from repro import obs
 from repro.cli import main
 from repro.workload.trace import WorkloadTrace
+
+
+def _drop_repro_handlers():
+    logger = logging.getLogger("repro")
+    for handler in list(logger.handlers):
+        if getattr(handler, "_repro_obs_handler", False):
+            logger.removeHandler(handler)
+
+
+@pytest.fixture
+def clean_observability():
+    """Fresh log handler for the test; restore global obs state after.
+
+    The CLI's ``configure()`` binds its handler to the ``sys.stderr``
+    current at creation time, so a handler left over from an earlier
+    test would write past this test's capture.
+    """
+    _drop_repro_handlers()
+    yield
+    _drop_repro_handlers()
+    obs.get_registry().reset()
+    obs.get_tracer().clear()
+    obs.disable()
+    logging.getLogger("repro").setLevel(logging.WARNING)
 
 
 class TestTraceCommand:
@@ -82,6 +110,75 @@ class TestScaleCommand:
         assert "Scale study" in text
         assert "machines" in text
         assert "conjecture" in capsys.readouterr().out
+
+
+class TestMetricsCommand:
+    def test_without_demo_prints_registered_metrics(
+        self, capsys, clean_observability
+    ):
+        code = main(["metrics"])
+        assert code == 0
+        out = capsys.readouterr().out
+        # Module-level registrations are visible even with no samples.
+        assert "# TYPE repro_dfs_reads_total counter" in out
+        assert "# TYPE repro_aurora_period_seconds histogram" in out
+
+    def test_demo_populates_every_layer(
+        self, tmp_path, capsys, clean_observability
+    ):
+        out = tmp_path / "snap.json"
+        code = main(["metrics", "--demo", "--out", str(out)])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert 'repro_dfs_reads_total{locality="node_local"}' in text
+        doc = json.loads(out.read_text())
+        populated = set()
+        for name, data in doc["metrics"].items():
+            for value in data["series"].values():
+                nonzero = (
+                    value["count"] if isinstance(value, dict) else value
+                )
+                if nonzero:
+                    populated.add(name.split("_")[1])
+        assert {"core", "aurora", "dfs", "monitor"} <= populated
+        assert any(
+            span["name"] == "aurora.period" for span in doc["spans"]
+        )
+
+
+class TestVerbosityFlags:
+    def test_verbose_flag_emits_run_logs(
+        self, tmp_path, capsys, clean_observability
+    ):
+        code = main([
+            "-v", "figures", "--quick", "--figures", "6",
+            "--out", str(tmp_path),
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "level=INFO" in captured.err
+        assert "msg=" in captured.err
+
+    def test_quiet_by_default(self, tmp_path, capsys, clean_observability):
+        code = main([
+            "figures", "--quick", "--figures", "6", "--out", str(tmp_path),
+        ])
+        assert code == 0
+        assert "level=INFO" not in capsys.readouterr().err
+
+    def test_figures_metrics_out_writes_per_figure_snapshot(
+        self, tmp_path, clean_observability
+    ):
+        code = main([
+            "figures", "--quick", "--figures", "6",
+            "--out", str(tmp_path / "figs"),
+            "--metrics-out", str(tmp_path / "metrics"),
+        ])
+        assert code == 0
+        doc = json.loads(
+            (tmp_path / "metrics" / "fig6.metrics.json").read_text()
+        )
+        assert "repro_dfs_reads_total" in doc["metrics"]
 
 
 class TestParser:
