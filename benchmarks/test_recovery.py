@@ -1,0 +1,79 @@
+"""Recovery benchmark: time-to-full-replication vs re-replication throttle.
+
+The prioritized re-replication queue trades repair parallelism against
+foreground bandwidth: a tighter throttle stretches the window in which
+blocks sit under-replicated.  This benchmark runs the same seeded crash
+storm at several throttle settings and reports the recovery-time
+distribution for each.
+"""
+
+import pytest
+
+from conftest import write_result
+from repro.experiments.chaos import ChaosConfig, run_chaos
+
+pytestmark = pytest.mark.bench
+
+THROTTLES = (1, 4, None)  # None = unlimited repair parallelism
+
+
+@pytest.fixture(scope="module")
+def recovery_sweep():
+    results = {}
+    for throttle in THROTTLES:
+        config = ChaosConfig(
+            horizon=3600.0,
+            drain=1800.0,
+            profiles=("crash",),
+            crash_mtbf=1200.0,
+            replication_throttle=throttle,
+            seed=11,
+        )
+        results[throttle] = run_chaos(config)
+    lines = ["time to full replication vs re-replication throttle", ""]
+    lines.append(
+        f"{'throttle':>10} {'episodes':>9} {'mean (s)':>9} "
+        f"{'max (s)':>9} {'lost':>5}"
+    )
+    for throttle, result in results.items():
+        label = "unlimited" if throttle is None else str(throttle)
+        lines.append(
+            f"{label:>10} {len(result.recovery_times):>9} "
+            f"{result.mean_recovery_seconds:>9.1f} "
+            f"{result.max_recovery_seconds:>9.1f} "
+            f"{result.blocks_lost:>5}"
+        )
+    write_result("recovery_vs_throttle.txt", "\n".join(lines))
+    return results
+
+
+def test_no_blocks_lost_at_any_throttle(recovery_sweep, benchmark):
+    def extract():
+        return [r.blocks_lost for r in recovery_sweep.values()]
+
+    assert benchmark(extract) == [0] * len(THROTTLES)
+
+
+def test_every_setting_observed_recovery_episodes(recovery_sweep, benchmark):
+    def extract():
+        return {
+            throttle: result.recovery_times
+            for throttle, result in recovery_sweep.items()
+        }
+
+    times = benchmark(extract)
+    assert all(episodes for episodes in times.values())
+
+
+def test_recovery_windows_are_bounded(recovery_sweep, benchmark):
+    """Repair always finishes well inside the post-storm drain window."""
+
+    def extract():
+        return {
+            throttle: result.max_recovery_seconds
+            for throttle, result in recovery_sweep.items()
+        }
+
+    worst = benchmark(extract)
+    for throttle, max_seconds in worst.items():
+        assert 0.0 < max_seconds < 1800.0, (throttle, max_seconds)

@@ -1,93 +1,123 @@
 #!/usr/bin/env python3
-"""Fault tolerance: rack failures, heartbeat detection and re-replication.
+"""Fault tolerance: a seeded fault-injection storm, end to end.
 
-Demonstrates the reliability half of the placement problem: with
-``rho = 2`` rack spread, no single node or Top-of-Rack switch failure
-makes a file unreadable, and the namenode repairs replication as soon as
-the heartbeat protocol detects an outage.
+Demonstrates the reliability half of the placement problem with the
+``repro.faults`` machinery: a :class:`FaultInjector` arms crashes, a
+rack partition profile and flaky transfers on a live simulation; client
+reads fail over across stale replicas while the heartbeat protocol
+catches up; and the namenode's prioritized, throttled re-replication
+queue (with retry-on-alternate-source) repairs every block.
 
 Run with ``python examples/failure_recovery.py``.
 """
 
 import random
 
-from repro.cluster.failures import generate_failure_plan
 from repro.cluster.topology import ClusterTopology
+from repro.dfs.client import DfsClient
 from repro.dfs.heartbeat import HeartbeatService
 from repro.dfs.namenode import Namenode
 from repro.dfs.policies import LoadAwarePolicy
 from repro.dfs.replication import TransferService
+from repro.errors import DatanodeUnavailableError
+from repro.faults import (
+    CrashProfile,
+    FaultInjector,
+    FlakyTransferProfile,
+    PartitionProfile,
+    RetryPolicy,
+)
 from repro.simulation.engine import Simulation
+
+HORIZON = 1800.0  # a 30-minute storm
+SEED = 0
 
 
 def main() -> None:
     sim = Simulation()
-    topology = ClusterTopology.uniform(4, 5, capacity=100)
+    topology = ClusterTopology.uniform(4, 4, capacity=100)
     namenode = Namenode(
         topology,
         placement_policy=LoadAwarePolicy(),
         sim=sim,
-        transfer_service=TransferService(topology, sim=sim, jitter=0.0),
-        rng=random.Random(0),
+        transfer_service=TransferService(topology, sim=sim,
+                                         rng=random.Random(SEED)),
+        rng=random.Random(SEED + 1),
+        replication_throttle=4,
     )
     heartbeats = HeartbeatService(sim, namenode, interval=3.0, expiry=30.0)
     heartbeats.start()
+    client = DfsClient(namenode)
 
-    for i in range(10):
-        namenode.create_file(f"/data/file-{i}", num_blocks=4)
-    print(f"loaded 10 files / 40 blocks on {topology.describe()}")
+    blocks = []
+    for i in range(8):
+        blocks.extend(client.write_file(f"/data/file-{i}", 4).block_ids)
+    print(f"loaded 8 files / {len(blocks)} blocks on {topology.describe()}")
 
-    # 1. A whole rack dies (ToR switch failure).
-    print("\n--- rack 0 fails ---")
-    for node in topology.machines_in_rack(0):
-        namenode.datanode(node).crash()
-    available = all(
-        namenode.is_file_available(f"/data/file-{i}") for i in range(10)
+    # The retry policy the namenode applies to failed transfers — shown
+    # here jitter-free so the schedule reads cleanly.
+    backoffs = list(RetryPolicy(max_attempts=4, base_delay=5.0,
+                                jitter=0.0).delays())
+    print(f"transfer retry backoff schedule: {backoffs} seconds")
+
+    # Arm the storm: fail-stop crashes, one rack's ToR switch, and
+    # transfers that abort mid-flight.  One seed replays it exactly.
+    injector = FaultInjector(
+        sim, namenode,
+        profiles=[
+            CrashProfile(mtbf=900.0, repair_time=180.0),
+            PartitionProfile(mtbf=2700.0, duration=120.0),
+            FlakyTransferProfile(failure_probability=0.2),
+        ],
+        horizon=HORIZON, seed=SEED, heartbeats=heartbeats,
     )
-    print(f"every file still readable during the outage: {available}")
+    armed = injector.install()
+    print(f"fault injector armed: {armed} timed outages over "
+          f"{HORIZON / 60:.0f} minutes\n")
 
-    # 2. The heartbeat service detects the outage and repairs replication.
-    sim.run(until=sim.now + 120.0)
-    live = namenode.live_nodes()
-    under = namenode.blockmap.under_replicated(live)
-    print(
-        f"after heartbeat detection (+120s): "
-        f"{heartbeats.detected_failures} failures detected, "
-        f"{len(under)} blocks still under-replicated"
-    )
+    # A steady read workload: the client discovers stale replicas by
+    # trying, then fails over down the preference order.
+    reads = {"served": 0, "failed": 0, "failovers": 0}
+    reader_rng = random.Random(SEED + 2)
 
-    # 3. The rack comes back; block reports restore its replicas.
-    print("\n--- rack 0 recovers ---")
-    namenode.recover_rack(0)
-    sim.run(until=sim.now + 60.0)
-    over = namenode.blockmap.over_replicated()
-    print(
-        f"recovered nodes re-reported their blocks; "
-        f"{len(over)} blocks temporarily over-replicated "
-        "(excess is trimmed lazily when space is needed)"
-    )
-
-    # 4. A randomized month of failures: availability never breaks.
-    print("\n--- randomized failure schedule ---")
-    plan = generate_failure_plan(
-        topology,
-        horizon=6 * 3600.0,
-        rng=random.Random(1),
-        machine_mtbf=2 * 3600.0,
-        repair_time=300.0,
-    )
-    print(f"replaying {plan.machine_outages()} machine outages over 6 hours")
-    violations = 0
-    for event in plan:
-        if event.is_recovery:
-            namenode.recover_node(event.target)
+    def read_tick() -> None:
+        block = reader_rng.choice(blocks)
+        reader = reader_rng.randrange(topology.num_machines)
+        try:
+            outcome = client.read_block(block, reader)
+        except DatanodeUnavailableError:
+            reads["failed"] += 1
         else:
-            namenode.fail_node(event.target)
-        for i in range(10):
-            if not namenode.is_file_available(f"/data/file-{i}"):
-                violations += 1
-    print(f"availability violations observed: {violations}")
-    assert violations == 0
+            reads["served"] += 1
+            if outcome.failed_over:
+                reads["failovers"] += 1
+
+    sim.schedule_periodic(15.0, read_tick)
+    sim.schedule_periodic(60.0, namenode.check_replication)
+
+    sim.run(until=HORIZON)
+    namenode.transfers.fault_hook = None  # storm over; let repairs land
+    sim.run(until=HORIZON + 900.0)
+    heartbeats.stop()
+    namenode.audit()
+
+    lost = sum(1 for b in blocks if not namenode.blockmap.locations(b))
+    attempted = reads["served"] + reads["failed"]
+    print("--- storm report ---")
+    print(f"faults injected:          {dict(sorted(injector.injected.items()))}")
+    print(f"failures detected:        {heartbeats.detected_failures} "
+          f"(reconciled {heartbeats.reconciliations})")
+    print(f"reads served:             {reads['served']}/{attempted} "
+          f"({reads['failovers']} failed over)")
+    print(f"transfer retries:         {namenode.transfer_retries} "
+          f"(requeued {namenode.replications_requeued})")
+    print(f"replications completed:   {namenode.replications_completed}")
+    episodes = namenode.recovery_times
+    mean = sum(episodes) / len(episodes) if episodes else 0.0
+    print(f"recovery episodes:        {len(episodes)} "
+          f"(mean {mean:.1f}s, max {max(episodes, default=0.0):.1f}s)")
+    print(f"blocks permanently lost:  {lost}")
+    assert lost == 0, "a survivable storm must lose nothing"
 
 
 if __name__ == "__main__":

@@ -9,6 +9,14 @@ This module converts between the two:
 * :func:`replay_operations` executes a local-search operation log as
   make-before-break block migrations (a swap is two opposing moves),
   skipping operations the live system can no longer satisfy.
+
+The replay is where the optimizer meets reality: the operation log was
+computed against a *snapshot*, and nodes can die between snapshot and
+replay (or mid-replay).  An operation whose endpoint is gone makes the
+whole log suspect — its cost model no longer matches the cluster — so
+the replay aborts cleanly, counts the remainder as skipped, and
+reconciles by triggering a replication check; failed individual moves
+roll back inside the namenode (make-before-break keeps the source).
 """
 
 from __future__ import annotations
@@ -16,12 +24,13 @@ from __future__ import annotations
 import logging
 import time
 from dataclasses import dataclass
-from typing import Iterable, Mapping
+from typing import Iterable, Mapping, Tuple
 
 from repro.core.instance import BlockSpec, PlacementProblem
 from repro.core.operations import MoveOp, Operation, SwapOp
 from repro.core.placement import PlacementState
 from repro.dfs.namenode import Namenode
+from repro.errors import DfsError
 from repro.obs.registry import get_registry
 
 __all__ = ["snapshot_placement", "replay_operations", "ReplayReport"]
@@ -80,26 +89,42 @@ class ReplayReport:
     ``bytes_transferred`` sums the sizes of the blocks whose migration
     was issued (the reconfiguration traffic Theorem 9 trades against
     epsilon); ``elapsed_seconds`` is the wall-clock time spent issuing.
+    ``moves_failed`` counts operations the live system rejected with an
+    error (e.g. a block deleted mid-replay); when a replay endpoint node
+    died since the snapshot, ``aborted`` is set, the rest of the log is
+    counted as skipped, and the namenode reconciles.
     """
 
     moves_issued: int = 0
     moves_skipped: int = 0
+    moves_failed: int = 0
     blocks_transferred: int = 0
     bytes_transferred: int = 0
     elapsed_seconds: float = 0.0
+    aborted: bool = False
+    abort_reason: str = ""
 
     @property
     def attempted(self) -> int:
         """Total migrations attempted."""
-        return self.moves_issued + self.moves_skipped
+        return self.moves_issued + self.moves_skipped + self.moves_failed
 
 
 def _issue_move(
     namenode: Namenode, report: ReplayReport, block: int, src: int, dst: int
 ) -> bool:
     started = False
-    if src in namenode.blockmap.locations(block):
-        started = namenode.move_block(block, src, dst)
+    try:
+        if (block in namenode.blockmap
+                and src in namenode.blockmap.locations(block)):
+            started = namenode.move_block(block, src, dst)
+    except DfsError as exc:
+        # The live system refused outright (block deleted mid-replay,
+        # capacity race, ...).  Make-before-break means nothing moved.
+        report.moves_failed += 1
+        _LOG.warning("migration of block %d %d->%d failed: %s",
+                     block, src, dst, exc)
+        return False
     if started:
         report.moves_issued += 1
         report.blocks_transferred += 1
@@ -109,8 +134,15 @@ def _issue_move(
     return started
 
 
+def _op_endpoints(op: Operation) -> Tuple[int, ...]:
+    """The machine ids an operation touches."""
+    return (op.src, op.dst)
+
+
 def replay_operations(
-    namenode: Namenode, operations: Iterable[Operation]
+    namenode: Namenode,
+    operations: Iterable[Operation],
+    abort_on_lost_nodes: bool = True,
 ) -> ReplayReport:
     """Execute an operation log against the live namenode.
 
@@ -118,10 +150,34 @@ def replay_operations(
     migrations.  Operations that the live system rejects (node died,
     disk filled, replica already moved by a concurrent mechanism) are
     counted as skipped rather than failing the period.
+
+    With ``abort_on_lost_nodes`` (the default), hitting an operation
+    whose endpoint node has died since the snapshot aborts the rest of
+    the log — the optimizer planned against a cluster that no longer
+    exists — and triggers a replication check so the block map is
+    repaired before the next period re-plans.
     """
     started = time.perf_counter()
     report = ReplayReport()
-    for op in operations:
+    ops = list(operations)
+    for index, op in enumerate(ops):
+        if abort_on_lost_nodes:
+            lost = sorted(
+                node for node in set(_op_endpoints(op))
+                if not namenode.datanodes[node].alive
+            )
+            if lost:
+                report.aborted = True
+                report.abort_reason = (
+                    f"node(s) {lost} lost since the placement snapshot"
+                )
+                report.moves_skipped += len(ops) - index
+                _LOG.warning(
+                    "replay aborted at op %d/%d (%s); reconciling",
+                    index, len(ops), report.abort_reason,
+                )
+                namenode.check_replication()
+                break
         if isinstance(op, MoveOp):
             _issue_move(namenode, report, op.block, op.src, op.dst)
         elif isinstance(op, SwapOp):
@@ -133,6 +189,10 @@ def replay_operations(
             _MIGRATIONS.labels(outcome="issued").inc(report.moves_issued)
         if report.moves_skipped:
             _MIGRATIONS.labels(outcome="skipped").inc(report.moves_skipped)
+        if report.moves_failed:
+            _MIGRATIONS.labels(outcome="failed").inc(report.moves_failed)
+        if report.aborted:
+            _MIGRATIONS.labels(outcome="aborted").inc()
         if report.bytes_transferred:
             _MIGRATED_BYTES.inc(report.bytes_transferred)
     if report.moves_skipped:

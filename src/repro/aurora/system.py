@@ -76,6 +76,10 @@ _OP_CAP_SATURATION = _REG.gauge(
     "repro_aurora_op_cap_saturation_ratio",
     "Fraction of the per-period operation cap K the last period used",
 )
+_ABORTED_PERIODS = _REG.counter(
+    "repro_aurora_aborted_replays_total",
+    "Periods whose migration replay aborted after losing a target node",
+)
 
 
 @dataclass
@@ -97,6 +101,11 @@ class PeriodReport:
     replay: ReplayReport = field(default_factory=ReplayReport)
     elapsed_seconds: float = 0.0
     phase_seconds: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def aborted(self) -> bool:
+        """Whether this period's migration replay aborted mid-way."""
+        return self.replay.aborted
 
     @property
     def improvement(self) -> float:
@@ -238,8 +247,15 @@ class AuroraSystem:
                 cost_after=report.cost_after,
                 migrations_issued=report.replay.moves_issued,
                 bytes_transferred=report.replay.bytes_transferred,
+                aborted=report.aborted,
             )
         self._flush_period_metrics(report)
+        if report.aborted:
+            _LOG.warning(
+                "aurora period aborted its replay (%s); block map "
+                "reconciled, next period will re-plan",
+                report.replay.abort_reason,
+            )
         _LOG.info(
             "aurora period done sim_time=%.0f cost=%.6g->%.6g k+=%d k-=%d "
             "migrations=%d elapsed=%.4fs",
@@ -272,6 +288,8 @@ class AuroraSystem:
             _REPLICATION_CHANGES.labels(direction="rejected").inc(
                 report.replication_rejections
             )
+        if report.aborted:
+            _ABORTED_PERIODS.inc()
         cap = self.config.max_replication_ops
         if cap > 0:
             used = report.replication_increases + report.replication_decreases

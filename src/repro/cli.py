@@ -9,6 +9,7 @@ Usage (installed as ``python -m repro``):
     python -m repro trace yahoo --out trace.jsonl --files 120 --hours 3
     python -m repro trace swim --out swim.jsonl --scale-to 10
     python -m repro ablation --out results/
+    python -m repro chaos --profiles crash partition flaky --hours 2
     python -m repro metrics --demo             # observability smoke run
     python -m repro -v figures --quick         # INFO-level run logging
 
@@ -124,6 +125,28 @@ def _build_parser() -> argparse.ArgumentParser:
     sensitivity.add_argument("--out", type=Path, default=Path("results"))
     sensitivity.add_argument("--seed", type=int, default=0)
     sensitivity.add_argument("--hours", type=float, default=2.0)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run a seeded fault-injection storm and report resilience",
+    )
+    chaos.add_argument("--out", type=Path, default=Path("results"))
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--hours", type=float, default=2.0)
+    chaos.add_argument(
+        "--profiles", nargs="+",
+        default=["crash", "partition", "flaky"],
+        choices=["crash", "gray", "partition", "flaky", "msgloss"],
+        help="fault profiles to arm",
+    )
+    chaos.add_argument(
+        "--throttle", type=int, default=8,
+        help="max concurrent re-replication transfers (0 = unlimited)",
+    )
+    chaos.add_argument(
+        "--metrics-out", type=Path, default=None,
+        help="write an observability snapshot of the run here",
+    )
 
     metrics = sub.add_parser(
         "metrics",
@@ -266,6 +289,31 @@ def _cmd_sensitivity(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.experiments.chaos import ChaosConfig, render_chaos, run_chaos
+
+    args.out.mkdir(parents=True, exist_ok=True)
+    if args.metrics_out is not None:
+        obs.enable()
+        obs.get_registry().reset()
+        obs.get_tracer().clear()
+    config = ChaosConfig(
+        horizon=args.hours * 3600.0,
+        profiles=tuple(args.profiles),
+        replication_throttle=args.throttle if args.throttle > 0 else None,
+        seed=args.seed,
+    )
+    text = render_chaos(run_chaos(config))
+    target = args.out / "chaos.txt"
+    target.write_text(text + "\n", encoding="utf-8")
+    print(text)
+    print(f"[written {target}]")
+    if args.metrics_out is not None:
+        snapshot = obs.write_snapshot(args.metrics_out)
+        print(f"[written {snapshot}]")
+    return 0
+
+
 def _cmd_metrics(args: argparse.Namespace) -> int:
     obs.enable()
     registry = obs.get_registry()
@@ -307,6 +355,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_scale(args)
     if args.command == "sensitivity":
         return _cmd_sensitivity(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     if args.command == "metrics":
         return _cmd_metrics(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -2,21 +2,43 @@
 
 "Each application creates a HDFS client to access the file system."  The
 client wraps the namenode protocol: writes ask the namenode for targets
-and stream the blocks; reads ask for a replica location and classify the
-resulting access by network distance (node-local / rack-local / remote),
-which is exactly the signal the locality experiments measure.
+and stream the blocks; reads walk the namenode's replica preference
+order and classify the resulting access by network distance (node-local
+/ rack-local / remote), which is exactly the signal the locality
+experiments measure.
+
+Reads are fault tolerant: the namenode's metadata can be *stale* (a
+replica holder can crash between heartbeats), so the client tries the
+preferred replica, discovers a dead or stale source by failing, backs
+off under a :class:`~repro.faults.retry.RetryPolicy`, and fails over to
+the next replica in preference order.  The full attempt trail is
+recorded on the :class:`ReadResult`.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
-from typing import List, Optional
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
 
 from repro.dfs.block import DEFAULT_MAX_BLOCK_SIZE, FileMeta
 from repro.dfs.namenode import Namenode
+from repro.errors import DatanodeUnavailableError
+from repro.faults.retry import RetryPolicy
+from repro.obs.registry import get_registry
 
 __all__ = ["Locality", "ReadResult", "DfsClient"]
+
+_REG = get_registry()
+_FAILOVERS = _REG.counter(
+    "repro_dfs_read_failovers_total",
+    "Read attempts that failed over past a dead or stale replica source",
+)
+_READ_ERRORS = _REG.counter(
+    "repro_dfs_read_errors_total",
+    "Block reads that exhausted every replica candidate",
+)
 
 
 class Locality(enum.Enum):
@@ -29,23 +51,49 @@ class Locality(enum.Enum):
 
 @dataclass(frozen=True)
 class ReadResult:
-    """Outcome of reading one block."""
+    """Outcome of reading one block.
+
+    ``attempts`` is the trail of nodes the client contacted in order —
+    the last entry is the node that served the read, every earlier one a
+    replica that turned out dead or stale.  ``backoff`` is the total
+    simulated wait the retry policy imposed between attempts.
+    """
 
     block_id: int
     source: int
     locality: Locality
+    attempts: Tuple[int, ...] = field(default=())
+    backoff: float = 0.0
 
     @property
     def is_local(self) -> bool:
         """Whether the read avoided the network entirely."""
         return self.locality is Locality.NODE_LOCAL
 
+    @property
+    def failed_over(self) -> bool:
+        """Whether the first-choice replica did not serve the read."""
+        return len(self.attempts) > 1
+
 
 class DfsClient:
     """Thin client over a :class:`~repro.dfs.namenode.Namenode`."""
 
-    def __init__(self, namenode: Namenode) -> None:
+    def __init__(
+        self,
+        namenode: Namenode,
+        retry_policy: Optional[RetryPolicy] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
         self.namenode = namenode
+        # Bounds the failover walk; with no rng the backoff is
+        # jitter-free, so failover behaviour is fully deterministic.
+        self.retry_policy = retry_policy or RetryPolicy(
+            max_attempts=4, base_delay=0.5, max_delay=5.0, jitter=0.1
+        )
+        self._rng = rng
+        self.read_failovers = 0
+        self.read_errors = 0
 
     def write_file(
         self,
@@ -67,12 +115,45 @@ class DfsClient:
         )
 
     def read_block(self, block_id: int, reader: int) -> ReadResult:
-        """Read one block from the best replica for ``reader``."""
-        source = self.namenode.record_access(block_id, reader)
-        return ReadResult(
-            block_id=block_id,
-            source=source,
-            locality=self._classify(reader, source),
+        """Read one block, failing over across replicas as needed.
+
+        Walks :meth:`~repro.dfs.namenode.Namenode.replica_preference`
+        (which reflects the namenode's possibly stale belief), skipping
+        sources that turn out dead or stale, backing off between
+        attempts.  Raises :class:`DatanodeUnavailableError` when every
+        candidate fails or the retry policy gives up first.
+        """
+        tried: List[int] = []
+        waited = 0.0
+        failures = 0
+        for node in self.namenode.replica_preference(block_id, reader):
+            tried.append(node)
+            dn = self.namenode.datanode(node)
+            if dn.alive and dn.holds(block_id):
+                source = self.namenode.record_access(
+                    block_id, reader, source=node
+                )
+                return ReadResult(
+                    block_id=block_id,
+                    source=source,
+                    locality=self._classify(reader, source),
+                    attempts=tuple(tried),
+                    backoff=waited,
+                )
+            # Dead node or stale location: fail over to the next replica.
+            failures += 1
+            self.read_failovers += 1
+            if _REG.enabled:
+                _FAILOVERS.inc()
+            if not self.retry_policy.admits(failures, waited):
+                break
+            waited += self.retry_policy.delay(failures, self._rng)
+        self.read_errors += 1
+        if _REG.enabled:
+            _READ_ERRORS.inc()
+        raise DatanodeUnavailableError(
+            f"block {block_id}: no replica served the read "
+            f"(tried {tried or 'no candidates'})"
         )
 
     def read_file(self, path: str, reader: int) -> List[ReadResult]:

@@ -27,6 +27,9 @@ class Datanode:
         self.capacity_blocks = capacity_blocks
         self.alive = True
         self.last_heartbeat = 0.0
+        # Gray-failure service-rate multiplier: 1.0 = healthy, > 1 means
+        # the node still beats and serves but everything takes longer.
+        self.slowdown = 1.0
         self._blocks: Set[int] = set()
         self.bytes_written = 0
         self.bytes_read = 0
@@ -40,6 +43,11 @@ class Datanode:
     def free_blocks(self) -> int:
         """Remaining block slots."""
         return self.capacity_blocks - len(self._blocks)
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the node is in a gray state (slow but alive)."""
+        return self.alive and self.slowdown > 1.0
 
     @property
     def disk_utilization(self) -> float:
@@ -98,8 +106,10 @@ class Datanode:
     def recover(self) -> None:
         """Bring the node back online with its disk contents intact."""
         self.alive = True
+        self.slowdown = 1.0
 
     def wipe(self) -> None:
         """Permanently lose the disk (e.g. hardware replacement)."""
         self._blocks.clear()
         self.alive = True
+        self.slowdown = 1.0

@@ -2,18 +2,30 @@
 
 "Each datanode also periodically sends a heartbeat message to the
 namenode to report machine and block status."  In the simulator the
-heartbeat's observable effect is failure *detection latency*: a crashed
-datanode stops beating, and only once its last heartbeat is older than
-the expiry does the namenode drop its replicas from the block map and
-start re-replication.  Reads in the interim are already safe because
-replica selection intersects with ground-truth liveness (real clients
-fail over to another replica on connection errors).
+heartbeat's observable effects are:
+
+* **failure detection latency** — a crashed datanode stops beating, and
+  only once its last heartbeat is older than the expiry does the
+  namenode drop its replicas from the block map and start
+  re-replication (clients fail over to another replica in the interim,
+  see :meth:`repro.dfs.client.DfsClient.read_block`);
+* **false suspicion under message loss** — a fault injector can drop
+  beats from a healthy node; if enough are lost in a row the namenode
+  declares it dead and re-replicates, and when its beats get through
+  again the node's block report reconciles the excess;
+* **gray-failure awareness** — a slow node (``Datanode.slowdown > 1``)
+  keeps beating and is *not* declared dead, but the service tracks it
+  so read routing and operators can avoid it.
+
+A node is declared dead exactly once per outage (``_declared``), even
+when it holds no blocks — an empty dead node must still be removed from
+placement targeting.
 """
 
 from __future__ import annotations
 
 import logging
-from typing import Optional
+from typing import Callable, Optional, Set
 
 from repro.dfs.namenode import Namenode
 from repro.errors import DfsError
@@ -28,6 +40,18 @@ _REG = get_registry()
 _DETECTED_FAILURES = _REG.counter(
     "repro_dfs_heartbeat_detected_failures_total",
     "Datanode failures detected through heartbeat expiry",
+)
+_FALSE_SUSPICIONS = _REG.counter(
+    "repro_dfs_heartbeat_false_suspicions_total",
+    "Healthy datanodes declared dead because their beats were lost",
+)
+_RECONCILED = _REG.counter(
+    "repro_dfs_heartbeat_reconciliations_total",
+    "Suspected-dead datanodes whose beats resumed and were re-registered",
+)
+_DEGRADED_NODES = _REG.gauge(
+    "repro_dfs_degraded_nodes",
+    "Datanodes currently serving in a gray (slow) state",
 )
 
 
@@ -50,6 +74,11 @@ class HeartbeatService:
         self.interval = interval
         self.expiry = expiry
         self.detected_failures = 0
+        self.false_suspicions = 0
+        self.reconciliations = 0
+        # fn(node) -> True to drop this beat (message-loss injection).
+        self.loss_filter: Optional[Callable[[int], bool]] = None
+        self._declared: Set[int] = set()
         self._beat_token: Optional[EventToken] = None
         self._check_token: Optional[EventToken] = None
         for dn in namenode.datanodes:
@@ -71,26 +100,62 @@ class HeartbeatService:
             self._check_token.cancel()
             self._check_token = None
 
+    def declared_dead(self) -> Set[int]:
+        """Nodes the namenode currently believes are dead."""
+        return set(self._declared)
+
+    def degraded_nodes(self) -> Set[int]:
+        """Live nodes currently serving in a gray (slow) state."""
+        return {
+            dn.node_id for dn in self.namenode.datanodes if dn.degraded
+        }
+
     def _beat(self) -> None:
         for dn in self.namenode.datanodes:
-            if dn.alive:
-                dn.last_heartbeat = self.sim.now
+            if not dn.alive:
+                continue
+            if self.loss_filter is not None and self.loss_filter(dn.node_id):
+                continue  # beat lost in the network
+            dn.last_heartbeat = self.sim.now
+            if dn.node_id in self._declared:
+                # A falsely suspected (or silently recovered) node is
+                # beating again: its block report re-registers replicas.
+                self._declared.discard(dn.node_id)
+                self.reconciliations += 1
+                if _REG.enabled:
+                    _RECONCILED.inc()
+                _LOG.info(
+                    "datanode %d beats again at t=%.1f; re-registering",
+                    dn.node_id, self.sim.now,
+                )
+                self.namenode.register_block_report(dn.node_id)
 
     def _check(self) -> None:
         now = self.sim.now
         stale = [
-            dn.node_id
+            dn
             for dn in self.namenode.datanodes
-            if not dn.alive
-            and self.namenode.blockmap.blocks_on(dn.node_id)
+            if dn.node_id not in self._declared
             and now - dn.last_heartbeat > self.expiry
         ]
-        for node in stale:
+        for dn in stale:
+            self._declared.add(dn.node_id)
             self.detected_failures += 1
+            if dn.alive:
+                # The node is healthy but its beats were lost: the
+                # namenode cannot tell, so it suspects and re-replicates.
+                self.false_suspicions += 1
+                if _REG.enabled:
+                    _FALSE_SUSPICIONS.inc()
             if _REG.enabled:
                 _DETECTED_FAILURES.inc()
             _LOG.warning(
-                "heartbeat expiry: datanode %d declared dead at t=%.1f",
-                node, now,
+                "heartbeat expiry: datanode %d declared dead at t=%.1f "
+                "(actually_alive=%s)",
+                dn.node_id, now, dn.alive,
             )
-            self.namenode.fail_node(node)
+            # crash=False: the heartbeat only updates the namenode's
+            # *belief*; ground-truth liveness belongs to the injector.
+            self.namenode.fail_node(dn.node_id, crash=False)
+        if _REG.enabled:
+            _DEGRADED_NODES.set(len(self.degraded_nodes()))

@@ -25,9 +25,10 @@ so it costs simulated time and network bytes when a simulator is attached.
 
 from __future__ import annotations
 
+import heapq
 import logging
 import random
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.cluster.topology import ClusterTopology
 from repro.dfs.block import DEFAULT_MAX_BLOCK_SIZE, BlockMeta, FileMeta
@@ -44,6 +45,7 @@ from repro.errors import (
     FileNotFoundInDfsError,
     SafeModeError,
 )
+from repro.faults.retry import RetryPolicy
 from repro.obs.registry import get_registry
 from repro.simulation.engine import Simulation
 
@@ -86,6 +88,34 @@ _UNDER_SPREAD = _REG.gauge(
     "repro_dfs_under_spread_blocks",
     "Blocks below their rack-spread target at the last replication check",
 )
+_TRANSFER_RETRIES = _REG.counter(
+    "repro_dfs_transfer_retries_total",
+    "Replication/migration transfers retried after a mid-flight failure",
+)
+_MIGRATION_ROLLBACKS = _REG.counter(
+    "repro_dfs_migration_rollbacks_total",
+    "Failed migrations rolled back (source replica kept, copy discarded)",
+)
+_MIGRATION_RETARGETS = _REG.counter(
+    "repro_dfs_migration_retargets_total",
+    "Failed migrations re-issued towards a different destination",
+)
+_REPL_REQUEUED = _REG.counter(
+    "repro_dfs_replications_requeued_total",
+    "Replications pushed back onto the priority queue after retry exhaustion",
+)
+_REPL_QUEUE_DEPTH = _REG.gauge(
+    "repro_dfs_replication_queue_depth",
+    "Blocks waiting in the prioritized re-replication queue",
+)
+_RECOVERY_SECONDS = _REG.histogram(
+    "repro_dfs_recovery_seconds",
+    "Simulated seconds from first under-replication to full replication",
+)
+_DEGRADED_READS = _REG.counter(
+    "repro_dfs_degraded_reads_total",
+    "Block reads served by a gray (slow) datanode",
+)
 
 
 class Namenode:
@@ -100,13 +130,26 @@ class Namenode:
         default_replication: int = 3,
         default_rack_spread: int = 2,
         rng: Optional[random.Random] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        replication_throttle: Optional[int] = None,
     ) -> None:
         if default_rack_spread > topology.num_racks:
             default_rack_spread = topology.num_racks
+        if replication_throttle is not None and replication_throttle < 1:
+            raise DfsError("replication_throttle must be >= 1")
         self.topology = topology
         self.sim = sim
         self.placement_policy = placement_policy or DefaultHdfsPolicy()
         self.transfers = transfer_service or TransferService(topology, sim=sim)
+        # Gray datanodes stretch every transfer that touches them.
+        self.transfers.node_slowdown = lambda node: self.datanodes[node].slowdown
+        # Governs retry-on-alternate-source for failed transfers.
+        self.retry_policy = retry_policy or RetryPolicy(
+            max_attempts=3, base_delay=5.0, max_delay=60.0, jitter=0.1
+        )
+        # Max concurrent re-replication transfers (None = unlimited);
+        # excess work waits in a most-under-replicated-first queue.
+        self.replication_throttle = replication_throttle
         self.default_replication = default_replication
         self.default_rack_spread = default_rack_spread
         self.blockmap = BlockMap(topology)
@@ -138,11 +181,30 @@ class Namenode:
         # (the paper cites a 27x ratio making movement overhead
         # acceptable); None defers to the transfer service's default.
         self.movement_compression: Optional[float] = None
+        # Prioritized re-replication queue: (live replicas, seq, block).
+        self._repl_queue: List[Tuple[int, int, int]] = []
+        self._queued: Set[int] = set()
+        # Retry chains waiting out a backoff hold no _inflight entry but
+        # still promise a copy; counting them stops a concurrent
+        # replication check from over-replicating the block.
+        self._retry_pending: Dict[int, int] = {}
+        self._queue_seq = 0
+        self._repl_inflight = 0
+        self._draining = False
+        # Recovery-time tracking: when the current under-replication
+        # episode began, and the durations of completed episodes.
+        self._under_since: Optional[float] = None
+        self.recovery_times: List[float] = []
         # Counters.
         self.replications_completed = 0
         self.moves_completed = 0
         self.lazy_evictions = 0
         self.reclaimed_replicas = 0
+        self.transfer_retries = 0
+        self.migration_rollbacks = 0
+        self.migration_retargets = 0
+        self.replications_requeued = 0
+        self.degraded_reads = 0
 
     # -- time & liveness -------------------------------------------------------
 
@@ -160,21 +222,33 @@ class Namenode:
         """Ids of datanodes currently alive."""
         return {dn.node_id for dn in self.datanodes if dn.alive}
 
-    def fail_node(self, node: int, re_replicate: bool = True) -> None:
-        """Take a datanode down (crash); optionally repair replication.
+    def fail_node(
+        self, node: int, re_replicate: bool = True, crash: bool = True
+    ) -> None:
+        """Take a datanode out of service; optionally repair replication.
+
+        With ``crash=True`` (the default) the node's ground-truth
+        liveness flips too.  ``crash=False`` only updates the namenode's
+        *belief* — the heartbeat service uses it when an expiry may be a
+        false suspicion (the node could merely have lost its beats), so
+        a healthy node keeps serving in-flight reads while the namenode
+        re-replicates around it.
 
         The node's replicas are removed from the block map (the namenode
-        can no longer serve them) but stay on the dead node's disk, so a
-        later :meth:`recover_node` re-registers them via its block
-        report.
+        no longer routes to them) but stay on the node's disk, so a later
+        block report (:meth:`register_block_report`) re-registers them.
         """
         dn = self.datanode(node)
         was_alive = dn.alive
-        dn.crash()
+        if crash:
+            dn.crash()
         if was_alive:
             if _REG.enabled:
-                _NODE_EVENTS.labels(event="fail").inc()
-            _LOG.warning("datanode %d failed re_replicate=%s", node, re_replicate)
+                _NODE_EVENTS.labels(event="fail" if crash else "suspect").inc()
+            _LOG.warning(
+                "datanode %d %s re_replicate=%s",
+                node, "failed" if crash else "suspected dead", re_replicate,
+            )
         # Idempotent: a node already processed has no locations left, so
         # the loop below is a no-op on repeat calls (e.g. when the
         # heartbeat service confirms a crash injected directly).
@@ -183,6 +257,32 @@ class Namenode:
             self._lazy.discard((block_id, node))
         if re_replicate:
             self.check_replication()
+
+    def register_block_report(self, node: int) -> None:
+        """Process a block report: re-register the node's replicas.
+
+        Idempotent — locations already known are left alone.  Used when
+        a node recovers and when a falsely suspected node's heartbeats
+        resume.  Replication that happened in the interim may leave
+        blocks above their target factor; the excess is marked lazily
+        deletable, reclaimable if the factor rises again.
+        """
+        dn = self.datanode(node)
+        if not dn.alive:
+            return
+        for block_id in dn.blocks():
+            if block_id not in self.blockmap:
+                dn.erase(block_id)
+                continue
+            if node not in self.blockmap.locations(block_id):
+                self.blockmap.add_location(block_id, node)
+            meta = self.blockmap.meta(block_id)
+            excess = (
+                self._active_replica_count(block_id) - meta.replication_factor
+            )
+            if excess > 0:
+                self._mark_excess_lazy(block_id, excess)
+        self._note_recovery_progress()
 
     def recover_node(self, node: int) -> None:
         """Bring a datanode back; its block report restores locations."""
@@ -193,20 +293,7 @@ class Namenode:
         if _REG.enabled:
             _NODE_EVENTS.labels(event="recover").inc()
         _LOG.info("datanode %d recovered blocks=%d", node, len(dn.blocks()))
-        for block_id in dn.blocks():
-            if block_id not in self.blockmap:
-                dn.erase(block_id)
-                continue
-            if node not in self.blockmap.locations(block_id):
-                self.blockmap.add_location(block_id, node)
-            # Re-replication during the outage may leave the block above
-            # its target factor; mark the excess lazily deletable.
-            meta = self.blockmap.meta(block_id)
-            excess = (
-                self._active_replica_count(block_id) - meta.replication_factor
-            )
-            if excess > 0:
-                self._mark_excess_lazy(block_id, excess)
+        self.register_block_report(node)
 
     def fail_rack(self, rack: int, re_replicate: bool = True) -> None:
         """Fail every datanode in ``rack`` (ToR switch outage)."""
@@ -391,6 +478,8 @@ class Namenode:
 
         Preference: node-local, then rack-local, then a uniformly random
         remote replica — mirroring HDFS's network-distance ordering.
+        Within the rack-local and remote tiers, gray (slow) nodes are
+        avoided when a healthy replica exists.
         """
         live = self.live_nodes()
         locations = self.blockmap.live_locations(block_id, live)
@@ -406,17 +495,62 @@ class Namenode:
             if self.topology.rack_of[node] == reader_rack
         ]
         if rack_local:
-            return self._rng.choice(sorted(rack_local))
-        return self._rng.choice(sorted(locations))
+            return self._rng.choice(sorted(self._prefer_healthy(rack_local)))
+        return self._rng.choice(sorted(self._prefer_healthy(locations)))
 
-    def record_access(self, block_id: int, reader: int) -> int:
+    def _prefer_healthy(self, nodes: List[int]) -> List[int]:
+        """Drop gray nodes from a candidate pool unless all are gray."""
+        healthy = [n for n in nodes if not self.datanodes[n].degraded]
+        return healthy or list(nodes)
+
+    def replica_preference(
+        self, block_id: int, reader: int,
+        exclude: FrozenSet[int] = frozenset(),
+    ) -> List[int]:
+        """All *believed* replica holders of ``block_id``, best first.
+
+        The failover order a client walks when reads fail: node-local,
+        then rack-local, then remote, healthy before gray within each
+        tier, node id breaking ties (deterministic).  Unlike
+        :meth:`choose_read_replica` this does **not** intersect with the
+        live set — the namenode's metadata can be stale (a node can die
+        between heartbeats), and the client discovers staleness by
+        trying.  ``exclude`` removes sources that already failed.
+        """
+        reader_rack = self.topology.rack_of[reader]
+
+        def rank(node: int) -> Tuple[int, int, int]:
+            if node == reader:
+                tier = 0
+            elif self.topology.rack_of[node] == reader_rack:
+                tier = 1
+            else:
+                tier = 2
+            return (tier, 1 if self.datanodes[node].degraded else 0, node)
+
+        candidates = [
+            node for node in self.blockmap.locations(block_id)
+            if node not in exclude
+        ]
+        return sorted(candidates, key=rank)
+
+    def record_access(
+        self, block_id: int, reader: int, source: Optional[int] = None,
+    ) -> int:
         """Read a block: pick a replica, account it, notify listeners.
 
-        Returns the node that served the read.
+        ``source`` lets a client that already chose (and possibly failed
+        over to) a replica record the read it actually performed instead
+        of re-routing.  Returns the node that served the read.
         """
-        source = self.choose_read_replica(block_id, reader)
+        if source is None:
+            source = self.choose_read_replica(block_id, reader)
         meta = self.blockmap.meta(block_id)
         self.datanodes[source].read(block_id, meta.size)
+        if self.datanodes[source].degraded:
+            self.degraded_reads += 1
+            if _REG.enabled:
+                _DEGRADED_READS.inc()
         if _REG.enabled:
             if source == reader:
                 locality = "node_local"
@@ -516,6 +650,12 @@ class Namenode:
         The target defaults to the least-loaded feasible node, preferring
         a new rack while the block is under its rack-spread target.
         Returns False when no source or target exists.
+
+        A transfer that fails mid-flight (or lands on a node that died
+        or filled up meanwhile) is retried under :attr:`retry_policy`
+        with exponential backoff, preferring a source not yet tried and
+        re-picking the target; once the policy is exhausted the block is
+        pushed back onto the re-replication queue for the next check.
         """
         meta = self.blockmap.meta(block_id)
         live = self.live_nodes()
@@ -529,30 +669,132 @@ class Namenode:
         if (block_id, target) in self._inflight:
             return False
         source = min(sources, key=self.transfers.active_transfers)
+        self._repl_inflight += 1
+        self._start_replica_copy(
+            block_id, source, target, on_done,
+            attempt=1, tried=set(), waited=0.0,
+        )
+        return True
+
+    def _start_replica_copy(
+        self, block_id: int, source: int, target: int,
+        on_done: Optional[Callable[[], None]],
+        attempt: int, tried: Set[int], waited: float,
+    ) -> None:
+        """Issue one replication transfer attempt with retry wiring."""
+        meta = self.blockmap.meta(block_id)
         self._inflight.add((block_id, target))
+
+        def handle_failure() -> None:
+            tried.add(source)
+            if (block_id not in self.blockmap
+                    or not self.retry_policy.admits(attempt, waited)):
+                self._abandon_replication(block_id)
+                return
+            delay = self.retry_policy.delay(attempt, self._rng)
+            self.transfer_retries += 1
+            if _REG.enabled:
+                _TRANSFER_RETRIES.inc()
+            _LOG.info(
+                "replication of block %d from %d to %d failed "
+                "(attempt %d); retrying in %.1fs",
+                block_id, source, target, attempt, delay,
+            )
+            self._retry_pending[block_id] = (
+                self._retry_pending.get(block_id, 0) + 1
+            )
+            self._defer(delay, lambda: self._retry_replica_copy(
+                block_id, on_done, attempt + 1, tried, waited + delay,
+            ))
+
+        def failed() -> None:
+            self._inflight.discard((block_id, target))
+            handle_failure()
 
         def complete() -> None:
             self._inflight.discard((block_id, target))
+            if block_id not in self.blockmap:
+                self._end_replication()
+                return
             dn = self.datanodes[target]
-            if not dn.alive or dn.holds(block_id) or block_id not in self.blockmap:
+            if dn.holds(block_id):
+                self._end_replication()
+                return
+            if not dn.alive:
+                # The bytes landed on a node that died mid-transfer.
+                handle_failure()
                 return
             try:
                 self._ensure_space(target)
             except CapacityExceededError:
+                handle_failure()
                 return
             dn.store(block_id, meta.size)
             self.blockmap.add_location(block_id, target)
             self.replications_completed += 1
             if _REG.enabled:
                 _REPLICATIONS.inc()
+            self._end_replication()
+            self._note_recovery_progress()
             if on_done is not None:
                 on_done()
 
         self.transfers.transfer(
             meta.size, source, target, complete,
             compression_ratio=self.movement_compression,
+            on_failure=failed,
         )
-        return True
+
+    def _retry_replica_copy(
+        self, block_id: int, on_done: Optional[Callable[[], None]],
+        attempt: int, tried: Set[int], waited: float,
+    ) -> None:
+        """Retry a failed replication from a fresh source/target pair."""
+        pending = self._retry_pending.get(block_id, 0)
+        if pending <= 1:
+            self._retry_pending.pop(block_id, None)
+        else:
+            self._retry_pending[block_id] = pending - 1
+        if block_id not in self.blockmap:
+            self._end_replication()
+            return
+        meta = self.blockmap.meta(block_id)
+        live = self.live_nodes()
+        sources = sorted(self.blockmap.live_locations(block_id, live))
+        if not sources:
+            self._abandon_replication(block_id)
+            return
+        fresh = [s for s in sources if s not in tried]
+        source = min(fresh or sources, key=self.transfers.active_transfers)
+        target = self._pick_replication_target(block_id, meta, live)
+        if target is None:
+            self._abandon_replication(block_id)
+            return
+        self._start_replica_copy(
+            block_id, source, target, on_done, attempt, tried, waited,
+        )
+
+    def _abandon_replication(self, block_id: int) -> None:
+        """Give up on this retry chain; requeue for the next check."""
+        self.replications_requeued += 1
+        if _REG.enabled:
+            _REPL_REQUEUED.inc()
+        _LOG.warning("replication of block %d abandoned; requeued", block_id)
+        if block_id in self.blockmap:
+            self._enqueue_replication(block_id)
+        self._end_replication()
+
+    def _end_replication(self) -> None:
+        """A replication chain finished; free its throttle slot."""
+        self._repl_inflight = max(0, self._repl_inflight - 1)
+        self._drain_replication_queue()
+
+    def _defer(self, delay: float, fn: Callable[[], None]) -> None:
+        """Run ``fn`` after ``delay`` sim-seconds (immediately untimed)."""
+        if self.sim is None:
+            fn()
+        else:
+            self.sim.schedule(delay, fn)
 
     def _pick_replication_target(
         self, block_id: int, meta: BlockMeta, live: Set[int]
@@ -586,6 +828,12 @@ class Namenode:
         The block is first copied to ``dst``; only after the copy lands is
         the ``src`` replica deleted, so availability never dips.  Rack
         spread is validated before starting.
+
+        When the copy fails mid-flight (or ``dst`` dies or fills up
+        before the bytes land), the migration *rolls back*: the source
+        replica was never touched, the partial copy is discarded, and —
+        while :attr:`retry_policy` admits it — the move is *re-targeted*
+        at the best alternate destination after a backoff.
         """
         meta = self.blockmap.meta(block_id)
         locations = self.blockmap.locations(block_id)
@@ -595,22 +843,77 @@ class Namenode:
             return False
         if (block_id, dst) in self._inflight:
             return False
+        if not self._spread_ok_after_move(block_id, meta, src, dst):
+            return False
+        self._start_migration(
+            block_id, src, dst, on_done,
+            attempt=1, failed_dsts=set(), waited=0.0,
+        )
+        return True
+
+    def _spread_ok_after_move(
+        self, block_id: int, meta: BlockMeta, src: int, dst: int
+    ) -> bool:
+        """Whether moving ``src`` -> ``dst`` keeps the rack spread."""
+        locations = self.blockmap.locations(block_id)
         racks_after = {
             self.topology.rack_of[n] for n in locations if n != src
         }
         racks_after.add(self.topology.rack_of[dst])
-        if len(racks_after) < meta.rack_spread:
-            return False
+        return len(racks_after) >= meta.rack_spread
+
+    def _start_migration(
+        self, block_id: int, src: int, dst: int,
+        on_done: Optional[Callable[[], None]],
+        attempt: int, failed_dsts: Set[int], waited: float,
+    ) -> None:
+        """Issue one migration copy attempt with rollback/retarget wiring."""
+        meta = self.blockmap.meta(block_id)
         self._inflight.add((block_id, dst))
+
+        def handle_failure() -> None:
+            # Make-before-break means rollback is free: the source
+            # replica was never removed; only the copy is discarded.
+            failed_dsts.add(dst)
+            self.migration_rollbacks += 1
+            if _REG.enabled:
+                _MIGRATION_ROLLBACKS.inc()
+            _LOG.warning(
+                "migration of block %d from %d to %d failed (attempt %d); "
+                "rolled back",
+                block_id, src, dst, attempt,
+            )
+            if (block_id not in self.blockmap
+                    or not self.retry_policy.admits(attempt, waited)):
+                return
+            delay = self.retry_policy.delay(attempt, self._rng)
+            self.transfer_retries += 1
+            if _REG.enabled:
+                _TRANSFER_RETRIES.inc()
+            self._defer(delay, lambda: self._retry_migration(
+                block_id, src, on_done, attempt + 1, failed_dsts,
+                waited + delay,
+            ))
+
+        def failed() -> None:
+            self._inflight.discard((block_id, dst))
+            handle_failure()
 
         def complete() -> None:
             self._inflight.discard((block_id, dst))
+            if block_id not in self.blockmap:
+                return
             dn = self.datanodes[dst]
-            if not dn.alive or dn.holds(block_id) or block_id not in self.blockmap:
+            if dn.holds(block_id):
+                return
+            if not dn.alive:
+                # Destination died while the bytes were in flight.
+                handle_failure()
                 return
             try:
                 self._ensure_space(dst)
             except CapacityExceededError:
+                handle_failure()
                 return
             dn.store(block_id, meta.size)
             self.blockmap.add_location(block_id, dst)
@@ -628,8 +931,42 @@ class Namenode:
         self.transfers.transfer(
             meta.size, src, dst, complete,
             compression_ratio=self.movement_compression,
+            on_failure=failed,
         )
-        return True
+
+    def _retry_migration(
+        self, block_id: int, src: int,
+        on_done: Optional[Callable[[], None]],
+        attempt: int, failed_dsts: Set[int], waited: float,
+    ) -> None:
+        """Re-target a rolled-back migration at an alternate destination."""
+        if (block_id not in self.blockmap
+                or src not in self.blockmap.locations(block_id)
+                or not self.datanodes[src].alive):
+            return  # the move is moot; replication repair owns the block
+        meta = self.blockmap.meta(block_id)
+        inflight_targets = {t for (b, t) in self._inflight if b == block_id}
+        candidates = [
+            node for node in self.live_nodes()
+            if node not in self.blockmap.locations(block_id)
+            and node not in failed_dsts
+            and node not in inflight_targets
+            and self.can_store(node, block_id)
+            and self._spread_ok_after_move(block_id, meta, src, node)
+        ]
+        if not candidates:
+            _LOG.warning(
+                "migration of block %d off %d abandoned: "
+                "no alternate destination", block_id, src,
+            )
+            return
+        dst = min(candidates, key=self.node_load)
+        self.migration_retargets += 1
+        if _REG.enabled:
+            _MIGRATION_RETARGETS.inc()
+        self._start_migration(
+            block_id, src, dst, on_done, attempt, failed_dsts, waited,
+        )
 
     def decommission_node(self, node: int) -> int:
         """Gracefully drain ``node``: migrate all its replicas elsewhere.
@@ -688,40 +1025,125 @@ class Namenode:
         self._decommissioning.discard(node)
 
     def check_replication(self) -> int:
-        """Re-replicate all under-replicated / under-spread blocks.
+        """Queue and start repair for under-replicated / -spread blocks.
 
-        Returns the number of replication transfers started.  Called
-        after failures and periodically by the heartbeat service.
+        Blocks are pushed onto a priority queue keyed by live replica
+        count (most-under-replicated first — the blocks closest to data
+        loss recover first) and the queue is drained up to
+        :attr:`replication_throttle` concurrent transfers.  Returns the
+        number of replication transfers started.  Called after failures
+        and periodically by the heartbeat service.
         """
         live = self.live_nodes()
-        started = 0
         under_replicated = list(self.blockmap.under_replicated(live))
         for block_id in under_replicated:
-            meta = self.blockmap.meta(block_id)
-            missing = meta.replication_factor - len(
-                self.blockmap.live_locations(block_id, live)
-            )
-            missing -= sum(1 for (b, _t) in self._inflight if b == block_id)
-            for _ in range(max(0, missing)):
-                if self.replicate_block(block_id):
-                    started += 1
+            self._enqueue_replication(block_id)
         under_spread = list(self.blockmap.under_spread(live))
         for block_id in under_spread:
             meta = self.blockmap.meta(block_id)
             if self.blockmap.rack_spread(block_id) >= meta.rack_spread:
                 continue
-            if self.replicate_block(block_id):
-                started += 1
+            self._enqueue_replication(block_id)
+        if under_replicated and self._under_since is None:
+            self._under_since = self.now
+        elif not under_replicated and self._under_since is not None:
+            self._close_recovery_episode()
         if _REG.enabled:
             _UNDER_REPLICATED.set(len(under_replicated))
             _UNDER_SPREAD.set(len(under_spread))
+        started = self._drain_replication_queue()
         if started:
             _LOG.info(
                 "replication check started=%d under_replicated=%d "
-                "under_spread=%d",
+                "under_spread=%d queued=%d",
                 started, len(under_replicated), len(under_spread),
+                len(self._queued),
             )
         return started
+
+    def _enqueue_replication(self, block_id: int) -> None:
+        """Queue a block for repair, keyed by how exposed it is."""
+        if block_id in self._queued or block_id not in self.blockmap:
+            return
+        live_count = len(
+            self.blockmap.live_locations(block_id, self.live_nodes())
+        )
+        self._queue_seq += 1
+        heapq.heappush(
+            self._repl_queue, (live_count, self._queue_seq, block_id)
+        )
+        self._queued.add(block_id)
+
+    def _throttled(self) -> bool:
+        """Whether the re-replication concurrency budget is spent."""
+        return (
+            self.replication_throttle is not None
+            and self._repl_inflight >= self.replication_throttle
+        )
+
+    def _replication_deficit(self, block_id: int, live: Set[int]) -> int:
+        """Copies still needed, counting in-flight transfers as made."""
+        meta = self.blockmap.meta(block_id)
+        live_count = len(self.blockmap.live_locations(block_id, live))
+        inflight = sum(1 for (b, _t) in self._inflight if b == block_id)
+        inflight += self._retry_pending.get(block_id, 0)
+        missing = meta.replication_factor - live_count - inflight
+        if (missing <= 0 and inflight == 0
+                and self.blockmap.rack_spread(block_id) < meta.rack_spread):
+            missing = 1
+        return max(0, missing)
+
+    def _drain_replication_queue(self) -> int:
+        """Start queued repairs while the throttle has headroom."""
+        if self._draining:
+            return 0  # re-entrant call (a sync transfer completed)
+        self._draining = True
+        started = 0
+        seen: Set[int] = set()
+        try:
+            while self._repl_queue and not self._throttled():
+                _, _, block_id = heapq.heappop(self._repl_queue)
+                self._queued.discard(block_id)
+                if block_id in seen or block_id not in self.blockmap:
+                    continue
+                seen.add(block_id)
+                missing = self._replication_deficit(
+                    block_id, self.live_nodes()
+                )
+                for _ in range(missing):
+                    if self._throttled():
+                        break
+                    if not self.replicate_block(block_id):
+                        break
+                    started += 1
+                if (self._throttled()
+                        and block_id in self.blockmap
+                        and self._replication_deficit(
+                            block_id, self.live_nodes()) > 0):
+                    self._enqueue_replication(block_id)
+        finally:
+            self._draining = False
+        if _REG.enabled:
+            _REPL_QUEUE_DEPTH.set(len(self._queued))
+        return started
+
+    def _note_recovery_progress(self) -> None:
+        """Close the under-replication episode once repair is done."""
+        if self._under_since is None:
+            return
+        for _ in self.blockmap.under_replicated(self.live_nodes()):
+            return  # still exposed
+        self._close_recovery_episode()
+
+    def _close_recovery_episode(self) -> None:
+        if self._under_since is None:
+            return
+        elapsed = self.now - self._under_since
+        self._under_since = None
+        self.recovery_times.append(elapsed)
+        if _REG.enabled:
+            _RECOVERY_SECONDS.observe(elapsed)
+        _LOG.info("cluster fully replicated again after %.1fs", elapsed)
 
     def audit(self) -> None:
         """Cross-check every piece of namenode state; raise on drift.

@@ -6,6 +6,7 @@ and crosses the rack fabric when the endpoints sit in different racks.
 
     size / (nic_bandwidth / (1 + concurrent transfers on the busier end))
         * cross_rack_penalty (if racks differ)
+        * max endpoint slowdown (gray failures serve slowly)
         / compression_ratio
         * jitter
 
@@ -14,6 +15,12 @@ experiments) or schedules the completion as a simulation event.  Durations
 feed the "block movement time" CDF of Figure 6(c), and the compression
 knob reproduces the paper's observation that compression can cut movement
 traffic dramatically (they cite 27x for Scarlett's workload).
+
+Transfers can also *fail mid-flight*: an installed ``fault_hook`` (see
+:class:`repro.faults.injector.FlakyTransferProfile`) or a dead endpoint
+turns a transfer into a failure that burns part of its modelled duration
+and then fires ``on_failure`` instead of ``on_complete`` — the caller
+(namenode) owns retry-on-alternate-source.
 """
 
 from __future__ import annotations
@@ -23,12 +30,23 @@ from typing import Callable, Dict, Optional
 
 from repro.cluster.topology import ClusterTopology
 from repro.errors import DfsError
+from repro.obs.registry import get_registry
 from repro.simulation.engine import Simulation
 from repro.simulation.metrics import Distribution
 
 __all__ = ["TransferService", "GIGABIT_PER_SECOND"]
 
 GIGABIT_PER_SECOND = 125_000_000  # bytes/s on a 1 Gb NIC
+
+_REG = get_registry()
+_TRANSFER_FAILURES = _REG.counter(
+    "repro_dfs_transfer_failures_total",
+    "Block transfers that aborted mid-flight",
+)
+_WASTED_BYTES = _REG.counter(
+    "repro_dfs_transfer_wasted_bytes_total",
+    "Bytes burned by transfers that failed before completing",
+)
 
 
 class TransferService:
@@ -63,6 +81,17 @@ class TransferService:
         self.durations = Distribution()
         self.bytes_transferred = 0
         self.transfers_started = 0
+        self.transfers_failed = 0
+        self.bytes_wasted = 0
+        # fn(size, src, dst) -> None for a clean transfer, or the
+        # fraction of the modelled duration after which it aborts.
+        # Installed by FlakyTransferProfile; None disables fault checks.
+        self.fault_hook: Optional[
+            Callable[[int, int, int], Optional[float]]
+        ] = None
+        # fn(node) -> service-rate slowdown (1.0 = healthy); installed
+        # by the namenode so gray datanodes stretch transfer times.
+        self.node_slowdown: Optional[Callable[[int], float]] = None
 
     def active_transfers(self, node: int) -> int:
         """Transfers currently in flight touching ``node``."""
@@ -90,6 +119,10 @@ class TransferService:
         duration = size / bandwidth
         if not self.topology.same_rack(src, dst):
             duration *= self.cross_rack_penalty
+        if self.node_slowdown is not None:
+            duration *= max(
+                1.0, self.node_slowdown(src), self.node_slowdown(dst)
+            )
         duration /= ratio
         if self.jitter:
             duration *= 1.0 + self._rng.uniform(-self.jitter, self.jitter)
@@ -102,27 +135,40 @@ class TransferService:
         dst: int,
         on_complete: Callable[[], None],
         compression_ratio: Optional[float] = None,
+        on_failure: Optional[Callable[[], None]] = None,
     ) -> float:
         """Start a transfer; ``on_complete`` fires when the bytes land.
 
-        Returns the modelled duration.  Without a simulator the callback
-        runs synchronously (placement-only mode); with one, it is
-        scheduled ``duration`` seconds in the simulated future and NIC
-        contention counters stay raised until then.
+        Returns the modelled duration.  Without a simulator the callbacks
+        run synchronously (placement-only mode); with one, they are
+        scheduled in the simulated future and NIC contention counters
+        stay raised until then.
+
+        When the ``fault_hook`` decides this transfer fails mid-flight,
+        only a fraction of the duration elapses, the bytes are counted
+        as wasted rather than transferred, and ``on_failure`` (when
+        given) fires instead of ``on_complete``.
         """
         if src == dst:
             raise DfsError("transfer endpoints must differ")
         duration = self.estimate_duration(
             size, src, dst, compression_ratio=compression_ratio
         )
+        self.transfers_started += 1
+        fraction = (
+            self.fault_hook(size, src, dst)
+            if self.fault_hook is not None else None
+        )
+        if fraction is not None:
+            if not 0 < fraction <= 1:
+                raise DfsError("fault fraction must be in (0, 1]")
+            return self._fail(size, src, dst, duration, fraction, on_failure)
         self.durations.record(duration)
         self.bytes_transferred += size
-        self.transfers_started += 1
         if self.sim is None:
             on_complete()
             return duration
-        self._active[src] = self._active.get(src, 0) + 1
-        self._active[dst] = self._active.get(dst, 0) + 1
+        self._hold(src, dst)
 
         def finish() -> None:
             self._release(src)
@@ -131,6 +177,42 @@ class TransferService:
 
         self.sim.schedule(duration, finish)
         return duration
+
+    def _fail(
+        self,
+        size: int,
+        src: int,
+        dst: int,
+        duration: float,
+        fraction: float,
+        on_failure: Optional[Callable[[], None]],
+    ) -> float:
+        """Abort a transfer after ``fraction`` of its duration is wasted."""
+        elapsed = duration * fraction
+        wasted = int(size * fraction)
+        self.transfers_failed += 1
+        self.bytes_wasted += wasted
+        if _REG.enabled:
+            _TRANSFER_FAILURES.inc()
+            _WASTED_BYTES.inc(wasted)
+        if self.sim is None:
+            if on_failure is not None:
+                on_failure()
+            return elapsed
+        self._hold(src, dst)
+
+        def abort() -> None:
+            self._release(src)
+            self._release(dst)
+            if on_failure is not None:
+                on_failure()
+
+        self.sim.schedule(elapsed, abort)
+        return elapsed
+
+    def _hold(self, src: int, dst: int) -> None:
+        self._active[src] = self._active.get(src, 0) + 1
+        self._active[dst] = self._active.get(dst, 0) + 1
 
     def _release(self, node: int) -> None:
         remaining = self._active.get(node, 0) - 1

@@ -27,6 +27,9 @@ __all__ = [
     "SchedulerError",
     "TraceFormatError",
     "MetricsError",
+    "FaultConfigError",
+    "RetryExhaustedError",
+    "TransferFailedError",
 ]
 
 
@@ -104,3 +107,15 @@ class TraceFormatError(ReproError):
 
 class MetricsError(ReproError):
     """Misuse of the observability layer (labels, names, buckets)."""
+
+
+class FaultConfigError(ReproError):
+    """A fault profile or retry policy is misconfigured."""
+
+
+class RetryExhaustedError(ReproError):
+    """An operation failed on every attempt a retry policy allowed."""
+
+
+class TransferFailedError(DfsError):
+    """A block transfer aborted mid-flight (injected or modelled fault)."""

@@ -1,0 +1,301 @@
+"""Chaos experiment: fault injection against the full resilience stack.
+
+Runs a seeded storm of crashes, rack partitions, gray nodes, flaky
+transfers and heartbeat message loss (any subset of
+:mod:`repro.faults` profiles) against a cluster serving a steady read
+workload, and reports what the paper's reliability story cares about:
+
+* **read availability** — the fraction of client reads served while
+  nodes die and metadata goes stale (the client's replica failover is
+  what keeps this high through the heartbeat detection window);
+* **time to full replication** — how long each under-replication
+  episode lasted from first exposure until the prioritized
+  re-replication queue repaired every block, as a function of the
+  re-replication throttle;
+* **durability** — blocks permanently lost (none, for any survivable
+  schedule: crashed disks come back and re-report);
+* the retry/rollback/failover counters the fault machinery emits.
+
+The run is deterministic for a given config; the final state is
+cross-checked with :meth:`~repro.dfs.namenode.Namenode.audit` so a
+failed migration can never leave placement metadata and block map in
+disagreement.
+"""
+
+from __future__ import annotations
+
+import logging
+import random
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster.topology import ClusterTopology
+from repro.dfs.client import DfsClient
+from repro.dfs.heartbeat import HeartbeatService
+from repro.dfs.namenode import Namenode
+from repro.dfs.policies import DefaultHdfsPolicy
+from repro.dfs.replication import TransferService
+from repro.errors import DatanodeUnavailableError, InvalidProblemError
+from repro.faults import FaultInjector, FaultProfile, profile_from_name
+from repro.simulation.engine import Simulation
+
+__all__ = ["ChaosConfig", "ChaosResult", "run_chaos", "render_chaos"]
+
+_LOG = logging.getLogger(__name__)
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """One chaos run: cluster shape, workload rate and fault profiles."""
+
+    num_racks: int = 4
+    machines_per_rack: int = 4
+    capacity_blocks: int = 120
+    num_files: int = 12
+    blocks_per_file: int = 4
+    block_size: int = 64 * 1024 * 1024
+    replication: int = 3
+    rack_spread: int = 2
+    horizon: float = 2 * 3600.0
+    heartbeat_interval: float = 3.0
+    heartbeat_expiry: float = 30.0
+    read_interval: float = 20.0
+    reads_per_tick: int = 4
+    replication_check_interval: float = 60.0
+    replication_throttle: Optional[int] = 8
+    profiles: Tuple[str, ...] = ("crash", "partition", "flaky")
+    crash_mtbf: float = 1800.0
+    crash_repair: float = 300.0
+    partition_mtbf: float = 5400.0
+    partition_duration: float = 120.0
+    gray_mtbf: float = 3600.0
+    gray_duration: float = 600.0
+    flaky_probability: float = 0.15
+    msgloss_probability: float = 0.4
+    drain: float = 1800.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.horizon <= 0:
+            raise InvalidProblemError("horizon must be positive")
+        if self.read_interval <= 0:
+            raise InvalidProblemError("read_interval must be positive")
+        if not 1 <= self.rack_spread <= self.replication:
+            raise InvalidProblemError("rack_spread must be in [1, replication]")
+
+    def build_profiles(self) -> List[FaultProfile]:
+        """Materialize the named profiles with this config's knobs."""
+        overrides: Dict[str, Dict[str, object]] = {
+            "crash": {"mtbf": self.crash_mtbf,
+                      "repair_time": self.crash_repair},
+            "partition": {"mtbf": self.partition_mtbf,
+                          "duration": self.partition_duration},
+            "gray": {"mtbf": self.gray_mtbf, "duration": self.gray_duration},
+            "flaky": {"failure_probability": self.flaky_probability},
+            "msgloss": {"loss_probability": self.msgloss_probability},
+        }
+        return [
+            profile_from_name(name, **overrides.get(name, {}))
+            for name in self.profiles
+        ]
+
+
+@dataclass
+class ChaosResult:
+    """What a chaos run observed."""
+
+    config: ChaosConfig
+    total_blocks: int = 0
+    blocks_lost: int = 0
+    faults_injected: Dict[str, int] = field(default_factory=dict)
+    reads_attempted: int = 0
+    reads_served: int = 0
+    reads_failed: int = 0
+    read_failovers: int = 0
+    degraded_reads: int = 0
+    transfers_failed: int = 0
+    transfer_retries: int = 0
+    replications_completed: int = 0
+    replications_requeued: int = 0
+    migration_rollbacks: int = 0
+    migration_retargets: int = 0
+    detected_failures: int = 0
+    false_suspicions: int = 0
+    reconciliations: int = 0
+    recovery_times: List[float] = field(default_factory=list)
+    bytes_wasted: int = 0
+
+    @property
+    def read_availability(self) -> float:
+        """Fraction of attempted reads that some replica served."""
+        if self.reads_attempted == 0:
+            return 1.0
+        return self.reads_served / self.reads_attempted
+
+    @property
+    def mean_recovery_seconds(self) -> float:
+        """Mean time-to-full-replication across episodes (0 if none)."""
+        if not self.recovery_times:
+            return 0.0
+        return statistics.fmean(self.recovery_times)
+
+    @property
+    def max_recovery_seconds(self) -> float:
+        """Worst-case time-to-full-replication (0 if never exposed)."""
+        return max(self.recovery_times, default=0.0)
+
+
+def run_chaos(config: ChaosConfig) -> ChaosResult:
+    """Run one seeded chaos schedule and collect the result.
+
+    Deterministic for a given config.  After the horizon the fault
+    hooks are disarmed and the simulation drains until every outage has
+    healed and repair work settles; the namenode's :meth:`audit` then
+    asserts the metadata reconciled.
+    """
+    sim = Simulation()
+    topology = ClusterTopology.uniform(
+        config.num_racks, config.machines_per_rack, config.capacity_blocks
+    )
+    transfers = TransferService(
+        topology, sim=sim, rng=random.Random(config.seed + 1)
+    )
+    namenode = Namenode(
+        topology,
+        placement_policy=DefaultHdfsPolicy(random.Random(config.seed + 2)),
+        sim=sim,
+        transfer_service=transfers,
+        default_replication=config.replication,
+        default_rack_spread=config.rack_spread,
+        rng=random.Random(config.seed + 3),
+        replication_throttle=config.replication_throttle,
+    )
+    heartbeats = HeartbeatService(
+        sim, namenode,
+        interval=config.heartbeat_interval,
+        expiry=config.heartbeat_expiry,
+    )
+    heartbeats.start()
+    client = DfsClient(namenode)
+
+    blocks: List[int] = []
+    for index in range(config.num_files):
+        meta = client.write_file(
+            f"/chaos/{index}",
+            num_blocks=config.blocks_per_file,
+            block_size=config.block_size,
+        )
+        blocks.extend(meta.block_ids)
+
+    injector = FaultInjector(
+        sim, namenode, config.build_profiles(),
+        horizon=config.horizon, seed=config.seed, heartbeats=heartbeats,
+    )
+    injector.install()
+
+    result = ChaosResult(config=config, total_blocks=len(blocks))
+    reader_rng = random.Random(config.seed + 4)
+
+    def read_tick() -> None:
+        for _ in range(config.reads_per_tick):
+            block = reader_rng.choice(blocks)
+            reader = reader_rng.randrange(topology.num_machines)
+            result.reads_attempted += 1
+            try:
+                outcome = client.read_block(block, reader)
+            except DatanodeUnavailableError:
+                result.reads_failed += 1
+            else:
+                result.reads_served += 1
+                if outcome.failed_over:
+                    result.read_failovers += 1
+
+    reader_token = sim.schedule_periodic(config.read_interval, read_tick)
+    check_token = sim.schedule_periodic(
+        config.replication_check_interval, namenode.check_replication
+    )
+
+    sim.run(until=config.horizon)
+    reader_token.cancel()
+    # Disarm the probabilistic hooks so the drain can actually finish
+    # its repairs; timed recoveries are already scheduled.
+    transfers.fault_hook = None
+    heartbeats.loss_filter = None
+    drain_until = config.horizon + config.drain
+    last_recovery = max(
+        (event.time for event in injector.plan() if event.is_recovery),
+        default=0.0,
+    )
+    drain_until = max(drain_until, last_recovery + config.drain)
+    sim.run(until=drain_until)
+    check_token.cancel()
+    heartbeats.stop()
+
+    namenode.audit()  # placement metadata must reconcile after the storm
+
+    result.blocks_lost = sum(
+        1 for block in blocks if not namenode.blockmap.locations(block)
+    )
+    result.faults_injected = dict(injector.injected)
+    result.transfers_failed = transfers.transfers_failed
+    result.bytes_wasted = transfers.bytes_wasted
+    result.transfer_retries = namenode.transfer_retries
+    result.replications_completed = namenode.replications_completed
+    result.replications_requeued = namenode.replications_requeued
+    result.migration_rollbacks = namenode.migration_rollbacks
+    result.migration_retargets = namenode.migration_retargets
+    result.degraded_reads = namenode.degraded_reads
+    result.detected_failures = heartbeats.detected_failures
+    result.false_suspicions = heartbeats.false_suspicions
+    result.reconciliations = heartbeats.reconciliations
+    result.recovery_times = list(namenode.recovery_times)
+    _LOG.info(
+        "chaos run done: availability=%.4f lost=%d episodes=%d "
+        "retries=%d rollbacks=%d",
+        result.read_availability, result.blocks_lost,
+        len(result.recovery_times), result.transfer_retries,
+        result.migration_rollbacks,
+    )
+    return result
+
+
+def render_chaos(result: ChaosResult) -> str:
+    """The chaos run as a readable report."""
+    config = result.config
+    lines = [
+        "chaos run "
+        f"(seed={config.seed}, horizon={config.horizon / 3600.0:.1f}h, "
+        f"profiles={', '.join(config.profiles)}, "
+        f"throttle={config.replication_throttle})",
+        "",
+        f"  blocks tracked            {result.total_blocks}",
+        f"  blocks permanently lost   {result.blocks_lost}",
+        "",
+        f"  reads attempted           {result.reads_attempted}",
+        f"  read availability         {result.read_availability:.4f}",
+        f"  reads that failed over    {result.read_failovers}",
+        f"  reads from gray nodes     {result.degraded_reads}",
+        "",
+        f"  faults injected           "
+        + (", ".join(
+            f"{kind}={count}"
+            for kind, count in sorted(result.faults_injected.items())
+        ) or "none"),
+        f"  failures detected         {result.detected_failures}",
+        f"  false suspicions          {result.false_suspicions}",
+        f"  block-report reconciles   {result.reconciliations}",
+        "",
+        f"  transfers failed          {result.transfers_failed}",
+        f"  transfer retries          {result.transfer_retries}",
+        f"  bytes wasted              {result.bytes_wasted}",
+        f"  replications completed    {result.replications_completed}",
+        f"  replications requeued     {result.replications_requeued}",
+        f"  migration rollbacks       {result.migration_rollbacks}",
+        f"  migration retargets       {result.migration_retargets}",
+        "",
+        f"  under-replication episodes {len(result.recovery_times)}",
+        f"  mean time to full repl.   {result.mean_recovery_seconds:.1f}s",
+        f"  max time to full repl.    {result.max_recovery_seconds:.1f}s",
+    ]
+    return "\n".join(lines)

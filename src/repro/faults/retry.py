@@ -1,0 +1,118 @@
+"""Retry policy: exponential backoff with jitter, deadline and attempt cap.
+
+One policy object describes *when to give up* and *how long to wait*;
+the callers own the actual retry loops (the DFS client retries reads
+across replicas, the namenode retries transfers on alternate sources)
+because each loop changes its target between attempts.  The policy is
+immutable and all randomness comes from an injected
+:class:`random.Random`, so retry timings are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional, Tuple, Type, TypeVar
+
+from repro.errors import FaultConfigError, RetryExhaustedError
+
+__all__ = ["RetryPolicy", "call_with_retries"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff.
+
+    ``max_attempts`` counts the first try: a policy with
+    ``max_attempts=1`` never retries.  ``deadline`` (seconds of
+    cumulative backoff, simulated or wall-clock — the caller decides)
+    caps total waiting independently of the attempt count; ``None``
+    disables it.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 1.0
+    multiplier: float = 2.0
+    max_delay: float = 60.0
+    jitter: float = 0.1
+    deadline: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise FaultConfigError("max_attempts must be >= 1")
+        if self.base_delay < 0:
+            raise FaultConfigError("base_delay must be non-negative")
+        if self.multiplier < 1.0:
+            raise FaultConfigError("multiplier must be >= 1")
+        if self.max_delay < self.base_delay:
+            raise FaultConfigError("max_delay must be >= base_delay")
+        if not 0 <= self.jitter < 1:
+            raise FaultConfigError("jitter must be in [0, 1)")
+        if self.deadline is not None and self.deadline <= 0:
+            raise FaultConfigError("deadline must be positive")
+
+    def delay(self, attempt: int, rng: Optional[random.Random] = None) -> float:
+        """Backoff before retry number ``attempt`` (1 = first retry)."""
+        if attempt < 1:
+            raise FaultConfigError("attempt numbers start at 1")
+        raw = min(
+            self.base_delay * self.multiplier ** (attempt - 1), self.max_delay
+        )
+        if self.jitter and rng is not None:
+            raw *= 1.0 + rng.uniform(-self.jitter, self.jitter)
+        return raw
+
+    def admits(self, attempts_made: int, waited: float = 0.0) -> bool:
+        """Whether another attempt is allowed after ``attempts_made``.
+
+        ``waited`` is the cumulative backoff already spent, checked
+        against the deadline.
+        """
+        if attempts_made >= self.max_attempts:
+            return False
+        if self.deadline is not None and waited >= self.deadline:
+            return False
+        return True
+
+    def delays(self, rng: Optional[random.Random] = None) -> Iterator[float]:
+        """The full backoff sequence this policy allows, deadline-capped."""
+        waited = 0.0
+        for attempt in range(1, self.max_attempts):
+            if self.deadline is not None and waited >= self.deadline:
+                return
+            delay = self.delay(attempt, rng)
+            waited += delay
+            yield delay
+
+
+def call_with_retries(
+    fn: Callable[[], T],
+    policy: RetryPolicy,
+    retry_on: Tuple[Type[BaseException], ...] = (Exception,),
+    rng: Optional[random.Random] = None,
+    sleep: Optional[Callable[[float], None]] = None,
+) -> T:
+    """Call ``fn`` until it succeeds or the policy is exhausted.
+
+    ``sleep`` receives each backoff delay (pass ``sim.advance``-style
+    hooks in simulations, ``time.sleep`` in real code, or ``None`` to
+    retry immediately while still honouring the deadline bookkeeping).
+    Raises :class:`RetryExhaustedError` chaining the last failure.
+    """
+    waited = 0.0
+    attempts = 0
+    while True:
+        try:
+            return fn()
+        except retry_on as exc:
+            attempts += 1
+            if not policy.admits(attempts, waited):
+                raise RetryExhaustedError(
+                    f"gave up after {attempts} attempts ({exc})"
+                ) from exc
+            delay = policy.delay(attempts, rng)
+            waited += delay
+            if sleep is not None:
+                sleep(delay)

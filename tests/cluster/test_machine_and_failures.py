@@ -120,6 +120,87 @@ class TestFailurePlan:
                 repair_time=0.0,
             )
 
+    def test_zero_mtbf_rejected(self):
+        with pytest.raises(InvalidProblemError):
+            generate_failure_plan(
+                self.topo(), horizon=10.0, rng=random.Random(0),
+                machine_mtbf=0.0,
+            )
+        with pytest.raises(InvalidProblemError):
+            generate_failure_plan(
+                self.topo(), horizon=10.0, rng=random.Random(0),
+                rack_mtbf=0.0,
+            )
+
+    def test_same_seed_replay_identical_with_both_classes(self):
+        def make():
+            return generate_failure_plan(
+                self.topo(), horizon=200_000.0, rng=random.Random(8),
+                machine_mtbf=40_000.0, rack_mtbf=90_000.0,
+                repair_time=700.0,
+            )
+
+        plan_a, plan_b = make(), make()
+        assert plan_a == plan_b
+        assert list(plan_a) == list(plan_b)
+
+    def test_recovery_never_precedes_its_failure(self):
+        plan = generate_failure_plan(
+            self.topo(), horizon=500_000.0, rng=random.Random(9),
+            machine_mtbf=30_000.0, rack_mtbf=80_000.0,
+        )
+        last = {}
+        for event in plan:
+            key = (event.kind, event.target)
+            previous = last.get(key)
+            if event.is_recovery:
+                assert previous is not None and not previous.is_recovery
+                assert event.time > previous.time
+            elif previous is not None:
+                # A target only fails again after it recovered.
+                assert previous.is_recovery
+                assert event.time >= previous.time
+            last[key] = event
+
+    def test_overlapping_machine_and_rack_outages_are_independent(self):
+        # A machine failing while its (or any) rack is down is a valid
+        # schedule: the merge-while-down rule applies per (kind, target)
+        # stream, so cross-kind overlaps survive and each outage still
+        # gets its own recovery.
+        repair = 5_000.0
+        horizon = 2_000_000.0
+        plan = generate_failure_plan(
+            self.topo(), horizon=horizon, rng=random.Random(6),
+            machine_mtbf=60_000.0, rack_mtbf=120_000.0, repair_time=repair,
+        )
+        rack_windows = []
+        window_start = {}
+        for event in plan:
+            if event.kind is not FailureKind.RACK:
+                continue
+            if event.is_recovery:
+                rack_windows.append(
+                    (window_start.pop(event.target), event.time)
+                )
+            else:
+                window_start[event.target] = event.time
+        overlapping = [
+            event for event in plan
+            if event.kind is FailureKind.MACHINE and not event.is_recovery
+            and any(lo <= event.time < hi for lo, hi in rack_windows)
+        ]
+        assert overlapping, "seed produced no overlap; pick another"
+        for failure in overlapping:
+            healed = any(
+                e.kind is FailureKind.MACHINE
+                and e.target == failure.target
+                and e.is_recovery
+                and e.time == pytest.approx(failure.time + repair)
+                for e in plan
+            )
+            # Recoveries are dropped only when clamped by the horizon.
+            assert healed or failure.time + repair >= horizon
+
     def test_describe(self):
         plan = generate_failure_plan(
             self.topo(), horizon=200_000.0, rng=random.Random(4),

@@ -1,0 +1,154 @@
+"""Client read failover across dead and stale replicas (namenode belief
+can lag ground truth; the client discovers staleness by trying)."""
+
+import random
+
+import pytest
+
+from repro.cluster.topology import ClusterTopology
+from repro.dfs.client import DfsClient
+from repro.dfs.namenode import Namenode
+from repro.dfs.policies import DefaultHdfsPolicy
+from repro.errors import DatanodeUnavailableError
+from repro.faults import RetryPolicy
+
+BLOCK_SIZE = 8 * 1024 * 1024
+
+
+def build(seed=0, racks=4, per_rack=2, capacity=60, retry_policy=None):
+    topology = ClusterTopology.uniform(racks, per_rack, capacity)
+    namenode = Namenode(
+        topology,
+        placement_policy=DefaultHdfsPolicy(random.Random(seed)),
+        rng=random.Random(seed + 1),
+    )
+    client = DfsClient(namenode, retry_policy=retry_policy)
+    return namenode, client
+
+
+class TestReadFailover:
+    def test_clean_read_has_single_attempt(self):
+        namenode, client = build()
+        meta = client.write_file("/a", 1, block_size=BLOCK_SIZE, writer=0)
+        result = client.read_block(meta.block_ids[0], reader=0)
+        assert result.source == 0
+        assert result.attempts == (0,)
+        assert result.backoff == 0.0
+        assert not result.failed_over
+        assert result.is_local
+        assert client.read_failovers == 0
+
+    def test_failover_past_silently_crashed_first_choice(self):
+        namenode, client = build()
+        meta = client.write_file("/a", 1, block_size=BLOCK_SIZE, writer=0)
+        block = meta.block_ids[0]
+        # The node dies but no heartbeat has expired yet: the namenode
+        # still lists it as a replica holder (stale belief).
+        namenode.datanode(0).crash()
+        assert 0 in namenode.blockmap.locations(block)
+
+        expected = namenode.replica_preference(block, 0)[1]
+        result = client.read_block(block, reader=0)
+        assert result.failed_over
+        assert result.attempts[0] == 0
+        assert result.attempts == (0, expected)
+        assert result.source == expected
+        assert result.backoff == pytest.approx(0.5)  # jitter-free default
+        assert client.read_failovers == 1
+        assert client.read_errors == 0
+
+    def test_failover_past_stale_location(self):
+        # The node is alive but no longer has the bytes the namenode
+        # believes it has.
+        namenode, client = build()
+        meta = client.write_file("/a", 1, block_size=BLOCK_SIZE, writer=0)
+        block = meta.block_ids[0]
+        namenode.datanode(0).erase(block)
+        result = client.read_block(block, reader=0)
+        assert result.failed_over
+        assert result.source != 0
+
+    def test_backoff_accumulates_policy_delays(self):
+        policy = RetryPolicy(max_attempts=4, base_delay=1.0, jitter=0.0)
+        namenode, client = build(retry_policy=policy)
+        meta = client.write_file("/a", 1, block_size=BLOCK_SIZE, writer=0)
+        block = meta.block_ids[0]
+        prefs = namenode.replica_preference(block, 0)
+        for node in prefs[:2]:
+            namenode.datanode(node).crash()
+        result = client.read_block(block, reader=0)
+        assert result.attempts == tuple(prefs[:3])
+        assert result.backoff == pytest.approx(1.0 + 2.0)
+
+    def test_exhausting_every_replica_raises(self):
+        namenode, client = build()
+        meta = client.write_file("/a", 1, block_size=BLOCK_SIZE, writer=0)
+        block = meta.block_ids[0]
+        for node in namenode.blockmap.locations(block):
+            namenode.datanode(node).crash()
+        with pytest.raises(DatanodeUnavailableError) as excinfo:
+            client.read_block(block, reader=0)
+        assert "no replica served" in str(excinfo.value)
+        assert client.read_errors == 1
+        assert client.read_failovers == 3
+
+    def test_retry_policy_bounds_the_walk(self):
+        # max_attempts=1: one failure exhausts the policy even though a
+        # live replica exists further down the preference list.
+        policy = RetryPolicy(max_attempts=1, base_delay=1.0, jitter=0.0)
+        namenode, client = build(retry_policy=policy)
+        meta = client.write_file("/a", 1, block_size=BLOCK_SIZE, writer=0)
+        block = meta.block_ids[0]
+        namenode.datanode(0).crash()
+        with pytest.raises(DatanodeUnavailableError):
+            client.read_block(block, reader=0)
+        assert client.read_failovers == 1
+
+    def test_replay_is_deterministic(self):
+        trails = []
+        for _ in range(2):
+            namenode, client = build(seed=11)
+            meta = client.write_file(
+                "/a", 2, block_size=BLOCK_SIZE, writer=0
+            )
+            namenode.datanode(0).crash()
+            trails.append([
+                client.read_block(b, reader=0).attempts
+                for b in meta.block_ids
+            ])
+        assert trails[0] == trails[1]
+
+
+class TestGrayAwareRouting:
+    def _remote_setup(self):
+        namenode, client = build()
+        meta = client.write_file("/a", 1, block_size=BLOCK_SIZE, writer=0)
+        block = meta.block_ids[0]
+        holders = set(namenode.blockmap.locations(block))
+        holder_racks = {namenode.topology.rack_of[n] for n in holders}
+        empty_racks = [
+            r for r in range(namenode.topology.num_racks)
+            if r not in holder_racks
+        ]
+        assert empty_racks, "need a rack with no replica for this seed"
+        reader = namenode.topology.machines_in_rack(empty_racks[0])[0]
+        return namenode, client, block, reader
+
+    def test_degraded_replica_ranked_last_within_tier(self):
+        namenode, client, block, reader = self._remote_setup()
+        prefs = namenode.replica_preference(block, reader)
+        namenode.datanode(prefs[0]).slowdown = 4.0
+        reranked = namenode.replica_preference(block, reader)
+        assert reranked[-1] == prefs[0]
+        result = client.read_block(block, reader=reader)
+        assert result.source == reranked[0]
+        assert not namenode.datanode(result.source).degraded
+        assert namenode.degraded_reads == 0
+
+    def test_all_gray_still_serves(self):
+        namenode, client, block, reader = self._remote_setup()
+        for node in namenode.blockmap.locations(block):
+            namenode.datanode(node).slowdown = 4.0
+        result = client.read_block(block, reader=reader)
+        assert namenode.datanode(result.source).degraded
+        assert namenode.degraded_reads == 1

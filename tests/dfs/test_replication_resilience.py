@@ -1,0 +1,269 @@
+"""Namenode resilience: retry-on-alternate-source, the prioritized
+throttled re-replication queue, migration rollback/retarget, and the
+heartbeat paths that feed them."""
+
+import random
+
+import pytest
+
+from repro.cluster.topology import ClusterTopology
+from repro.dfs.client import DfsClient
+from repro.dfs.heartbeat import HeartbeatService
+from repro.dfs.namenode import Namenode
+from repro.dfs.policies import DefaultHdfsPolicy
+from repro.dfs.replication import TransferService
+from repro.errors import DfsError
+from repro.faults import RetryPolicy
+from repro.simulation.engine import Simulation
+
+BLOCK_SIZE = 8 * 1024 * 1024
+
+
+def build(seed=0, racks=3, per_rack=3, capacity=60, sim=None,
+          throttle=None, retry_policy=None):
+    topology = ClusterTopology.uniform(racks, per_rack, capacity)
+    transfers = TransferService(topology, sim=sim, rng=random.Random(seed))
+    namenode = Namenode(
+        topology,
+        placement_policy=DefaultHdfsPolicy(random.Random(seed + 1)),
+        sim=sim,
+        transfer_service=transfers,
+        rng=random.Random(seed + 2),
+        retry_policy=retry_policy,
+        replication_throttle=throttle,
+    )
+    return namenode, DfsClient(namenode)
+
+
+class TestRetryOnAlternateSource:
+    def test_failed_copy_retries_from_another_source(self):
+        # Synchronous mode: callbacks run inline, so the whole retry
+        # chain resolves within one call.
+        namenode, client = build(
+            retry_policy=RetryPolicy(max_attempts=3, base_delay=1.0,
+                                     jitter=0.0),
+        )
+        meta = client.write_file("/a", 1, block_size=BLOCK_SIZE)
+        block = meta.block_ids[0]
+        victim = sorted(namenode.blockmap.locations(block))[0]
+        namenode.fail_node(victim, re_replicate=False)
+        bad_source = sorted(namenode.blockmap.locations(block))[0]
+        namenode.transfers.fault_hook = (
+            lambda size, src, dst: 0.5 if src == bad_source else None
+        )
+
+        namenode.check_replication()
+        assert namenode.transfers.transfers_failed == 1
+        assert namenode.transfer_retries == 1
+        assert namenode.replications_completed == 1
+        live = namenode.live_nodes()
+        assert len(namenode.blockmap.live_locations(block, live)) == 3
+        namenode.audit()
+
+    def test_exhausted_retries_requeue_the_block(self):
+        namenode, client = build(
+            retry_policy=RetryPolicy(max_attempts=2, base_delay=1.0,
+                                     jitter=0.0),
+        )
+        meta = client.write_file("/a", 1, block_size=BLOCK_SIZE)
+        block = meta.block_ids[0]
+        victim = sorted(namenode.blockmap.locations(block))[0]
+        namenode.fail_node(victim, re_replicate=False)
+        namenode.transfers.fault_hook = lambda size, src, dst: 0.5
+
+        namenode.check_replication()
+        assert namenode.transfer_retries == 1
+        assert namenode.replications_requeued == 1
+        assert namenode.replications_completed == 0
+
+        # Next check after the fault clears repairs the block.
+        namenode.transfers.fault_hook = None
+        namenode.check_replication()
+        live = namenode.live_nodes()
+        assert len(namenode.blockmap.live_locations(block, live)) == 3
+        namenode.audit()
+
+
+class TestReplicationQueue:
+    def test_throttle_bounds_concurrent_repairs(self):
+        sim = Simulation()
+        namenode, client = build(sim=sim, throttle=2)
+        for index in range(4):
+            client.write_file(f"/f/{index}", 1, block_size=BLOCK_SIZE)
+        sim.run()  # settle the write pipelines
+        for node in namenode.topology.machines_in_rack(0):
+            namenode.fail_node(node, re_replicate=False)
+        live = namenode.live_nodes()
+        deficit = sum(
+            namenode.blockmap.meta(b).replication_factor
+            - len(namenode.blockmap.live_locations(b, live))
+            for b in namenode.blockmap.block_ids()
+        )
+        assert deficit > 2
+
+        started = namenode.check_replication()
+        assert started == 2  # throttle caps the burst
+        sim.run()  # chains finishing drain the queue themselves
+        assert namenode.replications_completed == deficit
+        live = namenode.live_nodes()
+        for block in namenode.blockmap.block_ids():
+            assert len(namenode.blockmap.live_locations(block, live)) == \
+                namenode.blockmap.meta(block).replication_factor
+        namenode.audit()
+
+    def test_most_exposed_block_repairs_first(self):
+        sim = Simulation()
+        namenode, client = build(sim=sim, throttle=1)
+        block_a = client.write_file("/a", 1, block_size=BLOCK_SIZE).block_ids[0]
+        block_b = client.write_file("/b", 1, block_size=BLOCK_SIZE).block_ids[0]
+        sim.run()
+        holders_a = set(namenode.blockmap.locations(block_a))
+        holders_b = set(namenode.blockmap.locations(block_b))
+        only_a = sorted(holders_a - holders_b)
+        only_b = sorted(holders_b - holders_a)
+        assert len(only_a) >= 2 and len(only_b) >= 1, "pick another seed"
+        for node in only_a[:2] + only_b[:1]:
+            namenode.fail_node(node, re_replicate=False)
+
+        order = []
+        original = namenode.replicate_block
+
+        def spy(block_id, *args, **kwargs):
+            order.append(block_id)
+            return original(block_id, *args, **kwargs)
+
+        namenode.replicate_block = spy
+        namenode.check_replication()
+        # Block A is one replica from loss; it must be served first.
+        assert order[0] == block_a
+
+
+class TestMigrationRecovery:
+    def _setup(self, sim, **kwargs):
+        namenode, client = build(sim=sim, **kwargs)
+        meta = client.write_file(
+            "/a", 1, block_size=BLOCK_SIZE, replication=2, rack_spread=1
+        )
+        block = meta.block_ids[0]
+        sim.run()
+        holders = set(namenode.blockmap.locations(block))
+        src = sorted(holders)[0]
+        dst = sorted(namenode.live_nodes() - holders)[0]
+        return namenode, block, src, dst
+
+    def test_failed_migration_rolls_back_and_retargets(self):
+        sim = Simulation()
+        namenode, block, src, dst = self._setup(sim)
+        namenode.transfers.fault_hook = (
+            lambda size, s, d: 0.5 if d == dst else None
+        )
+        assert namenode.move_block(block, src, dst)
+        sim.run()
+        assert namenode.migration_rollbacks == 1
+        assert namenode.migration_retargets == 1
+        assert namenode.transfer_retries == 1
+        assert namenode.moves_completed == 1
+        locations = namenode.blockmap.locations(block)
+        assert src not in locations          # the move eventually landed
+        assert dst not in locations          # but never on the bad target
+        assert len(locations) == 2
+        namenode.audit()
+
+    def test_exhausted_policy_rolls_back_without_retarget(self):
+        sim = Simulation()
+        namenode, block, src, dst = self._setup(
+            sim,
+            retry_policy=RetryPolicy(max_attempts=1, base_delay=1.0,
+                                     jitter=0.0),
+        )
+        before = set(namenode.blockmap.locations(block))
+        namenode.transfers.fault_hook = lambda size, s, d: 0.5
+        assert namenode.move_block(block, src, dst)
+        sim.run()
+        # Make-before-break: the source replica was never touched.
+        assert namenode.migration_rollbacks == 1
+        assert namenode.migration_retargets == 0
+        assert namenode.moves_completed == 0
+        assert set(namenode.blockmap.locations(block)) == before
+        namenode.audit()
+
+    def test_destination_dying_mid_copy_rolls_back(self):
+        sim = Simulation()
+        namenode, block, src, dst = self._setup(sim)
+        assert namenode.move_block(block, src, dst)
+        namenode.datanode(dst).crash()  # dies while the bytes fly
+        sim.run()
+        assert namenode.migration_rollbacks == 1
+        assert namenode.migration_retargets == 1
+        assert namenode.moves_completed == 1
+        locations = namenode.blockmap.locations(block)
+        assert src not in locations
+        assert dst not in locations
+        namenode.audit()
+
+    def test_move_from_non_holder_rejected(self):
+        sim = Simulation()
+        namenode, block, src, dst = self._setup(sim)
+        with pytest.raises(DfsError):
+            namenode.move_block(block, dst, src)
+
+
+class TestHeartbeatResilience:
+    def _cluster(self):
+        sim = Simulation()
+        topology = ClusterTopology.uniform(4, 3, 60)
+        transfers = TransferService(topology, sim=sim, rng=random.Random(1))
+        namenode = Namenode(
+            topology,
+            placement_policy=DefaultHdfsPolicy(random.Random(2)),
+            sim=sim,
+            transfer_service=transfers,
+            rng=random.Random(3),
+        )
+        heartbeats = HeartbeatService(sim, namenode)
+        client = DfsClient(namenode)
+        block = client.write_file("/a", 1, block_size=BLOCK_SIZE).block_ids[0]
+        return sim, namenode, heartbeats, block
+
+    def test_dead_node_without_blocks_is_declared(self):
+        sim, namenode, heartbeats, _ = self._cluster()
+        idle = [dn.node_id for dn in namenode.datanodes if not dn.blocks()]
+        assert idle, "every node holds blocks; enlarge the cluster"
+        victim = idle[0]
+        namenode.datanode(victim).crash()
+        heartbeats.start()
+        sim.run(until=2 * heartbeats.expiry)
+        assert victim in heartbeats.declared_dead()
+        assert heartbeats.detected_failures == 1
+        assert heartbeats.false_suspicions == 0
+        assert victim not in namenode.live_nodes()
+
+    def test_false_suspicion_reconciles_when_beats_resume(self):
+        sim, namenode, heartbeats, block = self._cluster()
+        victim = sorted(namenode.blockmap.locations(block))[0]
+        heartbeats.loss_filter = lambda node: node == victim
+        heartbeats.start()
+        sim.run(until=45.0)
+        assert victim in heartbeats.declared_dead()
+        assert heartbeats.false_suspicions == 1
+        assert namenode.datanode(victim).alive  # it was never down
+        assert victim not in namenode.blockmap.locations(block)
+
+        heartbeats.loss_filter = None
+        sim.run(until=60.0)
+        assert heartbeats.reconciliations == 1
+        assert victim not in heartbeats.declared_dead()
+        assert victim in namenode.blockmap.locations(block)
+        namenode.audit()
+
+    def test_recovery_episode_duration_recorded(self):
+        sim, namenode, heartbeats, block = self._cluster()
+        sim.run()
+        victim = sorted(namenode.blockmap.locations(block))[0]
+        namenode.fail_node(victim)  # opens the under-replication episode
+        assert namenode.recovery_times == []
+        sim.run()
+        assert len(namenode.recovery_times) == 1
+        assert namenode.recovery_times[0] > 0.0
+        live = namenode.live_nodes()
+        assert len(namenode.blockmap.live_locations(block, live)) == 3

@@ -1,0 +1,80 @@
+"""End-to-end chaos runs: the acceptance bar for the resilience stack.
+
+A seeded storm of crashes, partitions and flaky transfers must end with
+zero permanently lost blocks, reconciled metadata (``Namenode.audit``)
+and the retry/failover/recovery metrics emitted through ``repro.obs``.
+"""
+
+import pytest
+
+from repro import obs
+from repro.errors import InvalidProblemError
+from repro.experiments.chaos import ChaosConfig, render_chaos, run_chaos
+
+pytestmark = pytest.mark.chaos
+
+
+def small_config(**overrides):
+    defaults = dict(horizon=1800.0, drain=900.0, seed=0)
+    defaults.update(overrides)
+    return ChaosConfig(**defaults)
+
+
+class TestChaosRun:
+    def test_storm_loses_no_blocks(self):
+        result = run_chaos(small_config())
+        assert result.total_blocks > 0
+        assert result.blocks_lost == 0           # durability held
+        assert result.reads_attempted > 0
+        assert result.read_availability >= 0.95  # failover kept reads up
+        assert sum(result.faults_injected.values()) > 0
+        # run_chaos audited the namenode before returning, so every
+        # surviving migration/replication reconciled with the block map.
+
+    def test_report_renders(self):
+        result = run_chaos(small_config(horizon=900.0, drain=600.0))
+        report = render_chaos(result)
+        assert "blocks permanently lost   0" in report
+        assert "read availability" in report
+
+    def test_same_seed_same_storm(self):
+        config = small_config(horizon=900.0, drain=600.0, seed=7)
+        first = run_chaos(config)
+        second = run_chaos(config)
+        assert first.faults_injected == second.faults_injected
+        assert first.reads_served == second.reads_served
+        assert first.read_failovers == second.read_failovers
+        assert first.recovery_times == second.recovery_times
+        assert first.transfers_failed == second.transfers_failed
+
+    def test_config_validation(self):
+        with pytest.raises(InvalidProblemError):
+            ChaosConfig(horizon=0.0)
+        with pytest.raises(InvalidProblemError):
+            ChaosConfig(rack_spread=5, replication=3)
+
+
+class TestChaosMetrics:
+    def test_resilience_metrics_emitted(self):
+        registry = obs.get_registry()
+        registry.reset()
+        registry.enable()
+        try:
+            result = run_chaos(small_config(seed=1))
+            snapshot = registry.snapshot()
+        finally:
+            registry.reset()
+            registry.disable()
+        assert result.blocks_lost == 0
+        injected = snapshot["repro_faults_injected_total"]["series"]
+        assert sum(injected.values()) > 0
+        for name in (
+            "repro_dfs_read_failovers_total",
+            "repro_dfs_transfer_failures_total",
+            "repro_dfs_transfer_retries_total",
+            "repro_dfs_heartbeat_detected_failures_total",
+        ):
+            series = snapshot[name]["series"]
+            assert sum(series.values()) > 0, name
+        recovery = snapshot["repro_dfs_recovery_seconds"]["series"]
+        assert recovery[""]["count"] > 0, "no recovery episodes observed"

@@ -1,0 +1,311 @@
+"""Unit tests for the seeded fault injector and its profiles."""
+
+import random
+
+import pytest
+
+from repro.cluster.topology import ClusterTopology
+from repro.dfs.client import DfsClient
+from repro.dfs.heartbeat import HeartbeatService
+from repro.dfs.namenode import Namenode
+from repro.dfs.policies import DefaultHdfsPolicy
+from repro.dfs.replication import TransferService
+from repro.errors import FaultConfigError
+from repro.faults import (
+    CrashProfile,
+    FaultEvent,
+    FaultInjector,
+    FlakyTransferProfile,
+    GrayNodeProfile,
+    MessageLossProfile,
+    PartitionProfile,
+    profile_from_name,
+)
+from repro.simulation.engine import Simulation
+
+BLOCK_SIZE = 8 * 1024 * 1024
+
+
+def build_cluster(seed=0, racks=3, per_rack=3, capacity=60, files=3):
+    sim = Simulation()
+    topology = ClusterTopology.uniform(racks, per_rack, capacity)
+    transfers = TransferService(topology, sim=sim, rng=random.Random(seed + 1))
+    namenode = Namenode(
+        topology,
+        placement_policy=DefaultHdfsPolicy(random.Random(seed + 2)),
+        sim=sim,
+        transfer_service=transfers,
+        rng=random.Random(seed + 3),
+    )
+    heartbeats = HeartbeatService(sim, namenode)
+    client = DfsClient(namenode)
+    blocks = []
+    for index in range(files):
+        meta = client.write_file(
+            f"/data/{index}", num_blocks=2, block_size=BLOCK_SIZE
+        )
+        blocks.extend(meta.block_ids)
+    return sim, namenode, heartbeats, client, blocks
+
+
+class TestProfileValidation:
+    @pytest.mark.parametrize("bad", [
+        lambda: CrashProfile(mtbf=0.0),
+        lambda: CrashProfile(mtbf=-100.0),
+        lambda: CrashProfile(repair_time=0.0),
+        lambda: GrayNodeProfile(mtbf=0.0),
+        lambda: GrayNodeProfile(duration=0.0),
+        lambda: GrayNodeProfile(slowdown=1.0),
+        lambda: GrayNodeProfile(slowdown=0.5),
+        lambda: PartitionProfile(mtbf=0.0),
+        lambda: PartitionProfile(duration=-5.0),
+        lambda: FlakyTransferProfile(failure_probability=0.0),
+        lambda: FlakyTransferProfile(failure_probability=1.5),
+        lambda: FlakyTransferProfile(min_fraction=0.0),
+        lambda: FlakyTransferProfile(min_fraction=0.9, max_fraction=0.1),
+        lambda: MessageLossProfile(loss_probability=0.0),
+        lambda: MessageLossProfile(loss_probability=1.0),
+    ])
+    def test_bad_profiles_rejected(self, bad):
+        with pytest.raises(FaultConfigError):
+            bad()
+
+    def test_profile_from_name(self):
+        profile = profile_from_name("crash", mtbf=123.0)
+        assert isinstance(profile, CrashProfile)
+        assert profile.mtbf == 123.0
+        assert isinstance(profile_from_name("msgloss"), MessageLossProfile)
+
+    def test_unknown_profile_name(self):
+        with pytest.raises(FaultConfigError):
+            profile_from_name("meteor-strike")
+
+    def test_injector_horizon_must_be_positive(self):
+        sim, namenode, _, _, _ = build_cluster()
+        with pytest.raises(FaultConfigError):
+            FaultInjector(sim, namenode, [CrashProfile()], horizon=0.0)
+
+
+class TestPlan:
+    HORIZON = 40_000.0
+
+    def make(self, profiles, seed=0, heartbeats=None):
+        sim, namenode, hb, _, _ = build_cluster(seed=1)
+        return FaultInjector(
+            sim, namenode, profiles, horizon=self.HORIZON, seed=seed,
+            heartbeats=heartbeats or hb,
+        )
+
+    def test_same_seed_same_plan(self):
+        profiles = [CrashProfile(mtbf=4000.0), PartitionProfile(mtbf=9000.0)]
+        plan_a = self.make(profiles, seed=5).plan()
+        plan_b = self.make(profiles, seed=5).plan()
+        assert plan_a == plan_b
+        assert len(plan_a) > 0
+
+    def test_different_seed_different_plan(self):
+        profiles = [CrashProfile(mtbf=4000.0)]
+        assert self.make(profiles, seed=1).plan() != \
+            self.make(profiles, seed=2).plan()
+
+    def test_profiles_have_isolated_streams(self):
+        # Adding a second profile must not perturb the first one's
+        # events: each profile owns an rng derived from (seed, index).
+        crash = CrashProfile(mtbf=4000.0)
+        alone = self.make([crash], seed=3).plan()
+        paired = self.make(
+            [crash, PartitionProfile(mtbf=9000.0)], seed=3
+        ).plan()
+        assert tuple(e for e in paired if e.kind == "crash") == alone
+
+    def test_events_alternate_per_target(self):
+        plan = self.make(
+            [CrashProfile(mtbf=3000.0, repair_time=400.0)], seed=4
+        ).plan()
+        assert plan
+        last = {}
+        for event in plan:
+            key = (event.kind, event.target)
+            previous = last.get(key)
+            if event.is_recovery:
+                # Recovery only ever follows the failure it heals.
+                assert previous is not None and not previous.is_recovery
+                assert event.time == pytest.approx(previous.time + 400.0)
+            else:
+                assert previous is None or previous.is_recovery
+            last[key] = event
+        assert all(e.time for e in plan if not e.is_recovery)
+
+    def test_hook_profiles_schedule_nothing(self):
+        injector = self.make(
+            [FlakyTransferProfile(), MessageLossProfile()], seed=6
+        )
+        assert injector.plan() == ()
+
+
+class TestInstall:
+    def test_install_arms_failures_once(self):
+        sim, namenode, hb, _, _ = build_cluster()
+        injector = FaultInjector(
+            sim, namenode, [CrashProfile(mtbf=2000.0)],
+            horizon=20_000.0, seed=1, heartbeats=hb,
+        )
+        armed = injector.install()
+        assert armed == sum(1 for e in injector.plan() if not e.is_recovery)
+        with pytest.raises(FaultConfigError):
+            injector.install()
+
+    def test_message_loss_needs_heartbeat_service(self):
+        sim, namenode, _, _, _ = build_cluster()
+        injector = FaultInjector(
+            sim, namenode, [MessageLossProfile()],
+            horizon=1000.0, seed=0, heartbeats=None,
+        )
+        with pytest.raises(FaultConfigError):
+            injector.install()
+
+
+class TestInjectedFaults:
+    """Crafted schedules (via the injector's plan cache) drive the
+    liveness machinery deterministically."""
+
+    def test_crash_is_silent_until_heartbeat_expiry(self):
+        sim, namenode, heartbeats, _, blocks = build_cluster()
+        victim = sorted(namenode.blockmap.locations(blocks[0]))[0]
+        injector = FaultInjector(
+            sim, namenode,
+            [CrashProfile(mtbf=1e9, repair_time=120.0, targets=(victim,))],
+            horizon=1000.0, seed=0, heartbeats=heartbeats,
+        )
+        injector._plan = (
+            FaultEvent(40.0, "crash", victim, False),
+            FaultEvent(160.0, "crash", victim, True),
+        )
+        heartbeats.start()
+        injector.install()
+
+        sim.run(until=45.0)
+        # Ground truth: dead.  Namenode belief: still a replica holder —
+        # exactly the stale window the client failover covers.
+        assert not namenode.datanode(victim).alive
+        assert victim in namenode.blockmap.locations(blocks[0])
+        assert victim not in heartbeats.declared_dead()
+
+        sim.run(until=40.0 + heartbeats.expiry + 2 * heartbeats.interval)
+        assert victim in heartbeats.declared_dead()
+        assert victim not in namenode.blockmap.locations(blocks[0])
+        assert injector.injected == {"crash": 1}
+
+        sim.run(until=400.0)
+        assert namenode.datanode(victim).alive
+        # The recovered disk re-reported: its replica is registered again.
+        assert victim in namenode.blockmap.locations(blocks[0])
+        assert victim not in heartbeats.declared_dead()
+        namenode.audit()
+
+    def test_gray_profile_degrades_then_heals(self):
+        sim, namenode, heartbeats, _, _ = build_cluster()
+        victim = 2
+        injector = FaultInjector(
+            sim, namenode,
+            [GrayNodeProfile(mtbf=1e9, duration=100.0, slowdown=6.0,
+                             targets=(victim,))],
+            horizon=1000.0, seed=0, heartbeats=heartbeats,
+        )
+        injector._plan = (
+            FaultEvent(10.0, "gray", victim, False),
+            FaultEvent(110.0, "gray", victim, True),
+        )
+        heartbeats.start()
+        injector.install()
+
+        sim.run(until=20.0)
+        dn = namenode.datanode(victim)
+        assert dn.alive and dn.degraded
+        assert dn.slowdown == 6.0
+        assert victim in heartbeats.degraded_nodes()
+        # Gray nodes keep beating: never declared dead.
+        sim.run(until=60.0)
+        assert victim not in heartbeats.declared_dead()
+
+        sim.run(until=120.0)
+        assert dn.slowdown == 1.0
+        assert victim not in heartbeats.degraded_nodes()
+
+    def test_partition_downs_the_whole_rack(self):
+        sim, namenode, heartbeats, _, _ = build_cluster()
+        rack = 1
+        rack_nodes = list(namenode.topology.machines_in_rack(rack))
+        injector = FaultInjector(
+            sim, namenode,
+            [PartitionProfile(mtbf=1e9, duration=120.0, racks=(rack,))],
+            horizon=1000.0, seed=0, heartbeats=heartbeats,
+        )
+        injector._plan = (
+            FaultEvent(20.0, "partition", rack, False),
+            FaultEvent(140.0, "partition", rack, True),
+        )
+        injector.install()
+
+        sim.run(until=25.0)
+        assert all(not namenode.datanode(n).alive for n in rack_nodes)
+        sim.run(until=150.0)
+        assert all(namenode.datanode(n).alive for n in rack_nodes)
+
+    def test_overlapping_outages_heal_after_the_last(self):
+        # A machine crash inside a partitioned rack: the crash's own
+        # recovery fires first but must not resurrect the node while the
+        # partition still covers it.
+        sim, namenode, heartbeats, _, _ = build_cluster()
+        rack = 0
+        victim = namenode.topology.machines_in_rack(rack)[0]
+        injector = FaultInjector(
+            sim, namenode,
+            [
+                CrashProfile(mtbf=1e9, repair_time=100.0, targets=(victim,)),
+                PartitionProfile(mtbf=1e9, duration=200.0, racks=(rack,)),
+            ],
+            horizon=1000.0, seed=0, heartbeats=heartbeats,
+        )
+        injector._plan = (
+            FaultEvent(10.0, "crash", victim, False),
+            FaultEvent(50.0, "partition", rack, False),
+            FaultEvent(110.0, "crash", victim, True),
+            FaultEvent(250.0, "partition", rack, True),
+        )
+        injector.install()
+
+        sim.run(until=120.0)  # crash recovery has fired by now
+        assert not namenode.datanode(victim).alive
+        sim.run(until=260.0)  # partition heal releases the node
+        assert namenode.datanode(victim).alive
+
+    def test_flaky_transfers_fail_then_repair_completes(self):
+        sim, namenode, heartbeats, _, blocks = build_cluster()
+        transfers = namenode.transfers
+        injector = FaultInjector(
+            sim, namenode,
+            [FlakyTransferProfile(failure_probability=1.0)],
+            horizon=1000.0, seed=0, heartbeats=heartbeats,
+        )
+        injector.install()
+
+        victim = sorted(namenode.blockmap.locations(blocks[0]))[0]
+        namenode.fail_node(victim)  # triggers re-replication attempts
+        sim.run(until=600.0)
+        assert transfers.transfers_failed >= 3
+        assert transfers.bytes_wasted > 0
+        assert namenode.transfer_retries >= 2
+        assert namenode.replications_requeued >= 1
+        assert injector.injected.get("flaky", 0) >= 3
+
+        # Disarm the hook: the queued repair must now finish.
+        transfers.fault_hook = None
+        namenode.check_replication()
+        sim.run(until=1200.0)
+        live = namenode.live_nodes()
+        factor = namenode.blockmap.meta(blocks[0]).replication_factor
+        assert len(
+            namenode.blockmap.live_locations(blocks[0], live)
+        ) == factor
+        namenode.audit()

@@ -1,0 +1,128 @@
+"""Unit tests for the retry policy and the generic retry loop."""
+
+import random
+
+import pytest
+
+from repro.errors import FaultConfigError, RetryExhaustedError
+from repro.faults import RetryPolicy, call_with_retries
+
+
+class TestRetryPolicyValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"max_attempts": 0},
+        {"max_attempts": -2},
+        {"base_delay": -0.1},
+        {"multiplier": 0.5},
+        {"base_delay": 10.0, "max_delay": 5.0},
+        {"jitter": 1.0},
+        {"jitter": -0.1},
+        {"deadline": 0.0},
+        {"deadline": -3.0},
+    ])
+    def test_bad_config_rejected(self, kwargs):
+        with pytest.raises(FaultConfigError):
+            RetryPolicy(**kwargs)
+
+    def test_defaults_are_valid(self):
+        policy = RetryPolicy()
+        assert policy.max_attempts == 4
+        assert policy.deadline is None
+
+
+class TestBackoffDelays:
+    def test_exponential_growth_capped(self):
+        policy = RetryPolicy(
+            max_attempts=6, base_delay=1.0, multiplier=2.0,
+            max_delay=8.0, jitter=0.0,
+        )
+        delays = [policy.delay(attempt) for attempt in range(1, 6)]
+        assert delays == [1.0, 2.0, 4.0, 8.0, 8.0]
+
+    def test_attempt_numbers_start_at_one(self):
+        with pytest.raises(FaultConfigError):
+            RetryPolicy().delay(0)
+
+    def test_no_rng_means_no_jitter(self):
+        policy = RetryPolicy(base_delay=2.0, jitter=0.5)
+        assert policy.delay(1) == 2.0
+        assert policy.delay(1) == 2.0
+
+    def test_jitter_bounded_and_seeded(self):
+        policy = RetryPolicy(base_delay=4.0, multiplier=1.0, jitter=0.25,
+                             max_delay=4.0)
+        jittered = [
+            policy.delay(1, random.Random(seed)) for seed in range(50)
+        ]
+        assert all(3.0 <= delay <= 5.0 for delay in jittered)
+        # Same seed -> identical timing; different seeds actually vary.
+        assert policy.delay(1, random.Random(7)) == \
+            policy.delay(1, random.Random(7))
+        assert len(set(jittered)) > 1
+
+    def test_delays_iterator_matches_delay(self):
+        policy = RetryPolicy(max_attempts=4, base_delay=1.0, jitter=0.0)
+        assert list(policy.delays()) == [1.0, 2.0, 4.0]
+
+    def test_delays_iterator_respects_deadline(self):
+        policy = RetryPolicy(max_attempts=10, base_delay=2.0,
+                             jitter=0.0, deadline=5.0)
+        # 2 + 4 crosses the 5s deadline: nothing is yielded after that.
+        assert list(policy.delays()) == [2.0, 4.0]
+
+
+class TestAdmits:
+    def test_attempt_cap(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert policy.admits(1)
+        assert policy.admits(2)
+        assert not policy.admits(3)
+        assert not policy.admits(7)
+
+    def test_deadline_cap(self):
+        policy = RetryPolicy(max_attempts=100, deadline=10.0)
+        assert policy.admits(1, waited=9.9)
+        assert not policy.admits(1, waited=10.0)
+        assert not policy.admits(1, waited=10.1)
+
+
+class TestCallWithRetries:
+    def test_succeeds_after_transient_failures(self):
+        calls = []
+        slept = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise ValueError("transient")
+            return "ok"
+
+        policy = RetryPolicy(max_attempts=5, base_delay=1.0, jitter=0.0)
+        result = call_with_retries(
+            flaky, policy, retry_on=(ValueError,), sleep=slept.append
+        )
+        assert result == "ok"
+        assert len(calls) == 3
+        assert slept == [1.0, 2.0]
+
+    def test_exhaustion_raises_and_chains(self):
+        def always_fails():
+            raise ValueError("permanent")
+
+        policy = RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0)
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            call_with_retries(always_fails, policy, retry_on=(ValueError,))
+        assert isinstance(excinfo.value.__cause__, ValueError)
+
+    def test_unlisted_exception_propagates_immediately(self):
+        calls = []
+
+        def wrong_kind():
+            calls.append(1)
+            raise KeyError("not retryable")
+
+        with pytest.raises(KeyError):
+            call_with_retries(
+                wrong_kind, RetryPolicy(), retry_on=(ValueError,)
+            )
+        assert len(calls) == 1

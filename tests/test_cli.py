@@ -112,6 +112,33 @@ class TestScaleCommand:
         assert "conjecture" in capsys.readouterr().out
 
 
+class TestChaosCommand:
+    def test_short_storm_writes_report_and_metrics(
+        self, tmp_path, capsys, clean_observability
+    ):
+        code = main([
+            "chaos", "--out", str(tmp_path), "--hours", "0.25",
+            "--seed", "3", "--throttle", "4",
+            "--profiles", "crash", "flaky",
+            "--metrics-out", str(tmp_path / "chaos.metrics.json"),
+        ])
+        assert code == 0
+        text = (tmp_path / "chaos.txt").read_text()
+        assert "blocks permanently lost   0" in text
+        assert "read availability" in text
+        assert "chaos.txt" in capsys.readouterr().out
+        doc = json.loads((tmp_path / "chaos.metrics.json").read_text())
+        assert "repro_faults_injected_total" in doc["metrics"]
+
+    def test_zero_throttle_means_unlimited(self, tmp_path):
+        code = main([
+            "chaos", "--out", str(tmp_path), "--hours", "0.1",
+            "--throttle", "0", "--profiles", "crash",
+        ])
+        assert code == 0
+        assert "throttle=None" in (tmp_path / "chaos.txt").read_text()
+
+
 class TestMetricsCommand:
     def test_without_demo_prints_registered_metrics(
         self, capsys, clean_observability
