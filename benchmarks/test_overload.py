@@ -1,0 +1,139 @@
+"""Overload benchmark: graceful degradation vs offered load.
+
+Runs the same seeded overload storm at several load multipliers, with
+the protection stack armed and disarmed, and reports what bounded
+queues + breakers + hedging + brownout buy at each point:
+
+* with uniform popularity below capacity the two variants look alike
+  and almost nothing is shed (protection is free while healthy);
+* zipf skew forms replica-level hotspots even *below* aggregate
+  capacity — the paper's motivating observation — and past capacity
+  the unprotected tail latency grows with the backlog (minutes, then
+  tens of minutes) while the protected variant keeps p99 bounded by
+  the queue depth and converts the excess into explicit sheds that
+  failover and hedging partially absorb.
+"""
+
+import pytest
+
+from conftest import write_result
+from repro.experiments.overload import OverloadStormConfig, run_overload_pair
+
+pytestmark = pytest.mark.bench
+
+# (load multiplier, zipf exponent): one healthy uniform point (low
+# enough that placement imbalance leaves every node below capacity),
+# then a skewed sweep across the capacity cliff.
+POINTS = ((0.5, 0.0), (0.8, 1.2), (1.5, 1.2), (2.5, 1.2))
+_HORIZON = 300.0
+
+
+@pytest.fixture(scope="module")
+def overload_sweep():
+    results = {}
+    for load, zipf_s in POINTS:
+        config = OverloadStormConfig(
+            horizon=_HORIZON,
+            drain=60.0,
+            load_multiplier=load,
+            zipf_s=zipf_s,
+            seed=7,
+        )
+        results[(load, zipf_s)] = run_overload_pair(config)
+    lines = [
+        "graceful degradation vs offered load "
+        f"(horizon={_HORIZON:.0f}s, slo=5.0s, seed=7)",
+        "",
+        f"{'load':>6} {'zipf':>5} {'variant':>12} {'avail':>7} "
+        f"{'p50 (s)':>8} {'p99 (s)':>8} {'shed':>6} {'brownout':>9}",
+    ]
+    for (load, zipf_s), (protected, unprotected) in results.items():
+        for result in (protected, unprotected):
+            label = "protected" if result.config.protected else "unprotected"
+            lines.append(
+                f"{load:>6.2f} {zipf_s:>5.1f} {label:>12} "
+                f"{result.availability:>7.4f} "
+                f"{result.p50_latency:>8.2f} {result.p99_latency:>8.2f} "
+                f"{result.reads_shed:>6} {result.brownout_periods:>9}"
+            )
+    write_result("overload_degradation.txt", "\n".join(lines))
+    return results
+
+
+def test_protection_is_free_when_healthy(overload_sweep, benchmark):
+    """Uniform load below capacity: both variants serve nearly all."""
+
+    def extract():
+        protected, unprotected = overload_sweep[(0.5, 0.0)]
+        return (protected.availability, unprotected.availability,
+                protected.reads_shed, protected.reads_attempted)
+
+    prot_avail, unprot_avail, shed, attempted = benchmark(extract)
+    assert prot_avail > 0.95
+    assert unprot_avail > 0.95
+    assert shed < 0.01 * attempted  # a few transient sheds at most
+
+
+def test_skew_forms_hotspots_below_aggregate_capacity(
+    overload_sweep, benchmark
+):
+    """Zipf skew overloads hot replicas even at 0.8x aggregate load."""
+
+    def extract():
+        protected, unprotected = overload_sweep[(0.8, 1.2)]
+        return (protected.availability, unprotected.availability,
+                unprotected.p99_latency)
+
+    prot_avail, unprot_avail, unprot_p99 = benchmark(extract)
+    assert prot_avail > unprot_avail
+    assert unprot_p99 > 60.0  # backlog on the hot replicas, not noise
+
+
+def test_protected_tail_is_bounded_past_capacity(overload_sweep, benchmark):
+    """p99 stays at queue-depth scale while the baseline's explodes."""
+
+    def extract():
+        return {
+            load: (pair[0].p99_latency, pair[1].p99_latency)
+            for (load, zipf_s), pair in overload_sweep.items()
+            if load > 1.0
+        }
+
+    tails = benchmark(extract)
+    for load, (protected_p99, unprotected_p99) in tails.items():
+        assert protected_p99 <= 10.0, (load, protected_p99)
+        assert unprotected_p99 > 60.0, (load, unprotected_p99)
+
+
+def test_protected_availability_wins_past_capacity(overload_sweep, benchmark):
+    def extract():
+        return {
+            load: (pair[0].availability, pair[1].availability)
+            for (load, zipf_s), pair in overload_sweep.items()
+            if load > 1.0
+        }
+
+    availability = benchmark(extract)
+    for load, (protected, unprotected) in availability.items():
+        assert protected > unprotected, (load, protected, unprotected)
+
+
+def test_brownout_engages_only_under_protection(overload_sweep, benchmark):
+    def extract():
+        protected, unprotected = overload_sweep[(2.5, 1.2)]
+        return protected.brownout_periods, unprotected.brownout_periods
+
+    protected_periods, unprotected_periods = benchmark(extract)
+    assert protected_periods > 0
+    assert unprotected_periods == 0
+
+
+def test_fsck_healthy_after_every_storm(overload_sweep, benchmark):
+    def extract():
+        return [
+            result.fsck.healthy
+            for pair in overload_sweep.values()
+            for result in pair
+        ]
+
+    assert all(benchmark(extract))

@@ -24,7 +24,7 @@ from __future__ import annotations
 import logging
 import time
 from dataclasses import dataclass
-from typing import Iterable, Mapping, Tuple
+from typing import Iterable, Mapping, Optional, Tuple
 
 from repro.core.instance import BlockSpec, PlacementProblem
 from repro.core.operations import MoveOp, Operation, SwapOp
@@ -92,12 +92,16 @@ class ReplayReport:
     ``moves_failed`` counts operations the live system rejected with an
     error (e.g. a block deleted mid-replay); when a replay endpoint node
     died since the snapshot, ``aborted`` is set, the rest of the log is
-    counted as skipped, and the namenode reconciles.
+    counted as skipped, and the namenode reconciles.  ``moves_deferred``
+    counts operations not attempted because the replay's ``max_moves``
+    budget ran out — under Aurora brownout the budget is 0, so a whole
+    planned log can be deferred to a later, calmer period.
     """
 
     moves_issued: int = 0
     moves_skipped: int = 0
     moves_failed: int = 0
+    moves_deferred: int = 0
     blocks_transferred: int = 0
     bytes_transferred: int = 0
     elapsed_seconds: float = 0.0
@@ -143,6 +147,7 @@ def replay_operations(
     namenode: Namenode,
     operations: Iterable[Operation],
     abort_on_lost_nodes: bool = True,
+    max_moves: Optional[int] = None,
 ) -> ReplayReport:
     """Execute an operation log against the live namenode.
 
@@ -156,11 +161,22 @@ def replay_operations(
     the log — the optimizer planned against a cluster that no longer
     exists — and triggers a replication check so the block map is
     repaired before the next period re-plans.
+
+    ``max_moves`` bounds how many migrations this replay may *issue*;
+    the rest of the log is counted as deferred.  Aurora brownout passes
+    0 to compute-but-not-move an overloaded period.
     """
     started = time.perf_counter()
     report = ReplayReport()
     ops = list(operations)
     for index, op in enumerate(ops):
+        if max_moves is not None and report.moves_issued >= max_moves:
+            report.moves_deferred += len(ops) - index
+            _LOG.info(
+                "replay deferred %d of %d migrations (move budget %d "
+                "spent)", report.moves_deferred, len(ops), max_moves,
+            )
+            break
         if abort_on_lost_nodes:
             lost = sorted(
                 node for node in set(_op_endpoints(op))
@@ -191,6 +207,8 @@ def replay_operations(
             _MIGRATIONS.labels(outcome="skipped").inc(report.moves_skipped)
         if report.moves_failed:
             _MIGRATIONS.labels(outcome="failed").inc(report.moves_failed)
+        if report.moves_deferred:
+            _MIGRATIONS.labels(outcome="deferred").inc(report.moves_deferred)
         if report.aborted:
             _MIGRATIONS.labels(outcome="aborted").inc()
         if report.bytes_transferred:

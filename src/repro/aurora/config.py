@@ -57,6 +57,17 @@ class AuroraConfig:
         Compression ratio applied to Aurora's replication/migration
         traffic (the paper cites 27x from [10]); write pipelines are
         unaffected.
+    brownout_epsilon:
+        Epsilon used while the cluster is overloaded (brownout mode).
+        The paper's testbed value 0.8 admits only operations that nearly
+        close a load gap, so reconfiguration traffic all but stops.
+    brownout_enter_threshold / brownout_exit_threshold:
+        Hysteresis bounds on the cluster saturation signal (mean
+        bounded-queue occupancy): brownout starts at or above the enter
+        threshold and only ends at or below the exit threshold.
+    brownout_defer_migrations:
+        While browned out, defer the period's migration replay entirely
+        (the plan is computed and reported but no blocks move).
     """
 
     epsilon: float = 0.1
@@ -71,6 +82,10 @@ class AuroraConfig:
     replicate_on_read_probability: float = 0.0
     replicate_on_read_budget: int = 500
     movement_compression: float = 1.0
+    brownout_epsilon: float = 0.8
+    brownout_enter_threshold: float = 0.7
+    brownout_exit_threshold: float = 0.4
+    brownout_defer_migrations: bool = True
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.epsilon < 1.0:
@@ -101,3 +116,15 @@ class AuroraConfig:
             )
         if self.movement_compression < 1.0:
             raise InvalidProblemError("movement_compression must be >= 1")
+        if not 0.0 <= self.brownout_epsilon < 1.0:
+            raise InvalidProblemError("brownout_epsilon must be in [0, 1)")
+        if not 0.0 < self.brownout_enter_threshold <= 1.0:
+            raise InvalidProblemError(
+                "brownout_enter_threshold must be in (0, 1]"
+            )
+        if not (0.0 <= self.brownout_exit_threshold
+                < self.brownout_enter_threshold):
+            raise InvalidProblemError(
+                "brownout_exit_threshold must be in "
+                "[0, brownout_enter_threshold)"
+            )

@@ -22,7 +22,7 @@ from __future__ import annotations
 import logging
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.aurora.bridge import ReplayReport, replay_operations, snapshot_placement
 from repro.aurora.config import AuroraConfig
@@ -40,6 +40,7 @@ from repro.monitor.forecast import HistoricalPredictor, PopularityPredictor
 from repro.monitor.usage import UsageMonitor
 from repro.obs.registry import get_registry
 from repro.obs.tracer import trace
+from repro.overload.brownout import BrownoutController
 from repro.simulation.engine import Simulation
 
 __all__ = ["AuroraSystem", "PeriodReport"]
@@ -80,6 +81,10 @@ _ABORTED_PERIODS = _REG.counter(
     "repro_aurora_aborted_replays_total",
     "Periods whose migration replay aborted after losing a target node",
 )
+_EFFECTIVE_EPSILON = _REG.gauge(
+    "repro_aurora_effective_epsilon",
+    "Epsilon actually used by the latest period (raised under brownout)",
+)
 
 
 @dataclass
@@ -88,7 +93,11 @@ class PeriodReport:
 
     ``elapsed_seconds`` is the period's wall-clock duration;
     ``phase_seconds`` breaks it down by phase (``snapshot``,
-    ``rep_factor``, ``local_search``, ``replay``).
+    ``rep_factor``, ``local_search``, ``replay``).  ``brownout``,
+    ``saturation`` and ``effective_epsilon`` record the overload
+    decision this period ran under: during brownout epsilon is raised
+    to the config's ``brownout_epsilon`` and (when configured) the
+    migration replay is deferred entirely.
     """
 
     time: float
@@ -101,11 +110,19 @@ class PeriodReport:
     replay: ReplayReport = field(default_factory=ReplayReport)
     elapsed_seconds: float = 0.0
     phase_seconds: Dict[str, float] = field(default_factory=dict)
+    brownout: bool = False
+    saturation: float = 0.0
+    effective_epsilon: float = 0.0
 
     @property
     def aborted(self) -> bool:
         """Whether this period's migration replay aborted mid-way."""
         return self.replay.aborted
+
+    @property
+    def deferred_moves(self) -> int:
+        """Migrations planned but deferred (brownout move budget)."""
+        return self.replay.moves_deferred
 
     @property
     def improvement(self) -> float:
@@ -141,6 +158,15 @@ class AuroraSystem:
         if self.config.movement_compression > 1.0:
             namenode.movement_compression = self.config.movement_compression
         self._node_load: List[float] = [0.0] * namenode.topology.num_machines
+        # Brownout mode: hysteresis over the cluster saturation signal.
+        # The default signal is the namenode's view of its bounded
+        # service queues; experiments can inject their own provider
+        # (e.g. demand/capacity derived from the usage monitor).
+        self.brownout = BrownoutController(
+            enter_threshold=self.config.brownout_enter_threshold,
+            exit_threshold=self.config.brownout_exit_threshold,
+        )
+        self.saturation_provider: Optional[Callable[[], float]] = None
         self.reports: List[PeriodReport] = []
         self.replicate_on_read = None
         if self.config.replicate_on_read_probability > 0:
@@ -206,19 +232,54 @@ class AuroraSystem:
 
     # -- Algorithm 5 -----------------------------------------------------------
 
-    def admissibility_policy(self) -> AdmissibilityPolicy:
-        """The epsilon policy configured for this system."""
-        if self.config.epsilon == 0.0:
+    def admissibility_policy(
+        self, epsilon: Optional[float] = None
+    ) -> AdmissibilityPolicy:
+        """The epsilon policy configured for this system.
+
+        ``epsilon`` overrides the configured value — brownout periods
+        pass the raised ``brownout_epsilon`` here.
+        """
+        if epsilon is None:
+            epsilon = self.config.epsilon
+        if epsilon == 0.0:
             return AlwaysAdmissible()
         if self.config.use_cost_admissibility:
-            return RelativeCostPolicy(self.config.epsilon)
-        return RelativeGapPolicy(self.config.epsilon)
+            return RelativeCostPolicy(epsilon)
+        return RelativeGapPolicy(epsilon)
+
+    def observe_saturation(self, now: float) -> float:
+        """One brownout-controller update from the saturation signal."""
+        saturation = (
+            self.saturation_provider()
+            if self.saturation_provider is not None
+            else self.namenode.cluster_saturation()
+        )
+        self.brownout.update(now, saturation)
+        return saturation
 
     def optimize(self, now: Optional[float] = None) -> PeriodReport:
         """Run one reconfiguration period (Algorithm 5)."""
         now = self.namenode.now if now is None else now
         period_start = time.perf_counter()
         report = PeriodReport(time=now)
+        report.saturation = self.observe_saturation(now)
+        report.brownout = self.brownout.active
+        report.effective_epsilon = (
+            self.config.brownout_epsilon if report.brownout
+            else self.config.epsilon
+        )
+        if report.brownout:
+            holding = report.saturation < self.config.brownout_enter_threshold
+            _LOG.warning(
+                "aurora brownout%s: saturation %.2f (enter >= %.2f, "
+                "exit <= %.2f); epsilon %.2f -> %.2f, defer_migrations=%s",
+                " held by hysteresis" if holding else "",
+                report.saturation, self.config.brownout_enter_threshold,
+                self.config.brownout_exit_threshold,
+                self.config.epsilon, report.effective_epsilon,
+                self.config.brownout_defer_migrations,
+            )
         with trace("aurora.period", sim_time=now) as span:
             with trace("aurora.snapshot", sim_time=now) as phase:
                 phase_start = time.perf_counter()
@@ -248,6 +309,7 @@ class AuroraSystem:
                 migrations_issued=report.replay.moves_issued,
                 bytes_transferred=report.replay.bytes_transferred,
                 aborted=report.aborted,
+                brownout=report.brownout,
             )
         self._flush_period_metrics(report)
         if report.aborted:
@@ -258,10 +320,11 @@ class AuroraSystem:
             )
         _LOG.info(
             "aurora period done sim_time=%.0f cost=%.6g->%.6g k+=%d k-=%d "
-            "migrations=%d elapsed=%.4fs",
+            "migrations=%d deferred=%d brownout=%s elapsed=%.4fs",
             now, report.cost_before, report.cost_after,
             report.replication_increases, report.replication_decreases,
-            report.replay.moves_issued, report.elapsed_seconds,
+            report.replay.moves_issued, report.deferred_moves,
+            report.brownout, report.elapsed_seconds,
         )
         self.reports.append(report)
         return report
@@ -290,6 +353,7 @@ class AuroraSystem:
             )
         if report.aborted:
             _ABORTED_PERIODS.inc()
+        _EFFECTIVE_EPSILON.set(report.effective_epsilon)
         cap = self.config.max_replication_ops
         if cap > 0:
             used = report.replication_increases + report.replication_decreases
@@ -377,7 +441,7 @@ class AuroraSystem:
             report.cost_before = state.cost()
             stats = balance_rack_aware(
                 state,
-                policy=self.admissibility_policy(),
+                policy=self.admissibility_policy(report.effective_epsilon),
                 max_operations=self.config.max_move_ops,
                 log_operations=True,
             )
@@ -392,9 +456,17 @@ class AuroraSystem:
             )
         with trace("aurora.replay", sim_time=now) as phase:
             phase_start = time.perf_counter()
-            report.replay = replay_operations(self.namenode, stats.operations)
+            max_moves = (
+                0 if (report.brownout
+                      and self.config.brownout_defer_migrations)
+                else None
+            )
+            report.replay = replay_operations(
+                self.namenode, stats.operations, max_moves=max_moves
+            )
             phase.set(
                 issued=report.replay.moves_issued,
                 skipped=report.replay.moves_skipped,
+                deferred=report.replay.moves_deferred,
             )
             report.phase_seconds["replay"] = time.perf_counter() - phase_start

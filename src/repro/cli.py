@@ -10,6 +10,8 @@ Usage (installed as ``python -m repro``):
     python -m repro trace swim --out swim.jsonl --scale-to 10
     python -m repro ablation --out results/
     python -m repro chaos --profiles crash partition flaky --hours 2
+    python -m repro overload --load 1.5 --minutes 10
+    python -m repro fsck --profiles crash --hours 1 --json fsck.json
     python -m repro metrics --demo             # observability smoke run
     python -m repro -v figures --quick         # INFO-level run logging
 
@@ -146,6 +148,51 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument(
         "--metrics-out", type=Path, default=None,
         help="write an observability snapshot of the run here",
+    )
+
+    overload = sub.add_parser(
+        "overload",
+        help="run an overload storm, protected vs unprotected",
+    )
+    overload.add_argument("--out", type=Path, default=Path("results"))
+    overload.add_argument("--seed", type=int, default=0)
+    overload.add_argument(
+        "--minutes", type=float, default=10.0,
+        help="storm duration before the drain phase",
+    )
+    overload.add_argument(
+        "--load", type=float, default=1.5,
+        help="offered read load as a multiple of cluster capacity",
+    )
+    overload.add_argument(
+        "--policy", default="priority",
+        choices=["reject", "drop_oldest", "priority"],
+        help="shed policy for the bounded service queues",
+    )
+    overload.add_argument(
+        "--protected-only", action="store_true",
+        help="skip the unprotected baseline run",
+    )
+    overload.add_argument(
+        "--metrics-out", type=Path, default=None,
+        help="write an observability snapshot of the run here",
+    )
+
+    fsck = sub.add_parser(
+        "fsck",
+        help="run the cluster invariant checker after a seeded storm",
+    )
+    fsck.add_argument("--seed", type=int, default=0)
+    fsck.add_argument("--hours", type=float, default=1.0)
+    fsck.add_argument(
+        "--profiles", nargs="+",
+        default=["crash", "partition", "flaky"],
+        choices=["crash", "gray", "partition", "flaky", "msgloss"],
+        help="fault profiles to arm before checking",
+    )
+    fsck.add_argument(
+        "--json", type=Path, default=None,
+        help="write the machine-readable fsck report here",
     )
 
     metrics = sub.add_parser(
@@ -314,6 +361,69 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_overload(args: argparse.Namespace) -> int:
+    from repro.experiments.overload import (
+        OverloadStormConfig,
+        render_overload,
+        render_overload_pair,
+        run_overload,
+        run_overload_pair,
+    )
+
+    args.out.mkdir(parents=True, exist_ok=True)
+    if args.metrics_out is not None:
+        obs.enable()
+        obs.get_registry().reset()
+        obs.get_tracer().clear()
+    config = OverloadStormConfig(
+        horizon=args.minutes * 60.0,
+        load_multiplier=args.load,
+        shed_policy=args.policy,
+        seed=args.seed,
+    )
+    if args.protected_only:
+        text = render_overload(run_overload(config))
+    else:
+        protected, unprotected = run_overload_pair(config)
+        text = "\n\n".join([
+            render_overload_pair(protected, unprotected),
+            render_overload(protected),
+            render_overload(unprotected),
+        ])
+    target = args.out / "overload.txt"
+    target.write_text(text + "\n", encoding="utf-8")
+    print(text)
+    print(f"[written {target}]")
+    if args.metrics_out is not None:
+        snapshot = obs.write_snapshot(args.metrics_out)
+        print(f"[written {snapshot}]")
+    return 0
+
+
+def _cmd_fsck(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.dfs.fsck import render_fsck
+    from repro.experiments.chaos import ChaosConfig, run_chaos
+
+    config = ChaosConfig(
+        horizon=args.hours * 3600.0,
+        profiles=tuple(args.profiles),
+        seed=args.seed,
+    )
+    result = run_chaos(config)
+    report = result.fsck
+    assert report is not None  # run_chaos always checks
+    print(render_fsck(report))
+    if args.json is not None:
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(
+            json.dumps(report.to_dict(), indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"[written {args.json}]")
+    return 0 if report.healthy else 1
+
+
 def _cmd_metrics(args: argparse.Namespace) -> int:
     obs.enable()
     registry = obs.get_registry()
@@ -357,6 +467,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_sensitivity(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
+    if args.command == "overload":
+        return _cmd_overload(args)
+    if args.command == "fsck":
+        return _cmd_fsck(args)
     if args.command == "metrics":
         return _cmd_metrics(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -13,6 +13,17 @@ preferred replica, discovers a dead or stale source by failing, backs
 off under a :class:`~repro.faults.retry.RetryPolicy`, and fails over to
 the next replica in preference order.  The full attempt trail is
 recorded on the :class:`ReadResult`.
+
+Reads are also *overload* tolerant when the cluster runs with the
+:mod:`repro.overload` wiring installed:
+
+* a replica whose bounded service queue sheds the request fails over
+  immediately (fail fast — no backoff, the queue said "no" right away);
+* per-node circuit breakers skip replicas that have been failing or
+  shedding, before spending an attempt on them;
+* hedged reads fire a second request at the next-best replica when the
+  chosen one's projected latency exceeds a budget, and the faster
+  response wins.
 """
 
 from __future__ import annotations
@@ -20,13 +31,16 @@ from __future__ import annotations
 import enum
 import random
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.dfs.block import DEFAULT_MAX_BLOCK_SIZE, FileMeta
+from repro.dfs.datanode import Datanode
 from repro.dfs.namenode import Namenode
-from repro.errors import DatanodeUnavailableError
+from repro.errors import DatanodeUnavailableError, OverloadSheddedError
 from repro.faults.retry import RetryPolicy
 from repro.obs.registry import get_registry
+from repro.overload.breaker import BreakerState, CircuitBreaker
+from repro.overload.queueing import Priority
 
 __all__ = ["Locality", "ReadResult", "DfsClient"]
 
@@ -38,6 +52,22 @@ _FAILOVERS = _REG.counter(
 _READ_ERRORS = _REG.counter(
     "repro_dfs_read_errors_total",
     "Block reads that exhausted every replica candidate",
+)
+_SHED_READS = _REG.counter(
+    "repro_dfs_reads_shed_total",
+    "Read attempts shed by a bounded datanode service queue",
+)
+_BREAKER_SKIPS = _REG.counter(
+    "repro_dfs_breaker_skips_total",
+    "Replica candidates skipped because their circuit breaker was open",
+)
+_HEDGED = _REG.counter(
+    "repro_dfs_hedged_reads_total",
+    "Reads that fired a hedge request at a second replica",
+)
+_HEDGE_WINS = _REG.counter(
+    "repro_dfs_hedge_wins_total",
+    "Hedged reads where the second replica answered first",
 )
 
 
@@ -55,8 +85,11 @@ class ReadResult:
 
     ``attempts`` is the trail of nodes the client contacted in order —
     the last entry is the node that served the read, every earlier one a
-    replica that turned out dead or stale.  ``backoff`` is the total
-    simulated wait the retry policy imposed between attempts.
+    replica that turned out dead, stale, or shedding.  ``backoff`` is
+    the total simulated wait the retry policy imposed between attempts.
+    ``latency`` is the serving queue's wait-plus-service time (0 when
+    the node has no bounded queue installed), and ``hedged`` marks reads
+    that fired a second request at another replica.
     """
 
     block_id: int
@@ -64,6 +97,8 @@ class ReadResult:
     locality: Locality
     attempts: Tuple[int, ...] = field(default=())
     backoff: float = 0.0
+    latency: float = 0.0
+    hedged: bool = False
 
     @property
     def is_local(self) -> bool:
@@ -84,6 +119,8 @@ class DfsClient:
         namenode: Namenode,
         retry_policy: Optional[RetryPolicy] = None,
         rng: Optional[random.Random] = None,
+        breakers: Optional[Dict[int, CircuitBreaker]] = None,
+        hedge_latency_budget: Optional[float] = None,
     ) -> None:
         self.namenode = namenode
         # Bounds the failover walk; with no rng the backoff is
@@ -92,8 +129,16 @@ class DfsClient:
             max_attempts=4, base_delay=0.5, max_delay=5.0, jitter=0.1
         )
         self._rng = rng
+        # Per-node circuit breakers (see OverloadProtection.breakers())
+        # and the hedged-read latency budget; both default to off.
+        self.breakers = breakers
+        self.hedge_latency_budget = hedge_latency_budget
         self.read_failovers = 0
         self.read_errors = 0
+        self.reads_shed = 0
+        self.breaker_skips = 0
+        self.hedged_reads = 0
+        self.hedge_wins = 0
 
     def write_file(
         self,
@@ -119,28 +164,73 @@ class DfsClient:
 
         Walks :meth:`~repro.dfs.namenode.Namenode.replica_preference`
         (which reflects the namenode's possibly stale belief), skipping
-        sources that turn out dead or stale, backing off between
-        attempts.  Raises :class:`DatanodeUnavailableError` when every
-        candidate fails or the retry policy gives up first.
+        sources whose circuit breaker is open, failing over past dead,
+        stale, or shedding sources, backing off between attempts (shed
+        reads fail over without backoff — the queue answered instantly).
+        Raises :class:`OverloadSheddedError` when at least one replica
+        shed and none served, :class:`DatanodeUnavailableError` when
+        every candidate fails or the retry policy gives up first.
         """
         tried: List[int] = []
         waited = 0.0
         failures = 0
-        for node in self.namenode.replica_preference(block_id, reader):
+        shed_any = False
+        candidates = list(self.namenode.replica_preference(block_id, reader))
+        for idx, node in enumerate(candidates):
+            breaker = self.breakers.get(node) if self.breakers else None
+            now = self.namenode.now
+            if breaker is not None and not breaker.allow(now):
+                # Tripped node: skip without spending an attempt on it.
+                self.breaker_skips += 1
+                if _REG.enabled:
+                    _BREAKER_SKIPS.inc()
+                continue
             tried.append(node)
             dn = self.namenode.datanode(node)
             if dn.alive and dn.holds(block_id):
-                source = self.namenode.record_access(
-                    block_id, reader, source=node
+                outcome = self._serve(
+                    dn, block_id, now, candidates[idx + 1:]
                 )
-                return ReadResult(
-                    block_id=block_id,
-                    source=source,
-                    locality=self._classify(reader, source),
-                    attempts=tuple(tried),
-                    backoff=waited,
-                )
+                if outcome is not None:
+                    serving, latency, hedged = outcome
+                    if serving != node:
+                        tried.append(serving)
+                    serving_breaker = (
+                        self.breakers.get(serving) if self.breakers else None
+                    )
+                    if serving_breaker is not None:
+                        serving_breaker.record_success(now)
+                    source = self.namenode.record_access(
+                        block_id, reader, source=serving
+                    )
+                    return ReadResult(
+                        block_id=block_id,
+                        source=source,
+                        locality=self._classify(reader, source),
+                        attempts=tuple(tried),
+                        backoff=waited,
+                        latency=latency,
+                        hedged=hedged,
+                    )
+                # Shed by the bounded queue: fail over immediately, no
+                # backoff — waiting on a queue that refused us is wasted
+                # time, and the next replica may have headroom.
+                shed_any = True
+                self.reads_shed += 1
+                if _REG.enabled:
+                    _SHED_READS.inc()
+                if breaker is not None:
+                    breaker.record_failure(now)
+                failures += 1
+                self.read_failovers += 1
+                if _REG.enabled:
+                    _FAILOVERS.inc()
+                if not self.retry_policy.admits(failures, waited):
+                    break
+                continue
             # Dead node or stale location: fail over to the next replica.
+            if breaker is not None:
+                breaker.record_failure(now)
             failures += 1
             self.read_failovers += 1
             if _REG.enabled:
@@ -151,10 +241,88 @@ class DfsClient:
         self.read_errors += 1
         if _REG.enabled:
             _READ_ERRORS.inc()
+        if shed_any:
+            raise OverloadSheddedError(
+                f"block {block_id}: every replica shed or failed the read "
+                f"(tried {tried})"
+            )
         raise DatanodeUnavailableError(
             f"block {block_id}: no replica served the read "
             f"(tried {tried or 'no candidates'})"
         )
+
+    def _serve(
+        self,
+        dn: Datanode,
+        block_id: int,
+        now: float,
+        alternates: Sequence[int],
+    ) -> Optional[Tuple[int, float, bool]]:
+        """Offer the read to ``dn``'s queue, hedging when it looks slow.
+
+        Returns ``(serving_node, latency, hedged)``, or ``None`` when the
+        queue shed the request.  Nodes without a bounded queue serve
+        instantly (the pre-overload behaviour).
+        """
+        queue = dn.service_queue
+        if queue is None:
+            return dn.node_id, 0.0, False
+        latency = queue.offer(now, Priority.CLIENT_READ)
+        if latency is None:
+            return None
+        budget = self.hedge_latency_budget
+        if budget is None or latency <= budget:
+            return dn.node_id, latency, False
+        alt = self._hedge_candidate(block_id, now, latency, alternates)
+        if alt is None:
+            return dn.node_id, latency, False
+        # Fire the hedge: the second request really consumes capacity on
+        # the alternate (both queues do the work; the faster one wins).
+        self.hedged_reads += 1
+        if _REG.enabled:
+            _HEDGED.inc()
+        alt_latency = alt.service_queue.offer(now, Priority.CLIENT_READ)
+        if alt_latency is not None and alt_latency < latency:
+            self.hedge_wins += 1
+            if _REG.enabled:
+                _HEDGE_WINS.inc()
+            return alt.node_id, alt_latency, True
+        if alt_latency is None and self.breakers:
+            alt_breaker = self.breakers.get(alt.node_id)
+            if alt_breaker is not None:
+                alt_breaker.record_failure(now)
+        return dn.node_id, latency, True
+
+    def _hedge_candidate(
+        self,
+        block_id: int,
+        now: float,
+        latency: float,
+        alternates: Sequence[int],
+    ) -> Optional[Datanode]:
+        """The next-best replica worth hedging to, if any.
+
+        Walks past dead, stale, and breaker-open nodes; stops at the
+        first servable alternate and hedges only when its *projected*
+        latency beats the primary's (a hedge guaranteed to lose is pure
+        added load).  Hedges never probe half-open breakers — probing is
+        the primary read path's job.
+        """
+        for node in alternates:
+            if self.breakers:
+                breaker = self.breakers.get(node)
+                if (breaker is not None
+                        and breaker.state(now) is not BreakerState.CLOSED):
+                    continue
+            dn = self.namenode.datanode(node)
+            if not (dn.alive and dn.holds(block_id)):
+                continue
+            if dn.service_queue is None:
+                return None  # unqueued alternate would always "win"
+            if dn.service_queue.estimate(now) < latency:
+                return dn
+            return None  # the next-best is no faster; deeper ones rank worse
+        return None
 
     def read_file(self, path: str, reader: int) -> List[ReadResult]:
         """Read every block of ``path`` from ``reader``'s machine."""

@@ -10,9 +10,12 @@ capacity accounting.
 
 from __future__ import annotations
 
-from typing import FrozenSet, Set
+from typing import TYPE_CHECKING, FrozenSet, Optional, Set
 
 from repro.errors import CapacityExceededError, DfsError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.overload.queueing import BoundedServiceQueue
 
 __all__ = ["Datanode"]
 
@@ -30,6 +33,9 @@ class Datanode:
         # Gray-failure service-rate multiplier: 1.0 = healthy, > 1 means
         # the node still beats and serves but everything takes longer.
         self.slowdown = 1.0
+        # Bounded service queue installed by the overload-protection
+        # wiring; None means requests are served without queueing.
+        self.service_queue: Optional["BoundedServiceQueue"] = None
         self._blocks: Set[int] = set()
         self.bytes_written = 0
         self.bytes_read = 0
@@ -48,6 +54,12 @@ class Datanode:
     def degraded(self) -> bool:
         """Whether the node is in a gray state (slow but alive)."""
         return self.alive and self.slowdown > 1.0
+
+    def queue_saturation(self, now: float) -> float:
+        """Occupancy of the bounded service queue (0 without one)."""
+        if self.service_queue is None:
+            return 0.0
+        return self.service_queue.saturation(now)
 
     @property
     def disk_utilization(self) -> float:

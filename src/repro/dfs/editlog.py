@@ -136,7 +136,10 @@ def recover_namenode(
     """Rebuild namenode metadata from a journal plus block reports.
 
     ``fresh`` must be a newly constructed namenode over the same
-    topology.  The journal restores the namespace, block metadata and
+    topology — or a partially recovered one: every step is applied
+    idempotently (already-applied journal entries and already-known
+    replicas are skipped), so a recovery that itself crashed can simply
+    be re-run.  The journal restores the namespace, block metadata and
     replication targets; the surviving datanodes' block reports restore
     replica locations.  After recovery, :meth:`Namenode.check_replication`
     repairs whatever the crash lost.
@@ -146,6 +149,8 @@ def recover_namenode(
     for entry in log.entries:
         op = entry["op"]
         if op == "create_file":
+            if entry["file_id"] in fresh._files_by_id:
+                continue  # already applied by an interrupted recovery
             block_ids = entry["block_ids"]
             for block_id in block_ids:
                 fresh.blockmap.register(BlockMeta(
@@ -169,21 +174,27 @@ def recover_namenode(
                     fresh._next_block_id, max(block_ids) + 1
                 )
         elif op == "delete_file":
+            if entry["file_id"] not in fresh._files_by_id:
+                continue  # already applied
             meta = fresh.file(entry["path"])
             fresh.namespace.remove_file(entry["path"])
             for block_id in meta.block_ids:
                 fresh.blockmap.unregister(block_id)
             del fresh._files_by_id[meta.file_id]
         elif op == "delete_directory":
+            if not fresh.namespace.is_directory(entry["path"]):
+                continue  # already applied
             removed = fresh.namespace.remove_directory(entry["path"])
             for file_id in removed:
                 meta = fresh._files_by_id.pop(file_id)
                 for block_id in meta.block_ids:
                     fresh.blockmap.unregister(block_id)
         elif op == "mkdir":
-            fresh.namespace.mkdir(entry["path"])
+            if not fresh.namespace.is_directory(entry["path"]):
+                fresh.namespace.mkdir(entry["path"])
         elif op == "rename":
-            fresh.rename(entry["source"], entry["destination"])
+            if fresh.namespace.exists(entry["source"]):
+                fresh.rename(entry["source"], entry["destination"])
         elif op == "set_replication":
             if entry["block_id"] in fresh.blockmap:
                 meta_block = fresh.blockmap.meta(entry["block_id"])
@@ -195,14 +206,31 @@ def recover_namenode(
             raise DfsError(f"unknown edit log op {op!r}")
 
     # Block reports from the surviving datanodes restore locations.
+    # Applied idempotently so recovery itself can crash and be re-run
+    # over the same survivors without tripping duplicate-replica errors.
+    # A survivor that died *during* recovery still gets its disk
+    # contents restored — the bytes survive a reboot, and its eventual
+    # :meth:`Namenode.recover_node` block report re-registers them —
+    # but contributes no block-map locations: the map must only
+    # reference replicas a live datanode has confirmed, or safe-mode
+    # progress and the post-recovery replication check would count
+    # replicas nobody can serve.
     for survivor in surviving_datanodes:
         node = survivor.node_id
         target = fresh.datanodes[node]
+        target.alive = True  # restoring the disk needs a writable node
         for block_id in survivor.blocks():
             if block_id not in fresh.blockmap:
                 continue
             if not target.holds(block_id):
                 target.store(block_id, fresh.blockmap.meta(block_id).size)
-            fresh.blockmap.add_location(block_id, node)
+            if (survivor.alive
+                    and node not in fresh.blockmap.locations(block_id)):
+                fresh.blockmap.add_location(block_id, node)
+        if not survivor.alive:
+            # Drop anything an earlier, interrupted recovery pass
+            # registered before this node crashed.
+            for block_id in fresh.blockmap.blocks_on(node):
+                fresh.blockmap.remove_location(block_id, node)
         target.alive = survivor.alive
     return fresh

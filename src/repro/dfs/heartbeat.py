@@ -53,6 +53,10 @@ _DEGRADED_NODES = _REG.gauge(
     "repro_dfs_degraded_nodes",
     "Datanodes currently serving in a gray (slow) state",
 )
+_MAX_SATURATION = _REG.gauge(
+    "repro_dfs_heartbeat_max_saturation",
+    "Worst bounded-queue occupancy reported in the latest heartbeat round",
+)
 
 
 class HeartbeatService:
@@ -111,12 +115,19 @@ class HeartbeatService:
         }
 
     def _beat(self) -> None:
+        max_saturation = 0.0
         for dn in self.namenode.datanodes:
             if not dn.alive:
                 continue
             if self.loss_filter is not None and self.loss_filter(dn.node_id):
                 continue  # beat lost in the network
             dn.last_heartbeat = self.sim.now
+            # Heartbeats carry the node's service-queue occupancy — the
+            # namenode-side record behind cluster_saturation() and the
+            # operator's overload signal.
+            saturation = dn.queue_saturation(self.sim.now)
+            self.namenode.node_saturation[dn.node_id] = saturation
+            max_saturation = max(max_saturation, saturation)
             if dn.node_id in self._declared:
                 # A falsely suspected (or silently recovered) node is
                 # beating again: its block report re-registers replicas.
@@ -129,6 +140,8 @@ class HeartbeatService:
                     dn.node_id, self.sim.now,
                 )
                 self.namenode.register_block_report(dn.node_id)
+        if _REG.enabled:
+            _MAX_SATURATION.set(max_saturation)
 
     def _check(self) -> None:
         now = self.sim.now

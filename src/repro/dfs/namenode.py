@@ -28,7 +28,16 @@ from __future__ import annotations
 import heapq
 import logging
 import random
-from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from repro.cluster.topology import ClusterTopology
 from repro.dfs.block import DEFAULT_MAX_BLOCK_SIZE, BlockMeta, FileMeta
@@ -47,7 +56,11 @@ from repro.errors import (
 )
 from repro.faults.retry import RetryPolicy
 from repro.obs.registry import get_registry
+from repro.overload.queueing import Priority
 from repro.simulation.engine import Simulation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.overload.admission import AdmissionController
 
 __all__ = ["Namenode"]
 
@@ -195,6 +208,11 @@ class Namenode:
         # episode began, and the durations of completed episodes.
         self._under_since: Optional[float] = None
         self.recovery_times: List[float] = []
+        # Admission gate for background traffic (installed by
+        # repro.overload.protection; None admits everything).
+        self.admission: Optional["AdmissionController"] = None
+        # Latest queue saturation each datanode reported via heartbeat.
+        self.node_saturation: Dict[int, float] = {}
         # Counters.
         self.replications_completed = 0
         self.moves_completed = 0
@@ -205,6 +223,11 @@ class Namenode:
         self.migration_retargets = 0
         self.replications_requeued = 0
         self.degraded_reads = 0
+        # Background work held back by overload protection.
+        self.replications_deferred = 0
+        self.replications_shed = 0
+        self.migrations_deferred = 0
+        self.migrations_shed = 0
 
     # -- time & liveness -------------------------------------------------------
 
@@ -221,6 +244,27 @@ class Namenode:
     def live_nodes(self) -> Set[int]:
         """Ids of datanodes currently alive."""
         return {dn.node_id for dn in self.datanodes if dn.alive}
+
+    def cluster_saturation(self) -> float:
+        """Mean bounded-queue occupancy across live datanodes.
+
+        Reads installed service queues directly when present, else falls
+        back to the latest heartbeat-reported values; 0 when the cluster
+        runs without overload protection.  This is the signal Aurora's
+        brownout controller and the admission gate's pressure function
+        consume.
+        """
+        values = []
+        for dn in self.datanodes:
+            if not dn.alive:
+                continue
+            if dn.service_queue is not None:
+                values.append(dn.service_queue.saturation(self.now))
+            elif dn.node_id in self.node_saturation:
+                values.append(self.node_saturation[dn.node_id])
+        if not values:
+            return 0.0
+        return sum(values) / len(values)
 
     def fail_node(
         self, node: int, re_replicate: bool = True, crash: bool = True
@@ -511,22 +555,29 @@ class Namenode:
 
         The failover order a client walks when reads fail: node-local,
         then rack-local, then remote, healthy before gray within each
-        tier, node id breaking ties (deterministic).  Unlike
-        :meth:`choose_read_replica` this does **not** intersect with the
-        live set — the namenode's metadata can be stale (a node can die
-        between heartbeats), and the client discovers staleness by
-        trying.  ``exclude`` removes sources that already failed.
+        tier, ties broken by a deterministic per-(block, reader) hash.
+        Hashing (rather than node id) matters under load: an id
+        tie-break would aim every remote-rack reader at the same
+        replica and manufacture a hotspot the replicas could absorb.
+        Unlike :meth:`choose_read_replica` this does **not** intersect
+        with the live set — the namenode's metadata can be stale (a
+        node can die between heartbeats), and the client discovers
+        staleness by trying.  ``exclude`` removes sources that already
+        failed.
         """
         reader_rack = self.topology.rack_of[reader]
 
-        def rank(node: int) -> Tuple[int, int, int]:
+        def rank(node: int) -> Tuple[int, int, int, int]:
             if node == reader:
                 tier = 0
             elif self.topology.rack_of[node] == reader_rack:
                 tier = 1
             else:
                 tier = 2
-            return (tier, 1 if self.datanodes[node].degraded else 0, node)
+            spread = ((block_id * 40503 + reader) * 2654435761
+                      + node * 2246822519) & 0xFFFFFFFF
+            return (tier, 1 if self.datanodes[node].degraded else 0,
+                    spread, node)
 
         candidates = [
             node for node in self.blockmap.locations(block_id)
@@ -669,6 +720,14 @@ class Namenode:
         if (block_id, target) in self._inflight:
             return False
         source = min(sources, key=self.transfers.active_transfers)
+        src_queue = self.datanodes[source].service_queue
+        if (src_queue is not None and src_queue.offer(
+                self.now, Priority.RE_REPLICATION) is None):
+            # The source's queue is saturated with higher-priority work
+            # (client reads outrank re-replication); the next
+            # replication check re-detects the deficit and retries.
+            self.replications_shed += 1
+            return False
         self._repl_inflight += 1
         self._start_replica_copy(
             block_id, source, target, on_done,
@@ -743,6 +802,7 @@ class Namenode:
             meta.size, source, target, complete,
             compression_ratio=self.movement_compression,
             on_failure=failed,
+            kind="replication",
         )
 
     def _retry_replica_copy(
@@ -845,6 +905,17 @@ class Namenode:
             return False
         if not self._spread_ok_after_move(block_id, meta, src, dst):
             return False
+        if (self.admission is not None
+                and not self.admission.admit("migration", self.now)):
+            # Token bucket empty (scaled by client pressure): migration
+            # traffic yields; the caller may retry next period.
+            self.migrations_deferred += 1
+            return False
+        src_queue = self.datanodes[src].service_queue
+        if (src_queue is not None and src_queue.offer(
+                self.now, Priority.MIGRATION) is None):
+            self.migrations_shed += 1
+            return False
         self._start_migration(
             block_id, src, dst, on_done,
             attempt=1, failed_dsts=set(), waited=0.0,
@@ -932,6 +1003,7 @@ class Namenode:
             meta.size, src, dst, complete,
             compression_ratio=self.movement_compression,
             on_failure=failed,
+            kind="migration",
         )
 
     def _retry_migration(
@@ -1102,6 +1174,13 @@ class Namenode:
         seen: Set[int] = set()
         try:
             while self._repl_queue and not self._throttled():
+                if (self.admission is not None
+                        and not self.admission.admit(
+                            "replication", self.now)):
+                    # Out of background tokens: stop draining; queued
+                    # blocks keep their place for the next drain.
+                    self.replications_deferred += 1
+                    break
                 _, _, block_id = heapq.heappop(self._repl_queue)
                 self._queued.discard(block_id)
                 if block_id in seen or block_id not in self.blockmap:

@@ -47,6 +47,11 @@ _WASTED_BYTES = _REG.counter(
     "repro_dfs_transfer_wasted_bytes_total",
     "Bytes burned by transfers that failed before completing",
 )
+_BYTES_BY_KIND = _REG.counter(
+    "repro_dfs_transfer_bytes_total",
+    "Bytes moved by completed transfers, by traffic class",
+    ["kind"],
+)
 
 
 class TransferService:
@@ -80,6 +85,11 @@ class TransferService:
         self._active: Dict[int, int] = {}
         self.durations = Distribution()
         self.bytes_transferred = 0
+        # Traffic-class accounting: how many bytes each kind of transfer
+        # ("write" pipelines, "replication" repair, "migration" moves)
+        # put on the wire — the denominator for "background traffic
+        # yielded under client pressure" claims.
+        self.bytes_by_kind: Dict[str, int] = {}
         self.transfers_started = 0
         self.transfers_failed = 0
         self.bytes_wasted = 0
@@ -136,6 +146,7 @@ class TransferService:
         on_complete: Callable[[], None],
         compression_ratio: Optional[float] = None,
         on_failure: Optional[Callable[[], None]] = None,
+        kind: str = "write",
     ) -> float:
         """Start a transfer; ``on_complete`` fires when the bytes land.
 
@@ -165,6 +176,9 @@ class TransferService:
             return self._fail(size, src, dst, duration, fraction, on_failure)
         self.durations.record(duration)
         self.bytes_transferred += size
+        self.bytes_by_kind[kind] = self.bytes_by_kind.get(kind, 0) + size
+        if _REG.enabled:
+            _BYTES_BY_KIND.labels(kind=kind).inc(size)
         if self.sim is None:
             on_complete()
             return duration

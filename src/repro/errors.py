@@ -30,6 +30,8 @@ __all__ = [
     "FaultConfigError",
     "RetryExhaustedError",
     "TransferFailedError",
+    "OverloadConfigError",
+    "OverloadSheddedError",
 ]
 
 
@@ -119,3 +121,15 @@ class RetryExhaustedError(ReproError):
 
 class TransferFailedError(DfsError):
     """A block transfer aborted mid-flight (injected or modelled fault)."""
+
+
+class OverloadConfigError(ReproError):
+    """An overload-protection component is misconfigured or misused."""
+
+
+class OverloadSheddedError(DatanodeUnavailableError):
+    """Every replica candidate shed the read (cluster-wide overload).
+
+    Subclasses :class:`DatanodeUnavailableError` so existing failover
+    and availability accounting treat a shed read as an unavailable one.
+    """

@@ -32,6 +32,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.cluster.topology import ClusterTopology
 from repro.dfs.client import DfsClient
+from repro.dfs.fsck import FsckReport, run_fsck
 from repro.dfs.heartbeat import HeartbeatService
 from repro.dfs.namenode import Namenode
 from repro.dfs.policies import DefaultHdfsPolicy
@@ -125,6 +126,7 @@ class ChaosResult:
     reconciliations: int = 0
     recovery_times: List[float] = field(default_factory=list)
     bytes_wasted: int = 0
+    fsck: Optional[FsckReport] = None
 
     @property
     def read_availability(self) -> float:
@@ -233,6 +235,7 @@ def run_chaos(config: ChaosConfig) -> ChaosResult:
     heartbeats.stop()
 
     namenode.audit()  # placement metadata must reconcile after the storm
+    result.fsck = run_fsck(namenode)
 
     result.blocks_lost = sum(
         1 for block in blocks if not namenode.blockmap.locations(block)
@@ -298,4 +301,11 @@ def render_chaos(result: ChaosResult) -> str:
         f"  mean time to full repl.   {result.mean_recovery_seconds:.1f}s",
         f"  max time to full repl.    {result.max_recovery_seconds:.1f}s",
     ]
+    if result.fsck is not None:
+        lines.append(
+            "  fsck                      "
+            + ("healthy"
+               if result.fsck.healthy
+               else f"{len(result.fsck.violations)} violation(s)")
+        )
     return "\n".join(lines)

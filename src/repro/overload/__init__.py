@@ -1,0 +1,41 @@
+"""Overload protection and graceful degradation for the Aurora stack.
+
+PR 2 made the system survive *failures*; this package protects it from
+*success* — demand beyond service capacity.  The pieces compose into a
+layered defence:
+
+* :mod:`repro.overload.queueing` — per-datanode bounded service queues
+  with reject / drop-oldest / priority shedding;
+* :mod:`repro.overload.admission` — namenode token buckets that make
+  re-replication and migration traffic yield under client pressure;
+* :mod:`repro.overload.breaker` — per-node circuit breakers under the
+  client's read failover;
+* :mod:`repro.overload.brownout` — the hysteresis controller behind
+  Aurora's brownout mode (raise epsilon, defer migrations);
+* :mod:`repro.overload.protection` — one-call installation onto a live
+  namenode.
+"""
+
+from repro.overload.admission import AdmissionController, TokenBucket
+from repro.overload.breaker import BreakerState, CircuitBreaker
+from repro.overload.brownout import BrownoutController
+from repro.overload.protection import (
+    OverloadConfig,
+    OverloadProtection,
+    install_overload_protection,
+)
+from repro.overload.queueing import BoundedServiceQueue, Priority, ShedPolicy
+
+__all__ = [
+    "AdmissionController",
+    "TokenBucket",
+    "BreakerState",
+    "CircuitBreaker",
+    "BrownoutController",
+    "OverloadConfig",
+    "OverloadProtection",
+    "install_overload_protection",
+    "BoundedServiceQueue",
+    "Priority",
+    "ShedPolicy",
+]

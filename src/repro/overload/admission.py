@@ -1,0 +1,138 @@
+"""Namenode-side admission control for background traffic.
+
+Re-replication repairs and Aurora's reconfiguration migrations compete
+with client reads for the same NICs, and they surge at exactly the wrong
+moment: a node failure (or a reconfiguration period) during a load spike
+adds background transfers on top of saturated datanodes.
+
+:class:`TokenBucket` is a deterministic rate limiter on the simulation
+clock; :class:`AdmissionController` puts one bucket in front of each
+background traffic class and *scales the token cost with client
+pressure*: at zero pressure a transfer costs one token, and as the
+cluster's service queues saturate the cost grows, so background traffic
+yields bandwidth to clients exactly when they need it.  Denied work is
+not lost — the namenode keeps it queued and retries at the next
+replication check, when pressure may have eased.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.errors import OverloadConfigError
+from repro.obs.registry import get_registry
+
+__all__ = ["TokenBucket", "AdmissionController"]
+
+_REG = get_registry()
+_DECISIONS = _REG.counter(
+    "repro_overload_admission_total",
+    "Background-transfer admission decisions, by traffic kind and outcome",
+    ["kind", "outcome"],
+)
+
+
+class TokenBucket:
+    """A token bucket on a caller-supplied clock.
+
+    ``rate`` tokens accrue per second up to ``burst``; ``try_acquire``
+    never blocks — it either debits and admits or denies.  All state is
+    derived from the timestamps the caller passes in, so refills are
+    deterministic in simulated time.
+    """
+
+    def __init__(self, rate: float, burst: float) -> None:
+        if rate <= 0:
+            raise OverloadConfigError("token rate must be positive")
+        if burst <= 0:
+            raise OverloadConfigError("burst must be positive")
+        self.rate = rate
+        self.burst = burst
+        self._tokens = burst
+        self._last_refill = 0.0
+
+    def available(self, now: float) -> float:
+        """Tokens available at ``now`` (after refill)."""
+        self._refill(now)
+        return self._tokens
+
+    def try_acquire(self, now: float, tokens: float = 1.0) -> bool:
+        """Debit ``tokens`` if the bucket holds them; False otherwise."""
+        if tokens <= 0:
+            raise OverloadConfigError("tokens must be positive")
+        self._refill(now)
+        if self._tokens < tokens:
+            return False
+        self._tokens -= tokens
+        return True
+
+    def _refill(self, now: float) -> None:
+        if now < self._last_refill:
+            raise OverloadConfigError(
+                f"bucket clock moved backwards ({now} < {self._last_refill})"
+            )
+        self._tokens = min(
+            self.burst, self._tokens + (now - self._last_refill) * self.rate
+        )
+        self._last_refill = now
+
+
+class AdmissionController:
+    """Gates background transfers behind pressure-scaled token buckets.
+
+    ``pressure`` is a callable returning the cluster's client-load
+    signal in [0, 1] (mean service-queue saturation); the effective
+    token cost of one background transfer is ``1 / (1 - pressure)``
+    (clamped), so a half-saturated cluster doubles the cost and a
+    saturated one makes background work wait for the storm to pass.
+    """
+
+    def __init__(
+        self,
+        replication_rate: float = 4.0,
+        migration_rate: float = 2.0,
+        burst: float = 8.0,
+        pressure: Optional[Callable[[], float]] = None,
+        max_cost_scale: float = 20.0,
+    ) -> None:
+        if max_cost_scale < 1.0:
+            raise OverloadConfigError("max_cost_scale must be >= 1")
+        self._buckets: Dict[str, TokenBucket] = {
+            "replication": TokenBucket(replication_rate, burst),
+            "migration": TokenBucket(migration_rate, burst),
+        }
+        self.pressure = pressure or (lambda: 0.0)
+        self.max_cost_scale = max_cost_scale
+        self.admitted: Dict[str, int] = {kind: 0 for kind in self._buckets}
+        self.deferred: Dict[str, int] = {kind: 0 for kind in self._buckets}
+
+    def kinds(self) -> Dict[str, TokenBucket]:
+        """The gated traffic classes and their buckets."""
+        return dict(self._buckets)
+
+    def cost(self) -> float:
+        """Current token cost of one background transfer."""
+        pressure = max(0.0, min(1.0, self.pressure()))
+        if pressure >= 1.0:
+            return self.max_cost_scale
+        return min(self.max_cost_scale, 1.0 / (1.0 - pressure))
+
+    def admit(self, kind: str, now: float) -> bool:
+        """Whether one background transfer of ``kind`` may start now."""
+        try:
+            bucket = self._buckets[kind]
+        except KeyError:
+            raise OverloadConfigError(
+                f"unknown background traffic kind {kind!r}"
+            ) from None
+        admitted = bucket.try_acquire(now, self.cost())
+        if admitted:
+            self.admitted[kind] += 1
+        else:
+            self.deferred[kind] += 1
+        if _REG.enabled:
+            _DECISIONS.labels(
+                kind=kind,
+                outcome="admitted" if admitted else "deferred",
+            ).inc()
+        return admitted

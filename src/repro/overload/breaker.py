@@ -1,0 +1,155 @@
+"""Per-datanode circuit breakers for the DFS client.
+
+The client's read failover (PR 2) retries *through* a struggling node
+every time: each read walks the same preference order, pays the same
+failed attempt and backoff, and adds its request to the queue of a node
+that is already shedding.  A circuit breaker remembers recent outcomes
+per node and short-circuits the walk:
+
+* **closed** — requests flow; outcomes are recorded in a sliding window;
+* **open** — once the in-window failure rate crosses the threshold (with
+  a minimum request volume, so one unlucky read cannot trip it), the
+  node is skipped outright for ``cooldown`` seconds;
+* **half-open** — after the cool-down, a limited number of probe
+  requests are let through; one success closes the breaker, one failure
+  re-opens it for another cool-down.
+
+The breaker layers *under* the existing failover: a skipped node costs
+the client nothing (no attempt, no backoff), which both shortens the
+client's tail latency and sheds retry pressure from the sick node.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import Deque, List, Tuple
+
+from repro.errors import OverloadConfigError
+from repro.obs.registry import get_registry
+
+__all__ = ["BreakerState", "CircuitBreaker"]
+
+_REG = get_registry()
+_TRANSITIONS = _REG.counter(
+    "repro_overload_breaker_transitions_total",
+    "Circuit breaker state transitions, by new state",
+    ["state"],
+)
+
+
+class BreakerState(enum.Enum):
+    """The classic three-state breaker machine."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Failure-rate breaker over a sliding time window, for one node."""
+
+    def __init__(
+        self,
+        failure_threshold: float = 0.5,
+        min_volume: int = 5,
+        window: float = 60.0,
+        cooldown: float = 30.0,
+        half_open_probes: int = 1,
+    ) -> None:
+        if not 0.0 < failure_threshold <= 1.0:
+            raise OverloadConfigError("failure_threshold must be in (0, 1]")
+        if min_volume < 1:
+            raise OverloadConfigError("min_volume must be >= 1")
+        if window <= 0 or cooldown <= 0:
+            raise OverloadConfigError("window and cooldown must be positive")
+        if half_open_probes < 1:
+            raise OverloadConfigError("half_open_probes must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.min_volume = min_volume
+        self.window = window
+        self.cooldown = cooldown
+        self.half_open_probes = half_open_probes
+        self._state = BreakerState.CLOSED
+        self._events: Deque[Tuple[float, bool]] = deque()  # (time, ok)
+        self._opened_at = 0.0
+        self._probes_left = 0
+        self.trips = 0
+        self.transitions: List[Tuple[float, BreakerState]] = []
+
+    def state(self, now: float) -> BreakerState:
+        """Current state, promoting OPEN to HALF_OPEN after cool-down."""
+        if (self._state is BreakerState.OPEN
+                and now - self._opened_at >= self.cooldown):
+            self._move(BreakerState.HALF_OPEN, now)
+            self._probes_left = self.half_open_probes
+        return self._state
+
+    def allow(self, now: float) -> bool:
+        """Whether a request may be sent to this node now.
+
+        In HALF_OPEN, each ``allow`` consumes one probe slot; once the
+        slots are gone further requests are refused until an outcome is
+        recorded.
+        """
+        state = self.state(now)
+        if state is BreakerState.CLOSED:
+            return True
+        if state is BreakerState.OPEN:
+            return False
+        if self._probes_left > 0:
+            self._probes_left -= 1
+            return True
+        return False
+
+    def record_success(self, now: float) -> None:
+        """A request to this node succeeded."""
+        if self.state(now) is BreakerState.HALF_OPEN:
+            self._events.clear()
+            self._move(BreakerState.CLOSED, now)
+            return
+        self._events.append((now, True))
+        self._expire(now)
+
+    def record_failure(self, now: float) -> None:
+        """A request to this node failed (dead, stale, or shed)."""
+        if self.state(now) is BreakerState.HALF_OPEN:
+            self._trip(now)
+            return
+        self._events.append((now, False))
+        self._expire(now)
+        if self._state is BreakerState.CLOSED and self._should_trip():
+            self._trip(now)
+
+    def failure_rate(self, now: float) -> float:
+        """In-window failure fraction (0 with no recorded events)."""
+        self._expire(now)
+        if not self._events:
+            return 0.0
+        failures = sum(1 for _, ok in self._events if not ok)
+        return failures / len(self._events)
+
+    def _should_trip(self) -> bool:
+        if len(self._events) < self.min_volume:
+            return False
+        failures = sum(1 for _, ok in self._events if not ok)
+        return failures / len(self._events) >= self.failure_threshold
+
+    def _trip(self, now: float) -> None:
+        self._opened_at = now
+        self._events.clear()
+        self.trips += 1
+        self._move(BreakerState.OPEN, now)
+
+    def _move(self, state: BreakerState, now: float) -> None:
+        if state is self._state:
+            return
+        self._state = state
+        self.transitions.append((now, state))
+        if _REG.enabled:
+            _TRANSITIONS.labels(state=state.value).inc()
+
+    def _expire(self, now: float) -> None:
+        cutoff = now - self.window
+        while self._events and self._events[0][0] < cutoff:
+            self._events.popleft()

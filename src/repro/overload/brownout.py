@@ -1,0 +1,86 @@
+"""Aurora brownout mode: trade reconfiguration fidelity for headroom.
+
+Section IV's epsilon knob trades balance quality against reconfiguration
+traffic: a higher epsilon admits only operations that nearly close a
+load gap, so far fewer blocks move.  Under overload that trade flips
+from a tuning preference into a survival requirement — migration
+traffic competes with the very client reads whose pressure triggered
+the imbalance, so moving blocks aggressively makes the overload worse.
+
+:class:`BrownoutController` is a hysteresis state machine over the
+cluster saturation signal (mean bounded-queue occupancy, reported by
+heartbeats).  While browned out, :class:`~repro.aurora.system.AuroraSystem`
+
+* raises epsilon to ``brownout_epsilon`` (fewer, higher-value moves),
+* defers non-urgent migrations entirely when configured to, and
+* records the decision in its :class:`~repro.aurora.system.PeriodReport`
+
+so an operator can see exactly which periods ran degraded and why.
+Enter/exit use distinct thresholds so a cluster hovering at the edge
+does not flap in and out of brownout every period.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import OverloadConfigError
+from repro.obs.registry import get_registry
+
+__all__ = ["BrownoutController"]
+
+_REG = get_registry()
+_ACTIVE = _REG.gauge(
+    "repro_aurora_brownout_active",
+    "Whether Aurora is currently in brownout mode (1) or not (0)",
+)
+_TRANSITIONS = _REG.counter(
+    "repro_aurora_brownout_transitions_total",
+    "Brownout mode transitions, by direction",
+    ["direction"],
+)
+
+
+class BrownoutController:
+    """Hysteresis detector driving Aurora's degraded operating mode."""
+
+    def __init__(
+        self,
+        enter_threshold: float = 0.7,
+        exit_threshold: float = 0.4,
+    ) -> None:
+        if not 0.0 < enter_threshold <= 1.0:
+            raise OverloadConfigError("enter_threshold must be in (0, 1]")
+        if not 0.0 <= exit_threshold < enter_threshold:
+            raise OverloadConfigError(
+                "exit_threshold must be in [0, enter_threshold)"
+            )
+        self.enter_threshold = enter_threshold
+        self.exit_threshold = exit_threshold
+        self.active = False
+        self.last_saturation = 0.0
+        self.entered = 0
+        self.exited = 0
+        # (time, "enter" | "exit", saturation) — the operator's audit trail.
+        self.transitions: List[Tuple[float, str, float]] = []
+
+    def update(self, now: float, saturation: float) -> bool:
+        """Feed one saturation observation; returns the new mode."""
+        if saturation < 0.0:
+            raise OverloadConfigError("saturation must be non-negative")
+        self.last_saturation = saturation
+        if not self.active and saturation >= self.enter_threshold:
+            self.active = True
+            self.entered += 1
+            self.transitions.append((now, "enter", saturation))
+            if _REG.enabled:
+                _TRANSITIONS.labels(direction="enter").inc()
+        elif self.active and saturation <= self.exit_threshold:
+            self.active = False
+            self.exited += 1
+            self.transitions.append((now, "exit", saturation))
+            if _REG.enabled:
+                _TRANSITIONS.labels(direction="exit").inc()
+        if _REG.enabled:
+            _ACTIVE.set(1.0 if self.active else 0.0)
+        return self.active

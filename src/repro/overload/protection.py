@@ -1,0 +1,175 @@
+"""Assembling the overload-protection stack onto a live cluster.
+
+:class:`OverloadConfig` gathers every knob of the subsystem in one
+place; :func:`install_overload_protection` wires it onto a namenode:
+
+* each datanode gets a :class:`~repro.overload.queueing.BoundedServiceQueue`
+  sized from the config (the datanode's service capacity and waiting
+  room);
+* the namenode gets an
+  :class:`~repro.overload.admission.AdmissionController` whose pressure
+  signal is the live mean queue saturation, so re-replication and
+  Aurora migrations yield bandwidth exactly when clients are squeezed;
+* the returned :class:`OverloadProtection` handle builds per-node
+  circuit breakers for clients and exposes the cluster saturation
+  signal Aurora's brownout controller consumes.
+
+Everything is opt-in: a namenode without this wiring behaves exactly as
+before (no queues, no admission gate, no breakers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.errors import OverloadConfigError
+from repro.obs.registry import get_registry
+from repro.overload.breaker import CircuitBreaker
+from repro.overload.admission import AdmissionController
+from repro.overload.queueing import BoundedServiceQueue, ShedPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - the namenode imports this package
+    from repro.dfs.namenode import Namenode
+
+__all__ = ["OverloadConfig", "OverloadProtection",
+           "install_overload_protection"]
+
+_REG = get_registry()
+_CLUSTER_SATURATION = _REG.gauge(
+    "repro_overload_cluster_saturation",
+    "Mean bounded-queue occupancy across live datanodes",
+)
+
+
+@dataclass(frozen=True)
+class OverloadConfig:
+    """All overload-protection knobs.
+
+    Parameters
+    ----------
+    queue_capacity:
+        Bound on requests in one datanode's system (waiting + served).
+    service_rate:
+        Requests one datanode sustains per simulated second.
+    shed_policy:
+        What a full queue does with the next arrival (see
+        :class:`~repro.overload.queueing.ShedPolicy`).
+    hedge_latency_budget:
+        Client-side hedging: when the chosen replica's projected latency
+        exceeds this budget, a second request is fired at the next-best
+        replica and the faster response wins.  ``None`` disables.
+    breaker_failure_threshold / breaker_min_volume / breaker_window /
+    breaker_cooldown / breaker_half_open_probes:
+        Per-node circuit breaker tuning (see
+        :class:`~repro.overload.breaker.CircuitBreaker`).
+    replication_rate / migration_rate / admission_burst:
+        Token-bucket rates (transfers per second) for the two background
+        traffic classes, and their shared burst size.
+    """
+
+    queue_capacity: int = 32
+    service_rate: float = 100.0
+    shed_policy: ShedPolicy = ShedPolicy.PRIORITY
+    hedge_latency_budget: Optional[float] = None
+    breaker_failure_threshold: float = 0.5
+    breaker_min_volume: int = 5
+    breaker_window: float = 60.0
+    breaker_cooldown: float = 30.0
+    breaker_half_open_probes: int = 1
+    replication_rate: float = 4.0
+    migration_rate: float = 2.0
+    admission_burst: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.queue_capacity < 1:
+            raise OverloadConfigError("queue_capacity must be >= 1")
+        if self.service_rate <= 0:
+            raise OverloadConfigError("service_rate must be positive")
+        if (self.hedge_latency_budget is not None
+                and self.hedge_latency_budget <= 0):
+            raise OverloadConfigError(
+                "hedge_latency_budget must be positive"
+            )
+
+    def new_breaker(self) -> CircuitBreaker:
+        """A per-node circuit breaker tuned by this config."""
+        return CircuitBreaker(
+            failure_threshold=self.breaker_failure_threshold,
+            min_volume=self.breaker_min_volume,
+            window=self.breaker_window,
+            cooldown=self.breaker_cooldown,
+            half_open_probes=self.breaker_half_open_probes,
+        )
+
+
+class OverloadProtection:
+    """Handle over one cluster's installed overload machinery."""
+
+    def __init__(self, namenode: "Namenode", config: OverloadConfig) -> None:
+        self.namenode = namenode
+        self.config = config
+        self.queues: Dict[int, BoundedServiceQueue] = {}
+        for dn in namenode.datanodes:
+            queue = BoundedServiceQueue(
+                capacity=config.queue_capacity,
+                service_rate=config.service_rate,
+                policy=config.shed_policy,
+            )
+            dn.service_queue = queue
+            self.queues[dn.node_id] = queue
+        self.admission = AdmissionController(
+            replication_rate=config.replication_rate,
+            migration_rate=config.migration_rate,
+            burst=config.admission_burst,
+            pressure=lambda: self.cluster_saturation(namenode.now),
+        )
+        namenode.admission = self.admission
+
+    def cluster_saturation(self, now: float) -> float:
+        """Mean queue occupancy across live datanodes (0 when empty)."""
+        live = [
+            self.queues[dn.node_id]
+            for dn in self.namenode.datanodes if dn.alive
+        ]
+        if not live:
+            return 1.0  # nothing can serve: maximally overloaded
+        value = sum(q.saturation(now) for q in live) / len(live)
+        if _REG.enabled:
+            _CLUSTER_SATURATION.set(value)
+        return value
+
+    def max_saturation(self, now: float) -> float:
+        """Worst single-node queue occupancy (the hotspot signal)."""
+        return max(
+            (self.queues[dn.node_id].saturation(now)
+             for dn in self.namenode.datanodes if dn.alive),
+            default=1.0,
+        )
+
+    def breakers(self) -> Dict[int, CircuitBreaker]:
+        """Fresh per-node breakers for one client."""
+        return {
+            node: self.config.new_breaker() for node in self.queues
+        }
+
+    def total_shed(self) -> int:
+        """Requests shed across all queues so far."""
+        return sum(q.shed for q in self.queues.values())
+
+    def total_served(self) -> int:
+        """Requests completed across all queues so far."""
+        return sum(q.served for q in self.queues.values())
+
+    def uninstall(self) -> None:
+        """Detach queues and the admission gate (for A/B comparisons)."""
+        for dn in self.namenode.datanodes:
+            dn.service_queue = None
+        self.namenode.admission = None
+
+
+def install_overload_protection(
+    namenode: "Namenode", config: Optional[OverloadConfig] = None
+) -> OverloadProtection:
+    """Install bounded queues plus admission control on ``namenode``."""
+    return OverloadProtection(namenode, config or OverloadConfig())

@@ -1,0 +1,250 @@
+"""Per-datanode bounded service queues with load-shedding policies.
+
+The paper's premise is that popularity skew concentrates read load on a
+few machines; when the offered load on one of those machines exceeds its
+service rate, an unbounded queue turns the overload into unbounded tail
+latency.  :class:`BoundedServiceQueue` models each datanode as a
+work-conserving single server with a *bounded* waiting room: requests
+are admitted with an analytically computed completion time (virtual-time
+queueing — no simulation events needed), and arrivals beyond the bound
+are shed according to a :class:`ShedPolicy`:
+
+* ``reject`` — the arrival itself is turned away (classic admission
+  control: newest work is cheapest to refuse);
+* ``drop-oldest`` — the oldest waiting request is dropped to make room
+  (its client has waited longest and is the most likely to have timed
+  out already);
+* ``priority`` — the lowest-priority waiting request is evicted if the
+  arrival outranks it, else the arrival is shed.  Client reads outrank
+  re-replication, which outranks Aurora migration traffic
+  (:class:`Priority`).
+
+Shed requests fail *fast* — the caller (the DFS client) immediately
+fails over to another replica instead of waiting in a hopeless queue,
+which is what keeps p99 latency bounded at overload.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import Deque, Optional
+
+from repro.errors import OverloadConfigError
+from repro.obs.registry import get_registry
+
+__all__ = ["Priority", "ShedPolicy", "BoundedServiceQueue"]
+
+_REG = get_registry()
+_OFFERS = _REG.counter(
+    "repro_overload_queue_offers_total",
+    "Requests offered to bounded datanode service queues, by priority",
+    ["priority"],
+)
+_SHEDS = _REG.counter(
+    "repro_overload_queue_sheds_total",
+    "Requests shed by bounded datanode service queues, by policy",
+    ["policy"],
+)
+
+
+class Priority(enum.IntEnum):
+    """Request classes, most important first (lower value wins)."""
+
+    CLIENT_READ = 0
+    RE_REPLICATION = 1
+    MIGRATION = 2
+
+
+class ShedPolicy(enum.Enum):
+    """What a full queue does with one request too many."""
+
+    REJECT = "reject"
+    DROP_OLDEST = "drop-oldest"
+    PRIORITY = "priority"
+
+
+class _Entry:
+    """One admitted request: its service demand and completion time."""
+
+    __slots__ = ("completion", "service_time", "priority", "seq")
+
+    def __init__(self, completion: float, service_time: float,
+                 priority: Priority, seq: int) -> None:
+        self.completion = completion
+        self.service_time = service_time
+        self.priority = priority
+        self.seq = seq
+
+
+class BoundedServiceQueue:
+    """A bounded FIFO service queue over virtual (simulated) time.
+
+    ``service_rate`` is the node's sustainable request rate (requests
+    per simulated second); ``capacity`` bounds the number of requests
+    in the system (waiting plus in service).  ``offer`` returns the
+    request's latency (wait plus service) or ``None`` when it was shed.
+
+    The queue is work-conserving and deterministic: all state is derived
+    from the caller-supplied clock, so it composes with the DES kernel
+    without scheduling any events.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        service_rate: float,
+        policy: ShedPolicy = ShedPolicy.REJECT,
+    ) -> None:
+        if capacity < 1:
+            raise OverloadConfigError("queue capacity must be >= 1")
+        if service_rate <= 0:
+            raise OverloadConfigError("service_rate must be positive")
+        self.capacity = capacity
+        self.service_rate = service_rate
+        self.policy = policy
+        self._pending: Deque[_Entry] = deque()
+        self._seq = 0
+        self._last_now = 0.0
+        # Work-conserving idle accounting for utilization().
+        self._started_at: Optional[float] = None
+        self._idle_accum = 0.0
+        self._last_completion = 0.0
+        # offered == served + shed + depth(now) at all times.
+        self.offered = 0
+        self.served = 0
+        self.shed = 0
+        self.shed_arrivals = 0
+        self.shed_evictions = 0
+        self.busy_seconds = 0.0
+
+    # -- time bookkeeping ---------------------------------------------------
+
+    def _advance(self, now: float) -> None:
+        if now < self._last_now:
+            raise OverloadConfigError(
+                f"queue clock moved backwards ({now} < {self._last_now})"
+            )
+        self._last_now = now
+        while self._pending and self._pending[0].completion <= now:
+            self._pending.popleft()
+            self.served += 1
+
+    # -- queries ------------------------------------------------------------
+
+    def depth(self, now: float) -> int:
+        """Requests in the system (waiting plus in service)."""
+        self._advance(now)
+        return len(self._pending)
+
+    def saturation(self, now: float) -> float:
+        """Queue occupancy in [0, 1] — the overload signal."""
+        return self.depth(now) / self.capacity
+
+    def wait(self, now: float) -> float:
+        """Time a new arrival would wait before entering service."""
+        self._advance(now)
+        if not self._pending:
+            return 0.0
+        return max(0.0, self._pending[-1].completion - now)
+
+    def estimate(self, now: float, work: float = 1.0) -> float:
+        """Projected latency of an arrival at ``now``, ignoring bounds.
+
+        Used by hedged reads to compare replicas *before* committing the
+        request to a queue.
+        """
+        return self.wait(now) + self._service_time(work)
+
+    def utilization(self, now: float) -> float:
+        """Busy fraction of the server since its first offer."""
+        self._advance(now)
+        if self._started_at is None or now <= self._started_at:
+            return 0.0
+        idle = self._idle_accum
+        if not self._pending and now > self._last_completion:
+            idle += now - self._last_completion
+        elapsed = now - self._started_at
+        return max(0.0, min(1.0, 1.0 - idle / elapsed))
+
+    # -- the one mutation ---------------------------------------------------
+
+    def offer(
+        self,
+        now: float,
+        priority: Priority = Priority.CLIENT_READ,
+        work: float = 1.0,
+    ) -> Optional[float]:
+        """Submit one request; returns its latency, or ``None`` if shed."""
+        self._advance(now)
+        self.offered += 1
+        if _REG.enabled:
+            _OFFERS.labels(priority=priority.name.lower()).inc()
+        if self._started_at is None:
+            self._started_at = now
+            self._last_completion = now
+        elif not self._pending and now > self._last_completion:
+            self._idle_accum += now - self._last_completion
+        if len(self._pending) >= self.capacity:
+            if not self._make_room(priority):
+                self.shed += 1
+                self.shed_arrivals += 1
+                if _REG.enabled:
+                    _SHEDS.labels(policy=self.policy.value).inc()
+                return None
+        service_time = self._service_time(work)
+        start = max(now, self._pending[-1].completion if self._pending
+                    else self._last_completion)
+        self._seq += 1
+        entry = _Entry(start + service_time, service_time, priority, self._seq)
+        self._pending.append(entry)
+        self._last_completion = entry.completion
+        self.busy_seconds += service_time
+        return entry.completion - now
+
+    # -- shedding -----------------------------------------------------------
+
+    def _make_room(self, arriving: Priority) -> bool:
+        """Apply the shed policy to a full queue; True if room was made."""
+        if self.policy is ShedPolicy.REJECT:
+            return False
+        if self.policy is ShedPolicy.DROP_OLDEST:
+            victim = self._pending[0]
+        else:  # PRIORITY: evict the worst-ranked waiter, newest last
+            victim = max(self._pending, key=lambda e: (e.priority, e.seq))
+            if victim.priority <= arriving:
+                return False  # nothing in the queue ranks below the arrival
+        self._evict(victim)
+        return True
+
+    def _evict(self, victim: _Entry) -> None:
+        """Remove one admitted entry; later requests finish earlier.
+
+        Evicting the in-service head only recovers its *remaining*
+        service time — the work already done is sunk.
+        """
+        shift = victim.service_time
+        if victim is self._pending[0]:
+            shift = max(0.0, min(shift, victim.completion - self._last_now))
+        found = False
+        for entry in self._pending:
+            if entry is victim:
+                found = True
+                continue
+            if found:
+                entry.completion -= shift
+        self._pending.remove(victim)
+        self.busy_seconds -= shift
+        if self._pending:
+            self._last_completion = self._pending[-1].completion
+        else:
+            self._last_completion = min(self._last_completion, self._last_now)
+        self.shed += 1
+        self.shed_evictions += 1
+        if _REG.enabled:
+            _SHEDS.labels(policy=self.policy.value).inc()
+
+    def _service_time(self, work: float) -> float:
+        if work <= 0:
+            raise OverloadConfigError("work must be positive")
+        return work / self.service_rate

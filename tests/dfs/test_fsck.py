@@ -1,0 +1,150 @@
+"""Tests for the fsck invariant checker."""
+
+import json
+import random
+
+from repro.cluster.topology import ClusterTopology
+from repro.dfs.fsck import FsckViolation, render_fsck, run_fsck
+from repro.dfs.namenode import Namenode
+from repro.dfs.policies import DefaultHdfsPolicy
+
+
+def make_namenode(seed=0):
+    topo = ClusterTopology.uniform(2, 4, capacity=60)
+    return Namenode(
+        topo, placement_policy=DefaultHdfsPolicy(random.Random(seed)),
+        rng=random.Random(seed),
+    )
+
+
+class TestHealthyCluster:
+    def test_fresh_cluster_is_healthy(self):
+        nn = make_namenode()
+        nn.create_file("/a", num_blocks=3)
+        report = run_fsck(nn)
+        assert report.healthy
+        assert report.blocks_checked == 3
+        assert report.files_checked == 1
+        assert report.nodes_checked == 8
+        assert report.live_nodes == 8
+        assert "HEALTHY" in render_fsck(report)
+
+    def test_report_round_trips_through_json(self):
+        nn = make_namenode()
+        nn.create_file("/a", num_blocks=1)
+        payload = json.loads(json.dumps(run_fsck(nn).to_dict()))
+        assert payload["healthy"] is True
+        assert payload["violation_counts"] == {}
+
+
+class TestViolations:
+    def test_dead_location(self):
+        nn = make_namenode()
+        block = nn.create_file("/a", num_blocks=1).block_ids[0]
+        victim = next(iter(nn.blockmap.locations(block)))
+        # Crash the disk behind the namenode's back: the block map
+        # still lists the node, which is exactly the drift fsck flags.
+        nn.datanode(victim).crash()
+        report = run_fsck(nn, check_replication_targets=False)
+        assert report.counts_by_check() == {"dead-location": 1}
+        violation = report.violations[0]
+        assert violation.block_id == block
+        assert violation.node == victim
+
+    def test_phantom_location(self):
+        nn = make_namenode()
+        block = nn.create_file("/a", num_blocks=1).block_ids[0]
+        holders = nn.blockmap.locations(block)
+        impostor = next(
+            dn.node_id for dn in nn.datanodes if dn.node_id not in holders
+        )
+        nn.blockmap.add_location(block, impostor)
+        report = run_fsck(nn, check_replication_targets=False)
+        assert report.counts_by_check() == {"phantom-location": 1}
+        assert report.violations[0].node == impostor
+
+    def test_under_replicated_and_under_spread(self):
+        nn = make_namenode()
+        block = nn.create_file("/a", num_blocks=1).block_ids[0]
+        for node in list(nn.blockmap.locations(block))[1:]:
+            nn.blockmap.remove_location(block, node)
+            nn.datanode(node).erase(block)
+        counts = run_fsck(nn).counts_by_check()
+        assert counts["under-replicated"] == 1
+        # One replica left spans one rack; spread target clamps to the
+        # replica count, so spread is NOT separately violated here.
+        assert "under-spread" not in counts
+
+    def test_under_spread_with_enough_replicas(self):
+        nn = make_namenode()
+        block = nn.create_file("/a", num_blocks=1).block_ids[0]
+        # Rebuild the replica set entirely inside rack 0.
+        for node in list(nn.blockmap.locations(block)):
+            nn.blockmap.remove_location(block, node)
+            nn.datanode(node).erase(block)
+        size = nn.blockmap.meta(block).size
+        rack0 = [
+            dn.node_id for dn in nn.datanodes
+            if nn.topology.rack_of[dn.node_id] == 0
+        ][:3]
+        for node in rack0:
+            nn.datanode(node).store(block, size)
+            nn.blockmap.add_location(block, node)
+        counts = run_fsck(nn).counts_by_check()
+        assert counts == {"under-spread": 1}
+
+    def test_unreported_replica(self):
+        nn = make_namenode()
+        block = nn.create_file("/a", num_blocks=1).block_ids[0]
+        holder = next(iter(nn.blockmap.locations(block)))
+        nn.blockmap.remove_location(block, holder)
+        report = run_fsck(nn, check_replication_targets=False)
+        assert report.counts_by_check() == {"unreported-replica": 1}
+        assert report.violations[0].node == holder
+
+    def test_lazily_deleted_replicas_are_tolerated(self):
+        nn = make_namenode()
+        nn.create_file("/a", num_blocks=1)
+        holders = {
+            dn.node_id: dn.blocks() for dn in nn.datanodes if dn.blocks()
+        }
+        nn.delete_file("/a")
+        # Put the replica bytes back on disk without block-map entries:
+        # exactly what lazy deletion leaves behind.
+        for node, blocks in holders.items():
+            for block in blocks:
+                if not nn.datanode(node).holds(block):
+                    nn.datanode(node).store(block)
+        assert run_fsck(nn).healthy
+
+    def test_missing_block_and_orphaned_block(self):
+        nn = make_namenode()
+        meta = nn.create_file("/a", num_blocks=2)
+        doomed = meta.block_ids[0]
+        for node in list(nn.blockmap.locations(doomed)):
+            nn.datanode(node).erase(block_id=doomed)
+        nn.blockmap.unregister(doomed)
+        report = run_fsck(nn, check_replication_targets=False)
+        assert report.counts_by_check() == {"missing-block": 1}
+
+    def test_over_capacity(self):
+        nn = make_namenode()
+        dn = nn.datanode(0)
+        for k in range(dn.capacity_blocks + 1):
+            dn._blocks.add(10_000 + k)  # bypass the store() guard
+        report = run_fsck(nn, check_replication_targets=False)
+        assert "over-capacity" in report.counts_by_check()
+
+    def test_render_lists_violations(self):
+        nn = make_namenode()
+        block = nn.create_file("/a", num_blocks=1).block_ids[0]
+        nn.datanode(next(iter(nn.blockmap.locations(block)))).crash()
+        text = render_fsck(run_fsck(nn, check_replication_targets=False))
+        assert "violation" in text
+        assert "dead-location" in text
+
+    def test_violation_to_dict(self):
+        v = FsckViolation(check="x", detail="d", block_id=1, node=2)
+        assert v.to_dict() == {
+            "check": "x", "detail": "d", "block_id": 1, "node": 2,
+        }

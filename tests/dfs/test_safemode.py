@@ -114,3 +114,72 @@ class TestSafeModeMonitor:
         monitor.run_on(sim)
         with pytest.raises(DfsError):
             monitor.run_on(sim)
+
+
+class TestCrashDuringRecovery:
+    """Recovery must survive being interrupted and survivors dying."""
+
+    def _crashed_cluster(self, seed=7):
+        nn = make_namenode(seed=seed)
+        log = attach_edit_log(nn)
+        nn.create_file("/a", num_blocks=3)
+        nn.create_file("/b", num_blocks=2)
+        fresh = make_namenode(seed=seed + 1)
+        return nn, log, fresh
+
+    def test_rerunning_recovery_is_idempotent(self):
+        # The recovering namenode crashes after applying block reports
+        # and recovery starts over: the second pass must not trip
+        # duplicate-replica errors or double-store replicas.
+        nn, log, fresh = self._crashed_cluster()
+        recover_namenode(fresh, log, surviving_datanodes=nn.datanodes)
+        recover_namenode(fresh, log, surviving_datanodes=nn.datanodes)
+        for block_id in fresh.blockmap.block_ids():
+            assert (fresh.blockmap.locations(block_id)
+                    == nn.blockmap.locations(block_id))
+        fresh.audit()
+
+    def test_dead_survivor_restores_disk_but_no_locations(self):
+        nn, log, fresh = self._crashed_cluster()
+        victim = next(iter(nn.blockmap.locations(nn.file("/a").block_ids[0])))
+        nn.datanode(victim).crash()  # dies before its report lands
+        recover_namenode(fresh, log, surviving_datanodes=nn.datanodes)
+        target = fresh.datanode(victim)
+        assert not target.alive
+        assert target.blocks() == nn.datanode(victim).blocks()
+        for block_id in target.blocks():
+            assert victim not in fresh.blockmap.locations(block_id)
+        fresh.audit()
+
+    def test_rerun_after_survivor_dies_mid_recovery(self):
+        # First pass registers the survivor's replicas; the survivor
+        # then crashes and recovery is re-run.  The re-run must retract
+        # the dead node's locations instead of leaving the block map
+        # pointing at a node that cannot serve.
+        nn, log, fresh = self._crashed_cluster()
+        victim = next(iter(nn.blockmap.locations(nn.file("/a").block_ids[0])))
+        recover_namenode(fresh, log, surviving_datanodes=nn.datanodes)
+        assert fresh.blockmap.blocks_on(victim)
+        nn.datanode(victim).crash()
+        recover_namenode(fresh, log, surviving_datanodes=nn.datanodes)
+        assert not fresh.blockmap.blocks_on(victim)
+        assert not fresh.datanode(victim).alive
+        fresh.audit()
+
+    def test_safe_mode_ignores_dead_survivors_until_they_report(self):
+        nn, log, fresh = self._crashed_cluster()
+        monitor = SafeModeMonitor(fresh, threshold=0.999)
+        # Every replica holder of one block dies before reporting.
+        block = nn.file("/a").block_ids[0]
+        holders = list(nn.blockmap.locations(block))
+        for node in holders:
+            nn.datanode(node).crash()
+        recover_namenode(fresh, log, surviving_datanodes=nn.datanodes)
+        assert not monitor.check(now=0.0)
+        assert fresh.safe_mode  # the dead disks must not count
+        # The crashed nodes reboot and re-report: safe mode can exit.
+        for node in holders:
+            fresh.recover_node(node)
+        assert monitor.check(now=1.0)
+        assert not fresh.safe_mode
+        fresh.audit()

@@ -1,0 +1,159 @@
+"""Tests for circuit breakers, token buckets and admission control."""
+
+import pytest
+
+from repro.errors import OverloadConfigError
+from repro.overload.admission import AdmissionController, TokenBucket
+from repro.overload.breaker import BreakerState, CircuitBreaker
+
+
+def make_breaker(**kwargs):
+    defaults = dict(failure_threshold=0.5, min_volume=4, window=60.0,
+                    cooldown=30.0, half_open_probes=1)
+    defaults.update(kwargs)
+    return CircuitBreaker(**defaults)
+
+
+class TestCircuitBreaker:
+    def test_starts_closed_and_allows(self):
+        b = make_breaker()
+        assert b.state(0.0) is BreakerState.CLOSED
+        assert b.allow(0.0)
+
+    def test_trips_at_threshold_with_min_volume(self):
+        b = make_breaker()
+        for _ in range(3):
+            b.record_failure(0.0)
+        assert b.state(0.0) is BreakerState.CLOSED  # volume not met
+        b.record_failure(0.0)
+        assert b.state(0.0) is BreakerState.OPEN
+        assert b.trips == 1
+        assert not b.allow(1.0)
+
+    def test_successes_dilute_the_failure_rate(self):
+        b = make_breaker()
+        for _ in range(6):
+            b.record_success(0.0)
+        for _ in range(4):
+            b.record_failure(0.0)
+        assert b.state(0.0) is BreakerState.CLOSED  # 40% < 50%
+        assert b.failure_rate(0.0) == pytest.approx(0.4)
+
+    def test_window_expires_old_outcomes(self):
+        b = make_breaker(window=10.0)
+        for _ in range(4):
+            b.record_failure(0.0)
+        assert b.state(0.0) is BreakerState.OPEN
+        b = make_breaker(window=10.0)
+        for _ in range(3):
+            b.record_failure(0.0)
+        # The early failures scroll out of the window before the fourth.
+        b.record_failure(20.0)
+        assert b.state(20.0) is BreakerState.CLOSED
+
+    def test_half_open_probe_success_closes(self):
+        b = make_breaker(cooldown=30.0)
+        for _ in range(4):
+            b.record_failure(0.0)
+        assert b.state(29.9) is BreakerState.OPEN
+        assert b.state(30.0) is BreakerState.HALF_OPEN
+        assert b.allow(30.0)       # consumes the probe slot
+        assert not b.allow(30.0)   # no more probes until an outcome
+        b.record_success(31.0)
+        assert b.state(31.0) is BreakerState.CLOSED
+        assert b.allow(31.0)
+
+    def test_half_open_probe_failure_reopens(self):
+        b = make_breaker(cooldown=30.0)
+        for _ in range(4):
+            b.record_failure(0.0)
+        assert b.state(30.0) is BreakerState.HALF_OPEN
+        b.record_failure(30.5)
+        assert b.state(31.0) is BreakerState.OPEN
+        assert b.trips == 2
+        # A fresh cool-down applies from the re-trip.
+        assert b.state(59.0) is BreakerState.OPEN
+        assert b.state(60.5) is BreakerState.HALF_OPEN
+
+    def test_validation(self):
+        with pytest.raises(OverloadConfigError):
+            CircuitBreaker(failure_threshold=0.0)
+        with pytest.raises(OverloadConfigError):
+            CircuitBreaker(min_volume=0)
+        with pytest.raises(OverloadConfigError):
+            CircuitBreaker(window=0.0)
+        with pytest.raises(OverloadConfigError):
+            CircuitBreaker(half_open_probes=0)
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        bucket = TokenBucket(rate=2.0, burst=4.0)
+        for _ in range(4):
+            assert bucket.try_acquire(0.0)
+        assert not bucket.try_acquire(0.0)
+        assert bucket.try_acquire(0.5)  # one token back after 0.5s
+        assert not bucket.try_acquire(0.5)
+
+    def test_refill_caps_at_burst(self):
+        bucket = TokenBucket(rate=10.0, burst=2.0)
+        bucket.try_acquire(0.0)
+        assert bucket.available(100.0) == pytest.approx(2.0)
+
+    def test_clock_must_be_monotonic(self):
+        bucket = TokenBucket(rate=1.0, burst=1.0)
+        bucket.try_acquire(5.0)
+        with pytest.raises(OverloadConfigError):
+            bucket.try_acquire(4.0)
+
+    def test_validation(self):
+        with pytest.raises(OverloadConfigError):
+            TokenBucket(rate=0.0, burst=1.0)
+        with pytest.raises(OverloadConfigError):
+            TokenBucket(rate=1.0, burst=0.0)
+        bucket = TokenBucket(rate=1.0, burst=1.0)
+        with pytest.raises(OverloadConfigError):
+            bucket.try_acquire(0.0, tokens=0.0)
+
+
+class TestAdmissionController:
+    def test_admits_within_rate(self):
+        ctrl = AdmissionController(replication_rate=4.0, burst=2.0)
+        assert ctrl.admit("replication", 0.0)
+        assert ctrl.admit("replication", 0.0)
+        assert not ctrl.admit("replication", 0.0)
+        assert ctrl.admitted["replication"] == 2
+        assert ctrl.deferred["replication"] == 1
+
+    def test_kinds_are_isolated(self):
+        ctrl = AdmissionController(replication_rate=4.0,
+                                   migration_rate=2.0, burst=1.0)
+        assert ctrl.admit("replication", 0.0)
+        assert ctrl.admit("migration", 0.0)  # its own bucket
+        assert not ctrl.admit("migration", 0.0)
+
+    def test_unknown_kind_rejected(self):
+        ctrl = AdmissionController()
+        with pytest.raises(OverloadConfigError):
+            ctrl.admit("gossip", 0.0)
+
+    def test_pressure_scales_cost(self):
+        ctrl = AdmissionController(pressure=lambda: 0.5)
+        assert ctrl.cost() == pytest.approx(2.0)
+        ctrl = AdmissionController(pressure=lambda: 0.0)
+        assert ctrl.cost() == pytest.approx(1.0)
+
+    def test_full_pressure_clamps_to_max_scale(self):
+        ctrl = AdmissionController(pressure=lambda: 1.0, max_cost_scale=20.0)
+        assert ctrl.cost() == pytest.approx(20.0)
+        ctrl = AdmissionController(pressure=lambda: 5.0)  # clamped to 1
+        assert ctrl.cost() == pytest.approx(20.0)
+
+    def test_saturated_cluster_starves_background_traffic(self):
+        ctrl = AdmissionController(replication_rate=4.0, burst=8.0,
+                                   pressure=lambda: 0.9)
+        # Cost 10 against burst 8: nothing gets through.
+        assert not ctrl.admit("replication", 0.0)
+        calm = AdmissionController(replication_rate=4.0, burst=8.0,
+                                   pressure=lambda: 0.0)
+        assert calm.admit("replication", 0.0)

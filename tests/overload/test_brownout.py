@@ -1,0 +1,65 @@
+"""Tests for the Aurora brownout hysteresis controller."""
+
+import pytest
+
+from repro.errors import OverloadConfigError
+from repro.overload.brownout import BrownoutController
+
+
+class TestBrownoutController:
+    def test_starts_inactive(self):
+        ctrl = BrownoutController(enter_threshold=0.7, exit_threshold=0.4)
+        assert not ctrl.active
+        assert ctrl.entered == 0
+
+    def test_enters_at_threshold(self):
+        ctrl = BrownoutController(enter_threshold=0.7, exit_threshold=0.4)
+        assert not ctrl.update(0.0, 0.69)
+        assert ctrl.update(1.0, 0.7)
+        assert ctrl.entered == 1
+        assert ctrl.transitions == [(1.0, "enter", 0.7)]
+
+    def test_hysteresis_band_holds_both_ways(self):
+        ctrl = BrownoutController(enter_threshold=0.7, exit_threshold=0.4)
+        # In the band while inactive: stays out.
+        assert not ctrl.update(0.0, 0.5)
+        ctrl.update(1.0, 0.9)
+        # In the band while active: stays in.
+        assert ctrl.update(2.0, 0.5)
+        assert ctrl.update(3.0, 0.41)
+        assert ctrl.exited == 0
+
+    def test_exits_at_exit_threshold(self):
+        ctrl = BrownoutController(enter_threshold=0.7, exit_threshold=0.4)
+        ctrl.update(0.0, 0.8)
+        assert not ctrl.update(5.0, 0.4)
+        assert ctrl.exited == 1
+        assert ctrl.transitions[-1] == (5.0, "exit", 0.4)
+
+    def test_reentry_is_counted(self):
+        ctrl = BrownoutController(enter_threshold=0.7, exit_threshold=0.4)
+        for t, s in enumerate((0.8, 0.1, 0.9, 0.2)):
+            ctrl.update(float(t), s)
+        assert ctrl.entered == 2
+        assert ctrl.exited == 2
+        assert [d for _, d, _ in ctrl.transitions] == [
+            "enter", "exit", "enter", "exit"
+        ]
+
+    def test_last_saturation_tracked(self):
+        ctrl = BrownoutController()
+        ctrl.update(0.0, 0.33)
+        assert ctrl.last_saturation == pytest.approx(0.33)
+
+    def test_validation(self):
+        with pytest.raises(OverloadConfigError):
+            BrownoutController(enter_threshold=0.0)
+        with pytest.raises(OverloadConfigError):
+            BrownoutController(enter_threshold=1.5)
+        with pytest.raises(OverloadConfigError):
+            BrownoutController(enter_threshold=0.5, exit_threshold=0.5)
+        with pytest.raises(OverloadConfigError):
+            BrownoutController(enter_threshold=0.5, exit_threshold=-0.1)
+        ctrl = BrownoutController()
+        with pytest.raises(OverloadConfigError):
+            ctrl.update(0.0, -0.2)

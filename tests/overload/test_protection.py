@@ -1,0 +1,164 @@
+"""Tests for the installed overload stack and the client's use of it."""
+
+import random
+
+import pytest
+
+from repro.cluster.topology import ClusterTopology
+from repro.dfs.client import DfsClient
+from repro.dfs.namenode import Namenode
+from repro.dfs.policies import DefaultHdfsPolicy
+from repro.errors import OverloadSheddedError
+from repro.overload.breaker import BreakerState
+from repro.overload.protection import (
+    OverloadConfig,
+    install_overload_protection,
+)
+from repro.overload.queueing import Priority
+
+
+def make_namenode(seed=0):
+    topo = ClusterTopology.uniform(2, 4, capacity=60)
+    return Namenode(
+        topo, placement_policy=DefaultHdfsPolicy(random.Random(seed)),
+        rng=random.Random(seed),
+    )
+
+
+class TestInstall:
+    def test_every_datanode_gets_a_queue(self):
+        nn = make_namenode()
+        protection = install_overload_protection(nn)
+        for dn in nn.datanodes:
+            assert dn.service_queue is protection.queues[dn.node_id]
+        assert nn.admission is protection.admission
+
+    def test_uninstall_detaches_everything(self):
+        nn = make_namenode()
+        protection = install_overload_protection(nn)
+        protection.uninstall()
+        assert all(dn.service_queue is None for dn in nn.datanodes)
+        assert nn.admission is None
+
+    def test_breakers_are_fresh_per_client(self):
+        nn = make_namenode()
+        protection = install_overload_protection(nn)
+        a, b = protection.breakers(), protection.breakers()
+        assert set(a) == {dn.node_id for dn in nn.datanodes}
+        assert all(a[node] is not b[node] for node in a)
+
+
+class TestClusterSaturation:
+    def test_idle_cluster_is_zero(self):
+        protection = install_overload_protection(make_namenode())
+        assert protection.cluster_saturation(0.0) == 0.0
+
+    def test_tracks_mean_queue_occupancy(self):
+        nn = make_namenode()
+        protection = install_overload_protection(
+            nn, OverloadConfig(queue_capacity=4, service_rate=1.0)
+        )
+        full = protection.queues[0]
+        for _ in range(4):
+            full.offer(0.0, Priority.CLIENT_READ)
+        assert protection.cluster_saturation(0.0) == pytest.approx(
+            1.0 / len(nn.datanodes)
+        )
+        assert protection.max_saturation(0.0) == pytest.approx(1.0)
+
+    def test_no_live_nodes_is_maximally_overloaded(self):
+        nn = make_namenode()
+        protection = install_overload_protection(nn)
+        for dn in nn.datanodes:
+            nn.fail_node(dn.node_id, re_replicate=False)
+        assert protection.cluster_saturation(0.0) == 1.0
+
+    def test_saturation_pressure_starves_admission(self):
+        nn = make_namenode()
+        protection = install_overload_protection(
+            nn, OverloadConfig(queue_capacity=2, service_rate=1.0,
+                               admission_burst=8.0)
+        )
+        assert nn.admission.admit("replication", 0.0)
+        for queue in protection.queues.values():
+            queue.offer(0.0, Priority.CLIENT_READ)
+            queue.offer(0.0, Priority.CLIENT_READ)
+        # Every queue full: cost hits max_cost_scale, above the burst.
+        assert not nn.admission.admit("replication", 0.0)
+
+
+class TestClientUnderOverload:
+    """The read path: shed failover, breakers, hedging."""
+
+    def _cluster(self, **config_kwargs):
+        nn = make_namenode(seed=11)
+        config_kwargs.setdefault("queue_capacity", 2)
+        config_kwargs.setdefault("service_rate", 1.0)
+        protection = install_overload_protection(
+            nn, OverloadConfig(**config_kwargs)
+        )
+        meta = nn.create_file("/hot", num_blocks=1)
+        return nn, protection, meta.block_ids[0]
+
+    def test_shed_read_fails_over_without_backoff(self):
+        nn, protection, block = self._cluster()
+        client = DfsClient(nn, breakers=protection.breakers())
+        primary = next(iter(nn.replica_preference(block, reader=0)))
+        queue = protection.queues[primary]
+        while queue.offer(0.0, Priority.CLIENT_READ) is not None:
+            pass
+        result = client.read_block(block, reader=0)
+        assert result.failed_over
+        assert result.source != primary
+        assert result.backoff == 0.0  # shed answers are instant
+        assert client.reads_shed == 1
+
+    def test_all_replicas_shedding_raises(self):
+        nn, protection, block = self._cluster()
+        for node in nn.blockmap.locations(block):
+            queue = protection.queues[node]
+            while queue.offer(0.0, Priority.CLIENT_READ) is not None:
+                pass
+        client = DfsClient(nn)
+        with pytest.raises(OverloadSheddedError):
+            client.read_block(block, reader=0)
+        assert client.read_errors == 1
+
+    def test_tripped_breaker_skips_the_node(self):
+        nn, protection, block = self._cluster()
+        breakers = protection.breakers()
+        client = DfsClient(nn, breakers=breakers)
+        primary = next(iter(nn.replica_preference(block, reader=0)))
+        for _ in range(10):
+            breakers[primary].record_failure(0.0)
+        assert breakers[primary].state(0.0) is BreakerState.OPEN
+        result = client.read_block(block, reader=0)
+        assert result.source != primary
+        assert primary not in result.attempts
+        assert client.breaker_skips == 1
+
+    def test_hedge_beats_a_deep_primary_queue(self):
+        nn, protection, block = self._cluster(
+            queue_capacity=8, hedge_latency_budget=2.0
+        )
+        client = DfsClient(
+            nn, breakers=protection.breakers(), hedge_latency_budget=2.0
+        )
+        ranked = list(nn.replica_preference(block, reader=0))
+        # Load the primary well past the hedge budget; the next replica
+        # in preference order stays idle and wins the race.
+        for _ in range(5):
+            protection.queues[ranked[0]].offer(0.0, Priority.CLIENT_READ)
+        result = client.read_block(block, reader=0)
+        assert result.hedged
+        assert result.source == ranked[1]
+        assert result.latency < 2.0
+        assert client.hedged_reads == 1
+        assert client.hedge_wins == 1
+
+    def test_no_hedge_when_primary_is_fast(self):
+        nn, protection, block = self._cluster(hedge_latency_budget=5.0)
+        client = DfsClient(nn, hedge_latency_budget=5.0)
+        result = client.read_block(block, reader=0)
+        assert not result.hedged
+        assert client.hedged_reads == 0

@@ -1,0 +1,150 @@
+"""Tests for the bounded virtual-time service queue."""
+
+import pytest
+
+from repro.errors import OverloadConfigError
+from repro.overload.queueing import BoundedServiceQueue, Priority, ShedPolicy
+
+
+def invariant(queue, now):
+    assert queue.offered == queue.served + queue.shed + queue.depth(now)
+
+
+class TestVirtualTime:
+    def test_empty_queue_serves_at_service_time(self):
+        q = BoundedServiceQueue(capacity=4, service_rate=2.0)
+        assert q.offer(0.0) == pytest.approx(0.5)
+        assert q.depth(0.0) == 1
+        assert q.depth(0.5) == 0
+        assert q.served == 1
+
+    def test_latencies_accumulate_fifo(self):
+        q = BoundedServiceQueue(capacity=4, service_rate=1.0)
+        assert q.offer(0.0) == pytest.approx(1.0)
+        assert q.offer(0.0) == pytest.approx(2.0)
+        assert q.offer(0.0) == pytest.approx(3.0)
+        assert q.wait(0.0) == pytest.approx(3.0)
+        invariant(q, 0.0)
+
+    def test_idle_time_is_not_carried_forward(self):
+        q = BoundedServiceQueue(capacity=4, service_rate=1.0)
+        q.offer(0.0)
+        # Long idle gap: the next request must not inherit old virtual time.
+        assert q.offer(100.0) == pytest.approx(1.0)
+
+    def test_work_scales_service_time(self):
+        q = BoundedServiceQueue(capacity=4, service_rate=2.0)
+        assert q.offer(0.0, work=3.0) == pytest.approx(1.5)
+
+    def test_clock_must_not_move_backwards(self):
+        q = BoundedServiceQueue(capacity=4, service_rate=1.0)
+        q.offer(5.0)
+        with pytest.raises(OverloadConfigError):
+            q.offer(4.0)
+
+    def test_estimate_matches_next_offer(self):
+        q = BoundedServiceQueue(capacity=8, service_rate=2.0)
+        q.offer(0.0)
+        q.offer(0.0)
+        estimated = q.estimate(0.25)
+        assert q.offer(0.25) == pytest.approx(estimated)
+
+    def test_utilization_tracks_busy_fraction(self):
+        q = BoundedServiceQueue(capacity=4, service_rate=1.0)
+        q.offer(0.0)  # busy [0, 1]
+        q.offer(2.0)  # idle [1, 2], busy [2, 3]
+        assert q.utilization(4.0) == pytest.approx(0.5)
+
+
+class TestRejectPolicy:
+    def test_overflow_is_shed(self):
+        q = BoundedServiceQueue(capacity=2, service_rate=1.0,
+                                policy=ShedPolicy.REJECT)
+        assert q.offer(0.0) is not None
+        assert q.offer(0.0) is not None
+        assert q.offer(0.0) is None
+        assert q.shed == 1
+        assert q.shed_arrivals == 1
+        invariant(q, 0.0)
+
+    def test_draining_reopens_the_queue(self):
+        q = BoundedServiceQueue(capacity=1, service_rate=1.0,
+                                policy=ShedPolicy.REJECT)
+        q.offer(0.0)
+        assert q.offer(0.5) is None
+        assert q.offer(1.5) is not None
+
+
+class TestDropOldestPolicy:
+    def test_oldest_waiter_is_dropped(self):
+        q = BoundedServiceQueue(capacity=2, service_rate=1.0,
+                                policy=ShedPolicy.DROP_OLDEST)
+        q.offer(0.0)
+        q.offer(0.0)
+        latency = q.offer(0.0)
+        assert latency is not None
+        assert q.shed_evictions == 1
+        invariant(q, 0.0)
+
+    def test_evicting_in_service_head_keeps_sunk_work(self):
+        q = BoundedServiceQueue(capacity=1, service_rate=1.0,
+                                policy=ShedPolicy.DROP_OLDEST)
+        q.offer(0.0)  # completes at 1.0
+        # At t=0.6 the head has 0.4s of service left: the replacement
+        # can start only after the sunk work, i.e. finish at 1.6.
+        latency = q.offer(0.6)
+        assert latency == pytest.approx(1.0)
+        invariant(q, 0.6)
+
+
+class TestPriorityPolicy:
+    def build_full(self):
+        q = BoundedServiceQueue(capacity=3, service_rate=1.0,
+                                policy=ShedPolicy.PRIORITY)
+        q.offer(0.0, Priority.CLIENT_READ)
+        q.offer(0.0, Priority.RE_REPLICATION)
+        q.offer(0.0, Priority.MIGRATION)
+        return q
+
+    def test_read_evicts_migration(self):
+        q = self.build_full()
+        assert q.offer(0.0, Priority.CLIENT_READ) is not None
+        assert q.shed_evictions == 1
+        invariant(q, 0.0)
+
+    def test_migration_cannot_evict_anyone(self):
+        q = self.build_full()
+        assert q.offer(0.0, Priority.MIGRATION) is None
+        assert q.shed_arrivals == 1
+
+    def test_equal_priority_does_not_evict(self):
+        q = BoundedServiceQueue(capacity=1, service_rate=1.0,
+                                policy=ShedPolicy.PRIORITY)
+        q.offer(0.0, Priority.CLIENT_READ)
+        assert q.offer(0.0, Priority.CLIENT_READ) is None
+
+    def test_eviction_speeds_up_later_requests(self):
+        q = BoundedServiceQueue(capacity=3, service_rate=1.0,
+                                policy=ShedPolicy.PRIORITY)
+        q.offer(0.0, Priority.CLIENT_READ)
+        q.offer(0.0, Priority.MIGRATION)
+        third = q.offer(0.0, Priority.CLIENT_READ)
+        assert third == pytest.approx(3.0)
+        # A fourth read evicts the migration waiter; it takes over the
+        # freed slot and the whole chain finishes one service earlier.
+        fourth = q.offer(0.0, Priority.CLIENT_READ)
+        assert fourth == pytest.approx(3.0)
+        assert q.depth(2.999) > 0
+        assert q.depth(3.0) == 0
+        invariant(q, 3.0)
+
+
+class TestValidation:
+    def test_capacity_and_rate_validated(self):
+        with pytest.raises(OverloadConfigError):
+            BoundedServiceQueue(capacity=0, service_rate=1.0)
+        with pytest.raises(OverloadConfigError):
+            BoundedServiceQueue(capacity=1, service_rate=0.0)
+        q = BoundedServiceQueue(capacity=1, service_rate=1.0)
+        with pytest.raises(OverloadConfigError):
+            q.offer(0.0, work=0.0)

@@ -1,0 +1,175 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+Each property pins an invariant the unit tests only sample:
+
+* :class:`~repro.faults.retry.RetryPolicy` backoff is bounded and
+  monotone for every valid configuration;
+* :class:`~repro.dfs.blockmap.BlockMap` location bookkeeping round
+  trips under arbitrary add/remove interleavings;
+* :class:`~repro.overload.queueing.BoundedServiceQueue` conserves
+  requests (``offered == served + shed + depth``) and never exceeds
+  its capacity, for every offer schedule and shed policy.
+
+``deadline=None`` everywhere: the suite runs under coverage and in CI
+containers where per-example wall-clock limits only produce flakes.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.topology import ClusterTopology
+from repro.dfs.block import BlockMeta
+from repro.dfs.blockmap import BlockMap
+from repro.faults.retry import RetryPolicy
+from repro.overload.queueing import BoundedServiceQueue, Priority, ShedPolicy
+
+policies = st.builds(
+    RetryPolicy,
+    max_attempts=st.integers(min_value=1, max_value=12),
+    base_delay=st.floats(min_value=0.0, max_value=10.0),
+    multiplier=st.floats(min_value=1.0, max_value=4.0),
+    max_delay=st.floats(min_value=10.0, max_value=120.0),
+    jitter=st.floats(min_value=0.0, max_value=0.99),
+)
+
+
+class TestRetryPolicyProperties:
+    @settings(deadline=None)
+    @given(policy=policies, attempt=st.integers(min_value=1, max_value=30),
+           seed=st.integers(min_value=0, max_value=2**32 - 1))
+    def test_delay_is_bounded(self, policy, attempt, seed):
+        delay = policy.delay(attempt, random.Random(seed))
+        assert 0.0 <= delay <= policy.max_delay * (1.0 + policy.jitter)
+
+    @settings(deadline=None)
+    @given(policy=policies, attempt=st.integers(min_value=1, max_value=29))
+    def test_jitter_free_delay_is_monotone(self, policy, attempt):
+        assert policy.delay(attempt) <= policy.delay(attempt + 1)
+
+    @settings(deadline=None)
+    @given(policy=policies, seed=st.integers(min_value=0, max_value=2**32 - 1))
+    def test_full_sequence_respects_attempt_cap(self, policy, seed):
+        delays = list(policy.delays(random.Random(seed)))
+        assert len(delays) <= policy.max_attempts - 1
+        assert all(d >= 0.0 for d in delays)
+
+    @settings(deadline=None)
+    @given(policy=policies)
+    def test_admits_is_monotone_in_attempts(self, policy):
+        admitted = [policy.admits(n) for n in range(0, policy.max_attempts + 2)]
+        # Once the policy refuses, it never admits again.
+        assert admitted == sorted(admitted, reverse=True)
+        assert not policy.admits(policy.max_attempts)
+
+
+# An interleaving of location operations: (block index, node, add?).
+location_ops = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=4),
+        st.integers(min_value=0, max_value=7),
+        st.booleans(),
+    ),
+    max_size=60,
+)
+
+
+class TestBlockMapProperties:
+    @settings(deadline=None)
+    @given(ops=location_ops)
+    def test_locations_round_trip(self, ops):
+        blockmap = BlockMap(ClusterTopology.uniform(2, 4, capacity=60))
+        for block_id in range(5):
+            blockmap.register(BlockMeta(
+                block_id=block_id, file_id=0, size=1,
+                replication_factor=3, rack_spread=2,
+            ))
+        shadow = {block_id: set() for block_id in range(5)}
+        for block_id, node, add in ops:
+            if add and node not in shadow[block_id]:
+                blockmap.add_location(block_id, node)
+                shadow[block_id].add(node)
+            elif not add and node in shadow[block_id]:
+                blockmap.remove_location(block_id, node)
+                shadow[block_id].remove(node)
+        for block_id in range(5):
+            assert blockmap.locations(block_id) == shadow[block_id]
+            assert blockmap.replica_count(block_id) == len(shadow[block_id])
+        for node in range(8):
+            assert blockmap.blocks_on(node) == {
+                b for b, nodes in shadow.items() if node in nodes
+            }
+
+    @settings(deadline=None)
+    @given(ops=location_ops)
+    def test_unregister_clears_every_index(self, ops):
+        blockmap = BlockMap(ClusterTopology.uniform(2, 4, capacity=60))
+        for block_id in range(5):
+            blockmap.register(BlockMeta(
+                block_id=block_id, file_id=0, size=1,
+                replication_factor=3, rack_spread=2,
+            ))
+        seen = {block_id: set() for block_id in range(5)}
+        for block_id, node, add in ops:
+            if add and node not in seen[block_id]:
+                blockmap.add_location(block_id, node)
+                seen[block_id].add(node)
+        for block_id in range(5):
+            blockmap.unregister(block_id)
+        assert blockmap.num_blocks == 0
+        for node in range(8):
+            assert not blockmap.blocks_on(node)
+
+
+# An offer schedule: monotone arrival gaps plus priorities and work.
+offer_schedules = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=3.0),    # gap since last offer
+        st.sampled_from(list(Priority)),
+        st.floats(min_value=0.1, max_value=4.0),    # work units
+    ),
+    min_size=1,
+    max_size=80,
+)
+
+
+class TestBoundedQueueProperties:
+    @settings(deadline=None)
+    @given(
+        capacity=st.integers(min_value=1, max_value=8),
+        rate=st.floats(min_value=0.5, max_value=8.0),
+        policy=st.sampled_from(list(ShedPolicy)),
+        schedule=offer_schedules,
+    )
+    def test_requests_are_conserved(self, capacity, rate, policy, schedule):
+        queue = BoundedServiceQueue(
+            capacity=capacity, service_rate=rate, policy=policy
+        )
+        now = 0.0
+        for gap, priority, work in schedule:
+            now += gap
+            latency = queue.offer(now, priority, work=work)
+            if latency is not None:
+                assert latency >= work / rate - 1e-9
+            depth = queue.depth(now)
+            assert 0 <= depth <= capacity
+            assert queue.offered == queue.served + queue.shed + depth
+            assert queue.shed == queue.shed_arrivals + queue.shed_evictions
+        # After an arbitrarily long drain everything has been served.
+        assert queue.depth(now + 1e6) == 0
+        assert queue.offered == queue.served + queue.shed
+
+    @settings(deadline=None)
+    @given(
+        capacity=st.integers(min_value=1, max_value=8),
+        schedule=offer_schedules,
+    )
+    def test_saturation_stays_in_unit_range(self, capacity, schedule):
+        queue = BoundedServiceQueue(
+            capacity=capacity, service_rate=2.0, policy=ShedPolicy.PRIORITY
+        )
+        now = 0.0
+        for gap, priority, work in schedule:
+            now += gap
+            queue.offer(now, priority, work=work)
+            assert 0.0 <= queue.saturation(now) <= 1.0
