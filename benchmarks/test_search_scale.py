@@ -1,0 +1,49 @@
+"""Solver scale benchmark: incremental engine vs the naive reference.
+
+Runs :func:`repro.experiments.scale.run_solver_scale_study` — identical
+random-start instances balanced to convergence by the incremental engine
+(``repro.core.local_search``) and the frozen naive transcription
+(``repro.core.reference``) — and commits the table to
+``benchmarks/results/search_scale.txt``.
+
+Assertions are deliberately loose (a fraction of the measured speedups)
+so the suite fails loudly on a real solver regression without flaking on
+shared CI boxes.  The ``perf``-marked smoke test is the one CI runs on
+every push; the full sweep carries the committed results.
+"""
+
+import pytest
+
+from conftest import write_result
+from repro.experiments.scale import (
+    render_solver_scale_study,
+    run_solver_scale_study,
+)
+
+pytestmark = pytest.mark.bench
+
+
+@pytest.mark.perf
+def test_solver_smoke_budget():
+    """Smoke-sized run for CI: correctness plus a loose time budget."""
+    points = run_solver_scale_study(sizes=((3, 4, 160), (5, 6, 600)))
+    assert all(point.results_match for point in points)
+    largest = points[-1]
+    # Measured ~0.33 s incremental / 2.3x speedup at this size; budgets
+    # leave generous slack for slow CI hardware.
+    assert largest.incremental_seconds < 5.0
+    assert largest.speedup >= 1.2
+    assert largest.pairs_pruned > 0
+
+
+def test_solver_scale_sweep():
+    """Full sweep; commits the before/after table to results/."""
+    points = run_solver_scale_study()
+    write_result("search_scale.txt", render_solver_scale_study(points))
+    assert all(point.results_match for point in points)
+    largest = points[-1]
+    # Measured ~6.3x on the 144-machine / 4000-block instance; require
+    # half of that so noise cannot mask a real regression for long.
+    assert largest.speedup >= 3.0
+    # The speedup must grow with instance size — the engine's point.
+    assert points[-1].speedup > points[0].speedup

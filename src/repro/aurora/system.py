@@ -450,6 +450,8 @@ class AuroraSystem:
             phase.set(
                 operations=stats.total_operations,
                 converged=stats.converged,
+                pairs_probed=stats.pairs_probed,
+                pairs_pruned=stats.pairs_pruned,
             )
             report.phase_seconds["local_search"] = (
                 time.perf_counter() - phase_start

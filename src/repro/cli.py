@@ -9,6 +9,7 @@ Usage (installed as ``python -m repro``):
     python -m repro trace yahoo --out trace.jsonl --files 120 --hours 3
     python -m repro trace swim --out swim.jsonl --scale-to 10
     python -m repro ablation --out results/
+    python -m repro scale --solver             # solver speedup benchmark
     python -m repro chaos --profiles crash partition flaky --hours 2
     python -m repro overload --load 1.5 --minutes 10
     python -m repro fsck --profiles crash --hours 1 --json fsck.json
@@ -120,6 +121,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--machines-per-rack", nargs="+", type=int, default=[3, 5, 8],
     )
     scale.add_argument("--hours", type=float, default=2.0)
+    scale.add_argument(
+        "--solver", action="store_true",
+        help="instead run the solver scale study: incremental local-search "
+             "engine timed against the naive reference solver",
+    )
 
     sensitivity = sub.add_parser(
         "sensitivity", help="sweep the W and K operator knobs (E16)"
@@ -295,9 +301,22 @@ def _cmd_ablation(args: argparse.Namespace) -> int:
 
 
 def _cmd_scale(args: argparse.Namespace) -> int:
-    from repro.experiments.scale import render_scale_study, run_scale_study
+    from repro.experiments.scale import (
+        render_scale_study,
+        render_solver_scale_study,
+        run_scale_study,
+        run_solver_scale_study,
+    )
 
     args.out.mkdir(parents=True, exist_ok=True)
+    if args.solver:
+        solver_points = run_solver_scale_study(seed=args.seed)
+        text = render_solver_scale_study(solver_points)
+        target = args.out / "solver_scale.txt"
+        target.write_text(text + "\n", encoding="utf-8")
+        print(text)
+        print(f"[written {target}]")
+        return 0 if all(p.results_match for p in solver_points) else 1
     points = run_scale_study(
         machines_per_rack_options=tuple(args.machines_per_rack),
         duration_hours=args.hours,

@@ -1,4 +1,4 @@
-"""Local-search load balancing: Algorithms 1 and 2 of the paper.
+"""Local-search load balancing: Algorithms 1 and 2, incremental engine.
 
 * :func:`balance_node_level` implements **Algorithm 1** for BP-Node:
   repeatedly take the highest- and lowest-loaded machines ``(m, n)`` and
@@ -13,6 +13,22 @@
   rack-spread requirement — feasibility is checked by the placement
   state.
 
+Both run on an *incremental engine* that is operation-for-operation
+identical to the naive transcription in :mod:`repro.core.reference`
+(pinned by ``tests/core/test_differential.py``) but does per-iteration
+work proportional to what the last operation changed:
+
+* machine/rack extremes and the global objective come from the placement
+  state's lazy heap indices (O(log M) amortized) instead of load scans;
+* candidate blocks are walked directly on the state's persistent
+  per-machine ``(share, block_id)`` indices, skipping shared blocks
+  inline, instead of rebuilding sorted exclusive lists per machine pair;
+* a :class:`_PairPruner` memoizes machine pairs proven exhausted, keyed
+  on both endpoints' change epochs and the current objective, so the
+  rack-pair sweep only re-probes pairs something actually touched;
+* the objective is threaded through the loop and refreshed only after an
+  operation is applied — it cannot change otherwise.
+
 Termination: every applied operation strictly reduces ``max(L_m, L_n)``
 of its endpoint pair, which strictly decreases the sum of squared machine
 loads; with finitely many configurations the search cannot cycle.  A
@@ -26,7 +42,7 @@ import bisect
 import logging
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.admissibility import AdmissibilityPolicy, AlwaysAdmissible
 from repro.core.operations import MoveOp, Operation, SwapOp
@@ -66,6 +82,12 @@ _SEARCH_COST_REDUCTION = _REG.histogram(
     ["algorithm"],
     buckets=(0.01, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0),
 )
+_SEARCH_PAIR_PROBES = _REG.counter(
+    "repro_core_search_pair_probes_total",
+    "Machine-pair probes by the incremental engine, split by whether the "
+    "epoch memo pruned the probe",
+    ["algorithm", "outcome"],
+)
 
 
 def _flush_search_metrics(algorithm: str, stats: "SearchStats") -> None:
@@ -85,6 +107,14 @@ def _flush_search_metrics(algorithm: str, stats: "SearchStats") -> None:
             stats.admissibility_rejections
         )
     _SEARCH_SECONDS.labels(algorithm=algorithm).observe(stats.elapsed_seconds)
+    if stats.pairs_probed:
+        _SEARCH_PAIR_PROBES.labels(algorithm=algorithm, outcome="probed").inc(
+            stats.pairs_probed
+        )
+    if stats.pairs_pruned:
+        _SEARCH_PAIR_PROBES.labels(algorithm=algorithm, outcome="pruned").inc(
+            stats.pairs_pruned
+        )
     if stats.initial_cost > 0:
         _SEARCH_COST_REDUCTION.labels(algorithm=algorithm).observe(
             max(0.0, 1.0 - stats.final_cost / stats.initial_cost)
@@ -104,6 +134,11 @@ class SearchStats:
     policy turned down; ``cost_trajectory`` records the cost after each
     applied operation when ``log_operations`` is on (index-aligned with
     ``operations``).
+
+    ``pairs_probed``/``pairs_pruned`` account the incremental engine's
+    machine-pair probes: a *probe* runs the candidate search between a
+    pair, a *prune* skips it because the pair was already proven
+    exhausted and neither endpoint changed since.
     """
 
     initial_cost: float
@@ -119,6 +154,8 @@ class SearchStats:
     elapsed_seconds: float = 0.0
     admissibility_rejections: int = 0
     cost_trajectory: List[float] = field(default_factory=list)
+    pairs_probed: int = 0
+    pairs_pruned: int = 0
 
     @property
     def total_operations(self) -> int:
@@ -154,18 +191,19 @@ class SearchStats:
             self.operations.append(op)
 
 
-def _exclusive_blocks(
-    state: PlacementState, machine: int, other: int
-) -> List[Tuple[float, int]]:
-    """Blocks on ``machine`` but not on ``other``, as (share, id) pairs."""
-    other_blocks = state.blocks_on(other)
-    pairs = [
-        (state.share(block_id), block_id)
-        for block_id in state.blocks_on(machine)
-        if block_id not in other_blocks
-    ]
-    pairs.sort()
-    return pairs
+def _prev_exclusive(index: Sequence[Tuple[float, int]], i: int, skip) -> int:
+    """Largest position ``<= i`` whose block is not in ``skip``, else -1."""
+    while i >= 0 and index[i][1] in skip:
+        i -= 1
+    return i
+
+
+def _next_exclusive(index: Sequence[Tuple[float, int]], i: int, skip) -> int:
+    """Smallest position ``>= i`` whose block is not in ``skip``, else len."""
+    num = len(index)
+    while i < num and index[i][1] in skip:
+        i += 1
+    return i
 
 
 def _find_swap_partner(
@@ -176,7 +214,8 @@ def _find_swap_partner(
     share_i: float,
     src: int,
     dst: int,
-    dst_candidates: List[Tuple[float, int]],
+    dst_index: Sequence[Tuple[float, int]],
+    src_blocks,
     gap: float,
     stats: Optional[SearchStats] = None,
 ) -> Optional[SwapOp]:
@@ -187,21 +226,26 @@ def _find_swap_partner(
     the open window ``(share_i - gap, share_i)``.  The pair cost after is
     minimized at ``share_j = share_i - gap/2``, so candidates are probed
     outward from that ideal value.
+
+    ``dst_index`` is the destination machine's *full* persistent share
+    index; blocks shared with ``src`` (``src_blocks``) are stepped over
+    in place, which visits exactly the exclusive blocks in the same order
+    a rebuilt exclusive list would.
     """
-    if not dst_candidates:
+    if not dst_index:
         return None
     ideal = share_i - gap / 2.0
     lower = share_i - gap
-    center = bisect.bisect_left(dst_candidates, (ideal, -1))
-    left = center - 1
-    right = center
-    num = len(dst_candidates)
+    num = len(dst_index)
+    center = bisect.bisect_left(dst_index, (ideal, -1))
+    left = _prev_exclusive(dst_index, center - 1, src_blocks)
+    right = _next_exclusive(dst_index, center, src_blocks)
     while left >= 0 or right < num:
         candidates = []
         if left >= 0:
-            candidates.append(dst_candidates[left])
+            candidates.append(dst_index[left])
         if right < num:
-            candidates.append(dst_candidates[right])
+            candidates.append(dst_index[right])
         # probe the candidate nearest the ideal share first
         candidates.sort(key=lambda pair: abs(pair[0] - ideal))
         for share_j, block_j in candidates:
@@ -215,14 +259,14 @@ def _find_swap_partner(
                 return op
             if stats is not None:
                 stats.admissibility_rejections += 1
-        if left >= 0 and dst_candidates[left][0] <= lower:
+        if left >= 0 and dst_index[left][0] <= lower:
             left = -1
         else:
-            left -= 1
-        if right < num and dst_candidates[right][0] >= share_i:
+            left = _prev_exclusive(dst_index, left - 1, src_blocks)
+        if right < num and dst_index[right][0] >= share_i:
             right = num
         else:
-            right += 1
+            right = _next_exclusive(dst_index, right + 1, src_blocks)
     return None
 
 
@@ -242,15 +286,22 @@ def find_operation_between(
     partner on ``dst``.  Returns ``None`` when no admissible operation
     exists between this machine pair.  When ``stats`` is given, feasible
     operations turned down by ``policy`` are counted on it.
+
+    Candidates come straight from the placement state's persistent share
+    indices — nothing is copied, rebuilt or sorted per call.
     """
     load_src = state.load(src)
     load_dst = state.load(dst)
     gap = load_src - load_dst
     if gap <= _TOLERANCE:
         return None
-    src_blocks = _exclusive_blocks(state, src, dst)
-    dst_blocks = _exclusive_blocks(state, dst, src)
-    for share_i, block_i in reversed(src_blocks):
+    src_index = state.share_index(src)
+    dst_index = state.share_index(dst)
+    src_blocks = state.blocks_on_view(src)
+    dst_blocks = state.blocks_on_view(dst)
+    for share_i, block_i in reversed(src_index):
+        if block_i in dst_blocks:
+            continue
         if share_i <= _TOLERANCE:
             break
         move = MoveOp(block=block_i, src=src, dst=dst)
@@ -268,13 +319,75 @@ def find_operation_between(
             share_i,
             src,
             dst,
-            dst_blocks,
+            dst_index,
+            src_blocks,
             gap,
             stats,
         )
         if swap is not None:
             return swap
     return None
+
+
+class _PairPruner:
+    """Epoch-keyed memo of machine pairs proven to admit no operation.
+
+    A probe of ``(src, dst)`` that returns ``None`` can only start
+    returning something once the probe's inputs change, and every such
+    input change bumps a machine epoch (see
+    :meth:`~repro.core.placement.PlacementState.machine_epoch`): the
+    endpoints' loads and block sets, and the share or rack spread of any
+    resident block — mutations bump *all* holders of the touched block
+    precisely so remote spread changes invalidate this memo.  The epsilon
+    policy may also read the global objective, so the memo additionally
+    requires it unchanged.
+
+    Rejections the memoized probe counted are replayed into ``stats`` on
+    every prune, keeping `SearchStats` identical to the naive solver's.
+    """
+
+    __slots__ = ("_state", "_memo")
+
+    def __init__(self, state: PlacementState) -> None:
+        self._state = state
+        self._memo: Dict[Tuple[int, int], Tuple[int, int, float, int]] = {}
+
+    def find(
+        self,
+        src: int,
+        dst: int,
+        policy: AdmissibilityPolicy,
+        global_cost: float,
+        stats: Optional[SearchStats],
+    ) -> Optional[Operation]:
+        """Memoizing wrapper around :func:`find_operation_between`."""
+        state = self._state
+        key = (src, dst)
+        src_epoch = state.machine_epoch(src)
+        dst_epoch = state.machine_epoch(dst)
+        memo = self._memo.get(key)
+        if (
+            memo is not None
+            and memo[0] == src_epoch
+            and memo[1] == dst_epoch
+            and memo[2] == global_cost
+        ):
+            if stats is not None:
+                stats.pairs_pruned += 1
+                stats.admissibility_rejections += memo[3]
+            return None
+        rejections_before = stats.admissibility_rejections if stats else 0
+        if stats is not None:
+            stats.pairs_probed += 1
+        op = find_operation_between(state, src, dst, policy, global_cost, stats)
+        if op is None:
+            rejections = (
+                stats.admissibility_rejections - rejections_before
+                if stats
+                else 0
+            )
+            self._memo[key] = (src_epoch, dst_epoch, global_cost, rejections)
+        return op
 
 
 def balance_node_level(
@@ -292,23 +405,24 @@ def balance_node_level(
     """
     policy = policy or AlwaysAdmissible()
     started = time.perf_counter()
-    stats = SearchStats(initial_cost=state.cost(), final_cost=state.cost())
+    pruner = _PairPruner(state)
+    current_cost = state.cost()
+    stats = SearchStats(initial_cost=current_cost, final_cost=current_cost)
     while max_operations is None or stats.total_operations < max_operations:
         stats.iterations += 1
         src = state.argmax_machine()
         dst = state.argmin_machine()
-        op = find_operation_between(
-            state, src, dst, policy, state.cost(), stats
-        )
+        op = pruner.find(src, dst, policy, current_cost, stats)
         if op is None:
             stats.converged = True
             break
         cross = op.is_cross_rack(state)
         op.apply(state)
+        current_cost = state.cost()
         stats.record(op, cross, log_operations)
         if log_operations:
-            stats.cost_trajectory.append(state.cost())
-    stats.final_cost = state.cost()
+            stats.cost_trajectory.append(current_cost)
+    stats.final_cost = current_cost
     stats.elapsed_seconds = time.perf_counter() - started
     _flush_search_metrics("node", stats)
     _LOG.debug(
@@ -322,22 +436,46 @@ def balance_node_level(
 
 
 def _rack_pairs_by_gap(state: PlacementState) -> List[Tuple[int, int]]:
-    """All ordered rack pairs, heaviest-to-lightest gaps first."""
-    racks = sorted(state.topology.racks, key=state.rack_load, reverse=True)
-    pairs = []
-    for i, src_rack in enumerate(racks):
-        for dst_rack in reversed(racks[i + 1 :]):
-            pairs.append((src_rack, dst_rack))
-    return pairs
+    """Ordered rack pairs ranked by extreme-machine load gap, largest first.
+
+    The gap between the source rack's hottest machine and the destination
+    rack's coldest machine bounds what an inter-rack operation between the
+    pair's extremes can achieve.  Ranking by *total* rack load (the old
+    behaviour) let a large rack of lightly-loaded machines outrank a small
+    rack containing the true hottest machine, stranding its load; see the
+    heterogeneous-rack regression test.  Pairs with no positive gap cannot
+    yield an improving operation and are dropped.
+    """
+    topo = state.topology
+    racks = topo.racks
+    if topo.num_racks < 2:
+        return []
+    hottest = [
+        state.load(state.argmax_machine_in_rack(rack)) for rack in racks
+    ]
+    coldest = [
+        state.load(state.argmin_machine_in_rack(rack)) for rack in racks
+    ]
+    ranked = []
+    for src_rack in racks:
+        for dst_rack in racks:
+            if src_rack == dst_rack:
+                continue
+            gap = hottest[src_rack] - coldest[dst_rack]
+            if gap > _TOLERANCE:
+                ranked.append((-gap, src_rack, dst_rack))
+    ranked.sort()
+    return [(src_rack, dst_rack) for _, src_rack, dst_rack in ranked]
 
 
 def _find_rack_aware_operation(
     state: PlacementState,
     policy: AdmissibilityPolicy,
+    pruner: _PairPruner,
+    global_cost: float,
     stats: Optional[SearchStats] = None,
 ) -> Optional[Operation]:
     """One admissible operation for Algorithm 2's combined search space."""
-    global_cost = state.cost()
     # Intra-rack phase: balance the extremes of each rack, worst rack first.
     intra = []
     for rack in state.topology.racks:
@@ -348,19 +486,15 @@ def _find_rack_aware_operation(
             intra.append((gap, high, low))
     intra.sort(reverse=True)
     for _, high, low in intra:
-        op = find_operation_between(
-            state, high, low, policy, global_cost, stats
-        )
+        op = pruner.find(high, low, policy, global_cost, stats)
         if op is not None:
             return op
     # Inter-rack phase: RackMove / RackSwap between extreme machines of
-    # rack pairs, largest rack-load gaps first.
+    # rack pairs, largest extreme-machine gaps first.
     for src_rack, dst_rack in _rack_pairs_by_gap(state):
         src = state.argmax_machine_in_rack(src_rack)
         dst = state.argmin_machine_in_rack(dst_rack)
-        op = find_operation_between(
-            state, src, dst, policy, global_cost, stats
-        )
+        op = pruner.find(src, dst, policy, global_cost, stats)
         if op is not None:
             return op
     return None
@@ -381,19 +515,24 @@ def balance_rack_aware(
     """
     policy = policy or AlwaysAdmissible()
     started = time.perf_counter()
-    stats = SearchStats(initial_cost=state.cost(), final_cost=state.cost())
+    pruner = _PairPruner(state)
+    current_cost = state.cost()
+    stats = SearchStats(initial_cost=current_cost, final_cost=current_cost)
     while max_operations is None or stats.total_operations < max_operations:
         stats.iterations += 1
-        op = _find_rack_aware_operation(state, policy, stats)
+        op = _find_rack_aware_operation(
+            state, policy, pruner, current_cost, stats
+        )
         if op is None:
             stats.converged = True
             break
         cross = op.is_cross_rack(state)
         op.apply(state)
+        current_cost = state.cost()
         stats.record(op, cross, log_operations)
         if log_operations:
-            stats.cost_trajectory.append(state.cost())
-    stats.final_cost = state.cost()
+            stats.cost_trajectory.append(current_cost)
+    stats.final_cost = current_cost
     stats.elapsed_seconds = time.perf_counter() - started
     _flush_search_metrics("rack", stats)
     _LOG.debug(

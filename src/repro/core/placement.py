@@ -15,6 +15,26 @@ All local-search operations of the paper (``Move``, ``Swap``, ``RackMove``,
 ``RackSwap``) and the replication-factor changes of Algorithm 5 reduce to
 :meth:`add_replica`, :meth:`remove_replica`, :meth:`move` and :meth:`swap`.
 
+The state also maintains three search indices so the local search
+(:mod:`repro.core.local_search`) runs incrementally instead of rescanning
+the cluster per iteration:
+
+* **Load extremes** — lazy max/min heaps over machine loads, one global
+  pair plus one pair per rack.  Every load change pushes fresh entries
+  stamped with a per-machine version; queries pop stale entries, so
+  :meth:`argmax_machine`, :meth:`argmin_machine`, :meth:`cost` and the
+  per-rack variants are O(log M) amortized.  Tie-breaking is by lowest
+  machine id, matching the ``argmax``/``argmin`` first-index convention
+  the scanning implementation had.
+* **Share indices** — one sorted ``(share, block_id)`` list per machine,
+  delta-updated on every mutation (including the share changes a
+  replication-factor change inflicts on *all* holders of a block).
+* **Machine epochs** — a counter per machine, bumped whenever anything
+  that could affect a local-search probe touching the machine changes:
+  its load, its block set, or the share/rack-spread of any block it
+  holds (hence every mutation bumps *all* holders of the touched block).
+  The search engine keys its exhausted-pair memo on these epochs.
+
 Loads are floats updated incrementally; :meth:`recompute` rebuilds them
 from scratch and runs automatically every ``_RECOMPUTE_INTERVAL`` mutations
 to bound floating-point drift.  :meth:`audit` verifies every invariant and
@@ -23,7 +43,9 @@ is used heavily by the test suite.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set
+import heapq
+from bisect import bisect_left, insort
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -56,6 +78,49 @@ class PlacementState:
             spec.block_id: {} for spec in problem
         }
         self._mutations = 0
+        # Search indices (see module docstring): per-machine sorted
+        # (share, block_id) lists, change epochs, and lazy extreme heaps.
+        self._share_index: List[List[Tuple[float, int]]] = [
+            [] for _ in topo.machines
+        ]
+        self._machine_epoch: List[int] = [0] * topo.num_machines
+        self._load_stamp: List[int] = [0] * topo.num_machines
+        self._init_load_heaps()
+
+    def _init_load_heaps(self) -> None:
+        """(Re)build the four lazy extreme-heap families from ``_loads``.
+
+        Entries are ``(keyed load, machine, stamp)``; an entry is valid
+        iff its stamp equals the machine's current ``_load_stamp``.  The
+        invariant maintained everywhere: every machine's latest entry is
+        present in all four heaps.
+        """
+        topo = self.problem.topology
+        loads = self._loads
+        stamps = self._load_stamp
+        self._max_heap: List[Tuple[float, int, int]] = [
+            (-float(loads[m]), m, stamps[m]) for m in topo.machines
+        ]
+        self._min_heap: List[Tuple[float, int, int]] = [
+            (float(loads[m]), m, stamps[m]) for m in topo.machines
+        ]
+        self._rack_max_heaps: List[List[Tuple[float, int, int]]] = []
+        self._rack_min_heaps: List[List[Tuple[float, int, int]]] = []
+        for rack in topo.racks:
+            members = topo.machines_in_rack(rack)
+            self._rack_max_heaps.append(
+                [(-float(loads[m]), m, stamps[m]) for m in members]
+            )
+            self._rack_min_heaps.append(
+                [(float(loads[m]), m, stamps[m]) for m in members]
+            )
+        for heap in (self._max_heap, self._min_heap):
+            heapq.heapify(heap)
+        for heaps in (self._rack_max_heaps, self._rack_min_heaps):
+            for heap in heaps:
+                heapq.heapify(heap)
+        # Compaction threshold: rebuild once stale entries dominate.
+        self._heap_compact_at = 8 * topo.num_machines + 64
 
     # -- basic queries -------------------------------------------------------
 
@@ -69,9 +134,43 @@ class PlacementState:
         return frozenset(self._machines_for(block_id))
 
     def blocks_on(self, machine: int) -> FrozenSet[int]:
-        """Blocks with a replica on ``machine``."""
+        """Blocks with a replica on ``machine`` (immutable copy).
+
+        Allocates a fresh ``frozenset`` per call; hot paths that only
+        need membership tests or iteration should use
+        :meth:`blocks_on_view` instead.
+        """
         self.topology.check_machine(machine)
         return frozenset(self._blocks_on[machine])
+
+    def blocks_on_view(self, machine: int) -> Set[int]:
+        """Zero-copy view of the blocks on ``machine``.
+
+        Returns the internal set — callers must treat it as read-only
+        and must not hold it across mutations they expect snapshot
+        semantics from.  Use :meth:`blocks_on` for an immutable copy.
+        """
+        self.topology.check_machine(machine)
+        return self._blocks_on[machine]
+
+    def share_index(self, machine: int) -> Sequence[Tuple[float, int]]:
+        """The machine's persistent sorted ``(share, block_id)`` index.
+
+        Kept exact across mutations by delta updates; shares stored are
+        bit-identical to :meth:`share` of each resident block.  Returns
+        the internal list — read-only for callers.
+        """
+        self.topology.check_machine(machine)
+        return self._share_index[machine]
+
+    def machine_epoch(self, machine: int) -> int:
+        """Change epoch of ``machine`` (see module docstring).
+
+        Monotonically increasing; unchanged iff no mutation since the
+        last reading could alter the outcome of a local-search probe
+        with ``machine`` as an endpoint.
+        """
+        return self._machine_epoch[machine]
 
     def has_replica(self, block_id: int, machine: int) -> bool:
         """Whether ``machine`` holds a replica of ``block_id``."""
@@ -120,20 +219,20 @@ class PlacementState:
         return self._loads.copy()
 
     def cost(self) -> float:
-        """Objective value ``lambda = max_m L_m``."""
-        return float(self._loads.max())
+        """Objective value ``lambda = max_m L_m`` (O(log M) amortized)."""
+        return -self._valid_top(self._max_heap)[0]
 
     def min_load(self) -> float:
         """Smallest machine load in the cluster."""
-        return float(self._loads.min())
+        return self._valid_top(self._min_heap)[0]
 
     def argmax_machine(self) -> int:
-        """A machine with the highest load."""
-        return int(self._loads.argmax())
+        """The machine with the highest load (lowest id on ties)."""
+        return self._valid_top(self._max_heap)[1]
 
     def argmin_machine(self) -> int:
-        """A machine with the lowest load."""
-        return int(self._loads.argmin())
+        """The machine with the lowest load (lowest id on ties)."""
+        return self._valid_top(self._min_heap)[1]
 
     def rack_load(self, rack: int) -> float:
         """Total load of the machines in ``rack``."""
@@ -144,14 +243,14 @@ class PlacementState:
         return self._rack_loads.copy()
 
     def argmax_machine_in_rack(self, rack: int) -> int:
-        """The highest-loaded machine within ``rack``."""
-        members = self.topology.machines_in_rack(rack)
-        return max(members, key=lambda m: self._loads[m])
+        """The highest-loaded machine within ``rack`` (lowest id on ties)."""
+        self.topology.machines_in_rack(rack)  # validates the rack id
+        return self._valid_top(self._rack_max_heaps[rack])[1]
 
     def argmin_machine_in_rack(self, rack: int) -> int:
-        """The lowest-loaded machine within ``rack``."""
-        members = self.topology.machines_in_rack(rack)
-        return min(members, key=lambda m: self._loads[m])
+        """The lowest-loaded machine within ``rack`` (lowest id on ties)."""
+        self.topology.machines_in_rack(rack)  # validates the rack id
+        return self._valid_top(self._rack_min_heaps[rack])[1]
 
     # -- feasibility predicates --------------------------------------------------
 
@@ -240,16 +339,21 @@ class PlacementState:
         machines = self._machines_for(block_id)
         popularity = self.problem.block(block_id).popularity
         old_count = len(machines)
+        new_share = popularity / (old_count + 1)
         if old_count:
-            dilution = popularity / old_count - popularity / (old_count + 1)
+            old_share = popularity / old_count
+            dilution = old_share - new_share
             for holder in machines:
                 self._shift_load(holder, -dilution)
+            self._reshare_block(block_id, machines, old_share, new_share)
         machines.add(machine)
         self._blocks_on[machine].add(block_id)
-        self._shift_load(machine, popularity / (old_count + 1))
+        self._shift_load(machine, new_share)
+        self._index_insert(machine, new_share, block_id)
         rack = self.topology.rack_of[machine]
         holders = self._rack_holders_for(block_id)
         holders[rack] = holders.get(rack, 0) + 1
+        self._bump_epochs(machines)
         self._tick()
 
     def remove_replica(
@@ -274,19 +378,25 @@ class PlacementState:
         machines = self._machines_for(block_id)
         popularity = self.problem.block(block_id).popularity
         old_count = len(machines)
+        old_share = popularity / old_count
         machines.discard(machine)
         self._blocks_on[machine].discard(block_id)
-        self._shift_load(machine, -popularity / old_count)
+        self._shift_load(machine, -old_share)
+        self._index_discard(machine, old_share, block_id)
         new_count = old_count - 1
         if new_count:
-            concentration = popularity / new_count - popularity / old_count
+            new_share = popularity / new_count
+            concentration = new_share - old_share
             for holder in machines:
                 self._shift_load(holder, concentration)
+            self._reshare_block(block_id, machines, old_share, new_share)
         rack = self.topology.rack_of[machine]
         holders = self._rack_holders_for(block_id)
         holders[rack] -= 1
         if holders[rack] == 0:
             del holders[rack]
+        self._bump_epochs(machines)
+        self._machine_epoch[machine] += 1
         self._tick()
 
     def move(self, block_id: int, src: int, dst: int) -> None:
@@ -300,13 +410,20 @@ class PlacementState:
                 f"Move(block={block_id}, src={src}, dst={dst}) is infeasible"
             )
         share = self.share(block_id)
-        self._machines_for(block_id).discard(src)
-        self._machines_for(block_id).add(dst)
+        machines = self._machines_for(block_id)
+        machines.discard(src)
+        machines.add(dst)
         self._blocks_on[src].discard(block_id)
         self._blocks_on[dst].add(block_id)
         self._shift_load(src, -share)
         self._shift_load(dst, share)
+        self._index_discard(src, share, block_id)
+        self._index_insert(dst, share, block_id)
         self._transfer_rack_holder(block_id, src, dst)
+        # A move can change the block's rack spread, which affects
+        # feasibility of probes on *every* holder — bump them all.
+        self._bump_epochs(machines)
+        self._machine_epoch[src] += 1
         self._tick()
 
     def swap(self, block_i: int, machine_m: int, block_j: int, machine_n: int) -> None:
@@ -318,18 +435,26 @@ class PlacementState:
             )
         share_i = self.share(block_i)
         share_j = self.share(block_j)
-        self._machines_for(block_i).discard(machine_m)
-        self._machines_for(block_i).add(machine_n)
-        self._machines_for(block_j).discard(machine_n)
-        self._machines_for(block_j).add(machine_m)
+        holders_i = self._machines_for(block_i)
+        holders_j = self._machines_for(block_j)
+        holders_i.discard(machine_m)
+        holders_i.add(machine_n)
+        holders_j.discard(machine_n)
+        holders_j.add(machine_m)
         self._blocks_on[machine_m].discard(block_i)
         self._blocks_on[machine_m].add(block_j)
         self._blocks_on[machine_n].discard(block_j)
         self._blocks_on[machine_n].add(block_i)
         self._shift_load(machine_m, share_j - share_i)
         self._shift_load(machine_n, share_i - share_j)
+        self._index_discard(machine_m, share_i, block_i)
+        self._index_insert(machine_m, share_j, block_j)
+        self._index_discard(machine_n, share_j, block_j)
+        self._index_insert(machine_n, share_i, block_i)
         self._transfer_rack_holder(block_i, machine_m, machine_n)
         self._transfer_rack_holder(block_j, machine_n, machine_m)
+        self._bump_epochs(holders_i)
+        self._bump_epochs(holders_j)
         self._tick()
 
     # -- bulk helpers -------------------------------------------------------------
@@ -346,6 +471,8 @@ class PlacementState:
             block_id: dict(holders)
             for block_id, holders in self._rack_holders.items()
         }
+        clone._share_index = [list(index) for index in self._share_index]
+        clone._init_load_heaps()
         return clone
 
     def to_assignment(self) -> Dict[int, FrozenSet[int]]:
@@ -367,7 +494,12 @@ class PlacementState:
         return state
 
     def recompute(self) -> None:
-        """Rebuild loads from scratch, clearing floating-point drift."""
+        """Rebuild loads from scratch, clearing floating-point drift.
+
+        Load values can shift by a few ulps, so all extreme heaps are
+        rebuilt and every machine epoch is bumped (invalidating any
+        exhausted-pair memo held by a search engine).
+        """
         self._loads[:] = 0.0
         self._rack_loads[:] = 0.0
         rack_of = self.topology.rack_of
@@ -378,6 +510,10 @@ class PlacementState:
             for machine in machines:
                 self._loads[machine] += share
                 self._rack_loads[rack_of[machine]] += share
+        for machine in self.topology.machines:
+            self._load_stamp[machine] += 1
+            self._machine_epoch[machine] += 1
+        self._init_load_heaps()
 
     def is_fully_replicated(self) -> bool:
         """Whether every block meets its node and rack requirements."""
@@ -424,6 +560,28 @@ class PlacementState:
             assert expected == self._rack_holders[block_id], (
                 f"rack holder drift for block {block_id}"
             )
+        for machine in self.topology.machines:
+            expected_index = sorted(
+                (self.share(block_id), block_id)
+                for block_id in self._blocks_on[machine]
+            )
+            assert expected_index == self._share_index[machine], (
+                f"share index drift on machine {machine}"
+            )
+        assert self.argmax_machine() == int(self._loads.argmax()), (
+            "max-heap extreme drift"
+        )
+        assert self.argmin_machine() == int(self._loads.argmin()), (
+            "min-heap extreme drift"
+        )
+        for rack in self.topology.racks:
+            members = self.topology.machines_in_rack(rack)
+            assert self.argmax_machine_in_rack(rack) == max(
+                members, key=lambda m: self._loads[m]
+            ), f"rack {rack} max-heap extreme drift"
+            assert self.argmin_machine_in_rack(rack) == min(
+                members, key=lambda m: self._loads[m]
+            ), f"rack {rack} min-heap extreme drift"
         snapshot = self._loads.copy()
         rack_snapshot = self._rack_loads.copy()
         self.recompute()
@@ -448,7 +606,51 @@ class PlacementState:
 
     def _shift_load(self, machine: int, delta: float) -> None:
         self._loads[machine] += delta
-        self._rack_loads[self.topology.rack_of[machine]] += delta
+        rack = self.topology.rack_of[machine]
+        self._rack_loads[rack] += delta
+        stamp = self._load_stamp[machine] + 1
+        self._load_stamp[machine] = stamp
+        load = float(self._loads[machine])
+        heapq.heappush(self._max_heap, (-load, machine, stamp))
+        heapq.heappush(self._min_heap, (load, machine, stamp))
+        heapq.heappush(self._rack_max_heaps[rack], (-load, machine, stamp))
+        heapq.heappush(self._rack_min_heaps[rack], (load, machine, stamp))
+        if len(self._max_heap) > self._heap_compact_at:
+            self._init_load_heaps()
+
+    def _valid_top(self, heap: List[Tuple[float, int, int]]) -> Tuple[float, int]:
+        """Pop stale entries off ``heap``; return its valid (key, machine) top."""
+        stamps = self._load_stamp
+        while True:
+            key, machine, stamp = heap[0]
+            if stamps[machine] == stamp:
+                return key, machine
+            heapq.heappop(heap)
+
+    def _bump_epochs(self, machines: Iterable[int]) -> None:
+        epochs = self._machine_epoch
+        for machine in machines:
+            epochs[machine] += 1
+
+    def _index_insert(self, machine: int, share: float, block_id: int) -> None:
+        insort(self._share_index[machine], (share, block_id))
+
+    def _index_discard(self, machine: int, share: float, block_id: int) -> None:
+        index = self._share_index[machine]
+        entry = (share, block_id)
+        i = bisect_left(index, entry)
+        if i < len(index) and index[i] == entry:
+            del index[i]
+        else:  # exact-share invariant violated; fail loudly via ValueError
+            index.remove(entry)
+
+    def _reshare_block(
+        self, block_id: int, holders: Iterable[int], old_share: float, new_share: float
+    ) -> None:
+        """Replace ``block_id``'s index entry on every holder."""
+        for holder in holders:
+            self._index_discard(holder, old_share, block_id)
+            self._index_insert(holder, new_share, block_id)
 
     def _transfer_rack_holder(self, block_id: int, src: int, dst: int) -> None:
         src_rack = self.topology.rack_of[src]

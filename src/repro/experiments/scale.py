@@ -6,6 +6,13 @@ machines increases."  This experiment tests that claim directly: the
 same workload intensity per machine is replayed on clusters of
 increasing size, and the locality gap between stock HDFS and Aurora is
 measured at each scale.
+
+The module also hosts the *solver* scale study
+(:func:`run_solver_scale_study`): the incremental local-search engine
+(:mod:`repro.core.local_search`) timed against the naive reference
+transcription (:mod:`repro.core.reference`) on growing instances, with
+an equality check on the results.  ``benchmarks/test_search_scale.py``
+runs the same sweep under the ``perf`` marker.
 """
 
 from __future__ import annotations
@@ -13,6 +20,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
+from repro.core.local_search import balance_rack_aware
+from repro.core.reference import reference_balance_rack_aware
+from repro.experiments.ablation import _random_state, make_instance
 from repro.experiments.harness import (
     ClusterConfig,
     ExperimentConfig,
@@ -23,7 +33,14 @@ from repro.experiments.harness import (
 from repro.experiments.report import render_table
 from repro.workload.yahoo import YahooTraceConfig, generate_yahoo_trace
 
-__all__ = ["ScalePoint", "run_scale_study", "render_scale_study"]
+__all__ = [
+    "ScalePoint",
+    "run_scale_study",
+    "render_scale_study",
+    "SolverScalePoint",
+    "run_solver_scale_study",
+    "render_solver_scale_study",
+]
 
 
 @dataclass(frozen=True)
@@ -113,3 +130,101 @@ def render_scale_study(points: List[ScalePoint]) -> str:
         ) else "NOT CONFIRMED at this scale")
     )
     return f"Scale study (E14)\n{table}\n{claim}"
+
+
+@dataclass(frozen=True)
+class SolverScalePoint:
+    """Incremental vs reference solver timings on one instance size."""
+
+    num_machines: int
+    num_blocks: int
+    operations: int
+    reference_seconds: float
+    incremental_seconds: float
+    pairs_probed: int
+    pairs_pruned: int
+    results_match: bool
+
+    @property
+    def speedup(self) -> float:
+        """Reference wall-clock divided by incremental wall-clock."""
+        if self.incremental_seconds <= 0.0:
+            return float("inf")
+        return self.reference_seconds / self.incremental_seconds
+
+
+def run_solver_scale_study(
+    sizes: Tuple[Tuple[int, int, int], ...] = (
+        (3, 4, 160),
+        (8, 8, 1600),
+        (12, 12, 4000),
+    ),
+    replication: int = 3,
+    rack_spread: int = 2,
+    seed: int = 0,
+) -> List[SolverScalePoint]:
+    """Time rack-aware balancing, incremental engine vs naive reference.
+
+    Each ``(num_racks, machines_per_rack, num_blocks)`` size gets a
+    Zipf-popular instance with an HDFS-style random initial placement —
+    the worst case the controller faces — balanced to convergence by both
+    solvers from identical copies.  ``results_match`` records whether
+    final cost *and* final placement agree, so a reported speedup can
+    never hide a divergence.
+    """
+    points: List[SolverScalePoint] = []
+    for num_racks, per_rack, num_blocks in sizes:
+        instance = make_instance(
+            num_racks=num_racks,
+            machines_per_rack=per_rack,
+            num_blocks=num_blocks,
+            replication=replication,
+            rack_spread=rack_spread,
+            seed=seed,
+        )
+        problem = instance.problem()
+        reference_state = _random_state(problem, seed)
+        incremental_state = reference_state.copy()
+        reference_stats = reference_balance_rack_aware(reference_state)
+        incremental_stats = balance_rack_aware(incremental_state)
+        matches = (
+            reference_stats.final_cost == incremental_stats.final_cost
+            and reference_state.to_assignment()
+            == incremental_state.to_assignment()
+        )
+        points.append(SolverScalePoint(
+            num_machines=problem.topology.num_machines,
+            num_blocks=num_blocks,
+            operations=incremental_stats.total_operations,
+            reference_seconds=reference_stats.elapsed_seconds,
+            incremental_seconds=incremental_stats.elapsed_seconds,
+            pairs_probed=incremental_stats.pairs_probed,
+            pairs_pruned=incremental_stats.pairs_pruned,
+            results_match=matches,
+        ))
+    return points
+
+
+def render_solver_scale_study(points: List[SolverScalePoint]) -> str:
+    """Table: instance size vs solver wall-clock and speedup."""
+    rows = [
+        (
+            point.num_machines,
+            point.num_blocks,
+            point.operations,
+            f"{point.reference_seconds:.3f}",
+            f"{point.incremental_seconds:.3f}",
+            f"{point.speedup:.1f}x",
+            point.pairs_pruned,
+            "yes" if point.results_match else "NO",
+        )
+        for point in points
+    ]
+    table = render_table(
+        [
+            "machines", "blocks", "ops", "reference s",
+            "incremental s", "speedup", "pruned", "match",
+        ],
+        rows,
+    )
+    return f"Solver scale study (incremental engine vs reference)\n{table}"

@@ -1,0 +1,163 @@
+"""Differential tests: incremental engine vs the naive reference solver.
+
+The incremental engine in ``repro.core.local_search`` (lazy heap
+extremes, persistent share indices, pair-pruning memo) must be
+operation-for-operation identical to the frozen naive transcription in
+``repro.core.reference``.  These tests pin that equivalence on seeded
+random instances — final cost, final placement, the full operation log,
+and the admissibility-rejection counts must all match exactly, for both
+Algorithm 1 and Algorithm 2 and under epsilon policies.
+"""
+
+import random
+
+import pytest
+
+from repro.core.admissibility import RelativeCostPolicy, RelativeGapPolicy
+from repro.core.local_search import (
+    balance_node_level,
+    balance_rack_aware,
+    find_operation_between,
+)
+from repro.core.reference import (
+    reference_balance_node_level,
+    reference_balance_rack_aware,
+    reference_find_operation_between,
+)
+
+from .test_local_search import random_state
+
+SEEDS = list(range(24))
+
+
+def _assert_lockstep(incremental, reference, state_inc, state_ref):
+    assert incremental.final_cost == reference.final_cost
+    assert incremental.converged == reference.converged
+    assert incremental.iterations == reference.iterations
+    assert incremental.operations == reference.operations
+    assert (
+        incremental.admissibility_rejections
+        == reference.admissibility_rejections
+    )
+    assert state_inc.to_assignment() == state_ref.to_assignment()
+    state_inc.audit()
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_node_level_matches_reference(seed):
+    state_inc = random_state(
+        random.Random(seed), num_racks=3, per_rack=4, num_blocks=60, k=2, rho=2
+    )
+    state_ref = state_inc.copy()
+    stats_inc = balance_node_level(state_inc, log_operations=True)
+    stats_ref = reference_balance_node_level(state_ref, log_operations=True)
+    _assert_lockstep(stats_inc, stats_ref, state_inc, state_ref)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_rack_aware_matches_reference(seed):
+    state_inc = random_state(
+        random.Random(seed), num_racks=4, per_rack=3, num_blocks=70, k=3, rho=2
+    )
+    state_ref = state_inc.copy()
+    stats_inc = balance_rack_aware(state_inc, log_operations=True)
+    stats_ref = reference_balance_rack_aware(state_ref, log_operations=True)
+    _assert_lockstep(stats_inc, stats_ref, state_inc, state_ref)
+
+
+@pytest.mark.parametrize("seed", range(8))
+@pytest.mark.parametrize(
+    "make_policy",
+    [
+        lambda: RelativeCostPolicy(0.05),
+        lambda: RelativeCostPolicy(0.5),
+        lambda: RelativeGapPolicy(0.1),
+        lambda: RelativeGapPolicy(0.7),
+    ],
+    ids=["relcost-0.05", "relcost-0.5", "relgap-0.1", "relgap-0.7"],
+)
+@pytest.mark.parametrize("algorithm", ["node", "rack"])
+def test_epsilon_policies_match_reference(seed, make_policy, algorithm):
+    """Epsilon admissibility decisions survive the cached-cost threading.
+
+    ``RelativeCostPolicy`` reads the *global* objective, which the
+    incremental engine threads through as a cached value and the pair
+    memo keys on; any staleness would flip an admissibility decision and
+    show up here as a diverged operation log or rejection count.
+    """
+    state_inc = random_state(
+        random.Random(seed), num_racks=3, per_rack=4, num_blocks=50, k=2, rho=2
+    )
+    state_ref = state_inc.copy()
+    if algorithm == "node":
+        stats_inc = balance_node_level(
+            state_inc, policy=make_policy(), log_operations=True
+        )
+        stats_ref = reference_balance_node_level(
+            state_ref, policy=make_policy(), log_operations=True
+        )
+    else:
+        stats_inc = balance_rack_aware(
+            state_inc, policy=make_policy(), log_operations=True
+        )
+        stats_ref = reference_balance_rack_aware(
+            state_ref, policy=make_policy(), log_operations=True
+        )
+    _assert_lockstep(stats_inc, stats_ref, state_inc, state_ref)
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_single_probe_matches_reference(seed):
+    """One ``find_operation_between`` probe returns the identical operation.
+
+    Exercises the skip-based index walk against the rebuilt exclusive
+    lists directly, including the rejection counts both record.
+    """
+    from repro.core.local_search import SearchStats
+
+    state = random_state(
+        random.Random(seed), num_racks=2, per_rack=4, num_blocks=40, k=2
+    )
+    policy = RelativeGapPolicy(0.2)
+    cost = state.cost()
+    src = state.argmax_machine()
+    dst = state.argmin_machine()
+    stats_inc = SearchStats(initial_cost=cost, final_cost=cost)
+    stats_ref = SearchStats(initial_cost=cost, final_cost=cost)
+    op_inc = find_operation_between(state, src, dst, policy, cost, stats_inc)
+    op_ref = reference_find_operation_between(
+        state, src, dst, policy, cost, stats_ref
+    )
+    assert op_inc == op_ref
+    assert (
+        stats_inc.admissibility_rejections == stats_ref.admissibility_rejections
+    )
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_max_operations_cap_matches_reference(seed):
+    """Budgeted runs stop at the same point with the same partial result."""
+    state_inc = random_state(
+        random.Random(seed), num_racks=3, per_rack=3, num_blocks=50, k=2, rho=2
+    )
+    state_ref = state_inc.copy()
+    stats_inc = balance_rack_aware(
+        state_inc, max_operations=5, log_operations=True
+    )
+    stats_ref = reference_balance_rack_aware(
+        state_ref, max_operations=5, log_operations=True
+    )
+    assert stats_inc.operations == stats_ref.operations
+    assert state_inc.to_assignment() == state_ref.to_assignment()
+
+
+def test_pruning_only_skips_proven_pairs():
+    """Pruned probes never change results, only reduce probe counts."""
+    state = random_state(
+        random.Random(99), num_racks=4, per_rack=4, num_blocks=120, k=3, rho=2
+    )
+    stats = balance_rack_aware(state, log_operations=True)
+    assert stats.pairs_probed > 0
+    # Convergence requires at least one full unpruned sweep at the end.
+    assert stats.converged
+    state.audit()

@@ -1,0 +1,233 @@
+"""Tests for PlacementState's incremental search indices.
+
+Covers the three index families the local-search engine relies on: lazy
+extreme heaps (global and per-rack), persistent per-machine sorted
+``(share, block_id)`` indices, and machine change epochs.  See the
+``PlacementState`` module docstring for the invariants.
+"""
+
+import random
+
+import pytest
+
+from repro.cluster.topology import ClusterTopology
+from repro.core.instance import PlacementProblem
+from repro.core.placement import PlacementState
+
+from .test_local_search import random_state
+
+
+def _mutate_randomly(state, rng, steps):
+    """Apply a random mix of all four mutation kinds."""
+    blocks = [spec.block_id for spec in state.problem]
+    machines = list(state.topology.machines)
+    for _ in range(steps):
+        kind = rng.randrange(4)
+        block = rng.choice(blocks)
+        if kind == 0:
+            options = [m for m in machines if state.can_add(block, m)]
+            if options:
+                state.add_replica(block, rng.choice(options))
+        elif kind == 1:
+            options = [m for m in machines if state.can_remove(block, m)]
+            if options:
+                state.remove_replica(block, rng.choice(options))
+        elif kind == 2:
+            holders = list(state.machines_of(block))
+            src = rng.choice(holders)
+            options = [m for m in machines if state.can_move(block, src, m)]
+            if options:
+                state.move(block, src, rng.choice(options))
+        else:
+            other = rng.choice(blocks)
+            holders_i = list(state.machines_of(block))
+            holders_j = list(state.machines_of(other))
+            if holders_i and holders_j:
+                src = rng.choice(holders_i)
+                dst = rng.choice(holders_j)
+                if state.can_swap(block, src, other, dst):
+                    state.swap(block, src, other, dst)
+
+
+class TestExtremeHeaps:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_extremes_match_scans_after_random_mutations(self, seed):
+        rng = random.Random(seed)
+        state = random_state(
+            rng, num_racks=3, per_rack=4, num_blocks=40, k=2, rho=2
+        )
+        for _ in range(10):
+            _mutate_randomly(state, rng, 25)
+            loads = state.loads()
+            assert state.argmax_machine() == int(loads.argmax())
+            assert state.argmin_machine() == int(loads.argmin())
+            assert state.cost() == loads[loads.argmax()]
+            assert state.min_load() == loads[loads.argmin()]
+            for rack in state.topology.racks:
+                members = state.topology.machines_in_rack(rack)
+                assert state.argmax_machine_in_rack(rack) == max(
+                    members, key=lambda m: loads[m]
+                )
+                assert state.argmin_machine_in_rack(rack) == min(
+                    members, key=lambda m: loads[m]
+                )
+        state.audit()
+
+    def test_tie_break_is_lowest_machine_id(self):
+        topo = ClusterTopology.uniform(2, 2, capacity=4)
+        problem = PlacementProblem.from_popularities(
+            topo, [6.0, 6.0, 6.0, 6.0], replication_factor=1
+        )
+        state = PlacementState(problem)
+        for block, machine in enumerate([0, 1, 2, 3]):
+            state.add_replica(block, machine)
+        # All four machines tie; numpy argmax/argmin take the first index.
+        assert state.argmax_machine() == 0
+        assert state.argmin_machine() == 0
+        assert state.argmax_machine_in_rack(1) == 2
+        assert state.argmin_machine_in_rack(1) == 2
+
+    def test_heap_compaction_preserves_correctness(self):
+        # Enough mutations on a tiny cluster to trip the compaction
+        # threshold (8*M + 64) several times over.
+        topo = ClusterTopology.uniform(1, 2, capacity=200)
+        problem = PlacementProblem.from_popularities(
+            topo, [5.0, 3.0], replication_factor=1
+        )
+        state = PlacementState(problem)
+        state.add_replica(0, 0)
+        state.add_replica(1, 1)
+        for _ in range(300):
+            state.move(0, 0, 1)
+            state.move(0, 1, 0)
+        assert len(state._max_heap) <= state._heap_compact_at
+        assert state.argmax_machine() == 0
+        assert state.cost() == pytest.approx(5.0)
+
+    def test_invalid_rack_still_raises(self):
+        rng = random.Random(0)
+        state = random_state(rng, num_racks=2, per_rack=2, num_blocks=5)
+        with pytest.raises(Exception):
+            state.argmax_machine_in_rack(99)
+
+
+class TestShareIndex:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_index_is_exact_after_random_mutations(self, seed):
+        rng = random.Random(seed + 50)
+        state = random_state(
+            rng, num_racks=2, per_rack=3, num_blocks=30, k=2, rho=1
+        )
+        _mutate_randomly(state, rng, 120)
+        for machine in state.topology.machines:
+            expected = sorted(
+                (state.share(b), b) for b in state.blocks_on_view(machine)
+            )
+            assert list(state.share_index(machine)) == expected
+
+    def test_replication_change_reshapes_all_holders(self):
+        # add_replica dilutes the share on every existing holder; each
+        # holder's index entry must carry the new exact share.
+        topo = ClusterTopology.uniform(1, 3, capacity=4)
+        problem = PlacementProblem.from_popularities(
+            topo, [9.0], replication_factor=1
+        )
+        state = PlacementState(problem)
+        state.add_replica(0, 0)
+        assert list(state.share_index(0)) == [(9.0, 0)]
+        state.add_replica(0, 1)
+        assert list(state.share_index(0)) == [(4.5, 0)]
+        assert list(state.share_index(1)) == [(4.5, 0)]
+        state.add_replica(0, 2)
+        assert list(state.share_index(0)) == [(3.0, 0)]
+        state.remove_replica(0, 2, enforce_min=False)
+        assert list(state.share_index(0)) == [(4.5, 0)]
+        assert list(state.share_index(2)) == []
+
+    def test_copy_is_independent(self):
+        rng = random.Random(3)
+        state = random_state(rng, num_racks=2, per_rack=2, num_blocks=10, k=2)
+        clone = state.copy()
+        _mutate_randomly(clone, rng, 40)
+        clone.audit()
+        state.audit()
+        for machine in state.topology.machines:
+            expected = sorted(
+                (state.share(b), b) for b in state.blocks_on_view(machine)
+            )
+            assert list(state.share_index(machine)) == expected
+
+
+class TestBlocksOnView:
+    def test_view_is_zero_copy_and_copy_is_immutable(self):
+        rng = random.Random(1)
+        state = random_state(rng, num_racks=1, per_rack=2, num_blocks=8)
+        view = state.blocks_on_view(0)
+        assert view is state.blocks_on_view(0)
+        assert state.blocks_on(0) == frozenset(view)
+        assert isinstance(state.blocks_on(0), frozenset)
+
+    def test_view_tracks_mutations(self):
+        topo = ClusterTopology.uniform(1, 2, capacity=4)
+        problem = PlacementProblem.from_popularities(
+            topo, [2.0, 1.0], replication_factor=1
+        )
+        state = PlacementState(problem)
+        state.add_replica(0, 0)
+        state.add_replica(1, 0)
+        view = state.blocks_on_view(0)
+        state.move(1, 0, 1)
+        assert view == {0}
+
+
+class TestMachineEpochs:
+    def test_move_bumps_both_endpoints(self):
+        topo = ClusterTopology.uniform(1, 3, capacity=4)
+        problem = PlacementProblem.from_popularities(
+            topo, [2.0, 1.0], replication_factor=1
+        )
+        state = PlacementState(problem)
+        state.add_replica(0, 0)
+        state.add_replica(1, 1)
+        before = [state.machine_epoch(m) for m in range(3)]
+        state.move(0, 0, 2)
+        assert state.machine_epoch(0) > before[0]
+        assert state.machine_epoch(2) > before[2]
+        assert state.machine_epoch(1) == before[1]
+
+    def test_remote_operation_bumps_all_holders(self):
+        # Moving one replica of a block across racks changes the block's
+        # rack spread, which can change swap feasibility in probes whose
+        # endpoint is a *different* holder of that block.  The memo in
+        # the search engine is only sound if those holders' epochs move.
+        topo = ClusterTopology.uniform(3, 2, capacity=4)
+        problem = PlacementProblem.from_popularities(
+            topo, [6.0, 1.0], replication_factor=2, rack_spread=1
+        )
+        state = PlacementState(problem)
+        state.add_replica(0, 0)  # rack 0
+        state.add_replica(0, 2)  # rack 1
+        state.add_replica(1, 4)
+        state.add_replica(1, 5)
+        bystander_epoch = state.machine_epoch(0)
+        state.move(0, 2, 4)  # rack 1 -> rack 2; machine 0 untouched directly
+        assert state.machine_epoch(0) > bystander_epoch
+
+    def test_share_change_bumps_holders(self):
+        topo = ClusterTopology.uniform(1, 3, capacity=4)
+        problem = PlacementProblem.from_popularities(
+            topo, [8.0], replication_factor=1
+        )
+        state = PlacementState(problem)
+        state.add_replica(0, 0)
+        epoch = state.machine_epoch(0)
+        state.add_replica(0, 1)  # dilutes the share held on machine 0
+        assert state.machine_epoch(0) > epoch
+
+    def test_recompute_bumps_every_epoch(self):
+        rng = random.Random(7)
+        state = random_state(rng, num_racks=2, per_rack=2, num_blocks=10)
+        before = [state.machine_epoch(m) for m in state.topology.machines]
+        state.recompute()
+        after = [state.machine_epoch(m) for m in state.topology.machines]
+        assert all(b > a for a, b in zip(before, after))

@@ -7,15 +7,21 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.cluster.topology import ClusterTopology
-from repro.core.admissibility import AlwaysAdmissible, RelativeGapPolicy
+from repro.core.admissibility import (
+    AlwaysAdmissible,
+    RelativeCostPolicy,
+    RelativeGapPolicy,
+)
 from repro.core.bounds import combined_lower_bound
 from repro.core.instance import PlacementProblem
 from repro.core.local_search import (
+    _rack_pairs_by_gap,
     balance_node_level,
     balance_rack_aware,
     find_operation_between,
 )
 from repro.core.placement import PlacementState
+from repro.core.reference import reference_balance_node_level
 
 
 def random_state(rng, num_racks, per_rack, num_blocks, k=1, rho=1, capacity=None):
@@ -234,6 +240,177 @@ class TestFindOperationBetween:
         # The shared block 0 must not be selected; the highest-share
         # exclusive block (1) is preferred.
         assert getattr(op, "block", getattr(op, "block_i", None)) == 1
+
+
+class TestSwapWindowBoundaries:
+    """The swap window ``(share_i - gap, share_i)`` is open on both ends.
+
+    A partner exactly at ``share_i`` trades equal shares (no change); a
+    partner exactly at ``share_i - gap`` swaps the machines' loads
+    outright (no strict improvement).  Both must be rejected without an
+    operation.
+    """
+
+    @staticmethod
+    def _full_two_machine_state(popularities, placement):
+        topo = ClusterTopology.uniform(1, 2, capacity=2)
+        problem = PlacementProblem.from_popularities(
+            topo, popularities, replication_factor=1
+        )
+        state = PlacementState(problem)
+        for block, machine in placement.items():
+            state.add_replica(block, machine)
+        return state
+
+    def test_candidates_exactly_on_both_boundaries_are_rejected(self):
+        # Machine 0: shares {6, 4} (load 10); machine 1: shares {6, 2}
+        # (load 8); gap 2.  Both machines are full, so moves are out.
+        # For block share 6 the window is (4, 6): partner 6 sits exactly
+        # at share_i, partner 2 is below.  For block share 4 the window
+        # is (2, 4): partner 6 is above, partner 2 sits exactly at
+        # share_i - gap.  No admissible operation may be returned.
+        state = self._full_two_machine_state(
+            [6.0, 4.0, 6.0, 2.0], {0: 0, 1: 0, 2: 1, 3: 1}
+        )
+        assert state.cost() == pytest.approx(10.0)
+        op = find_operation_between(
+            state, 0, 1, AlwaysAdmissible(), state.cost()
+        )
+        assert op is None
+        stats = balance_node_level(state)
+        assert stats.converged
+        assert stats.total_operations == 0
+
+    def test_candidate_strictly_inside_window_is_taken(self):
+        # Machine 0: shares {6, 4} (load 10); machine 1: shares {5, 3.5}
+        # (load 8.5); gap 1.5.  For block share 6 the window is
+        # (4.5, 6) and partner 5 lies strictly inside: the swap must be
+        # found and shave the pair maximum from 10 to 9.5.
+        state = self._full_two_machine_state(
+            [6.0, 4.0, 5.0, 3.5], {0: 0, 1: 0, 2: 1, 3: 1}
+        )
+        op = find_operation_between(
+            state, 0, 1, AlwaysAdmissible(), state.cost()
+        )
+        assert op is not None
+        assert op.block_i == 0 and op.block_j == 2
+        op.apply(state)
+        assert state.cost() == pytest.approx(9.5)
+
+
+class TestRackPairOrdering:
+    """Regression: rack pairs must rank by extreme-machine gap.
+
+    The old ordering ranked racks by *total* load and only generated
+    heavier-to-lighter pairs, so a large rack of lightly-loaded machines
+    outranked — and shadowed — a small rack containing the true hottest
+    machine.
+    """
+
+    @staticmethod
+    def _heterogeneous_state():
+        # Rack 0: three machines at load 5 (total 15).  Rack 1: one
+        # machine at load 12 (total 12).  Total-load ranking sees rack 0
+        # as the heavy rack; the true hottest machine is in rack 1.
+        topo = ClusterTopology.from_rack_sizes([3, 1], capacity=16)
+        pops = [5.0, 5.0, 5.0, 3.0, 3.0, 3.0, 3.0]
+        problem = PlacementProblem.from_popularities(
+            topo, pops, replication_factor=1
+        )
+        state = PlacementState(problem)
+        for block in (0, 1, 2):
+            state.add_replica(block, block)
+        for block in (3, 4, 5, 6):
+            state.add_replica(block, 3)
+        return state
+
+    def test_pairs_ranked_by_extreme_machine_gap(self):
+        state = self._heterogeneous_state()
+        pairs = _rack_pairs_by_gap(state)
+        # Hot-machine rack first: gap 12 - 5 = 7 beats any pair out of
+        # rack 0 (5 - 12 < 0 is dropped entirely).
+        assert pairs[0] == (1, 0)
+        assert (0, 1) not in pairs
+
+    def test_hot_machine_in_small_rack_gets_drained(self):
+        state = self._heterogeneous_state()
+        assert state.cost() == pytest.approx(12.0)
+        stats = balance_rack_aware(state)
+        assert stats.converged
+        # The old total-load ordering never probed rack 1 as a source,
+        # converging at cost 12; the fix must spread its load.
+        assert state.cost() < 12.0 - 1e-9
+        assert state.cost() <= 8.0 + 1e-9
+        state.audit()
+
+    def test_single_rack_has_no_pairs(self):
+        rng = random.Random(2)
+        state = random_state(rng, num_racks=1, per_rack=3, num_blocks=10)
+        assert _rack_pairs_by_gap(state) == []
+
+
+class _RecordingPolicy:
+    """Wraps a policy, logging every admissibility decision it makes."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.calls = []
+
+    def is_admissible(self, outcome, global_cost):
+        verdict = self.inner.is_admissible(outcome, global_cost)
+        self.calls.append((outcome, global_cost, verdict))
+        return verdict
+
+
+class TestCachedObjectiveThreading:
+    def test_admissibility_decisions_identical_to_per_iteration_recompute(self):
+        # The incremental engine computes the objective once per applied
+        # operation and threads it through; the reference recomputes it
+        # every iteration.  Every (outcome, global_cost, verdict) triple
+        # the policy sees must be identical, or the cached value leaked
+        # staleness into an admissibility decision.
+        rng = random.Random(13)
+        state_inc = random_state(
+            rng, num_racks=2, per_rack=4, num_blocks=50, k=2
+        )
+        state_ref = state_inc.copy()
+        recorder_inc = _RecordingPolicy(RelativeCostPolicy(0.1))
+        recorder_ref = _RecordingPolicy(RelativeCostPolicy(0.1))
+        stats_inc = balance_node_level(state_inc, policy=recorder_inc)
+        stats_ref = reference_balance_node_level(state_ref, policy=recorder_ref)
+        assert recorder_inc.calls == recorder_ref.calls
+        assert stats_inc.final_cost == stats_ref.final_cost
+        assert (
+            stats_inc.admissibility_rejections
+            == stats_ref.admissibility_rejections
+        )
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    num_blocks=st.integers(2, 40),
+    per_rack=st.integers(2, 5),
+    num_racks=st.integers(1, 4),
+)
+def test_property_node_level_invariants(seed, num_blocks, per_rack, num_racks):
+    """Algorithm 1 never worsens, terminates and preserves constraints."""
+    rng = random.Random(seed)
+    k = rng.randint(1, min(3, num_racks * per_rack))
+    rho = rng.randint(1, min(k, num_racks))
+    state = random_state(rng, num_racks, per_rack, num_blocks, k=k, rho=rho)
+    total_before = sum(state.replica_count(b) for b in range(num_blocks))
+    cost_before = state.cost()
+    stats = balance_node_level(state)
+    assert stats.converged
+    assert state.cost() <= cost_before + 1e-9
+    assert sum(state.replica_count(b) for b in range(num_blocks)) == total_before
+    for spec in state.problem:
+        assert state.rack_spread(spec.block_id) >= spec.rack_spread
+        assert state.replica_count(spec.block_id) == spec.replication_factor
+    for machine in state.topology.machines:
+        assert state.used_capacity(machine) <= state.topology.capacity_of(machine)
+    state.audit()
 
 
 @settings(max_examples=30, deadline=None)
