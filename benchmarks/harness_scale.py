@@ -1,0 +1,168 @@
+"""End-to-end experiment-harness benchmark driver.
+
+Measures the three layers this repository's throughput work targets:
+
+1. **sweep** — wall-clock of a multi-seed Figure-3 micro-sweep, the
+   end-to-end number an operator actually waits on.  With ``--jobs N``
+   the sweep uses the parallel trial runner when the tree has one.
+2. **monitor** — per-period cost of the usage monitor: a synthetic
+   record/snapshot loop shaped like the harness's access stream.
+3. **snapshot** — per-period cost of ``snapshot_placement`` when only a
+   few blocks changed since the previous period (the steady-state case
+   the incremental cache targets).
+
+The script **feature-detects** the parallel runner and the snapshot
+cache, so the *same file* runs against an older tree: copy it into a
+worktree of the baseline commit to produce the "before" column of
+``benchmarks/results/harness_scale.txt``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/harness_scale.py --label after
+    PYTHONPATH=src python benchmarks/harness_scale.py --sweep-only --jobs 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import inspect
+import json
+import random
+import sys
+import time
+
+
+def bench_sweep(seeds, hours, epsilons, jobs):
+    from repro.experiments.fig3 import default_trace, run_fig3
+
+    supports_jobs = "jobs" in inspect.signature(run_fig3).parameters
+    kwargs = {"jobs": jobs} if (supports_jobs and jobs > 1) else {}
+    if jobs > 1 and not supports_jobs:
+        print("# no parallel runner in this tree; sweep runs sequentially")
+    started = time.perf_counter()
+    reductions = []
+    for seed in seeds:
+        trace = default_trace(seed=seed, duration_hours=hours)
+        result = run_fig3(
+            trace=trace, epsilons=epsilons, seed=seed, **kwargs
+        )
+        reductions.append(round(result.best_reduction(), 6))
+    elapsed = time.perf_counter() - started
+    return {
+        "seconds": round(elapsed, 3),
+        "seeds": len(seeds),
+        "cases": len(seeds) * (1 + len(epsilons)),
+        "jobs": jobs if supports_jobs else 1,
+        "best_reductions": reductions,
+    }
+
+
+def bench_monitor(blocks=2000, periods=8, accesses_per_period=40_000,
+                  window=7200.0, period=3600.0):
+    from repro.monitor.usage import UsageMonitor
+
+    monitor = UsageMonitor(window=window)
+    rng = random.Random(0)
+    # Zipf-ish skew: low block ids absorb most accesses, like a real
+    # trace's hot files.
+    ids = [min(int(rng.paretovariate(1.2)), blocks - 1)
+           for _ in range(accesses_per_period)]
+    started = time.perf_counter()
+    checksum = 0
+    for p in range(1, periods + 1):
+        base = p * period
+        step = period / accesses_per_period
+        for index, block in enumerate(ids):
+            monitor.record_access(block, base + index * step)
+        checksum += len(monitor.snapshot(now=base + period))
+    elapsed = time.perf_counter() - started
+    # Retained monitor state after the last snapshot: timestamps for the
+    # exact/deque implementation, bucket counters for the bucketed one.
+    state_entries = sum(len(state) for state in monitor._accesses.values())
+    return {
+        "seconds": round(elapsed, 3),
+        "per_period_ms": round(1000.0 * elapsed / periods, 2),
+        "periods": periods,
+        "accesses_per_period": accesses_per_period,
+        "state_entries": state_entries,
+        "tracked_blocks_checksum": checksum,
+    }
+
+
+def bench_snapshot(files=400, rounds=30, dirty_per_round=10):
+    from repro.aurora.bridge import snapshot_placement
+    from repro.cluster.topology import ClusterTopology
+    from repro.dfs.namenode import Namenode
+    from repro.dfs.policies import DefaultHdfsPolicy
+
+    try:
+        from repro.aurora.bridge import PlacementSnapshotCache
+        cache = PlacementSnapshotCache()
+        cached_kwargs = {"cache": cache}
+    except ImportError:
+        cached_kwargs = {}
+
+    rng = random.Random(0)
+    topo = ClusterTopology.uniform(8, 8, capacity=200)
+    nn = Namenode(
+        topo, placement_policy=DefaultHdfsPolicy(random.Random(1)),
+        rng=random.Random(2),
+    )
+    for i in range(files):
+        nn.create_file(f"/f{i}", num_blocks=rng.randint(2, 4))
+    block_ids = list(nn.blockmap.block_ids())
+    pops = {b: rng.uniform(0.0, 50.0) for b in block_ids}
+
+    snapshot_placement(nn, pops, **cached_kwargs)  # warm / prime
+    started = time.perf_counter()
+    cost = 0.0
+    for _ in range(rounds):
+        # Steady state: a handful of blocks moved since last period.
+        for block in rng.sample(block_ids, dirty_per_round):
+            locations = sorted(nn.blockmap.locations(block))
+            src = locations[0]
+            free = [m for m in topo.machines
+                    if m not in locations
+                    and nn.datanodes[m].free_blocks > 0]
+            if free:
+                nn.move_block(block, src, rng.choice(free))
+        state = snapshot_placement(nn, pops, **cached_kwargs)
+        cost += state.cost()
+    elapsed = time.perf_counter() - started
+    return {
+        "seconds": round(elapsed, 3),
+        "per_snapshot_ms": round(1000.0 * elapsed / rounds, 2),
+        "rounds": rounds,
+        "blocks": len(block_ids),
+        "dirty_per_round": dirty_per_round,
+        "cached": bool(cached_kwargs),
+        "cost_checksum": round(cost, 3),
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--label", default="run")
+    parser.add_argument("--seeds", type=int, default=4)
+    parser.add_argument("--hours", type=float, default=2.0)
+    parser.add_argument("--jobs", type=int, default=1)
+    parser.add_argument(
+        "--epsilons", nargs="+", type=float, default=[0.1, 0.8]
+    )
+    parser.add_argument("--sweep-only", action="store_true")
+    args = parser.parse_args(argv)
+
+    report = {"label": args.label}
+    report["sweep"] = bench_sweep(
+        seeds=range(args.seeds), hours=args.hours,
+        epsilons=tuple(args.epsilons), jobs=args.jobs,
+    )
+    if not args.sweep_only:
+        report["monitor"] = bench_monitor()
+        report["snapshot"] = bench_snapshot()
+    print(json.dumps(report, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

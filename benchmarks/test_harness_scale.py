@@ -1,0 +1,47 @@
+"""Harness throughput smoke test: parallel sweep equals sequential.
+
+The committed before/after table lives in
+``benchmarks/results/harness_scale.txt`` and is produced by
+``benchmarks/harness_scale.py`` (run on this tree and on the baseline
+commit).  CI runs only the ``perf``-marked smoke test below: a 2-worker
+Figure-3 micro-sweep whose every ``RunResult`` must equal the sequential
+run's, plus a loose wall-clock budget so a gross harness regression
+fails loudly without flaking on shared CI boxes.
+"""
+
+import time
+
+import pytest
+
+from repro.experiments.fig3 import run_fig3
+from repro.workload.yahoo import YahooTraceConfig, generate_yahoo_trace
+
+pytestmark = pytest.mark.bench
+
+
+def _micro_trace(seed=0):
+    return generate_yahoo_trace(YahooTraceConfig(
+        num_files=30,
+        jobs_per_hour=150.0,
+        duration_hours=1.5,
+        mean_task_duration=60.0,
+        seed=seed,
+    ))
+
+
+@pytest.mark.perf
+def test_parallel_fig3_micro_sweep_matches_sequential():
+    """2-worker fig3 micro-sweep: identical results, sane wall-clock."""
+    trace = _micro_trace()
+    epsilons = (0.1, 0.8)
+    started = time.perf_counter()
+    sequential = run_fig3(trace=trace, epsilons=epsilons, seed=0, jobs=1)
+    parallel = run_fig3(trace=trace, epsilons=epsilons, seed=0, jobs=2)
+    elapsed = time.perf_counter() - started
+    assert parallel.baseline == sequential.baseline
+    assert set(parallel.aurora) == set(epsilons)
+    for epsilon in epsilons:
+        assert parallel.aurora[epsilon] == sequential.aurora[epsilon]
+    # Measured ~2 s for both sweeps together on a 1-CPU container;
+    # the budget leaves generous slack for slow CI hardware.
+    assert elapsed < 60.0

@@ -24,7 +24,7 @@ from __future__ import annotations
 import logging
 import time
 from dataclasses import dataclass
-from typing import Iterable, Mapping, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
 
 from repro.core.instance import BlockSpec, PlacementProblem
 from repro.core.operations import MoveOp, Operation, SwapOp
@@ -33,7 +33,12 @@ from repro.dfs.namenode import Namenode
 from repro.errors import DfsError
 from repro.obs.registry import get_registry
 
-__all__ = ["snapshot_placement", "replay_operations", "ReplayReport"]
+__all__ = [
+    "snapshot_placement",
+    "replay_operations",
+    "ReplayReport",
+    "PlacementSnapshotCache",
+]
 
 _LOG = logging.getLogger(__name__)
 
@@ -49,8 +54,44 @@ _MIGRATED_BYTES = _REG.counter(
 )
 
 
+class PlacementSnapshotCache:
+    """Per-block memo for :func:`snapshot_placement`.
+
+    Between reconfiguration periods most blocks' placement never changes
+    — only blocks touched by migrations, replication-factor updates,
+    node failures or new writes do.  The block map flags exactly those
+    (its dirty set); this cache keeps the previous period's
+    :class:`BlockSpec` and location frozenset for every untouched block
+    and rebuilds only the dirty ones, turning the per-period snapshot
+    from O(blocks x replicas) hashing into O(dirty) plus a dict walk.
+
+    A cached spec is additionally refreshed when the block's popularity
+    changed (specs embed the popularity, which moves every window).
+    One cache belongs to one namenode; hand it to
+    :func:`snapshot_placement` on every call.
+    """
+
+    def __init__(self) -> None:
+        self._specs: Dict[int, BlockSpec] = {}
+        self._locations: Dict[int, FrozenSet[int]] = {}
+        self._popularity: Dict[int, float] = {}
+
+    def invalidate(self) -> None:
+        """Drop every cached entry (next snapshot rebuilds from scratch)."""
+        self._specs.clear()
+        self._locations.clear()
+        self._popularity.clear()
+
+    def _evict(self, block_id: int) -> None:
+        self._specs.pop(block_id, None)
+        self._locations.pop(block_id, None)
+        self._popularity.pop(block_id, None)
+
+
 def snapshot_placement(
-    namenode: Namenode, popularities: Mapping[int, float]
+    namenode: Namenode,
+    popularities: Mapping[int, float],
+    cache: Optional[PlacementSnapshotCache] = None,
 ) -> PlacementState:
     """Freeze the namenode's current placement into an abstract state.
 
@@ -58,23 +99,47 @@ def snapshot_placement(
     replication factor — the load-balancing phase of Algorithm 5 moves
     replicas but never changes their number — and the popularity from
     the monitor snapshot (0 for blocks never accessed in the window).
+
+    With a :class:`PlacementSnapshotCache`, specs and location sets of
+    blocks untouched since the previous snapshot are reused instead of
+    rebuilt; the result is identical to a from-scratch snapshot.
     """
+    blockmap = namenode.blockmap
+    if cache is not None:
+        for block_id in blockmap.drain_dirty():
+            cache._evict(block_id)
+        cached_specs = cache._specs
+        cached_locations = cache._locations
+        cached_popularity = cache._popularity
+    else:
+        cached_specs = {}
+        cached_locations = {}
+        cached_popularity = {}
     specs = []
     assignment = {}
-    for block_id in namenode.blockmap.block_ids():
-        locations = namenode.blockmap.locations(block_id)
+    for block_id in blockmap.block_ids():
+        locations = cached_locations.get(block_id)
+        if locations is None:
+            locations = blockmap.locations(block_id)
+            if cache is not None:
+                cached_locations[block_id] = locations
         if not locations:
             continue
-        meta = namenode.blockmap.meta(block_id)
-        count = len(locations)
-        specs.append(
-            BlockSpec(
+        popularity = float(popularities.get(block_id, 0.0))
+        spec = cached_specs.get(block_id)
+        if spec is None or cached_popularity.get(block_id) != popularity:
+            meta = blockmap.meta(block_id)
+            count = len(locations)
+            spec = BlockSpec(
                 block_id=block_id,
-                popularity=float(popularities.get(block_id, 0.0)),
+                popularity=popularity,
                 replication_factor=count,
                 rack_spread=min(meta.rack_spread, count),
             )
-        )
+            if cache is not None:
+                cached_specs[block_id] = spec
+                cached_popularity[block_id] = popularity
+        specs.append(spec)
         assignment[block_id] = locations
     problem = PlacementProblem(
         topology=namenode.topology, blocks=tuple(specs)
@@ -120,7 +185,7 @@ def _issue_move(
     started = False
     try:
         if (block in namenode.blockmap
-                and src in namenode.blockmap.locations(block)):
+                and src in namenode.blockmap.locations_view(block)):
             started = namenode.move_block(block, src, dst)
     except DfsError as exc:
         # The live system refused outright (block deleted mid-replay,
@@ -169,6 +234,13 @@ def replay_operations(
     started = time.perf_counter()
     report = ReplayReport()
     ops = list(operations)
+    # Dead-node set hoisted out of the per-op loop: it is rebuilt only
+    # when the namenode's membership epoch moves (a liveness flip mid-
+    # replay still bumps it), so the common all-alive case costs one
+    # integer compare per operation instead of per-op set construction
+    # and `.alive` probes.
+    dead_epoch: Optional[int] = None
+    dead: FrozenSet[int] = frozenset()
     for index, op in enumerate(ops):
         if max_moves is not None and report.moves_issued >= max_moves:
             report.moves_deferred += len(ops) - index
@@ -178,9 +250,16 @@ def replay_operations(
             )
             break
         if abort_on_lost_nodes:
-            lost = sorted(
-                node for node in set(_op_endpoints(op))
-                if not namenode.datanodes[node].alive
+            epoch = namenode.membership_epoch
+            if epoch != dead_epoch:
+                dead_epoch = epoch
+                dead = frozenset(
+                    dn.node_id for dn in namenode.datanodes if not dn.alive
+                )
+            lost = (
+                sorted(node for node in set(_op_endpoints(op))
+                       if node in dead)
+                if dead else ()
             )
             if lost:
                 report.aborted = True

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.errors import InvalidProblemError
+from repro.monitor.usage import DEFAULT_MONITOR_BUCKETS
 
 __all__ = ["AuroraConfig"]
 
@@ -29,6 +30,15 @@ class AuroraConfig:
         nearly close a load gap, minimizing block movement.
     window:
         Usage-monitor sliding window ``W`` in seconds (paper: 2 hours).
+    monitor_buckets:
+        Number of fixed-width buckets the usage monitor splits ``W``
+        into.  The default keeps counts exact at period boundaries for
+        the stock window settings; higher values tighten the
+        between-boundary overcount at O(buckets) memory per block.
+    monitor_exact:
+        Keep per-access timestamps instead of buckets, so popularity is
+        exact at *every* query time, not just bucket-aligned ones.
+        O(accesses) memory; meant for tests and offline analysis.
     period:
         Reconfiguration period in seconds (paper: 1 hour).
     max_replication_ops:
@@ -72,6 +82,8 @@ class AuroraConfig:
 
     epsilon: float = 0.1
     window: float = 2 * 3600.0
+    monitor_buckets: int = DEFAULT_MONITOR_BUCKETS
+    monitor_exact: bool = False
     period: float = 3600.0
     max_replication_ops: int = 20_000
     replication_budget: Optional[int] = None
@@ -92,6 +104,8 @@ class AuroraConfig:
             raise InvalidProblemError("epsilon must be in [0, 1)")
         if self.window <= 0:
             raise InvalidProblemError("window must be positive")
+        if self.monitor_buckets < 1:
+            raise InvalidProblemError("monitor_buckets must be >= 1")
         if self.period <= 0:
             raise InvalidProblemError("period must be positive")
         if self.max_replication_ops < 0:

@@ -24,7 +24,12 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
-from repro.aurora.bridge import ReplayReport, replay_operations, snapshot_placement
+from repro.aurora.bridge import (
+    PlacementSnapshotCache,
+    ReplayReport,
+    replay_operations,
+    snapshot_placement,
+)
 from repro.aurora.config import AuroraConfig
 from repro.core.admissibility import (
     AdmissibilityPolicy,
@@ -151,8 +156,15 @@ class AuroraSystem:
         self.namenode = namenode
         self.config = config or AuroraConfig()
         self.predictor = predictor or HistoricalPredictor()
-        self.monitor = UsageMonitor(window=self.config.window)
+        self.monitor = UsageMonitor(
+            window=self.config.window,
+            num_buckets=self.config.monitor_buckets,
+            exact=self.config.monitor_exact,
+        )
         namenode.access_listeners.append(self.monitor.record_access)
+        # Incremental placement snapshots: blocks untouched since the
+        # previous period reuse their cached BlockSpec/locations.
+        self._snapshot_cache = PlacementSnapshotCache()
         namenode.placement_policy = LoadAwarePolicy()
         namenode.load_provider = self.node_load
         if self.config.movement_compression > 1.0:
@@ -437,7 +449,9 @@ class AuroraSystem:
         """Epsilon-admissible rack-aware local search + live replay."""
         with trace("aurora.local_search", sim_time=now) as phase:
             phase_start = time.perf_counter()
-            state = snapshot_placement(self.namenode, popularities)
+            state = snapshot_placement(
+                self.namenode, popularities, cache=self._snapshot_cache
+            )
             report.cost_before = state.cost()
             stats = balance_rack_aware(
                 state,

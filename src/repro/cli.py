@@ -94,6 +94,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="directory for per-figure observability snapshots "
              "(figN.metrics.json); enables metric collection",
     )
+    figures.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the independent cases of each figure "
+             "(results are identical to --jobs 1)",
+    )
 
     trace = sub.add_parser("trace", help="generate a workload trace")
     trace.add_argument("kind", choices=["yahoo", "swim"])
@@ -122,6 +127,10 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     scale.add_argument("--hours", type=float, default=2.0)
     scale.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the (size, system) cases",
+    )
+    scale.add_argument(
         "--solver", action="store_true",
         help="instead run the solver scale study: incremental local-search "
              "engine timed against the naive reference solver",
@@ -133,6 +142,10 @@ def _build_parser() -> argparse.ArgumentParser:
     sensitivity.add_argument("--out", type=Path, default=Path("results"))
     sensitivity.add_argument("--seed", type=int, default=0)
     sensitivity.add_argument("--hours", type=float, default=2.0)
+    sensitivity.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the sweep's independent settings",
+    )
 
     chaos = sub.add_parser(
         "chaos",
@@ -232,11 +245,14 @@ def _cmd_figures(args: argparse.Namespace) -> int:
         trace = default_trace(seed=args.seed)
     runners = {
         3: lambda: render_fig3(run_fig3(
-            trace=trace, cluster=cluster, epsilons=epsilons, seed=args.seed)),
+            trace=trace, cluster=cluster, epsilons=epsilons, seed=args.seed,
+            jobs=args.jobs)),
         4: lambda: render_fig4(run_fig4(
-            trace=trace, cluster=cluster, epsilons=epsilons, seed=args.seed)),
+            trace=trace, cluster=cluster, epsilons=epsilons, seed=args.seed,
+            jobs=args.jobs)),
         5: lambda: render_fig5(run_fig5(
-            trace=trace, cluster=cluster, epsilons=epsilons, seed=args.seed)),
+            trace=trace, cluster=cluster, epsilons=epsilons, seed=args.seed,
+            jobs=args.jobs)),
         6: lambda: render_fig6(run_fig6(seed=args.seed)),
     }
     if args.metrics_out is not None:
@@ -321,6 +337,7 @@ def _cmd_scale(args: argparse.Namespace) -> int:
         machines_per_rack_options=tuple(args.machines_per_rack),
         duration_hours=args.hours,
         seed=args.seed,
+        jobs=args.jobs,
     )
     text = render_scale_study(points)
     target = args.out / "scale_study.txt"
@@ -340,11 +357,11 @@ def _cmd_sensitivity(args: argparse.Namespace) -> int:
     args.out.mkdir(parents=True, exist_ok=True)
     trace = default_trace(seed=args.seed, duration_hours=args.hours)
     window = render_sensitivity(
-        run_window_sensitivity(trace, seed=args.seed),
+        run_window_sensitivity(trace, seed=args.seed, jobs=args.jobs),
         "usage window W (hours)",
     )
     cap = render_sensitivity(
-        run_cap_sensitivity(trace, seed=args.seed),
+        run_cap_sensitivity(trace, seed=args.seed, jobs=args.jobs),
         "replication cap K",
     )
     text = window + "\n\n" + cap

@@ -44,8 +44,13 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.admissibility import AdmissibilityPolicy, AlwaysAdmissible
-from repro.core.operations import MoveOp, Operation, SwapOp
+from repro.core.admissibility import (
+    AdmissibilityPolicy,
+    AlwaysAdmissible,
+    RelativeCostPolicy,
+    RelativeGapPolicy,
+)
+from repro.core.operations import MoveOp, Operation, OperationOutcome, SwapOp
 from repro.core.placement import PlacementState
 from repro.obs.registry import get_registry
 
@@ -206,6 +211,27 @@ def _next_exclusive(index: Sequence[Tuple[float, int]], i: int, skip) -> int:
     return i
 
 
+# Dispatch tags for the inlined admissibility fast paths below.
+_GENERIC, _ALWAYS, _GAP, _COST = 0, 1, 2, 3
+
+
+def _policy_mode(policy: AdmissibilityPolicy) -> int:
+    """Classify ``policy`` for the candidate loops' inlined arithmetic.
+
+    Exact type checks on purpose: a subclass may override
+    ``is_admissible``, so anything unrecognized takes the generic path
+    through the real policy object.
+    """
+    cls = type(policy)
+    if cls is AlwaysAdmissible:
+        return _ALWAYS
+    if cls is RelativeGapPolicy:
+        return _GAP
+    if cls is RelativeCostPolicy:
+        return _COST
+    return _GENERIC
+
+
 def _find_swap_partner(
     state: PlacementState,
     policy: AdmissibilityPolicy,
@@ -216,7 +242,9 @@ def _find_swap_partner(
     dst: int,
     dst_index: Sequence[Tuple[float, int]],
     src_blocks,
-    gap: float,
+    load_src: float,
+    load_dst: float,
+    mode: int,
     stats: Optional[SearchStats] = None,
 ) -> Optional[SwapOp]:
     """Best feasible, admissible swap partner for ``block_i`` on ``dst``.
@@ -231,34 +259,86 @@ def _find_swap_partner(
     index; blocks shared with ``src`` (``src_blocks``) are stepped over
     in place, which visits exactly the exclusive blocks in the same order
     a rebuilt exclusive list would.
+
+    Preconditions held by the caller (and relied on here): ``src`` and
+    ``dst`` differ, ``block_i`` is on ``src`` but not on ``dst``, and
+    every probed ``block_j`` is on ``dst`` but not on ``src`` — so of
+    :meth:`~repro.core.placement.PlacementState.can_swap` only the two
+    rack-spread clauses remain to be checked.  The ``block_i`` clause
+    does not depend on the partner and is checked once up front
+    (infeasible candidates are never counted as rejections, so bailing
+    out early is stats-neutral); the outcome loads are computed from the
+    shares already in hand with the same expressions
+    ``SwapOp.outcome`` uses, keeping every float bit-identical.
     """
     if not dst_index:
         return None
+    if not state.move_keeps_spread(block_i, src, dst):
+        return None
+    gap = load_src - load_dst
     ideal = share_i - gap / 2.0
     lower = share_i - gap
+    lower_bar = lower + _TOLERANCE
+    upper_bar = share_i - _TOLERANCE
     num = len(dst_index)
+    keeps_spread = state.move_keeps_spread
+    pair_before = load_src if load_src >= load_dst else load_dst
+    improve_bar = pair_before - _TOLERANCE
+    if mode == _GAP:
+        gap_bar = (1.0 - policy.epsilon) * abs(load_src - load_dst) + _TOLERANCE
+    elif mode == _COST:
+        src_at_max = not (load_src < global_cost - _TOLERANCE)
+        cost_bar = (1.0 - policy.epsilon) * global_cost + _TOLERANCE
+    rejections = 0
     center = bisect.bisect_left(dst_index, (ideal, -1))
     left = _prev_exclusive(dst_index, center - 1, src_blocks)
     right = _next_exclusive(dst_index, center, src_blocks)
     while left >= 0 or right < num:
-        candidates = []
-        if left >= 0:
-            candidates.append(dst_index[left])
-        if right < num:
-            candidates.append(dst_index[right])
-        # probe the candidate nearest the ideal share first
-        candidates.sort(key=lambda pair: abs(pair[0] - ideal))
+        # probe the candidate nearest the ideal share first (ties: left)
+        if left < 0:
+            candidates = (dst_index[right],)
+        elif right >= num:
+            candidates = (dst_index[left],)
+        elif abs(dst_index[right][0] - ideal) < abs(dst_index[left][0] - ideal):
+            candidates = (dst_index[right], dst_index[left])
+        else:
+            candidates = (dst_index[left], dst_index[right])
         for share_j, block_j in candidates:
-            if not lower + _TOLERANCE < share_j < share_i - _TOLERANCE:
+            if not lower_bar < share_j < upper_bar:
                 continue
-            op = SwapOp(block_i=block_i, src=src, block_j=block_j, dst=dst)
-            if not op.is_feasible(state):
+            if not keeps_spread(block_j, dst, src):
                 continue
-            outcome = op.outcome(state)
-            if policy.is_admissible(outcome, global_cost):
-                return op
-            if stats is not None:
-                stats.admissibility_rejections += 1
+            src_after = load_src - share_i + share_j
+            dst_after = load_dst + share_i - share_j
+            pair_after = src_after if src_after >= dst_after else dst_after
+            if mode == _GAP:
+                admissible = (
+                    pair_after < improve_bar
+                    and abs(src_after - dst_after) <= gap_bar
+                )
+            elif mode == _ALWAYS:
+                admissible = pair_after < improve_bar
+            elif mode == _COST:
+                admissible = (
+                    pair_after < improve_bar
+                    and src_at_max
+                    and pair_after <= cost_bar
+                )
+            else:
+                admissible = policy.is_admissible(
+                    OperationOutcome(
+                        src_load_before=load_src,
+                        dst_load_before=load_dst,
+                        src_load_after=src_after,
+                        dst_load_after=dst_after,
+                    ),
+                    global_cost,
+                )
+            if admissible:
+                if rejections and stats is not None:
+                    stats.admissibility_rejections += rejections
+                return SwapOp(block_i=block_i, src=src, block_j=block_j, dst=dst)
+            rejections += 1
         if left >= 0 and dst_index[left][0] <= lower:
             left = -1
         else:
@@ -267,6 +347,8 @@ def _find_swap_partner(
             right = num
         else:
             right = _next_exclusive(dst_index, right + 1, src_blocks)
+    if rejections and stats is not None:
+        stats.admissibility_rejections += rejections
     return None
 
 
@@ -288,7 +370,15 @@ def find_operation_between(
     operations turned down by ``policy`` are counted on it.
 
     Candidates come straight from the placement state's persistent share
-    indices — nothing is copied, rebuilt or sorted per call.
+    indices — nothing is copied, rebuilt or sorted per call.  The move
+    feasibility check is reduced to its two non-trivial clauses: the
+    destination slot (hoisted — capacity cannot change mid-probe) and
+    the rack-spread clause; the index walk already guarantees the
+    membership preconditions.  Outcome loads and the stock policies'
+    admissibility tests are inlined with expressions bit-identical to
+    ``MoveOp.outcome`` / ``policy.is_admissible``, so the chosen
+    operation and the rejection count match the object-based path
+    exactly (pinned by the differential tests).
     """
     load_src = state.load(src)
     load_dst = state.load(dst)
@@ -299,16 +389,50 @@ def find_operation_between(
     dst_index = state.share_index(dst)
     src_blocks = state.blocks_on_view(src)
     dst_blocks = state.blocks_on_view(dst)
+    mode = _policy_mode(policy)
+    keeps_spread = state.move_keeps_spread
+    dst_open = not state.is_full(dst)
+    pair_before = load_src if load_src >= load_dst else load_dst
+    improve_bar = pair_before - _TOLERANCE
+    if mode == _GAP:
+        gap_bar = (1.0 - policy.epsilon) * abs(load_src - load_dst) + _TOLERANCE
+    elif mode == _COST:
+        src_at_max = not (load_src < global_cost - _TOLERANCE)
+        cost_bar = (1.0 - policy.epsilon) * global_cost + _TOLERANCE
     for share_i, block_i in reversed(src_index):
         if block_i in dst_blocks:
             continue
         if share_i <= _TOLERANCE:
             break
-        move = MoveOp(block=block_i, src=src, dst=dst)
-        if move.is_feasible(state):
-            outcome = move.outcome(state)
-            if policy.is_admissible(outcome, global_cost):
-                return move
+        if dst_open and keeps_spread(block_i, src, dst):
+            src_after = load_src - share_i
+            dst_after = load_dst + share_i
+            pair_after = src_after if src_after >= dst_after else dst_after
+            if mode == _GAP:
+                admissible = (
+                    pair_after < improve_bar
+                    and abs(src_after - dst_after) <= gap_bar
+                )
+            elif mode == _ALWAYS:
+                admissible = pair_after < improve_bar
+            elif mode == _COST:
+                admissible = (
+                    pair_after < improve_bar
+                    and src_at_max
+                    and pair_after <= cost_bar
+                )
+            else:
+                admissible = policy.is_admissible(
+                    OperationOutcome(
+                        src_load_before=load_src,
+                        dst_load_before=load_dst,
+                        src_load_after=src_after,
+                        dst_load_after=dst_after,
+                    ),
+                    global_cost,
+                )
+            if admissible:
+                return MoveOp(block=block_i, src=src, dst=dst)
             if stats is not None:
                 stats.admissibility_rejections += 1
         swap = _find_swap_partner(
@@ -321,7 +445,9 @@ def find_operation_between(
             dst,
             dst_index,
             src_blocks,
-            gap,
+            load_src,
+            load_dst,
+            mode,
             stats,
         )
         if swap is not None:

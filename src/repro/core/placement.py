@@ -293,9 +293,7 @@ class PlacementState:
             return False
         if not self.can_add(block_id, dst):
             return False
-        return self._spread_after_move(block_id, src, dst) >= self.problem.block(
-            block_id
-        ).rack_spread
+        return self.move_keeps_spread(block_id, src, dst)
 
     def can_swap(self, block_i: int, machine_m: int, block_j: int, machine_n: int) -> bool:
         """Whether ``Swap(m, i, n, j)`` is feasible.
@@ -313,14 +311,30 @@ class PlacementState:
             return False
         if self.has_replica(block_i, machine_n) or self.has_replica(block_j, machine_m):
             return False
-        spec_i = self.problem.block(block_i)
-        spec_j = self.problem.block(block_j)
-        if self._spread_after_move(block_i, machine_m, machine_n) < spec_i.rack_spread:
+        if not self.move_keeps_spread(block_i, machine_m, machine_n):
             return False
-        return (
-            self._spread_after_move(block_j, machine_n, machine_m)
-            >= spec_j.rack_spread
-        )
+        return self.move_keeps_spread(block_j, machine_n, machine_m)
+
+    def move_keeps_spread(self, block_id: int, src: int, dst: int) -> bool:
+        """Whether relocating one replica ``src -> dst`` keeps ``rho_i``.
+
+        This is exactly the rack clause of :meth:`can_move` /
+        :meth:`can_swap`.  The local search calls it directly for
+        candidates whose membership preconditions already hold by
+        construction (the block is on ``src`` and absent from ``dst``),
+        skipping the redundant replica lookups.
+        """
+        rack_of = self.topology.rack_of
+        src_rack = rack_of[src]
+        dst_rack = rack_of[dst]
+        holders = self._rack_holders_for(block_id)
+        spread = len(holders)
+        if src_rack != dst_rack:
+            if holders.get(src_rack, 0) == 1:
+                spread -= 1
+            if dst_rack not in holders:
+                spread += 1
+        return spread >= self.problem.block(block_id).rack_spread
 
     # -- mutations ---------------------------------------------------------------
 
@@ -486,11 +500,49 @@ class PlacementState:
     def from_assignment(
         cls, problem: PlacementProblem, assignment: Mapping[int, Iterable[int]]
     ) -> "PlacementState":
-        """Rebuild a state from a block-to-machines mapping."""
+        """Rebuild a state from a block-to-machines mapping.
+
+        Built in bulk: holder sets, rack counters, loads and share
+        indices are constructed directly at their final values (loads
+        via the same final-share accumulation :meth:`recompute` uses)
+        instead of replaying one :meth:`add_replica` per replica, which
+        re-dilutes every prior holder and re-sorts share indices on each
+        add.  Validation matches the incremental path: unknown blocks,
+        duplicate holders and capacity overruns raise the same errors.
+        """
         state = cls(problem)
+        topo = problem.topology
+        rack_of = topo.rack_of
+        blocks_on = state._blocks_on
         for block_id, machines in assignment.items():
+            holders = state._machines_for(block_id)
+            rack_holders = state._rack_holders[block_id]
             for machine in machines:
-                state.add_replica(block_id, machine)
+                topo.check_machine(machine)
+                if machine in holders:
+                    raise ReplicaConstraintError(
+                        f"machine {machine} already holds block {block_id}"
+                    )
+                if len(blocks_on[machine]) >= topo.capacity_of(machine):
+                    raise CapacityExceededError(f"machine {machine} is full")
+                holders.add(machine)
+                blocks_on[machine].add(block_id)
+                rack = rack_of[machine]
+                rack_holders[rack] = rack_holders.get(rack, 0) + 1
+        loads = state._loads
+        rack_loads = state._rack_loads
+        share_index = state._share_index
+        for block_id, holders in state._machines_of.items():
+            if not holders:
+                continue
+            share = problem.block(block_id).popularity / len(holders)
+            for machine in holders:
+                loads[machine] += share
+                rack_loads[rack_of[machine]] += share
+                share_index[machine].append((share, block_id))
+        for index in share_index:
+            index.sort()
+        state._init_load_heaps()
         return state
 
     def recompute(self) -> None:

@@ -27,6 +27,10 @@ class BlockMap:
         self._meta: Dict[int, BlockMeta] = {}
         self._locations: Dict[int, Set[int]] = {}
         self._stored: List[Set[int]] = [set() for _ in topology.machines]
+        # Blocks whose placement-affecting state (locations, existence,
+        # replication target) changed since the last drain_dirty().
+        # Consumed by the incremental placement-snapshot cache.
+        self._dirty: Set[int] = set()
 
     # -- registration -------------------------------------------------------
 
@@ -36,6 +40,7 @@ class BlockMap:
             raise DfsError(f"block {meta.block_id} already registered")
         self._meta[meta.block_id] = meta
         self._locations[meta.block_id] = set()
+        self._dirty.add(meta.block_id)
 
     def unregister(self, block_id: int) -> None:
         """Remove a block and all its location records (file deletion)."""
@@ -43,6 +48,7 @@ class BlockMap:
         for node in self._locations.pop(block_id):
             self._stored[node].discard(block_id)
         del self._meta[block_id]
+        self._dirty.add(block_id)
 
     def meta(self, block_id: int) -> BlockMeta:
         """The block's metadata record."""
@@ -73,6 +79,7 @@ class BlockMap:
             raise DfsError(f"block {block_id} already has a replica on {node}")
         locations.add(node)
         self._stored[node].add(block_id)
+        self._dirty.add(block_id)
 
     def remove_location(self, block_id: int, node: int) -> None:
         """Delete the replica record of ``block_id`` on ``node``."""
@@ -81,10 +88,33 @@ class BlockMap:
             raise DfsError(f"block {block_id} has no replica on node {node}")
         locations.discard(node)
         self._stored[node].discard(block_id)
+        self._dirty.add(block_id)
+
+    def mark_dirty(self, block_id: int) -> None:
+        """Flag a placement-affecting change made outside the block map.
+
+        The namenode calls this when it mutates metadata the snapshot
+        cache depends on (e.g. a block's replication target).
+        """
+        self._dirty.add(block_id)
+
+    def drain_dirty(self) -> Set[int]:
+        """Return and clear the set of blocks dirtied since the last drain."""
+        dirty, self._dirty = self._dirty, set()
+        return dirty
 
     def locations(self, block_id: int) -> FrozenSet[int]:
         """Datanodes currently recorded as holding ``block_id``."""
         return frozenset(self._locations_for(block_id))
+
+    def locations_view(self, block_id: int) -> Set[int]:
+        """The live location set of ``block_id`` — no defensive copy.
+
+        Callers must treat the result as read-only and must not hold it
+        across block-map mutations; use :meth:`locations` for a stable
+        snapshot.
+        """
+        return self._locations_for(block_id)
 
     def live_locations(self, block_id: int, live: Set[int]) -> FrozenSet[int]:
         """Locations restricted to the given set of live datanodes."""

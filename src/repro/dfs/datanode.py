@@ -10,7 +10,7 @@ capacity accounting.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, FrozenSet, Optional, Set
+from typing import TYPE_CHECKING, Callable, FrozenSet, Optional, Set
 
 from repro.errors import CapacityExceededError, DfsError
 
@@ -36,6 +36,11 @@ class Datanode:
         # Bounded service queue installed by the overload-protection
         # wiring; None means requests are served without queueing.
         self.service_queue: Optional["BoundedServiceQueue"] = None
+        # Invoked whenever ``alive`` actually flips.  The namenode
+        # installs its membership-epoch bump here so even "silent"
+        # crashes (fault injection flipping liveness directly on the
+        # datanode) invalidate membership-derived caches.
+        self.on_liveness_change: Optional[Callable[[], None]] = None
         self._blocks: Set[int] = set()
         self.bytes_written = 0
         self.bytes_read = 0
@@ -113,15 +118,24 @@ class Datanode:
         HDFS datanodes that come back after a failure re-report their
         blocks, so stored replicas survive a crash/recover cycle.
         """
-        self.alive = False
+        if self.alive:
+            self.alive = False
+            if self.on_liveness_change is not None:
+                self.on_liveness_change()
 
     def recover(self) -> None:
         """Bring the node back online with its disk contents intact."""
-        self.alive = True
         self.slowdown = 1.0
+        if not self.alive:
+            self.alive = True
+            if self.on_liveness_change is not None:
+                self.on_liveness_change()
 
     def wipe(self) -> None:
         """Permanently lose the disk (e.g. hardware replacement)."""
         self._blocks.clear()
-        self.alive = True
         self.slowdown = 1.0
+        if not self.alive:
+            self.alive = True
+            if self.on_liveness_change is not None:
+                self.on_liveness_change()

@@ -202,6 +202,7 @@ def recover_namenode(
                 meta_block.rack_spread = min(
                     meta_block.rack_spread, entry["factor"]
                 )
+                fresh.blockmap.mark_dirty(entry["block_id"])
         else:
             raise DfsError(f"unknown edit log op {op!r}")
 

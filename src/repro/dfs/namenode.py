@@ -169,6 +169,19 @@ class Namenode:
         self.datanodes: List[Datanode] = [
             Datanode(node, topology.capacity_of(node)) for node in topology.machines
         ]
+        # Membership epoch: bumped every time any datanode's liveness
+        # flips, including "silent" crashes injected directly on the
+        # datanode object.  Lets membership-derived caches (the live-node
+        # set here, the migration-replay dead set in repro.aurora.bridge)
+        # revalidate with one integer compare instead of scanning every
+        # node.
+        self._membership_epoch = 0
+        for dn in self.datanodes:
+            dn.on_liveness_change = self._bump_membership_epoch
+        self._live_cache: Set[int] = {
+            dn.node_id for dn in self.datanodes if dn.alive
+        }
+        self._live_cache_epoch = 0
         self._rng = rng or random.Random(0)
         self.namespace = NamespaceTree()
         self._files_by_id: Dict[int, FileMeta] = {}
@@ -241,9 +254,26 @@ class Namenode:
         self.topology.check_machine(node)
         return self.datanodes[node]
 
+    @property
+    def membership_epoch(self) -> int:
+        """Counter incremented whenever any datanode's liveness flips."""
+        return self._membership_epoch
+
+    def _bump_membership_epoch(self) -> None:
+        self._membership_epoch += 1
+
     def live_nodes(self) -> Set[int]:
-        """Ids of datanodes currently alive."""
-        return {dn.node_id for dn in self.datanodes if dn.alive}
+        """Ids of datanodes currently alive.
+
+        The set is rebuilt only when the membership epoch moved; callers
+        must treat it as read-only.
+        """
+        if self._live_cache_epoch != self._membership_epoch:
+            self._live_cache = {
+                dn.node_id for dn in self.datanodes if dn.alive
+            }
+            self._live_cache_epoch = self._membership_epoch
+        return self._live_cache
 
     def cluster_saturation(self) -> float:
         """Mean bounded-queue occupancy across live datanodes.
@@ -641,6 +671,9 @@ class Namenode:
             raise DfsError("replication factor exceeds cluster size")
         meta.replication_factor = factor
         meta.rack_spread = min(meta.rack_spread, factor)
+        # rack_spread feeds the placement snapshot's BlockSpec, so the
+        # mutation must invalidate the block's cached spec.
+        self.blockmap.mark_dirty(block_id)
         current = self._active_replica_count(block_id)
         if factor > current:
             deficit = factor - current

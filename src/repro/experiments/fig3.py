@@ -22,9 +22,9 @@ from repro.experiments.harness import (
     ExperimentConfig,
     RunResult,
     SystemKind,
-    run_experiment,
 )
 from repro.experiments.report import cdf_series, render_table
+from repro.experiments.runner import TrialCase, run_trials
 from repro.workload.trace import WorkloadTrace
 from repro.workload.yahoo import YahooTraceConfig, generate_yahoo_trace
 
@@ -92,18 +92,31 @@ def run_fig3(
     cluster: Optional[ClusterConfig] = None,
     epsilons: Tuple[float, ...] = DEFAULT_EPSILONS,
     seed: int = 0,
+    jobs: int = 1,
 ) -> Fig3Result:
-    """Regenerate Figure 3's data points."""
+    """Regenerate Figure 3's data points.
+
+    ``jobs`` fans the independent cases (HDFS baseline plus one Aurora
+    run per epsilon) out to that many worker processes; results are
+    identical to the sequential default.
+    """
     trace = trace or default_trace(seed)
     cluster = cluster or ClusterConfig()
-    baseline = run_experiment(
-        trace, _case_config(SystemKind.HDFS, 0.0, cluster, seed)
-    )
-    result = Fig3Result(baseline=baseline)
+    cases = [TrialCase(
+        label="baseline",
+        trace=trace,
+        config=_case_config(SystemKind.HDFS, 0.0, cluster, seed),
+    )]
     for epsilon in epsilons:
-        result.aurora[epsilon] = run_experiment(
-            trace, _case_config(SystemKind.AURORA, epsilon, cluster, seed)
-        )
+        cases.append(TrialCase(
+            label=f"eps={epsilon}",
+            trace=trace,
+            config=_case_config(SystemKind.AURORA, epsilon, cluster, seed),
+        ))
+    runs = run_trials(cases, jobs=jobs)
+    result = Fig3Result(baseline=runs[0])
+    for epsilon, run in zip(epsilons, runs[1:]):
+        result.aurora[epsilon] = run
     return result
 
 

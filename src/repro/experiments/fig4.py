@@ -21,8 +21,8 @@ from repro.experiments.harness import (
     ClusterConfig,
     ExperimentConfig,
     SystemKind,
-    run_experiment,
 )
+from repro.experiments.runner import TrialCase, run_trials
 from repro.workload.trace import WorkloadTrace
 
 __all__ = ["Fig4Result", "run_fig4", "render_fig4"]
@@ -52,18 +52,26 @@ def run_fig4(
     cluster: Optional[ClusterConfig] = None,
     epsilons: Tuple[float, ...] = DEFAULT_EPSILONS,
     seed: int = 0,
+    jobs: int = 1,
 ) -> Fig4Result:
-    """Regenerate Figure 4's data points."""
+    """Regenerate Figure 4's data points (``jobs`` fans cases out)."""
     trace = trace or default_trace(seed)
     cluster = cluster or ClusterConfig()
-    baseline = run_experiment(
-        trace, _case_config(SystemKind.HDFS, 0.0, cluster, seed)
-    )
-    result = Fig4Result(baseline=baseline)
+    cases = [TrialCase(
+        label="baseline",
+        trace=trace,
+        config=_case_config(SystemKind.HDFS, 0.0, cluster, seed),
+    )]
     for epsilon in epsilons:
-        result.aurora[epsilon] = run_experiment(
-            trace, _case_config(SystemKind.AURORA, epsilon, cluster, seed)
-        )
+        cases.append(TrialCase(
+            label=f"eps={epsilon}",
+            trace=trace,
+            config=_case_config(SystemKind.AURORA, epsilon, cluster, seed),
+        ))
+    runs = run_trials(cases, jobs=jobs)
+    result = Fig4Result(baseline=runs[0])
+    for epsilon, run in zip(epsilons, runs[1:]):
+        result.aurora[epsilon] = run
     return result
 
 

@@ -19,9 +19,9 @@ from repro.experiments.harness import (
     ExperimentConfig,
     RunResult,
     SystemKind,
-    run_experiment,
 )
 from repro.experiments.report import cdf_series, render_table
+from repro.experiments.runner import TrialCase, run_trials
 from repro.workload.trace import WorkloadTrace
 
 __all__ = ["Fig5Result", "run_fig5", "render_fig5", "default_budget"]
@@ -77,20 +77,29 @@ def run_fig5(
     epsilons: Tuple[float, ...] = DEFAULT_EPSILONS,
     budget_extra: Optional[int] = None,
     seed: int = 0,
+    jobs: int = 1,
 ) -> Fig5Result:
-    """Regenerate Figure 5's data points."""
+    """Regenerate Figure 5's data points (``jobs`` fans cases out)."""
     trace = trace or default_trace(seed)
     cluster = cluster or ClusterConfig()
     budget = default_budget(trace) if budget_extra is None else budget_extra
-    scarlett = run_experiment(
-        trace, _case_config(SystemKind.SCARLETT, 0.0, cluster, budget, seed)
-    )
-    result = Fig5Result(scarlett=scarlett)
+    cases = [TrialCase(
+        label="scarlett",
+        trace=trace,
+        config=_case_config(SystemKind.SCARLETT, 0.0, cluster, budget, seed),
+    )]
     for epsilon in epsilons:
-        result.aurora[epsilon] = run_experiment(
-            trace,
-            _case_config(SystemKind.AURORA, epsilon, cluster, budget, seed),
-        )
+        cases.append(TrialCase(
+            label=f"eps={epsilon}",
+            trace=trace,
+            config=_case_config(
+                SystemKind.AURORA, epsilon, cluster, budget, seed
+            ),
+        ))
+    runs = run_trials(cases, jobs=jobs)
+    result = Fig5Result(scarlett=runs[0])
+    for epsilon, run in zip(epsilons, runs[1:]):
+        result.aurora[epsilon] = run
     return result
 
 

@@ -28,9 +28,9 @@ from repro.experiments.harness import (
     ExperimentConfig,
     RunResult,
     SystemKind,
-    run_experiment,
 )
 from repro.experiments.report import render_table
+from repro.experiments.runner import TrialCase, run_trials
 from repro.workload.yahoo import YahooTraceConfig, generate_yahoo_trace
 
 __all__ = [
@@ -69,14 +69,17 @@ def run_scale_study(
     duration_hours: float = 2.0,
     epsilon: float = 0.1,
     seed: int = 0,
+    jobs: int = 1,
 ) -> List[ScalePoint]:
     """Sweep cluster sizes at constant per-machine workload intensity.
 
     The job arrival rate scales with the machine count so utilization is
     comparable at every point; only the cluster size (and hence the
-    replica dilution random placement suffers) varies.
+    replica dilution random placement suffers) varies.  ``jobs`` fans
+    the independent (size, system) cases out to worker processes.
     """
-    points: List[ScalePoint] = []
+    cases: List[TrialCase] = []
+    sizes: List[int] = []
     for per_rack in machines_per_rack_options:
         cluster = ClusterConfig(
             num_racks=num_racks,
@@ -91,19 +94,26 @@ def run_scale_study(
             mean_task_duration=90.0,
             seed=seed,
         ))
-        runs: Dict[SystemKind, RunResult] = {}
+        sizes.append(cluster.num_machines)
         for kind in (SystemKind.HDFS, SystemKind.AURORA):
-            runs[kind] = run_experiment(trace, ExperimentConfig(
-                system=kind,
-                cluster=cluster,
-                rack_spread=2,
-                epsilon=epsilon,
-                seed=seed,
+            cases.append(TrialCase(
+                label=f"{kind.value}@{cluster.num_machines}",
+                trace=trace,
+                config=ExperimentConfig(
+                    system=kind,
+                    cluster=cluster,
+                    rack_spread=2,
+                    epsilon=epsilon,
+                    seed=seed,
+                ),
             ))
+    runs = run_trials(cases, jobs=jobs)
+    points: List[ScalePoint] = []
+    for index, num_machines in enumerate(sizes):
         points.append(ScalePoint(
-            num_machines=cluster.num_machines,
-            hdfs=runs[SystemKind.HDFS],
-            aurora=runs[SystemKind.AURORA],
+            num_machines=num_machines,
+            hdfs=runs[2 * index],
+            aurora=runs[2 * index + 1],
         ))
     return points
 

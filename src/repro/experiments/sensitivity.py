@@ -22,9 +22,9 @@ from repro.experiments.harness import (
     ExperimentConfig,
     RunResult,
     SystemKind,
-    run_experiment,
 )
 from repro.experiments.report import render_table
+from repro.experiments.runner import TrialCase, run_trials
 from repro.workload.trace import WorkloadTrace
 
 __all__ = [
@@ -79,18 +79,22 @@ def run_window_sensitivity(
     cluster: Optional[ClusterConfig] = None,
     windows_hours: Tuple[float, ...] = (0.5, 1.0, 2.0, 4.0),
     seed: int = 0,
+    jobs: int = 1,
 ) -> List[SensitivityRow]:
     """Sweep the usage-monitor window ``W`` (paper default: 2 h)."""
     cluster = cluster or ClusterConfig()
-    return [
-        SensitivityRow(
-            parameter="W_hours",
-            value=hours,
-            result=run_experiment(
-                trace, _config(cluster, trace, hours, 20_000, seed)
-            ),
+    cases = [
+        TrialCase(
+            label=f"W={hours}",
+            trace=trace,
+            config=_config(cluster, trace, hours, 20_000, seed),
         )
         for hours in windows_hours
+    ]
+    runs = run_trials(cases, jobs=jobs)
+    return [
+        SensitivityRow(parameter="W_hours", value=hours, result=run)
+        for hours, run in zip(windows_hours, runs)
     ]
 
 
@@ -99,18 +103,22 @@ def run_cap_sensitivity(
     cluster: Optional[ClusterConfig] = None,
     caps: Tuple[int, ...] = (10, 100, 1000, 20_000),
     seed: int = 0,
+    jobs: int = 1,
 ) -> List[SensitivityRow]:
     """Sweep Algorithm 3's per-period cap ``K`` (paper default: 20 000)."""
     cluster = cluster or ClusterConfig()
-    return [
-        SensitivityRow(
-            parameter="K",
-            value=float(cap),
-            result=run_experiment(
-                trace, _config(cluster, trace, 2.0, cap, seed)
-            ),
+    cases = [
+        TrialCase(
+            label=f"K={cap}",
+            trace=trace,
+            config=_config(cluster, trace, 2.0, cap, seed),
         )
         for cap in caps
+    ]
+    runs = run_trials(cases, jobs=jobs)
+    return [
+        SensitivityRow(parameter="K", value=float(cap), result=run)
+        for cap, run in zip(caps, runs)
     ]
 
 

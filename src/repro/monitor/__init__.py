@@ -6,10 +6,11 @@ from repro.monitor.forecast import (
     HistoricalPredictor,
     PopularityPredictor,
 )
-from repro.monitor.usage import UsageMonitor
+from repro.monitor.usage import DEFAULT_MONITOR_BUCKETS, UsageMonitor
 
 __all__ = [
     "Ar1Predictor",
+    "DEFAULT_MONITOR_BUCKETS",
     "EwmaPredictor",
     "HistoricalPredictor",
     "PopularityPredictor",

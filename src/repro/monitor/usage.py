@@ -3,22 +3,44 @@
 "The usage monitor in Aurora determines block popularity by recording the
 number of accesses of a block within a sliding time window W (i.e. the
 number of recent accesses in W hours)."  :class:`UsageMonitor` implements
-exactly that: per-block access timestamps in deques, expired lazily, with
-``W`` configurable by the operator.
+that contract two ways:
+
+* **bucketed** (the default) — per-block counters over ``num_buckets``
+  fixed-width time buckets spanning the window.  Memory and snapshot
+  cost are O(buckets) per block instead of O(accesses), which is what
+  makes full-scale multi-seed sweeps tractable.  Counts are *exact*
+  whenever the query time is a multiple of the bucket width — true at
+  every reconfiguration-period boundary for the stock period/window
+  combinations (the bucket width divides the period) — and overcount by
+  at most one bucket width of accesses in between.
+* **exact** (``exact=True``) — the original per-block timestamp deques,
+  expired lazily.  Every query is exact at any time; memory is
+  O(in-window accesses).  The equivalence of the two modes at bucket
+  boundaries is pinned by a hypothesis property test.
+
+Eviction semantics are shared: an access at exactly ``now - window``
+is still inside the window (timestamps strictly below the cutoff age
+out).
 """
 
 from __future__ import annotations
 
 import logging
 from collections import deque
-from typing import Dict, Iterable
+from typing import Deque, Dict, Iterable
 
 from repro.errors import InvalidProblemError
 from repro.obs.registry import get_registry
 
-__all__ = ["UsageMonitor"]
+__all__ = ["UsageMonitor", "DEFAULT_MONITOR_BUCKETS"]
 
 _LOG = logging.getLogger(__name__)
+
+# 64 buckets keeps per-block state tiny while the bucket width
+# (window / 64) still divides the hourly reconfiguration period for
+# every stock window setting (0.5 h, 1 h, 2 h, 4 h), preserving
+# exact-at-period-boundary counts.
+DEFAULT_MONITOR_BUCKETS = 64
 
 _REG = get_registry()
 _ACCESSES = _REG.counter(
@@ -36,13 +58,29 @@ _TRACKED_BLOCKS = _REG.gauge(
 
 
 class UsageMonitor:
-    """Counts block accesses inside a sliding window of ``window`` seconds."""
+    """Counts block accesses inside a sliding window of ``window`` seconds.
 
-    def __init__(self, window: float) -> None:
+    ``num_buckets`` controls the bucketed mode's time resolution (the
+    bucket width is ``window / num_buckets``); ``exact=True`` switches to
+    timestamp deques with exact counts at arbitrary query times.
+    """
+
+    def __init__(
+        self,
+        window: float,
+        num_buckets: int = DEFAULT_MONITOR_BUCKETS,
+        exact: bool = False,
+    ) -> None:
         if window <= 0:
             raise InvalidProblemError("window must be positive")
+        if num_buckets < 1:
+            raise InvalidProblemError("num_buckets must be >= 1")
         self.window = float(window)
-        self._accesses: Dict[int, deque] = {}
+        self.num_buckets = int(num_buckets)
+        self.exact = bool(exact)
+        self._bucket_width = self.window / self.num_buckets
+        # block -> timestamp deque (exact) or {bucket index: count}.
+        self._accesses: Dict[int, object] = {}
         self._total_recorded = 0
         self.window_evictions = 0
 
@@ -53,27 +91,68 @@ class UsageMonitor:
 
     def record_access(self, block_id: int, time: float) -> None:
         """Record that ``block_id`` was read at simulated ``time``."""
-        queue = self._accesses.get(block_id)
-        if queue is None:
-            queue = deque()
-            self._accesses[block_id] = queue
-        queue.append(time)
+        accesses = self._accesses
+        if self.exact:
+            queue = accesses.get(block_id)
+            if queue is None:
+                queue = accesses[block_id] = deque()
+            queue.append(time)
+        else:
+            counts = accesses.get(block_id)
+            if counts is None:
+                counts = accesses[block_id] = {}
+            bucket = int(time // self._bucket_width)
+            counts[bucket] = counts.get(bucket, 0) + 1
         self._total_recorded += 1
         if _REG.enabled:
             _ACCESSES.inc()
 
     def record_many(self, block_ids: Iterable[int], time: float) -> None:
-        """Record one access for each block in ``block_ids``."""
-        for block_id in block_ids:
-            self.record_access(block_id, time)
+        """Record one access at ``time`` for each block in ``block_ids``.
+
+        Batches the bookkeeping: the bucket index is computed once and
+        the access metric is incremented once for the whole batch.
+        """
+        recorded = 0
+        accesses = self._accesses
+        if self.exact:
+            for block_id in block_ids:
+                queue = accesses.get(block_id)
+                if queue is None:
+                    queue = accesses[block_id] = deque()
+                queue.append(time)
+                recorded += 1
+        else:
+            bucket = int(time // self._bucket_width)
+            for block_id in block_ids:
+                counts = accesses.get(block_id)
+                if counts is None:
+                    counts = accesses[block_id] = {}
+                counts[bucket] = counts.get(bucket, 0) + 1
+                recorded += 1
+        self._total_recorded += recorded
+        if recorded and _REG.enabled:
+            _ACCESSES.inc(recorded)
 
     def popularity(self, block_id: int, now: float) -> int:
-        """Accesses of ``block_id`` within ``[now - window, now]``."""
-        queue = self._accesses.get(block_id)
-        if queue is None:
+        """Accesses of ``block_id`` within ``[now - window, now]``.
+
+        Expired state is pruned in place: a block whose last in-window
+        access has aged out is dropped entirely, so repeated popularity
+        probes never leave empty per-block entries behind.
+        """
+        state = self._accesses.get(block_id)
+        if state is None:
             return 0
-        self._expire(queue, now)
-        return len(queue)
+        if self.exact:
+            count = self._expire_exact(state, now)
+        else:
+            count = self._expire_buckets(
+                state, self._dead_bucket_limit(now - self.window)
+            )
+        if count == 0:
+            del self._accesses[block_id]
+        return count
 
     def snapshot(self, now: float) -> Dict[int, int]:
         """Window popularity of every block with at least one access.
@@ -83,12 +162,23 @@ class UsageMonitor:
         """
         result: Dict[int, int] = {}
         empty = []
-        for block_id, queue in self._accesses.items():
-            self._expire(queue, now)
-            if queue:
-                result[block_id] = len(queue)
-            else:
-                empty.append(block_id)
+        if self.exact:
+            for block_id, state in self._accesses.items():
+                count = self._expire_exact(state, now)
+                if count:
+                    result[block_id] = count
+                else:
+                    empty.append(block_id)
+        else:
+            # The eviction boundary depends only on ``now``: resolve it
+            # to an integer bucket limit once, not per block.
+            dead_limit = self._dead_bucket_limit(now - self.window)
+            for block_id, state in self._accesses.items():
+                count = self._expire_buckets(state, dead_limit)
+                if count:
+                    result[block_id] = count
+                else:
+                    empty.append(block_id)
         for block_id in empty:
             del self._accesses[block_id]
         if _REG.enabled:
@@ -103,7 +193,26 @@ class UsageMonitor:
         """Drop all state for a deleted block."""
         self._accesses.pop(block_id, None)
 
-    def _expire(self, queue: deque, now: float) -> None:
+    def _dead_bucket_limit(self, cutoff: float) -> int:
+        """Largest bucket index fully below ``cutoff``, resolved exactly.
+
+        A bucket is dropped only once *all* its timestamps are strictly
+        below the cutoff, i.e. its upper edge ``(b + 1) * width`` is at
+        or below it — so an access at exactly the cutoff survives,
+        matching the exact mode's strict-< eviction.  The floor-division
+        guess can be off by one ulp either way; the exact product
+        predicate corrects it.
+        """
+        width = self._bucket_width
+        limit = int(cutoff // width)
+        while (limit + 1) * width <= cutoff:
+            limit += 1
+        while (limit + 1) * width > cutoff:
+            limit -= 1
+        return limit
+
+    def _expire_exact(self, queue: Deque[float], now: float) -> int:
+        """Age out timestamps older than the window; return the live count."""
         cutoff = now - self.window
         evicted = 0
         while queue and queue[0] < cutoff:
@@ -113,3 +222,16 @@ class UsageMonitor:
             self.window_evictions += evicted
             if _REG.enabled:
                 _WINDOW_EVICTIONS.inc(evicted)
+        return len(queue)
+
+    def _expire_buckets(self, counts: Dict[int, int], dead_limit: int) -> int:
+        """Drop buckets at or below ``dead_limit``; return the live count."""
+        dead = [b for b in counts if b <= dead_limit]
+        if dead:
+            evicted = 0
+            for bucket in dead:
+                evicted += counts.pop(bucket)
+            self.window_evictions += evicted
+            if _REG.enabled:
+                _WINDOW_EVICTIONS.inc(evicted)
+        return sum(counts.values())

@@ -410,6 +410,8 @@ class MetricsRegistry:
                     series[label] = {
                         "count": leaf.count,
                         "sum": leaf.sum,
+                        "min": leaf._min if leaf.count else None,
+                        "max": leaf._max if leaf.count else None,
                         "buckets": {
                             ("+Inf" if i == len(leaf.buckets)
                              else repr(leaf.buckets[i])): cum
@@ -431,6 +433,78 @@ class MetricsRegistry:
         with self._lock:
             for metric in self._metrics.values():
                 metric.reset()
+
+    # -- merging -------------------------------------------------------------
+
+    def merge(self, snapshot: Mapping[str, dict]) -> None:
+        """Fold a :meth:`snapshot` from another registry into this one.
+
+        Counters add; gauges take the incoming value (last write wins,
+        in merge-call order); histograms add per-bucket counts, sum and
+        count and widen min/max.  Metrics or label series absent locally
+        are created on the fly, so a parent process can absorb worker
+        snapshots without pre-registering every metric.  Merging happens
+        regardless of the enabled flag — the snapshot was already paid
+        for elsewhere.
+        """
+        for name, data in snapshot.items():
+            kind = data["kind"]
+            help_text = data.get("help", "")
+            labelnames = tuple(data["labelnames"])
+            series: Mapping[str, object] = data["series"]
+            if kind == "counter":
+                metric = self.counter(name, help_text, labelnames)
+            elif kind == "gauge":
+                metric = self.gauge(name, help_text, labelnames)
+            elif kind == "histogram":
+                bounds = None
+                for value in series.values():
+                    bounds = tuple(
+                        float(key)
+                        for key in value["buckets"]  # type: ignore[index]
+                        if key != "+Inf"
+                    )
+                    break
+                metric = self.histogram(
+                    name, help_text, labelnames,
+                    buckets=bounds if bounds else DEFAULT_BUCKETS,
+                )
+            else:
+                raise MetricsError(
+                    f"cannot merge metric {name!r} of kind {kind!r}"
+                )
+            for rendered, value in series.items():
+                if labelnames:
+                    labels = _labels_from_string(labelnames, rendered)
+                    leaf = metric.labels(**labels)
+                else:
+                    leaf = metric
+                if kind == "counter":
+                    leaf._value += float(value)  # type: ignore[attr-defined, arg-type]
+                elif kind == "gauge":
+                    leaf._value = float(value)  # type: ignore[attr-defined, arg-type]
+                else:
+                    self._merge_histogram(leaf, value)  # type: ignore[arg-type]
+
+    @staticmethod
+    def _merge_histogram(leaf: "Histogram", value: Mapping[str, object]) -> None:
+        buckets: Mapping[str, int] = value["buckets"]  # type: ignore[assignment]
+        if len(buckets) != len(leaf.buckets) + 1:
+            raise MetricsError(
+                f"histogram {leaf.name!r} bucket layout mismatch in merge"
+            )
+        previous = 0
+        for index, cumulative in enumerate(buckets.values()):
+            leaf._counts[index] += cumulative - previous
+            previous = cumulative
+        leaf._sum += float(value["sum"])  # type: ignore[arg-type]
+        leaf._count += int(value["count"])  # type: ignore[arg-type]
+        incoming_min = value.get("min")
+        incoming_max = value.get("max")
+        if incoming_min is not None and float(incoming_min) < leaf._min:  # type: ignore[arg-type]
+            leaf._min = float(incoming_min)  # type: ignore[arg-type]
+        if incoming_max is not None and float(incoming_max) > leaf._max:  # type: ignore[arg-type]
+            leaf._max = float(incoming_max)  # type: ignore[arg-type]
 
 
 # -- the process-global default registry ------------------------------------

@@ -216,9 +216,18 @@ class MapReduceScheduler:
             slots_exhausted = False
             for queue in self._active_queues():
                 for job in self._job_order(queue):
+                    if not job.has_pending():
+                        continue
                     cap = self._per_job_launch_cap()
                     per_job = 0
-                    for task in job.pending_tasks():
+                    # Lazy pending scan (no per-pass list build): task
+                    # completions are scheduled sim events, never
+                    # synchronous within dispatch, so no task's state
+                    # changes mid-iteration except the one just launched
+                    # — which the scan has already passed.
+                    for task in job.tasks:
+                        if task.state is not TaskState.PENDING:
+                            continue
                         if cap is not None and per_job >= cap:
                             break
                         key = (job.job_id, task.task_id)
@@ -288,7 +297,7 @@ class MapReduceScheduler:
         """Queues with pending work, most entitled first."""
         active = [
             q for q in self._queues.values()
-            if any(job.pending_tasks() for job in q.jobs)
+            if any(job.has_pending() for job in q.jobs)
         ]
         active.sort(key=lambda q: q.pressure)
         return active
@@ -299,7 +308,7 @@ class MapReduceScheduler:
     def _free_holder(self, task: MapTask) -> Optional[MachineState]:
         """The least-occupied live replica holder with a free slot."""
         best = None
-        for node in self.namenode.blockmap.locations(task.block_id):
+        for node in self.namenode.blockmap.locations_view(task.block_id):
             machine = self.machines[node]
             if not machine.alive or machine.free_slots <= 0:
                 continue

@@ -47,7 +47,12 @@ class TaskLocality(enum.Enum):
 
 @dataclass
 class MapTask:
-    """One map task: processes one input block."""
+    """One map task: processes one input block.
+
+    State transitions must go through :meth:`start`/:meth:`finish`/
+    :meth:`reset` — they keep the owning job's pending/done counters
+    (the scheduler's O(1) dispatch index) in sync.
+    """
 
     task_id: int
     job_id: int
@@ -58,6 +63,7 @@ class MapTask:
     start_time: Optional[float] = None
     finish_time: Optional[float] = None
     skip_count: int = 0  # delay-scheduling bookkeeping
+    _job: Optional["Job"] = field(default=None, repr=False, compare=False)
 
     def start(self, machine: int, locality: TaskLocality, now: float) -> None:
         """Transition to RUNNING on ``machine``."""
@@ -67,6 +73,8 @@ class MapTask:
         self.machine = machine
         self.locality = locality
         self.start_time = now
+        if self._job is not None:
+            self._job._pending_count -= 1
 
     def finish(self, now: float) -> None:
         """Transition to DONE."""
@@ -74,6 +82,8 @@ class MapTask:
             raise SchedulerError(f"task {self.task_id} is not running")
         self.state = TaskState.DONE
         self.finish_time = now
+        if self._job is not None:
+            self._job._done_count += 1
 
     def reset(self) -> None:
         """Return a RUNNING task to PENDING (machine failure recovery)."""
@@ -83,6 +93,8 @@ class MapTask:
         self.machine = None
         self.locality = None
         self.start_time = None
+        if self._job is not None:
+            self._job._pending_count += 1
 
 
 @dataclass
@@ -106,6 +118,17 @@ class Job:
                 MapTask(task_id=index, job_id=self.job_id, block_id=block_id)
                 for index, block_id in enumerate(self.block_ids)
             ]
+        # Pending/done counters maintained by the task transition
+        # methods, so has_pending()/is_complete() are O(1) on the
+        # scheduler's dispatch hot path.
+        self._pending_count = 0
+        self._done_count = 0
+        for task in self.tasks:
+            task._job = self
+            if task.state is TaskState.PENDING:
+                self._pending_count += 1
+            elif task.state is TaskState.DONE:
+                self._done_count += 1
 
     @property
     def num_tasks(self) -> int:
@@ -114,11 +137,17 @@ class Job:
 
     def pending_tasks(self) -> List[MapTask]:
         """Tasks not yet scheduled."""
+        if self._pending_count == 0:
+            return []
         return [t for t in self.tasks if t.state is TaskState.PENDING]
 
+    def has_pending(self) -> bool:
+        """Whether any task is still waiting to be scheduled (O(1))."""
+        return self._pending_count > 0
+
     def is_complete(self) -> bool:
-        """Whether every task has finished."""
-        return all(t.state is TaskState.DONE for t in self.tasks)
+        """Whether every task has finished (O(1))."""
+        return self._done_count == len(self.tasks)
 
     @property
     def completion_time(self) -> float:

@@ -4,6 +4,12 @@ A small, deterministic DES kernel used by the HDFS simulator and the task
 scheduler.  Events are callbacks scheduled at absolute simulated times;
 ties are broken by insertion order so runs are fully reproducible.
 
+The event queue holds plain ``(time, seq, action, token)`` tuples rather
+than a dedicated entry class: ``seq`` is unique per event, so tuple
+comparison never reaches the (uncomparable) callable, and the heap
+operations stay inside CPython's C tuple-comparison fast path.  The run
+loop pops cancelled events without dispatching and without re-peeking.
+
 Typical use::
 
     sim = Simulation()
@@ -15,11 +21,15 @@ Typical use::
 from __future__ import annotations
 
 import heapq
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 from repro.errors import SimulationError
 
 __all__ = ["Simulation", "EventToken"]
+
+# One scheduled event: (time, seq, action, token).  seq is the unique
+# scheduling order, so tuples compare on (time, seq) alone.
+_Event = Tuple[float, int, Callable[[], None], "EventToken"]
 
 
 class EventToken:
@@ -38,24 +48,6 @@ class EventToken:
         self.cancelled = True
 
 
-class _Entry:
-    """Heap entry; orders by (time, sequence)."""
-
-    __slots__ = ("time", "seq", "action", "token")
-
-    def __init__(self, time: float, seq: int, action: Callable[[], None],
-                 token: EventToken) -> None:
-        self.time = time
-        self.seq = seq
-        self.action = action
-        self.token = token
-
-    def __lt__(self, other: "_Entry") -> bool:
-        if self.time != other.time:
-            return self.time < other.time
-        return self.seq < other.seq
-
-
 class Simulation:
     """Deterministic discrete-event simulator.
 
@@ -65,7 +57,7 @@ class Simulation:
 
     def __init__(self, start: float = 0.0) -> None:
         self._now = float(start)
-        self._queue: List[_Entry] = []
+        self._queue: List[_Event] = []
         self._seq = 0
         self._events_processed = 0
 
@@ -128,13 +120,14 @@ class Simulation:
 
     def step(self) -> bool:
         """Execute the next event; returns False when the queue is empty."""
-        while self._queue:
-            entry = heapq.heappop(self._queue)
-            if entry.token.cancelled:
+        queue = self._queue
+        while queue:
+            time, _seq, action, token = heapq.heappop(queue)
+            if token.cancelled:
                 continue
-            self._now = entry.time
+            self._now = time
             self._events_processed += 1
-            entry.action()
+            action()
             return True
         return False
 
@@ -147,18 +140,23 @@ class Simulation:
         and the clock is advanced exactly to ``until``.
         """
         executed = 0
-        while self._queue:
+        queue = self._queue
+        pop = heapq.heappop
+        while queue:
             if max_events is not None and executed >= max_events:
                 return
-            head = self._queue[0]
-            if head.token.cancelled:
-                heapq.heappop(self._queue)
+            head = queue[0]
+            if head[3].cancelled:
+                pop(queue)
                 continue
-            if until is not None and head.time > until:
+            time = head[0]
+            if until is not None and time > until:
                 self._now = until
                 return
-            if not self.step():
-                break
+            pop(queue)
+            self._now = time
+            self._events_processed += 1
+            head[2]()
             executed += 1
         if until is not None and self._now < until:
             self._now = until
@@ -166,4 +164,4 @@ class Simulation:
     def _push(self, time: float, action: Callable[[], None],
               token: EventToken) -> None:
         self._seq += 1
-        heapq.heappush(self._queue, _Entry(time, self._seq, action, token))
+        heapq.heappush(self._queue, (time, self._seq, action, token))

@@ -23,8 +23,13 @@ def make_namenode(seed=0):
 class TestPredictorIntegration:
     def drive(self, predictor):
         nn = make_namenode()
+        # optimize() runs 1 s past the period boundary here, so the
+        # window cutoff is not bucket-aligned: use the exact monitor.
         aurora = AuroraSystem(
-            nn, AuroraConfig(epsilon=0.0, replication_budget=100),
+            nn,
+            AuroraConfig(
+                epsilon=0.0, replication_budget=100, monitor_exact=True
+            ),
             predictor=predictor,
         )
         hot = nn.create_file("/hot", num_blocks=1)

@@ -1,0 +1,161 @@
+"""The incremental placement snapshot must equal a from-scratch one.
+
+:func:`snapshot_placement` with a :class:`PlacementSnapshotCache` reuses
+the previous period's specs/locations for blocks the block map did not
+flag dirty.  Any cluster mutation — migrations, replication-factor
+changes, node failures, deletions, popularity drift — must therefore be
+reflected in the next cached snapshot exactly as a cache-less snapshot
+would see it.
+"""
+
+import random
+
+import numpy as np
+
+from repro.aurora.bridge import (
+    PlacementSnapshotCache,
+    replay_operations,
+    snapshot_placement,
+)
+from repro.cluster.topology import ClusterTopology
+from repro.core.local_search import balance_rack_aware
+from repro.dfs.namenode import Namenode
+from repro.dfs.policies import DefaultHdfsPolicy
+
+
+def build_namenode(seed=0, files=10):
+    rng = random.Random(seed)
+    topo = ClusterTopology.uniform(3, 3, capacity=100)
+    nn = Namenode(
+        topo, placement_policy=DefaultHdfsPolicy(random.Random(seed + 1)),
+        rng=random.Random(seed + 2),
+    )
+    for i in range(files):
+        nn.create_file(f"/f{i}", num_blocks=rng.randint(1, 3))
+    return nn, rng
+
+
+def popularity_map(nn, rng):
+    return {
+        block: round(rng.uniform(0.0, 50.0), 3)
+        for block in nn.blockmap.block_ids()
+    }
+
+
+def assert_snapshots_equal(cached, fresh):
+    assert cached.to_assignment() == fresh.to_assignment()
+    assert np.allclose(cached.loads(), fresh.loads())
+    assert tuple(cached.problem.blocks) == tuple(fresh.problem.blocks)
+    cached.audit()
+
+
+class TestSnapshotCacheEquivalence:
+    def test_first_cached_snapshot_matches_fresh(self):
+        nn, rng = build_namenode()
+        pops = popularity_map(nn, rng)
+        cache = PlacementSnapshotCache()
+        cached = snapshot_placement(nn, pops, cache=cache)
+        fresh = snapshot_placement(nn, pops)
+        assert_snapshots_equal(cached, fresh)
+
+    def test_snapshot_after_migrations(self):
+        nn, rng = build_namenode()
+        cache = PlacementSnapshotCache()
+        pops = popularity_map(nn, rng)
+        planned = snapshot_placement(nn, pops, cache=cache)
+        stats = balance_rack_aware(planned, log_operations=True)
+        replay_operations(nn, stats.operations)
+        pops = popularity_map(nn, rng)
+        cached = snapshot_placement(nn, pops, cache=cache)
+        fresh = snapshot_placement(nn, pops)
+        assert_snapshots_equal(cached, fresh)
+
+    def test_snapshot_after_replication_change(self):
+        nn, rng = build_namenode()
+        cache = PlacementSnapshotCache()
+        pops = popularity_map(nn, rng)
+        snapshot_placement(nn, pops, cache=cache)
+        block = next(iter(nn.blockmap.block_ids()))
+        nn.set_replication(block, nn.blockmap.replica_count(block) + 1)
+        cached = snapshot_placement(nn, pops, cache=cache)
+        fresh = snapshot_placement(nn, pops)
+        assert_snapshots_equal(cached, fresh)
+        assert len(cached.machines_of(block)) == len(fresh.machines_of(block))
+
+    def test_snapshot_after_node_failure(self):
+        nn, rng = build_namenode()
+        cache = PlacementSnapshotCache()
+        pops = popularity_map(nn, rng)
+        snapshot_placement(nn, pops, cache=cache)
+        nn.fail_node(0)
+        cached = snapshot_placement(nn, pops, cache=cache)
+        fresh = snapshot_placement(nn, pops)
+        assert_snapshots_equal(cached, fresh)
+        for block in nn.blockmap.block_ids():
+            assert 0 not in cached.machines_of(block)
+
+    def test_snapshot_after_file_deletion(self):
+        nn, rng = build_namenode()
+        cache = PlacementSnapshotCache()
+        pops = popularity_map(nn, rng)
+        snapshot_placement(nn, pops, cache=cache)
+        nn.delete_file("/f0")
+        pops = popularity_map(nn, rng)
+        cached = snapshot_placement(nn, pops, cache=cache)
+        fresh = snapshot_placement(nn, pops)
+        assert_snapshots_equal(cached, fresh)
+
+    def test_popularity_drift_refreshes_specs(self):
+        nn, rng = build_namenode()
+        cache = PlacementSnapshotCache()
+        first = popularity_map(nn, rng)
+        snapshot_placement(nn, first, cache=cache)
+        # Same placement, different popularity: no block is dirty, yet
+        # every spec must carry the new values.
+        second = {block: value + 1.0 for block, value in first.items()}
+        cached = snapshot_placement(nn, second, cache=cache)
+        for spec in cached.problem.blocks:
+            assert spec.popularity == second[spec.block_id]
+        fresh = snapshot_placement(nn, second)
+        assert_snapshots_equal(cached, fresh)
+
+    def test_invalidate_forces_full_rebuild(self):
+        nn, rng = build_namenode()
+        cache = PlacementSnapshotCache()
+        pops = popularity_map(nn, rng)
+        snapshot_placement(nn, pops, cache=cache)
+        cache.invalidate()
+        assert cache._specs == {} and cache._locations == {}
+        cached = snapshot_placement(nn, pops, cache=cache)
+        assert_snapshots_equal(cached, snapshot_placement(nn, pops))
+
+
+class TestMembershipEpoch:
+    def test_epoch_bumps_on_liveness_flips_only(self):
+        nn, _ = build_namenode(files=2)
+        epoch = nn.membership_epoch
+        nn.fail_node(0)
+        assert nn.membership_epoch > epoch
+        epoch = nn.membership_epoch
+        # Crashing an already-dead node is not a flip.
+        nn.datanodes[0].crash()
+        assert nn.membership_epoch == epoch
+        nn.datanodes[0].recover()
+        assert nn.membership_epoch > epoch
+
+    def test_live_nodes_cache_tracks_epoch(self):
+        nn, _ = build_namenode(files=2)
+        all_nodes = set(nn.live_nodes())
+        nn.fail_node(1)
+        assert set(nn.live_nodes()) == all_nodes - {1}
+        nn.datanodes[1].recover()
+        assert set(nn.live_nodes()) == all_nodes
+
+    def test_silent_crash_still_bumps_epoch(self):
+        # A fault injector may flip a datanode directly, bypassing
+        # fail_node; the liveness callback must still notice.
+        nn, _ = build_namenode(files=2)
+        epoch = nn.membership_epoch
+        nn.datanodes[2].crash()
+        assert nn.membership_epoch > epoch
+        assert 2 not in nn.live_nodes()

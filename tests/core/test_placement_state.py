@@ -206,6 +206,45 @@ class TestMutations:
         assert rebuilt.to_assignment() == snapshot
         assert np.allclose(rebuilt.loads(), state.loads())
 
+    def test_bulk_from_assignment_matches_incremental_build(self):
+        # The bulk builder skips the per-add re-dilution; the result
+        # must still be indistinguishable from replaying add_replica.
+        problem = make_problem(num_racks=3, per_rack=3, capacity=5,
+                               pops=(6.0, 3.0, 1.0, 9.0), k=2)
+        assignment = {0: (0, 4), 1: (1, 8), 2: (2,), 3: (3, 5, 7)}
+        incremental = PlacementState(problem)
+        for block_id, machines in assignment.items():
+            for machine in machines:
+                incremental.add_replica(block_id, machine)
+        bulk = PlacementState.from_assignment(problem, assignment)
+        bulk.audit()
+        assert bulk.to_assignment() == incremental.to_assignment()
+        assert np.allclose(bulk.loads(), incremental.loads())
+        assert np.allclose(bulk.rack_loads(), incremental.rack_loads())
+        for machine in problem.topology.machines:
+            bulk_idx = list(bulk.share_index(machine))
+            inc_idx = list(incremental.share_index(machine))
+            assert [b for _, b in bulk_idx] == [b for _, b in inc_idx]
+            assert [s for s, _ in bulk_idx] == pytest.approx(
+                [s for s, _ in inc_idx]
+            )
+        for block_id in assignment:
+            assert bulk.rack_spread(block_id) == \
+                incremental.rack_spread(block_id)
+        assert bulk.cost() == pytest.approx(incremental.cost())
+        assert bulk.argmax_machine() == incremental.argmax_machine()
+
+    def test_from_assignment_validation_matches_add_replica(self):
+        problem = make_problem()
+        with pytest.raises(UnknownBlockError):
+            PlacementState.from_assignment(problem, {99: (0,)})
+        with pytest.raises(ReplicaConstraintError):
+            PlacementState.from_assignment(problem, {0: (1, 1)})
+        tight = make_problem(num_racks=1, per_rack=2, capacity=1,
+                             pops=(1.0, 1.0), k=1)
+        with pytest.raises(CapacityExceededError):
+            PlacementState.from_assignment(tight, {0: (0,), 1: (0,)})
+
     def test_under_replicated_blocks_listed(self):
         state = PlacementState(make_problem(k=2))
         state.add_replica(0, 0)

@@ -46,13 +46,90 @@ class TestUsageMonitor:
     def test_validation(self):
         with pytest.raises(InvalidProblemError):
             UsageMonitor(window=0.0)
+        with pytest.raises(InvalidProblemError):
+            UsageMonitor(window=10.0, num_buckets=0)
+
+
+class TestBucketedMonitor:
+    """The O(buckets) sliding-window mode (the default)."""
+
+    def test_bucketed_is_the_default(self):
+        monitor = UsageMonitor(window=100.0)
+        assert monitor.exact is False
+        assert monitor.num_buckets == 64
+
+    def test_exact_at_bucket_aligned_queries(self):
+        # window 64, 64 buckets -> width 1.0; queries at integer times
+        # are bucket-aligned, so counts match the exact monitor.
+        bucketed = UsageMonitor(window=64.0, num_buckets=64)
+        exact = UsageMonitor(window=64.0, exact=True)
+        for t in (0.5, 10.2, 63.9):
+            bucketed.record_access(1, t)
+            exact.record_access(1, t)
+        for now in (64.0, 65.0, 74.0, 128.0):
+            assert bucketed.popularity(1, now) == exact.popularity(1, now)
+        assert bucketed.window_evictions == exact.window_evictions == 3
+
+    def test_overcounts_by_at_most_one_bucket_between_boundaries(self):
+        # An access survives until its whole bucket is outside the
+        # window: a mid-bucket query may see up to one bucket width of
+        # extra (expired) accesses, never fewer than the true count.
+        monitor = UsageMonitor(window=64.0, num_buckets=64)
+        monitor.record_access(1, 0.0)
+        # Truly expired at now = 64.5 (cutoff 0.5), but bucket [0, 1)
+        # is only dropped once the cutoff reaches 1.0.
+        assert monitor.popularity(1, now=64.5) == 1
+        assert monitor.popularity(1, now=65.0) == 0
+
+    def test_record_many_batches_into_one_bucket(self):
+        monitor = UsageMonitor(window=64.0, num_buckets=64)
+        monitor.record_many([1, 2], time=3.5)
+        monitor.record_many([1], time=3.9)
+        assert monitor.total_recorded == 3
+        assert monitor.snapshot(now=64.0) == {1: 2, 2: 1}
+        # Both accesses of block 1 share bucket 3 and age out together.
+        assert monitor.snapshot(now=68.0) == {}
+
+    def test_single_bucket_degenerates_to_whole_window(self):
+        monitor = UsageMonitor(window=100.0, num_buckets=1)
+        monitor.record_access(1, 10.0)
+        assert monitor.popularity(1, now=100.0) == 1
+        # The lone bucket [0, 100) dies only once the cutoff hits 100.
+        assert monitor.popularity(1, now=199.0) == 1
+        assert monitor.popularity(1, now=200.0) == 0
+
+
+class TestPopularityPruning:
+    """popularity() must not leave empty per-block entries behind."""
+
+    @pytest.mark.parametrize("exact", [False, True])
+    def test_expired_block_is_dropped_in_place(self, exact):
+        monitor = UsageMonitor(window=10.0, exact=exact)
+        monitor.record_access(1, 0.0)
+        monitor.record_access(2, 0.0)
+        assert monitor.popularity(1, now=100.0) == 0
+        # Block 1 was pruned by the popularity probe itself; block 2 is
+        # still present (untouched) until its own probe or a snapshot.
+        assert 1 not in monitor._accesses
+        assert 2 in monitor._accesses
+        assert monitor.popularity(2, now=100.0) == 0
+        assert monitor._accesses == {}
+
+    @pytest.mark.parametrize("exact", [False, True])
+    def test_repeated_probes_do_not_accrete_state(self, exact):
+        monitor = UsageMonitor(window=10.0, exact=exact)
+        for block in range(50):
+            monitor.record_access(block, 0.0)
+            assert monitor.popularity(block, now=1000.0) == 0
+        assert monitor._accesses == {}
 
 
 class TestUsageMonitorEdgeCases:
     def test_access_at_exact_window_boundary_is_retained(self):
         # The window is [now - W, now] inclusive: an access exactly W
-        # seconds old still counts (eviction uses strict <).
-        monitor = UsageMonitor(window=100.0)
+        # seconds old still counts (eviction uses strict <).  Sub-bucket
+        # cutoffs need the exact (timestamped) monitor.
+        monitor = UsageMonitor(window=100.0, exact=True)
         monitor.record_access(1, 0.0)
         assert monitor.popularity(1, now=100.0) == 1
         assert monitor.window_evictions == 0

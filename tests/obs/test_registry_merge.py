@@ -1,0 +1,160 @@
+"""Tests for folding worker registry snapshots into a parent registry."""
+
+import math
+
+import pytest
+
+from repro.errors import MetricsError
+from repro.obs.registry import MetricsRegistry
+
+
+def make_registry():
+    return MetricsRegistry(enabled=True)
+
+
+class TestCounterAndGaugeMerge:
+    def test_counters_add(self):
+        parent, worker = make_registry(), make_registry()
+        parent.counter("jobs_total").inc(3)
+        worker.counter("jobs_total").inc(5)
+        parent.merge(worker.snapshot())
+        assert parent.counter("jobs_total").value == 8
+
+    def test_labeled_counters_add_per_series(self):
+        parent, worker = make_registry(), make_registry()
+        c = parent.counter("ops_total", labelnames=["kind"])
+        c.labels(kind="move").inc(2)
+        w = worker.counter("ops_total", labelnames=["kind"])
+        w.labels(kind="move").inc(1)
+        w.labels(kind="swap").inc(7)
+        parent.merge(worker.snapshot())
+        assert c.labels(kind="move").value == 3
+        # A series absent in the parent is created by the merge.
+        assert c.labels(kind="swap").value == 7
+
+    def test_gauges_take_incoming_value(self):
+        parent, worker = make_registry(), make_registry()
+        parent.gauge("queue_depth").set(10)
+        worker.gauge("queue_depth").set(4)
+        parent.merge(worker.snapshot())
+        assert parent.gauge("queue_depth").value == 4
+
+    def test_merge_order_is_last_write_wins_for_gauges(self):
+        parent = make_registry()
+        for value in (1.0, 9.0, 5.0):
+            worker = make_registry()
+            worker.gauge("g").set(value)
+            parent.merge(worker.snapshot())
+        assert parent.gauge("g").value == 5.0
+
+    def test_missing_metric_created_with_metadata(self):
+        parent, worker = make_registry(), make_registry()
+        worker.counter("new_total", "fresh help", ["mode"]).labels(
+            mode="x"
+        ).inc(2)
+        parent.merge(worker.snapshot())
+        metric = parent.get("new_total")
+        assert metric is not None
+        assert metric.kind == "counter"
+        assert metric.help == "fresh help"
+        assert metric.labelnames == ("mode",)
+        assert metric.labels(mode="x").value == 2
+
+    def test_merge_ignores_enabled_flag(self):
+        # The snapshot was already paid for in the worker; a disabled
+        # parent must still absorb it.
+        parent = MetricsRegistry(enabled=False)
+        worker = make_registry()
+        worker.counter("c").inc(4)
+        parent.merge(worker.snapshot())
+        assert parent.counter("c").value == 4
+
+    def test_unknown_kind_rejected(self):
+        parent = make_registry()
+        with pytest.raises(MetricsError):
+            parent.merge({
+                "weird": {
+                    "kind": "summary", "help": "", "labelnames": [],
+                    "series": {"": 1.0},
+                },
+            })
+
+
+class TestHistogramMerge:
+    BUCKETS = (1.0, 5.0, 10.0)
+
+    def test_counts_sum_and_extremes_combine(self):
+        parent, worker = make_registry(), make_registry()
+        h = parent.histogram("lat", buckets=self.BUCKETS)
+        for value in (0.5, 7.0):
+            h.observe(value)
+        w = worker.histogram("lat", buckets=self.BUCKETS)
+        for value in (0.2, 3.0, 42.0):
+            w.observe(value)
+        parent.merge(worker.snapshot())
+        assert h.count == 5
+        assert h.sum == pytest.approx(0.5 + 7.0 + 0.2 + 3.0 + 42.0)
+        assert h._min == pytest.approx(0.2)
+        assert h._max == pytest.approx(42.0)
+        assert h.cumulative_counts() == [2, 3, 4, 5]
+
+    def test_merged_equals_single_registry(self):
+        # Observing a sample stream split across two registries and
+        # merging must equal observing it all in one.
+        samples_a = [0.1, 0.9, 4.0]
+        samples_b = [2.0, 8.0, 100.0]
+        combined = make_registry()
+        reference = combined.histogram("h", buckets=self.BUCKETS)
+        for value in samples_a + samples_b:
+            reference.observe(value)
+        parent, worker = make_registry(), make_registry()
+        for value in samples_a:
+            parent.histogram("h", buckets=self.BUCKETS).observe(value)
+        for value in samples_b:
+            worker.histogram("h", buckets=self.BUCKETS).observe(value)
+        parent.merge(worker.snapshot())
+        merged = parent.histogram("h", buckets=self.BUCKETS)
+        assert merged.cumulative_counts() == reference.cumulative_counts()
+        assert merged.sum == pytest.approx(reference.sum)
+        assert merged.count == reference.count
+        assert merged.percentile(50) == pytest.approx(
+            reference.percentile(50)
+        )
+
+    def test_empty_incoming_histogram_keeps_extremes(self):
+        parent, worker = make_registry(), make_registry()
+        h = parent.histogram("lat", buckets=self.BUCKETS)
+        h.observe(2.0)
+        worker.histogram("lat", buckets=self.BUCKETS)  # no samples
+        parent.merge(worker.snapshot())
+        assert h.count == 1
+        assert h._min == pytest.approx(2.0)
+        assert h._max == pytest.approx(2.0)
+
+    def test_missing_histogram_recreated_with_worker_buckets(self):
+        parent, worker = make_registry(), make_registry()
+        worker.histogram("lat", buckets=self.BUCKETS).observe(3.0)
+        parent.merge(worker.snapshot())
+        recreated = parent.get("lat")
+        assert recreated.buckets == self.BUCKETS
+        assert recreated.count == 1
+        assert math.isclose(recreated.sum, 3.0)
+
+    def test_bucket_layout_mismatch_rejected(self):
+        parent, worker = make_registry(), make_registry()
+        parent.histogram("lat", buckets=(1.0, 2.0))
+        worker.histogram("lat", buckets=self.BUCKETS).observe(0.5)
+        with pytest.raises(MetricsError):
+            parent.merge(worker.snapshot())
+
+    def test_labeled_histograms_merge_per_series(self):
+        parent, worker = make_registry(), make_registry()
+        w = worker.histogram("t", labelnames=["phase"],
+                             buckets=self.BUCKETS)
+        w.labels(phase="snapshot").observe(0.5)
+        w.labels(phase="replay").observe(6.0)
+        parent.merge(worker.snapshot())
+        parent.merge(worker.snapshot())
+        merged = parent.get("t")
+        assert merged.labels(phase="snapshot").count == 2
+        assert merged.labels(phase="replay").sum == pytest.approx(12.0)

@@ -109,6 +109,81 @@ class TestSimulation:
         assert not sim.step()
 
 
+class TestEngineDeterminismRegression:
+    """Pins the tuple-heap kernel's exact dispatch behavior.
+
+    The event queue stores plain ``(time, seq, action, token)`` tuples
+    and the run loop skips cancelled heads without dispatching; neither
+    micro-optimization may change execution order, cancellation
+    semantics, or the processed-event count.
+    """
+
+    @staticmethod
+    def _drive(seed):
+        import random
+
+        rng = random.Random(seed)
+        sim = Simulation()
+        log = []
+        tokens = []
+
+        def fire(tag):
+            log.append((sim.now, tag))
+            # Events scheduled from within events, with same-time ties.
+            if rng.random() < 0.3:
+                sim.schedule(
+                    rng.choice([0.0, 1.0, 2.5]),
+                    lambda t=f"{tag}+": log.append((sim.now, t)),
+                )
+            # Some events cancel a pending later event mid-run.
+            if tokens and rng.random() < 0.3:
+                tokens.pop(rng.randrange(len(tokens))).cancel()
+
+        for i in range(60):
+            token = sim.schedule_at(
+                rng.choice([0.0, 1.0, 1.0, 3.0, 7.5, 10.0]),
+                lambda i=i: fire(i),
+            )
+            tokens.append(token)
+        # Cancel a batch up front, including (likely) some queue heads.
+        for _ in range(15):
+            tokens.pop(rng.randrange(len(tokens))).cancel()
+        sim.run(until=20.0)
+        return log, sim.events_processed, sim.now
+
+    def test_identical_runs_replay_identically(self):
+        for seed in range(5):
+            assert self._drive(seed) == self._drive(seed)
+
+    def test_order_and_counts(self):
+        log, processed, now = self._drive(seed=42)
+        # Time never goes backwards, every dispatch was counted, and
+        # the clock ended exactly at the horizon.
+        times = [t for t, _ in log]
+        assert times == sorted(times)
+        assert processed == len(log)
+        assert now == 20.0
+
+    def test_cancelled_events_never_fire_nor_count(self):
+        sim = Simulation()
+        log = []
+        keep = sim.schedule_at(1.0, lambda: log.append("keep"))
+        for i in range(10):
+            sim.schedule_at(0.5, lambda i=i: log.append(i)).cancel()
+        assert keep is not None
+        sim.run()
+        assert log == ["keep"]
+        assert sim.events_processed == 1
+
+    def test_same_time_events_fire_in_scheduling_order(self):
+        sim = Simulation()
+        log = []
+        for i in range(50):
+            sim.schedule_at(5.0, lambda i=i: log.append(i))
+        sim.run()
+        assert log == list(range(50))
+
+
 class TestMetrics:
     def test_counter(self):
         counter = Counter()
