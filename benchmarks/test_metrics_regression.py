@@ -1,0 +1,166 @@
+"""Metrics-snapshot regression gate for the instrumented quick storm.
+
+One seeded quick chaos run (the same preset as ``repro chaos --quick``)
+is collapsed by :func:`repro.obs.gate.summarize_telemetry` into flat
+sim-clock statistics — counter totals, windowed-histogram percentiles,
+gauge extremes and SLO burn — and compared against the committed
+baseline in ``benchmarks/baselines/metrics_baseline.json`` with
+per-prefix tolerance bands.  A violation means instrumented behaviour
+drifted: latency inflation, error-rate shifts, lost samples or a series
+that silently stopped being recorded.
+
+Only simulated-clock quantities enter the summary, so the same seed
+produces the same numbers on any machine; the bands absorb intentional
+small behaviour changes, not noise.  After an *intentional* change in
+simulated behaviour, regenerate the baseline and commit it:
+
+    PYTHONPATH=src python benchmarks/test_metrics_regression.py
+
+The self-test doubles every latency statistic in a copy of the fresh
+summary and asserts the gate flags it — proof the bands are tight
+enough to catch a 2x regression, not just decoration.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import pytest
+
+from conftest import write_result
+from repro import obs
+from repro.experiments.chaos import ChaosConfig, run_chaos
+from repro.obs.gate import (
+    check_bundle,
+    compare,
+    load_baseline,
+    load_tolerances,
+    summarize_telemetry,
+    write_baseline,
+)
+from repro.obs.telemetry import TelemetryBundle, TelemetrySession
+
+pytestmark = pytest.mark.bench
+
+BASELINE = Path(__file__).parent / "baselines" / "metrics_baseline.json"
+
+GATE_SEED = 0
+
+# Prefix bands layered over the 25% default.  Percentiles of sparse
+# histograms move in bucket-sized steps, so they get extra slack;
+# totals of high-volume counters are tighter than the default because
+# they aggregate thousands of events.
+TOLERANCES = {
+    "repro_dfs_read_latency_seconds/p": 0.5,
+    "repro_dfs_recovery_seconds/p": 0.5,
+    "repro_dfs_reads_total": 0.15,
+    "run/": 0.15,
+}
+
+
+def gate_config() -> ChaosConfig:
+    """The ``repro chaos --quick`` storm, pinned for the gate."""
+    return ChaosConfig(
+        num_racks=3, machines_per_rack=3, capacity_blocks=100,
+        num_files=8, horizon=1800.0, read_interval=5.0,
+        crash_mtbf=600.0, partition_mtbf=900.0, drain=600.0,
+        profiles=("crash", "partition", "flaky"),
+        replication_throttle=8, seed=GATE_SEED,
+    )
+
+
+def run_gate_bundle(out_dir: Path) -> TelemetryBundle:
+    session = TelemetrySession(
+        label="metrics-gate", seed=GATE_SEED,
+        trace_sample_rate=0.1, interval=15.0,
+    )
+    run_chaos(gate_config(), telemetry=session)
+    return TelemetryBundle.load(session.write(out_dir))
+
+
+@pytest.fixture(scope="module")
+def gate_summary(tmp_path_factory):
+    bundle = run_gate_bundle(tmp_path_factory.mktemp("gate") / "tel")
+    yield summarize_telemetry(bundle)
+    obs.get_registry().reset()
+    obs.get_tracer().clear()
+    obs.disable()
+
+
+def test_quick_storm_matches_committed_baseline(gate_summary):
+    violations = compare(
+        gate_summary, load_baseline(BASELINE), load_tolerances(BASELINE)
+    )
+    lines = [
+        f"{key} = {value:.6g}" for key, value in sorted(gate_summary.items())
+    ]
+    lines.append("")
+    lines.append(f"violations: {len(violations)}")
+    lines.extend(str(v) for v in violations)
+    write_result("metrics_gate.txt", "\n".join(lines))
+    assert not violations, "\n".join(str(v) for v in violations)
+
+
+def test_gate_flags_injected_latency_inflation(gate_summary):
+    """Self-test: a synthetic 2x latency regression must trip the gate."""
+    inflated = {
+        key: value * 2
+        if "latency_seconds" in key
+        and key.rsplit("/", 1)[-1] in ("mean", "p50", "p99")
+        else value
+        for key, value in gate_summary.items()
+    }
+    violations = compare(
+        inflated, load_baseline(BASELINE), load_tolerances(BASELINE)
+    )
+    assert any(
+        "repro_dfs_read_latency_seconds" in v.key for v in violations
+    ), "gate failed to flag a 2x latency inflation"
+
+
+def test_gate_flags_missing_series(gate_summary):
+    """A series that stopped being recorded violates with actual=0."""
+    pruned = {
+        key: value for key, value in gate_summary.items()
+        if not key.startswith("repro_dfs_replications_total")
+    }
+    violations = compare(
+        pruned, load_baseline(BASELINE), load_tolerances(BASELINE)
+    )
+    assert any(
+        v.key.startswith("repro_dfs_replications_total") and v.actual == 0
+        for v in violations
+    )
+
+
+def test_check_bundle_end_to_end(tmp_path):
+    """The one-call wrapper CI uses: fresh run vs committed baseline."""
+    bundle = run_gate_bundle(tmp_path / "tel")
+    try:
+        violations = check_bundle(bundle, BASELINE)
+    finally:
+        obs.get_registry().reset()
+        obs.get_tracer().clear()
+        obs.disable()
+    assert not violations, "\n".join(str(v) for v in violations)
+
+
+def main() -> None:
+    """Regenerate the committed baseline from a fresh gate run."""
+    with tempfile.TemporaryDirectory() as scratch:
+        bundle = run_gate_bundle(Path(scratch) / "tel")
+    summary = summarize_telemetry(bundle)
+    path = write_baseline(
+        BASELINE, summary, tolerances=TOLERANCES,
+        note=(
+            "Instrumented `repro chaos --quick` storm, seed 0. "
+            "Regenerate after intentional behaviour changes with: "
+            "PYTHONPATH=src python benchmarks/test_metrics_regression.py"
+        ),
+    )
+    print(f"wrote {path} ({len(summary)} keys)")
+
+
+if __name__ == "__main__":
+    main()

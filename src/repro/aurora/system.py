@@ -179,6 +179,10 @@ class AuroraSystem:
             exit_threshold=self.config.brownout_exit_threshold,
         )
         self.saturation_provider: Optional[Callable[[], float]] = None
+        # Optional TimeSeriesRecorder sampled at every period boundary,
+        # so untimed runs (no DES periodic event) still get telemetry
+        # points exactly where the system reconfigures.
+        self.telemetry = None
         self.reports: List[PeriodReport] = []
         self.replicate_on_read = None
         if self.config.replicate_on_read_probability > 0:
@@ -324,6 +328,8 @@ class AuroraSystem:
                 brownout=report.brownout,
             )
         self._flush_period_metrics(report)
+        if self.telemetry is not None:
+            self.telemetry.sample(now)
         if report.aborted:
             _LOG.warning(
                 "aurora period aborted its replay (%s); block map "

@@ -14,11 +14,18 @@ Usage (installed as ``python -m repro``):
     python -m repro overload --load 1.5 --minutes 10
     python -m repro fsck --profiles crash --hours 1 --json fsck.json
     python -m repro metrics --demo             # observability smoke run
+    python -m repro metrics --from snap.json   # re-render a saved snapshot
+    python -m repro chaos --quick --telemetry-out tel/
+    python -m repro report tel/ --out report/  # HTML + markdown dashboard
+    python -m repro traces tel/ --top 5        # slowest causal traces
     python -m repro -v figures --quick         # INFO-level run logging
 
 All commands are deterministic for a given ``--seed``.  ``-v``/``-q``
 (repeatable) raise or lower the log level; ``figures --metrics-out DIR``
-dumps one observability snapshot per figure.
+dumps one observability snapshot per figure.  ``--telemetry-out DIR``
+(on ``figures``/``chaos``/``overload``) instead captures the full
+telemetry pipeline — sim-clock time series, causal traces, SLO verdicts
+— which ``report`` and ``traces`` then render offline.
 """
 
 from __future__ import annotations
@@ -99,6 +106,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="worker processes for the independent cases of each figure "
              "(results are identical to --jobs 1)",
     )
+    figures.add_argument(
+        "--telemetry-out", type=Path, default=None,
+        help="also run one instrumented Aurora replay of the figure "
+             "workload and write its telemetry directory here (for "
+             "'repro report' / 'repro traces')",
+    )
 
     trace = sub.add_parser("trace", help="generate a workload trace")
     trace.add_argument("kind", choices=["yahoo", "swim"])
@@ -168,6 +181,21 @@ def _build_parser() -> argparse.ArgumentParser:
         "--metrics-out", type=Path, default=None,
         help="write an observability snapshot of the run here",
     )
+    chaos.add_argument(
+        "--quick", action="store_true",
+        help="small cluster, short dense storm: a fast smoke run that "
+             "still yields traces and SLO verdicts",
+    )
+    chaos.add_argument(
+        "--telemetry-out", type=Path, default=None,
+        help="capture the full telemetry pipeline (time series, causal "
+             "traces, SLOs) into this directory",
+    )
+    chaos.add_argument(
+        "--trace-sample-rate", type=float, default=0.1,
+        help="fraction of client reads that get a causal trace "
+             "(with --telemetry-out)",
+    )
 
     overload = sub.add_parser(
         "overload",
@@ -195,6 +223,16 @@ def _build_parser() -> argparse.ArgumentParser:
     overload.add_argument(
         "--metrics-out", type=Path, default=None,
         help="write an observability snapshot of the run here",
+    )
+    overload.add_argument(
+        "--telemetry-out", type=Path, default=None,
+        help="capture telemetry here (paired runs write protected/ and "
+             "unprotected/ subdirectories)",
+    )
+    overload.add_argument(
+        "--trace-sample-rate", type=float, default=0.1,
+        help="fraction of client reads that get a causal trace "
+             "(with --telemetry-out)",
     )
 
     fsck = sub.add_parser(
@@ -227,7 +265,51 @@ def _build_parser() -> argparse.ArgumentParser:
         "--out", type=Path, default=None,
         help="also write the JSON snapshot (metrics plus spans) here",
     )
+    metrics.add_argument(
+        "--from", dest="from_file", type=Path, default=None, metavar="FILE",
+        help="render a previously written JSON snapshot instead of the "
+             "live registry",
+    )
     metrics.add_argument("--seed", type=int, default=0)
+
+    report = sub.add_parser(
+        "report",
+        help="render a telemetry directory as an HTML + markdown dashboard",
+    )
+    report.add_argument(
+        "telemetry", type=Path,
+        help="telemetry directory written by --telemetry-out",
+    )
+    report.add_argument(
+        "--out", type=Path, default=None,
+        help="directory for report.html / report.md "
+             "(default: the telemetry directory itself)",
+    )
+    report.add_argument(
+        "--top", type=int, default=5,
+        help="slowest traces to include in the dashboard",
+    )
+
+    traces = sub.add_parser(
+        "traces",
+        help="dump causal request traces from a telemetry directory",
+    )
+    traces.add_argument(
+        "telemetry", type=Path,
+        help="telemetry directory written by --telemetry-out",
+    )
+    traces.add_argument(
+        "--top", type=int, default=5,
+        help="how many of the slowest traces to print",
+    )
+    traces.add_argument(
+        "--trace-id", type=int, default=None,
+        help="print one specific trace instead of the top-N",
+    )
+    traces.add_argument(
+        "--json", type=Path, default=None,
+        help="also write the selected traces as JSON here",
+    )
     return parser
 
 
@@ -273,6 +355,30 @@ def _cmd_figures(args: argparse.Namespace) -> int:
             )
             print(f"[written {snapshot}]")
         print()
+    if args.telemetry_out is not None:
+        from repro.obs.telemetry import TelemetrySession
+
+        # The figure sweeps share one workload; a single instrumented
+        # Aurora replay of it is what the dashboard reports on.
+        session = TelemetrySession(
+            label="figures-reference", seed=args.seed, interval=60.0,
+        )
+        session.meta.update({
+            "command": "figures",
+            "quick": args.quick,
+            "epsilon": epsilons[0],
+        })
+        run_experiment(
+            trace,
+            ExperimentConfig(
+                system=SystemKind.AURORA,
+                cluster=cluster or ClusterConfig(),
+                epsilon=epsilons[0],
+                seed=args.seed,
+            ),
+            telemetry=session,
+        )
+        print(f"[written {session.write(args.telemetry_out)}]")
     return 0
 
 
@@ -374,23 +480,53 @@ def _cmd_sensitivity(args: argparse.Namespace) -> int:
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.experiments.chaos import ChaosConfig, render_chaos, run_chaos
+    from repro.obs.telemetry import TelemetrySession
 
     args.out.mkdir(parents=True, exist_ok=True)
     if args.metrics_out is not None:
         obs.enable()
         obs.get_registry().reset()
         obs.get_tracer().clear()
-    config = ChaosConfig(
-        horizon=args.hours * 3600.0,
-        profiles=tuple(args.profiles),
-        replication_throttle=args.throttle if args.throttle > 0 else None,
-        seed=args.seed,
-    )
-    text = render_chaos(run_chaos(config))
+    throttle = args.throttle if args.throttle > 0 else None
+    if args.quick:
+        # Small cluster, short storm, dense reads and faster faults:
+        # enough failovers and recovery episodes in ~30 simulated
+        # minutes to exercise every telemetry stage.
+        config = ChaosConfig(
+            num_racks=3, machines_per_rack=3, capacity_blocks=100,
+            num_files=8, horizon=1800.0, read_interval=5.0,
+            crash_mtbf=600.0, partition_mtbf=900.0, drain=600.0,
+            profiles=tuple(args.profiles),
+            replication_throttle=throttle, seed=args.seed,
+        )
+    else:
+        config = ChaosConfig(
+            horizon=args.hours * 3600.0,
+            profiles=tuple(args.profiles),
+            replication_throttle=throttle,
+            seed=args.seed,
+        )
+    session = None
+    if args.telemetry_out is not None:
+        session = TelemetrySession(
+            label=f"chaos-{'-'.join(args.profiles)}",
+            seed=args.seed,
+            trace_sample_rate=args.trace_sample_rate,
+            interval=min(60.0, config.read_interval * 3),
+        )
+        session.meta.update({
+            "command": "chaos",
+            "profiles": list(args.profiles),
+            "horizon": config.horizon,
+            "quick": args.quick,
+        })
+    text = render_chaos(run_chaos(config, telemetry=session))
     target = args.out / "chaos.txt"
     target.write_text(text + "\n", encoding="utf-8")
     print(text)
     print(f"[written {target}]")
+    if session is not None:
+        print(f"[written {session.write(args.telemetry_out)}]")
     if args.metrics_out is not None:
         snapshot = obs.write_snapshot(args.metrics_out)
         print(f"[written {snapshot}]")
@@ -406,6 +542,8 @@ def _cmd_overload(args: argparse.Namespace) -> int:
         run_overload_pair,
     )
 
+    from repro.obs.telemetry import TelemetrySession
+
     args.out.mkdir(parents=True, exist_ok=True)
     if args.metrics_out is not None:
         obs.enable()
@@ -417,10 +555,53 @@ def _cmd_overload(args: argparse.Namespace) -> int:
         shed_policy=args.policy,
         seed=args.seed,
     )
+
+    def make_session(label: str) -> Optional[TelemetrySession]:
+        if args.telemetry_out is None:
+            return None
+        session = TelemetrySession(
+            label=label, seed=args.seed,
+            trace_sample_rate=args.trace_sample_rate,
+            interval=config.tick * 2,
+        )
+        session.meta.update({
+            "command": "overload",
+            "load_multiplier": config.load_multiplier,
+            "shed_policy": config.shed_policy,
+            "horizon": config.horizon,
+        })
+        return session
+
     if args.protected_only:
-        text = render_overload(run_overload(config))
+        session = make_session("overload-protected")
+        text = render_overload(run_overload(config, telemetry=session))
+        if session is not None:
+            print(f"[written {session.write(args.telemetry_out)}]")
     else:
-        protected, unprotected = run_overload_pair(config)
+        protected_session = make_session("overload-protected")
+        unprotected_session = make_session("overload-unprotected")
+        written = []
+
+        def flush_protected() -> None:
+            # The second leg's install() clears the shared span buffer,
+            # so the protected leg must hit disk between the two runs.
+            if protected_session is not None:
+                written.append(protected_session.write(
+                    args.telemetry_out / "protected"
+                ))
+
+        protected, unprotected = run_overload_pair(
+            config,
+            telemetry=protected_session,
+            unprotected_telemetry=unprotected_session,
+            between=flush_protected,
+        )
+        if unprotected_session is not None:
+            written.append(unprotected_session.write(
+                args.telemetry_out / "unprotected"
+            ))
+        for path in written:
+            print(f"[written {path}]")
         text = "\n\n".join([
             render_overload_pair(protected, unprotected),
             render_overload(protected),
@@ -461,6 +642,30 @@ def _cmd_fsck(args: argparse.Namespace) -> int:
 
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
+    import json
+
+    if args.from_file is not None:
+        # Offline mode: rehydrate a saved snapshot into a fresh registry
+        # and render it, without touching the process-global state.
+        data = json.loads(args.from_file.read_text(encoding="utf-8"))
+        metrics = data.get("metrics", data) if isinstance(data, dict) else {}
+        registry = obs.MetricsRegistry(enabled=True)
+        registry.merge(metrics)
+        text = obs.to_prometheus_text(registry)
+        print(text, end="")
+        series = sum(
+            len(metric.get("series", {})) for metric in metrics.values()
+        )
+        spans = data.get("spans", []) if isinstance(data, dict) else []
+        print(
+            f"# snapshot {args.from_file}: {len(metrics)} metric(s), "
+            f"{series} series, {len(spans)} span(s)"
+        )
+        if args.out is not None:
+            args.out.parent.mkdir(parents=True, exist_ok=True)
+            args.out.write_text(text, encoding="utf-8")
+            print(f"[written {args.out}]")
+        return 0
     obs.enable()
     registry = obs.get_registry()
     tracer = obs.get_tracer()
@@ -487,6 +692,61 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs.report import render_html, render_markdown
+    from repro.obs.telemetry import TelemetryBundle
+
+    bundle = TelemetryBundle.load(args.telemetry)
+    out = args.out if args.out is not None else args.telemetry
+    out.mkdir(parents=True, exist_ok=True)
+    markdown = render_markdown(bundle, top_traces=args.top)
+    html_target = out / "report.html"
+    md_target = out / "report.md"
+    html_target.write_text(
+        render_html(bundle, top_traces=args.top), encoding="utf-8"
+    )
+    md_target.write_text(markdown + "\n", encoding="utf-8")
+    print(markdown)
+    print(f"[written {html_target}]")
+    print(f"[written {md_target}]")
+    return 0
+
+
+def _cmd_traces(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.telemetry import TelemetryBundle
+    from repro.obs.tracing import format_trace
+
+    bundle = TelemetryBundle.load(args.telemetry)
+    traces = bundle.traces()
+    total = len(traces)
+    if args.trace_id is not None:
+        traces = [t for t in traces if t.trace_id == args.trace_id]
+        if not traces:
+            print(
+                f"no trace {args.trace_id} among the {total} in "
+                f"{args.telemetry}", file=sys.stderr,
+            )
+            return 1
+    else:
+        traces = traces[:args.top]
+    for trace in traces:
+        print(format_trace(trace))
+        chain = " -> ".join(node.name for node in trace.critical_path())
+        print(f"  critical path: {chain}")
+        print()
+    print(f"[{len(traces)} trace(s) shown of {total} recorded]")
+    if args.json is not None:
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(
+            json.dumps([t.to_dict() for t in traces], indent=2) + "\n",
+            encoding="utf-8",
+        )
+        print(f"[written {args.json}]")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -509,6 +769,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_fsck(args)
     if args.command == "metrics":
         return _cmd_metrics(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    if args.command == "traces":
+        return _cmd_traces(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

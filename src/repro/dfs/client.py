@@ -39,12 +39,15 @@ from repro.dfs.namenode import Namenode
 from repro.errors import DatanodeUnavailableError, OverloadSheddedError
 from repro.faults.retry import RetryPolicy
 from repro.obs.registry import get_registry
+from repro.obs.tracer import get_tracer
+from repro.obs.tracing import TraceSampler
 from repro.overload.breaker import BreakerState, CircuitBreaker
 from repro.overload.queueing import Priority
 
 __all__ = ["Locality", "ReadResult", "DfsClient"]
 
 _REG = get_registry()
+_TRACER = get_tracer()
 _FAILOVERS = _REG.counter(
     "repro_dfs_read_failovers_total",
     "Read attempts that failed over past a dead or stale replica source",
@@ -68,6 +71,14 @@ _HEDGED = _REG.counter(
 _HEDGE_WINS = _REG.counter(
     "repro_dfs_hedge_wins_total",
     "Hedged reads where the second replica answered first",
+)
+# End-to-end simulated read latency: queue wait+service of the serving
+# replica plus every backoff paid failing over to it.
+_READ_LATENCY = _REG.histogram(
+    "repro_dfs_read_latency_seconds",
+    "Simulated end-to-end block read latency (service + failover backoff)",
+    buckets=(0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 5.0,
+             10.0, 30.0, 60.0, 120.0),
 )
 
 
@@ -121,8 +132,12 @@ class DfsClient:
         rng: Optional[random.Random] = None,
         breakers: Optional[Dict[int, CircuitBreaker]] = None,
         hedge_latency_budget: Optional[float] = None,
+        trace_sampler: Optional[TraceSampler] = None,
     ) -> None:
         self.namenode = namenode
+        # Head-based causal tracing: when set (and the tracer is on), a
+        # sampled fraction of reads record a "dfs.read" span tree.
+        self.trace_sampler = trace_sampler
         # Bounds the failover walk; with no rng the backoff is
         # jitter-free, so failover behaviour is fully deterministic.
         self.retry_policy = retry_policy or RetryPolicy(
@@ -170,7 +185,30 @@ class DfsClient:
         Raises :class:`OverloadSheddedError` when at least one replica
         shed and none served, :class:`DatanodeUnavailableError` when
         every candidate fails or the retry policy gives up first.
+
+        Sampled requests (``trace_sampler``) record a causal "dfs.read"
+        span with one "dfs.read.attempt" child per replica contacted.
         """
+        sampler = self.trace_sampler
+        if (sampler is None or not _TRACER.enabled
+                or not sampler.sample()):
+            return self._read_block(block_id, reader, None)
+        start = self.namenode.now
+        with _TRACER.trace("dfs.read", sim_time=start,
+                           block=block_id, reader=reader) as span:
+            result = self._read_block(block_id, reader, span)
+            span.set(
+                source=result.source, locality=result.locality.value,
+                attempts=len(result.attempts), hedged=result.hedged,
+            )
+            # The request's simulated latency: serving queue time plus
+            # every backoff paid along the failover walk.
+            span.end_sim = start + result.latency + result.backoff
+            return result
+
+    def _read_block(self, block_id: int, reader: int,
+                    span) -> ReadResult:
+        """The failover walk; ``span`` is the sampled root (or None)."""
         tried: List[int] = []
         waited = 0.0
         failures = 0
@@ -184,8 +222,21 @@ class DfsClient:
                 self.breaker_skips += 1
                 if _REG.enabled:
                     _BREAKER_SKIPS.inc()
+                if span is not None:
+                    skip = _TRACER.begin(
+                        "dfs.read.attempt", sim_time=now,
+                        parent=span.context, node=node,
+                        outcome="breaker_open",
+                    )
+                    _TRACER.finish(skip, end_sim=now)
                 continue
             tried.append(node)
+            attempt = None
+            if span is not None:
+                attempt = _TRACER.begin(
+                    "dfs.read.attempt", sim_time=now,
+                    parent=span.context, node=node,
+                )
             dn = self.namenode.datanode(node)
             if dn.alive and dn.holds(block_id):
                 outcome = self._serve(
@@ -203,6 +254,14 @@ class DfsClient:
                     source = self.namenode.record_access(
                         block_id, reader, source=serving
                     )
+                    if _REG.enabled:
+                        _READ_LATENCY.observe(latency + waited)
+                    if attempt is not None:
+                        attempt.set(
+                            outcome="served", served_by=serving,
+                            latency=latency, hedged=hedged,
+                        )
+                        _TRACER.finish(attempt, end_sim=now + latency)
                     return ReadResult(
                         block_id=block_id,
                         source=source,
@@ -219,6 +278,9 @@ class DfsClient:
                 self.reads_shed += 1
                 if _REG.enabled:
                     _SHED_READS.inc()
+                if attempt is not None:
+                    attempt.set(outcome="shed")
+                    _TRACER.finish(attempt, end_sim=now)
                 if breaker is not None:
                     breaker.record_failure(now)
                 failures += 1
@@ -236,8 +298,15 @@ class DfsClient:
             if _REG.enabled:
                 _FAILOVERS.inc()
             if not self.retry_policy.admits(failures, waited):
+                if attempt is not None:
+                    attempt.set(outcome="failed", backoff=0.0)
+                    _TRACER.finish(attempt, end_sim=now)
                 break
-            waited += self.retry_policy.delay(failures, self._rng)
+            delay = self.retry_policy.delay(failures, self._rng)
+            waited += delay
+            if attempt is not None:
+                attempt.set(outcome="failed", backoff=delay)
+                _TRACER.finish(attempt, end_sim=now + delay)
         self.read_errors += 1
         if _REG.enabled:
             _READ_ERRORS.inc()

@@ -56,6 +56,7 @@ from repro.errors import (
 )
 from repro.faults.retry import RetryPolicy
 from repro.obs.registry import get_registry
+from repro.obs.tracer import get_tracer
 from repro.overload.queueing import Priority
 from repro.simulation.engine import Simulation
 
@@ -67,6 +68,7 @@ __all__ = ["Namenode"]
 _LOG = logging.getLogger(__name__)
 
 _REG = get_registry()
+_TRACER = get_tracer()
 _READS = _REG.counter(
     "repro_dfs_reads_total",
     "Block reads routed by the namenode, by replica locality",
@@ -221,6 +223,8 @@ class Namenode:
         # episode began, and the durations of completed episodes.
         self._under_since: Optional[float] = None
         self.recovery_times: List[float] = []
+        # Open "dfs.recovery" span for the current episode (tracing on).
+        self._recovery_span = None
         # Admission gate for background traffic (installed by
         # repro.overload.protection; None admits everything).
         self.admission: Optional["AdmissionController"] = None
@@ -776,6 +780,24 @@ class Namenode:
         """Issue one replication transfer attempt with retry wiring."""
         meta = self.blockmap.meta(block_id)
         self._inflight.add((block_id, target))
+        copy_span = None
+        if _TRACER.enabled:
+            # Child of the open recovery episode, when there is one;
+            # the transfer below links under this copy span in turn.
+            copy_span = _TRACER.begin(
+                "dfs.replica_copy", sim_time=self.now,
+                parent=(
+                    self._recovery_span.context
+                    if self._recovery_span is not None else None
+                ),
+                block=block_id, source=source, target=target,
+                attempt=attempt,
+            )
+
+        def _finish_copy(outcome: str) -> None:
+            if copy_span is not None:
+                copy_span.set(outcome=outcome)
+                _TRACER.finish(copy_span, end_sim=self.now)
 
         def handle_failure() -> None:
             tried.add(source)
@@ -801,24 +823,29 @@ class Namenode:
 
         def failed() -> None:
             self._inflight.discard((block_id, target))
+            _finish_copy("failed")
             handle_failure()
 
         def complete() -> None:
             self._inflight.discard((block_id, target))
             if block_id not in self.blockmap:
+                _finish_copy("block_deleted")
                 self._end_replication()
                 return
             dn = self.datanodes[target]
             if dn.holds(block_id):
+                _finish_copy("duplicate")
                 self._end_replication()
                 return
             if not dn.alive:
                 # The bytes landed on a node that died mid-transfer.
+                _finish_copy("target_died")
                 handle_failure()
                 return
             try:
                 self._ensure_space(target)
             except CapacityExceededError:
+                _finish_copy("target_full")
                 handle_failure()
                 return
             dn.store(block_id, meta.size)
@@ -826,6 +853,7 @@ class Namenode:
             self.replications_completed += 1
             if _REG.enabled:
                 _REPLICATIONS.inc()
+            _finish_copy("ok")
             self._end_replication()
             self._note_recovery_progress()
             if on_done is not None:
@@ -836,6 +864,9 @@ class Namenode:
             compression_ratio=self.movement_compression,
             on_failure=failed,
             kind="replication",
+            parent=(
+                copy_span.context if copy_span is not None else None
+            ),
         )
 
     def _retry_replica_copy(
@@ -1151,6 +1182,13 @@ class Namenode:
             self._enqueue_replication(block_id)
         if under_replicated and self._under_since is None:
             self._under_since = self.now
+            if _TRACER.enabled:
+                # The episode outlives this event; closed by whichever
+                # callback restores full replication.
+                self._recovery_span = _TRACER.begin(
+                    "dfs.recovery", sim_time=self.now,
+                    under_replicated=len(under_replicated),
+                )
         elif not under_replicated and self._under_since is not None:
             self._close_recovery_episode()
         if _REG.enabled:
@@ -1255,6 +1293,10 @@ class Namenode:
         self.recovery_times.append(elapsed)
         if _REG.enabled:
             _RECOVERY_SECONDS.observe(elapsed)
+        if self._recovery_span is not None:
+            self._recovery_span.set(recovery_seconds=elapsed)
+            _TRACER.finish(self._recovery_span, end_sim=self.now)
+            self._recovery_span = None
         _LOG.info("cluster fully replicated again after %.1fs", elapsed)
 
     def audit(self) -> None:

@@ -31,6 +31,7 @@ from typing import Callable, Dict, Optional
 from repro.cluster.topology import ClusterTopology
 from repro.errors import DfsError
 from repro.obs.registry import get_registry
+from repro.obs.tracer import TraceContext, get_tracer
 from repro.simulation.engine import Simulation
 from repro.simulation.metrics import Distribution
 
@@ -39,6 +40,7 @@ __all__ = ["TransferService", "GIGABIT_PER_SECOND"]
 GIGABIT_PER_SECOND = 125_000_000  # bytes/s on a 1 Gb NIC
 
 _REG = get_registry()
+_TRACER = get_tracer()
 _TRANSFER_FAILURES = _REG.counter(
     "repro_dfs_transfer_failures_total",
     "Block transfers that aborted mid-flight",
@@ -147,6 +149,7 @@ class TransferService:
         compression_ratio: Optional[float] = None,
         on_failure: Optional[Callable[[], None]] = None,
         kind: str = "write",
+        parent: Optional[TraceContext] = None,
     ) -> float:
         """Start a transfer; ``on_complete`` fires when the bytes land.
 
@@ -159,6 +162,13 @@ class TransferService:
         only a fraction of the duration elapses, the bytes are counted
         as wasted rather than transferred, and ``on_failure`` (when
         given) fires instead of ``on_complete``.
+
+        ``parent`` links the transfer into a causal trace across the
+        event boundary (re-replication episodes, traced period replays);
+        without it the current span stack, if any, provides the link.
+        The span is committed immediately — the modelled duration is
+        known upfront, so its simulated end is stamped as ``now +
+        duration`` rather than waiting for the completion event.
         """
         if src == dst:
             raise DfsError("transfer endpoints must differ")
@@ -166,6 +176,15 @@ class TransferService:
             size, src, dst, compression_ratio=compression_ratio
         )
         self.transfers_started += 1
+        span = None
+        if _TRACER.enabled and (
+            parent is not None or _TRACER.current_context() is not None
+        ):
+            span = _TRACER.begin(
+                "dfs.transfer",
+                sim_time=self.sim.now if self.sim is not None else None,
+                parent=parent, size=size, src=src, dst=dst, kind=kind,
+            )
         fraction = (
             self.fault_hook(size, src, dst)
             if self.fault_hook is not None else None
@@ -173,7 +192,17 @@ class TransferService:
         if fraction is not None:
             if not 0 < fraction <= 1:
                 raise DfsError("fault fraction must be in (0, 1]")
-            return self._fail(size, src, dst, duration, fraction, on_failure)
+            return self._fail(
+                size, src, dst, duration, fraction, on_failure, span
+            )
+        if span is not None:
+            span.set(outcome="ok", duration=duration)
+            _TRACER.finish(
+                span,
+                end_sim=(
+                    self.sim.now + duration if self.sim is not None else None
+                ),
+            )
         self.durations.record(duration)
         self.bytes_transferred += size
         self.bytes_by_kind[kind] = self.bytes_by_kind.get(kind, 0) + size
@@ -200,6 +229,7 @@ class TransferService:
         duration: float,
         fraction: float,
         on_failure: Optional[Callable[[], None]],
+        span=None,
     ) -> float:
         """Abort a transfer after ``fraction`` of its duration is wasted."""
         elapsed = duration * fraction
@@ -209,6 +239,14 @@ class TransferService:
         if _REG.enabled:
             _TRANSFER_FAILURES.inc()
             _WASTED_BYTES.inc(wasted)
+        if span is not None:
+            span.set(outcome="failed", wasted_bytes=wasted)
+            _TRACER.finish(
+                span,
+                end_sim=(
+                    self.sim.now + elapsed if self.sim is not None else None
+                ),
+            )
         if self.sim is None:
             if on_failure is not None:
                 on_failure()

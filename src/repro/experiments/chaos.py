@@ -39,9 +39,12 @@ from repro.dfs.policies import DefaultHdfsPolicy
 from repro.dfs.replication import TransferService
 from repro.errors import DatanodeUnavailableError, InvalidProblemError
 from repro.faults import FaultInjector, FaultProfile, profile_from_name
+from repro.obs.slo import availability_slo, latency_slo
+from repro.obs.telemetry import TelemetrySession
 from repro.simulation.engine import Simulation
 
-__all__ = ["ChaosConfig", "ChaosResult", "run_chaos", "render_chaos"]
+__all__ = ["ChaosConfig", "ChaosResult", "run_chaos", "render_chaos",
+           "default_chaos_slos"]
 
 _LOG = logging.getLogger(__name__)
 
@@ -127,6 +130,13 @@ class ChaosResult:
     recovery_times: List[float] = field(default_factory=list)
     bytes_wasted: int = 0
     fsck: Optional[FsckReport] = None
+    # Evaluated SloStatus list when the run carried a TelemetrySession.
+    slo_statuses: List = field(default_factory=list)
+
+    @property
+    def slo_violation_minutes(self) -> float:
+        """Total simulated minutes any objective was out of compliance."""
+        return sum(s.violation_minutes for s in self.slo_statuses)
 
     @property
     def read_availability(self) -> float:
@@ -148,13 +158,48 @@ class ChaosResult:
         return max(self.recovery_times, default=0.0)
 
 
-def run_chaos(config: ChaosConfig) -> ChaosResult:
+def default_chaos_slos(config: ChaosConfig) -> List:
+    """The SLO set a chaos storm is judged against."""
+    window = max(config.read_interval * 15, 300.0)
+    return [
+        availability_slo(
+            "read-availability",
+            good_series="repro_dfs_reads_total",
+            bad_series="repro_dfs_read_errors_total",
+            target=0.99, window=window,
+            description="99% of block reads are served by some replica",
+        ),
+        latency_slo(
+            "read-latency-p99",
+            series="repro_dfs_read_latency_seconds",
+            threshold=5.0, target=0.99, window=window,
+            description="99% of reads finish within 5 simulated seconds",
+        ),
+        latency_slo(
+            "time-to-full-replication",
+            series="repro_dfs_recovery_seconds",
+            threshold=900.0, target=0.9, window=max(window * 6, 1800.0),
+            description="90% of under-replication episodes repair "
+                        "within 15 simulated minutes",
+        ),
+    ]
+
+
+def run_chaos(
+    config: ChaosConfig,
+    telemetry: Optional[TelemetrySession] = None,
+) -> ChaosResult:
     """Run one seeded chaos schedule and collect the result.
 
     Deterministic for a given config.  After the horizon the fault
     hooks are disarmed and the simulation drains until every outage has
     healed and repair work settles; the namenode's :meth:`audit` then
     asserts the metadata reconciled.
+
+    Passing a :class:`~repro.obs.telemetry.TelemetrySession` turns on
+    the full pipeline: time-series sampling on the sim clock, sampled
+    causal traces of client reads, and the default chaos SLO set
+    (evaluated into ``result.slo_statuses``).
     """
     sim = Simulation()
     topology = ClusterTopology.uniform(
@@ -179,7 +224,17 @@ def run_chaos(config: ChaosConfig) -> ChaosResult:
         expiry=config.heartbeat_expiry,
     )
     heartbeats.start()
-    client = DfsClient(namenode)
+    client = DfsClient(
+        namenode,
+        trace_sampler=(
+            telemetry.sampler() if telemetry is not None else None
+        ),
+    )
+    if telemetry is not None:
+        telemetry.install(sim)
+        if not telemetry.slo.objectives:
+            for objective in default_chaos_slos(config):
+                telemetry.add_objective(objective)
 
     blocks: List[int] = []
     for index in range(config.num_files):
@@ -253,6 +308,8 @@ def run_chaos(config: ChaosConfig) -> ChaosResult:
     result.false_suspicions = heartbeats.false_suspicions
     result.reconciliations = heartbeats.reconciliations
     result.recovery_times = list(namenode.recovery_times)
+    if telemetry is not None:
+        result.slo_statuses = telemetry.finish(sim.now)
     _LOG.info(
         "chaos run done: availability=%.4f lost=%d episodes=%d "
         "retries=%d rollbacks=%d",
@@ -308,4 +365,15 @@ def render_chaos(result: ChaosResult) -> str:
                if result.fsck.healthy
                else f"{len(result.fsck.violations)} violation(s)")
         )
+    if result.slo_statuses:
+        lines.append("")
+        lines.append("  SLOs:")
+        for status in result.slo_statuses:
+            lines.append(
+                f"    {status.objective.name:<28}"
+                f"{'PASS' if status.compliant else 'VIOLATED':<10}"
+                f"sli={status.overall_sli:.4f} "
+                f"target={status.objective.target:.4f} "
+                f"violation_min={status.violation_minutes:.1f}"
+            )
     return "\n".join(lines)

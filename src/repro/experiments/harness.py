@@ -34,6 +34,7 @@ from repro.dfs.policies import DefaultHdfsPolicy
 from repro.dfs.replication import TransferService
 from repro.errors import InvalidProblemError
 from repro.obs.exporters import write_snapshot
+from repro.obs.telemetry import TelemetrySession
 from repro.scheduler.capacity import MapReduceScheduler
 from repro.scheduler.delay import DelaySchedulingPolicy
 from repro.scheduler.runtime import TaskRuntimeModel
@@ -170,6 +171,7 @@ def run_experiment(
     trace: WorkloadTrace,
     config: ExperimentConfig,
     metrics_out: Optional[Path] = None,
+    telemetry: Optional[TelemetrySession] = None,
 ) -> RunResult:
     """Replay ``trace`` under ``config`` and collect the metrics.
 
@@ -183,6 +185,13 @@ def run_experiment(
     registry must already be enabled (``repro.obs.enable()``) for the
     snapshot to contain anything; this function neither enables nor
     resets it, so callers control accumulation across runs.
+
+    When ``telemetry`` is given, the session's recorder is installed on
+    this run's simulation clock (and on the Aurora period loop, if any),
+    and :meth:`~repro.obs.telemetry.TelemetrySession.finish` is called
+    after the drain so SLOs evaluate over the full run.  The session
+    resets the registry on install — don't combine with cross-run
+    accumulation.
     """
     _LOG.info(
         "run start system=%s machines=%d epsilon=%.2f seed=%d",
@@ -190,6 +199,8 @@ def run_experiment(
         config.seed,
     )
     sim = Simulation()
+    if telemetry is not None:
+        telemetry.install(sim)
     topology = config.cluster.topology()
     transfers = TransferService(
         topology,
@@ -229,6 +240,8 @@ def run_experiment(
                 rack_spread=config.rack_spread,
             ),
         )
+        if telemetry is not None:
+            aurora.telemetry = telemetry.recorder
         tokens.append(
             sim.schedule_periodic(config.period, aurora.optimize)
         )
@@ -319,6 +332,8 @@ def run_experiment(
         config.system.value, result.jobs_completed, result.jobs_submitted,
         result.remote_fraction, result.moves_completed,
     )
+    if telemetry is not None:
+        telemetry.finish(sim.now)
     if metrics_out is not None:
         write_snapshot(metrics_out)
         _LOG.info("metrics snapshot written to %s", metrics_out)

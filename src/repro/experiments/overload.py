@@ -45,6 +45,8 @@ from repro.dfs.namenode import Namenode
 from repro.dfs.policies import DefaultHdfsPolicy
 from repro.dfs.replication import TransferService
 from repro.errors import DatanodeUnavailableError, InvalidProblemError
+from repro.obs.slo import availability_slo, latency_slo, threshold_slo
+from repro.obs.telemetry import TelemetrySession
 from repro.overload import (
     OverloadConfig,
     ShedPolicy,
@@ -59,6 +61,7 @@ __all__ = [
     "run_overload_pair",
     "render_overload",
     "render_overload_pair",
+    "default_overload_slos",
 ]
 
 _LOG = logging.getLogger(__name__)
@@ -183,6 +186,13 @@ class OverloadStormResult:
     bytes_by_kind: Dict[str, int] = field(default_factory=dict)
     latencies: List[float] = field(default_factory=list)
     fsck: Optional[FsckReport] = None
+    # Evaluated SloStatus list when the run carried a TelemetrySession.
+    slo_statuses: List = field(default_factory=list)
+
+    @property
+    def slo_violation_minutes(self) -> float:
+        """Total simulated minutes any objective was out of compliance."""
+        return sum(s.violation_minutes for s in self.slo_statuses)
 
     @property
     def availability(self) -> float:
@@ -222,13 +232,49 @@ def _zipf_weights(count: int, s: float) -> List[float]:
     return [1.0 / (rank ** s) for rank in range(1, count + 1)]
 
 
-def run_overload(config: OverloadStormConfig) -> OverloadStormResult:
+def default_overload_slos(config: OverloadStormConfig) -> List:
+    """The SLO set an overload storm is judged against."""
+    window = max(config.tick * 12, 60.0)
+    return [
+        availability_slo(
+            "read-availability",
+            good_series="repro_dfs_reads_total",
+            bad_series="repro_dfs_read_errors_total",
+            target=0.99, window=window,
+            description="99% of block reads are served by some replica",
+        ),
+        latency_slo(
+            "read-latency-slo",
+            series="repro_dfs_read_latency_seconds",
+            threshold=config.slo_latency, target=0.95, window=window,
+            description=f"95% of reads finish within the "
+                        f"{config.slo_latency:.1f}s latency budget",
+        ),
+        threshold_slo(
+            "replication-queue-bounded",
+            series="repro_dfs_replication_queue_depth",
+            threshold=50.0, target=0.9, window=window,
+            description="the re-replication backlog stays bounded "
+                        "while the storm rages",
+        ),
+    ]
+
+
+def run_overload(
+    config: OverloadStormConfig,
+    telemetry: Optional[TelemetrySession] = None,
+) -> OverloadStormResult:
     """Run one seeded overload storm and collect the result.
 
     Deterministic for a given config.  The protected variant installs
     the full :mod:`repro.overload` stack; the unprotected variant runs
     the same workload against effectively unbounded queues with no
     breakers, hedging, admission control or brownout.
+
+    A :class:`~repro.obs.telemetry.TelemetrySession` adds sim-clock
+    time-series sampling, sampled causal read traces and the default
+    overload SLO set — so protected vs unprotected storms compare as
+    SLO-violation minutes, not just end-of-run aggregates.
     """
     sim = Simulation()
     topology = ClusterTopology.uniform(
@@ -254,6 +300,13 @@ def run_overload(config: OverloadStormConfig) -> OverloadStormResult:
     )
     heartbeats.start()
 
+    sampler = telemetry.sampler() if telemetry is not None else None
+    if telemetry is not None:
+        telemetry.install(sim)
+        if not telemetry.slo.objectives:
+            for objective in default_overload_slos(config):
+                telemetry.add_objective(objective)
+
     if config.protected:
         protection = install_overload_protection(namenode, OverloadConfig(
             queue_capacity=config.queue_capacity,
@@ -265,6 +318,7 @@ def run_overload(config: OverloadStormConfig) -> OverloadStormResult:
             namenode,
             breakers=protection.breakers(),
             hedge_latency_budget=config.hedge_latency_budget,
+            trace_sampler=sampler,
         )
     else:
         protection = install_overload_protection(namenode, OverloadConfig(
@@ -273,7 +327,7 @@ def run_overload(config: OverloadStormConfig) -> OverloadStormResult:
             shed_policy=ShedPolicy.REJECT,
         ))
         namenode.admission = None  # background traffic never yields
-        client = DfsClient(namenode)
+        client = DfsClient(namenode, trace_sampler=sampler)
 
     blocks: List[int] = []
     for index in range(config.num_files):
@@ -392,6 +446,8 @@ def run_overload(config: OverloadStormConfig) -> OverloadStormResult:
             report.deferred_moves for report in aurora.reports
         )
     result.fsck = run_fsck(namenode)
+    if telemetry is not None:
+        result.slo_statuses = telemetry.finish(sim.now)
     _LOG.info(
         "overload storm done: protected=%s availability=%.4f p99=%.2fs "
         "shed=%d brownout_periods=%d",
@@ -403,13 +459,26 @@ def run_overload(config: OverloadStormConfig) -> OverloadStormResult:
 
 def run_overload_pair(
     config: OverloadStormConfig,
+    telemetry: Optional[TelemetrySession] = None,
+    unprotected_telemetry: Optional[TelemetrySession] = None,
+    between: Optional[callable] = None,
 ) -> Tuple[OverloadStormResult, OverloadStormResult]:
-    """The same storm with and without protection (protected first)."""
+    """The same storm with and without protection (protected first).
+
+    Each leg takes its own session (installing a session resets the
+    shared registry/tracer, so one session cannot span both legs);
+    ``between`` runs after the protected leg — the CLI uses it to write
+    the protected leg's telemetry before the second install clears the
+    span buffer.
+    """
     protected = run_overload(
-        dataclasses.replace(config, protected=True)
+        dataclasses.replace(config, protected=True), telemetry=telemetry
     )
+    if between is not None:
+        between()
     unprotected = run_overload(
-        dataclasses.replace(config, protected=False)
+        dataclasses.replace(config, protected=False),
+        telemetry=unprotected_telemetry,
     )
     return protected, unprotected
 
@@ -463,6 +532,17 @@ def render_overload(result: OverloadStormResult) -> str:
                if result.fsck.healthy
                else f"{len(result.fsck.violations)} violation(s)")
         )
+    if result.slo_statuses:
+        lines.append("")
+        lines.append("  SLOs:")
+        for status in result.slo_statuses:
+            lines.append(
+                f"    {status.objective.name:<28}"
+                f"{'PASS' if status.compliant else 'VIOLATED':<10}"
+                f"sli={status.overall_sli:.4f} "
+                f"target={status.objective.target:.4f} "
+                f"violation_min={status.violation_minutes:.1f}"
+            )
     return "\n".join(lines)
 
 
@@ -488,6 +568,12 @@ def render_overload_pair(
         ("migrations deferred", str(protected.migrations_deferred),
          str(unprotected.migrations_deferred)),
     ]
+    if protected.slo_statuses or unprotected.slo_statuses:
+        rows.append((
+            "SLO violation minutes",
+            f"{protected.slo_violation_minutes:.1f}",
+            f"{unprotected.slo_violation_minutes:.1f}",
+        ))
     config = protected.config
     lines = [
         f"overload comparison at {config.load_multiplier:.2f}x capacity "

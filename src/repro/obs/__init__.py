@@ -9,6 +9,12 @@ per-period operation count ``K`` — flow through this package:
 * :mod:`repro.obs.tracer` — ring-buffered spans via
   ``with trace("aurora.period", ...) as span``;
 * :mod:`repro.obs.exporters` — Prometheus text and JSON snapshots;
+* :mod:`repro.obs.timeseries` — sim-clock sampled ``(t, value)`` series;
+* :mod:`repro.obs.tracing` — causal trace assembly and critical paths;
+* :mod:`repro.obs.slo` — declarative SLOs with error-budget burn;
+* :mod:`repro.obs.telemetry` — one run's pipeline, saved as a directory;
+* :mod:`repro.obs.report` — the HTML/markdown dashboard renderers;
+* :mod:`repro.obs.gate` — metrics-snapshot regression gating;
 * :mod:`repro.obs.logging_setup` — structured ``key=value`` logging.
 
 Both the registry and the tracer start **disabled** so the instrumented
@@ -37,7 +43,18 @@ from repro.obs.registry import (
     get_registry,
     metrics_enabled,
 )
+from repro.obs.slo import (
+    SloEngine,
+    SloObjective,
+    SloStatus,
+    availability_slo,
+    latency_slo,
+    threshold_slo,
+)
+from repro.obs.telemetry import TelemetryBundle, TelemetrySession
+from repro.obs.timeseries import TimeSeries, TimeSeriesRecorder
 from repro.obs.tracer import Span, Tracer, get_tracer, trace
+from repro.obs.tracing import Trace, TraceSampler, assemble_traces, format_trace
 
 __all__ = [
     "Counter",
@@ -53,6 +70,20 @@ __all__ = [
     "Tracer",
     "get_tracer",
     "trace",
+    "Trace",
+    "TraceSampler",
+    "assemble_traces",
+    "format_trace",
+    "TimeSeries",
+    "TimeSeriesRecorder",
+    "SloEngine",
+    "SloObjective",
+    "SloStatus",
+    "availability_slo",
+    "latency_slo",
+    "threshold_slo",
+    "TelemetrySession",
+    "TelemetryBundle",
     "to_prometheus_text",
     "to_json",
     "snapshot_dict",

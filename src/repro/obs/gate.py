@@ -1,0 +1,202 @@
+"""Metrics-snapshot regression gate with tolerance bands.
+
+:func:`summarize_telemetry` collapses a telemetry directory into a flat
+``{key: value}`` summary built only from *deterministic* quantities —
+simulated-clock totals, final gauge values and windowed-histogram
+percentiles.  Wall-clock durations never enter the summary, so the same
+seed always produces the same numbers on any machine.
+
+:func:`compare` checks a fresh summary against a committed baseline
+(``benchmarks/baselines/``), allowing each key a relative tolerance
+band; :func:`check_bundle` is the one-call wrapper the benchmark test
+uses.  A violation means an instrumented quick run now behaves
+measurably differently from the run that produced the baseline —
+latency inflation, error-rate shifts or lost samples show up here
+before anyone stares at a dashboard.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional
+
+from repro.obs.telemetry import TelemetryBundle
+from repro.obs.timeseries import TimeSeries, bucket_percentile
+
+__all__ = [
+    "GateViolation",
+    "summarize_telemetry",
+    "compare",
+    "check_bundle",
+    "load_baseline",
+    "load_tolerances",
+    "write_baseline",
+]
+
+# Default relative tolerance when no band matches a key.  Generous on
+# purpose: the gate exists to catch 2x-style regressions, not noise.
+DEFAULT_TOLERANCE = 0.25
+
+# Absolute slack for near-zero baselines, where relative bands are
+# meaningless (a 0 -> 0.4 error count should not trip a 25% band).
+ABSOLUTE_FLOOR = 1.0
+
+
+@dataclass
+class GateViolation:
+    """One summary key that left its tolerance band."""
+
+    key: str
+    baseline: float
+    actual: float
+    allowed: float     # the relative tolerance applied
+
+    @property
+    def relative_delta(self) -> float:
+        """|actual - baseline| / |baseline| (inf for a zero baseline)."""
+        if self.baseline == 0:
+            return float("inf") if self.actual else 0.0
+        return abs(self.actual - self.baseline) / abs(self.baseline)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.key}: baseline {self.baseline:.6g}, "
+            f"got {self.actual:.6g} "
+            f"(delta {self.relative_delta * 100:.1f}%, "
+            f"allowed {self.allowed * 100:.0f}%)"
+        )
+
+
+def _series_stats(series: TimeSeries) -> Dict[str, float]:
+    """Deterministic scalars for one series."""
+    stats: Dict[str, float] = {}
+    points = series.points()
+    if not points:
+        return stats
+    if series.kind == "counter":
+        stats["total"] = float(points[-1][1])  # type: ignore[arg-type]
+        return stats
+    if series.kind == "histogram":
+        last = points[-1][1]
+        stats["count"] = float(last.count)  # type: ignore[union-attr]
+        if last.count:  # type: ignore[union-attr]
+            stats["mean"] = last.sum / last.count  # type: ignore[union-attr]
+            stats["p50"] = bucket_percentile(
+                series.bucket_bounds, last, 50.0  # type: ignore[arg-type]
+            )
+            stats["p99"] = bucket_percentile(
+                series.bucket_bounds, last, 99.0  # type: ignore[arg-type]
+            )
+        return stats
+    values = [float(v) for _, v in points]  # type: ignore[arg-type]
+    stats["max"] = max(values)
+    stats["last"] = values[-1]
+    return stats
+
+
+def summarize_telemetry(bundle: TelemetryBundle) -> Dict[str, float]:
+    """Flatten a bundle into deterministic ``{key: value}`` stats."""
+    summary: Dict[str, float] = {}
+    start, end = bundle.recorder.span()
+    summary["run/sim_span"] = end - start
+    summary["run/samples_taken"] = float(
+        bundle.meta.get("samples_taken", 0)
+    )
+    for (name, labels), series in sorted(bundle.recorder.series.items()):
+        leaf = f"{name}{{{labels}}}" if labels else name
+        for stat, value in _series_stats(series).items():
+            summary[f"{leaf}/{stat}"] = value
+    for status in bundle.statuses:
+        prefix = f"slo/{status.objective.name}"
+        summary[f"{prefix}/overall_sli"] = status.overall_sli
+        summary[f"{prefix}/violation_minutes"] = status.violation_minutes
+    return summary
+
+
+def compare(
+    summary: Mapping[str, float],
+    baseline: Mapping[str, float],
+    tolerances: Optional[Mapping[str, float]] = None,
+    default_tolerance: float = DEFAULT_TOLERANCE,
+    absolute_floor: float = ABSOLUTE_FLOOR,
+) -> List[GateViolation]:
+    """Every baseline key whose fresh value left its tolerance band.
+
+    ``tolerances`` maps key *prefixes* to relative bands; the longest
+    matching prefix wins.  Keys present only in the fresh summary are
+    ignored (new metrics are not regressions); keys missing from the
+    fresh summary violate with ``actual=0`` (a series that stopped
+    being recorded is exactly what the gate is for).  Deviations within
+    ``absolute_floor`` of the baseline never violate, so near-zero
+    counts don't trip relative bands.
+    """
+    tolerances = tolerances or {}
+    violations: List[GateViolation] = []
+    for key in sorted(baseline):
+        expected = float(baseline[key])
+        actual = float(summary.get(key, 0.0))
+        allowed = default_tolerance
+        best_len = -1
+        for prefix, band in tolerances.items():
+            if key.startswith(prefix) and len(prefix) > best_len:
+                allowed = float(band)
+                best_len = len(prefix)
+        if abs(actual - expected) <= absolute_floor:
+            continue
+        if expected == 0:
+            violations.append(GateViolation(key, expected, actual, allowed))
+            continue
+        if abs(actual - expected) / abs(expected) > allowed:
+            violations.append(GateViolation(key, expected, actual, allowed))
+    return violations
+
+
+def load_baseline(path: Path) -> Dict[str, float]:
+    """Read a committed baseline file (summary + optional tolerances)."""
+    raw = json.loads(Path(path).read_text(encoding="utf-8"))
+    return {k: float(v) for k, v in raw.get("summary", raw).items()}
+
+
+def load_tolerances(path: Path) -> Dict[str, float]:
+    """The tolerance bands stored alongside a baseline (may be empty)."""
+    raw = json.loads(Path(path).read_text(encoding="utf-8"))
+    if isinstance(raw, dict) and "tolerances" in raw:
+        return {k: float(v) for k, v in raw["tolerances"].items()}
+    return {}
+
+
+def write_baseline(
+    path: Path,
+    summary: Mapping[str, float],
+    tolerances: Optional[Mapping[str, float]] = None,
+    note: str = "",
+) -> Path:
+    """Write a baseline file the gate can compare against later."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "note": note,
+        "summary": {k: summary[k] for k in sorted(summary)},
+        "tolerances": dict(tolerances or {}),
+    }
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+def check_bundle(
+    bundle: TelemetryBundle,
+    baseline_path: Path,
+    default_tolerance: float = DEFAULT_TOLERANCE,
+) -> List[GateViolation]:
+    """Summarize ``bundle`` and compare against a committed baseline."""
+    baseline = load_baseline(baseline_path)
+    tolerances = load_tolerances(baseline_path)
+    return compare(
+        summarize_telemetry(bundle), baseline, tolerances,
+        default_tolerance=default_tolerance,
+    )

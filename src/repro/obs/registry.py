@@ -23,7 +23,9 @@ flush once per run (see ``repro.core.local_search``).
 
 from __future__ import annotations
 
+import ast
 import math
+import re
 import threading
 from bisect import bisect_left
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
@@ -55,6 +57,12 @@ _LabelKey = Tuple[str, ...]
 def _format_labels(labelnames: Sequence[str], values: _LabelKey) -> str:
     pairs = ", ".join(f"{k}={v!r}" for k, v in zip(labelnames, values))
     return "{" + pairs + "}"
+
+
+# One name=<repr'd string> pair inside a rendered label string.
+_LABEL_PAIR = re.compile(
+    r"(\w+)=('(?:[^'\\]|\\.)*'|\"(?:[^\"\\]|\\.)*\")"
+)
 
 
 class _MetricBase:
@@ -535,12 +543,16 @@ def metrics_enabled() -> bool:
 
 
 def _labels_from_string(labelnames: Sequence[str], rendered: str) -> Mapping[str, str]:
-    """Inverse of the snapshot label rendering (test helper)."""
+    """Inverse of the snapshot label rendering.
+
+    Values are rendered with ``repr`` (label values are always strings),
+    so each is a quoted Python literal; matching the literal and
+    ``literal_eval``-ing it survives embedded quotes, backslashes,
+    newlines and commas.
+    """
     if not rendered:
         return {}
-    body = rendered.strip("{}")
     out = {}
-    for part in body.split(", "):
-        key, _, value = part.partition("=")
-        out[key] = value.strip("'")
+    for name, literal in _LABEL_PAIR.findall(rendered):
+        out[name] = ast.literal_eval(literal)
     return out

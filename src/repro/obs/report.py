@@ -1,0 +1,305 @@
+"""Render a telemetry directory as a dashboard (HTML + markdown).
+
+``repro report`` feeds a :class:`~repro.obs.telemetry.TelemetryBundle`
+through :func:`render_html` / :func:`render_markdown`:
+
+* **time-series panels** — inline-SVG sparklines, one per selected
+  series; counters are plotted as per-second rates, gauges as values,
+  histograms as per-interval p99.  Panel selection prefers the
+  request-path series every run cares about, then falls back to the
+  most active remaining series;
+* **SLO burn table** — objective, overall SLI vs target, error-budget
+  consumed, burn rate, violated windows and violation minutes;
+* **slowest traces** — top-N assembled causal traces with their
+  critical path spelled out span by span.
+
+The HTML is fully self-contained — inline CSS, inline SVG, no script,
+no external fetches — so it can be committed, attached to CI artifacts
+and opened from anywhere.
+"""
+
+from __future__ import annotations
+
+import html as _html
+from typing import List, Sequence, Tuple
+
+from repro.obs.slo import SloStatus
+from repro.obs.telemetry import TelemetryBundle
+from repro.obs.timeseries import TimeSeries, bucket_percentile
+from repro.obs.tracing import format_trace
+
+__all__ = ["render_markdown", "render_html", "sparkline_svg",
+           "select_panels"]
+
+# Request-path series shown first whenever they carry data; everything
+# else competes on activity.
+_PREFERRED = (
+    "repro_dfs_reads_total",
+    "repro_dfs_read_latency_seconds",
+    "repro_dfs_read_errors_total",
+    "repro_dfs_read_failovers_total",
+    "repro_dfs_under_replicated_blocks",
+    "repro_dfs_replication_queue_depth",
+    "repro_dfs_transfer_bytes_total",
+    "repro_aurora_cost",
+    "repro_overload_queue_shed_total",
+)
+
+
+def _panel_points(series: TimeSeries) -> List[Tuple[float, float]]:
+    """The plottable (t, y) points for one series, per its kind."""
+    if series.kind == "counter":
+        return series.rates()
+    if series.kind == "histogram":
+        out: List[Tuple[float, float]] = []
+        times = series.times()
+        for t0, t1 in zip(times, times[1:]):
+            window = series.window_histogram(t0, t1)
+            if window is None or window.count == 0:
+                out.append((t1, 0.0))
+            else:
+                out.append((t1, bucket_percentile(
+                    series.bucket_bounds, window, 99.0
+                )))
+        return out
+    return [(t, float(v)) for t, v in series.points()]  # type: ignore[arg-type]
+
+
+def _panel_label(series: TimeSeries) -> str:
+    suffix = {"counter": "rate/s", "histogram": "p99"}.get(series.kind, "")
+    labels = f"{{{series.labels}}}" if series.labels else ""
+    return f"{series.name}{labels}" + (f" ({suffix})" if suffix else "")
+
+
+def select_panels(
+    bundle: TelemetryBundle, limit: int = 12
+) -> List[Tuple[str, List[Tuple[float, float]]]]:
+    """Pick and prepare up to ``limit`` sparkline panels."""
+    chosen: List[Tuple[str, List[Tuple[float, float]]]] = []
+    seen = set()
+
+    def consider(series: TimeSeries) -> None:
+        key = (series.name, series.labels)
+        if key in seen or len(chosen) >= limit:
+            return
+        points = _panel_points(series)
+        if len(points) < 2 or all(y == 0.0 for _, y in points):
+            return
+        seen.add(key)
+        chosen.append((_panel_label(series), points))
+
+    for name in _PREFERRED:
+        for series in bundle.recorder.matching(name):
+            consider(series)
+    # Fall back to the most active remaining series (by nonzero points).
+    remaining = sorted(
+        bundle.recorder.series.values(),
+        key=lambda s: -sum(1 for _, y in _panel_points(s) if y != 0.0),
+    )
+    for series in remaining:
+        consider(series)
+    return chosen
+
+
+def sparkline_svg(points: Sequence[Tuple[float, float]],
+                  width: int = 260, height: int = 48) -> str:
+    """A minimal inline-SVG sparkline for one series."""
+    if not points:
+        return f'<svg width="{width}" height="{height}"></svg>'
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x0, x1 = min(xs), max(xs)
+    y0, y1 = min(ys), max(ys)
+    xspan = (x1 - x0) or 1.0
+    yspan = (y1 - y0) or 1.0
+    pad = 3
+
+    def sx(x: float) -> float:
+        return pad + (x - x0) / xspan * (width - 2 * pad)
+
+    def sy(y: float) -> float:
+        return height - pad - (y - y0) / yspan * (height - 2 * pad)
+
+    rendered = " ".join(f"{sx(x):.1f},{sy(y):.1f}" for x, y in points)
+    last_x, last_y = points[-1]
+    return (
+        f'<svg width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}" role="img">'
+        f'<polyline points="{rendered}" fill="none" '
+        f'stroke="#2a6fb0" stroke-width="1.5"/>'
+        f'<circle cx="{sx(last_x):.1f}" cy="{sy(last_y):.1f}" r="2.2" '
+        f'fill="#c0392b"/>'
+        "</svg>"
+    )
+
+
+def _fmt(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000 or abs(value) < 0.01:
+        return f"{value:.3g}"
+    return f"{value:.3f}".rstrip("0").rstrip(".")
+
+
+def _slo_rows(statuses: Sequence[SloStatus]) -> List[Tuple[str, ...]]:
+    rows = []
+    for status in statuses:
+        obj = status.objective
+        rows.append((
+            obj.name,
+            "PASS" if status.compliant else "VIOLATED",
+            f"{status.overall_sli:.4f}",
+            f"{obj.target:.4f}",
+            f"{status.budget_consumed * 100:.1f}%",
+            f"{status.burn_rate:.2f}x",
+            f"{status.windows_violated}/{len(status.windows)}",
+            f"{status.violation_minutes:.1f}",
+        ))
+    return rows
+
+
+_SLO_HEADER = ("objective", "state", "SLI", "target", "budget used",
+               "burn rate", "windows violated", "violation min")
+
+
+def render_markdown(bundle: TelemetryBundle, top_traces: int = 5) -> str:
+    """The dashboard as GitHub-flavored markdown."""
+    meta = bundle.meta
+    lines = [
+        f"# Telemetry report: {meta.get('label', 'run')}",
+        "",
+        f"- seed: {meta.get('seed', '?')}",
+        f"- simulated span: {_fmt(float(meta.get('sim_start', 0.0)))}s "
+        f"– {_fmt(float(meta.get('sim_end', 0.0)))}s",
+        f"- samples: {meta.get('samples_taken', 0)}, "
+        f"spans recorded: {meta.get('spans_recorded', 0)}, "
+        f"trace sample rate: {meta.get('trace_sample_rate', 0)}",
+        "",
+        "## SLO burn",
+        "",
+    ]
+    rows = _slo_rows(bundle.statuses)
+    if rows:
+        lines.append("| " + " | ".join(_SLO_HEADER) + " |")
+        lines.append("|" + "---|" * len(_SLO_HEADER))
+        for row in rows:
+            lines.append("| " + " | ".join(row) + " |")
+    else:
+        lines.append("_no objectives evaluated_")
+    lines += ["", "## Time series", ""]
+    panels = select_panels(bundle)
+    if panels:
+        for label, points in panels:
+            ys = [y for _, y in points]
+            lines.append(
+                f"- `{label}`: {len(points)} points, "
+                f"min {_fmt(min(ys))}, max {_fmt(max(ys))}, "
+                f"last {_fmt(ys[-1])}"
+            )
+    else:
+        lines.append("_no series recorded_")
+    lines += ["", f"## Slowest traces (top {top_traces})", ""]
+    traces = bundle.traces()[:top_traces]
+    if traces:
+        for trace in traces:
+            lines.append("```")
+            lines.append(format_trace(trace))
+            lines.append("critical path: " + " -> ".join(
+                f"{node.name} ({_fmt(node.busy_seconds)}s)"
+                for node in trace.critical_path()
+            ))
+            lines.append("```")
+            lines.append("")
+    else:
+        lines.append("_no traces captured_")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2rem auto; max-width: 70rem; color: #222; }
+h1, h2 { font-weight: 600; }
+table { border-collapse: collapse; margin: 0.5rem 0 1.5rem; }
+th, td { border: 1px solid #ccc; padding: 0.3rem 0.6rem;
+         font-size: 0.85rem; text-align: left; }
+th { background: #f2f4f7; }
+.pass { color: #1e7b34; font-weight: 600; }
+.violated { color: #c0392b; font-weight: 600; }
+.panels { display: flex; flex-wrap: wrap; gap: 1rem; }
+.panel { border: 1px solid #ddd; border-radius: 6px; padding: 0.6rem;
+         width: 280px; }
+.panel .name { font-size: 0.72rem; font-family: monospace;
+               color: #444; word-break: break-all; }
+.panel .stats { font-size: 0.7rem; color: #777; }
+pre.trace { background: #f7f8fa; border: 1px solid #ddd;
+            border-radius: 6px; padding: 0.8rem; font-size: 0.78rem;
+            overflow-x: auto; }
+.meta { color: #666; font-size: 0.85rem; }
+.critical { color: #c0392b; }
+"""
+
+
+def render_html(bundle: TelemetryBundle, top_traces: int = 5) -> str:
+    """The dashboard as one self-contained HTML document."""
+    meta = bundle.meta
+    esc = _html.escape
+    parts: List[str] = [
+        "<!DOCTYPE html>",
+        "<html lang=\"en\"><head><meta charset=\"utf-8\">",
+        f"<title>Telemetry: {esc(str(meta.get('label', 'run')))}</title>",
+        f"<style>{_CSS}</style></head><body>",
+        f"<h1>Telemetry report: {esc(str(meta.get('label', 'run')))}</h1>",
+        "<p class=\"meta\">"
+        f"seed {esc(str(meta.get('seed', '?')))} · "
+        f"simulated span {_fmt(float(meta.get('sim_start', 0.0)))}s – "
+        f"{_fmt(float(meta.get('sim_end', 0.0)))}s · "
+        f"{meta.get('samples_taken', 0)} samples · "
+        f"{meta.get('spans_recorded', 0)} spans · "
+        f"trace rate {meta.get('trace_sample_rate', 0)}"
+        "</p>",
+        "<h2>SLO burn</h2>",
+    ]
+    rows = _slo_rows(bundle.statuses)
+    if rows:
+        parts.append("<table id=\"slo\"><thead><tr>")
+        parts.extend(f"<th>{esc(h)}</th>" for h in _SLO_HEADER)
+        parts.append("</tr></thead><tbody>")
+        for row in rows:
+            state_class = "pass" if row[1] == "PASS" else "violated"
+            cells = [f"<td>{esc(row[0])}</td>",
+                     f"<td class=\"{state_class}\">{esc(row[1])}</td>"]
+            cells.extend(f"<td>{esc(cell)}</td>" for cell in row[2:])
+            parts.append("<tr>" + "".join(cells) + "</tr>")
+        parts.append("</tbody></table>")
+    else:
+        parts.append("<p><em>no objectives evaluated</em></p>")
+    parts.append("<h2>Time series</h2><div class=\"panels\">")
+    panels = select_panels(bundle)
+    for label, points in panels:
+        ys = [y for _, y in points]
+        parts.append(
+            "<div class=\"panel\">"
+            f"<div class=\"name\">{esc(label)}</div>"
+            f"{sparkline_svg(points)}"
+            f"<div class=\"stats\">min {_fmt(min(ys))} · "
+            f"max {_fmt(max(ys))} · last {_fmt(ys[-1])}</div>"
+            "</div>"
+        )
+    if not panels:
+        parts.append("<p><em>no series recorded</em></p>")
+    parts.append("</div>")
+    parts.append(f"<h2>Slowest traces (top {top_traces})</h2>")
+    traces = bundle.traces()[:top_traces]
+    for trace in traces:
+        path = " &rarr; ".join(
+            f"{esc(node.name)} ({_fmt(node.busy_seconds)}s)"
+            for node in trace.critical_path()
+        )
+        parts.append(
+            f"<pre class=\"trace\">{esc(format_trace(trace))}\n"
+            f"<span class=\"critical\">critical path: </span>{path}</pre>"
+        )
+    if not traces:
+        parts.append("<p><em>no traces captured</em></p>")
+    parts.append("</body></html>")
+    return "\n".join(parts) + "\n"

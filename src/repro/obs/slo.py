@@ -1,0 +1,329 @@
+"""Declarative SLOs evaluated over sliding sim-time windows.
+
+An :class:`SloObjective` states a promise about behavior — "99.9% of
+reads succeed", "p99 read latency stays under 5s", "under-replication
+episodes repair within 10 minutes" — and the :class:`SloEngine` checks
+it against the :class:`~repro.obs.timeseries.TimeSeriesRecorder`'s
+series, window by window.  Three SLI shapes cover the stack:
+
+* ``ratio`` — good events / (good + bad) from two counter series'
+  per-window deltas (the classic request-success SLI);
+* ``latency`` — the fraction of a histogram series' windowed
+  observations at or below a threshold (and the windowed percentile,
+  reported alongside);
+* ``threshold`` — a gauge series whose per-window maximum must stay at
+  or below a bound (queue depth, under-replicated blocks).
+
+Each objective yields an :class:`SloStatus` with per-window compliance,
+**violation minutes** (simulated), the fraction of the error budget
+consumed, and the **burn rate** — budget consumed relative to what a
+run of this length is allowed to burn; a burn rate above 1.0 means the
+objective fails if the run's behavior continues.  Chaos and overload
+storms attach these to their reports so a protection mechanism's value
+shows up as avoided violation minutes, not just end-of-run aggregates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from repro.errors import MetricsError
+from repro.obs.timeseries import (
+    TimeSeriesRecorder,
+    bucket_fraction_below,
+    bucket_percentile,
+)
+
+__all__ = [
+    "SloObjective",
+    "SloWindow",
+    "SloStatus",
+    "SloEngine",
+    "availability_slo",
+    "latency_slo",
+    "threshold_slo",
+]
+
+_KINDS = ("ratio", "latency", "threshold")
+
+
+@dataclass(frozen=True)
+class SloObjective:
+    """One declarative objective over recorded time series.
+
+    ``target`` is the compliance goal in [0, 1]: for ``ratio`` the
+    minimum good fraction per window, for ``latency`` the minimum
+    fraction of observations under ``threshold``, for ``threshold``
+    the minimum fraction of windows whose max stays under the bound
+    (each window is then simply compliant/violating).  ``window`` is
+    the evaluation window in simulated seconds.
+    """
+
+    name: str
+    kind: str
+    target: float
+    window: float
+    description: str = ""
+    # ratio: the two counter series (deltas summed across labels).
+    good_series: str = ""
+    bad_series: str = ""
+    # latency: the histogram series, threshold and reported percentile.
+    series: str = ""
+    threshold: float = 0.0
+    percentile: float = 99.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise MetricsError(f"unknown SLO kind {self.kind!r}")
+        if not 0.0 < self.target <= 1.0:
+            raise MetricsError("SLO target must be in (0, 1]")
+        if self.window <= 0:
+            raise MetricsError("SLO window must be positive")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "target": self.target,
+            "window": self.window,
+            "description": self.description,
+            "good_series": self.good_series,
+            "bad_series": self.bad_series,
+            "series": self.series,
+            "threshold": self.threshold,
+            "percentile": self.percentile,
+        }
+
+    @staticmethod
+    def from_dict(raw: Mapping[str, object]) -> "SloObjective":
+        return SloObjective(
+            name=str(raw["name"]),
+            kind=str(raw["kind"]),
+            target=float(raw["target"]),  # type: ignore[arg-type]
+            window=float(raw["window"]),  # type: ignore[arg-type]
+            description=str(raw.get("description", "")),
+            good_series=str(raw.get("good_series", "")),
+            bad_series=str(raw.get("bad_series", "")),
+            series=str(raw.get("series", "")),
+            threshold=float(raw.get("threshold", 0.0)),  # type: ignore[arg-type]
+            percentile=float(raw.get("percentile", 99.0)),  # type: ignore[arg-type]
+        )
+
+
+def availability_slo(name: str, good_series: str, bad_series: str,
+                     target: float = 0.999, window: float = 60.0,
+                     description: str = "") -> SloObjective:
+    """A ratio SLI: good / (good + bad) per window must reach ``target``."""
+    return SloObjective(
+        name=name, kind="ratio", target=target, window=window,
+        good_series=good_series, bad_series=bad_series,
+        description=description,
+    )
+
+
+def latency_slo(name: str, series: str, threshold: float,
+                target: float = 0.99, window: float = 60.0,
+                percentile: float = 99.0,
+                description: str = "") -> SloObjective:
+    """A latency SLI over a histogram series: P(x <= threshold) >= target."""
+    return SloObjective(
+        name=name, kind="latency", target=target, window=window,
+        series=series, threshold=threshold, percentile=percentile,
+        description=description,
+    )
+
+
+def threshold_slo(name: str, series: str, threshold: float,
+                  target: float = 0.95, window: float = 60.0,
+                  description: str = "") -> SloObjective:
+    """A gauge bound: the window max must stay at or below ``threshold``."""
+    return SloObjective(
+        name=name, kind="threshold", target=target, window=window,
+        series=series, threshold=threshold, description=description,
+    )
+
+
+@dataclass
+class SloWindow:
+    """One evaluated window of one objective."""
+
+    start: float
+    end: float
+    sli: float            # the measured good fraction / compliance value
+    compliant: bool
+    good: float = 0.0     # events meeting the objective (ratio/latency)
+    total: float = 0.0    # events observed in the window
+    detail: float = 0.0   # latency: windowed percentile; threshold: max
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "start": self.start, "end": self.end, "sli": self.sli,
+            "compliant": self.compliant, "good": self.good,
+            "total": self.total, "detail": self.detail,
+        }
+
+
+@dataclass
+class SloStatus:
+    """The verdict on one objective over a full run."""
+
+    objective: SloObjective
+    windows: List[SloWindow] = field(default_factory=list)
+    overall_sli: float = 1.0
+    budget_consumed: float = 0.0   # fraction of the error budget burned
+    burn_rate: float = 0.0         # >1.0 = violating at steady state
+
+    @property
+    def windows_violated(self) -> int:
+        """Windows that missed the objective."""
+        return sum(1 for w in self.windows if not w.compliant)
+
+    @property
+    def violation_minutes(self) -> float:
+        """Simulated minutes spent out of compliance."""
+        return sum(
+            (w.end - w.start) for w in self.windows if not w.compliant
+        ) / 60.0
+
+    @property
+    def compliant(self) -> bool:
+        """Whether the run as a whole met the objective."""
+        return self.overall_sli >= self.objective.target
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "objective": self.objective.to_dict(),
+            "windows": [w.to_dict() for w in self.windows],
+            "overall_sli": self.overall_sli,
+            "budget_consumed": self.budget_consumed,
+            "burn_rate": self.burn_rate,
+            "windows_violated": self.windows_violated,
+            "violation_minutes": self.violation_minutes,
+            "compliant": self.compliant,
+        }
+
+    @staticmethod
+    def from_dict(raw: Mapping[str, object]) -> "SloStatus":
+        status = SloStatus(
+            objective=SloObjective.from_dict(raw["objective"]),  # type: ignore[arg-type]
+            overall_sli=float(raw.get("overall_sli", 1.0)),  # type: ignore[arg-type]
+            budget_consumed=float(raw.get("budget_consumed", 0.0)),  # type: ignore[arg-type]
+            burn_rate=float(raw.get("burn_rate", 0.0)),  # type: ignore[arg-type]
+        )
+        for w in raw.get("windows", []):  # type: ignore[union-attr]
+            status.windows.append(SloWindow(
+                start=float(w["start"]), end=float(w["end"]),
+                sli=float(w["sli"]), compliant=bool(w["compliant"]),
+                good=float(w.get("good", 0.0)),
+                total=float(w.get("total", 0.0)),
+                detail=float(w.get("detail", 0.0)),
+            ))
+        return status
+
+
+class SloEngine:
+    """Evaluates registered objectives against a recorder's series."""
+
+    def __init__(self, recorder: TimeSeriesRecorder) -> None:
+        self.recorder = recorder
+        self.objectives: List[SloObjective] = []
+
+    def add(self, objective: SloObjective) -> SloObjective:
+        """Register one objective (returned for chaining)."""
+        self.objectives.append(objective)
+        return objective
+
+    def evaluate(self, start: Optional[float] = None,
+                 end: Optional[float] = None) -> List[SloStatus]:
+        """Evaluate every objective over ``[start, end]`` sim time.
+
+        Defaults to the recorder's full sampled span.  Windows are
+        aligned to ``start``; a trailing partial window is evaluated
+        over its actual duration.
+        """
+        span_start, span_end = self.recorder.span()
+        start = span_start if start is None else start
+        end = span_end if end is None else end
+        return [
+            self._evaluate_one(obj, start, end) for obj in self.objectives
+        ]
+
+    def _evaluate_one(self, objective: SloObjective, start: float,
+                      end: float) -> SloStatus:
+        status = SloStatus(objective=objective)
+        if end <= start:
+            return status
+        t0 = start
+        while t0 < end:
+            t1 = min(t0 + objective.window, end)
+            status.windows.append(self._window(objective, t0, t1))
+            t0 = t1
+        self._totals(objective, status, start, end)
+        return status
+
+    def _window(self, objective: SloObjective, t0: float,
+                t1: float) -> SloWindow:
+        if objective.kind == "ratio":
+            good = self.recorder.summed_delta(objective.good_series, t0, t1)
+            bad = self.recorder.summed_delta(objective.bad_series, t0, t1)
+            total = good + bad
+            sli = good / total if total > 0 else 1.0
+            return SloWindow(
+                start=t0, end=t1, sli=sli,
+                compliant=sli >= objective.target,
+                good=good, total=total,
+            )
+        if objective.kind == "latency":
+            series = self.recorder.get(objective.series)
+            window = (
+                series.window_histogram(t0, t1)
+                if series is not None else None
+            )
+            if window is None or window.count == 0:
+                return SloWindow(start=t0, end=t1, sli=1.0, compliant=True)
+            bounds = series.bucket_bounds  # type: ignore[union-attr]
+            sli = bucket_fraction_below(bounds, window, objective.threshold)
+            detail = bucket_percentile(bounds, window, objective.percentile)
+            return SloWindow(
+                start=t0, end=t1, sli=sli,
+                compliant=sli >= objective.target,
+                good=sli * window.count, total=float(window.count),
+                detail=detail,
+            )
+        # threshold: the window max of a gauge must stay under the bound.
+        peak = 0.0
+        for series in self.recorder.matching(objective.series):
+            for t, v in series.points():
+                if t0 < t <= t1:
+                    peak = max(peak, float(v))  # type: ignore[arg-type]
+        compliant = peak <= objective.threshold
+        return SloWindow(
+            start=t0, end=t1, sli=1.0 if compliant else 0.0,
+            compliant=compliant, detail=peak,
+        )
+
+    @staticmethod
+    def _totals(objective: SloObjective, status: SloStatus,
+                start: float, end: float) -> None:
+        """Overall SLI, budget burn and burn rate from the windows."""
+        good = sum(w.good for w in status.windows)
+        total = sum(w.total for w in status.windows)
+        if objective.kind == "threshold" or total <= 0:
+            # Event-free SLIs fall back to time-based compliance.
+            compliant_time = sum(
+                w.end - w.start for w in status.windows if w.compliant
+            )
+            span = end - start
+            status.overall_sli = compliant_time / span if span > 0 else 1.0
+        else:
+            status.overall_sli = good / total
+        allowed = 1.0 - objective.target
+        bad_fraction = 1.0 - status.overall_sli
+        if allowed <= 0:
+            status.budget_consumed = 0.0 if bad_fraction <= 0 else 1.0
+        else:
+            status.budget_consumed = min(10.0, bad_fraction / allowed)
+        # Burn rate: over a fixed-length run the full budget maps to the
+        # whole span, so consumed/1.0 is also the steady-state burn.
+        status.burn_rate = status.budget_consumed

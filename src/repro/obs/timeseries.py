@@ -1,0 +1,431 @@
+"""Simulation-clock time series sampled from the metrics registry.
+
+The registry (:mod:`repro.obs.registry`) answers "what are the totals
+now"; this module answers "*when* during the run did they move".  A
+:class:`TimeSeriesRecorder` samples every registered metric on a
+simulated-clock cadence — installed as a periodic event on the DES
+engine via :meth:`TimeSeriesRecorder.install`, or driven explicitly
+from period boundaries (``AuroraSystem.telemetry``) — and keeps one
+ring-buffered :class:`TimeSeries` of ``(sim_time, value)`` points per
+metric leaf:
+
+* **counters** store the raw cumulative total; :meth:`TimeSeries.rates`
+  derives the per-second rate between consecutive samples and
+  :meth:`TimeSeries.delta` the increase over a window;
+* **gauges** store the instantaneous value;
+* **histograms** store ``(count, sum, cumulative bucket counts)`` per
+  sample, which is enough to reconstruct *windowed* distributions —
+  per-window percentiles and threshold-compliance fractions — by
+  differencing two samples (see :func:`bucket_percentile` and the SLO
+  engine built on it).
+
+Everything is pure python and JSON round-trippable so a run's telemetry
+can be written to disk and rendered later by ``repro report``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import MetricsError
+from repro.obs.registry import Histogram, MetricsRegistry, get_registry
+
+__all__ = [
+    "TimeSeries",
+    "HistogramSample",
+    "TimeSeriesRecorder",
+    "bucket_percentile",
+    "bucket_fraction_below",
+]
+
+
+class HistogramSample:
+    """One histogram observation point: totals plus cumulative buckets."""
+
+    __slots__ = ("count", "sum", "buckets")
+
+    def __init__(self, count: int, total: float,
+                 buckets: Tuple[int, ...]) -> None:
+        self.count = count
+        self.sum = total
+        self.buckets = buckets
+
+    def as_list(self) -> list:
+        return [self.count, self.sum, list(self.buckets)]
+
+    @staticmethod
+    def from_list(raw: Sequence) -> "HistogramSample":
+        return HistogramSample(int(raw[0]), float(raw[1]),
+                               tuple(int(c) for c in raw[2]))
+
+
+class TimeSeries:
+    """Ring-buffered ``(sim_time, value)`` samples for one metric leaf.
+
+    ``kind`` follows the registry ("counter" / "gauge" / "histogram");
+    histogram points hold :class:`HistogramSample` values, everything
+    else plain floats.  ``capacity`` bounds retention: the buffer keeps
+    the most recent samples, like the span tracer.
+    """
+
+    def __init__(self, name: str, kind: str, labels: str = "",
+                 capacity: int = 4096,
+                 bucket_bounds: Tuple[float, ...] = ()) -> None:
+        if capacity < 2:
+            raise MetricsError("time series capacity must be >= 2")
+        self.name = name
+        self.kind = kind
+        self.labels = labels
+        self.capacity = capacity
+        self.bucket_bounds = bucket_bounds
+        self._times: List[float] = []
+        self._values: List[object] = []
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def append(self, sim_time: float, value: object) -> None:
+        """Record one sample, evicting the oldest past capacity."""
+        self._times.append(sim_time)
+        self._values.append(value)
+        if len(self._times) > self.capacity:
+            del self._times[0]
+            del self._values[0]
+
+    def points(self) -> List[Tuple[float, object]]:
+        """All retained ``(sim_time, value)`` points, oldest first."""
+        return list(zip(self._times, self._values))
+
+    def times(self) -> List[float]:
+        """Sample times, oldest first."""
+        return list(self._times)
+
+    def values(self) -> List[object]:
+        """Sample values, oldest first."""
+        return list(self._values)
+
+    def latest(self) -> Optional[Tuple[float, object]]:
+        """The most recent sample, or None when empty."""
+        if not self._times:
+            return None
+        return self._times[-1], self._values[-1]
+
+    def at_or_before(self, sim_time: float) -> Optional[Tuple[float, object]]:
+        """The latest sample taken at or before ``sim_time``."""
+        best = None
+        for t, v in zip(self._times, self._values):
+            if t <= sim_time:
+                best = (t, v)
+            else:
+                break
+        return best
+
+    # -- derivations ---------------------------------------------------------
+
+    def rates(self) -> List[Tuple[float, float]]:
+        """Per-second rate between consecutive samples (counters).
+
+        A negative delta (registry reset between samples) yields 0.0
+        rather than a nonsense negative rate.
+        """
+        if self.kind == "histogram":
+            pairs = [
+                (t, float(v.count))  # type: ignore[union-attr]
+                for t, v in zip(self._times, self._values)
+            ]
+        else:
+            pairs = [
+                (t, float(v))  # type: ignore[arg-type]
+                for t, v in zip(self._times, self._values)
+            ]
+        out: List[Tuple[float, float]] = []
+        for (t0, v0), (t1, v1) in zip(pairs, pairs[1:]):
+            dt = t1 - t0
+            if dt <= 0:
+                continue
+            out.append((t1, max(0.0, v1 - v0) / dt))
+        return out
+
+    def delta(self, t0: float, t1: float) -> float:
+        """Counter increase over the window ``(t0, t1]`` (0 if unknown)."""
+        a = self.at_or_before(t0)
+        b = self.at_or_before(t1)
+        if b is None:
+            return 0.0
+        if self.kind == "histogram":
+            end = float(b[1].count)  # type: ignore[union-attr]
+            start = float(a[1].count) if a is not None else 0.0  # type: ignore[union-attr]
+        else:
+            end = float(b[1])  # type: ignore[arg-type]
+            start = float(a[1]) if a is not None else 0.0  # type: ignore[arg-type]
+        return max(0.0, end - start)
+
+    def window_histogram(
+        self, t0: float, t1: float
+    ) -> Optional[HistogramSample]:
+        """The histogram of observations landing in ``(t0, t1]``.
+
+        Differences the cumulative sample at/before ``t1`` against the
+        one at/before ``t0``; None when no sample covers the window or
+        the series is not a histogram.
+        """
+        if self.kind != "histogram":
+            return None
+        b = self.at_or_before(t1)
+        if b is None:
+            return None
+        end: HistogramSample = b[1]  # type: ignore[assignment]
+        a = self.at_or_before(t0)
+        if a is None:
+            return HistogramSample(end.count, end.sum, end.buckets)
+        start: HistogramSample = a[1]  # type: ignore[assignment]
+        if len(start.buckets) != len(end.buckets):
+            return None
+        buckets = tuple(
+            max(0, e - s) for s, e in zip(start.buckets, end.buckets)
+        )
+        return HistogramSample(
+            max(0, end.count - start.count),
+            max(0.0, end.sum - start.sum),
+            buckets,
+        )
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly rendering (round-trips via :meth:`from_dict`)."""
+        if self.kind == "histogram":
+            values: List[object] = [
+                v.as_list() for v in self._values  # type: ignore[union-attr]
+            ]
+        else:
+            values = list(self._values)
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "labels": self.labels,
+            "capacity": self.capacity,
+            "bucket_bounds": list(self.bucket_bounds),
+            "times": list(self._times),
+            "values": values,
+        }
+
+    @staticmethod
+    def from_dict(raw: Mapping[str, object]) -> "TimeSeries":
+        """Rebuild a series written by :meth:`to_dict`."""
+        series = TimeSeries(
+            str(raw["name"]), str(raw["kind"]),
+            labels=str(raw.get("labels", "")),
+            capacity=int(raw.get("capacity", 4096)),  # type: ignore[arg-type]
+            bucket_bounds=tuple(
+                float(b) for b in raw.get("bucket_bounds", ())  # type: ignore[union-attr]
+            ),
+        )
+        times = raw.get("times", [])
+        values = raw.get("values", [])
+        for t, v in zip(times, values):  # type: ignore[arg-type]
+            if series.kind == "histogram":
+                series.append(float(t), HistogramSample.from_list(v))
+            else:
+                series.append(float(t), float(v))
+        return series
+
+
+def bucket_percentile(
+    bounds: Sequence[float], sample: HistogramSample, q: float
+) -> float:
+    """Estimated ``q``-th percentile (0..100) of one windowed histogram.
+
+    Linear interpolation inside the winning bucket, mirroring
+    :meth:`repro.obs.registry.Histogram.percentile` but over a window
+    delta rather than the life-of-process totals.  The unbounded last
+    bucket falls back to its lower bound (no max is retained per
+    window).
+    """
+    if not 0 <= q <= 100:
+        raise MetricsError("percentile q must be in [0, 100]")
+    if sample.count == 0:
+        return 0.0
+    rank = q / 100.0 * sample.count
+    for index, seen in enumerate(sample.buckets):
+        if seen >= rank:
+            prior = sample.buckets[index - 1] if index else 0
+            in_bucket = seen - prior
+            lower = 0.0 if index == 0 else bounds[index - 1]
+            if index >= len(bounds):
+                return float(lower)
+            upper = bounds[index]
+            fraction = (rank - prior) / in_bucket if in_bucket else 1.0
+            return lower + fraction * (upper - lower)
+    return float(bounds[-1]) if bounds else 0.0
+
+
+def bucket_fraction_below(
+    bounds: Sequence[float], sample: HistogramSample, threshold: float
+) -> float:
+    """Fraction of windowed observations at or below ``threshold``.
+
+    Interpolates within the bucket containing the threshold; 1.0 for an
+    empty window (no observations cannot violate a latency bound).
+    """
+    if sample.count == 0:
+        return 1.0
+    below = 0.0
+    prior = 0
+    lower = 0.0
+    for index, bound in enumerate(bounds):
+        seen = sample.buckets[index]
+        in_bucket = seen - prior
+        if threshold >= bound:
+            below = float(seen)
+        elif threshold > lower:
+            width = bound - lower
+            fraction = (threshold - lower) / width if width > 0 else 1.0
+            below += in_bucket * fraction
+            break
+        else:
+            break
+        prior = seen
+        lower = bound
+    return min(1.0, below / sample.count)
+
+
+class TimeSeriesRecorder:
+    """Samples a :class:`MetricsRegistry` into per-leaf time series.
+
+    ``interval`` is the sampling cadence in *simulated* seconds when
+    installed on a :class:`~repro.simulation.engine.Simulation`;
+    :meth:`sample` can also be called directly (period boundaries, end
+    of run).  ``retention`` bounds points kept per series.  Custom
+    probes (:meth:`add_probe`) sample values the registry does not
+    carry — engine event counts, cluster saturation — as gauge series.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        interval: float = 10.0,
+        retention: int = 4096,
+    ) -> None:
+        if interval <= 0:
+            raise MetricsError("sampling interval must be positive")
+        self.registry = registry or get_registry()
+        self.interval = interval
+        self.retention = retention
+        self.series: Dict[Tuple[str, str], TimeSeries] = {}
+        self.samples_taken = 0
+        self._probes: Dict[str, Callable[[], float]] = {}
+        self._last_time: Optional[float] = None
+
+    # -- probes --------------------------------------------------------------
+
+    def add_probe(self, name: str, fn: Callable[[], float]) -> None:
+        """Sample ``fn()`` as a gauge series named ``name``."""
+        self._probes[name] = fn
+
+    # -- sampling ------------------------------------------------------------
+
+    def _series_for(self, name: str, kind: str, labels: str,
+                    bounds: Tuple[float, ...] = ()) -> TimeSeries:
+        key = (name, labels)
+        series = self.series.get(key)
+        if series is None:
+            series = TimeSeries(
+                name, kind, labels=labels, capacity=self.retention,
+                bucket_bounds=bounds,
+            )
+            self.series[key] = series
+        return series
+
+    def sample(self, sim_time: float) -> None:
+        """Record one sample of every metric leaf (and probe) at ``sim_time``.
+
+        Re-sampling the same instant is a no-op so period-boundary hooks
+        and the periodic event cannot double-count a coinciding tick.
+        """
+        if self._last_time is not None and sim_time <= self._last_time:
+            return
+        self._last_time = sim_time
+        self.samples_taken += 1
+        for metric in self.registry.metrics():
+            for key, leaf in metric._series():
+                labels = ",".join(key)
+                if isinstance(leaf, Histogram):
+                    series = self._series_for(
+                        metric.name, "histogram", labels, leaf.buckets
+                    )
+                    series.append(sim_time, HistogramSample(
+                        leaf.count, leaf.sum,
+                        tuple(leaf.cumulative_counts()),
+                    ))
+                else:
+                    series = self._series_for(metric.name, metric.kind, labels)
+                    series.append(sim_time, float(leaf.value))  # type: ignore[union-attr]
+        for name, fn in self._probes.items():
+            self._series_for(name, "gauge", "").append(
+                sim_time, float(fn())
+            )
+
+    def install(self, sim, first_at: Optional[float] = None):
+        """Schedule periodic sampling on a simulation; returns the token.
+
+        The action reads ``sim.now`` at each firing, so the recorder
+        always stamps the event's own simulated time.
+        """
+        return sim.schedule_periodic(
+            self.interval, lambda: self.sample(sim.now), first_at=first_at
+        )
+
+    # -- lookup --------------------------------------------------------------
+
+    def get(self, name: str, labels: str = "") -> Optional[TimeSeries]:
+        """The series for one metric leaf, or None."""
+        return self.series.get((name, labels))
+
+    def matching(self, name: str) -> List[TimeSeries]:
+        """All label children of ``name`` (one entry when unlabeled)."""
+        return [s for (n, _), s in sorted(self.series.items()) if n == name]
+
+    def summed_delta(self, name: str, t0: float, t1: float) -> float:
+        """Counter increase over a window, summed across label children."""
+        return sum(s.delta(t0, t1) for s in self.matching(name))
+
+    def span(self) -> Tuple[float, float]:
+        """(earliest, latest) sample time across all series; (0, 0) empty."""
+        start = None
+        end = None
+        for series in self.series.values():
+            times = series.times()
+            if not times:
+                continue
+            start = times[0] if start is None else min(start, times[0])
+            end = times[-1] if end is None else max(end, times[-1])
+        if start is None or end is None:
+            return 0.0, 0.0
+        return start, end
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly rendering of every retained series."""
+        return {
+            "interval": self.interval,
+            "samples_taken": self.samples_taken,
+            "series": [
+                series.to_dict()
+                for _, series in sorted(self.series.items())
+            ],
+        }
+
+    @staticmethod
+    def from_dict(raw: Mapping[str, object]) -> "TimeSeriesRecorder":
+        """Rebuild a recorder's series from :meth:`to_dict` output."""
+        recorder = TimeSeriesRecorder(
+            registry=MetricsRegistry(enabled=False),
+            interval=float(raw.get("interval", 10.0)),  # type: ignore[arg-type]
+        )
+        recorder.samples_taken = int(raw.get("samples_taken", 0))  # type: ignore[arg-type]
+        for entry in raw.get("series", []):  # type: ignore[union-attr]
+            series = TimeSeries.from_dict(entry)
+            recorder.series[(series.name, series.labels)] = series
+        return recorder

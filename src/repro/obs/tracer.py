@@ -7,6 +7,16 @@ when the caller passes it, the simulated time the work happened at
 (the two clocks are deliberately distinct: the DES kernel never reads
 real time, see ``docs/architecture.md``).
 
+Spans are *causally linked*: every span carries a ``trace_id`` shared
+by all work done on behalf of the same logical request, plus a
+``parent_id`` pointing at the span that caused it.  Synchronous nesting
+(``with trace(...)``) inherits both automatically through the tracer's
+span stack; work that crosses simulation events — a block transfer whose
+completion is a scheduled callback — carries an explicit
+:class:`TraceContext` and uses :meth:`Tracer.begin` /
+:meth:`Tracer.finish` instead.  :mod:`repro.obs.tracing` assembles the
+flat buffer back into per-trace span trees.
+
 The :class:`Tracer` keeps the most recent ``capacity`` spans in a ring
 buffer, so long periodic runs cannot grow memory without bound.  Like
 the metrics registry it is disabled by default and costs one attribute
@@ -23,7 +33,19 @@ from typing import Any, Dict, Iterator, List, Optional
 
 from repro.errors import MetricsError
 
-__all__ = ["Span", "Tracer", "get_tracer", "trace"]
+__all__ = ["Span", "TraceContext", "Tracer", "get_tracer", "trace"]
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """A position in a trace: which request, and which span caused us.
+
+    Threaded explicitly through code paths that cross simulation events
+    (the span stack cannot follow a scheduled callback).
+    """
+
+    trace_id: int
+    span_id: int
 
 
 @dataclass
@@ -33,17 +55,37 @@ class Span:
     name: str
     span_id: int
     parent_id: Optional[int] = None
+    trace_id: Optional[int] = None
     start_wall: float = 0.0
     end_wall: Optional[float] = None
     sim_time: Optional[float] = None
+    end_sim: Optional[float] = None
     fields: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def duration_seconds(self) -> float:
-        """Wall-clock duration (0.0 while still open)."""
+        """Wall-clock duration (elapsed-so-far while still open)."""
         if self.end_wall is None:
-            return 0.0
+            return time.perf_counter() - self.start_wall
         return self.end_wall - self.start_wall
+
+    @property
+    def sim_duration(self) -> Optional[float]:
+        """Simulated duration, when both endpoints were recorded."""
+        if self.sim_time is None or self.end_sim is None:
+            return None
+        return self.end_sim - self.sim_time
+
+    @property
+    def in_flight(self) -> bool:
+        """Whether the span is still open."""
+        return self.end_wall is None
+
+    @property
+    def context(self) -> TraceContext:
+        """This span's position, for propagation across events."""
+        trace_id = self.trace_id if self.trace_id is not None else self.span_id
+        return TraceContext(trace_id=trace_id, span_id=self.span_id)
 
     def set(self, **fields: Any) -> None:
         """Attach result fields to the span (e.g. counts, outcomes)."""
@@ -55,8 +97,11 @@ class Span:
             "name": self.name,
             "span_id": self.span_id,
             "parent_id": self.parent_id,
+            "trace_id": self.trace_id,
             "duration_seconds": self.duration_seconds,
             "sim_time": self.sim_time,
+            "end_sim": self.end_sim,
+            "in_flight": self.in_flight,
             "fields": dict(self.fields),
         }
 
@@ -68,6 +113,7 @@ class _NullSpan:
     name = ""
     fields: Dict[str, Any] = {}
     duration_seconds = 0.0
+    context = None
 
     def set(self, **fields: Any) -> None:
         """Discard fields."""
@@ -94,6 +140,7 @@ class Tracer:
         self._next_slot = 0
         self._recorded = 0
         self._ids = itertools.count(1)
+        self._trace_ids = itertools.count(1)
         self._stack: List[Span] = []
 
     # -- enablement ----------------------------------------------------------
@@ -111,29 +158,60 @@ class Tracer:
         """Stop recording; ``trace()`` becomes a no-op context."""
         self._enabled = False
 
+    def resize(self, capacity: int) -> None:
+        """Grow/shrink the ring buffer, dropping retained spans."""
+        if capacity < 1:
+            raise MetricsError("tracer capacity must be >= 1")
+        self.capacity = capacity
+        self.clear()
+
     # -- recording -----------------------------------------------------------
+
+    def _open_span(
+        self,
+        name: str,
+        sim_time: Optional[float],
+        parent: Optional[TraceContext],
+        fields: Dict[str, Any],
+    ) -> Span:
+        if parent is not None:
+            parent_id: Optional[int] = parent.span_id
+            trace_id = parent.trace_id
+        elif self._stack:
+            top = self._stack[-1]
+            parent_id = top.span_id
+            trace_id = (
+                top.trace_id if top.trace_id is not None else top.span_id
+            )
+        else:
+            parent_id = None
+            trace_id = next(self._trace_ids)
+        return Span(
+            name=name,
+            span_id=next(self._ids),
+            parent_id=parent_id,
+            trace_id=trace_id,
+            sim_time=sim_time,
+            fields=fields,
+            start_wall=time.perf_counter(),
+        )
 
     @contextmanager
     def trace(self, name: str, sim_time: Optional[float] = None,
+              parent: Optional[TraceContext] = None,
               **fields: Any) -> Iterator[Any]:
         """Context manager timing one operation.
 
         Yields the open :class:`Span` so the body can ``span.set(...)``
         result fields.  The span is committed to the ring buffer on
         exit, even when the body raises (the exception propagates and
-        the span records ``error=<type name>``).
+        the span records ``error=<type name>``).  ``parent`` overrides
+        the implicit stack link for work resumed from a scheduled event.
         """
         if not self._enabled:
             yield _NULL_SPAN
             return
-        span = Span(
-            name=name,
-            span_id=next(self._ids),
-            parent_id=self._stack[-1].span_id if self._stack else None,
-            sim_time=sim_time,
-            fields=dict(fields),
-            start_wall=time.perf_counter(),
-        )
+        span = self._open_span(name, sim_time, parent, dict(fields))
         self._stack.append(span)
         try:
             yield span
@@ -144,6 +222,36 @@ class Tracer:
             span.end_wall = time.perf_counter()
             self._stack.pop()
             self._commit(span)
+
+    def begin(self, name: str, sim_time: Optional[float] = None,
+              parent: Optional[TraceContext] = None, **fields: Any) -> Any:
+        """Open a span that outlives the current call stack.
+
+        For work that spans simulation events (transfers, re-replication
+        chains): the span is *not* pushed on the nesting stack, and must
+        be closed with :meth:`finish` from whichever callback ends it.
+        Returns a no-op span while the tracer is disabled.
+        """
+        if not self._enabled:
+            return _NULL_SPAN
+        return self._open_span(name, sim_time, parent, dict(fields))
+
+    def finish(self, span: Any, end_sim: Optional[float] = None) -> None:
+        """Close and commit a span opened with :meth:`begin`."""
+        if span is _NULL_SPAN or not isinstance(span, Span):
+            return
+        if span.end_wall is not None:
+            return  # already finished (duplicate callback)
+        span.end_wall = time.perf_counter()
+        if end_sim is not None:
+            span.end_sim = end_sim
+        self._commit(span)
+
+    def current_context(self) -> Optional[TraceContext]:
+        """The innermost open span's context (None outside any span)."""
+        if not self._enabled or not self._stack:
+            return None
+        return self._stack[-1].context
 
     def _commit(self, span: Span) -> None:
         self._buffer[self._next_slot] = span
@@ -191,6 +299,7 @@ def get_tracer() -> Tracer:
     return _DEFAULT
 
 
-def trace(name: str, sim_time: Optional[float] = None, **fields: Any):
+def trace(name: str, sim_time: Optional[float] = None,
+          parent: Optional[TraceContext] = None, **fields: Any):
     """``get_tracer().trace(...)`` — the one-line instrumentation entry."""
-    return _DEFAULT.trace(name, sim_time=sim_time, **fields)
+    return _DEFAULT.trace(name, sim_time=sim_time, parent=parent, **fields)

@@ -56,6 +56,31 @@ class TestPrometheusText:
         text = to_prometheus_text(reg)
         assert 'path="a\\"b\\\\c\\nd"' in text
 
+    def test_label_escaping_round_trips_through_merge(self):
+        awkward = 'a"b\\c\nd,e{f}'
+        source = MetricsRegistry()
+        source.counter("x_total", labelnames=["path"]).labels(
+            path=awkward
+        ).inc(3)
+        target = MetricsRegistry()
+        target.merge(source.snapshot())
+        assert to_prometheus_text(target) == to_prometheus_text(source)
+        restored = target.counter("x_total", labelnames=["path"])
+        assert restored.labels(path=awkward).value == 3
+
+    def test_histogram_bucket_bound_formatting(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat_seconds", "Latency", buckets=(0.25, 1.0, 10.0))
+        h.observe(0.1)
+        text = to_prometheus_text(reg)
+        # Integral bounds render with one decimal, the last bucket is
+        # the literal +Inf pseudo-bound.
+        assert 'lat_seconds_bucket{le="0.25"} 1' in text
+        assert 'lat_seconds_bucket{le="1.0"} 1' in text
+        assert 'lat_seconds_bucket{le="10.0"} 1' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 1' in text
+        assert text.index('le="+Inf"') > text.index('le="10.0"')
+
 
 class TestJsonSnapshot:
     def test_round_trip(self):
@@ -77,3 +102,17 @@ class TestJsonSnapshot:
         doc = json.loads(target.read_text())
         assert "demo_ops_total" in doc["metrics"]
         assert doc["spans"] == []
+
+    def test_write_snapshot_includes_spans(self, tmp_path):
+        tracer = Tracer()
+        root = tracer.begin("dfs.read", sim_time=5.0, block=3)
+        tracer.finish(root, end_sim=6.5)
+        target = write_snapshot(tmp_path / "snap.json", make_registry(),
+                                tracer)
+        doc = json.loads(target.read_text())
+        (span,) = doc["spans"]
+        assert span["name"] == "dfs.read"
+        assert span["trace_id"] == root.trace_id
+        assert span["end_sim"] == 6.5
+        assert span["fields"] == {"block": 3}
+        assert not span["in_flight"]

@@ -1,0 +1,139 @@
+"""Tests for the HTML/markdown telemetry dashboard renderers."""
+
+import pytest
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.report import (
+    render_html,
+    render_markdown,
+    select_panels,
+    sparkline_svg,
+)
+from repro.obs.slo import availability_slo, latency_slo
+from repro.obs.telemetry import TelemetryBundle, TelemetrySession
+from repro.obs.tracer import Tracer
+from repro.simulation.engine import Simulation
+
+
+@pytest.fixture()
+def bundle(tmp_path):
+    registry = MetricsRegistry(enabled=False)
+    tracer = Tracer(enabled=False)
+    session = TelemetrySession(
+        label="report-demo", interval=10.0, seed=1,
+        registry=registry, tracer=tracer,
+    )
+    reads = registry.counter("repro_dfs_reads_total", "Reads",
+                             labelnames=["locality"])
+    errors = registry.counter("repro_dfs_read_errors_total", "Errors")
+    lat = registry.histogram(
+        "repro_dfs_read_latency_seconds", "Latency", buckets=(0.1, 1.0, 5.0)
+    )
+    depth = registry.gauge("repro_dfs_replication_queue_depth", "Depth")
+    sim = Simulation()
+    session.install(sim)
+    session.add_objective(availability_slo(
+        "availability", "repro_dfs_reads_total",
+        "repro_dfs_read_errors_total", target=0.99, window=30.0,
+    ))
+    session.add_objective(latency_slo(
+        "latency-p99", "repro_dfs_read_latency_seconds", threshold=1.0,
+        target=0.5, window=30.0,
+    ))
+
+    def tick():
+        reads.labels(locality="node_local").inc(3)
+        errors.inc(1)
+        lat.observe(0.05)
+        lat.observe(3.0)
+        depth.set(sim.now % 20)
+        root = tracer.begin("dfs.read", sim_time=sim.now)
+        attempt = tracer.begin("dfs.read.attempt", sim_time=sim.now,
+                               parent=root.context, node=2)
+        tracer.finish(attempt, end_sim=sim.now + 3.0)
+        tracer.finish(root, end_sim=sim.now + 3.0)
+
+    sim.schedule_periodic(5.0, tick)
+    sim.run(until=90.0)
+    session.finish(sim.now)
+    return TelemetryBundle.load(session.write(tmp_path / "tel"))
+
+
+class TestPanelSelection:
+    def test_prefers_request_path_series(self, bundle):
+        panels = select_panels(bundle)
+        assert len(panels) >= 3
+        labels = [label for label, _ in panels]
+        assert any("repro_dfs_reads_total" in label for label in labels)
+        assert any("(p99)" in label for label in labels)
+
+    def test_skips_flat_series(self, bundle):
+        labels = [label for label, _ in select_panels(bundle)]
+        # The registry also carries never-touched series; all-zero
+        # series must not waste a panel.
+        assert all("repro_dfs_read_failovers_total" not in label
+                   for label in labels)
+
+    def test_limit_respected(self, bundle):
+        assert len(select_panels(bundle, limit=3)) == 3
+
+
+class TestSparkline:
+    def test_renders_polyline(self):
+        svg = sparkline_svg([(0.0, 1.0), (10.0, 3.0), (20.0, 2.0)])
+        assert svg.startswith("<svg")
+        assert "polyline" in svg
+
+    def test_flat_and_tiny_series_do_not_crash(self):
+        assert "<svg" in sparkline_svg([(0.0, 5.0), (10.0, 5.0)])
+        empty = sparkline_svg([])
+        assert "<svg" in empty and "polyline" not in empty
+
+
+class TestMarkdown:
+    def test_contains_slo_table_and_traces(self, bundle):
+        text = render_markdown(bundle)
+        assert "# Telemetry report: report-demo" in text
+        assert "| availability |" in text
+        assert "| latency-p99 |" in text
+        assert "VIOLATED" in text  # 25% of reads error against a 1% budget
+        assert "critical path:" in text
+        assert "dfs.read (3s) -> dfs.read.attempt (3s)" in text
+
+    def test_top_traces_bounded(self, bundle):
+        text = render_markdown(bundle, top_traces=1)
+        assert text.count("critical path:") == 1
+
+
+class TestHtml:
+    def test_self_contained_document(self, bundle):
+        html = render_html(bundle)
+        assert html.lstrip().startswith("<!DOCTYPE html>")
+        # Self-contained: no scripts, no external fetches.
+        assert "<script" not in html
+        assert "http://" not in html and "https://" not in html
+        assert 'id="slo"' in html
+
+    def test_has_panels_slos_and_traces(self, bundle):
+        html = render_html(bundle)
+        assert html.count("<svg") >= 3
+        assert "availability" in html
+        assert 'class="violated"' in html
+        assert "critical path:" in html
+
+    def test_escapes_labels(self, tmp_path):
+        registry = MetricsRegistry(enabled=False)
+        tracer = Tracer(enabled=False)
+        session = TelemetrySession(
+            label="<b>evil</b>", registry=registry, tracer=tracer,
+        )
+        sim = Simulation()
+        session.install(sim)
+        counter = registry.counter("x_total", "X")
+        sim.schedule_periodic(5.0, lambda: counter.inc())
+        sim.run(until=30.0)
+        session.finish(sim.now)
+        bundle = TelemetryBundle.load(session.write(tmp_path / "tel"))
+        html = render_html(bundle)
+        assert "<b>evil</b>" not in html
+        assert "&lt;b&gt;evil&lt;/b&gt;" in html

@@ -1,0 +1,168 @@
+"""Unit tests for the declarative SLO engine."""
+
+import pytest
+
+from repro.errors import MetricsError
+from repro.obs.registry import MetricsRegistry
+from repro.obs.slo import (
+    SloEngine,
+    SloObjective,
+    SloStatus,
+    availability_slo,
+    latency_slo,
+    threshold_slo,
+)
+from repro.obs.timeseries import TimeSeriesRecorder
+
+
+def make_stack():
+    reg = MetricsRegistry()
+    handles = {
+        "good": reg.counter("reads_total", "Reads"),
+        "bad": reg.counter("read_errors_total", "Errors"),
+        "lat": reg.histogram("latency_seconds", "Latency",
+                             buckets=(1.0, 5.0)),
+        "depth": reg.gauge("queue_depth", "Depth"),
+    }
+    recorder = TimeSeriesRecorder(reg, interval=10.0)
+    return reg, handles, recorder, SloEngine(recorder)
+
+
+class TestObjectiveValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(MetricsError):
+            SloObjective(name="x", kind="nope", target=0.9, window=60.0)
+
+    def test_target_must_be_positive_fraction(self):
+        with pytest.raises(MetricsError):
+            availability_slo("x", "g", "b", target=0.0)
+        with pytest.raises(MetricsError):
+            availability_slo("x", "g", "b", target=1.5)
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(MetricsError):
+            latency_slo("x", "s", threshold=1.0, window=0.0)
+
+    def test_round_trips(self):
+        objective = latency_slo("p99", "latency_seconds", threshold=5.0,
+                                target=0.95, window=120.0)
+        assert SloObjective.from_dict(objective.to_dict()) == objective
+
+
+class TestRatioSli:
+    def test_windows_and_overall(self):
+        _, handles, recorder, engine = make_stack()
+        engine.add(availability_slo(
+            "availability", "reads_total", "read_errors_total",
+            target=0.9, window=60.0,
+        ))
+        recorder.sample(0.0)
+        # Window 1: 18 good, 2 bad (0.9, compliant at target).
+        handles["good"].inc(18)
+        handles["bad"].inc(2)
+        recorder.sample(60.0)
+        # Window 2: 5 good, 5 bad (0.5, violating).
+        handles["good"].inc(5)
+        handles["bad"].inc(5)
+        recorder.sample(120.0)
+        (status,) = engine.evaluate()
+        assert [w.compliant for w in status.windows] == [True, False]
+        assert status.overall_sli == pytest.approx(23 / 30)
+        assert status.windows_violated == 1
+        assert status.violation_minutes == pytest.approx(1.0)
+        assert not status.compliant
+
+    def test_empty_window_is_compliant(self):
+        _, _, recorder, engine = make_stack()
+        engine.add(availability_slo(
+            "availability", "reads_total", "read_errors_total",
+            target=0.99, window=60.0,
+        ))
+        recorder.sample(0.0)
+        recorder.sample(60.0)
+        (status,) = engine.evaluate()
+        assert all(w.compliant for w in status.windows)
+        assert status.compliant
+
+
+class TestLatencySli:
+    def test_threshold_fraction_per_window(self):
+        _, handles, recorder, engine = make_stack()
+        engine.add(latency_slo(
+            "p99", "latency_seconds", threshold=5.0, target=0.9,
+            window=60.0,
+        ))
+        recorder.sample(0.0)
+        for _ in range(9):
+            handles["lat"].observe(0.5)
+        handles["lat"].observe(50.0)  # 10% breach the 5s bound
+        recorder.sample(60.0)
+        for _ in range(10):
+            handles["lat"].observe(50.0)
+        recorder.sample(120.0)
+        (status,) = engine.evaluate()
+        first, second = status.windows
+        assert first.sli == pytest.approx(0.9)
+        assert first.compliant
+        assert second.sli == 0.0
+        assert not second.compliant
+        # The windowed percentile is reported as the detail.
+        assert second.detail == pytest.approx(5.0)
+
+    def test_burn_rate_scales_with_budget(self):
+        _, handles, recorder, engine = make_stack()
+        engine.add(latency_slo(
+            "p99", "latency_seconds", threshold=5.0, target=0.9,
+            window=60.0,
+        ))
+        recorder.sample(0.0)
+        for _ in range(8):
+            handles["lat"].observe(0.5)
+        handles["lat"].observe(50.0)
+        handles["lat"].observe(50.0)  # 20% bad vs a 10% budget
+        recorder.sample(60.0)
+        (status,) = engine.evaluate()
+        assert status.budget_consumed == pytest.approx(2.0)
+        assert status.burn_rate == pytest.approx(2.0)
+
+
+class TestThresholdSli:
+    def test_window_max_bound(self):
+        _, handles, recorder, engine = make_stack()
+        engine.add(threshold_slo(
+            "queue-bounded", "queue_depth", threshold=10.0, target=0.9,
+            window=60.0,
+        ))
+        handles["depth"].set(3.0)
+        recorder.sample(30.0)
+        handles["depth"].set(25.0)
+        recorder.sample(60.0)
+        handles["depth"].set(1.0)
+        recorder.sample(120.0)
+        (status,) = engine.evaluate(start=0.0, end=120.0)
+        first, second = status.windows
+        assert not first.compliant
+        assert first.detail == 25.0
+        assert second.compliant
+        # Time-based overall SLI: one of two windows compliant.
+        assert status.overall_sli == pytest.approx(0.5)
+        assert status.violation_minutes == pytest.approx(1.0)
+
+
+class TestStatusSerialization:
+    def test_round_trips(self):
+        _, handles, recorder, engine = make_stack()
+        engine.add(availability_slo(
+            "availability", "reads_total", "read_errors_total",
+            target=0.9, window=60.0,
+        ))
+        recorder.sample(0.0)
+        handles["good"].inc(4)
+        handles["bad"].inc(6)
+        recorder.sample(60.0)
+        (status,) = engine.evaluate()
+        clone = SloStatus.from_dict(status.to_dict())
+        assert clone.objective == status.objective
+        assert clone.overall_sli == status.overall_sli
+        assert clone.windows_violated == status.windows_violated
+        assert clone.violation_minutes == status.violation_minutes

@@ -1,0 +1,199 @@
+"""Unit tests for the sim-clock time-series recorder."""
+
+import pytest
+
+from repro.errors import MetricsError
+from repro.obs.registry import MetricsRegistry
+from repro.obs.timeseries import (
+    HistogramSample,
+    TimeSeries,
+    TimeSeriesRecorder,
+    bucket_fraction_below,
+    bucket_percentile,
+)
+from repro.simulation.engine import Simulation
+
+
+class TestTimeSeries:
+    def test_append_and_points(self):
+        series = TimeSeries("x_total", "counter")
+        series.append(0.0, 0.0)
+        series.append(10.0, 4.0)
+        assert series.points() == [(0.0, 0.0), (10.0, 4.0)]
+        assert series.latest() == (10.0, 4.0)
+
+    def test_capacity_evicts_oldest(self):
+        series = TimeSeries("x", "gauge", capacity=3)
+        for i in range(5):
+            series.append(float(i), float(i * i))
+        assert series.times() == [2.0, 3.0, 4.0]
+        assert len(series) == 3
+
+    def test_capacity_must_hold_a_delta(self):
+        with pytest.raises(MetricsError):
+            TimeSeries("x", "gauge", capacity=1)
+
+    def test_at_or_before(self):
+        series = TimeSeries("x", "gauge")
+        series.append(10.0, 1.0)
+        series.append(20.0, 2.0)
+        assert series.at_or_before(5.0) is None
+        assert series.at_or_before(10.0) == (10.0, 1.0)
+        assert series.at_or_before(15.0) == (10.0, 1.0)
+        assert series.at_or_before(99.0) == (20.0, 2.0)
+
+    def test_counter_rates(self):
+        series = TimeSeries("x_total", "counter")
+        for t, v in [(0.0, 0.0), (10.0, 5.0), (20.0, 5.0), (30.0, 11.0)]:
+            series.append(t, v)
+        assert series.rates() == [(10.0, 0.5), (20.0, 0.0), (30.0, 0.6)]
+
+    def test_rates_clamp_counter_resets_to_zero(self):
+        series = TimeSeries("x_total", "counter")
+        series.append(0.0, 100.0)
+        series.append(10.0, 3.0)  # registry reset between samples
+        assert series.rates() == [(10.0, 0.0)]
+
+    def test_delta_over_window(self):
+        series = TimeSeries("x_total", "counter")
+        series.append(0.0, 2.0)
+        series.append(10.0, 6.0)
+        series.append(20.0, 7.0)
+        assert series.delta(0.0, 20.0) == 5.0
+        assert series.delta(10.0, 20.0) == 1.0
+        # No sample before t0: delta counts from zero.
+        assert series.delta(-5.0, 10.0) == 6.0
+
+    def test_window_histogram_differences_cumulative_buckets(self):
+        series = TimeSeries(
+            "lat", "histogram", bucket_bounds=(0.1, 1.0)
+        )
+        series.append(0.0, HistogramSample(2, 0.3, (1, 2, 2)))
+        series.append(10.0, HistogramSample(5, 4.0, (2, 4, 5)))
+        window = series.window_histogram(0.0, 10.0)
+        assert window.count == 3
+        assert window.sum == pytest.approx(3.7)
+        assert window.buckets == (1, 2, 3)
+
+    def test_round_trip(self):
+        series = TimeSeries(
+            "lat", "histogram", labels='kind="read"',
+            bucket_bounds=(0.5,),
+        )
+        series.append(1.0, HistogramSample(1, 0.2, (1, 1)))
+        clone = TimeSeries.from_dict(series.to_dict())
+        assert clone.name == "lat"
+        assert clone.labels == 'kind="read"'
+        assert clone.bucket_bounds == (0.5,)
+        (point,) = clone.points()
+        assert point[0] == 1.0
+        assert point[1].buckets == (1, 1)
+
+
+class TestBucketMath:
+    def test_percentile_interpolates(self):
+        sample = HistogramSample(10, 5.0, (5, 10, 10))
+        # p50 lands exactly at the first bound.
+        assert bucket_percentile((1.0, 2.0), sample, 50.0) == 1.0
+        # p75 is halfway through the (1, 2] bucket.
+        assert bucket_percentile((1.0, 2.0), sample, 75.0) == 1.5
+
+    def test_percentile_unbounded_bucket_falls_back(self):
+        sample = HistogramSample(4, 100.0, (0, 0, 4))
+        assert bucket_percentile((1.0, 2.0), sample, 99.0) == 2.0
+
+    def test_percentile_empty_window(self):
+        assert bucket_percentile((1.0,), HistogramSample(0, 0.0, (0, 0)),
+                                 99.0) == 0.0
+
+    def test_fraction_below(self):
+        sample = HistogramSample(10, 5.0, (5, 10, 10))
+        assert bucket_fraction_below((1.0, 2.0), sample, 2.0) == 1.0
+        assert bucket_fraction_below((1.0, 2.0), sample, 1.0) == 0.5
+        # Interpolated: halfway into the second bucket.
+        assert bucket_fraction_below((1.0, 2.0), sample, 1.5) == 0.75
+
+    def test_fraction_below_empty_window_is_compliant(self):
+        assert bucket_fraction_below((1.0,), HistogramSample(0, 0.0, (0, 0)),
+                                     0.5) == 1.0
+
+
+class TestTimeSeriesRecorder:
+    def make_registry(self):
+        reg = MetricsRegistry()
+        handles = {
+            "ops": reg.counter("ops_total", "Ops", labelnames=["kind"]),
+            "depth": reg.gauge("depth", "Depth"),
+            "lat": reg.histogram("lat_seconds", "Latency",
+                                 buckets=(0.1, 1.0)),
+        }
+        return reg, handles
+
+    def test_samples_every_registry_leaf(self):
+        reg, handles = self.make_registry()
+        handles["ops"].labels(kind="move").inc(3)
+        handles["depth"].set(2.0)
+        handles["lat"].observe(0.5)
+        recorder = TimeSeriesRecorder(reg, interval=10.0)
+        recorder.sample(10.0)
+        counter = recorder.get("ops_total", labels="move")
+        assert counter.points() == [(10.0, 3.0)]
+        assert recorder.get("depth").points() == [(10.0, 2.0)]
+        hist = recorder.get("lat_seconds")
+        assert hist.bucket_bounds == (0.1, 1.0)
+        (point,) = hist.points()
+        assert point[1].count == 1
+
+    def test_sample_is_monotonic_in_sim_time(self):
+        recorder = TimeSeriesRecorder(self.make_registry()[0], interval=10.0)
+        recorder.sample(10.0)
+        recorder.sample(10.0)  # period-boundary + periodic-event collision
+        recorder.sample(5.0)
+        assert recorder.samples_taken == 1
+
+    def test_install_samples_on_the_simulation_clock(self):
+        reg, handles = self.make_registry()
+        counter = handles["ops"].labels(kind="move")
+        sim = Simulation()
+        recorder = TimeSeriesRecorder(reg, interval=10.0)
+        recorder.install(sim)
+        sim.schedule_at(15.0, lambda: counter.inc(7))
+        sim.run(until=40.0)
+        series = recorder.get("ops_total", labels="move")
+        times = series.times()
+        assert times[0] == pytest.approx(10.0)
+        assert 20.0 in times
+        # The sample at t=20 sees the t=15 increment.
+        assert series.at_or_before(20.0)[1] == 7.0
+
+    def test_probes_record_gauge_series(self):
+        recorder = TimeSeriesRecorder(self.make_registry()[0], interval=1.0)
+        ticks = [0]
+        recorder.add_probe("engine_events", lambda: float(ticks[0]))
+        recorder.sample(1.0)
+        ticks[0] = 5
+        recorder.sample(2.0)
+        assert recorder.get("engine_events").values() == [0.0, 5.0]
+
+    def test_summed_delta_across_labels(self):
+        reg, handles = self.make_registry()
+        ops = handles["ops"]
+        recorder = TimeSeriesRecorder(reg, interval=10.0)
+        recorder.sample(0.0)
+        ops.labels(kind="move").inc(2)
+        ops.labels(kind="swap").inc(3)
+        recorder.sample(10.0)
+        assert recorder.summed_delta("ops_total", 0.0, 10.0) == 5.0
+
+    def test_round_trip(self):
+        reg, handles = self.make_registry()
+        handles["depth"].set(4.0)
+        recorder = TimeSeriesRecorder(reg, interval=10.0)
+        recorder.sample(10.0)
+        clone = TimeSeriesRecorder.from_dict(recorder.to_dict())
+        assert clone.get("depth").points() == [(10.0, 4.0)]
+        assert clone.span() == recorder.span()
+
+    def test_interval_validation(self):
+        with pytest.raises(MetricsError):
+            TimeSeriesRecorder(MetricsRegistry(), interval=0.0)

@@ -83,3 +83,62 @@ class TestTracer:
     def test_capacity_validation(self):
         with pytest.raises(MetricsError):
             Tracer(capacity=0)
+
+
+class TestOpenSpans:
+    def test_in_flight_span_reports_elapsed_duration(self):
+        tracer = Tracer()
+        span = tracer.begin("slow")
+        assert span.in_flight
+        first = span.duration_seconds
+        assert first >= 0.0
+        # Busy-wait a little so elapsed time observably advances.
+        while span.duration_seconds == first:
+            pass
+        assert span.duration_seconds > first
+        tracer.finish(span)
+        assert not span.in_flight
+        assert span.duration_seconds >= first
+
+    def test_begin_finish_crosses_call_stacks(self):
+        tracer = Tracer()
+        span = tracer.begin("dfs.transfer", sim_time=10.0, size=64)
+        assert tracer.spans() == []  # not committed until finished
+        tracer.finish(span, end_sim=12.5)
+        (committed,) = tracer.spans()
+        assert committed.sim_duration == 2.5
+
+    def test_finish_is_idempotent(self):
+        tracer = Tracer()
+        span = tracer.begin("once")
+        tracer.finish(span, end_sim=1.0)
+        tracer.finish(span, end_sim=99.0)  # duplicate callback
+        (committed,) = tracer.spans()
+        assert committed.end_sim == 1.0
+        assert tracer.recorded == 1
+
+    def test_explicit_parent_overrides_stack(self):
+        tracer = Tracer()
+        root = tracer.begin("request")
+        with tracer.trace("unrelated"):
+            child = tracer.begin("work", parent=root.context)
+        tracer.finish(child)
+        tracer.finish(root)
+        assert child.parent_id == root.span_id
+        assert child.trace_id == root.trace_id
+
+    def test_stack_nesting_inherits_trace_id(self):
+        tracer = Tracer()
+        with tracer.trace("outer") as outer:
+            with tracer.trace("inner") as inner:
+                assert tracer.current_context().span_id == inner.span_id
+        assert inner.trace_id == outer.trace_id
+        assert tracer.current_context() is None
+
+    def test_roots_get_distinct_trace_ids(self):
+        tracer = Tracer()
+        with tracer.trace("a") as a:
+            pass
+        with tracer.trace("b") as b:
+            pass
+        assert a.trace_id != b.trace_id

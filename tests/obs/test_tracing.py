@@ -1,0 +1,131 @@
+"""Unit tests for causal trace assembly and sampling."""
+
+import random
+
+import pytest
+
+from repro.errors import MetricsError
+from repro.obs.tracer import Tracer
+from repro.obs.tracing import TraceSampler, assemble_traces, format_trace
+
+
+def make_read_trace(tracer):
+    """A synthetic failed-over read: root + two attempts + a transfer."""
+    root = tracer.begin("dfs.read", sim_time=100.0, block=7)
+    first = tracer.begin("dfs.read.attempt", sim_time=100.0,
+                         parent=root.context, node=1)
+    first.set(outcome="failed", backoff=2.0)
+    tracer.finish(first, end_sim=102.0)
+    second = tracer.begin("dfs.read.attempt", sim_time=102.0,
+                          parent=root.context, node=4)
+    transfer = tracer.begin("dfs.transfer", sim_time=102.0,
+                            parent=second.context, size=64)
+    tracer.finish(transfer, end_sim=102.5)
+    second.set(outcome="served")
+    tracer.finish(second, end_sim=102.6)
+    tracer.finish(root, end_sim=102.6)
+    return root
+
+
+class TestAssembleTraces:
+    def test_rebuilds_the_span_tree(self):
+        tracer = Tracer()
+        make_read_trace(tracer)
+        (trace,) = assemble_traces(tracer=tracer)
+        assert trace.name == "dfs.read"
+        assert trace.span_count == 4
+        assert [c.name for c in trace.root.children] == [
+            "dfs.read.attempt", "dfs.read.attempt",
+        ]
+        # Children are ordered chronologically (span-id order).
+        assert trace.root.children[0].fields["node"] == 1
+
+    def test_busy_seconds_prefers_sim_duration(self):
+        tracer = Tracer()
+        make_read_trace(tracer)
+        (trace,) = assemble_traces(tracer=tracer)
+        assert trace.duration_seconds == pytest.approx(2.6)
+        assert trace.root.children[0].busy_seconds == pytest.approx(2.0)
+
+    def test_critical_path_follows_busiest_child(self):
+        tracer = Tracer()
+        make_read_trace(tracer)
+        (trace,) = assemble_traces(tracer=tracer)
+        names = [node.name for node in trace.critical_path()]
+        # The failed attempt (2.0s backoff) beats the served one (0.6s).
+        assert names == ["dfs.read", "dfs.read.attempt"]
+        assert trace.critical_path()[1].fields["outcome"] == "failed"
+
+    def test_traces_sorted_slowest_first(self):
+        tracer = Tracer()
+        quick = tracer.begin("op", sim_time=0.0)
+        tracer.finish(quick, end_sim=1.0)
+        slow = tracer.begin("op", sim_time=0.0)
+        tracer.finish(slow, end_sim=9.0)
+        first, second = assemble_traces(tracer=tracer)
+        assert first.duration_seconds == 9.0
+        assert second.duration_seconds == 1.0
+
+    def test_orphan_becomes_partial_trace_root(self):
+        tracer = Tracer(capacity=2)
+        root = tracer.begin("dfs.read", sim_time=0.0)
+        tracer.finish(root, end_sim=3.0)  # commits first, evicted below
+        for i in range(3):
+            child = tracer.begin("dfs.read.attempt", sim_time=float(i),
+                                 parent=root.context)
+            tracer.finish(child, end_sim=float(i) + 0.5)
+        traces = assemble_traces(tracer=tracer)
+        # The two retained attempts lost their parent span; each becomes
+        # the root of a partial trace instead of vanishing.
+        assert len(traces) == 2
+        assert all(t.name == "dfs.read.attempt" for t in traces)
+        assert all(t.trace_id == root.trace_id for t in traces)
+
+    def test_round_trips_through_span_dicts(self):
+        tracer = Tracer()
+        make_read_trace(tracer)
+        from_dicts = assemble_traces(tracer.as_dicts())
+        from_spans = assemble_traces(tracer=tracer)
+        assert from_dicts[0].to_dict() == from_spans[0].to_dict()
+
+    def test_needs_spans_or_tracer(self):
+        with pytest.raises(MetricsError):
+            assemble_traces()
+
+
+class TestFormatTrace:
+    def test_marks_critical_path_and_fields(self):
+        tracer = Tracer()
+        make_read_trace(tracer)
+        (trace,) = assemble_traces(tracer=tracer)
+        text = format_trace(trace)
+        lines = text.splitlines()
+        assert lines[0].startswith("trace ")
+        assert "dfs.read (2.6s busy, 4 spans)" in lines[0]
+        starred = [line for line in lines[1:] if line.startswith("*")]
+        # Root and the failed attempt are on the critical path.
+        assert len(starred) == 2
+        assert "outcome=failed" in starred[1]
+
+
+class TestTraceSampler:
+    def test_deterministic_for_a_seed(self):
+        a = TraceSampler(0.5, random.Random(7))
+        b = TraceSampler(0.5, random.Random(7))
+        assert [a.sample() for _ in range(20)] == [
+            b.sample() for _ in range(20)
+        ]
+
+    def test_rate_one_always_samples(self):
+        sampler = TraceSampler(1.0)
+        assert all(sampler.sample() for _ in range(10))
+        assert sampler.sampled == sampler.decisions == 10
+
+    def test_rate_zero_never_samples(self):
+        sampler = TraceSampler(0.0)
+        assert not any(sampler.sample() for _ in range(10))
+        assert sampler.sampled == 0
+
+    def test_rate_validation(self):
+        with pytest.raises(MetricsError):
+            TraceSampler(1.5)

@@ -208,6 +208,121 @@ class TestVerbosityFlags:
         assert "repro_dfs_reads_total" in doc["metrics"]
 
 
+class TestTelemetryPipeline:
+    def run_quick_chaos(self, tmp_path, seed=0):
+        code = main([
+            "chaos", "--quick", "--seed", str(seed),
+            "--out", str(tmp_path / "out"),
+            "--telemetry-out", str(tmp_path / "tel"),
+        ])
+        assert code == 0
+        return tmp_path / "tel"
+
+    def test_chaos_quick_writes_telemetry_directory(
+        self, tmp_path, capsys, clean_observability
+    ):
+        tel = self.run_quick_chaos(tmp_path)
+        for name in ("meta.json", "timeseries.json", "slo.json",
+                     "spans.json", "snapshot.json"):
+            assert (tel / name).exists(), name
+        out = capsys.readouterr().out
+        assert "SLOs:" in out
+        assert "read-availability" in out
+
+    def test_report_renders_dashboard(
+        self, tmp_path, capsys, clean_observability
+    ):
+        tel = self.run_quick_chaos(tmp_path)
+        code = main(["report", str(tel), "--out", str(tmp_path / "rpt")])
+        assert code == 0
+        html = (tmp_path / "rpt" / "report.html").read_text()
+        assert html.count("<svg") >= 3
+        assert 'id="slo"' in html
+        assert "critical path:" in html
+        assert "<script" not in html
+        md = (tmp_path / "rpt" / "report.md").read_text()
+        assert "## SLO burn" in md
+        assert "read-availability" in md
+        assert "critical path:" in capsys.readouterr().out
+
+    def test_report_defaults_into_telemetry_directory(
+        self, tmp_path, capsys, clean_observability
+    ):
+        tel = self.run_quick_chaos(tmp_path)
+        assert main(["report", str(tel)]) == 0
+        assert (tel / "report.html").exists()
+
+    def test_traces_prints_slowest_with_critical_path(
+        self, tmp_path, capsys, clean_observability
+    ):
+        tel = self.run_quick_chaos(tmp_path)
+        code = main([
+            "traces", str(tel), "--top", "2",
+            "--json", str(tmp_path / "traces.json"),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("critical path:") == 2
+        assert "2 trace(s) shown of" in out
+        doc = json.loads((tmp_path / "traces.json").read_text())
+        assert len(doc) == 2
+        assert doc[0]["duration_seconds"] >= doc[1]["duration_seconds"]
+
+    def test_traces_unknown_id_fails(
+        self, tmp_path, capsys, clean_observability
+    ):
+        tel = self.run_quick_chaos(tmp_path)
+        assert main(["traces", str(tel), "--trace-id", "999999"]) == 1
+
+    def test_report_rejects_non_telemetry_directory(self, tmp_path):
+        from repro.errors import MetricsError
+
+        with pytest.raises(MetricsError):
+            main(["report", str(tmp_path)])
+
+    def test_metrics_from_snapshot_file(
+        self, tmp_path, capsys, clean_observability
+    ):
+        tel = self.run_quick_chaos(tmp_path)
+        capsys.readouterr()
+        code = main(["metrics", "--from", str(tel / "snapshot.json")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_dfs_reads_total counter" in out
+        assert "span(s)" in out
+
+    def test_overload_pair_writes_both_legs(
+        self, tmp_path, clean_observability
+    ):
+        code = main([
+            "overload", "--minutes", "1", "--seed", "0",
+            "--out", str(tmp_path / "out"),
+            "--telemetry-out", str(tmp_path / "tel"),
+        ])
+        assert code == 0
+        for leg in ("protected", "unprotected"):
+            assert (tmp_path / "tel" / leg / "slo.json").exists(), leg
+        meta = json.loads(
+            (tmp_path / "tel" / "unprotected" / "meta.json").read_text()
+        )
+        assert meta["label"] == "overload-unprotected"
+        text = (tmp_path / "out" / "overload.txt").read_text()
+        assert "SLO violation minutes" in text
+
+    def test_figures_telemetry_out(
+        self, tmp_path, clean_observability
+    ):
+        code = main([
+            "figures", "--quick", "--figures", "3",
+            "--out", str(tmp_path / "figs"),
+            "--telemetry-out", str(tmp_path / "tel"),
+        ])
+        assert code == 0
+        meta = json.loads((tmp_path / "tel" / "meta.json").read_text())
+        assert meta["label"] == "figures-reference"
+        assert meta["samples_taken"] > 0
+
+
 class TestParser:
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
