@@ -30,7 +30,12 @@ import pytest
 
 from conftest import write_result
 from repro import obs
-from repro.experiments.chaos import ChaosConfig, run_chaos
+from repro.experiments.chaos import (
+    ChaosConfig,
+    LeaderKillConfig,
+    run_chaos,
+    run_leader_kill,
+)
 from repro.obs.gate import (
     check_bundle,
     compare,
@@ -44,6 +49,9 @@ from repro.obs.telemetry import TelemetryBundle, TelemetrySession
 pytestmark = pytest.mark.bench
 
 BASELINE = Path(__file__).parent / "baselines" / "metrics_baseline.json"
+LEADERKILL_BASELINE = (
+    Path(__file__).parent / "baselines" / "metrics_baseline_leaderkill.json"
+)
 
 GATE_SEED = 0
 
@@ -55,6 +63,17 @@ TOLERANCES = {
     "repro_dfs_read_latency_seconds/p": 0.5,
     "repro_dfs_recovery_seconds/p": 0.5,
     "repro_dfs_reads_total": 0.15,
+    "run/": 0.15,
+}
+
+# The leader-kill gate pins the failover telemetry: election counts,
+# time-to-leader/time-to-writable percentiles, journal shipping volume
+# and the client-op availability series.  Failover timings move in
+# poll-interval steps, so their percentiles get histogram-grade slack.
+LEADERKILL_TOLERANCES = {
+    "repro_ha_time_to_leader_seconds/p": 0.5,
+    "repro_ha_time_to_writable_seconds/p": 0.5,
+    "repro_dfs_read_latency_seconds/p": 0.5,
     "run/": 0.15,
 }
 
@@ -79,9 +98,32 @@ def run_gate_bundle(out_dir: Path) -> TelemetryBundle:
     return TelemetryBundle.load(session.write(out_dir))
 
 
+def leaderkill_config() -> LeaderKillConfig:
+    """The ``repro chaos --kill-leader --quick`` run, pinned."""
+    return LeaderKillConfig(seed=GATE_SEED)
+
+
+def run_leaderkill_bundle(out_dir: Path) -> TelemetryBundle:
+    session = TelemetrySession(
+        label="metrics-gate-leaderkill", seed=GATE_SEED,
+        trace_sample_rate=0.1, interval=15.0,
+    )
+    run_leader_kill(leaderkill_config(), telemetry=session)
+    return TelemetryBundle.load(session.write(out_dir))
+
+
 @pytest.fixture(scope="module")
 def gate_summary(tmp_path_factory):
     bundle = run_gate_bundle(tmp_path_factory.mktemp("gate") / "tel")
+    yield summarize_telemetry(bundle)
+    obs.get_registry().reset()
+    obs.get_tracer().clear()
+    obs.disable()
+
+
+@pytest.fixture(scope="module")
+def leaderkill_summary(tmp_path_factory):
+    bundle = run_leaderkill_bundle(tmp_path_factory.mktemp("lk") / "tel")
     yield summarize_telemetry(bundle)
     obs.get_registry().reset()
     obs.get_tracer().clear()
@@ -134,6 +176,45 @@ def test_gate_flags_missing_series(gate_summary):
     )
 
 
+def test_leader_kill_matches_committed_baseline(leaderkill_summary):
+    violations = compare(
+        leaderkill_summary,
+        load_baseline(LEADERKILL_BASELINE),
+        load_tolerances(LEADERKILL_BASELINE),
+    )
+    lines = [
+        f"{key} = {value:.6g}"
+        for key, value in sorted(leaderkill_summary.items())
+    ]
+    lines.append("")
+    lines.append(f"violations: {len(violations)}")
+    lines.extend(str(v) for v in violations)
+    write_result("metrics_gate_leaderkill.txt", "\n".join(lines))
+    assert not violations, "\n".join(str(v) for v in violations)
+
+
+def test_leader_kill_gate_flags_missing_failover_series(leaderkill_summary):
+    """Losing the journal-shipping telemetry must trip the gate.
+
+    (``repro_ha_failovers_total`` itself totals 1.0 — inside the gate's
+    absolute floor — so the high-volume shipping counter is the canary.)
+    """
+    pruned = {
+        key: value for key, value in leaderkill_summary.items()
+        if not key.startswith("repro_ha_journal_entries_shipped_total")
+    }
+    violations = compare(
+        pruned,
+        load_baseline(LEADERKILL_BASELINE),
+        load_tolerances(LEADERKILL_BASELINE),
+    )
+    assert any(
+        v.key.startswith("repro_ha_journal_entries_shipped_total")
+        and v.actual == 0
+        for v in violations
+    )
+
+
 def test_check_bundle_end_to_end(tmp_path):
     """The one-call wrapper CI uses: fresh run vs committed baseline."""
     bundle = run_gate_bundle(tmp_path / "tel")
@@ -147,7 +228,7 @@ def test_check_bundle_end_to_end(tmp_path):
 
 
 def main() -> None:
-    """Regenerate the committed baseline from a fresh gate run."""
+    """Regenerate the committed baselines from fresh gate runs."""
     with tempfile.TemporaryDirectory() as scratch:
         bundle = run_gate_bundle(Path(scratch) / "tel")
     summary = summarize_telemetry(bundle)
@@ -157,6 +238,20 @@ def main() -> None:
             "Instrumented `repro chaos --quick` storm, seed 0. "
             "Regenerate after intentional behaviour changes with: "
             "PYTHONPATH=src python benchmarks/test_metrics_regression.py"
+        ),
+    )
+    print(f"wrote {path} ({len(summary)} keys)")
+    obs.get_registry().reset()
+    obs.get_tracer().clear()
+    with tempfile.TemporaryDirectory() as scratch:
+        bundle = run_leaderkill_bundle(Path(scratch) / "tel")
+    summary = summarize_telemetry(bundle)
+    path = write_baseline(
+        LEADERKILL_BASELINE, summary, tolerances=LEADERKILL_TOLERANCES,
+        note=(
+            "Instrumented `repro chaos --kill-leader --quick` run, "
+            "seed 0: leader killed mid-Aurora-period, follower "
+            "failover. Regenerate alongside metrics_baseline.json."
         ),
     )
     print(f"wrote {path} ({len(summary)} keys)")

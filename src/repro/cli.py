@@ -196,6 +196,28 @@ def _build_parser() -> argparse.ArgumentParser:
         help="fraction of client reads that get a causal trace "
              "(with --telemetry-out)",
     )
+    chaos.add_argument(
+        "--kill-leader", action="store_true",
+        help="run the HA leader-kill scenario (replicated metadata "
+             "plane) instead of the datanode fault storm",
+    )
+    chaos.add_argument(
+        "--replicas", type=int, default=3,
+        help="namenode replicas for --kill-leader",
+    )
+
+    ha = sub.add_parser(
+        "ha",
+        help="demo the replicated metadata plane: kill the leader "
+             "mid-optimization and watch the failover timeline",
+    )
+    ha.add_argument("--out", type=Path, default=Path("results"))
+    ha.add_argument("--seed", type=int, default=0)
+    ha.add_argument("--replicas", type=int, default=3)
+    ha.add_argument(
+        "--kill-at", type=float, default=950.0,
+        help="sim seconds at which the leader replica dies",
+    )
 
     overload = sub.add_parser(
         "overload",
@@ -482,6 +504,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.experiments.chaos import ChaosConfig, render_chaos, run_chaos
     from repro.obs.telemetry import TelemetrySession
 
+    if args.kill_leader:
+        return _cmd_kill_leader(args)
     args.out.mkdir(parents=True, exist_ok=True)
     if args.metrics_out is not None:
         obs.enable()
@@ -530,6 +554,84 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     if args.metrics_out is not None:
         snapshot = obs.write_snapshot(args.metrics_out)
         print(f"[written {snapshot}]")
+    return 0
+
+
+def _cmd_kill_leader(args: argparse.Namespace) -> int:
+    """``repro chaos --kill-leader``: HA failover under workload."""
+    from repro.experiments.chaos import (
+        LeaderKillConfig,
+        render_leader_kill,
+        run_leader_kill,
+    )
+    from repro.obs.telemetry import TelemetrySession
+
+    args.out.mkdir(parents=True, exist_ok=True)
+    if args.metrics_out is not None:
+        obs.enable()
+        obs.get_registry().reset()
+        obs.get_tracer().clear()
+    if args.quick:
+        config = LeaderKillConfig(
+            num_replicas=args.replicas, seed=args.seed,
+        )
+    else:
+        horizon = args.hours * 3600.0
+        # Kill the leader just before the mid-run Aurora period tick,
+        # so the outage interrupts one period and aborts the next.
+        period = LeaderKillConfig.aurora_period
+        kill_at = max(1.0, (horizon / 2) // period * period - 10.0)
+        config = LeaderKillConfig(
+            num_racks=4, machines_per_rack=4, capacity_blocks=300,
+            horizon=horizon, kill_at=kill_at,
+            num_replicas=args.replicas, seed=args.seed,
+        )
+    session = None
+    if args.telemetry_out is not None:
+        session = TelemetrySession(
+            label="chaos-kill-leader",
+            seed=args.seed,
+            trace_sample_rate=args.trace_sample_rate,
+            interval=min(60.0, config.read_interval * 3),
+        )
+        session.meta.update({
+            "command": "chaos --kill-leader",
+            "replicas": args.replicas,
+            "horizon": config.horizon,
+            "kill_at": config.kill_at,
+            "quick": args.quick,
+        })
+    text = render_leader_kill(run_leader_kill(config, telemetry=session))
+    target = args.out / "chaos_kill_leader.txt"
+    target.write_text(text + "\n", encoding="utf-8")
+    print(text)
+    print(f"[written {target}]")
+    if session is not None:
+        print(f"[written {session.write(args.telemetry_out)}]")
+    if args.metrics_out is not None:
+        snapshot = obs.write_snapshot(args.metrics_out)
+        print(f"[written {snapshot}]")
+    return 0
+
+
+def _cmd_ha(args: argparse.Namespace) -> int:
+    """``repro ha``: quick replicated-metadata-plane demo."""
+    from repro.experiments.chaos import (
+        LeaderKillConfig,
+        render_leader_kill,
+        run_leader_kill,
+    )
+
+    args.out.mkdir(parents=True, exist_ok=True)
+    config = LeaderKillConfig(
+        num_replicas=args.replicas, kill_at=args.kill_at, seed=args.seed,
+    )
+    result = run_leader_kill(config)
+    text = render_leader_kill(result)
+    target = args.out / "ha.txt"
+    target.write_text(text + "\n", encoding="utf-8")
+    print(text)
+    print(f"[written {target}]")
     return 0
 
 
@@ -763,6 +865,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_sensitivity(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
+    if args.command == "ha":
+        return _cmd_ha(args)
     if args.command == "overload":
         return _cmd_overload(args)
     if args.command == "fsck":

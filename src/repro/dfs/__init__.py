@@ -10,7 +10,15 @@ from repro.dfs.block import DEFAULT_MAX_BLOCK_SIZE, BlockMeta, FileMeta
 from repro.dfs.blockmap import BlockMap
 from repro.dfs.client import DfsClient, Locality, ReadResult
 from repro.dfs.datanode import Datanode
-from repro.dfs.editlog import EditLog, attach_edit_log, recover_namenode
+from repro.dfs.editlog import (
+    EditLog,
+    attach_edit_log,
+    build_checkpoint,
+    recover_namenode,
+    replay_entries,
+    restore_checkpoint,
+)
+from repro.dfs.ha import HaCluster, HaConfig, NamenodeReplica, rebind_aurora
 from repro.dfs.heartbeat import HeartbeatService
 from repro.dfs.namenode import Namenode
 from repro.dfs.namespace import NamespaceTree
@@ -23,6 +31,11 @@ from repro.dfs.policies import (
     PlacementContext,
 )
 from repro.dfs.replication import GIGABIT_PER_SECOND, TransferService
+from repro.dfs.store import (
+    InMemoryMetadataStore,
+    JsonFileMetadataStore,
+    MetadataStore,
+)
 
 __all__ = [
     "Balancer",
@@ -37,7 +50,17 @@ __all__ = [
     "Datanode",
     "EditLog",
     "attach_edit_log",
+    "build_checkpoint",
     "recover_namenode",
+    "replay_entries",
+    "restore_checkpoint",
+    "HaCluster",
+    "HaConfig",
+    "NamenodeReplica",
+    "rebind_aurora",
+    "MetadataStore",
+    "InMemoryMetadataStore",
+    "JsonFileMetadataStore",
     "HeartbeatService",
     "Namenode",
     "NamespaceTree",

@@ -29,7 +29,7 @@ Checks performed:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 from repro.dfs.namenode import Namenode
 from repro.obs.registry import get_registry
@@ -105,13 +105,20 @@ class FsckReport:
 
 
 def run_fsck(
-    namenode: Namenode, check_replication_targets: bool = True
+    namenode: Namenode,
+    check_replication_targets: bool = True,
+    expected_paths: Optional[Iterable[str]] = None,
 ) -> FsckReport:
     """Walk the whole cluster and report every broken invariant.
 
     ``check_replication_targets=False`` skips the under-replication and
     under-spread checks — useful mid-storm, where blocks are *expected*
     to be below target while repair is still running.
+
+    ``expected_paths`` lists file paths that *must* exist — the
+    metadata-loss check after a failover: any path a client successfully
+    created on the old leader that the new leader does not know is a
+    ``missing-file`` violation.
     """
     report = FsckReport(time=namenode.now)
     live = namenode.live_nodes()
@@ -199,6 +206,14 @@ def run_fsck(
                     block_id=block_id,
                     node=dn.node_id,
                 ))
+
+    for path in sorted(set(expected_paths or ())):
+        if not namenode.namespace.is_file(path):
+            report.violations.append(FsckViolation(
+                check="missing-file",
+                detail=f"acknowledged file {path} is gone from the "
+                       f"namespace (metadata loss)",
+            ))
 
     for meta in files:
         report.files_checked += 1

@@ -104,6 +104,21 @@ class HeartbeatService:
             self._check_token.cancel()
             self._check_token = None
 
+    def rebind(self, namenode: Namenode) -> None:
+        """Point the service at a new namenode (post-failover).
+
+        The physical datanodes (and their ``last_heartbeat`` clocks)
+        carry over — only the metadata endpoint changed.  Nodes already
+        declared dead are re-declared to the new namenode so its belief
+        matches the detector's; if one of them beats again, the normal
+        reconciliation path re-registers it with the new leader.
+        """
+        self.namenode = namenode
+        for node_id in self._declared:
+            # Belief-only: ground-truth liveness belongs to the fault
+            # injector, exactly as in _check().
+            namenode.fail_node(node_id, re_replicate=False, crash=False)
+
     def declared_dead(self) -> Set[int]:
         """Nodes the namenode currently believes are dead."""
         return set(self._declared)

@@ -196,6 +196,10 @@ class Namenode:
         # Safe mode: mutations rejected until enough blocks have
         # reported a replica (see repro.dfs.safemode).
         self.safe_mode = False
+        # Fencing hook (installed by repro.dfs.ha): called before every
+        # mutation; raises FencedError when this namenode's leadership
+        # term has been superseded, so a deposed leader cannot write.
+        self.fence_check: Optional[Callable[[], None]] = None
         # Listeners notified on every block access: fn(block_id, time).
         self.access_listeners: List[Callable[[int, float], None]] = []
         # Richer read listeners: fn(block_id, reader, source, time) —
@@ -433,7 +437,9 @@ class Namenode:
         raise CapacityExceededError(f"datanode {node} disk full")
 
     def _check_writable(self) -> None:
-        """Raise :class:`SafeModeError` while safe mode is on."""
+        """Raise :class:`SafeModeError` while safe mode or fencing is on."""
+        if self.fence_check is not None:
+            self.fence_check()
         if self.safe_mode:
             raise SafeModeError("namenode is in safe mode")
 

@@ -119,6 +119,30 @@ class NamespaceTree:
             prefix = ""
         yield from self._walk(node, prefix or "")
 
+    def walk_directories(self, path: str = "/") -> Iterator[str]:
+        """Yield every directory path under ``path``, excluding the root.
+
+        Depth-first, parents before children, so replaying the output
+        through :meth:`mkdir` reconstructs the tree — including empty
+        directories, which :meth:`walk_files` cannot see.
+        """
+        node = self._lookup(path)
+        if node is None or not node.is_directory:
+            raise FileNotFoundInDfsError(f"no such directory: {path}")
+        prefix = "/" + "/".join(split_path(path))
+        if prefix == "/":
+            prefix = ""
+        yield from self._walk_dirs(node, prefix)
+
+    def _walk_dirs(self, node: _Node, prefix: str) -> Iterator[str]:
+        assert node.children is not None
+        for name in sorted(node.children):
+            child = node.children[name]
+            if child.is_directory:
+                child_path = f"{prefix}/{name}"
+                yield child_path
+                yield from self._walk_dirs(child, child_path)
+
     def _walk(self, node: _Node, prefix: str) -> Iterator[Tuple[str, int]]:
         if not node.is_directory:
             assert node.file_id is not None

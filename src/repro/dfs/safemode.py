@@ -15,7 +15,7 @@ reproduces that protocol for the simulator's recovery path
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.dfs.namenode import Namenode
 from repro.errors import DfsError
@@ -68,6 +68,9 @@ class SafeModeMonitor:
         self.extension = extension
         self._token: Optional[EventToken] = None
         self._threshold_met_at: Optional[float] = None
+        # Called with the sim time at which safe mode ends — the HA
+        # plane uses it to record time-to-writable after a failover.
+        self.on_exit: Optional[Callable[[float], None]] = None
         enter_safe_mode(namenode)
 
     @property
@@ -96,6 +99,8 @@ class SafeModeMonitor:
                 self._token = None
             # Leaving safe mode: repair anything still missing.
             self.namenode.check_replication()
+            if self.on_exit is not None:
+                self.on_exit(now)
             return True
         return False
 

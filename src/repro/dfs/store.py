@@ -1,0 +1,223 @@
+"""Pluggable metadata stores: durable backends for journal + checkpoint.
+
+The HA plane (:mod:`repro.dfs.ha`) persists each replica's shipped
+journal tail and latest checkpoint through a small storage interface so
+backends can be swapped — an in-memory store for fast simulation runs,
+a JSON-lines directory store for runs that must survive process
+restarts (and for inspecting what a replica knew when it was killed).
+
+A store holds two things:
+
+* the **journal**: edit-log entries (dicts with a monotonically
+  increasing ``seq``), appendable and truncatable after a checkpoint;
+* the **checkpoint**: the most recent
+  :func:`repro.dfs.editlog.build_checkpoint` snapshot, replaced
+  atomically.
+
+Both backends share :class:`EditLog`'s torn-tail tolerance: a crash
+mid-append loses at most the partial trailing line, never the journal.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.errors import DfsError, EditLogCorruptError
+
+__all__ = [
+    "MetadataStore",
+    "InMemoryMetadataStore",
+    "JsonFileMetadataStore",
+]
+
+
+class MetadataStore:
+    """Interface every metadata backend implements."""
+
+    def append_entry(self, entry: Dict) -> None:
+        """Durably append one journal entry (must carry ``seq``)."""
+        raise NotImplementedError
+
+    def append_entries(self, entries: Iterable[Dict]) -> None:
+        """Append a batch of journal entries in order."""
+        for entry in entries:
+            self.append_entry(entry)
+
+    def entries(self) -> List[Dict]:
+        """All retained journal entries, oldest first."""
+        raise NotImplementedError
+
+    def entries_after(self, seq: int) -> List[Dict]:
+        """Retained entries with sequence number > ``seq``."""
+        return [entry for entry in self.entries() if entry["seq"] > seq]
+
+    def last_seq(self) -> int:
+        """Highest sequence number ever appended (0 when empty)."""
+        raise NotImplementedError
+
+    def journal_size(self) -> int:
+        """Number of retained journal entries."""
+        return len(self.entries())
+
+    def truncate_through(self, seq: int) -> int:
+        """Drop entries with seq <= the given value; returns count."""
+        raise NotImplementedError
+
+    def save_checkpoint(self, checkpoint: Dict) -> None:
+        """Replace the stored checkpoint atomically."""
+        raise NotImplementedError
+
+    def load_checkpoint(self) -> Optional[Dict]:
+        """The stored checkpoint, or ``None`` if never checkpointed."""
+        raise NotImplementedError
+
+
+class InMemoryMetadataStore(MetadataStore):
+    """Journal and checkpoint held in process memory (the sim default)."""
+
+    def __init__(self) -> None:
+        self._entries: List[Dict] = []
+        self._last_seq = 0
+        self._checkpoint: Optional[Dict] = None
+
+    def append_entry(self, entry: Dict) -> None:
+        if entry["seq"] <= self._last_seq:
+            raise DfsError(
+                f"journal seq {entry['seq']} is not past {self._last_seq}"
+            )
+        self._entries.append(dict(entry))
+        self._last_seq = entry["seq"]
+
+    def entries(self) -> List[Dict]:
+        return [dict(entry) for entry in self._entries]
+
+    def last_seq(self) -> int:
+        return self._last_seq
+
+    def truncate_through(self, seq: int) -> int:
+        keep = [entry for entry in self._entries if entry["seq"] > seq]
+        dropped = len(self._entries) - len(keep)
+        self._entries = keep
+        return dropped
+
+    def save_checkpoint(self, checkpoint: Dict) -> None:
+        # Round-trip through JSON so the in-memory backend rejects
+        # exactly what the file backend would, and shares no state with
+        # the live namenode.
+        self._checkpoint = json.loads(json.dumps(checkpoint))
+        # The checkpoint covers the journal prefix through its seq, so
+        # future appends must land past it even if this store never saw
+        # the prefix (a revived replica catching up from a snapshot).
+        self._last_seq = max(self._last_seq, checkpoint.get("seq", 0))
+
+    def load_checkpoint(self) -> Optional[Dict]:
+        if self._checkpoint is None:
+            return None
+        return json.loads(json.dumps(self._checkpoint))
+
+
+class JsonFileMetadataStore(MetadataStore):
+    """Journal as JSON lines plus a checkpoint file in one directory.
+
+    Layout::
+
+        <directory>/journal.jsonl     append-only journal
+        <directory>/checkpoint.json   latest checkpoint (atomic replace)
+
+    Appends go straight to disk; truncation and checkpointing rewrite
+    via a temp file + :func:`os.replace` so a crash at any point leaves
+    either the old or the new file, never a torn one.  Opening an
+    existing directory resumes from whatever survived, tolerating a
+    torn trailing journal line (reported via :attr:`torn_line`).
+    """
+
+    JOURNAL = "journal.jsonl"
+    CHECKPOINT = "checkpoint.json"
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._journal_path = self.directory / self.JOURNAL
+        self._checkpoint_path = self.directory / self.CHECKPOINT
+        self._entries: List[Dict] = []
+        self._last_seq = 0
+        self.torn_line: Optional[str] = None
+        if self._journal_path.exists():
+            self._load_journal()
+        checkpoint = self.load_checkpoint()
+        if checkpoint is not None:
+            self._last_seq = max(self._last_seq, checkpoint.get("seq", 0))
+
+    def _load_journal(self) -> None:
+        raw = self._journal_path.read_text(encoding="utf-8").splitlines()
+        lines = [(i + 1, line) for i, line in enumerate(raw) if line.strip()]
+        for position, (lineno, line) in enumerate(lines):
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError as exc:
+                if position == len(lines) - 1:
+                    self.torn_line = line
+                    # Rewrite without the torn tail so future appends
+                    # don't concatenate onto a partial line.
+                    self._rewrite_journal()
+                    return
+                raise EditLogCorruptError(
+                    f"{self._journal_path}: corrupt entry at line "
+                    f"{lineno}: {exc}"
+                ) from exc
+            self._entries.append(entry)
+            self._last_seq = max(self._last_seq, entry["seq"])
+
+    def _rewrite_journal(self) -> None:
+        tmp = self.directory / (self.JOURNAL + ".tmp")
+        with tmp.open("w", encoding="utf-8") as handle:
+            for entry in self._entries:
+                handle.write(json.dumps(entry) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self._journal_path)
+
+    def append_entry(self, entry: Dict) -> None:
+        if entry["seq"] <= self._last_seq:
+            raise DfsError(
+                f"journal seq {entry['seq']} is not past {self._last_seq}"
+            )
+        with self._journal_path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(entry) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._entries.append(dict(entry))
+        self._last_seq = entry["seq"]
+
+    def entries(self) -> List[Dict]:
+        return [dict(entry) for entry in self._entries]
+
+    def last_seq(self) -> int:
+        return self._last_seq
+
+    def truncate_through(self, seq: int) -> int:
+        keep = [entry for entry in self._entries if entry["seq"] > seq]
+        dropped = len(self._entries) - len(keep)
+        if dropped:
+            self._entries = keep
+            self._rewrite_journal()
+        return dropped
+
+    def save_checkpoint(self, checkpoint: Dict) -> None:
+        tmp = self.directory / (self.CHECKPOINT + ".tmp")
+        with tmp.open("w", encoding="utf-8") as handle:
+            json.dump(checkpoint, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self._checkpoint_path)
+        self._last_seq = max(self._last_seq, checkpoint.get("seq", 0))
+
+    def load_checkpoint(self) -> Optional[Dict]:
+        if not self._checkpoint_path.exists():
+            return None
+        return json.loads(
+            self._checkpoint_path.read_text(encoding="utf-8")
+        )

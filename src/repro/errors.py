@@ -23,6 +23,9 @@ __all__ = [
     "FileExistsInDfsError",
     "DatanodeUnavailableError",
     "SafeModeError",
+    "FencedError",
+    "EditLogCorruptError",
+    "NoLeaderError",
     "QuotaExceededError",
     "SchedulerError",
     "TraceFormatError",
@@ -93,6 +96,23 @@ class DatanodeUnavailableError(DfsError):
 
 class SafeModeError(DfsError):
     """The namenode is in safe mode; mutations are rejected."""
+
+
+class FencedError(SafeModeError):
+    """A deposed leader rejected a write (its term was superseded).
+
+    Subclasses :class:`SafeModeError` so callers that already treat
+    safe-mode rejections as "metadata plane temporarily unwritable"
+    handle fencing the same way.
+    """
+
+
+class EditLogCorruptError(DfsError):
+    """A persisted edit log is corrupt beyond its trailing line."""
+
+
+class NoLeaderError(DfsError):
+    """No namenode replica currently holds a valid leadership lease."""
 
 
 class QuotaExceededError(DfsError):

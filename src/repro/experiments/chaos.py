@@ -30,23 +30,49 @@ import statistics
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.aurora.config import AuroraConfig
+from repro.aurora.system import AuroraSystem
 from repro.cluster.topology import ClusterTopology
 from repro.dfs.client import DfsClient
 from repro.dfs.fsck import FsckReport, run_fsck
+from repro.dfs.ha import HaCluster, HaConfig, rebind_aurora
 from repro.dfs.heartbeat import HeartbeatService
 from repro.dfs.namenode import Namenode
 from repro.dfs.policies import DefaultHdfsPolicy
 from repro.dfs.replication import TransferService
-from repro.errors import DatanodeUnavailableError, InvalidProblemError
-from repro.faults import FaultInjector, FaultProfile, profile_from_name
+from repro.errors import (
+    DatanodeUnavailableError,
+    DfsError,
+    InvalidProblemError,
+    NoLeaderError,
+    SafeModeError,
+)
+from repro.faults import (
+    FaultInjector,
+    FaultProfile,
+    LeaderKillProfile,
+    profile_from_name,
+)
+from repro.obs.registry import get_registry
 from repro.obs.slo import availability_slo, latency_slo
 from repro.obs.telemetry import TelemetrySession
 from repro.simulation.engine import Simulation
 
 __all__ = ["ChaosConfig", "ChaosResult", "run_chaos", "render_chaos",
-           "default_chaos_slos"]
+           "default_chaos_slos", "LeaderKillConfig", "LeaderKillResult",
+           "run_leader_kill", "render_leader_kill", "default_ha_slos"]
 
 _LOG = logging.getLogger(__name__)
+
+_REG = get_registry()
+_HA_OPS_SERVED = _REG.counter(
+    "repro_ha_client_ops_served_total",
+    "Client metadata writes and block reads served by the HA plane",
+)
+_HA_OPS_FAILED = _REG.counter(
+    "repro_ha_client_ops_failed_total",
+    "Client operations rejected or failed during a metadata-plane outage",
+)
 
 
 @dataclass(frozen=True)
@@ -365,6 +391,444 @@ def render_chaos(result: ChaosResult) -> str:
                if result.fsck.healthy
                else f"{len(result.fsck.violations)} violation(s)")
         )
+    if result.slo_statuses:
+        lines.append("")
+        lines.append("  SLOs:")
+        for status in result.slo_statuses:
+            lines.append(
+                f"    {status.objective.name:<28}"
+                f"{'PASS' if status.compliant else 'VIOLATED':<10}"
+                f"sli={status.overall_sli:.4f} "
+                f"target={status.objective.target:.4f} "
+                f"violation_min={status.violation_minutes:.1f}"
+            )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Leader-kill scenario: chaos against the replicated metadata plane.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LeaderKillConfig:
+    """One leader-kill run: HA metadata plane under a steady workload.
+
+    A :class:`~repro.dfs.ha.HaCluster` serves a mixed read/write stream
+    with an Aurora optimizer reconfiguring every ``aurora_period``; at
+    ``kill_at`` the leader replica is crashed mid-period.  The run is
+    deterministic for a given config — election timeouts, workload
+    choices and the kill schedule all derive from ``seed``.
+    """
+
+    num_racks: int = 3
+    machines_per_rack: int = 3
+    capacity_blocks: int = 200
+    #: Files preloaded before the workload (and the kill) starts.
+    num_files: int = 12
+    blocks_per_file: int = 2
+    block_size: int = 64 * 1024 * 1024
+    replication: int = 3
+    rack_spread: int = 2
+    horizon: float = 1800.0
+    #: When the leader dies.  Defaults to late in an Aurora optimization
+    #: period (periods tick at multiples of ``aurora_period``), so the
+    #: in-flight period is interrupted AND the next period boundary
+    #: lands inside the outage window — exercising the clean abort.
+    kill_at: float = 950.0
+    #: When the killed replica rejoins as a follower (0 = never).
+    revive_after: float = 600.0
+    heartbeat_interval: float = 3.0
+    heartbeat_expiry: float = 30.0
+    aurora_period: float = 120.0
+    read_interval: float = 5.0
+    reads_per_tick: int = 2
+    write_interval: float = 20.0
+    replication_check_interval: float = 60.0
+    drain: float = 300.0
+    # HA-plane knobs (see HaConfig).
+    num_replicas: int = 3
+    lease_timeout: float = 10.0
+    election_jitter: float = 5.0
+    ship_interval: float = 2.0
+    checkpoint_every: int = 40
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.kill_at < self.horizon:
+            raise InvalidProblemError("kill_at must fall inside the horizon")
+        if self.write_interval <= 0 or self.read_interval <= 0:
+            raise InvalidProblemError("workload intervals must be positive")
+        if not 1 <= self.rack_spread <= self.replication:
+            raise InvalidProblemError("rack_spread must be in [1, replication]")
+        # Size the stream against the disks so the run cannot exhaust
+        # capacity mid-flight and masquerade as an HA failure.
+        writes = int(self.horizon / self.write_interval) + self.num_files
+        demand = writes * self.blocks_per_file * self.replication
+        capacity = (self.num_racks * self.machines_per_rack
+                    * self.capacity_blocks)
+        if demand > 0.8 * capacity:
+            raise InvalidProblemError(
+                f"workload would fill {demand}/{capacity} block slots; "
+                "raise capacity_blocks or slow the write stream"
+            )
+
+    def ha_config(self) -> HaConfig:
+        """The HA-plane slice of this config."""
+        return HaConfig(
+            num_replicas=self.num_replicas,
+            lease_timeout=self.lease_timeout,
+            election_jitter=self.election_jitter,
+            ship_interval=self.ship_interval,
+            checkpoint_every=self.checkpoint_every,
+            seed=self.seed,
+        )
+
+
+@dataclass
+class LeaderKillResult:
+    """What a leader-kill run observed."""
+
+    config: LeaderKillConfig
+    files_acknowledged: int = 0
+    write_ops_served: int = 0
+    write_ops_failed: int = 0
+    read_ops_served: int = 0
+    read_ops_failed: int = 0
+    aurora_periods_completed: int = 0
+    aurora_periods_aborted: int = 0
+    elections: int = 0
+    failovers: int = 0
+    fenced_writes: int = 0
+    entries_shipped: int = 0
+    entries_replayed: int = 0
+    checkpoints_taken: int = 0
+    journal_retained_entries: int = 0
+    time_to_new_leader: Optional[float] = None
+    time_to_writable: Optional[float] = None
+    metadata_lost: int = 0
+    timeline: List[Dict] = field(default_factory=list)
+    fsck: Optional[FsckReport] = None
+    slo_statuses: List = field(default_factory=list)
+
+    @property
+    def write_availability(self) -> float:
+        """Fraction of attempted writes the plane acknowledged."""
+        attempted = self.write_ops_served + self.write_ops_failed
+        return self.write_ops_served / attempted if attempted else 1.0
+
+    @property
+    def read_availability(self) -> float:
+        """Fraction of attempted reads some replica served."""
+        attempted = self.read_ops_served + self.read_ops_failed
+        return self.read_ops_served / attempted if attempted else 1.0
+
+    def summary(self) -> Dict[str, object]:
+        """Deterministic scalars for regression baselines."""
+        return {
+            "files_acknowledged": self.files_acknowledged,
+            "write_ops_served": self.write_ops_served,
+            "write_ops_failed": self.write_ops_failed,
+            "read_ops_served": self.read_ops_served,
+            "read_ops_failed": self.read_ops_failed,
+            "aurora_periods_completed": self.aurora_periods_completed,
+            "aurora_periods_aborted": self.aurora_periods_aborted,
+            "elections": self.elections,
+            "failovers": self.failovers,
+            "fenced_writes": self.fenced_writes,
+            "entries_replayed": self.entries_replayed,
+            "checkpoints_taken": self.checkpoints_taken,
+            "journal_retained_entries": self.journal_retained_entries,
+            "time_to_new_leader": self.time_to_new_leader,
+            "time_to_writable": self.time_to_writable,
+            "metadata_lost": self.metadata_lost,
+            "fsck_healthy": (self.fsck.healthy
+                             if self.fsck is not None else None),
+        }
+
+
+def default_ha_slos(config: LeaderKillConfig) -> List:
+    """The SLO set a leader-kill run is judged against."""
+    window = max(config.write_interval * 15, 300.0)
+    return [
+        availability_slo(
+            "metadata-availability",
+            good_series="repro_ha_client_ops_served_total",
+            bad_series="repro_ha_client_ops_failed_total",
+            target=0.95, window=window,
+            description="95% of client operations succeed across a "
+                        "leader kill (the failover window is the budget)",
+        ),
+        latency_slo(
+            "failover-time-to-writable",
+            series="repro_ha_time_to_writable_seconds",
+            threshold=60.0, target=0.99,
+            window=max(config.horizon, 3600.0),
+            description="the metadata plane accepts writes within 60 "
+                        "simulated seconds of a leader death",
+        ),
+    ]
+
+
+def run_leader_kill(
+    config: LeaderKillConfig,
+    telemetry: Optional[TelemetrySession] = None,
+) -> LeaderKillResult:
+    """Kill the leader mid-optimization and measure the failover.
+
+    The scenario the HA plane exists for: an Aurora optimizer is
+    reconfiguring the cluster on a period cadence, clients stream
+    writes and reads, and the leader namenode dies between period
+    boundaries.  A follower must win the election, replay only the
+    journal tail past its last shipped checkpoint, sit in safe mode
+    until block reports restore locations, and resume — including the
+    optimizer, which re-points at the new leader via
+    :func:`~repro.dfs.ha.rebind_aurora` and picks its period cadence
+    back up (ticks that land during the outage abort cleanly).
+
+    Acknowledged metadata must survive: after the drain,
+    :func:`~repro.dfs.fsck.run_fsck` is handed every path the client
+    saw acknowledged and reports any that vanished as metadata loss.
+    """
+    sim = Simulation()
+    topology = ClusterTopology.uniform(
+        config.num_racks, config.machines_per_rack, config.capacity_blocks
+    )
+
+    def make_namenode() -> Namenode:
+        transfers = TransferService(
+            topology, sim=sim, rng=random.Random(config.seed + 1)
+        )
+        return Namenode(
+            topology,
+            placement_policy=DefaultHdfsPolicy(random.Random(config.seed + 2)),
+            sim=sim,
+            transfer_service=transfers,
+            default_replication=config.replication,
+            default_rack_spread=config.rack_spread,
+            rng=random.Random(config.seed + 3),
+        )
+
+    cluster = HaCluster(sim, config.ha_config(), make_namenode)
+    namenode = cluster.start()
+    heartbeats = HeartbeatService(
+        sim, namenode,
+        interval=config.heartbeat_interval,
+        expiry=config.heartbeat_expiry,
+    )
+    heartbeats.start()
+    cluster.heartbeats = heartbeats
+
+    client = DfsClient(
+        namenode,
+        trace_sampler=(
+            telemetry.sampler() if telemetry is not None else None
+        ),
+    )
+    aurora = AuroraSystem(
+        namenode,
+        AuroraConfig(
+            period=config.aurora_period,
+            min_replication=config.replication,
+            rack_spread=config.rack_spread,
+        ),
+    )
+    cluster.on_failover.append(lambda fresh: rebind_aurora(aurora, fresh))
+    cluster.on_failover.append(
+        lambda fresh: setattr(client, "namenode", fresh)
+    )
+
+    if telemetry is not None:
+        telemetry.install(sim)
+        if not telemetry.slo.objectives:
+            for objective in default_ha_slos(config):
+                telemetry.add_objective(objective)
+
+    result = LeaderKillResult(config=config)
+    acknowledged: List[str] = []
+    blocks: List[int] = []
+    for index in range(config.num_files):
+        meta = client.write_file(
+            f"/ha/seed/{index}",
+            num_blocks=config.blocks_per_file,
+            block_size=config.block_size,
+        )
+        acknowledged.append(f"/ha/seed/{index}")
+        blocks.extend(meta.block_ids)
+
+    injector = FaultInjector(
+        sim, namenode,
+        [LeaderKillProfile(times=(config.kill_at,),
+                           revive_after=config.revive_after)],
+        horizon=config.horizon, seed=config.seed,
+        heartbeats=heartbeats, ha=cluster,
+    )
+    injector.install()
+
+    reader_rng = random.Random(config.seed + 4)
+    write_counter = [0]
+
+    def write_tick() -> None:
+        path = f"/ha/stream/{write_counter[0]}"
+        write_counter[0] += 1
+        try:
+            meta = client.write_file(
+                path,
+                num_blocks=config.blocks_per_file,
+                block_size=config.block_size,
+            )
+        except (DfsError, NoLeaderError):
+            # Fenced, in safe mode or leaderless: the op is the outage's
+            # cost; the path was never acknowledged so fsck won't expect it.
+            result.write_ops_failed += 1
+            if _REG.enabled:
+                _HA_OPS_FAILED.inc()
+        else:
+            result.write_ops_served += 1
+            acknowledged.append(path)
+            blocks.extend(meta.block_ids)
+            if _REG.enabled:
+                _HA_OPS_SERVED.inc()
+
+    def read_tick() -> None:
+        for _ in range(config.reads_per_tick):
+            block = reader_rng.choice(blocks)
+            reader = reader_rng.randrange(topology.num_machines)
+            try:
+                client.read_block(block, reader)
+            except (DatanodeUnavailableError, DfsError):
+                result.read_ops_failed += 1
+                if _REG.enabled:
+                    _HA_OPS_FAILED.inc()
+            else:
+                result.read_ops_served += 1
+                if _REG.enabled:
+                    _HA_OPS_SERVED.inc()
+
+    def aurora_tick() -> None:
+        try:
+            active = cluster.active
+        except NoLeaderError:
+            result.aurora_periods_aborted += 1
+            return
+        if active.safe_mode:
+            # New leader still rebuilding locations: skip this period
+            # rather than optimize against an empty block map.
+            result.aurora_periods_aborted += 1
+            return
+        try:
+            aurora.optimize(sim.now)
+        except SafeModeError:
+            # The leader was deposed under us (FencedError) — the
+            # period aborts; its usage history carries into the next.
+            result.aurora_periods_aborted += 1
+        else:
+            result.aurora_periods_completed += 1
+
+    def replication_tick() -> None:
+        try:
+            cluster.active.check_replication()
+        except NoLeaderError:
+            pass
+
+    write_token = sim.schedule_periodic(config.write_interval, write_tick)
+    read_token = sim.schedule_periodic(config.read_interval, read_tick)
+    aurora_token = sim.schedule_periodic(config.aurora_period, aurora_tick)
+    check_token = sim.schedule_periodic(
+        config.replication_check_interval, replication_tick
+    )
+
+    sim.run(until=config.horizon)
+    for token in (write_token, read_token, aurora_token):
+        token.cancel()
+    sim.run(until=config.horizon + config.drain)
+    check_token.cancel()
+    heartbeats.stop()
+    cluster.stop()
+
+    active = cluster.active  # drain must end with an elected leader
+    active.audit()
+    result.fsck = run_fsck(active, expected_paths=acknowledged)
+    result.metadata_lost = sum(
+        1 for violation in result.fsck.violations
+        if violation.check == "missing-file"
+    )
+    result.files_acknowledged = len(acknowledged)
+    result.elections = cluster.elections
+    result.failovers = cluster.failovers
+    result.fenced_writes = cluster.fenced_writes
+    result.entries_shipped = cluster.entries_shipped
+    result.entries_replayed = cluster.entries_replayed_last_failover
+    result.checkpoints_taken = cluster.checkpoints_taken
+    result.journal_retained_entries = len(cluster.log)
+    if cluster.time_to_leader:
+        result.time_to_new_leader = cluster.time_to_leader[0]
+    if cluster.time_to_writable:
+        result.time_to_writable = cluster.time_to_writable[0]
+    result.timeline = list(cluster.events)
+    if telemetry is not None:
+        result.slo_statuses = telemetry.finish(sim.now)
+    _LOG.info(
+        "leader-kill run done: failovers=%d t_leader=%s t_writable=%s "
+        "lost=%d write_avail=%.4f",
+        result.failovers, result.time_to_new_leader,
+        result.time_to_writable, result.metadata_lost,
+        result.write_availability,
+    )
+    return result
+
+
+def render_leader_kill(result: LeaderKillResult) -> str:
+    """Human-readable leader-kill report."""
+    config = result.config
+
+    def fmt(value: Optional[float]) -> str:
+        return f"{value:.1f}s" if value is not None else "n/a"
+
+    lines = [
+        "Leader-kill chaos "
+        f"(replicas={config.num_replicas} seed={config.seed} "
+        f"kill_at={config.kill_at:.0f}s horizon={config.horizon:.0f}s)",
+        "",
+        f"  time to new leader        {fmt(result.time_to_new_leader)}",
+        f"  time to writable          {fmt(result.time_to_writable)}",
+        f"  metadata lost             {result.metadata_lost} "
+        f"of {result.files_acknowledged} acknowledged files",
+        f"  elections / failovers     {result.elections} / "
+        f"{result.failovers}",
+        f"  fenced writes             {result.fenced_writes}",
+        f"  journal entries replayed  {result.entries_replayed} "
+        f"(tail past the last shipped checkpoint)",
+        f"  checkpoints taken         {result.checkpoints_taken}",
+        f"  journal retained          {result.journal_retained_entries} "
+        f"entries",
+        f"  entries shipped           {result.entries_shipped}",
+        f"  write availability        {result.write_availability:.4f} "
+        f"({result.write_ops_served} served, "
+        f"{result.write_ops_failed} failed)",
+        f"  read availability         {result.read_availability:.4f} "
+        f"({result.read_ops_served} served, "
+        f"{result.read_ops_failed} failed)",
+        f"  aurora periods            {result.aurora_periods_completed} "
+        f"completed, {result.aurora_periods_aborted} aborted",
+    ]
+    if result.fsck is not None:
+        lines.append(
+            "  fsck                      "
+            + ("healthy"
+               if result.fsck.healthy
+               else f"{len(result.fsck.violations)} violation(s)")
+        )
+    if result.timeline:
+        lines.append("")
+        lines.append("  timeline:")
+        for event in result.timeline:
+            detail = " ".join(
+                f"{key}={value}" for key, value in event.items()
+                if key not in ("t", "event")
+            )
+            lines.append(f"    t={event['t']:>8.1f}  {event['event']:<16}"
+                         f"{detail}")
     if result.slo_statuses:
         lines.append("")
         lines.append("  SLOs:")

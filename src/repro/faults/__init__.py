@@ -24,6 +24,7 @@ from repro.faults.injector import (
     FaultProfile,
     FlakyTransferProfile,
     GrayNodeProfile,
+    LeaderKillProfile,
     MessageLossProfile,
     PartitionProfile,
     profile_from_name,
@@ -41,5 +42,6 @@ __all__ = [
     "PartitionProfile",
     "FlakyTransferProfile",
     "MessageLossProfile",
+    "LeaderKillProfile",
     "profile_from_name",
 ]

@@ -27,6 +27,7 @@ from repro.obs.registry import get_registry
 from repro.simulation.engine import Simulation
 
 if TYPE_CHECKING:  # break the repro.dfs <-> repro.faults import cycle
+    from repro.dfs.ha import HaCluster
     from repro.dfs.heartbeat import HeartbeatService
     from repro.dfs.namenode import Namenode
 
@@ -37,6 +38,7 @@ __all__ = [
     "PartitionProfile",
     "FlakyTransferProfile",
     "MessageLossProfile",
+    "LeaderKillProfile",
     "FaultProfile",
     "FaultInjector",
     "profile_from_name",
@@ -164,12 +166,37 @@ class MessageLossProfile:
             raise FaultConfigError("loss_probability must be in (0, 1)")
 
 
+@dataclass(frozen=True)
+class LeaderKillProfile:
+    """Crash the metadata-plane leader at scheduled times.
+
+    Targets the *role*, not a machine: each strike kills whichever
+    namenode replica currently leads the :class:`repro.dfs.ha.HaCluster`
+    the injector was armed with.  ``revive_after`` restarts the killed
+    replica as a follower (0 keeps it dead — with 3 replicas the plane
+    still tolerates exactly one such kill).
+    """
+
+    kind: ClassVar[str] = "kill_leader"
+    times: Tuple[float, ...] = (900.0,)
+    revive_after: float = 600.0
+
+    def __post_init__(self) -> None:
+        if not self.times:
+            raise FaultConfigError("times must list at least one kill")
+        if any(t <= 0 for t in self.times):
+            raise FaultConfigError("kill times must be positive")
+        if self.revive_after < 0:
+            raise FaultConfigError("revive_after must be non-negative")
+
+
 FaultProfile = Union[
     CrashProfile,
     GrayNodeProfile,
     PartitionProfile,
     FlakyTransferProfile,
     MessageLossProfile,
+    LeaderKillProfile,
 ]
 
 _PROFILE_NAMES = {
@@ -178,6 +205,7 @@ _PROFILE_NAMES = {
     "partition": PartitionProfile,
     "flaky": FlakyTransferProfile,
     "msgloss": MessageLossProfile,
+    "kill_leader": LeaderKillProfile,
 }
 
 
@@ -211,15 +239,25 @@ class FaultInjector:
         horizon: float,
         seed: int = 0,
         heartbeats: Optional[HeartbeatService] = None,
+        ha: Optional[HaCluster] = None,
     ) -> None:
         if horizon <= 0:
             raise FaultConfigError("horizon must be positive")
+        if ha is None and any(
+            isinstance(p, LeaderKillProfile) for p in profiles
+        ):
+            raise FaultConfigError(
+                "kill_leader profile needs an HaCluster (pass ha=...)"
+            )
         self.sim = sim
         self.namenode = namenode
         self.profiles = tuple(profiles)
         self.horizon = float(horizon)
         self.seed = seed
         self.heartbeats = heartbeats
+        self.ha = ha
+        # Replica ids of killed leaders, popped by their revive events.
+        self._killed_leaders: List[int] = []
         self.injected: Dict[str, int] = {}
         self.installed = False
         # Nodes may be downed by overlapping profiles (a machine crash
@@ -258,6 +296,19 @@ class FaultInjector:
             )
             return self._sample(profile.kind, racks, profile.mtbf,
                                 profile.duration, rng)
+        if isinstance(profile, LeaderKillProfile):
+            # target is -1: the victim is whichever replica leads when
+            # the strike fires, unknowable at plan time.
+            events = []
+            for t in profile.times:
+                if t >= self.horizon:
+                    continue
+                events.append(FaultEvent(t, profile.kind, -1, False))
+                if profile.revive_after > 0:
+                    events.append(FaultEvent(
+                        t + profile.revive_after, profile.kind, -1, True
+                    ))
+            return events
         return []  # hook-based profiles have no timed events
 
     def _sample(
@@ -325,6 +376,14 @@ class FaultInjector:
         _LOG.info("injecting fault: %s", event.describe())
         if event.kind == CrashProfile.kind:
             self._strike_nodes([event.target], event)
+        elif event.kind == LeaderKillProfile.kind:
+            from repro.errors import NoLeaderError
+            try:
+                self._killed_leaders.append(self.ha.kill_leader())
+            except NoLeaderError:
+                # An earlier kill's election is still running; striking
+                # a leaderless plane is a no-op.
+                self.injected[event.kind] -= 1
         elif event.kind == PartitionProfile.kind:
             nodes = self.namenode.topology.machines_in_rack(event.target)
             self._strike_nodes(nodes, event)
@@ -355,6 +414,10 @@ class FaultInjector:
         return 0.0
 
     def _heal(self, event: FaultEvent) -> None:
+        if event.kind == LeaderKillProfile.kind:
+            if self._killed_leaders:
+                self.ha.revive_replica(self._killed_leaders.pop(0))
+            return
         if event.kind == GrayNodeProfile.kind:
             self.namenode.datanode(event.target).slowdown = 1.0
             return

@@ -1,0 +1,488 @@
+"""Tests for the HA metadata plane: durable editlog, stores, failover.
+
+Covers the layers bottom-up:
+
+* :class:`~repro.dfs.editlog.EditLog` durability — monotonic sequence
+  numbers, atomic dumps, torn-trailing-line tolerance, truncation;
+* :class:`~repro.dfs.store.MetadataStore` backends (in-memory and
+  JSON-lines file) — append/tail/checkpoint semantics, crash tolerance;
+* quota journaling and the mutator-coverage guard (a future namenode
+  mutator that ships unjournaled fails the guard test);
+* checkpoints — round-trip fidelity and bounded replay;
+* :class:`~repro.dfs.ha.HaCluster` — election determinism, the
+  log-completeness vote rule, fencing, journal shipping, failover with
+  zero acknowledged-write loss.
+"""
+
+import inspect
+import json
+import random
+
+import pytest
+
+from repro.cluster.topology import ClusterTopology
+from repro.dfs.editlog import (
+    EXEMPT_NAMENODE_METHODS,
+    EXEMPT_QUOTA_METHODS,
+    JOURNALED_MUTATORS,
+    QUOTA_JOURNALED_MUTATORS,
+    EditLog,
+    attach_edit_log,
+    build_checkpoint,
+    recover_namenode,
+    replay_entries,
+    restore_checkpoint,
+)
+from repro.dfs.fsck import run_fsck
+from repro.dfs.ha import HaCluster, HaConfig
+from repro.dfs.namenode import Namenode
+from repro.dfs.policies import DefaultHdfsPolicy
+from repro.dfs.quota import QuotaManager
+from repro.dfs.replication import TransferService
+from repro.dfs.store import (
+    InMemoryMetadataStore,
+    JsonFileMetadataStore,
+)
+from repro.errors import (
+    DfsError,
+    EditLogCorruptError,
+    FencedError,
+    NoLeaderError,
+)
+from repro.simulation.engine import Simulation
+
+pytestmark = pytest.mark.ha
+
+
+def make_namenode(num_racks=2, per_rack=2, capacity=80, seed=0, sim=None):
+    topo = ClusterTopology.uniform(num_racks, per_rack, capacity)
+    transfers = (
+        TransferService(topo, sim=sim, rng=random.Random(seed + 1))
+        if sim is not None else None
+    )
+    return Namenode(
+        topo,
+        placement_policy=DefaultHdfsPolicy(random.Random(seed + 2)),
+        sim=sim,
+        transfer_service=transfers,
+        rng=random.Random(seed + 3),
+    )
+
+
+class TestEditLogDurability:
+    def test_sequence_numbers_are_monotonic_from_one(self):
+        log = EditLog()
+        first = log.append("mkdir", path="/a")
+        second = log.append("mkdir", path="/b")
+        assert (first["seq"], second["seq"]) == (1, 2)
+        assert log.last_seq == 2
+
+    def test_dump_is_atomic_and_leaves_no_temp(self, tmp_path):
+        log = EditLog()
+        log.append("mkdir", path="/a")
+        target = tmp_path / "journal.jsonl"
+        log.dump(target)
+        assert [p.name for p in tmp_path.iterdir()] == ["journal.jsonl"]
+        lines = target.read_text().splitlines()
+        assert [json.loads(line)["op"] for line in lines] == ["mkdir"]
+
+    def test_load_tolerates_torn_trailing_line(self, tmp_path):
+        log = EditLog()
+        log.append("mkdir", path="/a")
+        log.append("mkdir", path="/b")
+        target = tmp_path / "journal.jsonl"
+        log.dump(target)
+        with open(target, "a", encoding="utf-8") as handle:
+            handle.write('{"op": "mkdir", "path": "/c"')  # crash mid-write
+        reloaded = EditLog.load(target)
+        assert reloaded.torn_line is not None
+        assert [entry["path"] for entry in reloaded.entries] == ["/a", "/b"]
+        assert reloaded.last_seq == 2
+
+    def test_load_rejects_mid_file_corruption(self, tmp_path):
+        target = tmp_path / "journal.jsonl"
+        good = json.dumps({"op": "mkdir", "path": "/a", "seq": 1})
+        target.write_text("not json at all\n" + good + "\n")
+        with pytest.raises(EditLogCorruptError):
+            EditLog.load(target)
+
+    def test_truncate_through_bounds_the_retained_prefix(self):
+        log = EditLog()
+        for index in range(10):
+            log.append("mkdir", path=f"/d/{index}")
+        dropped = log.truncate_through(7)
+        assert dropped == 7
+        assert len(log) == 3
+        assert log.first_retained_seq == 8
+        assert [entry["seq"] for entry in log.entries_after(7)] == [8, 9, 10]
+        with pytest.raises(DfsError):
+            log.entries_after(3)  # predates the retained prefix
+
+    def test_resume_from_continues_the_sequence(self):
+        log = EditLog()
+        log.resume_from(41)
+        assert log.append("mkdir", path="/x")["seq"] == 42
+        busy = EditLog()
+        busy.append("mkdir", path="/y")
+        with pytest.raises(DfsError):
+            busy.resume_from(10)  # only an empty journal can resume
+
+    def test_sink_sees_every_entry(self):
+        log = EditLog()
+        seen = []
+        log.sink = seen.append
+        log.append("mkdir", path="/a")
+        log.append("mkdir", path="/b")
+        assert [entry["seq"] for entry in seen] == [1, 2]
+
+
+@pytest.fixture(params=["memory", "file"])
+def store(request, tmp_path):
+    if request.param == "memory":
+        return InMemoryMetadataStore()
+    return JsonFileMetadataStore(tmp_path / "store")
+
+
+class TestMetadataStores:
+    @staticmethod
+    def entry(seq, path="/p"):
+        return {"op": "mkdir", "path": path, "seq": seq}
+
+    def test_append_and_tail(self, store):
+        store.append_entry(self.entry(1))
+        store.append_entries([self.entry(2), self.entry(3)])
+        assert store.last_seq() == 3
+        assert store.journal_size() == 3
+        assert [e["seq"] for e in store.entries_after(1)] == [2, 3]
+
+    def test_rejects_stale_or_duplicate_seq(self, store):
+        store.append_entry(self.entry(2))
+        with pytest.raises(DfsError):
+            store.append_entry(self.entry(2))
+        with pytest.raises(DfsError):
+            store.append_entry(self.entry(1))
+
+    def test_checkpoint_floors_last_seq_and_truncation(self, store):
+        for seq in range(1, 6):
+            store.append_entry(self.entry(seq))
+        store.save_checkpoint({"format": 1, "seq": 9, "directories": []})
+        store.truncate_through(5)
+        assert store.journal_size() == 0
+        assert store.last_seq() == 9  # the checkpoint carries the seq floor
+        assert store.load_checkpoint()["seq"] == 9
+
+    def test_file_store_survives_reopen(self, tmp_path):
+        directory = tmp_path / "meta"
+        store = JsonFileMetadataStore(directory)
+        store.append_entry(self.entry(1))
+        store.append_entry(self.entry(2, path="/q"))
+        store.save_checkpoint({"format": 1, "seq": 1, "directories": []})
+        reopened = JsonFileMetadataStore(directory)
+        assert reopened.last_seq() == 2
+        assert [e["path"] for e in reopened.entries()] == ["/p", "/q"]
+        assert reopened.load_checkpoint()["seq"] == 1
+
+    def test_file_store_drops_torn_tail_on_reopen(self, tmp_path):
+        directory = tmp_path / "meta"
+        store = JsonFileMetadataStore(directory)
+        store.append_entry(self.entry(1))
+        with open(directory / "journal.jsonl", "a", encoding="utf-8") as fh:
+            fh.write('{"op": "mkdir", "seq": 2, "pa')  # torn write
+        reopened = JsonFileMetadataStore(directory)
+        assert reopened.last_seq() == 1
+        assert reopened.journal_size() == 1
+
+
+class TestJournalCoverage:
+    """A future mutator that ships unjournaled must fail here."""
+
+    @staticmethod
+    def public_methods(cls):
+        return {
+            name
+            for name, _member in inspect.getmembers(
+                cls, predicate=inspect.isfunction
+            )
+            if not name.startswith("_")
+        }
+
+    def test_every_namenode_method_is_journaled_or_exempt(self):
+        methods = self.public_methods(Namenode)
+        unaccounted = methods - JOURNALED_MUTATORS - EXEMPT_NAMENODE_METHODS
+        assert not unaccounted, (
+            f"new Namenode methods {sorted(unaccounted)}: journal them in "
+            "repro.dfs.editlog (JOURNALED_MUTATORS + attach_edit_log + "
+            "replay_entries) or list them in EXEMPT_NAMENODE_METHODS with "
+            "a reason"
+        )
+        # And the registries must not drift ahead of the class either.
+        assert JOURNALED_MUTATORS <= methods
+        assert EXEMPT_NAMENODE_METHODS <= methods
+
+    def test_every_quota_method_is_journaled_or_exempt(self):
+        methods = self.public_methods(QuotaManager)
+        unaccounted = (
+            methods - QUOTA_JOURNALED_MUTATORS - EXEMPT_QUOTA_METHODS
+        )
+        assert not unaccounted, (
+            f"new QuotaManager methods {sorted(unaccounted)}: journal or "
+            "exempt them in repro.dfs.editlog"
+        )
+        assert QUOTA_JOURNALED_MUTATORS <= methods
+
+    def test_quota_mutations_are_journaled_and_recovered(self):
+        namenode = make_namenode()
+        quota = QuotaManager(namenode)
+        log = attach_edit_log(namenode, quota=quota)
+        namenode.mkdir("/tenant")
+        quota.set_quota("/tenant", max_files=3, max_replicated_blocks=50)
+        namenode.mkdir("/scratch")
+        quota.set_quota("/scratch", max_files=1)
+        quota.clear_quota("/scratch")
+        ops = [entry["op"] for entry in log.entries]
+        assert ops.count("set_quota") == 2
+        assert ops.count("clear_quota") == 1
+
+        fresh = make_namenode()
+        fresh_quota = QuotaManager(fresh)
+        replay_entries(fresh, log.entries, quota=fresh_quota)
+        restored = fresh_quota.quota_of("/tenant")
+        assert restored.max_files == 3
+        assert restored.max_replicated_blocks == 50
+        assert fresh_quota.quota_of("/scratch") is None
+        # The restored limit is enforced, not just recorded.
+        for index in range(3):
+            fresh.create_file(f"/tenant/f{index}", num_blocks=1, block_size=1)
+        with pytest.raises(DfsError):
+            fresh.create_file("/tenant/f3", num_blocks=1, block_size=1)
+
+
+class TestCheckpoints:
+    def test_round_trip_preserves_namespace_blocks_and_quotas(self):
+        namenode = make_namenode()
+        quota = QuotaManager(namenode)
+        attach_edit_log(namenode, quota=quota)
+        namenode.mkdir("/empty/nested")  # empty dirs must survive
+        namenode.create_file("/data/a", num_blocks=2, block_size=7)
+        namenode.create_file("/data/b", num_blocks=1, block_size=7)
+        namenode.delete_file("/data/b")
+        quota.set_quota("/data", max_files=10)
+        checkpoint = build_checkpoint(namenode, quota=quota, seq=4, term=2)
+
+        fresh = make_namenode()
+        fresh_quota = QuotaManager(fresh)
+        restore_checkpoint(fresh, checkpoint, quota=fresh_quota)
+        assert fresh.namespace.is_directory("/empty/nested")
+        assert fresh.namespace.is_file("/data/a")
+        assert not fresh.namespace.exists("/data/b")
+        meta = fresh.file("/data/a")
+        assert meta.block_ids == namenode.file("/data/a").block_ids
+        assert fresh_quota.quota_of("/data").max_files == 10
+        assert fresh._next_file_id == namenode._next_file_id
+        assert fresh._next_block_id == namenode._next_block_id
+
+    def test_checkpoint_never_carries_block_locations(self):
+        namenode = make_namenode()
+        namenode.create_file("/data/a", num_blocks=1, block_size=7)
+        checkpoint = build_checkpoint(namenode)
+        assert "locations" not in json.dumps(checkpoint)
+
+    def test_replay_resumes_after_checkpoint_only(self):
+        """Follower recovery replays only the tail past the checkpoint."""
+        namenode = make_namenode()
+        log = attach_edit_log(namenode)
+        for index in range(20):
+            namenode.create_file(f"/f/{index}", num_blocks=1, block_size=1)
+        checkpoint = build_checkpoint(namenode, seq=15)
+        tail = log.entries_after(15)
+
+        fresh = make_namenode()
+        restore_checkpoint(fresh, checkpoint)
+        replayed = replay_entries(fresh, tail)
+        assert replayed == 5
+        for index in range(20):
+            assert fresh.namespace.is_file(f"/f/{index}")
+
+
+def build_cluster(checkpoint_every=50, num_replicas=3, seed=0):
+    sim = Simulation()
+    topo = ClusterTopology.uniform(2, 2, 120)
+
+    def factory():
+        transfers = TransferService(topo, sim=sim, rng=random.Random(1))
+        return Namenode(
+            topo,
+            placement_policy=DefaultHdfsPolicy(random.Random(2)),
+            sim=sim,
+            transfer_service=transfers,
+            rng=random.Random(3),
+        )
+
+    config = HaConfig(
+        num_replicas=num_replicas,
+        checkpoint_every=checkpoint_every,
+        seed=seed,
+    )
+    return sim, HaCluster(sim, config, factory)
+
+
+class TestHaCluster:
+    def test_bootstrap_elects_replica_zero(self):
+        sim, cluster = build_cluster()
+        namenode = cluster.start()
+        assert cluster.leader_id == 0
+        assert cluster.current_term == 1
+        assert cluster.active is namenode
+        cluster.stop()
+
+    def test_no_leader_raises(self):
+        sim, cluster = build_cluster()
+        cluster.start()
+        cluster.kill_leader()
+        with pytest.raises(NoLeaderError):
+            cluster.active
+        cluster.stop()
+
+    def test_election_timeouts_are_seed_deterministic(self):
+        _, first = build_cluster(seed=7)
+        _, second = build_cluster(seed=7)
+        _, different = build_cluster(seed=8)
+        timeouts = [r.election_timeout for r in first.replicas]
+        assert timeouts == [r.election_timeout for r in second.replicas]
+        assert timeouts != [r.election_timeout for r in different.replicas]
+
+    def test_failover_preserves_acknowledged_writes(self):
+        sim, cluster = build_cluster(checkpoint_every=10)
+        namenode = cluster.start()
+        paths = []
+        for index in range(25):
+            path = f"/f/{index}"
+            namenode.create_file(path, num_blocks=1, block_size=1)
+            paths.append(path)
+        sim.run(until=30.0)  # ship + checkpoint
+        cluster.kill_leader()
+        sim.run(until=120.0)
+
+        active = cluster.active
+        assert active is not namenode
+        assert cluster.current_term == 2
+        assert cluster.leader_id != 0
+        assert not active.safe_mode
+        assert cluster.time_to_leader and cluster.time_to_writable
+        assert cluster.time_to_writable[0] >= cluster.time_to_leader[0]
+        report = run_fsck(active, expected_paths=paths)
+        assert report.healthy, report.violations
+
+    def test_deposed_leader_is_fenced(self):
+        sim, cluster = build_cluster()
+        stale = cluster.start()
+        stale.create_file("/a", num_blocks=1, block_size=1)
+        sim.run(until=10.0)
+        cluster.kill_leader()
+        sim.run(until=120.0)
+        assert cluster.leader_id != 0
+        with pytest.raises(FencedError):
+            stale.create_file("/b", num_blocks=1, block_size=1)
+        assert cluster.fenced_writes == 1
+        # The new leader never saw the fenced write.
+        assert not cluster.active.namespace.exists("/b")
+
+    def test_vote_denied_to_incomplete_journal(self):
+        """The winner always holds every acknowledged write."""
+        sim, cluster = build_cluster()
+        namenode = cluster.start()
+        sim.run(until=10.0)
+        # Rig the timeouts so the *least* caught-up replica stands first:
+        # quorum writes land on replicas 0+1, replica 2 only tails.
+        cluster.replicas[1].election_timeout = 30.0
+        cluster.replicas[2].election_timeout = 12.0
+        for index in range(5):
+            namenode.create_file(f"/f/{index}", num_blocks=1, block_size=1)
+        assert cluster.replicas[2].last_seq < cluster.replicas[1].last_seq
+        cluster.kill_leader()
+        sim.run(until=120.0)
+        # Replica 2 stood and lost (incomplete journal) — possibly more
+        # than once — until replica 1's longer timeout expired and it
+        # won; the acknowledged writes are all there.
+        assert cluster.leader_id == 1
+        assert cluster.elections >= 2
+        lost = [e for e in cluster.events
+                if e["event"] == "election" and not e["won"]]
+        assert lost and all(e["replica"] == 2 for e in lost)
+        for index in range(5):
+            assert cluster.active.namespace.is_file(f"/f/{index}")
+        cluster.stop()
+
+    def test_checkpoints_bound_journal_and_replay(self):
+        """Journal size and failover replay are O(checkpoint_every),
+        independent of the total mutation count."""
+        retained = {}
+        replayed = {}
+        for mutations in (40, 80):
+            sim, cluster = build_cluster(checkpoint_every=10)
+            namenode = cluster.start()
+            counter = [0]
+
+            def write_one():
+                if counter[0] < mutations:
+                    cluster.active.create_file(
+                        f"/f/{counter[0]}", num_blocks=1, block_size=1
+                    )
+                    counter[0] += 1
+
+            sim.schedule_periodic(1.0, write_one)
+            sim.run(until=mutations + 10.0)
+            assert cluster.checkpoints_taken >= mutations // 10 - 1
+            retained[mutations] = len(cluster.log)
+            cluster.kill_leader()
+            sim.run(until=mutations + 120.0)
+            replayed[mutations] = cluster.entries_replayed_last_failover
+            report = run_fsck(
+                cluster.active,
+                expected_paths=[f"/f/{i}" for i in range(mutations)],
+            )
+            assert report.healthy, report.violations
+            cluster.stop()
+        # Doubling the history must not grow the retained journal or
+        # the failover replay: both are bounded by checkpoint_every
+        # plus the few entries journaled since the last truncation.
+        slack = 10 + 5
+        assert retained[80] <= slack and retained[40] <= slack
+        assert replayed[80] <= slack and replayed[40] <= slack
+
+    def test_ship_catches_up_a_revived_replica(self):
+        sim, cluster = build_cluster(checkpoint_every=10)
+        namenode = cluster.start()
+        sim.run(until=5.0)
+        cluster.kill_replica(2)
+        for index in range(30):
+            namenode.create_file(f"/f/{index}", num_blocks=1, block_size=1)
+        sim.run(until=40.0)  # checkpoints happen while 2 is down
+        cluster.revive_replica(2)
+        sim.run(until=60.0)
+        leader_seq = cluster.replicas[cluster.leader_id].last_seq
+        assert cluster.replicas[2].last_seq == leader_seq
+        # It caught up through a shipped checkpoint, not a full replay.
+        assert cluster.replicas[2].store.load_checkpoint() is not None
+        assert cluster.replicas[2].store.journal_size() <= 15
+        cluster.stop()
+
+    def test_two_replica_plane_survives_no_failover_without_quorum(self):
+        sim, cluster = build_cluster(num_replicas=2)
+        cluster.start()
+        cluster.kill_replica(1)
+        cluster.kill_leader()
+        sim.run(until=120.0)
+        # 0 alive replicas of 2: no quorum, no leader — and no crash.
+        with pytest.raises(NoLeaderError):
+            cluster.active
+        cluster.stop()
+
+    def test_recover_namenode_still_works_standalone(self):
+        """The pre-HA single-node recovery path keeps working."""
+        namenode = make_namenode()
+        log = attach_edit_log(namenode)
+        namenode.create_file("/solo", num_blocks=1, block_size=1)
+        fresh = make_namenode()
+        recover_namenode(fresh, log, surviving_datanodes=fresh.datanodes)
+        assert fresh.namespace.is_file("/solo")

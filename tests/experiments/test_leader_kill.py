@@ -1,0 +1,83 @@
+"""Leader-kill chaos scenario: the HA acceptance bar.
+
+A fixed seed, the leader killed mid-Aurora-period, a follower taking
+over — the run must be repeatable bit-for-bit and lose nothing that
+was acknowledged.
+"""
+
+import pytest
+
+from repro.experiments.chaos import (
+    LeaderKillConfig,
+    default_ha_slos,
+    render_leader_kill,
+    run_leader_kill,
+)
+from repro.errors import InvalidProblemError
+
+pytestmark = pytest.mark.ha
+
+
+def small_config(**overrides):
+    """A fast run that still crosses one checkpoint and the kill."""
+    defaults = dict(
+        horizon=600.0, kill_at=230.0, drain=200.0, revive_after=200.0,
+        num_files=6, checkpoint_every=10, aurora_period=120.0,
+        read_interval=10.0, write_interval=15.0,
+    )
+    defaults.update(overrides)
+    return LeaderKillConfig(**defaults)
+
+
+class TestLeaderKillScenario:
+    def test_failover_report_and_zero_metadata_loss(self):
+        result = run_leader_kill(small_config())
+        assert result.failovers == 1
+        assert result.elections >= 1
+        assert result.time_to_new_leader is not None
+        assert result.time_to_writable is not None
+        assert result.time_to_writable >= result.time_to_new_leader
+        assert result.metadata_lost == 0
+        assert result.fsck is not None and result.fsck.healthy
+        # The kill lands mid-period with the next boundary inside the
+        # outage: the optimizer must abort that period cleanly and
+        # resume afterwards.
+        assert result.aurora_periods_aborted >= 1
+        assert result.aurora_periods_completed >= 1
+        # Bounded recovery: the follower replayed only the journal tail
+        # past its last shipped checkpoint.
+        assert 0 < result.entries_replayed <= result.config.checkpoint_every + 5
+        assert result.journal_retained_entries <= result.config.checkpoint_every + 5
+
+    def test_same_seed_runs_are_identical(self):
+        config = small_config()
+        first = run_leader_kill(config)
+        second = run_leader_kill(config)
+        assert first.summary() == second.summary()
+        assert first.timeline == second.timeline
+        assert render_leader_kill(first) == render_leader_kill(second)
+
+    def test_different_seed_changes_the_run(self):
+        first = run_leader_kill(small_config())
+        second = run_leader_kill(small_config(seed=3))
+        assert first.summary() != second.summary()
+
+    def test_render_mentions_the_headline_numbers(self):
+        result = run_leader_kill(small_config())
+        text = render_leader_kill(result)
+        assert "time to new leader" in text
+        assert "time to writable" in text
+        assert "metadata lost" in text
+        assert "timeline:" in text
+
+    def test_default_slos_cover_availability_and_failover(self):
+        names = [o.name for o in default_ha_slos(small_config())]
+        assert names == ["metadata-availability", "failover-time-to-writable"]
+
+    def test_config_rejects_capacity_exhausting_stream(self):
+        with pytest.raises(InvalidProblemError):
+            LeaderKillConfig(capacity_blocks=10)
+
+    def test_config_rejects_kill_outside_horizon(self):
+        with pytest.raises(InvalidProblemError):
+            LeaderKillConfig(kill_at=5000.0, horizon=600.0)
