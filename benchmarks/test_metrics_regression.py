@@ -30,6 +30,7 @@ import pytest
 
 from conftest import write_result
 from repro import obs
+from repro.experiments.bitrot import BitRotConfig, run_bit_rot
 from repro.experiments.chaos import (
     ChaosConfig,
     LeaderKillConfig,
@@ -51,6 +52,9 @@ pytestmark = pytest.mark.bench
 BASELINE = Path(__file__).parent / "baselines" / "metrics_baseline.json"
 LEADERKILL_BASELINE = (
     Path(__file__).parent / "baselines" / "metrics_baseline_leaderkill.json"
+)
+BITROT_BASELINE = (
+    Path(__file__).parent / "baselines" / "metrics_baseline_bitrot.json"
 )
 
 GATE_SEED = 0
@@ -74,6 +78,21 @@ LEADERKILL_TOLERANCES = {
     "repro_ha_time_to_leader_seconds/p": 0.5,
     "repro_ha_time_to_writable_seconds/p": 0.5,
     "repro_dfs_read_latency_seconds/p": 0.5,
+    "run/": 0.15,
+}
+
+# The bit-rot gate pins the integrity telemetry: scrub throughput,
+# corrupt-replica detections per detector, detection/repair latency
+# percentiles and the purge counter.  Detection latencies move in
+# scrub-pass-sized steps, so their percentiles get histogram slack;
+# the scrub scan counters aggregate tens of thousands of replicas and
+# are pinned tight.
+BITROT_TOLERANCES = {
+    "repro_dfs_integrity_detection_seconds/p": 0.5,
+    "repro_dfs_integrity_repair_seconds/p": 0.5,
+    "repro_dfs_read_latency_seconds/p": 0.5,
+    "repro_dfs_integrity_scrubbed_replicas_total": 0.1,
+    "repro_dfs_integrity_scrub_bytes_total": 0.1,
     "run/": 0.15,
 }
 
@@ -109,6 +128,23 @@ def run_leaderkill_bundle(out_dir: Path) -> TelemetryBundle:
         trace_sample_rate=0.1, interval=15.0,
     )
     run_leader_kill(leaderkill_config(), telemetry=session)
+    return TelemetryBundle.load(session.write(out_dir))
+
+
+def bitrot_config() -> BitRotConfig:
+    """The ``repro chaos --bit-rot --quick`` run, pinned for the gate."""
+    return BitRotConfig(
+        num_files=8, horizon=1800.0, bitrot_mtbf=600.0,
+        tornwrite_mtbf=1200.0, drain=900.0, seed=GATE_SEED,
+    )
+
+
+def run_bitrot_bundle(out_dir: Path) -> TelemetryBundle:
+    session = TelemetrySession(
+        label="metrics-gate-bitrot", seed=GATE_SEED,
+        trace_sample_rate=0.1, interval=15.0,
+    )
+    run_bit_rot(bitrot_config(), telemetry=session)
     return TelemetryBundle.load(session.write(out_dir))
 
 
@@ -215,6 +251,54 @@ def test_leader_kill_gate_flags_missing_failover_series(leaderkill_summary):
     )
 
 
+@pytest.fixture(scope="module")
+def bitrot_summary(tmp_path_factory):
+    bundle = run_bitrot_bundle(tmp_path_factory.mktemp("rot") / "tel")
+    yield summarize_telemetry(bundle)
+    obs.get_registry().reset()
+    obs.get_tracer().clear()
+    obs.disable()
+
+
+def test_bit_rot_matches_committed_baseline(bitrot_summary):
+    violations = compare(
+        bitrot_summary,
+        load_baseline(BITROT_BASELINE),
+        load_tolerances(BITROT_BASELINE),
+    )
+    lines = [
+        f"{key} = {value:.6g}"
+        for key, value in sorted(bitrot_summary.items())
+    ]
+    lines.append("")
+    lines.append(f"violations: {len(violations)}")
+    lines.extend(str(v) for v in violations)
+    write_result("metrics_gate_bitrot.txt", "\n".join(lines))
+    assert not violations, "\n".join(str(v) for v in violations)
+
+
+def test_bit_rot_gate_flags_missing_scrub_series(bitrot_summary):
+    """A scrubber that silently stops scanning must trip the gate.
+
+    (Individual detections total in the low tens; the per-replica scan
+    counter aggregates tens of thousands of verifies and is the canary.)
+    """
+    pruned = {
+        key: value for key, value in bitrot_summary.items()
+        if not key.startswith("repro_dfs_integrity_scrubbed_replicas_total")
+    }
+    violations = compare(
+        pruned,
+        load_baseline(BITROT_BASELINE),
+        load_tolerances(BITROT_BASELINE),
+    )
+    assert any(
+        v.key.startswith("repro_dfs_integrity_scrubbed_replicas_total")
+        and v.actual == 0
+        for v in violations
+    )
+
+
 def test_check_bundle_end_to_end(tmp_path):
     """The one-call wrapper CI uses: fresh run vs committed baseline."""
     bundle = run_gate_bundle(tmp_path / "tel")
@@ -252,6 +336,21 @@ def main() -> None:
             "Instrumented `repro chaos --kill-leader --quick` run, "
             "seed 0: leader killed mid-Aurora-period, follower "
             "failover. Regenerate alongside metrics_baseline.json."
+        ),
+    )
+    print(f"wrote {path} ({len(summary)} keys)")
+    obs.get_registry().reset()
+    obs.get_tracer().clear()
+    with tempfile.TemporaryDirectory() as scratch:
+        bundle = run_bitrot_bundle(Path(scratch) / "tel")
+    summary = summarize_telemetry(bundle)
+    path = write_baseline(
+        BITROT_BASELINE, summary, tolerances=BITROT_TOLERANCES,
+        note=(
+            "Instrumented `repro chaos --bit-rot --quick` run, seed 0: "
+            "bit-rot and torn-write strikes, scrubber detection, "
+            "quarantine and repair. Regenerate alongside "
+            "metrics_baseline.json."
         ),
     )
     print(f"wrote {path} ({len(summary)} keys)")

@@ -113,6 +113,7 @@ class DareSystem:
             if len(remaining_racks) < meta.rack_spread:
                 continue
             self.namenode.blockmap.remove_location(block_id, node)
-            if self.namenode.datanode(node).holds(block_id):
-                self.namenode.datanode(node).erase(block_id)
+            dn = self.namenode.datanode(node)
+            if dn.alive and dn.holds(block_id):
+                dn.erase(block_id)
             self.replicas_evicted += 1

@@ -11,6 +11,8 @@ Usage (installed as ``python -m repro``):
     python -m repro ablation --out results/
     python -m repro scale --solver             # solver speedup benchmark
     python -m repro chaos --profiles crash partition flaky --hours 2
+    python -m repro chaos --bit-rot --quick   # silent-corruption chaos
+    python -m repro scrub --scrub-mbps 64     # background-scrubber demo
     python -m repro overload --load 1.5 --minutes 10
     python -m repro fsck --profiles crash --hours 1 --json fsck.json
     python -m repro metrics --demo             # observability smoke run
@@ -204,6 +206,36 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument(
         "--replicas", type=int, default=3,
         help="namenode replicas for --kill-leader",
+    )
+    chaos.add_argument(
+        "--bit-rot", action="store_true",
+        help="run the silent-corruption scenario (bit-rot + torn "
+             "writes vs the scrubber) instead of the outage storm",
+    )
+
+    scrub = sub.add_parser(
+        "scrub",
+        help="demo the background block scrubber: silent corruption "
+             "detected and repaired before clients notice",
+    )
+    scrub.add_argument("--out", type=Path, default=Path("results"))
+    scrub.add_argument("--seed", type=int, default=0)
+    scrub.add_argument("--hours", type=float, default=2.0)
+    scrub.add_argument(
+        "--scrub-interval", type=float, default=30.0,
+        help="seconds between scrubber ticks",
+    )
+    scrub.add_argument(
+        "--scrub-mbps", type=float, default=256.0,
+        help="scrubber read-back bandwidth budget (MB/s)",
+    )
+    scrub.add_argument(
+        "--bitrot-mtbf", type=float, default=3600.0,
+        help="per-machine mean seconds between bit-rot strikes",
+    )
+    scrub.add_argument(
+        "--json", type=Path, default=None,
+        help="write the machine-readable result summary here",
     )
 
     ha = sub.add_parser(
@@ -506,6 +538,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 
     if args.kill_leader:
         return _cmd_kill_leader(args)
+    if args.bit_rot:
+        return _cmd_bit_rot(args)
     args.out.mkdir(parents=True, exist_ok=True)
     if args.metrics_out is not None:
         obs.enable()
@@ -612,6 +646,97 @@ def _cmd_kill_leader(args: argparse.Namespace) -> int:
         snapshot = obs.write_snapshot(args.metrics_out)
         print(f"[written {snapshot}]")
     return 0
+
+
+def _cmd_bit_rot(args: argparse.Namespace) -> int:
+    """``repro chaos --bit-rot``: silent corruption vs the scrubber."""
+    from repro.experiments.bitrot import (
+        BitRotConfig,
+        render_bit_rot,
+        run_bit_rot,
+    )
+    from repro.obs.telemetry import TelemetrySession
+
+    args.out.mkdir(parents=True, exist_ok=True)
+    if args.metrics_out is not None:
+        obs.enable()
+        obs.get_registry().reset()
+        obs.get_tracer().clear()
+    if args.quick:
+        # Short horizon, dense rot: every integrity path (quarantine,
+        # verified-source repair, purge) fires within ~30 sim minutes.
+        config = BitRotConfig(
+            num_files=8, horizon=1800.0, bitrot_mtbf=600.0,
+            tornwrite_mtbf=1200.0, drain=900.0, seed=args.seed,
+        )
+    else:
+        config = BitRotConfig(
+            horizon=args.hours * 3600.0, seed=args.seed,
+        )
+    session = None
+    if args.telemetry_out is not None:
+        session = TelemetrySession(
+            label="chaos-bit-rot",
+            seed=args.seed,
+            trace_sample_rate=args.trace_sample_rate,
+            interval=min(60.0, config.read_interval * 3),
+        )
+        session.meta.update({
+            "command": "chaos --bit-rot",
+            "horizon": config.horizon,
+            "quick": args.quick,
+        })
+    text = render_bit_rot(run_bit_rot(config, telemetry=session))
+    target = args.out / "chaos_bit_rot.txt"
+    target.write_text(text + "\n", encoding="utf-8")
+    print(text)
+    print(f"[written {target}]")
+    if session is not None:
+        print(f"[written {session.write(args.telemetry_out)}]")
+    if args.metrics_out is not None:
+        snapshot = obs.write_snapshot(args.metrics_out)
+        print(f"[written {snapshot}]")
+    return 0
+
+
+def _cmd_scrub(args: argparse.Namespace) -> int:
+    """``repro scrub``: background-scrubber demo with custom knobs."""
+    import json
+
+    from repro.experiments.bitrot import (
+        BitRotConfig,
+        render_bit_rot,
+        run_bit_rot,
+    )
+
+    args.out.mkdir(parents=True, exist_ok=True)
+    config = BitRotConfig(
+        horizon=args.hours * 3600.0,
+        scrub_interval=args.scrub_interval,
+        scrub_bytes_per_second=args.scrub_mbps * 1024 * 1024,
+        bitrot_mtbf=args.bitrot_mtbf,
+        seed=args.seed,
+    )
+    result = run_bit_rot(config)
+    text = render_bit_rot(result)
+    target = args.out / "scrub.txt"
+    target.write_text(text + "\n", encoding="utf-8")
+    print(text)
+    print(f"[written {target}]")
+    if args.json is not None:
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(
+            json.dumps(result.summary(), indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"[written {args.json}]")
+    # A scrub demo that loses data or leaves rot unrepaired is a
+    # failure, same contract as ``repro fsck``.
+    healthy = (
+        result.blocks_permanently_lost == 0
+        and result.episodes_unrepaired == 0
+        and (result.fsck is None or result.fsck.healthy)
+    )
+    return 0 if healthy else 1
 
 
 def _cmd_ha(args: argparse.Namespace) -> int:
@@ -865,6 +990,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_sensitivity(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
+    if args.command == "scrub":
+        return _cmd_scrub(args)
     if args.command == "ha":
         return _cmd_ha(args)
     if args.command == "overload":

@@ -20,6 +20,13 @@ from repro.dfs.editlog import (
 )
 from repro.dfs.ha import HaCluster, HaConfig, NamenodeReplica, rebind_aurora
 from repro.dfs.heartbeat import HeartbeatService
+from repro.dfs.integrity import (
+    BlockScrubber,
+    CorruptionLedger,
+    ReplicaIntegrity,
+    ScrubConfig,
+    replica_checksum,
+)
 from repro.dfs.namenode import Namenode
 from repro.dfs.namespace import NamespaceTree
 from repro.dfs.quota import DirectoryQuota, QuotaManager
@@ -62,6 +69,11 @@ __all__ = [
     "InMemoryMetadataStore",
     "JsonFileMetadataStore",
     "HeartbeatService",
+    "BlockScrubber",
+    "CorruptionLedger",
+    "ReplicaIntegrity",
+    "ScrubConfig",
+    "replica_checksum",
     "Namenode",
     "NamespaceTree",
     "DirectoryQuota",

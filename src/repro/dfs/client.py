@@ -36,7 +36,11 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.dfs.block import DEFAULT_MAX_BLOCK_SIZE, FileMeta
 from repro.dfs.datanode import Datanode
 from repro.dfs.namenode import Namenode
-from repro.errors import DatanodeUnavailableError, OverloadSheddedError
+from repro.errors import (
+    ChecksumError,
+    DatanodeUnavailableError,
+    OverloadSheddedError,
+)
 from repro.faults.retry import RetryPolicy
 from repro.obs.registry import get_registry
 from repro.obs.tracer import get_tracer
@@ -71,6 +75,10 @@ _HEDGED = _REG.counter(
 _HEDGE_WINS = _REG.counter(
     "repro_dfs_hedge_wins_total",
     "Hedged reads where the second replica answered first",
+)
+_CHECKSUM_FAILURES = _REG.counter(
+    "repro_dfs_integrity_client_checksum_failures_total",
+    "Read attempts that detected a corrupt replica and failed over",
 )
 # End-to-end simulated read latency: queue wait+service of the serving
 # replica plus every backoff paid failing over to it.
@@ -154,6 +162,7 @@ class DfsClient:
         self.breaker_skips = 0
         self.hedged_reads = 0
         self.hedge_wins = 0
+        self.checksum_failures = 0
 
     def write_file(
         self,
@@ -180,11 +189,16 @@ class DfsClient:
         Walks :meth:`~repro.dfs.namenode.Namenode.replica_preference`
         (which reflects the namenode's possibly stale belief), skipping
         sources whose circuit breaker is open, failing over past dead,
-        stale, or shedding sources, backing off between attempts (shed
-        reads fail over without backoff — the queue answered instantly).
-        Raises :class:`OverloadSheddedError` when at least one replica
-        shed and none served, :class:`DatanodeUnavailableError` when
-        every candidate fails or the retry policy gives up first.
+        stale, shedding, or *corrupt* sources, backing off between
+        attempts (shed and corrupt reads fail over without backoff —
+        the node answered instantly, just not usefully).  Every served
+        read is checksum-verified: a mismatch is reported to the
+        namenode and never returned to the caller.  Raises
+        :class:`ChecksumError` when corruption was detected and no
+        replica could serve verified data, :class:`OverloadSheddedError`
+        when at least one replica shed and none served,
+        :class:`DatanodeUnavailableError` when every candidate fails or
+        the retry policy gives up first.
 
         Sampled requests (``trace_sampler``) record a causal "dfs.read"
         span with one "dfs.read.attempt" child per replica contacted.
@@ -213,6 +227,7 @@ class DfsClient:
         waited = 0.0
         failures = 0
         shed_any = False
+        corrupt_any = False
         candidates = list(self.namenode.replica_preference(block_id, reader))
         for idx, node in enumerate(candidates):
             breaker = self.breakers.get(node) if self.breakers else None
@@ -246,6 +261,35 @@ class DfsClient:
                     serving, latency, hedged = outcome
                     if serving != node:
                         tried.append(serving)
+                    serving_dn = (
+                        dn if serving == dn.node_id
+                        else self.namenode.datanode(serving)
+                    )
+                    if not serving_dn.verify_replica(block_id):
+                        # The replica answered with bytes that fail the
+                        # checksum: report it, fail over without backoff
+                        # (the node responded promptly — its data is the
+                        # problem, not its health, so no breaker hit) and
+                        # never surface the corrupt data.
+                        corrupt_any = True
+                        self.checksum_failures += 1
+                        if _REG.enabled:
+                            _CHECKSUM_FAILURES.inc()
+                        self.namenode.report_corrupt_replica(
+                            block_id, serving, detector="client"
+                        )
+                        if attempt is not None:
+                            attempt.set(
+                                outcome="corrupt", served_by=serving,
+                            )
+                            _TRACER.finish(attempt, end_sim=now + latency)
+                        failures += 1
+                        self.read_failovers += 1
+                        if _REG.enabled:
+                            _FAILOVERS.inc()
+                        if not self.retry_policy.admits(failures, waited):
+                            break
+                        continue
                     serving_breaker = (
                         self.breakers.get(serving) if self.breakers else None
                     )
@@ -310,6 +354,11 @@ class DfsClient:
         self.read_errors += 1
         if _REG.enabled:
             _READ_ERRORS.inc()
+        if corrupt_any:
+            raise ChecksumError(
+                f"block {block_id}: no replica served verified data "
+                f"(tried {tried})"
+            )
         if shed_any:
             raise OverloadSheddedError(
                 f"block {block_id}: every replica shed or failed the read "

@@ -105,6 +105,7 @@ EXEMPT_NAMENODE_METHODS: FrozenSet[str] = frozenset({
     "live_nodes",
     "node_load",
     "replica_preference",
+    "verified_locations",
     # soft state: block locations live on datanodes and are rebuilt
     # from block reports, never from the journal (HDFS semantics)
     "move_block",
@@ -116,6 +117,11 @@ EXEMPT_NAMENODE_METHODS: FrozenSet[str] = frozenset({
     "recover_node",
     "fail_rack",
     "recover_rack",
+    "wipe_node",
+    # integrity quarantine: derived from on-disk checksums; after a
+    # failover the scrubber/clients re-detect any still-corrupt replica,
+    # so replaying reports would only duplicate soft state
+    "report_corrupt_replica",
     # operator / workload state re-issued by its owner after restart
     "decommission_node",
     "recommission_node",

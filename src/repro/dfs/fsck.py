@@ -23,7 +23,14 @@ Checks performed:
   the block map (``unreported-replica``; replicas of *deleted* blocks
   are tolerated — deletion is lazy by design);
 * **capacity** — no datanode stores more than its disk allows
-  (``over-capacity``).
+  (``over-capacity``);
+* **integrity** — a block whose every remaining replica is quarantined
+  as corrupt is flagged ``corrupt-last-replica`` (the replica is
+  deliberately retained: damaged bytes beat no bytes for offline
+  recovery); with ``verify_checksums=True`` fsck re-reads every live
+  replica's stored checksum and reports silent rot the namenode has not
+  detected yet as ``undetected-corruption`` — the ground-truth check
+  the scrubber races against.
 """
 
 from __future__ import annotations
@@ -108,6 +115,7 @@ def run_fsck(
     namenode: Namenode,
     check_replication_targets: bool = True,
     expected_paths: Optional[Iterable[str]] = None,
+    verify_checksums: bool = False,
 ) -> FsckReport:
     """Walk the whole cluster and report every broken invariant.
 
@@ -119,6 +127,10 @@ def run_fsck(
     metadata-loss check after a failover: any path a client successfully
     created on the old leader that the new leader does not know is a
     ``missing-file`` violation.
+
+    ``verify_checksums=True`` additionally re-verifies every replica on
+    every live disk — the ground-truth sweep that catches corruption
+    nobody has detected yet (``undetected-corruption``).
     """
     report = FsckReport(time=namenode.now)
     live = namenode.live_nodes()
@@ -154,9 +166,20 @@ def run_fsck(
                     block_id=block_id,
                     node=node,
                 ))
+        quarantined_nodes = namenode.integrity.nodes_for(block_id)
+        if quarantined_nodes and not namenode.verified_locations(block_id):
+            report.violations.append(FsckViolation(
+                check="corrupt-last-replica",
+                detail=f"block {block_id} has no verified replica left; "
+                       f"corrupt copies on {sorted(quarantined_nodes)} "
+                       f"are retained, not deleted",
+                block_id=block_id,
+            ))
         if not check_replication_targets:
             continue
-        live_count = len(blockmap.live_locations(block_id, live))
+        # Quarantined replicas are physically present but unreadable, so
+        # they do not count towards the replication target.
+        live_count = len(namenode.verified_locations(block_id))
         target = min(meta.replication_factor, len(live)) if live else 0
         if live_count < target:
             report.violations.append(FsckViolation(
@@ -167,7 +190,7 @@ def run_fsck(
             ))
         live_racks = {
             namenode.topology.rack_of[n]
-            for n in blockmap.live_locations(block_id, live)
+            for n in namenode.verified_locations(block_id)
         }
         spread_target = min(
             meta.rack_spread,
@@ -206,6 +229,21 @@ def run_fsck(
                     block_id=block_id,
                     node=dn.node_id,
                 ))
+        if verify_checksums:
+            for block_id in dn.blocks():
+                if block_id not in blockmap:
+                    continue  # lazily deleted remnant
+                if namenode.integrity.is_quarantined(block_id, dn.node_id):
+                    continue  # already detected and quarantined
+                if not dn.verify_replica(block_id):
+                    report.violations.append(FsckViolation(
+                        check="undetected-corruption",
+                        detail=f"replica of block {block_id} on node "
+                               f"{dn.node_id} fails its checksum and "
+                               f"nobody has noticed",
+                        block_id=block_id,
+                        node=dn.node_id,
+                    ))
 
     for path in sorted(set(expected_paths or ())):
         if not namenode.namespace.is_file(path):

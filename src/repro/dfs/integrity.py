@@ -1,0 +1,385 @@
+"""End-to-end data integrity: replica checksums and the block scrubber.
+
+Replication protects against *losing* a replica; it does nothing for a
+replica that is still there but silently wrong (bit-rot, torn writes,
+controller bugs).  This module supplies the integrity plane the rest of
+:mod:`repro.dfs` threads through:
+
+* a deterministic per-(block, generation) **checksum** — the simulator
+  has no real bytes, so a replica's "contents" are modelled as a 64-bit
+  pseudo-checksum seeded from the block id and a generation stamp.  A
+  corruption mutator perturbs the *stored* value; verification compares
+  it against the expected one;
+* :class:`ReplicaIntegrity` — the per-replica on-disk state a
+  :class:`~repro.dfs.datanode.Datanode` keeps next to each stored block;
+* :class:`CorruptionLedger` — the namenode-side quarantine bookkeeping:
+  which (block, node) replicas are known-corrupt, when each block's
+  corruption episode was first detected, and the detection/repair
+  latency statistics the bit-rot chaos scenario reports;
+* :class:`BlockScrubber` — a sim-clock background scanner that walks
+  every live replica on a rate-limited bytes/second budget and reports
+  mismatches to the namenode *before* a client trips over them.
+
+Detection has four entry points — a client read
+(:meth:`repro.dfs.client.DfsClient.read_block`), a scrubber pass, the
+in-flight checksum check every replication/migration transfer performs
+on its source, and a ground-truth :func:`repro.dfs.fsck.run_fsck`
+sweep — and all four funnel into
+:meth:`repro.dfs.namenode.Namenode.report_corrupt_replica`, so
+quarantine, re-replication from a verified source, and
+purge-after-repair behave identically regardless of who found the rot.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING, Dict, List, Optional, Set, Tuple,
+)
+
+from repro.errors import DfsError
+from repro.obs.registry import get_registry
+from repro.simulation.engine import EventToken, Simulation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.dfs.namenode import Namenode
+
+__all__ = [
+    "replica_checksum",
+    "ReplicaIntegrity",
+    "CorruptionLedger",
+    "ScrubConfig",
+    "BlockScrubber",
+]
+
+_LOG = logging.getLogger(__name__)
+
+_REG = get_registry()
+_SCRUBBED = _REG.counter(
+    "repro_dfs_integrity_scrubbed_replicas_total",
+    "Replicas whose checksum the background scrubber verified",
+)
+_SCRUB_BYTES = _REG.counter(
+    "repro_dfs_integrity_scrub_bytes_total",
+    "Bytes of replica data read back by the background scrubber",
+)
+_SCRUB_ROUNDS = _REG.counter(
+    "repro_dfs_integrity_scrub_rounds_total",
+    "Completed full-cluster scrub passes",
+)
+_SCRUB_DEFERRED = _REG.counter(
+    "repro_dfs_integrity_scrub_deferred_total",
+    "Scrub ticks skipped because admission control denied the bandwidth",
+)
+
+_MASK64 = (1 << 64) - 1
+
+# XOR masks a corruption mutator applies to the stored checksum.  Any
+# non-zero mask makes the stored value mismatch the expected one; using
+# distinct masks per corruption kind keeps the mutation deterministic
+# and lets tests distinguish how a replica went bad.
+_CORRUPTION_MASKS = {
+    "bit-rot": 0x1,
+    "torn-write": 0xD1B54A32D192ED03,
+}
+
+
+def replica_checksum(block_id: int, generation: int = 0) -> int:
+    """The expected 64-bit checksum of ``block_id`` at ``generation``.
+
+    A splitmix64-style mix of the block id and generation stamp: cheap,
+    deterministic, and avalanching enough that any perturbation of the
+    stored value is detected.
+    """
+    x = (block_id * 0x9E3779B97F4A7C15
+         + generation * 0xBF58476D1CE4E5B9 + 1) & _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return x ^ (x >> 31)
+
+
+@dataclass
+class ReplicaIntegrity:
+    """On-disk integrity state of one stored replica.
+
+    ``checksum`` is what the disk actually holds; a healthy replica's
+    value equals ``replica_checksum(block_id, generation)``.
+    ``corrupted_at`` / ``corruption`` record when and how a mutator
+    first damaged the replica — the detection-latency statistics are
+    measured against ``corrupted_at``.
+    """
+
+    generation: int
+    checksum: int
+    corrupted_at: Optional[float] = None
+    corruption: Optional[str] = None
+
+
+def corruption_mask(kind: str) -> int:
+    """The checksum perturbation for a corruption ``kind``."""
+    try:
+        return _CORRUPTION_MASKS[kind]
+    except KeyError:
+        raise DfsError(
+            f"unknown corruption kind {kind!r}; "
+            f"choose from {sorted(_CORRUPTION_MASKS)}"
+        ) from None
+
+
+class CorruptionLedger:
+    """Namenode-side quarantine state and integrity statistics.
+
+    The ledger is pure bookkeeping — the namenode mutates the block map
+    and disks; the ledger remembers which replicas are quarantined and
+    aggregates the latency numbers the chaos report and the metrics
+    pipeline surface.
+    """
+
+    def __init__(self) -> None:
+        # Known-corrupt (block, node) replicas: out of the readable set,
+        # never a replication source, deleted only once the block is
+        # back to full verified replication (and never when last).
+        self._quarantined: Set[Tuple[int, int]] = set()
+        # When each block's *open* corruption episode was first
+        # detected; closed (and measured) when the block returns to
+        # full verified replication with no quarantined replicas left.
+        self._detected_at: Dict[int, float] = {}
+        self.detections: Dict[str, int] = {}
+        self.detection_latencies: Dict[str, List[float]] = {}
+        self.repair_times: List[float] = []
+        self.replicas_purged = 0
+
+    # -- quarantine membership ------------------------------------------------
+
+    def quarantine(self, block_id: int, node: int) -> bool:
+        """Add a replica to quarantine; False if already there."""
+        pair = (block_id, node)
+        if pair in self._quarantined:
+            return False
+        self._quarantined.add(pair)
+        return True
+
+    def is_quarantined(self, block_id: int, node: int) -> bool:
+        """Whether this exact replica is known-corrupt."""
+        return (block_id, node) in self._quarantined
+
+    def nodes_for(self, block_id: int) -> Set[int]:
+        """Quarantined replica holders of ``block_id``."""
+        return {n for (b, n) in self._quarantined if b == block_id}
+
+    def release(self, block_id: int, node: int) -> None:
+        """Forget a quarantined replica (purged, wiped or deleted)."""
+        self._quarantined.discard((block_id, node))
+
+    def clear_block(self, block_id: int) -> None:
+        """Drop all state for a block (file deletion)."""
+        self._quarantined = {
+            pair for pair in self._quarantined if pair[0] != block_id
+        }
+        self._detected_at.pop(block_id, None)
+
+    def quarantined(self) -> Set[Tuple[int, int]]:
+        """Snapshot of all quarantined (block, node) replicas."""
+        return set(self._quarantined)
+
+    def open_blocks(self) -> Set[int]:
+        """Blocks with at least one quarantined replica."""
+        return {b for (b, _n) in self._quarantined}
+
+    @property
+    def quarantined_count(self) -> int:
+        """Quarantined replicas right now."""
+        return len(self._quarantined)
+
+    # -- episode statistics ---------------------------------------------------
+
+    def note_detection(
+        self, block_id: int, detector: str, now: float,
+        corrupted_at: Optional[float],
+    ) -> None:
+        """Record who found a corrupt replica and how long it festered."""
+        self.detections[detector] = self.detections.get(detector, 0) + 1
+        if corrupted_at is not None:
+            self.detection_latencies.setdefault(detector, []).append(
+                max(0.0, now - corrupted_at)
+            )
+        self._detected_at.setdefault(block_id, now)
+
+    def note_repaired(self, block_id: int, now: float) -> Optional[float]:
+        """Close a block's corruption episode; returns its duration."""
+        detected = self._detected_at.pop(block_id, None)
+        if detected is None:
+            return None
+        elapsed = max(0.0, now - detected)
+        self.repair_times.append(elapsed)
+        return elapsed
+
+    def has_open_episode(self, block_id: int) -> bool:
+        """Whether a corruption episode is still being repaired."""
+        return block_id in self._detected_at
+
+
+@dataclass(frozen=True)
+class ScrubConfig:
+    """Knobs of the background block scrubber.
+
+    ``bytes_per_second`` is the read-back bandwidth budget — the whole
+    point of a scrubber is to find rot without competing with clients
+    for disk and NIC time, so each ``interval`` tick verifies at most
+    ``bytes_per_second * interval`` bytes and carries a persistent
+    cursor to the next tick.  A full-cluster pass therefore takes about
+    ``total_replica_bytes / bytes_per_second`` simulated seconds — the
+    scan cadence an operator actually reasons about.
+    """
+
+    interval: float = 30.0
+    bytes_per_second: float = 4 * 64 * 1024 * 1024
+    #: Hard cap on replicas verified per tick, so tiny-block clusters
+    #: cannot turn the byte budget into an unbounded metadata walk.
+    max_replicas_per_tick: int = 256
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0:
+            raise DfsError("scrub interval must be positive")
+        if self.bytes_per_second <= 0:
+            raise DfsError("scrub bytes_per_second must be positive")
+        if self.max_replicas_per_tick < 1:
+            raise DfsError("max_replicas_per_tick must be >= 1")
+
+
+class BlockScrubber:
+    """Periodic, rate-limited verification of every stored replica.
+
+    Walks the datanodes in node order with a persistent (node, block)
+    cursor, verifying each live replica's stored checksum against the
+    expected one and reporting mismatches to the namenode.  The walk is
+    budgeted in bytes per tick and — when the namenode runs with an
+    :class:`~repro.overload.admission.AdmissionController` — priced like
+    re-replication traffic, so scrubbing yields to client load exactly
+    the way repair traffic does.
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        namenode: "Namenode",
+        config: Optional[ScrubConfig] = None,
+    ) -> None:
+        self.sim = sim
+        self.namenode = namenode
+        self.config = config or ScrubConfig()
+        self.replicas_scanned = 0
+        self.bytes_scanned = 0
+        self.corrupt_found = 0
+        self.full_scans = 0
+        self.ticks_deferred = 0
+        self.last_scan_duration: Optional[float] = None
+        self._scan_started: Optional[float] = None
+        # Cursor: next node index to visit, and the last block id
+        # verified on it (replicas sort by block id within a node, so
+        # resuming above the watermark tolerates churn between ticks).
+        self._node_index = 0
+        self._block_watermark = -1
+        self._token: Optional[EventToken] = None
+
+    def start(self) -> None:
+        """Begin scrubbing on the simulation clock."""
+        if self._token is not None:
+            raise DfsError("scrubber already started")
+        self._scan_started = self.sim.now
+        self._token = self.sim.schedule_periodic(
+            self.config.interval, self.tick
+        )
+
+    def stop(self) -> None:
+        """Cancel the periodic scan."""
+        if self._token is not None:
+            self._token.cancel()
+            self._token = None
+
+    def tick(self) -> None:
+        """Verify one budget's worth of replicas."""
+        now = self.sim.now
+        admission = self.namenode.admission
+        if admission is not None and not admission.admit("scrub", now):
+            # The cluster is busy serving clients: skip this tick, the
+            # cursor holds its place and the scan just takes longer.
+            self.ticks_deferred += 1
+            if _REG.enabled:
+                _SCRUB_DEFERRED.inc()
+            return
+        budget = self.config.bytes_per_second * self.config.interval
+        replicas = self.config.max_replicas_per_tick
+        nodes = self.namenode.datanodes
+        visited_nodes = 0
+        while budget > 0 and replicas > 0 and visited_nodes <= len(nodes):
+            if self._node_index >= len(nodes):
+                self._wrap(now)
+                continue
+            dn = nodes[self._node_index]
+            if not dn.alive:
+                # An unreachable disk cannot be scrubbed; its replicas
+                # get verified on a later pass, after it recovers.
+                self._advance_node()
+                visited_nodes += 1
+                continue
+            pending = [
+                b for b in sorted(dn.blocks())
+                if b > self._block_watermark
+            ]
+            if not pending:
+                self._advance_node()
+                visited_nodes += 1
+                continue
+            for block_id in pending:
+                if budget <= 0 or replicas <= 0:
+                    return
+                self._block_watermark = block_id
+                size = self._block_size(block_id)
+                budget -= max(size, 1)
+                replicas -= 1
+                self.replicas_scanned += 1
+                self.bytes_scanned += size
+                if _REG.enabled:
+                    _SCRUBBED.inc()
+                    _SCRUB_BYTES.inc(size)
+                if (not dn.verify_replica(block_id)
+                        and block_id in self.namenode.blockmap):
+                    # Rotten remnants of deleted blocks are not worth
+                    # reporting — the lazy-deletion path reclaims them.
+                    # Counting only fresh reports keeps corrupt_found
+                    # from inflating on replicas already quarantined
+                    # and awaiting their repair.
+                    if self.namenode.report_corrupt_replica(
+                        block_id, dn.node_id, detector="scrub"
+                    ):
+                        self.corrupt_found += 1
+            self._advance_node()
+            visited_nodes += 1
+
+    def _block_size(self, block_id: int) -> int:
+        blockmap = self.namenode.blockmap
+        if block_id in blockmap:
+            return blockmap.meta(block_id).size
+        return 0  # lazily deleted remnant: still scrubbed, zero-cost
+
+    def _advance_node(self) -> None:
+        self._node_index += 1
+        self._block_watermark = -1
+
+    def _wrap(self, now: float) -> None:
+        """The cursor passed the last node: one full pass completed."""
+        self._node_index = 0
+        self._block_watermark = -1
+        self.full_scans += 1
+        if self._scan_started is not None:
+            self.last_scan_duration = now - self._scan_started
+        self._scan_started = now
+        if _REG.enabled:
+            _SCRUB_ROUNDS.inc()
+        _LOG.debug(
+            "scrub pass %d complete at t=%.1f (%.1fs, %d replicas so far)",
+            self.full_scans, now, self.last_scan_duration or 0.0,
+            self.replicas_scanned,
+        )

@@ -43,11 +43,13 @@ from repro.cluster.topology import ClusterTopology
 from repro.dfs.block import DEFAULT_MAX_BLOCK_SIZE, BlockMeta, FileMeta
 from repro.dfs.blockmap import BlockMap
 from repro.dfs.datanode import Datanode
+from repro.dfs.integrity import CorruptionLedger
 from repro.dfs.namespace import NamespaceTree
 from repro.dfs.policies import BlockPlacementPolicy, DefaultHdfsPolicy
 from repro.dfs.replication import TransferService
 from repro.errors import (
     CapacityExceededError,
+    ChecksumError,
     DatanodeUnavailableError,
     DfsError,
     FileExistsInDfsError,
@@ -131,6 +133,28 @@ _DEGRADED_READS = _REG.counter(
     "repro_dfs_degraded_reads_total",
     "Block reads served by a gray (slow) datanode",
 )
+_CORRUPT_REPORTED = _REG.counter(
+    "repro_dfs_integrity_corrupt_replicas_total",
+    "Corrupt replicas reported to the namenode, by detector",
+    ["detector"],
+)
+_DETECTION_SECONDS = _REG.histogram(
+    "repro_dfs_integrity_detection_seconds",
+    "Simulated seconds from replica corruption to its detection",
+    ["detector"],
+)
+_REPAIR_SECONDS = _REG.histogram(
+    "repro_dfs_integrity_repair_seconds",
+    "Simulated seconds from detection to full verified replication",
+)
+_PURGED = _REG.counter(
+    "repro_dfs_integrity_replicas_purged_total",
+    "Quarantined replicas deleted after the block was repaired",
+)
+_QUARANTINED = _REG.gauge(
+    "repro_dfs_integrity_quarantined_replicas",
+    "Replicas currently quarantined as corrupt",
+)
 
 
 class Namenode:
@@ -191,6 +215,13 @@ class Namenode:
         self._next_block_id = 0
         # Lazily deletable replicas: (block_id, node) pairs above target.
         self._lazy: Set[Tuple[int, int]] = set()
+        # Corrupt-replica quarantine and integrity statistics.  A
+        # quarantined replica keeps its block-map location (the bytes
+        # are physically there) but leaves the readable set, is never a
+        # replication source, and is purged only after the block is
+        # back to full verified replication — never when it is the last
+        # remaining replica.
+        self.integrity = CorruptionLedger()
         self._inflight: Set[Tuple[int, int]] = set()
         self._decommissioning: Set[int] = set()
         # Safe mode: mutations rejected until enough blocks have
@@ -377,6 +408,147 @@ class Namenode:
         _LOG.info("datanode %d recovered blocks=%d", node, len(dn.blocks()))
         self.register_block_report(node)
 
+    def wipe_node(self, node: int) -> int:
+        """Replace a node's disk: retract locations, wipe, rejoin empty.
+
+        The consistent way to model a hardware swap — a bare
+        :meth:`Datanode.wipe` empties the disk but leaves the namenode
+        mapping blocks at it (an fsck ``unreported-replica`` /
+        ``dead-location`` window).  This retracts every location,
+        forgets quarantine entries for the destroyed replicas, wipes
+        the disk, rejoins the node, and starts repair.  Returns the
+        number of replicas lost with the disk.
+        """
+        dn = self.datanode(node)
+        lost = len(dn.blocks())
+        for block_id in list(self.blockmap.blocks_on(node)):
+            self.blockmap.remove_location(block_id, node)
+            self._lazy.discard((block_id, node))
+        for block_id in dn.blocks():
+            self.integrity.release(block_id, node)
+        dn.wipe()
+        if _REG.enabled:
+            _NODE_EVENTS.labels(event="wipe").inc()
+            _QUARANTINED.set(self.integrity.quarantined_count)
+        _LOG.warning("datanode %d wiped: %d replicas lost", node, lost)
+        if not dn.alive:
+            self.recover_node(node)  # rejoins with an empty block report
+        self.check_replication()
+        return lost
+
+    # -- data integrity ---------------------------------------------------------
+
+    def report_corrupt_replica(
+        self, block_id: int, node: int, detector: str = "client"
+    ) -> bool:
+        """Quarantine a replica that failed checksum verification.
+
+        Idempotent — repeated reports of the same replica return False.
+        The replica leaves the readable set immediately, the block is
+        pushed onto the prioritized re-replication queue (repair copies
+        only from verified sources), and once the block is back to full
+        verified replication the corrupt replica is purged — unless it
+        is the last remaining replica, which is never deleted (fsck
+        surfaces it as ``corrupt-last-replica`` instead).
+        """
+        if block_id not in self.blockmap:
+            return False
+        dn = self.datanode(node)
+        if not dn.holds(block_id):
+            return False
+        if not self.integrity.quarantine(block_id, node):
+            return False
+        corrupted_at = dn.integrity(block_id).corrupted_at
+        self.integrity.note_detection(
+            block_id, detector, self.now, corrupted_at
+        )
+        # A corrupt replica is not reclaimable spare capacity.
+        self._lazy.discard((block_id, node))
+        if _REG.enabled:
+            _CORRUPT_REPORTED.labels(detector=detector).inc()
+            _QUARANTINED.set(self.integrity.quarantined_count)
+            if corrupted_at is not None:
+                _DETECTION_SECONDS.labels(detector=detector).observe(
+                    max(0.0, self.now - corrupted_at)
+                )
+        _LOG.info(
+            "corrupt replica of block %d on datanode %d reported by %s",
+            block_id, node, detector,
+        )
+        self._enqueue_replication(block_id)
+        self._drain_replication_queue()
+        # A repair may already have landed (scrub finding old rot after
+        # the block healed); sweep so the quarantine cannot go stale.
+        self._sweep_corrupt(block_id)
+        return True
+
+    def verified_locations(self, block_id: int) -> List[int]:
+        """Live replica holders not quarantined as corrupt — the
+        readable set."""
+        live = self.live_nodes()
+        return [
+            n for n in self.blockmap.live_locations(block_id, live)
+            if not self.integrity.is_quarantined(block_id, n)
+        ]
+
+    def _sweep_corrupt(self, block_id: int) -> None:
+        """Purge quarantined replicas once the block is safely repaired.
+
+        A quarantined replica is deleted only when the block has at
+        least ``replication_factor`` verified live replicas *and* more
+        than one replica in total — the last remaining replica of a
+        block is never deleted, even corrupt, because damaged bytes
+        beat no bytes for offline recovery.
+        """
+        if block_id not in self.blockmap:
+            return
+        purged_any = False
+        quarantined = self.integrity.nodes_for(block_id)
+        if quarantined:
+            meta = self.blockmap.meta(block_id)
+            for node in sorted(quarantined):
+                if len(self.verified_locations(block_id)) \
+                        < meta.replication_factor:
+                    break
+                if self.blockmap.replica_count(block_id) <= 1:
+                    break  # corrupt-last-replica: keep it, fsck flags it
+                dn = self.datanodes[node]
+                if not dn.alive:
+                    # Cannot erase an unreachable disk; the quarantine
+                    # entry persists so a recovery cannot silently
+                    # return the corrupt replica to the readable set.
+                    continue
+                if node in self.blockmap.locations(block_id):
+                    self.blockmap.remove_location(block_id, node)
+                if dn.holds(block_id):
+                    dn.erase(block_id)
+                self.integrity.release(block_id, node)
+                self.integrity.replicas_purged += 1
+                purged_any = True
+                if _REG.enabled:
+                    _PURGED.inc()
+                _LOG.info(
+                    "purged corrupt replica of block %d from datanode %d",
+                    block_id, node,
+                )
+        if (not self.integrity.nodes_for(block_id)
+                and self.integrity.has_open_episode(block_id)
+                and self._replication_deficit(
+                    block_id, self.live_nodes()) == 0):
+            elapsed = self.integrity.note_repaired(block_id, self.now)
+            if elapsed is not None and _REG.enabled:
+                _REPAIR_SECONDS.observe(elapsed)
+        elif (purged_any and block_id in self.blockmap
+                and self._replication_deficit(
+                    block_id, self.live_nodes()) > 0):
+            # Purging can shrink the replica set below the rack-spread
+            # target (the corrupt copies may have been the only
+            # cross-rack replicas); requeue the follow-up repair rather
+            # than waiting for the next periodic check.
+            self._enqueue_replication(block_id)
+        if _REG.enabled:
+            _QUARANTINED.set(self.integrity.quarantined_count)
+
     def fail_rack(self, rack: int, re_replicate: bool = True) -> None:
         """Fail every datanode in ``rack`` (ToR switch outage)."""
         for node in self.topology.machines_in_rack(rack):
@@ -506,9 +678,13 @@ class Namenode:
     def _drop_file_blocks(self, meta: FileMeta) -> None:
         for block_id in meta.block_ids:
             for node in self.blockmap.locations(block_id):
-                if self.datanodes[node].holds(block_id):
-                    self.datanodes[node].erase(block_id)
+                dn = self.datanodes[node]
+                # A dead node cannot serve the delete; its stale replica
+                # is erased by the block report when it comes back.
+                if dn.alive and dn.holds(block_id):
+                    dn.erase(block_id)
                 self._lazy.discard((block_id, node))
+            self.integrity.clear_block(block_id)
             self.blockmap.unregister(block_id)
         del self._files_by_id[meta.file_id]
 
@@ -566,10 +742,15 @@ class Namenode:
         avoided when a healthy replica exists.
         """
         live = self.live_nodes()
-        locations = self.blockmap.live_locations(block_id, live)
-        if not locations:
+        if not self.blockmap.live_locations(block_id, live):
             raise DatanodeUnavailableError(
                 f"block {block_id} has no live replica"
+            )
+        locations = self.verified_locations(block_id)
+        if not locations:
+            raise ChecksumError(
+                f"every live replica of block {block_id} is quarantined "
+                f"as corrupt"
             )
         if reader in locations:
             return reader
@@ -602,8 +783,9 @@ class Namenode:
         Unlike :meth:`choose_read_replica` this does **not** intersect
         with the live set — the namenode's metadata can be stale (a
         node can die between heartbeats), and the client discovers
-        staleness by trying.  ``exclude`` removes sources that already
-        failed.
+        staleness by trying.  Quarantined replicas *are* excluded:
+        known-corrupt bytes are never worth a round trip.  ``exclude``
+        removes sources that already failed.
         """
         reader_rack = self.topology.rack_of[reader]
 
@@ -622,6 +804,7 @@ class Namenode:
         candidates = [
             node for node in self.blockmap.locations(block_id)
             if node not in exclude
+            and not self.integrity.is_quarantined(block_id, node)
         ]
         return sorted(candidates, key=rank)
 
@@ -695,9 +878,15 @@ class Namenode:
             self._mark_excess_lazy(block_id, current - factor)
 
     def _active_replica_count(self, block_id: int) -> int:
-        """Replicas not marked for lazy deletion."""
+        """Replicas not marked for lazy deletion or quarantined."""
         lazy_here = sum(1 for pair in self._lazy if pair[0] == block_id)
-        return self.blockmap.replica_count(block_id) - lazy_here
+        locations = self.blockmap.locations(block_id)
+        quarantined_here = sum(
+            1 for node in self.integrity.nodes_for(block_id)
+            if node in locations
+        )
+        return (self.blockmap.replica_count(block_id)
+                - lazy_here - quarantined_here)
 
     def _reclaim_lazy(self, block_id: int, want: int) -> int:
         """Un-mark up to ``want`` lazy replicas of ``block_id``; free."""
@@ -722,6 +911,7 @@ class Namenode:
         active = [
             node for node in self.blockmap.locations(block_id)
             if (block_id, node) not in self._lazy
+            and not self.integrity.is_quarantined(block_id, node)
         ]
         active.sort(key=self.node_load, reverse=True)
         for node in active:
@@ -753,7 +943,9 @@ class Namenode:
         """
         meta = self.blockmap.meta(block_id)
         live = self.live_nodes()
-        sources = sorted(self.blockmap.live_locations(block_id, live))
+        # Copy-from-verified-source: a quarantined replica would clone
+        # its corruption into the new copy.
+        sources = sorted(self.verified_locations(block_id))
         if not sources:
             return False
         if target is None:
@@ -854,6 +1046,20 @@ class Namenode:
                 _finish_copy("target_full")
                 handle_failure()
                 return
+            src_dn = self.datanodes[source]
+            if (src_dn.holds(block_id)
+                    and not src_dn.verify_replica(block_id)):
+                # In-flight checksum verification caught a rotten
+                # source (corrupted after it was chosen, or never yet
+                # detected): the copy is discarded rather than cloning
+                # the damage, and the report below quarantines the
+                # source and requeues the repair from a verified one.
+                _finish_copy("source_corrupt")
+                self._end_replication()
+                self.report_corrupt_replica(
+                    block_id, source, detector="transfer"
+                )
+                return
             dn.store(block_id, meta.size)
             self.blockmap.add_location(block_id, target)
             self.replications_completed += 1
@@ -862,6 +1068,7 @@ class Namenode:
             _finish_copy("ok")
             self._end_replication()
             self._note_recovery_progress()
+            self._sweep_corrupt(block_id)
             if on_done is not None:
                 on_done()
 
@@ -890,7 +1097,7 @@ class Namenode:
             return
         meta = self.blockmap.meta(block_id)
         live = self.live_nodes()
-        sources = sorted(self.blockmap.live_locations(block_id, live))
+        sources = sorted(self.verified_locations(block_id))
         if not sources:
             self._abandon_replication(block_id)
             return
@@ -969,6 +1176,9 @@ class Namenode:
         locations = self.blockmap.locations(block_id)
         if src not in locations:
             raise DfsError(f"block {block_id} has no replica on {src}")
+        if self.integrity.is_quarantined(block_id, src):
+            # Migrating a corrupt replica would clone its corruption.
+            return False
         if dst in locations or not self.can_store(dst, block_id):
             return False
         if (block_id, dst) in self._inflight:
@@ -1056,13 +1266,25 @@ class Namenode:
             except CapacityExceededError:
                 handle_failure()
                 return
+            src_dn = self.datanodes[src]
+            if (src_dn.holds(block_id)
+                    and not src_dn.verify_replica(block_id)):
+                # The in-flight checksum caught a rotten source.  Make-
+                # before-break means nothing to roll back — the copy is
+                # discarded, the source quarantined, and re-replication
+                # from a verified replica owns the block from here.
+                self.report_corrupt_replica(
+                    block_id, src, detector="transfer"
+                )
+                return
             dn.store(block_id, meta.size)
             self.blockmap.add_location(block_id, dst)
             if src in self.blockmap.locations(block_id):
                 self.blockmap.remove_location(block_id, src)
                 self._lazy.discard((block_id, src))
-                if self.datanodes[src].holds(block_id):
-                    self.datanodes[src].erase(block_id)
+                src_dn = self.datanodes[src]
+                if src_dn.alive and src_dn.holds(block_id):
+                    src_dn.erase(block_id)
             self.moves_completed += 1
             if _REG.enabled:
                 _MIGRATIONS.inc()
@@ -1130,7 +1352,8 @@ class Namenode:
             if (block_id, node) in self._lazy:
                 self._lazy.discard((block_id, node))
                 self.blockmap.remove_location(block_id, node)
-                self.datanodes[node].erase(block_id)
+                if self.datanodes[node].alive:
+                    self.datanodes[node].erase(block_id)
                 self.lazy_evictions += 1
                 if _REG.enabled:
                     _LAZY_EVICTIONS.inc()
@@ -1180,6 +1403,14 @@ class Namenode:
         under_replicated = list(self.blockmap.under_replicated(live))
         for block_id in under_replicated:
             self._enqueue_replication(block_id)
+        # Blocks with quarantined replicas look fully replicated to the
+        # block map; their verified deficit queues them here, and blocks
+        # already repaired get their corrupt replicas purged.
+        for block_id in sorted(self.integrity.open_blocks()):
+            self._sweep_corrupt(block_id)
+            if (block_id in self.blockmap
+                    and self._replication_deficit(block_id, live) > 0):
+                self._enqueue_replication(block_id)
         under_spread = list(self.blockmap.under_spread(live))
         for block_id in under_spread:
             meta = self.blockmap.meta(block_id)
@@ -1214,9 +1445,7 @@ class Namenode:
         """Queue a block for repair, keyed by how exposed it is."""
         if block_id in self._queued or block_id not in self.blockmap:
             return
-        live_count = len(
-            self.blockmap.live_locations(block_id, self.live_nodes())
-        )
+        live_count = len(self.verified_locations(block_id))
         self._queue_seq += 1
         heapq.heappush(
             self._repl_queue, (live_count, self._queue_seq, block_id)
@@ -1233,7 +1462,13 @@ class Namenode:
     def _replication_deficit(self, block_id: int, live: Set[int]) -> int:
         """Copies still needed, counting in-flight transfers as made."""
         meta = self.blockmap.meta(block_id)
-        live_count = len(self.blockmap.live_locations(block_id, live))
+        # Only verified live replicas count towards the target: a
+        # quarantined replica is physically present but must be
+        # replaced, so it contributes to the deficit instead.
+        live_count = sum(
+            1 for n in self.blockmap.live_locations(block_id, live)
+            if not self.integrity.is_quarantined(block_id, n)
+        )
         inflight = sum(1 for (b, _t) in self._inflight if b == block_id)
         inflight += self._retry_pending.get(block_id, 0)
         missing = meta.replication_factor - live_count - inflight
@@ -1339,6 +1574,16 @@ class Namenode:
             )
             assert node in self.blockmap.locations(block_id), (
                 f"lazy entry without a location: {block_id}@{node}"
+            )
+            assert not self.integrity.is_quarantined(block_id, node), (
+                f"quarantined replica marked lazy: {block_id}@{node}"
+            )
+        for block_id, node in self.integrity.quarantined():
+            assert block_id in self.blockmap, (
+                f"quarantine entry for deleted block {block_id}"
+            )
+            assert self.datanodes[node].holds(block_id), (
+                f"quarantine entry without a replica: {block_id}@{node}"
             )
         seen_ids = set()
         for path, file_id in self.namespace.walk_files("/"):

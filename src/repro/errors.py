@@ -22,6 +22,7 @@ __all__ = [
     "FileNotFoundInDfsError",
     "FileExistsInDfsError",
     "DatanodeUnavailableError",
+    "ChecksumError",
     "SafeModeError",
     "FencedError",
     "EditLogCorruptError",
@@ -92,6 +93,16 @@ class FileExistsInDfsError(DfsError):
 
 class DatanodeUnavailableError(DfsError):
     """No live datanode can serve the request."""
+
+
+class ChecksumError(DatanodeUnavailableError):
+    """No replica could serve *verified* data (checksum mismatches).
+
+    Raised by the client when every replica candidate either failed or
+    held corrupt bytes — corrupt data is never silently returned.
+    Subclasses :class:`DatanodeUnavailableError` so availability
+    accounting treats an all-corrupt block as an unavailable one.
+    """
 
 
 class SafeModeError(DfsError):

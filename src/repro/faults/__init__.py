@@ -18,6 +18,7 @@ chaos run replays identically for a given seed.
 """
 
 from repro.faults.injector import (
+    BitRotProfile,
     CrashProfile,
     FaultEvent,
     FaultInjector,
@@ -27,6 +28,7 @@ from repro.faults.injector import (
     LeaderKillProfile,
     MessageLossProfile,
     PartitionProfile,
+    TornWriteProfile,
     profile_from_name,
 )
 from repro.faults.retry import RetryPolicy, call_with_retries
@@ -43,5 +45,7 @@ __all__ = [
     "FlakyTransferProfile",
     "MessageLossProfile",
     "LeaderKillProfile",
+    "BitRotProfile",
+    "TornWriteProfile",
     "profile_from_name",
 ]

@@ -39,6 +39,8 @@ __all__ = [
     "FlakyTransferProfile",
     "MessageLossProfile",
     "LeaderKillProfile",
+    "BitRotProfile",
+    "TornWriteProfile",
     "FaultProfile",
     "FaultInjector",
     "profile_from_name",
@@ -190,6 +192,44 @@ class LeaderKillProfile:
             raise FaultConfigError("revive_after must be non-negative")
 
 
+@dataclass(frozen=True)
+class BitRotProfile:
+    """Silent disk corruption: a stored replica's checksum flips in place.
+
+    Each strike damages one seeded-random replica on the target node —
+    no liveness change, no error, no log line from the node itself.
+    Nothing notices until a verified client read, a scrubber pass, or a
+    deep fsck trips over the mismatch, which is exactly the detection
+    race the bit-rot chaos scenario measures.  Rot is one-shot: there
+    is no recovery event, only repair by re-replication.
+    """
+
+    kind: ClassVar[str] = "bitrot"
+    mtbf: float = 3600.0
+    targets: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        _check_mtbf(self.mtbf)
+
+
+@dataclass(frozen=True)
+class TornWriteProfile:
+    """Torn writes: a replica update persists only partially.
+
+    The replica's generation stamp advances but its stored checksum
+    stays behind, so verification against the new generation fails —
+    the classic power-loss-mid-write failure mode.  One-shot, like
+    :class:`BitRotProfile`.
+    """
+
+    kind: ClassVar[str] = "tornwrite"
+    mtbf: float = 2 * 3600.0
+    targets: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        _check_mtbf(self.mtbf)
+
+
 FaultProfile = Union[
     CrashProfile,
     GrayNodeProfile,
@@ -197,6 +237,8 @@ FaultProfile = Union[
     FlakyTransferProfile,
     MessageLossProfile,
     LeaderKillProfile,
+    BitRotProfile,
+    TornWriteProfile,
 ]
 
 _PROFILE_NAMES = {
@@ -206,6 +248,8 @@ _PROFILE_NAMES = {
     "flaky": FlakyTransferProfile,
     "msgloss": MessageLossProfile,
     "kill_leader": LeaderKillProfile,
+    "bitrot": BitRotProfile,
+    "tornwrite": TornWriteProfile,
 }
 
 
@@ -258,6 +302,10 @@ class FaultInjector:
         self.ha = ha
         # Replica ids of killed leaders, popped by their revive events.
         self._killed_leaders: List[int] = []
+        # Per-corruption-profile victim pickers, seeded at install time
+        # (which replica rots depends on what is stored when the strike
+        # fires, so it cannot be part of the plan).
+        self._corrupt_rngs: Dict[str, random.Random] = {}
         self.injected: Dict[str, int] = {}
         self.installed = False
         # Nodes may be downed by overlapping profiles (a machine crash
@@ -296,6 +344,10 @@ class FaultInjector:
             )
             return self._sample(profile.kind, racks, profile.mtbf,
                                 profile.duration, rng)
+        if isinstance(profile, (BitRotProfile, TornWriteProfile)):
+            targets = profile.targets or tuple(self.namenode.topology.machines)
+            return self._sample_oneshot(profile.kind, targets,
+                                        profile.mtbf, rng)
         if isinstance(profile, LeaderKillProfile):
             # target is -1: the victim is whichever replica leads when
             # the strike fires, unknowable at plan time.
@@ -333,6 +385,22 @@ class FaultInjector:
                 t += rng.expovariate(1.0 / mtbf)
         return events
 
+    def _sample_oneshot(
+        self,
+        kind: str,
+        targets: Sequence[int],
+        mtbf: float,
+        rng: random.Random,
+    ) -> List[FaultEvent]:
+        """Strikes with no recovery events — damage only repair undoes."""
+        events: List[FaultEvent] = []
+        for target in targets:
+            t = rng.expovariate(1.0 / mtbf)
+            while t < self.horizon:
+                events.append(FaultEvent(t, kind, target, False))
+                t += rng.expovariate(1.0 / mtbf)
+        return events
+
     # -- arming ---------------------------------------------------------------
 
     def install(self) -> int:
@@ -357,6 +425,8 @@ class FaultInjector:
                 self._arm_flaky(profile, hook_rng)
             elif isinstance(profile, MessageLossProfile):
                 self._arm_message_loss(profile, hook_rng)
+            elif isinstance(profile, (BitRotProfile, TornWriteProfile)):
+                self._corrupt_rngs[profile.kind] = hook_rng
         _LOG.info(
             "fault injector armed: %d timed events, %d profiles, seed=%d",
             armed, len(self.profiles), self.seed,
@@ -392,6 +462,27 @@ class FaultInjector:
                 p for p in self.profiles if isinstance(p, GrayNodeProfile)
             )
             self.namenode.datanode(event.target).slowdown = profile.slowdown
+        elif event.kind == BitRotProfile.kind:
+            self._rot_replica(event, "bit-rot")
+        elif event.kind == TornWriteProfile.kind:
+            self._rot_replica(event, "torn-write")
+
+    def _rot_replica(self, event: FaultEvent, corruption: str) -> None:
+        """Silently damage one stored replica on the target node."""
+        dn = self.namenode.datanode(event.target)
+        blocks = sorted(dn.blocks())
+        if not blocks:
+            self.injected[event.kind] -= 1  # empty disk: nothing to rot
+            return
+        block_id = self._corrupt_rngs[event.kind].choice(blocks)
+        if corruption == "torn-write":
+            dn.torn_write(block_id, at=self.sim.now)
+        else:
+            dn.corrupt_replica(block_id, at=self.sim.now, kind=corruption)
+        _LOG.info(
+            "silent %s: replica of block %d on datanode %d",
+            corruption, block_id, event.target,
+        )
 
     def _strike_nodes(self, nodes: Sequence[int], event: FaultEvent) -> None:
         release = event.time + self._outage_duration(event.kind)

@@ -94,12 +94,20 @@ class AdmissionController:
         burst: float = 8.0,
         pressure: Optional[Callable[[], float]] = None,
         max_cost_scale: float = 20.0,
+        scrub_rate: Optional[float] = None,
     ) -> None:
         if max_cost_scale < 1.0:
             raise OverloadConfigError("max_cost_scale must be >= 1")
+        # The background scrubber is priced like re-replication traffic
+        # unless given its own rate: both are repair-plane disk/NIC
+        # load that must yield to clients.
         self._buckets: Dict[str, TokenBucket] = {
             "replication": TokenBucket(replication_rate, burst),
             "migration": TokenBucket(migration_rate, burst),
+            "scrub": TokenBucket(
+                replication_rate if scrub_rate is None else scrub_rate,
+                burst,
+            ),
         }
         self.pressure = pressure or (lambda: 0.0)
         self.max_cost_scale = max_cost_scale

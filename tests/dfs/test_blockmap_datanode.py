@@ -158,8 +158,20 @@ class TestDatanode:
     def test_wipe_clears_disk(self):
         dn = Datanode(node_id=0, capacity_blocks=2)
         dn.store(1)
+        dn.wipe()
+        assert not dn.holds(1)
+        assert dn.used_blocks == 0
+
+    def test_wipe_while_dead_does_not_resurrect(self):
+        # A disk swap empties the disk but must not flip liveness —
+        # only recover() brings a dead node back.
+        dn = Datanode(node_id=0, capacity_blocks=2)
+        dn.store(1)
         dn.crash()
         dn.wipe()
+        assert not dn.alive
+        assert not dn.holds(1)
+        dn.recover()
         assert dn.alive
         assert not dn.holds(1)
 

@@ -1,0 +1,213 @@
+"""Silent-corruption chaos: the acceptance bar for the integrity plane.
+
+A seeded stream of bit-rot and torn-write strikes must end with zero
+blocks left without a verified replica, every detected corruption
+episode repaired from a verified source, the scrubber winning the
+detection race against client reads, and a deep (checksum-verifying)
+fsck finding nothing the detectors missed.
+"""
+
+import pytest
+
+from repro import obs
+from repro.errors import InvalidProblemError
+from repro.experiments.bitrot import (
+    BitRotConfig,
+    default_integrity_slos,
+    render_bit_rot,
+    run_bit_rot,
+)
+from repro.faults import (
+    BitRotProfile,
+    FaultInjector,
+    TornWriteProfile,
+    profile_from_name,
+)
+
+pytestmark = [pytest.mark.chaos, pytest.mark.integrity]
+
+
+def small_config(**overrides):
+    defaults = dict(
+        horizon=1800.0, drain=900.0,
+        bitrot_mtbf=600.0, tornwrite_mtbf=1200.0,
+        num_files=8, seed=0,
+    )
+    defaults.update(overrides)
+    return BitRotConfig(**defaults)
+
+
+class TestCorruptionProfiles:
+    def test_profiles_by_name(self):
+        assert isinstance(profile_from_name("bitrot"), BitRotProfile)
+        assert isinstance(profile_from_name("tornwrite"), TornWriteProfile)
+        assert profile_from_name("bitrot", mtbf=60.0).mtbf == 60.0
+
+    def test_mtbf_validated(self):
+        with pytest.raises(Exception):
+            BitRotProfile(mtbf=0.0)
+
+    def test_strikes_are_one_shot(self):
+        # No recovery events: rot does not heal itself.
+        import random
+
+        from repro.cluster.topology import ClusterTopology
+        from repro.dfs.namenode import Namenode
+        from repro.dfs.policies import DefaultHdfsPolicy
+        from repro.simulation.engine import Simulation
+
+        sim = Simulation()
+        topo = ClusterTopology.uniform(2, 2, capacity=40)
+        namenode = Namenode(
+            topo, placement_policy=DefaultHdfsPolicy(random.Random(0)),
+            sim=sim, rng=random.Random(1),
+        )
+        injector = FaultInjector(
+            sim, namenode,
+            [BitRotProfile(mtbf=300.0), TornWriteProfile(mtbf=300.0)],
+            horizon=3600.0, seed=3,
+        )
+        plan = injector.plan()
+        assert plan, "an hour at mtbf=300s should strike"
+        assert all(not event.is_recovery for event in plan)
+        assert {event.kind for event in plan} <= {"bitrot", "tornwrite"}
+
+    def test_strike_corrupts_a_stored_replica(self):
+        import random
+
+        from repro.cluster.topology import ClusterTopology
+        from repro.dfs.client import DfsClient
+        from repro.dfs.namenode import Namenode
+        from repro.dfs.policies import DefaultHdfsPolicy
+        from repro.simulation.engine import Simulation
+
+        sim = Simulation()
+        topo = ClusterTopology.uniform(2, 2, capacity=40)
+        namenode = Namenode(
+            topo, placement_policy=DefaultHdfsPolicy(random.Random(0)),
+            sim=sim, rng=random.Random(1),
+        )
+        DfsClient(namenode).write_file("/a", 4, block_size=1024)
+        injector = FaultInjector(
+            sim, namenode, [BitRotProfile(mtbf=120.0)],
+            horizon=1800.0, seed=5,
+        )
+        injector.install()
+        sim.run(until=1800.0)
+        strikes = injector.injected.get("bitrot", 0)
+        assert strikes > 0
+        corrupt = sum(
+            1 for dn in namenode.datanodes for block in dn.blocks()
+            if not dn.verify_replica(block)
+        )
+        assert corrupt > 0
+        # Strikes against empty disks are not counted as injected.
+        assert corrupt <= strikes
+
+    def test_strike_on_empty_node_not_counted(self):
+        import random
+
+        from repro.cluster.topology import ClusterTopology
+        from repro.dfs.namenode import Namenode
+        from repro.dfs.policies import DefaultHdfsPolicy
+        from repro.simulation.engine import Simulation
+
+        sim = Simulation()
+        topo = ClusterTopology.uniform(2, 2, capacity=40)
+        namenode = Namenode(
+            topo, placement_policy=DefaultHdfsPolicy(random.Random(0)),
+            sim=sim, rng=random.Random(1),
+        )
+        injector = FaultInjector(
+            sim, namenode, [BitRotProfile(mtbf=120.0)],
+            horizon=1800.0, seed=5,
+        )
+        injector.install()
+        sim.run(until=1800.0)  # no files were ever written
+        assert injector.injected.get("bitrot", 0) == 0
+
+
+class TestBitRotRun:
+    def test_rot_is_always_repaired_and_nothing_lost(self):
+        result = run_bit_rot(small_config())
+        assert result.total_blocks > 0
+        assert sum(result.faults_injected.values()) > 0
+        assert result.detections.get("scrub", 0) > 0
+        # The acceptance bar: when a verified source exists (replication
+        # 3, at most one strike per replica between scrub passes), every
+        # corruption episode repairs and no block loses all verified
+        # replicas.
+        assert result.repair_rate == 1.0
+        assert result.episodes_unrepaired == 0
+        assert result.quarantined_remaining == 0
+        assert result.blocks_permanently_lost == 0
+        assert result.fsck is not None and result.fsck.healthy
+
+    def test_scrubber_beats_client_detection(self):
+        result = run_bit_rot(small_config())
+        assert result.scrub_beats_client is True
+
+    def test_corrupt_reads_never_surface_data(self):
+        result = run_bit_rot(small_config())
+        # Every read either came back verified or raised; corrupt
+        # replicas that a client did hit were failed over, not served.
+        assert result.reads_attempted > 0
+        assert (result.reads_served + result.reads_failed
+                == result.reads_attempted)
+        assert result.reads_failed_checksum == 0
+
+    def test_same_seed_same_rot(self):
+        config = small_config(seed=11)
+        first = run_bit_rot(config)
+        second = run_bit_rot(config)
+        assert first.summary() == second.summary()
+        assert first.detection_latencies == second.detection_latencies
+        assert first.repair_times == second.repair_times
+
+    def test_report_renders(self):
+        result = run_bit_rot(small_config())
+        report = render_bit_rot(result)
+        assert "blocks permanently lost   0" in report
+        assert "scrubber beats client     yes" in report
+        assert "episodes still open       0" in report
+
+    def test_config_validation(self):
+        with pytest.raises(InvalidProblemError):
+            BitRotConfig(horizon=0.0)
+        with pytest.raises(InvalidProblemError):
+            BitRotConfig(bitrot_mtbf=-1.0)
+        with pytest.raises(InvalidProblemError):
+            BitRotConfig(rack_spread=5, replication=3)
+
+    def test_default_slos_include_durability(self):
+        slos = default_integrity_slos(BitRotConfig())
+        names = {objective.name for objective in slos}
+        assert "data-durability" in names
+        assert "corruption-time-to-detection" in names
+
+
+class TestBitRotMetrics:
+    def test_integrity_metrics_emitted(self):
+        registry = obs.get_registry()
+        registry.reset()
+        registry.enable()
+        try:
+            result = run_bit_rot(small_config(seed=1))
+            snapshot = registry.snapshot()
+        finally:
+            registry.reset()
+            registry.disable()
+        assert result.blocks_permanently_lost == 0
+        for name in (
+            "repro_dfs_integrity_scrubbed_replicas_total",
+            "repro_dfs_integrity_scrub_bytes_total",
+            "repro_dfs_integrity_scrub_rounds_total",
+            "repro_dfs_integrity_corrupt_replicas_total",
+            "repro_dfs_integrity_replicas_purged_total",
+        ):
+            series = snapshot[name]["series"]
+            assert sum(series.values()) > 0, name
+        detected = snapshot["repro_dfs_integrity_detection_seconds"]["series"]
+        assert any(s["count"] > 0 for s in detected.values())
+        repaired = snapshot["repro_dfs_integrity_repair_seconds"]["series"]
+        assert repaired[""]["count"] > 0, "no repair episodes observed"
