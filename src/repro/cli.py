@@ -364,6 +364,69 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json", type=Path, default=None,
         help="also write the selected traces as JSON here",
     )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the cluster as real namenode/datanode processes",
+    )
+    serve.add_argument(
+        "--racks", type=int, default=2, help="number of racks",
+    )
+    serve.add_argument(
+        "--datanodes-per-rack", type=int, default=2,
+        help="datanode processes per rack",
+    )
+    serve.add_argument(
+        "--capacity", type=int, default=128,
+        help="per-datanode capacity in blocks",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address",
+    )
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="namenode port (0 = ephemeral)",
+    )
+    serve.add_argument(
+        "--heartbeat-interval", type=float, default=1.0,
+        help="datanode heartbeat period in seconds",
+    )
+    serve.add_argument(
+        "--heartbeat-expiry", type=float, default=4.0,
+        help="seconds without a beat before a datanode is declared dead",
+    )
+    serve.add_argument(
+        "--replication", type=int, default=2,
+        help="default replication factor",
+    )
+    serve.add_argument(
+        "--aurora-period", type=float, default=30.0,
+        help="Aurora optimizer period in seconds (0 disables)",
+    )
+    serve.add_argument(
+        "--check", action="store_true",
+        help="boot on ephemeral ports, verify health, exit 0/1",
+    )
+    serve.add_argument(
+        "--demo", action="store_true",
+        help="write/read through the SDK, kill a datanode, verify repair",
+    )
+    serve.add_argument(
+        "--json", type=Path, default=None,
+        help="also write the --check/--demo result as JSON here",
+    )
+    serve.add_argument("--seed", type=int, default=0)
+    # Internal: how the supervisor launches its child processes.
+    serve.add_argument(
+        "--role", choices=["namenode", "datanode"], default=None,
+        help=argparse.SUPPRESS,
+    )
+    serve.add_argument(
+        "--node-id", type=int, default=0, help=argparse.SUPPRESS,
+    )
+    serve.add_argument("--namenode", default=None, help=argparse.SUPPRESS)
+    serve.add_argument("--announce", default=None, help=argparse.SUPPRESS)
+    serve.add_argument("--leader", default=None, help=argparse.SUPPRESS)
     return parser
 
 
@@ -578,7 +641,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             "horizon": config.horizon,
             "quick": args.quick,
         })
-    text = render_chaos(run_chaos(config, telemetry=session))
+    result = run_chaos(config, telemetry=session)
+    text = render_chaos(result)
     target = args.out / "chaos.txt"
     target.write_text(text + "\n", encoding="utf-8")
     print(text)
@@ -588,7 +652,12 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     if args.metrics_out is not None:
         snapshot = obs.write_snapshot(args.metrics_out)
         print(f"[written {snapshot}]")
-    return 0
+    # A chaos run that lost blocks or ended with an unhealthy namespace
+    # is a failure — same 0/1 contract as ``repro fsck``.
+    healthy = result.blocks_lost == 0 and (
+        result.fsck is None or result.fsck.healthy
+    )
+    return 0 if healthy else 1
 
 
 def _cmd_kill_leader(args: argparse.Namespace) -> int:
@@ -635,7 +704,8 @@ def _cmd_kill_leader(args: argparse.Namespace) -> int:
             "kill_at": config.kill_at,
             "quick": args.quick,
         })
-    text = render_leader_kill(run_leader_kill(config, telemetry=session))
+    result = run_leader_kill(config, telemetry=session)
+    text = render_leader_kill(result)
     target = args.out / "chaos_kill_leader.txt"
     target.write_text(text + "\n", encoding="utf-8")
     print(text)
@@ -645,7 +715,12 @@ def _cmd_kill_leader(args: argparse.Namespace) -> int:
     if args.metrics_out is not None:
         snapshot = obs.write_snapshot(args.metrics_out)
         print(f"[written {snapshot}]")
-    return 0
+    # Losing metadata across a failover is the one thing the HA plane
+    # exists to prevent; surface it in the exit code.
+    healthy = result.metadata_lost == 0 and (
+        result.fsck is None or result.fsck.healthy
+    )
+    return 0 if healthy else 1
 
 
 def _cmd_bit_rot(args: argparse.Namespace) -> int:
@@ -686,7 +761,8 @@ def _cmd_bit_rot(args: argparse.Namespace) -> int:
             "horizon": config.horizon,
             "quick": args.quick,
         })
-    text = render_bit_rot(run_bit_rot(config, telemetry=session))
+    result = run_bit_rot(config, telemetry=session)
+    text = render_bit_rot(result)
     target = args.out / "chaos_bit_rot.txt"
     target.write_text(text + "\n", encoding="utf-8")
     print(text)
@@ -696,7 +772,14 @@ def _cmd_bit_rot(args: argparse.Namespace) -> int:
     if args.metrics_out is not None:
         snapshot = obs.write_snapshot(args.metrics_out)
         print(f"[written {snapshot}]")
-    return 0
+    # Same health contract as ``repro scrub``: lost or still-corrupt
+    # data fails the run.
+    healthy = (
+        result.blocks_permanently_lost == 0
+        and result.episodes_unrepaired == 0
+        and (result.fsck is None or result.fsck.healthy)
+    )
+    return 0 if healthy else 1
 
 
 def _cmd_scrub(args: argparse.Namespace) -> int:
@@ -757,7 +840,10 @@ def _cmd_ha(args: argparse.Namespace) -> int:
     target.write_text(text + "\n", encoding="utf-8")
     print(text)
     print(f"[written {target}]")
-    return 0
+    healthy = result.metadata_lost == 0 and (
+        result.fsck is None or result.fsck.healthy
+    )
+    return 0 if healthy else 1
 
 
 def _cmd_overload(args: argparse.Namespace) -> int:
@@ -801,7 +887,9 @@ def _cmd_overload(args: argparse.Namespace) -> int:
 
     if args.protected_only:
         session = make_session("overload-protected")
-        text = render_overload(run_overload(config, telemetry=session))
+        protected = run_overload(config, telemetry=session)
+        results = [protected]
+        text = render_overload(protected)
         if session is not None:
             print(f"[written {session.write(args.telemetry_out)}]")
     else:
@@ -823,6 +911,7 @@ def _cmd_overload(args: argparse.Namespace) -> int:
             unprotected_telemetry=unprotected_session,
             between=flush_protected,
         )
+        results = [protected, unprotected]
         if unprotected_session is not None:
             written.append(unprotected_session.write(
                 args.telemetry_out / "unprotected"
@@ -841,7 +930,12 @@ def _cmd_overload(args: argparse.Namespace) -> int:
     if args.metrics_out is not None:
         snapshot = obs.write_snapshot(args.metrics_out)
         print(f"[written {snapshot}]")
-    return 0
+    # Overload sheds reads by design, but it must never corrupt the
+    # namespace — an unhealthy closing fsck in either leg fails the run.
+    healthy = all(
+        result.fsck is None or result.fsck.healthy for result in results
+    )
+    return 0 if healthy else 1
 
 
 def _cmd_fsck(args: argparse.Namespace) -> int:
@@ -974,6 +1068,74 @@ def _cmd_traces(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: the cluster as real processes over sockets."""
+    import json
+    import time
+
+    from repro.serve.supervisor import (
+        ClusterSupervisor,
+        ServeConfig,
+        run_datanode,
+        run_namenode,
+        serve_check,
+        serve_demo,
+    )
+
+    # Child-process entrypoints (spawned by the supervisor).
+    if args.role == "namenode":
+        return run_namenode(args)
+    if args.role == "datanode":
+        return run_datanode(args)
+
+    config = ServeConfig(
+        num_racks=args.racks,
+        datanodes_per_rack=args.datanodes_per_rack,
+        capacity_blocks=args.capacity,
+        host=args.host,
+        port=args.port,
+        heartbeat_interval=args.heartbeat_interval,
+        heartbeat_expiry=args.heartbeat_expiry,
+        default_replication=args.replication,
+        aurora_period=args.aurora_period,
+    )
+    if args.check or args.demo:
+        result = (
+            serve_check(config) if args.check
+            else serve_demo(config, seed=args.seed)
+        )
+        if args.json is not None:
+            args.json.parent.mkdir(parents=True, exist_ok=True)
+            args.json.write_text(
+                json.dumps(result, indent=2, default=str) + "\n",
+                encoding="utf-8",
+            )
+            print(f"[written {args.json}]")
+        for key, value in result.items():
+            print(f"  {key:<28} {value}")
+        return 0 if result.get("ok") else 1
+
+    # Foreground mode: boot and serve until interrupted.
+    supervisor = ClusterSupervisor(config)
+    try:
+        address = supervisor.start()
+        supervisor.wait_ready()
+        print(f"namenode listening on http://{address}")
+        for node, dn_address in sorted(
+            supervisor.datanode_addresses.items()
+        ):
+            print(f"  datanode {node} on http://{dn_address}")
+        print("press Ctrl-C to stop")
+        while supervisor.namenode_proc.poll() is None:
+            time.sleep(0.5)
+        print("namenode exited; shutting down")
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        supervisor.stop()
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -1004,6 +1166,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_report(args)
     if args.command == "traces":
         return _cmd_traces(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

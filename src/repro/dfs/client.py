@@ -232,6 +232,12 @@ class DfsClient:
         for idx, node in enumerate(candidates):
             breaker = self.breakers.get(node) if self.breakers else None
             now = self.namenode.now
+            # Sim time stands still during the synchronous walk, but the
+            # modeled request timeline does not: attempt N starts after
+            # every backoff already paid.  Spans are anchored at
+            # ``now + waited`` so they tile inside the root span (whose
+            # duration is latency + total backoff).
+            began = now + waited
             if breaker is not None and not breaker.allow(now):
                 # Tripped node: skip without spending an attempt on it.
                 self.breaker_skips += 1
@@ -239,17 +245,17 @@ class DfsClient:
                     _BREAKER_SKIPS.inc()
                 if span is not None:
                     skip = _TRACER.begin(
-                        "dfs.read.attempt", sim_time=now,
+                        "dfs.read.attempt", sim_time=began,
                         parent=span.context, node=node,
                         outcome="breaker_open",
                     )
-                    _TRACER.finish(skip, end_sim=now)
+                    _TRACER.finish(skip, end_sim=began)
                 continue
             tried.append(node)
             attempt = None
             if span is not None:
                 attempt = _TRACER.begin(
-                    "dfs.read.attempt", sim_time=now,
+                    "dfs.read.attempt", sim_time=began,
                     parent=span.context, node=node,
                 )
             dn = self.namenode.datanode(node)
@@ -282,7 +288,7 @@ class DfsClient:
                             attempt.set(
                                 outcome="corrupt", served_by=serving,
                             )
-                            _TRACER.finish(attempt, end_sim=now + latency)
+                            _TRACER.finish(attempt, end_sim=began + latency)
                         failures += 1
                         self.read_failovers += 1
                         if _REG.enabled:
@@ -305,7 +311,7 @@ class DfsClient:
                             outcome="served", served_by=serving,
                             latency=latency, hedged=hedged,
                         )
-                        _TRACER.finish(attempt, end_sim=now + latency)
+                        _TRACER.finish(attempt, end_sim=began + latency)
                     return ReadResult(
                         block_id=block_id,
                         source=source,
@@ -324,7 +330,7 @@ class DfsClient:
                     _SHED_READS.inc()
                 if attempt is not None:
                     attempt.set(outcome="shed")
-                    _TRACER.finish(attempt, end_sim=now)
+                    _TRACER.finish(attempt, end_sim=began)
                 if breaker is not None:
                     breaker.record_failure(now)
                 failures += 1
@@ -344,13 +350,13 @@ class DfsClient:
             if not self.retry_policy.admits(failures, waited):
                 if attempt is not None:
                     attempt.set(outcome="failed", backoff=0.0)
-                    _TRACER.finish(attempt, end_sim=now)
+                    _TRACER.finish(attempt, end_sim=began)
                 break
             delay = self.retry_policy.delay(failures, self._rng)
             waited += delay
             if attempt is not None:
                 attempt.set(outcome="failed", backoff=delay)
-                _TRACER.finish(attempt, end_sim=now + delay)
+                _TRACER.finish(attempt, end_sim=began + delay)
         self.read_errors += 1
         if _REG.enabled:
             _READ_ERRORS.inc()
@@ -404,11 +410,29 @@ class DfsClient:
             self.hedge_wins += 1
             if _REG.enabled:
                 _HEDGE_WINS.inc()
+            # The losing primary still served (slowly) — its breaker
+            # must observe that outcome.  The caller only records the
+            # *winner*, and the primary's ``allow()`` may have consumed
+            # a half-open probe that would otherwise never resolve,
+            # leaving the breaker stuck open.
+            if self.breakers:
+                primary_breaker = self.breakers.get(dn.node_id)
+                if primary_breaker is not None:
+                    primary_breaker.record_success(now)
             return alt.node_id, alt_latency, True
-        if alt_latency is None and self.breakers:
+        if alt_latency is None:
+            # The hedge was shed: that is a real failure signal for the
+            # alternate's breaker.
+            if self.breakers:
+                alt_breaker = self.breakers.get(alt.node_id)
+                if alt_breaker is not None:
+                    alt_breaker.record_failure(now)
+        elif self.breakers:
+            # The hedge served but lost the race — still a successful
+            # service from the alternate's point of view.
             alt_breaker = self.breakers.get(alt.node_id)
             if alt_breaker is not None:
-                alt_breaker.record_failure(now)
+                alt_breaker.record_success(now)
         return dn.node_id, latency, True
 
     def _hedge_candidate(

@@ -1,0 +1,38 @@
+"""Aurora over the wire: the networked namenode/datanode service.
+
+The package keeps the discrete-event path untouched and adds a real
+deployment mode next to it:
+
+* :mod:`repro.serve.wire` — JSON schemas + the exception codec;
+* :mod:`repro.serve.httpd` — stdlib asyncio HTTP server and sync client;
+* :mod:`repro.serve.namenode_service` — the metadata process (the real
+  :class:`~repro.dfs.namenode.Namenode` re-based onto wall time, with
+  replication transfers rewired to datanode-to-datanode pulls);
+* :mod:`repro.serve.datanode_service` — the block-bytes process;
+* :mod:`repro.serve.client` — the SDK with the simulated client's
+  failover/breaker semantics over sockets;
+* :mod:`repro.serve.backend` — the transport-agnostic
+  :class:`~repro.serve.backend.DfsBackend` surface both modes implement;
+* :mod:`repro.serve.supervisor` — process spawning, the ``--check``
+  boot probe, and the ``--demo`` chaos drill.
+"""
+
+from repro.serve.backend import DfsBackend, SimBackend
+from repro.serve.client import BlockRead, ServeClient
+from repro.serve.wire import (
+    WIRE_SCHEMAS,
+    decode_error,
+    encode_error,
+    payload_checksum,
+)
+
+__all__ = [
+    "DfsBackend",
+    "SimBackend",
+    "BlockRead",
+    "ServeClient",
+    "WIRE_SCHEMAS",
+    "decode_error",
+    "encode_error",
+    "payload_checksum",
+]

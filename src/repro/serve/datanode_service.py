@@ -1,0 +1,398 @@
+"""The datanode process: real block bytes behind an HTTP surface.
+
+Each datanode server owns an in-memory block store (``block_id ->
+(generation, bytes)``) plus the CRC-32 checksum recorded at store time.
+It registers with the namenode on startup, heartbeats on a wall-clock
+interval, pushes a full block report whenever its holdings change, and
+serves the data plane:
+
+* ``GET /blocks/{id}`` — the bytes, with the *stored* checksum in a
+  header (so bit rot after the write shows up as a client-side
+  checksum mismatch, exactly like the simulated integrity plane);
+* ``PUT /blocks/{id}`` — store a replica; a ``pipeline`` query of
+  further datanode addresses makes this hop forward the bytes on, the
+  HDFS write pipeline over real sockets;
+* ``POST /admin/pull`` — fetch-and-store a replica from a peer, the
+  receiving end of namenode-driven re-replication;
+* chaos hooks (``/admin/corrupt``, ``/admin/shed``) so the fault
+  profiles that kill and damage simulated datanodes have wire-level
+  equivalents.
+
+Overload protection is a bounded concurrency gate: beyond
+``max_inflight`` concurrent data-plane requests the node sheds with
+503, which the SDK treats exactly like a simulated queue shed (fail
+over, no backoff).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+from typing import Dict, Tuple
+
+from repro.errors import CapacityExceededError, DfsError
+from repro.obs.registry import get_registry
+from repro.serve.httpd import HttpCallError, HttpRequest, HttpServer, Response, http_call
+from repro.serve.wire import (
+    BlockReportRequest,
+    HeartbeatRequest,
+    PullRequest,
+    encode_error,
+    payload_checksum,
+)
+
+__all__ = ["DatanodeServer"]
+
+_LOG = logging.getLogger(__name__)
+
+_REG = get_registry()
+_BLOCKS_STORED = _REG.gauge(
+    "repro_serve_datanode_blocks",
+    "Replicas currently stored by this datanode process",
+)
+_BYTES = _REG.counter(
+    "repro_serve_datanode_bytes_total",
+    "Bytes moved through this datanode process, by direction",
+    ["direction"],
+)
+_SHED = _REG.counter(
+    "repro_serve_datanode_shed_total",
+    "Data-plane requests shed by the bounded concurrency gate",
+)
+_PULLS = _REG.counter(
+    "repro_serve_datanode_pulls_total",
+    "Replication pulls completed by this datanode, by outcome",
+    ["outcome"],
+)
+
+
+class DatanodeServer:
+    """One datanode process: block storage + heartbeats + data plane."""
+
+    def __init__(
+        self,
+        node_id: int,
+        capacity_blocks: int,
+        namenode_address: str,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        heartbeat_interval: float = 1.0,
+        max_inflight: int = 64,
+    ) -> None:
+        if capacity_blocks < 1:
+            raise DfsError("capacity must be positive")
+        self.node_id = node_id
+        self.capacity_blocks = capacity_blocks
+        self.namenode_address = namenode_address
+        self.host = host
+        self.port = port
+        self.heartbeat_interval = heartbeat_interval
+        self.max_inflight = max_inflight
+        # block_id -> (generation, payload); checksums recorded at store
+        # time so later in-place damage is detectable.
+        self._blocks: Dict[int, Tuple[int, bytes]] = {}
+        self._checksums: Dict[int, int] = {}
+        self._inflight = 0
+        self._shed_all = False  # chaos hook: shed every data request
+        self._report_due = asyncio.Event()
+        self._stopping = asyncio.Event()
+        self.http = HttpServer(label=f"datanode-{node_id}")
+        self._register_routes()
+
+    # -- storage primitives ------------------------------------------------
+
+    def store(self, block_id: int, data: bytes, generation: int = 0) -> int:
+        """Store a replica; returns the recorded checksum."""
+        if block_id in self._blocks:
+            raise DfsError(
+                f"datanode {self.node_id} already stores block {block_id}"
+            )
+        if len(self._blocks) >= self.capacity_blocks:
+            raise CapacityExceededError(
+                f"datanode {self.node_id} disk full"
+            )
+        checksum = payload_checksum(data)
+        self._blocks[block_id] = (generation, data)
+        self._checksums[block_id] = checksum
+        if _REG.enabled:
+            _BLOCKS_STORED.set(len(self._blocks))
+            _BYTES.labels(direction="in").inc(len(data))
+        self._report_due.set()
+        return checksum
+
+    def erase(self, block_id: int) -> bool:
+        """Drop a replica; returns whether it was present."""
+        present = self._blocks.pop(block_id, None) is not None
+        self._checksums.pop(block_id, None)
+        if present:
+            if _REG.enabled:
+                _BLOCKS_STORED.set(len(self._blocks))
+            self._report_due.set()
+        return present
+
+    def block_report(self) -> BlockReportRequest:
+        """The full report shipped to the namenode."""
+        return BlockReportRequest(
+            node=self.node_id,
+            address=self.http.address or f"{self.host}:{self.port}",
+            capacity_blocks=self.capacity_blocks,
+            blocks=tuple(
+                sorted(
+                    (block_id, generation, self._checksums[block_id])
+                    for block_id, (generation, _) in self._blocks.items()
+                )
+            ),
+        )
+
+    def verify_all(self) -> Tuple[int, Tuple[int, ...]]:
+        """Re-checksum every stored replica (the scrub read-back).
+
+        Returns ``(verified_count, corrupt_block_ids)``.
+        """
+        corrupt = tuple(
+            block_id
+            for block_id, (_, data) in sorted(self._blocks.items())
+            if payload_checksum(data) != self._checksums[block_id]
+        )
+        return len(self._blocks), corrupt
+
+    # -- HTTP surface ------------------------------------------------------
+
+    def _register_routes(self) -> None:
+        self.http.route("GET", "/healthz", self._h_healthz)
+        self.http.route("GET", "/metrics", self._h_metrics)
+        self.http.route("GET", "/blocks/{block_id}", self._h_read)
+        self.http.route("PUT", "/blocks/{block_id}", self._h_write)
+        self.http.route("DELETE", "/blocks/{block_id}", self._h_delete)
+        self.http.route("POST", "/admin/pull", self._h_pull)
+        self.http.route("POST", "/admin/verify", self._h_verify)
+        self.http.route("POST", "/admin/corrupt", self._h_corrupt)
+        self.http.route("POST", "/admin/shed", self._h_shed)
+        self.http.route("POST", "/admin/shutdown", self._h_shutdown)
+
+    def _gate(self) -> bool:
+        """Admission check for data-plane work; True means shed."""
+        return self._shed_all or self._inflight >= self.max_inflight
+
+    async def _h_healthz(self, request: HttpRequest) -> Response:
+        return Response(200, {
+            "ok": True,
+            "role": "datanode",
+            "node": self.node_id,
+            "blocks": len(self._blocks),
+            "capacity_blocks": self.capacity_blocks,
+        })
+
+    async def _h_metrics(self, request: HttpRequest) -> Response:
+        from repro.obs.exporters import to_prometheus_text
+
+        return Response(200, to_prometheus_text(_REG))
+
+    async def _h_read(self, request: HttpRequest) -> Response:
+        if self._gate():
+            if _REG.enabled:
+                _SHED.inc()
+            return Response(503, encode_error(DfsError("shedding load")),
+                            headers={"X-Repro-Shed": "1"})
+        block_id = int(request.params["block_id"])
+        entry = self._blocks.get(block_id)
+        if entry is None:
+            return Response(404, encode_error(DfsError(
+                f"datanode {self.node_id} does not store block {block_id}"
+            )))
+        generation, data = entry
+        if _REG.enabled:
+            _BYTES.labels(direction="out").inc(len(data))
+        # Serve the *stored* checksum record, never a recomputation:
+        # rot between store and serve must be visible to the reader.
+        return Response(200, data, headers={
+            "X-Repro-Checksum": str(self._checksums[block_id]),
+            "X-Repro-Generation": str(generation),
+            "X-Repro-Node": str(self.node_id),
+        })
+
+    async def _h_write(self, request: HttpRequest) -> Response:
+        if self._gate():
+            if _REG.enabled:
+                _SHED.inc()
+            return Response(503, encode_error(DfsError("shedding load")),
+                            headers={"X-Repro-Shed": "1"})
+        block_id = int(request.params["block_id"])
+        generation = int(request.query.get("generation", "0"))
+        self._inflight += 1
+        try:
+            checksum = self.store(block_id, request.body, generation)
+            stored = [self.node_id]
+            # The HDFS write pipeline: this hop forwards the bytes to
+            # the next replica target, which forwards on in turn.
+            pipeline = [
+                hop for hop in
+                request.query.get("pipeline", "").split(",") if hop
+            ]
+            if pipeline:
+                next_hop, rest = pipeline[0], pipeline[1:]
+                suffix = f"&pipeline={','.join(rest)}" if rest else ""
+                status, body, _ = await asyncio.to_thread(
+                    http_call, next_hop, "PUT",
+                    f"/blocks/{block_id}?generation={generation}{suffix}",
+                    request.body,
+                )
+                if status != 200 or not isinstance(body, dict):
+                    raise DfsError(
+                        f"pipeline hop to {next_hop} failed "
+                        f"(status {status})"
+                    )
+                stored.extend(body.get("stored", []))
+            return Response(200, {"ok": True, "checksum": checksum,
+                                  "stored": stored})
+        finally:
+            self._inflight -= 1
+
+    async def _h_delete(self, request: HttpRequest) -> Response:
+        block_id = int(request.params["block_id"])
+        return Response(200, {"deleted": self.erase(block_id)})
+
+    async def _h_pull(self, request: HttpRequest) -> Response:
+        """Fetch a replica from a peer datanode and store it locally."""
+        pull = PullRequest.from_wire(request.json())
+        if pull.block_id in self._blocks:
+            if _REG.enabled:
+                _PULLS.labels(outcome="duplicate").inc()
+            return Response(200, {"ok": True, "outcome": "duplicate"})
+        try:
+            status, data, headers = await asyncio.to_thread(
+                http_call, pull.source_address, "GET",
+                f"/blocks/{pull.block_id}",
+            )
+        except HttpCallError as exc:
+            if _REG.enabled:
+                _PULLS.labels(outcome="source_unreachable").inc()
+            return Response(502, {"ok": False,
+                                  "outcome": "source-unreachable",
+                                  "message": str(exc)})
+        if status != 200 or not isinstance(data, bytes):
+            if _REG.enabled:
+                _PULLS.labels(outcome="source_error").inc()
+            return Response(502, {"ok": False, "outcome": "source-error",
+                                  "status": status})
+        claimed = int(headers.get("x-repro-checksum", "-1"))
+        if payload_checksum(data) != claimed:
+            # In-flight verification: never clone damaged bytes.  The
+            # namenode quarantines the source and retries elsewhere.
+            if _REG.enabled:
+                _PULLS.labels(outcome="source_corrupt").inc()
+            return Response(200, {"ok": False, "outcome": "source-corrupt"})
+        self.store(pull.block_id, data, pull.generation)
+        if _REG.enabled:
+            _PULLS.labels(outcome="ok").inc()
+        return Response(200, {"ok": True, "outcome": "ok",
+                              "checksum": claimed})
+
+    async def _h_verify(self, request: HttpRequest) -> Response:
+        verified, corrupt = self.verify_all()
+        return Response(200, {
+            "node": self.node_id,
+            "verified": verified,
+            "corrupt": list(corrupt),
+        })
+
+    async def _h_corrupt(self, request: HttpRequest) -> Response:
+        """Chaos hook: silently flip a byte of a stored replica."""
+        block_id = int(request.json().get("block_id", -1))
+        entry = self._blocks.get(block_id)
+        if entry is None:
+            return Response(404, encode_error(DfsError(
+                f"block {block_id} not stored here"
+            )))
+        generation, data = entry
+        damaged = bytes([data[0] ^ 0xFF]) + data[1:] if data else b"\xff"
+        # The stored checksum record deliberately stays at the value of
+        # the original bytes — that is what silent corruption means.
+        self._blocks[block_id] = (generation, damaged)
+        return Response(200, {"ok": True, "block_id": block_id})
+
+    async def _h_shed(self, request: HttpRequest) -> Response:
+        """Chaos hook: toggle shedding of all data-plane requests."""
+        self._shed_all = bool(request.json().get("shed", True))
+        return Response(200, {"ok": True, "shedding": self._shed_all})
+
+    async def _h_shutdown(self, request: HttpRequest) -> Response:
+        self._stopping.set()
+        return Response(200, {"ok": True})
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def _register_with_namenode(self) -> None:
+        """Announce this node (with its current blocks) to the namenode.
+
+        Retries until the namenode is reachable — datanode and namenode
+        processes race at startup.
+        """
+        report = self.block_report().to_wire()
+        while not self._stopping.is_set():
+            try:
+                status, body, _ = await asyncio.to_thread(
+                    http_call, self.namenode_address, "POST",
+                    "/dn/register", report,
+                )
+            except HttpCallError:
+                await asyncio.sleep(0.2)
+                continue
+            if status == 200:
+                _LOG.info(
+                    "datanode %d registered with %s",
+                    self.node_id, self.namenode_address,
+                )
+                return
+            await asyncio.sleep(0.2)
+
+    async def _heartbeat_loop(self) -> None:
+        while not self._stopping.is_set():
+            beat = HeartbeatRequest(
+                node=self.node_id,
+                saturation=min(1.0, self._inflight / self.max_inflight),
+                used_blocks=len(self._blocks),
+            )
+            try:
+                _status, body, _ = await asyncio.to_thread(
+                    http_call, self.namenode_address, "POST",
+                    "/dn/heartbeat", beat.to_wire(),
+                )
+                # The namenode answers ``report: true`` when its belief
+                # disagrees with this beat (it thinks we're dead, or a
+                # failed-over leader never met us) — re-report in full.
+                if isinstance(body, dict) and body.get("report"):
+                    self._report_due.set()
+            except HttpCallError:
+                pass  # namenode away (failover?); keep beating
+            if self._report_due.is_set():
+                self._report_due.clear()
+                try:
+                    await asyncio.to_thread(
+                        http_call, self.namenode_address, "POST",
+                        "/dn/report", self.block_report().to_wire(),
+                    )
+                except HttpCallError:
+                    self._report_due.set()  # retry next beat
+            try:
+                await asyncio.wait_for(
+                    self._stopping.wait(), timeout=self.heartbeat_interval
+                )
+            except asyncio.TimeoutError:
+                pass
+
+    async def run(self, announce=None) -> None:
+        """Serve until shut down (``POST /admin/shutdown`` or SIGTERM)."""
+        address = await self.http.start(self.host, self.port)
+        if announce is not None:
+            announce(address)
+        await self._register_with_namenode()
+        heartbeats = asyncio.ensure_future(self._heartbeat_loop())
+        try:
+            await self._stopping.wait()
+        finally:
+            heartbeats.cancel()
+            await self.http.stop()
+
+    def request_stop(self) -> None:
+        self._stopping.set()

@@ -1,0 +1,383 @@
+"""Dependency-free HTTP/1.1 plumbing for the service layer.
+
+The container bakes in no web framework, so the service speaks HTTP
+through two small pieces built on the stdlib only:
+
+* :class:`HttpServer` — an ``asyncio.start_server`` loop that parses
+  requests (headers + Content-Length bodies, keep-alive), routes them
+  through a tiny pattern table (``/v1/blocks/{block_id}/locations``),
+  and writes JSON or binary responses;
+* :func:`http_call` — the synchronous client primitive used by the SDK
+  and by datanode-to-datanode pulls, on ``http.client``.
+
+Handlers are ``async def handler(request) -> Response`` and may return
+JSON-able dicts/dataclasses or raw bytes.  Exceptions from the
+:mod:`repro.errors` hierarchy become structured error payloads via
+:func:`repro.serve.wire.encode_error`; the status mapping keeps the SDK
+failover semantics honest (overload sheds are 503, checksum mismatches
+502, stale locations 404).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import logging
+import socket
+import urllib.parse
+from dataclasses import dataclass, field
+from typing import Any, Awaitable, Callable, Dict, List, Optional, Tuple, Union
+
+from repro.errors import (
+    BlockNotFoundError,
+    CapacityExceededError,
+    ChecksumError,
+    DatanodeUnavailableError,
+    DfsError,
+    FencedError,
+    FileExistsInDfsError,
+    FileNotFoundInDfsError,
+    NoLeaderError,
+    OverloadSheddedError,
+    ReproError,
+    SafeModeError,
+)
+from repro.obs.registry import get_registry
+from repro.serve.wire import encode_error
+
+__all__ = [
+    "HttpRequest",
+    "Response",
+    "HttpServer",
+    "Route",
+    "http_call",
+    "status_for_error",
+    "HttpCallError",
+]
+
+_LOG = logging.getLogger(__name__)
+
+_REG = get_registry()
+_REQUESTS = _REG.counter(
+    "repro_serve_http_requests_total",
+    "HTTP requests handled by a repro.serve process, by route and status",
+    ["route", "status"],
+)
+
+_MAX_BODY = 256 * 1024 * 1024  # refuse absurd Content-Length values
+
+
+def status_for_error(exc: BaseException) -> int:
+    """HTTP status carrying each library exception class.
+
+    The mapping is part of the wire contract: the SDK keys its failover
+    behaviour off these statuses (503 = shed, fail over without
+    backoff; 502 = corrupt bytes; 404 = stale metadata).
+    """
+    if isinstance(exc, ChecksumError):
+        return 502
+    if isinstance(exc, OverloadSheddedError):
+        return 503
+    if isinstance(exc, (FencedError, SafeModeError)):
+        return 503
+    if isinstance(exc, NoLeaderError):
+        return 503
+    if isinstance(
+        exc,
+        (FileNotFoundInDfsError, BlockNotFoundError, DatanodeUnavailableError),
+    ):
+        return 404
+    if isinstance(exc, FileExistsInDfsError):
+        return 409
+    if isinstance(exc, CapacityExceededError):
+        return 507
+    if isinstance(exc, ReproError):
+        return 400
+    return 500
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request."""
+
+    method: str
+    path: str
+    params: Dict[str, str] = field(default_factory=dict)
+    query: Dict[str, str] = field(default_factory=dict)
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> Dict[str, Any]:
+        """Decode the body as a JSON object ({} when empty)."""
+        if not self.body:
+            return {}
+        try:
+            data = json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise DfsError(f"malformed JSON body: {exc}") from exc
+        if not isinstance(data, dict):
+            raise DfsError("JSON body must be an object")
+        return data
+
+
+@dataclass
+class Response:
+    """What a handler returns; ``payload`` may be a dict or raw bytes."""
+
+    status: int = 200
+    payload: Union[Dict[str, Any], bytes, str, None] = None
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    def encode(self) -> Tuple[bytes, str]:
+        if isinstance(self.payload, bytes):
+            return self.payload, "application/octet-stream"
+        if isinstance(self.payload, str):
+            return self.payload.encode("utf-8"), "text/plain; charset=utf-8"
+        body = json.dumps(
+            self.payload if self.payload is not None else {}
+        ).encode("utf-8")
+        return body, "application/json"
+
+
+Handler = Callable[[HttpRequest], Awaitable[Response]]
+
+_REASONS = {
+    200: "OK", 201: "Created", 204: "No Content", 307: "Temporary Redirect",
+    400: "Bad Request", 404: "Not Found", 405: "Method Not Allowed",
+    409: "Conflict", 500: "Internal Server Error", 502: "Bad Gateway",
+    503: "Service Unavailable", 507: "Insufficient Storage",
+}
+
+
+class Route:
+    """One routing-table entry: ``METHOD /path/{param}/suffix``."""
+
+    def __init__(self, method: str, pattern: str, handler: Handler) -> None:
+        self.method = method.upper()
+        self.pattern = pattern
+        self.handler = handler
+        self._segments = pattern.strip("/").split("/")
+
+    def match(self, method: str, path: str) -> Optional[Dict[str, str]]:
+        if method != self.method:
+            return None
+        segments = path.strip("/").split("/")
+        if len(segments) != len(self._segments):
+            return None
+        params: Dict[str, str] = {}
+        for want, got in zip(self._segments, segments):
+            if want.startswith("{") and want.endswith("}"):
+                params[want[1:-1]] = got
+            elif want != got:
+                return None
+        return params
+
+
+class HttpServer:
+    """Asyncio JSON-over-HTTP server with a static routing table."""
+
+    def __init__(self, label: str = "serve") -> None:
+        self.label = label
+        self.routes: List[Route] = []
+        self._server: Optional[asyncio.base_events.Server] = None
+        self.address: Optional[str] = None
+
+    def route(self, method: str, pattern: str, handler: Handler) -> None:
+        self.routes.append(Route(method, pattern, handler))
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> str:
+        """Bind and serve; returns the actual ``host:port`` address."""
+        self._server = await asyncio.start_server(
+            self._serve_connection, host=host, port=port,
+            family=socket.AF_INET,
+        )
+        bound = self._server.sockets[0].getsockname()
+        self.address = f"{bound[0]}:{bound[1]}"
+        _LOG.info("%s listening on %s", self.label, self.address)
+        return self.address
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                close = request.headers.get("connection", "").lower() == "close"
+                response = await self._dispatch(request)
+                await self._write_response(writer, response, close)
+                if close:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:  # server stopping mid-request
+            pass
+        except Exception:  # pragma: no cover - connection-level guard
+            _LOG.exception("%s: connection handler failed", self.label)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError,
+                    asyncio.CancelledError):  # pragma: no cover
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[HttpRequest]:
+        try:
+            request_line = await reader.readline()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            return None
+        if not request_line or request_line in (b"\r\n", b"\n"):
+            return None
+        try:
+            method, target, _version = (
+                request_line.decode("latin-1").strip().split(" ", 2)
+            )
+        except ValueError:
+            return None
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if not line or line in (b"\r\n", b"\n"):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if not 0 <= length <= _MAX_BODY:
+            return None
+        body = await reader.readexactly(length) if length else b""
+        parsed = urllib.parse.urlsplit(target)
+        query = {
+            key: values[-1]
+            for key, values in urllib.parse.parse_qs(
+                parsed.query, keep_blank_values=True
+            ).items()
+        }
+        return HttpRequest(
+            method=method.upper(),
+            path=urllib.parse.unquote(parsed.path),
+            query=query,
+            headers=headers,
+            body=body,
+        )
+
+    async def _dispatch(self, request: HttpRequest) -> Response:
+        matched_pattern = request.path
+        try:
+            for route in self.routes:
+                params = route.match(request.method, request.path)
+                if params is not None:
+                    matched_pattern = route.pattern
+                    request.params = params
+                    response = await route.handler(request)
+                    break
+            else:
+                known_path = any(
+                    route.match(route.method, request.path) is not None
+                    for route in self.routes
+                )
+                status = 405 if known_path else 404
+                response = Response(
+                    status, encode_error(DfsError(
+                        f"no route for {request.method} {request.path}"
+                    )),
+                )
+                matched_pattern = "<unrouted>"
+        except ReproError as exc:
+            response = Response(status_for_error(exc), encode_error(exc))
+        except Exception as exc:  # noqa: BLE001 - server must not die
+            _LOG.exception(
+                "%s: handler for %s %s crashed",
+                self.label, request.method, request.path,
+            )
+            response = Response(500, encode_error(exc))
+        if _REG.enabled:
+            _REQUESTS.labels(
+                route=f"{request.method} {matched_pattern}",
+                status=str(response.status),
+            ).inc()
+        return response
+
+    async def _write_response(
+        self, writer: asyncio.StreamWriter, response: Response, close: bool
+    ) -> None:
+        body, content_type = response.encode()
+        reason = _REASONS.get(response.status, "Unknown")
+        head = [
+            f"HTTP/1.1 {response.status} {reason}",
+            f"Content-Type: {content_type}",
+            f"Content-Length: {len(body)}",
+            f"Connection: {'close' if close else 'keep-alive'}",
+        ]
+        for name, value in response.headers.items():
+            head.append(f"{name}: {value}")
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1"))
+        writer.write(body)
+        await writer.drain()
+
+
+class HttpCallError(DfsError):
+    """Transport-level failure of :func:`http_call` (refused, timeout,
+    reset) — the SDK treats it like a dead replica and fails over."""
+
+
+def http_call(
+    address: str,
+    method: str,
+    path: str,
+    payload: Optional[Union[Dict[str, Any], bytes]] = None,
+    timeout: float = 10.0,
+    headers: Optional[Dict[str, str]] = None,
+) -> Tuple[int, Union[Dict[str, Any], bytes], Dict[str, str]]:
+    """One synchronous HTTP exchange against ``host:port``.
+
+    Returns ``(status, body, headers)`` where ``body`` is a decoded
+    JSON object for JSON responses and raw ``bytes`` otherwise.  Raises
+    :class:`HttpCallError` on any transport failure.
+    """
+    if isinstance(payload, bytes):
+        body: Optional[bytes] = payload
+        content_type = "application/octet-stream"
+    elif payload is not None:
+        body = json.dumps(payload).encode("utf-8")
+        content_type = "application/json"
+    else:
+        body = None
+        content_type = "application/json"
+    request_headers = {"Content-Type": content_type}
+    if headers:
+        request_headers.update(headers)
+    conn = http.client.HTTPConnection(address, timeout=timeout)
+    try:
+        conn.request(method.upper(), path, body=body, headers=request_headers)
+        raw = conn.getresponse()
+        data = raw.read()
+        response_headers = {k.lower(): v for k, v in raw.getheaders()}
+        if response_headers.get(
+            "content-type", ""
+        ).startswith("application/json"):
+            try:
+                decoded: Union[Dict[str, Any], bytes] = (
+                    json.loads(data.decode("utf-8")) if data else {}
+                )
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise HttpCallError(
+                    f"{address}: malformed JSON response: {exc}"
+                ) from exc
+        else:
+            decoded = data
+        return raw.status, decoded, response_headers
+    except (OSError, http.client.HTTPException) as exc:
+        raise HttpCallError(f"{method} {address}{path}: {exc}") from exc
+    finally:
+        conn.close()

@@ -1,0 +1,314 @@
+"""Wire schemas for the networked Aurora service.
+
+Every request/response crossing a socket between the :mod:`repro.serve`
+namenode, datanodes, and the client SDK is one of the frozen dataclasses
+below, serialized as JSON.  The schemas are deliberately flat — ints,
+floats, strings, lists — so a round trip through ``to_wire``/``from_wire``
+is lossless and property-testable.
+
+The module also owns the **error codec**: exceptions raised by the
+in-process :class:`~repro.dfs.namenode.Namenode`/:class:`~repro.dfs.client.DfsClient`
+path map onto stable string codes, ship as JSON error payloads, and are
+rehydrated by the SDK into the *same* exception classes — so callers can
+``except ChecksumError`` identically whether the backend is in-process
+or on the other end of a socket.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import asdict, dataclass, field, fields
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Type
+
+from repro.errors import (
+    BlockNotFoundError,
+    CapacityExceededError,
+    ChecksumError,
+    DatanodeUnavailableError,
+    DfsError,
+    FencedError,
+    FileExistsInDfsError,
+    FileNotFoundInDfsError,
+    NoLeaderError,
+    OverloadSheddedError,
+    QuotaExceededError,
+    ReproError,
+    SafeModeError,
+)
+
+__all__ = [
+    "WIRE_SCHEMAS",
+    "ERROR_CODES",
+    "BlockInfo",
+    "CreateFileRequest",
+    "FileInfo",
+    "HeartbeatRequest",
+    "BlockReportRequest",
+    "ReplicaLocation",
+    "LocateResponse",
+    "AccessReport",
+    "CorruptReport",
+    "PullRequest",
+    "ScrubSummary",
+    "WireError",
+    "payload_checksum",
+    "encode_error",
+    "decode_error",
+    "error_code_for",
+]
+
+
+def payload_checksum(data: bytes) -> int:
+    """Checksum of a block payload as stored / shipped on the wire.
+
+    CRC-32 — cheap, stdlib, and good enough to catch bit rot and torn
+    transfers; the record written at store time is what gets served
+    later, so silent on-disk corruption shows up as a mismatch between
+    the served bytes and the *original* checksum.
+    """
+    return zlib.crc32(data) & 0xFFFFFFFF
+
+
+class _WireMessage:
+    """Shared to/from-JSON plumbing for the schema dataclasses."""
+
+    def to_wire(self) -> Dict[str, Any]:
+        """JSON-ready dict (nested schemas become nested dicts)."""
+        return asdict(self)
+
+    @classmethod
+    def from_wire(cls, payload: Mapping[str, Any]) -> "_WireMessage":
+        """Rebuild the dataclass from a decoded JSON dict.
+
+        Unknown keys are rejected — a schema drift between client and
+        server should fail loudly, not truncate silently.
+        """
+        names = {f.name for f in fields(cls)}
+        unknown = set(payload) - names
+        if unknown:
+            raise DfsError(
+                f"{cls.__name__}: unknown wire fields {sorted(unknown)}"
+            )
+        kwargs = dict(payload)
+        for name, sub in getattr(cls, "_NESTED", {}).items():
+            if name in kwargs and kwargs[name] is not None:
+                value = kwargs[name]
+                if isinstance(value, list):
+                    kwargs[name] = [sub.from_wire(item) for item in value]
+                else:
+                    kwargs[name] = sub.from_wire(value)
+        for name in getattr(cls, "_TUPLES", ()):
+            if name in kwargs and kwargs[name] is not None:
+                kwargs[name] = tuple(
+                    tuple(item) if isinstance(item, list) else item
+                    for item in kwargs[name]
+                )
+        return cls(**kwargs)
+
+
+@dataclass(frozen=True)
+class ReplicaLocation(_WireMessage):
+    """One replica candidate: the datanode id and its HTTP address."""
+
+    node: int
+    address: str
+
+
+@dataclass(frozen=True)
+class BlockInfo(_WireMessage):
+    """One block of a file, with its current replica candidates."""
+
+    block_id: int
+    size: int
+    generation: int = 0
+    locations: List[ReplicaLocation] = field(default_factory=list)
+
+    _NESTED = {"locations": ReplicaLocation}
+
+
+@dataclass(frozen=True)
+class CreateFileRequest(_WireMessage):
+    """``POST /v1/files`` body."""
+
+    path: str
+    num_blocks: int
+    block_size: int
+    replication: Optional[int] = None
+    rack_spread: Optional[int] = None
+    writer: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class FileInfo(_WireMessage):
+    """A file's metadata plus per-block replica locations."""
+
+    path: str
+    file_id: int
+    block_size: int
+    blocks: List[BlockInfo] = field(default_factory=list)
+
+    _NESTED = {"blocks": BlockInfo}
+
+
+@dataclass(frozen=True)
+class HeartbeatRequest(_WireMessage):
+    """``POST /dn/heartbeat`` body — one datanode's periodic beat."""
+
+    node: int
+    saturation: float = 0.0
+    used_blocks: int = 0
+
+
+@dataclass(frozen=True)
+class BlockReportRequest(_WireMessage):
+    """``POST /dn/register`` / ``POST /dn/report`` body.
+
+    ``blocks`` is the full report: ``(block_id, generation, checksum)``
+    triples for every replica physically on the node's disk.
+    """
+
+    node: int
+    address: str
+    capacity_blocks: int
+    blocks: Tuple[Tuple[int, int, int], ...] = field(default_factory=tuple)
+
+    _TUPLES = ("blocks",)
+
+
+@dataclass(frozen=True)
+class LocateResponse(_WireMessage):
+    """``GET /v1/blocks/{id}/locations`` response.
+
+    ``candidates`` come in the namenode's preference order for the
+    requesting reader (the same
+    :meth:`~repro.dfs.namenode.Namenode.replica_preference` walk the
+    in-process client uses).
+    """
+
+    block_id: int
+    size: int
+    generation: int = 0
+    candidates: List[ReplicaLocation] = field(default_factory=list)
+
+    _NESTED = {"candidates": ReplicaLocation}
+
+
+@dataclass(frozen=True)
+class AccessReport(_WireMessage):
+    """``POST /v1/blocks/{id}/access`` — a served read, for Aurora's
+    popularity monitor and the locality metrics."""
+
+    block_id: int
+    reader: int
+    source: int
+
+
+@dataclass(frozen=True)
+class CorruptReport(_WireMessage):
+    """``POST /v1/blocks/{id}/corrupt`` — a checksum-failed replica."""
+
+    block_id: int
+    node: int
+    detector: str = "client"
+
+
+@dataclass(frozen=True)
+class PullRequest(_WireMessage):
+    """``POST /admin/pull`` on a datanode: fetch-and-store a replica.
+
+    The namenode's re-replication path sends this to the *target*
+    datanode, which pulls the bytes from ``source_address``, verifies
+    them against the shipped checksum, and stores them locally.
+    """
+
+    block_id: int
+    source_address: str
+    generation: int = 0
+
+
+@dataclass(frozen=True)
+class ScrubSummary(_WireMessage):
+    """``POST /v1/scrub`` response: one verification pass over the
+    cluster's live replicas."""
+
+    replicas_verified: int = 0
+    corrupt_found: int = 0
+    nodes_scrubbed: int = 0
+    nodes_unreachable: int = 0
+
+
+@dataclass(frozen=True)
+class WireError(_WireMessage):
+    """The JSON error payload: ``{"error": code, "message": ...}``.
+
+    ``leader`` carries the redirect target on not-leader rejections.
+    """
+
+    error: str
+    message: str = ""
+    leader: Optional[str] = None
+
+
+WIRE_SCHEMAS: Tuple[type, ...] = (
+    ReplicaLocation,
+    BlockInfo,
+    CreateFileRequest,
+    FileInfo,
+    HeartbeatRequest,
+    BlockReportRequest,
+    LocateResponse,
+    AccessReport,
+    CorruptReport,
+    PullRequest,
+    ScrubSummary,
+    WireError,
+)
+
+
+# Exception class <-> stable wire code.  Order matters for encoding:
+# the most specific class must come first, because ``error_code_for``
+# walks this list with ``isinstance`` (ChecksumError subclasses
+# DatanodeUnavailableError, FencedError subclasses SafeModeError).
+_ERROR_TABLE: Tuple[Tuple[str, Type[ReproError]], ...] = (
+    ("checksum", ChecksumError),
+    ("overload-shedded", OverloadSheddedError),
+    ("fenced", FencedError),
+    ("safe-mode", SafeModeError),
+    ("datanode-unavailable", DatanodeUnavailableError),
+    ("no-leader", NoLeaderError),
+    ("file-not-found", FileNotFoundInDfsError),
+    ("file-exists", FileExistsInDfsError),
+    ("block-not-found", BlockNotFoundError),
+    ("quota-exceeded", QuotaExceededError),
+    ("capacity-exceeded", CapacityExceededError),
+    ("dfs", DfsError),
+    ("repro", ReproError),
+)
+
+ERROR_CODES: Dict[str, Type[ReproError]] = dict(_ERROR_TABLE)
+
+
+def error_code_for(exc: BaseException) -> str:
+    """The wire code of an exception (``"internal"`` for foreign ones)."""
+    for code, cls in _ERROR_TABLE:
+        if isinstance(exc, cls):
+            return code
+    return "internal"
+
+
+def encode_error(exc: BaseException, leader: Optional[str] = None) -> Dict[str, Any]:
+    """Serialize an exception into the standard JSON error payload."""
+    return WireError(
+        error=error_code_for(exc), message=str(exc), leader=leader
+    ).to_wire()
+
+
+def decode_error(payload: Mapping[str, Any]) -> ReproError:
+    """Rehydrate a JSON error payload into the matching exception.
+
+    Unknown codes degrade to :class:`DfsError` (never to a silent
+    success) so an older SDK still fails loudly against a newer server.
+    """
+    wire = WireError.from_wire(payload)
+    cls = ERROR_CODES.get(wire.error, DfsError)
+    return cls(wire.message or wire.error)

@@ -1,0 +1,132 @@
+"""Regression: sampled ``dfs.read`` spans must tile on the modeled
+timeline.
+
+Sim time stands still during a client's synchronous failover walk, so a
+naive span records every attempt at the same instant and a root whose
+children overlap.  The pinned semantics: attempt N is anchored at
+``walk start + backoff already paid``, a failed attempt spans its
+backoff, the serving attempt spans its queue latency, and the root span
+covers exactly ``latency + total backoff``.
+"""
+
+import random
+
+import pytest
+
+from repro import obs
+from repro.cluster.topology import ClusterTopology
+from repro.dfs.client import DfsClient
+from repro.dfs.namenode import Namenode
+from repro.dfs.policies import DefaultHdfsPolicy
+from repro.faults import RetryPolicy
+from repro.obs.tracing import TraceSampler
+
+BLOCK_SIZE = 8 * 1024 * 1024
+
+
+@pytest.fixture
+def observability():
+    obs.enable()
+    obs.get_registry().reset()
+    obs.get_tracer().clear()
+    yield obs.get_tracer()
+    obs.get_registry().reset()
+    obs.get_tracer().clear()
+    obs.disable()
+
+
+def build(seed=0, retry_policy=None):
+    topology = ClusterTopology.uniform(4, 2, 60)
+    namenode = Namenode(
+        topology,
+        placement_policy=DefaultHdfsPolicy(random.Random(seed)),
+        rng=random.Random(seed + 1),
+    )
+    client = DfsClient(
+        namenode,
+        retry_policy=retry_policy,
+        trace_sampler=TraceSampler(1.0),
+    )
+    return namenode, client
+
+
+def spans_sorted(tracer, name):
+    return sorted(tracer.spans(name), key=lambda s: s.sim_time)
+
+
+def test_clean_read_root_span_has_zero_duration(observability):
+    tracer = observability
+    namenode, client = build()
+    meta = client.write_file("/a", 1, block_size=BLOCK_SIZE, writer=0)
+    result = client.read_block(meta.block_ids[0], reader=0)
+    (root,) = tracer.spans("dfs.read")
+    assert root.sim_duration == pytest.approx(
+        result.latency + result.backoff
+    )
+    (attempt,) = tracer.spans("dfs.read.attempt")
+    assert attempt.sim_time == root.sim_time
+    assert attempt.fields["outcome"] == "served"
+    assert attempt.sim_duration == pytest.approx(result.latency)
+
+
+def test_failover_attempts_tile_inside_the_root_span(observability):
+    tracer = observability
+    namenode, client = build()
+    meta = client.write_file("/a", 1, block_size=BLOCK_SIZE, writer=0)
+    block = meta.block_ids[0]
+    # Crash the first two preferred replicas: the walk pays two
+    # backoffs (0.5 then 1.0 with the jitter-free default policy)
+    # before the third candidate serves.
+    preferred = namenode.replica_preference(block, 0)
+    for node in preferred[:2]:
+        namenode.datanode(node).crash()
+    result = client.read_block(block, reader=0)
+    assert result.backoff == pytest.approx(1.5)
+
+    (root,) = tracer.spans("dfs.read")
+    attempts = spans_sorted(tracer, "dfs.read.attempt")
+    assert len(attempts) == 3
+    assert [span.fields["outcome"] for span in attempts] == [
+        "failed", "failed", "served",
+    ]
+
+    # The regression: every attempt used to collapse onto the walk's
+    # start instant.  Pinned semantics — children tile sequentially.
+    assert attempts[0].sim_time == root.sim_time
+    for earlier, later in zip(attempts, attempts[1:]):
+        assert later.sim_time == pytest.approx(
+            earlier.sim_time + earlier.sim_duration
+        )
+    assert attempts[0].sim_duration == pytest.approx(0.5)
+    assert attempts[1].sim_duration == pytest.approx(1.0)
+    assert attempts[2].sim_duration == pytest.approx(result.latency)
+    assert root.sim_duration == pytest.approx(
+        result.latency + result.backoff
+    )
+    assert attempts[-1].sim_time + attempts[-1].sim_duration == (
+        pytest.approx(root.sim_time + root.sim_duration)
+    )
+
+
+def test_exhausted_walk_still_closes_spans_on_the_timeline(observability):
+    tracer = observability
+    namenode, client = build(
+        retry_policy=RetryPolicy(max_attempts=2, base_delay=0.5)
+    )
+    meta = client.write_file("/a", 1, block_size=BLOCK_SIZE, writer=0)
+    block = meta.block_ids[0]
+    for node in namenode.blockmap.locations(block):
+        namenode.datanode(node).crash()
+    with pytest.raises(Exception):
+        client.read_block(block, reader=0)
+    attempts = spans_sorted(tracer, "dfs.read.attempt")
+    assert len(attempts) == 2
+    assert attempts[0].fields["outcome"] == "failed"
+    assert attempts[0].sim_duration == pytest.approx(0.5)
+    # The final, policy-exhausted attempt ends where it began — no
+    # backoff is paid after giving up.
+    assert attempts[1].fields["outcome"] == "failed"
+    assert attempts[1].sim_duration == 0.0
+    assert attempts[1].sim_time == pytest.approx(
+        attempts[0].sim_time + attempts[0].sim_duration
+    )

@@ -1,0 +1,135 @@
+"""Regression: circuit breakers must observe hedged-read outcomes.
+
+The caller of ``_serve`` only records an outcome for the *winning*
+replica, so before the fix a hedge left the losing primary's breaker
+blind — fatal in HALF_OPEN, where ``allow()`` consumes the only probe
+and a breaker that never hears the outcome stays stuck open.
+"""
+
+import random
+
+from repro.cluster.topology import ClusterTopology
+from repro.dfs.client import DfsClient
+from repro.dfs.namenode import Namenode
+from repro.dfs.policies import DefaultHdfsPolicy
+from repro.overload.breaker import BreakerState
+from repro.overload.protection import (
+    OverloadConfig,
+    install_overload_protection,
+)
+from repro.overload.queueing import Priority
+
+
+def build(queue_capacity=8, hedge_budget=2.0):
+    topo = ClusterTopology.uniform(2, 4, capacity=60)
+    nn = Namenode(
+        topo, placement_policy=DefaultHdfsPolicy(random.Random(11)),
+        rng=random.Random(11),
+    )
+    protection = install_overload_protection(
+        nn, OverloadConfig(
+            queue_capacity=queue_capacity, service_rate=1.0,
+            hedge_latency_budget=hedge_budget,
+        )
+    )
+    meta = nn.create_file("/hot", num_blocks=1)
+    return nn, protection, meta.block_ids[0]
+
+
+def trip_at(breaker, when, times=10):
+    for _ in range(times):
+        breaker.record_failure(when)
+    assert breaker.state(when) is BreakerState.OPEN
+
+
+def test_half_open_primary_closes_when_hedge_wins():
+    nn, protection, block = build()
+    breakers = protection.breakers()
+    client = DfsClient(nn, breakers=breakers, hedge_latency_budget=2.0)
+    ranked = list(nn.replica_preference(block, reader=0))
+    primary, alt = ranked[0], ranked[1]
+
+    # Trip the primary's breaker far enough in the past that the
+    # cool-down has elapsed: at read time it is HALF_OPEN and the read
+    # consumes its only probe.
+    trip_at(breakers[primary], -100.0)
+    assert breakers[primary].state(0.0) is BreakerState.HALF_OPEN
+
+    # Load the primary well past the hedge budget; the idle alternate
+    # wins the race and serves the read.
+    for _ in range(5):
+        protection.queues[primary].offer(0.0, Priority.CLIENT_READ)
+    result = client.read_block(block, reader=0)
+    assert result.hedged
+    assert result.source == alt
+    assert client.hedge_wins == 1
+
+    # The losing primary still served (slowly); its breaker heard the
+    # outcome and resolved the probe.  Before the fix it stayed
+    # HALF_OPEN with zero probes — open forever.
+    assert breakers[primary].state(0.0) is BreakerState.CLOSED
+    assert breakers[primary].allow(0.0)
+    # The winner's breaker stays closed with a clean record.
+    assert breakers[alt].state(0.0) is BreakerState.CLOSED
+    assert breakers[alt].failure_rate(0.0) == 0.0
+
+
+def test_shed_hedge_records_failure_on_the_alternate():
+    nn, protection, block = build()
+    breakers = protection.breakers()
+    client = DfsClient(nn, breakers=breakers, hedge_latency_budget=2.0)
+    ranked = list(nn.replica_preference(block, reader=0))
+    primary, alt = ranked[0], ranked[1]
+
+    for _ in range(5):
+        protection.queues[primary].offer(0.0, Priority.CLIENT_READ)
+    # Shrink the alternate's bound to its current depth: the projection
+    # (which ignores bounds) still beats the loaded primary, but the
+    # actual hedge offer sheds — a real failure signal the alternate's
+    # breaker must hear.
+    alt_queue = protection.queues[alt]
+    for _ in range(2):
+        alt_queue.offer(0.0, Priority.CLIENT_READ)
+    alt_queue.capacity = 2
+
+    result = client.read_block(block, reader=0)
+    assert result.hedged
+    assert result.source == primary
+    assert client.hedged_reads == 1
+    assert client.hedge_wins == 0
+    assert breakers[alt].failure_rate(0.0) == 1.0
+    # The primary served its own (slow) read; its breaker saw success.
+    assert breakers[primary].failure_rate(0.0) == 0.0
+
+
+def test_hedge_that_loses_the_race_records_success_on_the_alternate(
+    monkeypatch,
+):
+    nn, protection, block = build()
+    breakers = protection.breakers()
+    client = DfsClient(nn, breakers=breakers, hedge_latency_budget=2.0)
+    ranked = list(nn.replica_preference(block, reader=0))
+    primary, alt = ranked[0], ranked[1]
+
+    for _ in range(5):
+        protection.queues[primary].offer(0.0, Priority.CLIENT_READ)
+    # The projection races the actual service: make the alternate look
+    # fast at hedge-candidate time but serve slower than the primary.
+    alt_queue = protection.queues[alt]
+    monkeypatch.setattr(
+        alt_queue, "offer", lambda now, priority=None, work=1.0: 50.0
+    )
+    successes = []
+    original = breakers[alt].record_success
+    monkeypatch.setattr(
+        breakers[alt], "record_success",
+        lambda now: (successes.append(now), original(now)),
+    )
+
+    result = client.read_block(block, reader=0)
+    assert result.hedged
+    assert result.source == primary
+    assert client.hedge_wins == 0
+    # The alternate *did* serve — it just lost the race; that is still
+    # a success from its breaker's point of view.
+    assert successes == [0.0]

@@ -1,0 +1,27 @@
+"""`repro serve --check` boots a disposable cluster on ephemeral ports."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+pytestmark = pytest.mark.serve
+
+
+def test_serve_check_exits_zero_and_writes_report(tmp_path, capsys):
+    out = tmp_path / "reports" / "serve-check.json"
+    code = main([
+        "serve", "--check",
+        "--racks", "2", "--datanodes-per-rack", "1",
+        "--capacity", "32",
+        "--heartbeat-interval", "0.25", "--heartbeat-expiry", "1.5",
+        "--json", str(out),
+    ])
+    assert code == 0
+    report = json.loads(out.read_text())
+    assert report["ok"] is True
+    assert report["health"]["safe_mode"] is False
+    assert sorted(report["health"]["live_datanodes"]) == [0, 1]
+    assert report["metrics_families"] > 0
+    capsys.readouterr()

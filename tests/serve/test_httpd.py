@@ -1,0 +1,168 @@
+"""Loopback tests for the stdlib HTTP plumbing in repro.serve.httpd."""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.errors import (
+    BlockNotFoundError,
+    CapacityExceededError,
+    ChecksumError,
+    DatanodeUnavailableError,
+    DfsError,
+    FencedError,
+    FileExistsInDfsError,
+    FileNotFoundInDfsError,
+    NoLeaderError,
+    OverloadSheddedError,
+    ReproError,
+    SafeModeError,
+)
+from repro.serve.httpd import (
+    HttpCallError,
+    HttpServer,
+    Response,
+    Route,
+    http_call,
+    status_for_error,
+)
+from repro.serve.wire import decode_error
+
+
+@pytest.mark.parametrize(
+    "exc,status",
+    [
+        (ChecksumError("rot"), 502),
+        (OverloadSheddedError("shed"), 503),
+        (FencedError("fenced"), 503),
+        (SafeModeError("booting"), 503),
+        (NoLeaderError("no leader"), 503),
+        (FileNotFoundInDfsError("missing"), 404),
+        (BlockNotFoundError("missing"), 404),
+        (DatanodeUnavailableError("down"), 404),
+        (FileExistsInDfsError("dup"), 409),
+        (CapacityExceededError("full"), 507),
+        (DfsError("generic"), 400),
+        (ReproError("generic"), 400),
+        (ValueError("foreign"), 500),
+    ],
+    ids=lambda v: type(v).__name__ if isinstance(v, BaseException) else str(v),
+)
+def test_status_for_error(exc, status):
+    assert status_for_error(exc) == status
+
+
+class TestRoute:
+    def test_static_match(self):
+        route = Route("GET", "/v1/status", None)
+        assert route.match("GET", "/v1/status") == {}
+        assert route.match("POST", "/v1/status") is None
+        assert route.match("GET", "/v1/other") is None
+
+    def test_params_are_extracted(self):
+        route = Route("GET", "/v1/blocks/{block_id}/locations", None)
+        assert route.match("GET", "/v1/blocks/17/locations") == {
+            "block_id": "17"
+        }
+        assert route.match("GET", "/v1/blocks/17") is None
+
+
+@pytest.fixture
+def loopback():
+    """A live HttpServer on an ephemeral port, run in a side thread."""
+    server = HttpServer(label="test")
+
+    async def echo(request):
+        return Response(200, {
+            "path": request.path,
+            "params": request.params,
+            "query": request.query,
+            "body": request.json(),
+        })
+
+    async def blob(request):
+        return Response(200, b"\x00\xffbinary", headers={"X-Extra": "yes"})
+
+    async def shed(request):
+        raise OverloadSheddedError("queue full on node 3")
+
+    async def crash(request):
+        raise RuntimeError("handler bug")
+
+    server.route("POST", "/echo/{name}", echo)
+    server.route("GET", "/blob", blob)
+    server.route("GET", "/shed", shed)
+    server.route("GET", "/crash", crash)
+
+    loop = asyncio.new_event_loop()
+    started = threading.Event()
+
+    async def boot():
+        await server.start("127.0.0.1", 0)
+        started.set()
+
+    def run():
+        asyncio.set_event_loop(loop)
+        loop.run_until_complete(boot())
+        loop.run_forever()
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    assert started.wait(5.0)
+    yield server
+    asyncio.run_coroutine_threadsafe(server.stop(), loop).result(5.0)
+    loop.call_soon_threadsafe(loop.stop)
+    thread.join(5.0)
+    loop.close()
+
+
+class TestLoopback:
+    def test_json_round_trip_with_params_and_query(self, loopback):
+        status, body, _headers = http_call(
+            loopback.address,
+            "POST",
+            "/echo/alpha?limit=3",
+            {"value": 42},
+        )
+        assert status == 200
+        assert body == {
+            "path": "/echo/alpha",
+            "params": {"name": "alpha"},
+            "query": {"limit": "3"},
+            "body": {"value": 42},
+        }
+
+    def test_binary_response_and_custom_header(self, loopback):
+        status, body, headers = http_call(loopback.address, "GET", "/blob")
+        assert status == 200
+        assert body == b"\x00\xffbinary"
+        assert headers["x-extra"] == "yes"
+
+    def test_library_error_becomes_decodable_payload(self, loopback):
+        status, body, _headers = http_call(loopback.address, "GET", "/shed")
+        assert status == 503
+        revived = decode_error(body)
+        assert isinstance(revived, OverloadSheddedError)
+        assert "queue full" in str(revived)
+
+    def test_handler_crash_is_a_500_not_a_dead_server(self, loopback):
+        status, body, _headers = http_call(loopback.address, "GET", "/crash")
+        assert status == 500
+        assert isinstance(decode_error(body), DfsError)
+        # The connection loop must survive the crash.
+        status, _body, _headers = http_call(loopback.address, "GET", "/blob")
+        assert status == 200
+
+    def test_unknown_path_is_404(self, loopback):
+        status, body, _headers = http_call(loopback.address, "GET", "/nope")
+        assert status == 404
+        assert isinstance(decode_error(body), DfsError)
+
+    def test_wrong_method_is_405(self, loopback):
+        status, _body, _headers = http_call(loopback.address, "GET", "/echo/x")
+        assert status == 405
+
+    def test_refused_connection_raises_http_call_error(self):
+        with pytest.raises(HttpCallError):
+            http_call("127.0.0.1:1", "GET", "/healthz", timeout=1.0)

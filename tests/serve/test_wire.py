@@ -1,0 +1,222 @@
+"""Round-trip property tests for the wire schemas and the error codec.
+
+The SDK's failover semantics depend on every message and every
+exception surviving the socket intact: a ``ChecksumError`` raised by
+the namenode must come out of ``decode_error`` as a ``ChecksumError``
+(not some parent class), and a schema must reject unknown fields
+rather than silently truncate on drift.
+"""
+
+import json
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import (
+    ChecksumError,
+    DatanodeUnavailableError,
+    DfsError,
+    FencedError,
+    OverloadSheddedError,
+    SafeModeError,
+)
+from repro.serve.wire import (
+    ERROR_CODES,
+    WIRE_SCHEMAS,
+    AccessReport,
+    BlockInfo,
+    BlockReportRequest,
+    CorruptReport,
+    CreateFileRequest,
+    FileInfo,
+    HeartbeatRequest,
+    LocateResponse,
+    PullRequest,
+    ReplicaLocation,
+    ScrubSummary,
+    WireError,
+    decode_error,
+    encode_error,
+    error_code_for,
+    payload_checksum,
+)
+
+ids = st.integers(min_value=0, max_value=2**40)
+sizes = st.integers(min_value=0, max_value=2**40)
+names = st.text(min_size=0, max_size=40)
+addresses = st.from_regex(r"127\.0\.0\.1:[0-9]{2,5}", fullmatch=True)
+
+locations = st.builds(ReplicaLocation, node=ids, address=addresses)
+block_infos = st.builds(
+    BlockInfo,
+    block_id=ids,
+    size=sizes,
+    generation=ids,
+    locations=st.lists(locations, max_size=4),
+)
+
+# One strategy per schema; every schema in WIRE_SCHEMAS must appear
+# here — the coverage test below enforces it.
+SCHEMA_STRATEGIES = {
+    ReplicaLocation: locations,
+    BlockInfo: block_infos,
+    CreateFileRequest: st.builds(
+        CreateFileRequest,
+        path=names,
+        num_blocks=st.integers(min_value=1, max_value=64),
+        block_size=sizes,
+        replication=st.one_of(st.none(), st.integers(1, 9)),
+        rack_spread=st.one_of(st.none(), st.integers(1, 4)),
+        writer=st.one_of(st.none(), ids),
+    ),
+    FileInfo: st.builds(
+        FileInfo,
+        path=names,
+        file_id=ids,
+        block_size=sizes,
+        blocks=st.lists(block_infos, max_size=3),
+    ),
+    HeartbeatRequest: st.builds(
+        HeartbeatRequest,
+        node=ids,
+        saturation=st.floats(0.0, 1.0, allow_nan=False),
+        used_blocks=sizes,
+    ),
+    BlockReportRequest: st.builds(
+        BlockReportRequest,
+        node=ids,
+        address=addresses,
+        capacity_blocks=sizes,
+        blocks=st.lists(
+            st.tuples(ids, ids, ids), max_size=8
+        ).map(tuple),
+    ),
+    LocateResponse: st.builds(
+        LocateResponse,
+        block_id=ids,
+        size=sizes,
+        generation=ids,
+        candidates=st.lists(locations, max_size=4),
+    ),
+    AccessReport: st.builds(
+        AccessReport, block_id=ids, reader=ids, source=ids
+    ),
+    CorruptReport: st.builds(
+        CorruptReport, block_id=ids, node=ids, detector=names
+    ),
+    PullRequest: st.builds(
+        PullRequest,
+        block_id=ids,
+        source_address=addresses,
+        generation=ids,
+    ),
+    ScrubSummary: st.builds(
+        ScrubSummary,
+        replicas_verified=sizes,
+        corrupt_found=sizes,
+        nodes_scrubbed=sizes,
+        nodes_unreachable=sizes,
+    ),
+    WireError: st.builds(
+        WireError,
+        error=st.sampled_from(sorted(ERROR_CODES)),
+        message=names,
+        leader=st.one_of(st.none(), addresses),
+    ),
+}
+
+
+def test_every_schema_has_a_strategy():
+    assert set(SCHEMA_STRATEGIES) == set(WIRE_SCHEMAS)
+
+
+@pytest.mark.parametrize(
+    "schema", WIRE_SCHEMAS, ids=lambda s: s.__name__
+)
+def test_round_trip_through_json(schema):
+    @given(SCHEMA_STRATEGIES[schema])
+    def check(message):
+        wire = json.loads(json.dumps(message.to_wire()))
+        assert schema.from_wire(wire) == message
+
+    check()
+
+
+@pytest.mark.parametrize(
+    "schema", WIRE_SCHEMAS, ids=lambda s: s.__name__
+)
+def test_unknown_fields_are_rejected(schema):
+    @given(SCHEMA_STRATEGIES[schema])
+    def check(message):
+        payload = dict(message.to_wire(), bogus_field=1)
+        with pytest.raises(DfsError, match="unknown wire fields"):
+            schema.from_wire(payload)
+
+    check()
+
+
+class TestErrorCodec:
+    @pytest.mark.parametrize(
+        "code", sorted(ERROR_CODES), ids=str
+    )
+    def test_class_fidelity(self, code):
+        cls = ERROR_CODES[code]
+        exc = cls("boom")
+        payload = json.loads(json.dumps(encode_error(exc)))
+        revived = decode_error(payload)
+        # Exact class, not just an ancestor: ``except ChecksumError``
+        # must behave identically on both sides of the socket.
+        assert type(revived) is cls
+        assert "boom" in str(revived)
+
+    def test_most_specific_code_wins(self):
+        # ChecksumError subclasses DatanodeUnavailableError and
+        # FencedError subclasses SafeModeError; encoding must keep the
+        # leaf class, not collapse onto the parent.
+        assert error_code_for(ChecksumError("x")) == "checksum"
+        assert error_code_for(
+            DatanodeUnavailableError("x")
+        ) == "datanode-unavailable"
+        assert error_code_for(FencedError("x")) == "fenced"
+        assert error_code_for(SafeModeError("x")) == "safe-mode"
+
+    def test_failover_semantics_preserved(self):
+        # The SDK's except-clauses rely on the revived classes keeping
+        # their inheritance relationships.
+        revived = decode_error(encode_error(ChecksumError("rot")))
+        assert isinstance(revived, ChecksumError)
+        assert isinstance(revived, DatanodeUnavailableError)
+        revived = decode_error(encode_error(OverloadSheddedError("shed")))
+        assert isinstance(revived, OverloadSheddedError)
+        revived = decode_error(encode_error(FencedError("old leader")))
+        assert isinstance(revived, FencedError)
+        assert isinstance(revived, SafeModeError)
+
+    def test_unknown_code_degrades_to_dfs_error(self):
+        revived = decode_error({"error": "from-the-future", "message": "?"})
+        assert type(revived) is DfsError
+
+    def test_foreign_exception_encodes_as_internal(self):
+        payload = encode_error(ValueError("not ours"))
+        assert payload["error"] == "internal"
+        assert type(decode_error(payload)) is DfsError
+
+    def test_leader_hint_round_trips(self):
+        payload = encode_error(
+            SafeModeError("not the leader"), leader="127.0.0.1:9000"
+        )
+        assert payload["leader"] == "127.0.0.1:9000"
+
+
+@given(st.binary(max_size=4096))
+def test_payload_checksum_is_stable_and_bounded(data):
+    value = payload_checksum(data)
+    assert 0 <= value <= 0xFFFFFFFF
+    assert payload_checksum(data) == value
+
+
+@given(st.binary(min_size=1, max_size=4096))
+def test_payload_checksum_detects_a_flipped_byte(data):
+    damaged = bytes([data[0] ^ 0xFF]) + data[1:]
+    assert payload_checksum(damaged) != payload_checksum(data)
