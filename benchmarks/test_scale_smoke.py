@@ -1,0 +1,46 @@
+"""Scale smoke: the columnar engine at ~1k machines, CI-sized.
+
+A reduced version of the 10k-machine study in
+``benchmarks/results/scale_10k.txt``: a 64-rack / 1024-machine instance
+balanced by the dict/heap incremental engine and the columnar engine
+under the same operation budget.  The gate is *correctness under a
+wall-clock budget* — the engines must apply identical operations and
+finish within a generous ceiling — not a speedup ratio, which would be
+flaky on shared CI runners.
+
+Run with ``pytest benchmarks/test_scale_smoke.py -m perf``.
+"""
+
+import pytest
+
+from repro.experiments.scale import (
+    render_columnar_scale_study,
+    run_columnar_scale_study,
+)
+
+# 64 racks x 16 machines, ~10 blocks per machine, budgeted run.
+SMOKE_SIZES = ((64, 16, 10000, 1000),)
+
+#: Per-engine wall-clock ceiling (seconds) — an order of magnitude above
+#: the measured time, so only a pathological regression trips it.
+WALL_CLOCK_BUDGET = 120.0
+
+
+@pytest.mark.perf
+def test_columnar_matches_incremental_at_1k_machines():
+    points = run_columnar_scale_study(
+        sizes=SMOKE_SIZES, seed=0, num_partitions=4, jobs=1
+    )
+    print()
+    print(render_columnar_scale_study(points))
+    (point,) = points
+    assert point.num_machines == 1024
+    assert point.operations_identical, (
+        "columnar engine diverged from the incremental engine"
+    )
+    assert point.healthy
+    assert point.incremental_seconds < WALL_CLOCK_BUDGET
+    assert point.columnar_seconds < WALL_CLOCK_BUDGET
+    # The columnar state must not cost more memory than the dict/heap
+    # engine's indices at this scale.
+    assert point.columnar_state_bytes <= point.incremental_state_bytes

@@ -1,0 +1,255 @@
+"""Columnar, array-backed placement state for large clusters.
+
+:class:`ColumnarPlacementState` is a drop-in subclass of
+:class:`~repro.core.placement.PlacementState` that replaces the lazy
+extreme *heaps* with dense numpy columns, so the per-iteration queries
+of Algorithms 1/2 become vectorized array reductions:
+
+* the global extremes (:meth:`cost`, :meth:`argmax_machine`, ...) are
+  ``O(M)`` C-speed reductions over the load vector instead of Python
+  heap maintenance — every load shift in the heap engine pushes four
+  tuples and every query pops stale entries, which dominates the
+  mutation path at 10k machines;
+* the per-rack extremes of Algorithm 2 are answered **for all racks at
+  once** by :meth:`rack_extremes`: dense per-rack arrays maintained
+  incrementally — a mutation marks its racks dirty and only dirty
+  segments are rescanned on the next query.  The rack-pair ranking in
+  :mod:`repro.core.local_search` consumes these arrays directly,
+  turning the naive ``O(R^2)`` Python tuple sort per iteration into one
+  flat ``argsort``;
+* machine change epochs live in an ``(M,)`` int column instead of a
+  Python list, so the search engine's exhausted-pair memo can compare
+  whole epoch vectors at once (see ``_IntraRackMemo``);
+* block popularity lives in one dense ``(B,)`` float column and the
+  per-block rack-spread requirement in a ``(B,)`` int column (when the
+  instance uses dense block ids, which every generator in this repo
+  does), so :meth:`share` is two array loads instead of a dict walk.
+
+What stays exactly as in the parent class — deliberately:
+
+* the **mutation arithmetic** (`_shift_load` deltas, share dilution and
+  concentration) is inherited unchanged, so every load value is
+  *bit-identical* to the dict/heap engine's;
+* the per-machine persistent sorted ``(share, block_id)`` indices: the
+  candidate walk of the incremental engine depends on their exact
+  order, and they already are the columnar representation of the
+  per-(machine, block) share relation (sorted runs, delta-updated);
+* holder sets stay sparse (a block has ~3 replicas; a dense ``M x B``
+  incidence matrix would be ~30 GB at 10k machines / 1M blocks).
+
+Tie-breaking is preserved: ``np.argmax``/``np.argmin`` return the first
+index among equals, which is the lowest machine id — the same convention
+the heaps implement and the reference solver's scans rely on.  The
+columnar engine therefore produces operation sequences identical to the
+incremental engine's (pinned by ``tests/core/test_columnar.py``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.instance import PlacementProblem
+from repro.core.placement import PlacementState
+
+__all__ = ["ColumnarPlacementState", "columnar_from_state", "make_columnar"]
+
+
+class ColumnarPlacementState(PlacementState):
+    """Array-backed :class:`PlacementState` with vectorized extremes."""
+
+    def _init_load_heaps(self) -> None:
+        """Build the static rack-segment arrays instead of extreme heaps.
+
+        Called by ``__init__`` and again by :meth:`recompute`; the
+        segment arrays depend only on the immutable topology, so they
+        are built once and kept.
+        """
+        if hasattr(self, "_rack_members"):
+            # Loads may have been rebuilt or bulk-loaded under us
+            # (``recompute``, ``from_assignment``, ``copy``) — every
+            # cached rack extreme is suspect.
+            self._ext_dirty.update(self.problem.topology.racks)
+            return
+        topo = self.problem.topology
+        members: List[np.ndarray] = [
+            np.asarray(topo.machines_in_rack(rack), dtype=np.intp)
+            for rack in topo.racks
+        ]
+        self._rack_members = members
+        # Machine epochs as an array so search engines can compare whole
+        # epoch vectors at once (the parent keeps a Python list).
+        self._machine_epoch = np.asarray(self._machine_epoch, dtype=np.int64)
+        # Incrementally-maintained per-rack extremes: only racks whose
+        # loads changed since the last refresh are recomputed.
+        num_racks = topo.num_racks
+        self._ext_high = np.zeros(num_racks, dtype=np.int64)
+        self._ext_low = np.zeros(num_racks, dtype=np.int64)
+        self._ext_hot = np.zeros(num_racks, dtype=np.float64)
+        self._ext_cold = np.zeros(num_racks, dtype=np.float64)
+        self._ext_dirty = set(topo.racks)
+        self._init_block_columns()
+
+    def _init_block_columns(self) -> None:
+        """Dense per-block popularity/requirement columns.
+
+        Only materialized when block ids are dense ``0..B-1`` (true for
+        every instance builder in the repo); otherwise :meth:`share`
+        falls back to the parent's spec lookup.
+        """
+        problem = self.problem
+        num = problem.num_blocks
+        dense = all(spec.block_id == i for i, spec in enumerate(problem))
+        self._dense_blocks = dense
+        if not dense:
+            self._pop_col = None
+            return
+        self._pop_col = np.fromiter(
+            (spec.popularity for spec in problem), dtype=np.float64, count=num
+        )
+        self._rho_col = np.fromiter(
+            (spec.rack_spread for spec in problem), dtype=np.int64, count=num
+        )
+
+    # -- vectorized scalar queries -------------------------------------------
+
+    def _shift_load(self, machine: int, delta: float) -> None:
+        rack = self.topology.rack_of[machine]
+        self._loads[machine] += delta
+        self._rack_loads[rack] += delta
+        self._ext_dirty.add(rack)
+
+    def _refresh_extremes(self) -> None:
+        """Recompute the cached extremes of every dirty rack.
+
+        A mutation touches at most a handful of machines, so steady-state
+        refreshes scan a couple of 16-machine segments instead of the
+        whole cluster.  ``argmax``/``argmin`` keep the first-index
+        (lowest machine id) tie-break.
+        """
+        dirty = self._ext_dirty
+        if not dirty:
+            return
+        loads = self._loads
+        members_by_rack = self._rack_members
+        for rack in dirty:
+            members = members_by_rack[rack]
+            segment = loads[members]
+            hi = int(segment.argmax())
+            lo = int(segment.argmin())
+            self._ext_high[rack] = members[hi]
+            self._ext_low[rack] = members[lo]
+            self._ext_hot[rack] = segment[hi]
+            self._ext_cold[rack] = segment[lo]
+        dirty.clear()
+
+    def cost(self) -> float:
+        """Objective ``lambda = max_m L_m`` — one vectorized reduction."""
+        return float(self._loads.max())
+
+    def min_load(self) -> float:
+        """Smallest machine load in the cluster."""
+        return float(self._loads.min())
+
+    def argmax_machine(self) -> int:
+        """Highest-loaded machine (lowest id on ties, like the heaps)."""
+        return int(self._loads.argmax())
+
+    def argmin_machine(self) -> int:
+        """Lowest-loaded machine (lowest id on ties)."""
+        return int(self._loads.argmin())
+
+    def argmax_machine_in_rack(self, rack: int) -> int:
+        """Hottest machine of ``rack`` via a vectorized segment argmax."""
+        self.topology.machines_in_rack(rack)  # validates the rack id
+        members = self._rack_members[rack]
+        return int(members[self._loads[members].argmax()])
+
+    def argmin_machine_in_rack(self, rack: int) -> int:
+        """Coldest machine of ``rack`` via a vectorized segment argmin."""
+        self.topology.machines_in_rack(rack)  # validates the rack id
+        members = self._rack_members[rack]
+        return int(members[self._loads[members].argmin()])
+
+    def share(self, block_id: int) -> float:
+        count = len(self._machines_for(block_id))
+        if count == 0:
+            return 0.0
+        if self._pop_col is not None:
+            return float(self._pop_col[block_id]) / count
+        return self.problem.block(block_id).popularity / count
+
+    # -- vectorized bulk queries ---------------------------------------------
+
+    def rack_extreme_loads(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-rack ``(hottest, coldest)`` load arrays, all racks at once.
+
+        Served from the incrementally-maintained extreme cache (dirty
+        racks refreshed first).  The values are bit-identical to
+        ``load(argmax_machine_in_rack(r))`` — a max over the same floats
+        — so consumers ranking racks by these arrays stay in lock step
+        with per-rack queries.  Returns internal arrays: read-only, and
+        stale after the next mutation.
+        """
+        self._refresh_extremes()
+        return self._ext_hot, self._ext_cold
+
+    def rack_extremes(
+        self,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """``(high_machine, low_machine, hottest, coldest)`` per rack.
+
+        The machine columns carry the *first* machine (lowest id)
+        achieving each rack's extreme, matching the per-rack query
+        tie-break.  Served from the dirty-rack cache — steady-state cost
+        is proportional to the racks the last operation touched, not the
+        cluster.  Returns internal arrays: read-only, and stale after
+        the next mutation.
+        """
+        self._refresh_extremes()
+        return self._ext_high, self._ext_low, self._ext_hot, self._ext_cold
+
+    # -- memory accounting ----------------------------------------------------
+
+    def _index_state_bytes(self) -> int:
+        total = (
+            self._ext_high.nbytes
+            + self._ext_low.nbytes
+            + self._ext_hot.nbytes
+            + self._ext_cold.nbytes
+            + self._machine_epoch.nbytes
+            + sum(m.nbytes for m in self._rack_members)
+        )
+        if self._pop_col is not None:
+            total += self._pop_col.nbytes + self._rho_col.nbytes
+        return total
+
+
+def columnar_from_state(state: PlacementState) -> ColumnarPlacementState:
+    """Columnar copy of a placement state, bit-exact loads included.
+
+    Clones the internal structures directly (like
+    :meth:`PlacementState.copy`) instead of replaying the assignment:
+    incrementally-accumulated load floats can differ by ulps from a
+    bulk rebuild, and the differential suite compares the two engines
+    from byte-identical starting points.
+    """
+    clone = ColumnarPlacementState(state.problem)
+    for block_id, machines in state._machines_of.items():
+        clone._machines_of[block_id] = set(machines)
+    clone._blocks_on = [set(blocks) for blocks in state._blocks_on]
+    clone._loads = state._loads.copy()
+    clone._rack_loads = state._rack_loads.copy()
+    clone._rack_holders = {
+        block_id: dict(holders)
+        for block_id, holders in state._rack_holders.items()
+    }
+    clone._share_index = [list(index) for index in state._share_index]
+    clone._mutations = state._mutations
+    return clone
+
+
+def make_columnar(problem: PlacementProblem) -> ColumnarPlacementState:
+    """Empty columnar state for ``problem`` (convenience constructor)."""
+    return ColumnarPlacementState(problem)

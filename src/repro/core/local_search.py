@@ -39,10 +39,14 @@ runs (Algorithm 5).
 from __future__ import annotations
 
 import bisect
+import heapq
 import logging
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.core.admissibility import (
     AdmissibilityPolicy,
@@ -93,14 +97,23 @@ _SEARCH_PAIR_PROBES = _REG.counter(
     "epoch memo pruned the probe",
     ["algorithm", "outcome"],
 )
+_STATE_BYTES = _REG.gauge(
+    "repro_core_state_bytes",
+    "Approximate resident bytes of the placement state's structures, "
+    "sampled after each local-search run",
+)
 
 
-def _flush_search_metrics(algorithm: str, stats: "SearchStats") -> None:
+def _flush_search_metrics(
+    algorithm: str, stats: "SearchStats", state: Optional[PlacementState] = None
+) -> None:
     """Publish one run's stats to the registry (one flush per run,
 
     so the search loop itself stays free of metric calls)."""
     if not _REG.enabled:
         return
+    if state is not None:
+        _STATE_BYTES.set(state.state_bytes())
     _SEARCH_RUNS.labels(
         algorithm=algorithm, converged=str(stats.converged).lower()
     ).inc()
@@ -470,13 +483,35 @@ class _PairPruner:
 
     Rejections the memoized probe counted are replayed into ``stats`` on
     every prune, keeping `SearchStats` identical to the naive solver's.
+
+    The memo is **bounded**: it keeps at most ``max_entries`` pairs and
+    evicts least-recently-touched entries beyond that, so a long run on
+    a large cluster (up to ``M^2`` distinct extreme pairs) cannot grow
+    it without bound.  Eviction is safe by construction — losing an
+    entry only forfeits a prune; the re-probe recomputes the identical
+    result and rejection count, so the operation sequence and
+    `SearchStats` totals are unaffected (pinned by the differential
+    suite and the bounded-memory regression test).
     """
 
-    __slots__ = ("_state", "_memo")
+    __slots__ = ("_state", "_memo", "_max_entries")
 
-    def __init__(self, state: PlacementState) -> None:
+    #: Default cap on memoized pairs (~100 bytes each -> a few MB).
+    DEFAULT_MAX_ENTRIES = 65536
+
+    def __init__(
+        self, state: PlacementState, max_entries: Optional[int] = None
+    ) -> None:
         self._state = state
-        self._memo: Dict[Tuple[int, int], Tuple[int, int, float, int]] = {}
+        self._memo: "OrderedDict[Tuple[int, int], Tuple[int, int, float, int]]" = (
+            OrderedDict()
+        )
+        self._max_entries = (
+            self.DEFAULT_MAX_ENTRIES if max_entries is None else max_entries
+        )
+
+    def __len__(self) -> int:
+        return len(self._memo)
 
     def find(
         self,
@@ -498,6 +533,7 @@ class _PairPruner:
             and memo[1] == dst_epoch
             and memo[2] == global_cost
         ):
+            self._memo.move_to_end(key)
             if stats is not None:
                 stats.pairs_pruned += 1
                 stats.admissibility_rejections += memo[3]
@@ -513,7 +549,105 @@ class _PairPruner:
                 else 0
             )
             self._memo[key] = (src_epoch, dst_epoch, global_cost, rejections)
+            self._memo.move_to_end(key)
+            while len(self._memo) > self._max_entries:
+                self._memo.popitem(last=False)
+        elif memo is not None:
+            # The pair produced an operation again; its stale no-op
+            # record would only waste a slot.
+            del self._memo[key]
         return op
+
+
+class _IntraRackMemo:
+    """Vectorized exhausted-pair memo for the columnar intra-rack phase.
+
+    Stores per rack the last extreme pair ``(src, dst)`` proven to admit
+    no operation, with both endpoints' epochs and the objective at proof
+    time plus the rejections the probe counted — the array analogue of
+    one :class:`_PairPruner` entry.  Because the intra sweep probes at
+    most one pair per rack per iteration, a flat ``(R,)`` layout
+    suffices, and comparing against the current extreme/epoch columns
+    yields the hit mask for the *whole* sweep order in a handful of
+    numpy scans instead of one dict lookup per rack.
+
+    Memo organisation cannot change the chosen operation or rejection
+    totals (the same argument that makes :class:`_PairPruner` eviction
+    safe): a missed hit merely re-probes, and the probe recomputes
+    exactly the result and rejections a replay would have reported.
+    Only the ``pairs_probed``/``pairs_pruned`` split shifts, which the
+    differential suite deliberately does not pin.
+    """
+
+    __slots__ = ("src", "dst", "src_ep", "dst_ep", "cost", "rej")
+
+    def __init__(self, num_racks: int) -> None:
+        self.src = np.full(num_racks, -1, dtype=np.int64)
+        self.dst = np.full(num_racks, -1, dtype=np.int64)
+        self.src_ep = np.zeros(num_racks, dtype=np.int64)
+        self.dst_ep = np.zeros(num_racks, dtype=np.int64)
+        # NaN compares unequal to every objective -> no spurious initial hits.
+        self.cost = np.full(num_racks, np.nan, dtype=np.float64)
+        self.rej = np.zeros(num_racks, dtype=np.int64)
+
+
+def _sweep_intra_racks(
+    state: PlacementState,
+    policy: AdmissibilityPolicy,
+    memo: _IntraRackMemo,
+    order: np.ndarray,
+    high_arr: np.ndarray,
+    low_arr: np.ndarray,
+    global_cost: float,
+    stats: Optional[SearchStats],
+) -> Optional[Operation]:
+    """Probe the intra-rack extreme pairs in ``order``, memo-accelerated.
+
+    Runs of racks whose memo entry is still valid are skipped in bulk
+    (their memoized rejections replayed into ``stats``); only racks that
+    changed since their exhaustion proof are actually probed.
+    """
+    src_arr = high_arr[order]
+    dst_arr = low_arr[order]
+    epochs = state._machine_epoch  # int column on columnar states
+    hit = (
+        (memo.src[order] == src_arr)
+        & (memo.dst[order] == dst_arr)
+        & (memo.src_ep[order] == epochs[src_arr])
+        & (memo.dst_ep[order] == epochs[dst_arr])
+        & (memo.cost[order] == global_cost)
+    )
+    pos = 0
+    for miss in np.nonzero(~hit)[0]:
+        miss = int(miss)
+        if stats is not None and miss > pos:
+            stats.pairs_pruned += miss - pos
+            stats.admissibility_rejections += int(
+                memo.rej[order[pos:miss]].sum()
+            )
+        rack = int(order[miss])
+        src = int(src_arr[miss])
+        dst = int(dst_arr[miss])
+        before = stats.admissibility_rejections if stats is not None else 0
+        if stats is not None:
+            stats.pairs_probed += 1
+        op = find_operation_between(state, src, dst, policy, global_cost, stats)
+        if op is not None:
+            return op
+        memo.src[rack] = src
+        memo.dst[rack] = dst
+        memo.src_ep[rack] = epochs[src]
+        memo.dst_ep[rack] = epochs[dst]
+        memo.cost[rack] = global_cost
+        memo.rej[rack] = (
+            stats.admissibility_rejections - before if stats is not None else 0
+        )
+        pos = miss + 1
+    remaining = len(order) - pos
+    if stats is not None and remaining > 0:
+        stats.pairs_pruned += remaining
+        stats.admissibility_rejections += int(memo.rej[order[pos:]].sum())
+    return None
 
 
 def balance_node_level(
@@ -550,7 +684,7 @@ def balance_node_level(
             stats.cost_trajectory.append(current_cost)
     stats.final_cost = current_cost
     stats.elapsed_seconds = time.perf_counter() - started
-    _flush_search_metrics("node", stats)
+    _flush_search_metrics("node", stats, state)
     _LOG.debug(
         "balance_node_level done ops=%d rejections=%d converged=%s "
         "cost=%.6g->%.6g elapsed=%.4fs",
@@ -594,14 +728,122 @@ def _rack_pairs_by_gap(state: PlacementState) -> List[Tuple[int, int]]:
     return [(src_rack, dst_rack) for _, src_rack, dst_rack in ranked]
 
 
+def _ranked_rack_pairs_lazy(
+    hottest: np.ndarray, coldest: np.ndarray
+) -> Iterator[Tuple[int, int]]:
+    """Rack pairs in exactly ``_rack_pairs_by_gap`` order, lazily.
+
+    Enumerates ``(src_rack, dst_rack)`` in ascending ``(-gap, src, dst)``
+    order without materializing the ``R^2`` pair matrix: racks are
+    sorted once by hottest (descending) and coldest (ascending) load,
+    and a frontier heap walks the implied sorted-sum grid (the classic
+    lazy "sorted A + B" enumeration).  Gaps along the grid are monotone,
+    and stable argsort puts tied racks in ascending id order, so each
+    grid cell's key is strictly greater than its predecessors' — the
+    heap therefore pops pairs in the exact order the eager tuple sort
+    produces.  Pairs stop at the first non-positive gap (everything
+    after is smaller still).
+
+    Most Algorithm 2 iterations consume only the first few pairs before
+    finding an operation, so this turns a per-iteration ``O(R^2 log R)``
+    Python sort into ``O(k log R)`` for ``k`` consumed pairs.
+    """
+    num_racks = len(hottest)
+    if num_racks < 2:
+        return
+    by_hot = np.argsort(-hottest, kind="stable")
+    by_cold = np.argsort(coldest, kind="stable")
+    hot_sorted = hottest[by_hot]
+    cold_sorted = coldest[by_cold]
+    frontier = [
+        (
+            -(float(hot_sorted[0]) - float(cold_sorted[0])),
+            int(by_hot[0]),
+            int(by_cold[0]),
+            0,
+            0,
+        )
+    ]
+    while frontier:
+        neg_gap, src_rack, dst_rack, i, j = heapq.heappop(frontier)
+        if -neg_gap <= _TOLERANCE:
+            return
+        if src_rack != dst_rack:
+            yield src_rack, dst_rack
+        if j + 1 < num_racks:
+            heapq.heappush(frontier, (
+                -(float(hot_sorted[i]) - float(cold_sorted[j + 1])),
+                int(by_hot[i]),
+                int(by_cold[j + 1]),
+                i,
+                j + 1,
+            ))
+        if j == 0 and i + 1 < num_racks:
+            heapq.heappush(frontier, (
+                -(float(hot_sorted[i + 1]) - float(cold_sorted[0])),
+                int(by_hot[i + 1]),
+                int(by_cold[0]),
+                i + 1,
+                0,
+            ))
+
+
 def _find_rack_aware_operation(
     state: PlacementState,
     policy: AdmissibilityPolicy,
     pruner: _PairPruner,
     global_cost: float,
     stats: Optional[SearchStats] = None,
+    intra_memo: Optional[_IntraRackMemo] = None,
 ) -> Optional[Operation]:
-    """One admissible operation for Algorithm 2's combined search space."""
+    """One admissible operation for Algorithm 2's combined search space.
+
+    When the state exposes vectorized bulk extremes (the columnar
+    engine's :meth:`~repro.core.columnar.ColumnarPlacementState.rack_extremes`),
+    every rack's extreme machine and load come from one pass of segment
+    reductions and the inter-rack pair ranking is enumerated lazily; the
+    probe order — and hence the chosen operation — is identical to the
+    per-rack query path (pinned by the columnar differential tests).
+    No state mutation happens between probes, so extremes computed once
+    stay valid for the whole call.
+    """
+    rack_extremes = getattr(state, "rack_extremes", None)
+    if rack_extremes is not None:
+        # Columnar fast path.  Intra-rack phase: every rack's extremes
+        # come from one pass of segment reductions; the worst-rack-first
+        # order is the eager path's descending (gap, high, low) tuple
+        # sort, expressed as a lexsort over the same columns.
+        high_arr, low_arr, hottest, coldest = rack_extremes()
+        gaps = hottest - coldest
+        idx = np.nonzero(gaps > _TOLERANCE)[0]
+        if len(idx):
+            order = idx[np.lexsort((
+                -low_arr[idx], -high_arr[idx], -gaps[idx]
+            ))]
+            if intra_memo is not None:
+                op = _sweep_intra_racks(
+                    state, policy, intra_memo, order,
+                    high_arr, low_arr, global_cost, stats,
+                )
+                if op is not None:
+                    return op
+            else:
+                for rack in order:
+                    op = pruner.find(
+                        int(high_arr[rack]), int(low_arr[rack]),
+                        policy, global_cost, stats,
+                    )
+                    if op is not None:
+                        return op
+        # Inter-rack phase, lazily ranked.
+        for src_rack, dst_rack in _ranked_rack_pairs_lazy(hottest, coldest):
+            op = pruner.find(
+                int(high_arr[src_rack]), int(low_arr[dst_rack]),
+                policy, global_cost, stats,
+            )
+            if op is not None:
+                return op
+        return None
     # Intra-rack phase: balance the extremes of each rack, worst rack first.
     intra = []
     for rack in state.topology.racks:
@@ -642,12 +884,17 @@ def balance_rack_aware(
     policy = policy or AlwaysAdmissible()
     started = time.perf_counter()
     pruner = _PairPruner(state)
+    intra_memo = (
+        _IntraRackMemo(state.topology.num_racks)
+        if getattr(state, "rack_extremes", None) is not None
+        else None
+    )
     current_cost = state.cost()
     stats = SearchStats(initial_cost=current_cost, final_cost=current_cost)
     while max_operations is None or stats.total_operations < max_operations:
         stats.iterations += 1
         op = _find_rack_aware_operation(
-            state, policy, pruner, current_cost, stats
+            state, policy, pruner, current_cost, stats, intra_memo
         )
         if op is None:
             stats.converged = True
@@ -660,7 +907,7 @@ def balance_rack_aware(
             stats.cost_trajectory.append(current_cost)
     stats.final_cost = current_cost
     stats.elapsed_seconds = time.perf_counter() - started
-    _flush_search_metrics("rack", stats)
+    _flush_search_metrics("rack", stats, state)
     _LOG.debug(
         "balance_rack_aware done ops=%d rejections=%d converged=%s "
         "cost=%.6g->%.6g elapsed=%.4fs",

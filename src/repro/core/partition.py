@@ -1,0 +1,398 @@
+"""Rack-partitioned parallel solver for Algorithm 2 at cluster scale.
+
+One global rack-aware search is inherently sequential: every iteration
+reads the authoritative loads its predecessor just changed.  At 10k
+machines the run is long, yet most of its operations are *local* — they
+move load between machines of nearby racks and would commute with
+operations elsewhere in the cluster.  This module exploits that:
+
+1. **Partition** the racks into disjoint groups of roughly equal machine
+   count (:func:`plan_partitions`, deterministic LPT assignment).
+2. **Extract** one self-contained sub-problem per group
+   (:func:`extract_subproblem`): the group's machines become a local
+   topology, and every block with at least one in-group replica becomes
+   a local block whose replication factor equals its in-group replica
+   count — moves and swaps preserve replica counts, so the sub-solver
+   can never change it.  Per-block constraints and popularity are
+   translated so that solving the sub-problem cannot break the global
+   problem (see the function docstring for the exact mapping and its
+   one documented ulp-level approximation).
+3. **Solve** the sub-problems concurrently on a process pool (the same
+   fork-context pool the experiment runner uses), each with the
+   columnar engine, recording the operation log.
+4. **Merge**: replay every partition's operations — mapped back to
+   global ids — against the authoritative global state, in deterministic
+   partition order, re-validating each through
+   :meth:`~repro.core.placement.PlacementState.can_move` /
+   :meth:`~repro.core.placement.PlacementState.can_swap` plus a strict
+   improvement check.  Replicas of one block may live in several
+   groups, so two sub-solvers can each plan around the other's replicas;
+   the conflict check is what makes the merge sound regardless.
+5. **Polish**: one sequential rack-aware run on the merged global state
+   drives the cluster to a true Algorithm 2 local optimum, fixing any
+   residual cross-partition imbalance.  The final state therefore
+   satisfies exactly the same termination criterion as the unpartitioned
+   solver; the *path* (and hence which local optimum is reached) may
+   differ, which the scale study quantifies as a relative cost epsilon.
+
+Determinism: partition planning, sub-problem extraction, sub-solves and
+the merge order are all deterministic, and each sub-solve is independent
+of the others — so ``jobs=1`` and ``jobs=N`` produce byte-identical
+results (pinned by ``tests/core/test_partition.py``).
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster.topology import ClusterTopology
+from repro.core.admissibility import AdmissibilityPolicy, AlwaysAdmissible
+from repro.core.columnar import ColumnarPlacementState
+from repro.core.instance import BlockSpec, PlacementProblem
+from repro.core.local_search import SearchStats, balance_rack_aware
+from repro.core.operations import MoveOp, Operation, SwapOp
+from repro.core.placement import PlacementState
+
+__all__ = [
+    "PartitionPlan",
+    "PartitionedStats",
+    "Subproblem",
+    "balance_rack_aware_partitioned",
+    "extract_subproblem",
+    "plan_partitions",
+]
+
+_LOG = logging.getLogger(__name__)
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+@dataclass(frozen=True)
+class PartitionPlan:
+    """Deterministic assignment of racks to disjoint solver groups."""
+
+    groups: Tuple[Tuple[int, ...], ...]
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self.groups)
+
+
+def plan_partitions(
+    topology: ClusterTopology, num_partitions: int
+) -> PartitionPlan:
+    """Split racks into ``num_partitions`` groups of ~equal machine count.
+
+    Longest-processing-time greedy: racks are taken largest first (ties
+    by rack id) and each is appended to the currently lightest group
+    (ties by group index), which is deterministic and keeps machine
+    counts within one rack of balanced for uniform racks.  Groups with
+    fewer than two racks cannot host inter-rack operations, so the
+    partition count is clamped to ``num_racks // 2`` (and to at least 1).
+    """
+    if num_partitions < 1:
+        raise ValueError("num_partitions must be >= 1")
+    num_partitions = max(1, min(num_partitions, topology.num_racks // 2))
+    sizes = [
+        (-len(topology.machines_in_rack(rack)), rack)
+        for rack in topology.racks
+    ]
+    sizes.sort()
+    machine_counts = [0] * num_partitions
+    members: List[List[int]] = [[] for _ in range(num_partitions)]
+    for neg_size, rack in sizes:
+        target = min(range(num_partitions), key=lambda g: (machine_counts[g], g))
+        machine_counts[target] += -neg_size
+        members[target].append(rack)
+    return PartitionPlan(
+        groups=tuple(tuple(sorted(group)) for group in members)
+    )
+
+
+@dataclass(frozen=True)
+class Subproblem:
+    """One rack group's self-contained slice of the global problem.
+
+    ``machines`` maps local machine id -> global machine id (ascending,
+    so local tie-breaks mirror global ones); ``blocks`` maps local block
+    id -> global block id.  ``problem``/``assignment`` are expressed
+    entirely in local ids and are what the worker process solves.
+    """
+
+    racks: Tuple[int, ...]
+    machines: Tuple[int, ...]
+    blocks: Tuple[int, ...]
+    problem: PlacementProblem
+    assignment: Dict[int, Tuple[int, ...]]
+
+
+def extract_subproblem(
+    state: PlacementState, racks: Sequence[int]
+) -> Subproblem:
+    """Project ``state`` onto a rack group as a standalone sub-problem.
+
+    The translation guarantees that any feasible sub-solution maps back
+    to in-group placements that keep every *global* constraint intact,
+    provided the other groups' replicas stay put (the merge re-validates
+    precisely because they may not):
+
+    * ``replication_factor_sub`` = the block's current in-group replica
+      count.  Moves and swaps preserve replica counts, so this is an
+      invariant of the sub-solve, and the global count (in + out) never
+      changes.
+    * ``rack_spread_sub = min(max(1, rho - out_spread), in_count)`` where
+      ``out_spread`` counts the distinct *out-of-group* racks holding the
+      block.  Racks are wholly inside or outside the group, so the global
+      spread decomposes as ``in_spread + out_spread``; keeping
+      ``in_spread >= rho - out_spread`` keeps the global spread at or
+      above ``rho``.  The current assignment already satisfies it
+      (``in_spread >= max(1, rho - out_spread)``), so the sub-problem
+      starts feasible.
+    * ``popularity_sub = share * in_count`` so each sub-replica carries
+      the block's current global per-replica share.  Dividing back by
+      ``in_count`` can differ from the global share by an ulp — the one
+      approximation in the pipeline.  It only steers the sub-solver's
+      ranking; the merge replays operations against the authoritative
+      state with exact global shares, so no approximate float ever
+      enters the final loads.
+    """
+    topo = state.topology
+    rack_set = set(racks)
+    machines: List[int] = []
+    for rack in sorted(rack_set):
+        machines.extend(topo.machines_in_rack(rack))
+    machines.sort()
+    local_machine = {m: i for i, m in enumerate(machines)}
+    rack_ids = sorted(rack_set)
+    local_rack = {r: i for i, r in enumerate(rack_ids)}
+    sub_topology = ClusterTopology(
+        rack_of=tuple(local_rack[topo.rack_of[m]] for m in machines),
+        capacities=tuple(topo.capacities[m] for m in machines),
+    )
+    specs: List[BlockSpec] = []
+    block_ids: List[int] = []
+    assignment: Dict[int, Tuple[int, ...]] = {}
+    for spec in state.problem:
+        holders = state.machines_of(spec.block_id)
+        in_holders = sorted(
+            m for m in holders if topo.rack_of[m] in rack_set
+        )
+        if not in_holders:
+            continue
+        in_count = len(in_holders)
+        out_spread = sum(
+            1
+            for rack in state._rack_holders[spec.block_id]
+            if rack not in rack_set
+        )
+        rho_sub = min(max(1, spec.rack_spread - out_spread), in_count)
+        local_id = len(specs)
+        specs.append(
+            BlockSpec(
+                block_id=local_id,
+                popularity=state.share(spec.block_id) * in_count,
+                replication_factor=in_count,
+                rack_spread=rho_sub,
+            )
+        )
+        block_ids.append(spec.block_id)
+        assignment[local_id] = tuple(local_machine[m] for m in in_holders)
+    sub_problem = PlacementProblem(
+        topology=sub_topology, blocks=tuple(specs)
+    )
+    return Subproblem(
+        racks=tuple(rack_ids),
+        machines=tuple(machines),
+        blocks=tuple(block_ids),
+        problem=sub_problem,
+        assignment=assignment,
+    )
+
+
+def _solve_subproblem(
+    payload: Tuple[Subproblem, Optional[AdmissibilityPolicy], Optional[int]]
+) -> Tuple[List[Operation], int, float]:
+    """Worker: converge one sub-problem, return its (local-id) op log."""
+    sub, policy, max_operations = payload
+    state = ColumnarPlacementState.from_assignment(
+        sub.problem, sub.assignment
+    )
+    stats = balance_rack_aware(
+        state,
+        policy=policy,
+        max_operations=max_operations,
+        log_operations=True,
+    )
+    return stats.operations, stats.iterations, stats.elapsed_seconds
+
+
+def _map_operation(op: Operation, sub: Subproblem) -> Operation:
+    """Translate a sub-solver operation back to global ids."""
+    if isinstance(op, MoveOp):
+        return MoveOp(
+            block=sub.blocks[op.block],
+            src=sub.machines[op.src],
+            dst=sub.machines[op.dst],
+        )
+    return SwapOp(
+        block_i=sub.blocks[op.block_i],
+        src=sub.machines[op.src],
+        block_j=sub.blocks[op.block_j],
+        dst=sub.machines[op.dst],
+    )
+
+
+@dataclass
+class PartitionedStats:
+    """Outcome of one partitioned rack-aware run.
+
+    ``search`` aggregates the whole run in the familiar
+    :class:`~repro.core.local_search.SearchStats` shape (costs, applied
+    operation counts, convergence of the final polish); the remaining
+    fields expose the partition pipeline's internals.
+    """
+
+    search: SearchStats
+    num_partitions: int = 0
+    partition_racks: List[Tuple[int, ...]] = field(default_factory=list)
+    partition_operations: List[int] = field(default_factory=list)
+    partition_seconds: List[float] = field(default_factory=list)
+    merged_operations: int = 0
+    merge_conflicts: int = 0
+    merge_non_improving: int = 0
+    polish_operations: int = 0
+    extract_seconds: float = 0.0
+    solve_seconds: float = 0.0
+    merge_seconds: float = 0.0
+    polish_seconds: float = 0.0
+
+
+def balance_rack_aware_partitioned(
+    state: PlacementState,
+    policy: Optional[AdmissibilityPolicy] = None,
+    num_partitions: Optional[int] = None,
+    jobs: Optional[int] = None,
+    max_operations: Optional[int] = None,
+    log_operations: bool = False,
+) -> PartitionedStats:
+    """Algorithm 2 via rack-partitioned sub-solves plus a global polish.
+
+    Mutates ``state`` in place.  ``num_partitions`` defaults to the
+    worker count; ``jobs`` defaults to the machine's CPU count (capped
+    at 8).  ``jobs=1`` runs the sub-solves sequentially in-process —
+    same results, no pool.  ``max_operations`` caps each phase's applied
+    operations: every sub-solve gets the full budget (they explore
+    disjoint machines), and the polish gets whatever the merge has not
+    used.  The run converges iff the polish converges.
+    """
+    policy = policy or AlwaysAdmissible()
+    if jobs is None:
+        jobs = min(8, os.cpu_count() or 1)
+    if num_partitions is None:
+        num_partitions = max(1, jobs)
+    started = time.perf_counter()
+    initial_cost = state.cost()
+    stats = PartitionedStats(
+        search=SearchStats(initial_cost=initial_cost, final_cost=initial_cost)
+    )
+
+    plan = plan_partitions(state.topology, num_partitions)
+    stats.num_partitions = plan.num_partitions
+    stats.partition_racks = list(plan.groups)
+    subs = [extract_subproblem(state, group) for group in plan.groups]
+    stats.extract_seconds = time.perf_counter() - started
+
+    solve_started = time.perf_counter()
+    payloads = [(sub, policy, max_operations) for sub in subs]
+    workers = min(jobs, len(subs))
+    if workers <= 1 or len(subs) <= 1:
+        outcomes = [_solve_subproblem(p) for p in payloads]
+    else:
+        with ProcessPoolExecutor(
+            max_workers=workers, mp_context=_pool_context()
+        ) as pool:
+            outcomes = list(pool.map(_solve_subproblem, payloads))
+    stats.solve_seconds = time.perf_counter() - solve_started
+
+    merge_started = time.perf_counter()
+    search = stats.search
+    current_cost = initial_cost
+    for sub, (operations, iterations, seconds) in zip(subs, outcomes):
+        stats.partition_operations.append(len(operations))
+        stats.partition_seconds.append(seconds)
+        search.iterations += iterations
+        for local_op in operations:
+            if (
+                max_operations is not None
+                and search.total_operations >= max_operations
+            ):
+                break
+            op = _map_operation(local_op, sub)
+            if isinstance(op, MoveOp):
+                feasible = state.can_move(op.block, op.src, op.dst)
+            else:
+                feasible = state.can_swap(
+                    op.block_i, op.src, op.block_j, op.dst
+                )
+            if not feasible:
+                stats.merge_conflicts += 1
+                continue
+            if not op.outcome(state).improves:
+                stats.merge_non_improving += 1
+                continue
+            cross = op.is_cross_rack(state)
+            op.apply(state)
+            current_cost = state.cost()
+            search.record(op, cross, log_operations)
+            stats.merged_operations += 1
+            if log_operations:
+                search.cost_trajectory.append(current_cost)
+    stats.merge_seconds = time.perf_counter() - merge_started
+
+    polish_started = time.perf_counter()
+    remaining = (
+        None
+        if max_operations is None
+        else max(0, max_operations - search.total_operations)
+    )
+    polish = balance_rack_aware(
+        state,
+        policy=policy,
+        max_operations=remaining,
+        log_operations=log_operations,
+    )
+    stats.polish_seconds = time.perf_counter() - polish_started
+    stats.polish_operations = polish.total_operations
+    search.iterations += polish.iterations
+    search.moves += polish.moves
+    search.swaps += polish.swaps
+    search.cross_rack_moves += polish.cross_rack_moves
+    search.cross_rack_swaps += polish.cross_rack_swaps
+    search.blocks_transferred += polish.blocks_transferred
+    search.admissibility_rejections += polish.admissibility_rejections
+    search.pairs_probed += polish.pairs_probed
+    search.pairs_pruned += polish.pairs_pruned
+    search.converged = polish.converged
+    if log_operations:
+        search.operations.extend(polish.operations)
+        search.cost_trajectory.extend(polish.cost_trajectory)
+    search.final_cost = state.cost()
+    search.elapsed_seconds = time.perf_counter() - started
+    _LOG.debug(
+        "partitioned balance done partitions=%d merged=%d conflicts=%d "
+        "polish=%d cost=%.6g->%.6g elapsed=%.4fs",
+        stats.num_partitions, stats.merged_operations, stats.merge_conflicts,
+        stats.polish_operations, search.initial_cost, search.final_cost,
+        search.elapsed_seconds,
+    )
+    return stats

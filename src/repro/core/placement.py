@@ -474,8 +474,12 @@ class PlacementState:
     # -- bulk helpers -------------------------------------------------------------
 
     def copy(self) -> "PlacementState":
-        """Deep copy of the state (shares the immutable problem)."""
-        clone = PlacementState(self.problem)
+        """Deep copy of the state (shares the immutable problem).
+
+        Subclass-preserving: copying a columnar state yields a columnar
+        state.
+        """
+        clone = type(self)(self.problem)
         for block_id, machines in self._machines_of.items():
             clone._machines_of[block_id] = set(machines)
         clone._blocks_on = [set(blocks) for blocks in self._blocks_on]
@@ -641,6 +645,51 @@ class PlacementState:
         assert np.allclose(rack_snapshot, self._rack_loads, atol=1e-6), (
             "rack load drift"
         )
+
+    # -- memory accounting ---------------------------------------------------------
+
+    def state_bytes(self) -> int:
+        """Approximate resident bytes of the placement state's structures.
+
+        Sums ``sys.getsizeof`` of every container (hash tables and list
+        backing stores) plus a flat per-entry estimate for the tuple
+        objects the share indices and heaps point at.  It is an
+        *estimate* — small-int interning and allocator slack are not
+        modeled — but it is deterministic and consistent across the
+        dict/heap and columnar engines, which is what the
+        ``repro_core_state_bytes`` gauge and the scale study need to
+        compare footprints.
+        """
+        import sys
+
+        getsizeof = sys.getsizeof
+        total = getsizeof(self._loads) + getsizeof(self._rack_loads)
+        total += getsizeof(self._machines_of) + sum(
+            getsizeof(s) for s in self._machines_of.values()
+        )
+        total += sum(getsizeof(s) for s in self._blocks_on)
+        total += getsizeof(self._rack_holders) + sum(
+            getsizeof(d) for d in self._rack_holders.values()
+        )
+        # Share indices: list backing store + one (float, int) tuple
+        # object (~72 bytes) per entry.
+        total += sum(
+            getsizeof(ix) + 72 * len(ix) for ix in self._share_index
+        )
+        total += 8 * (len(self._machine_epoch) + len(self._load_stamp))
+        return total + self._index_state_bytes()
+
+    def _index_state_bytes(self) -> int:
+        """Bytes held by the engine-specific search indices (the heaps)."""
+        import sys
+
+        getsizeof = sys.getsizeof
+        total = getsizeof(self._max_heap) + getsizeof(self._min_heap)
+        total += 80 * (len(self._max_heap) + len(self._min_heap))
+        for heaps in (self._rack_max_heaps, self._rack_min_heaps):
+            for heap in heaps:
+                total += getsizeof(heap) + 80 * len(heap)
+        return total
 
     # -- internals -----------------------------------------------------------------
 

@@ -438,3 +438,71 @@ def test_property_local_search_invariants(seed, num_blocks, per_rack, num_racks)
     for machine in state.topology.machines:
         assert state.used_capacity(machine) <= state.topology.capacity_of(machine)
     state.audit()
+
+
+class TestPairPrunerBounded:
+    """The exhausted-pair memo must stay bounded and eviction must be free.
+
+    Losing a memo entry only forfeits a prune — the re-probe recomputes
+    the identical result and rejection count — so a tiny cap must leave
+    the operation sequence and every ``SearchStats`` total except the
+    probed/pruned split unchanged.
+    """
+
+    def _pruner_workout(self, max_entries):
+        from repro.core.local_search import SearchStats, _PairPruner
+
+        state = random_state(
+            random.Random(11), num_racks=3, per_rack=4, num_blocks=60,
+            k=2, rho=2,
+        )
+        pruner = _PairPruner(state, max_entries=max_entries)
+        stats = SearchStats(initial_cost=state.cost(), final_cost=0.0)
+        machines = list(state.topology.machines)
+        cost = state.cost()
+        for src in machines:
+            for dst in machines:
+                if src != dst:
+                    pruner.find(src, dst, AlwaysAdmissible(), cost, stats)
+        return pruner, stats
+
+    def test_memo_never_exceeds_cap(self):
+        pruner, _ = self._pruner_workout(max_entries=7)
+        assert len(pruner) <= 7
+
+    def test_unbounded_default_is_capped_too(self):
+        from repro.core.local_search import _PairPruner
+
+        pruner, _ = self._pruner_workout(max_entries=None)
+        assert len(pruner) <= _PairPruner.DEFAULT_MAX_ENTRIES
+
+    def test_tiny_cap_changes_no_search_outcome(self):
+        """Full searches with cap=1 vs uncapped: identical everything."""
+        from repro.core import local_search as ls
+
+        state_capped = random_state(
+            random.Random(12), num_racks=4, per_rack=3, num_blocks=70,
+            k=2, rho=2,
+        )
+        state_free = state_capped.copy()
+        original = ls._PairPruner.DEFAULT_MAX_ENTRIES
+        ls._PairPruner.DEFAULT_MAX_ENTRIES = 1
+        try:
+            capped = balance_rack_aware(state_capped, log_operations=True)
+        finally:
+            ls._PairPruner.DEFAULT_MAX_ENTRIES = original
+        free = balance_rack_aware(state_free, log_operations=True)
+        assert capped.operations == free.operations
+        assert capped.final_cost == free.final_cost
+        assert capped.iterations == free.iterations
+        assert (
+            capped.admissibility_rejections == free.admissibility_rejections
+        )
+        assert state_capped.to_assignment() == state_free.to_assignment()
+        # The split may shift (fewer prunes, more probes) but the total
+        # pair visits are conserved.
+        assert (
+            capped.pairs_probed + capped.pairs_pruned
+            == free.pairs_probed + free.pairs_pruned
+        )
+        assert capped.pairs_pruned <= free.pairs_pruned

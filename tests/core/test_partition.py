@@ -1,0 +1,179 @@
+"""Tests for the rack-partitioned parallel solver (repro.core.partition).
+
+The partitioned solver must be *deterministic* (``jobs=1`` and
+``jobs=N`` produce byte-identical placements), *safe* (every
+replication-factor and rack-spread constraint preserved, conflicting
+cross-partition moves rejected at merge), and *good* (final cost within
+a small epsilon of the plain global solver's — the sub-solves see
+projected sub-problems, so exact equality is not promised).
+"""
+
+import random
+
+import pytest
+
+from repro.core.admissibility import RelativeCostPolicy
+from repro.core.columnar import columnar_from_state
+from repro.core.local_search import balance_rack_aware
+from repro.core.partition import (
+    balance_rack_aware_partitioned,
+    extract_subproblem,
+    plan_partitions,
+)
+
+from .test_local_search import random_state
+
+
+def _state(seed, num_racks=8, per_rack=4, num_blocks=160, k=3, rho=2):
+    return random_state(
+        random.Random(seed), num_racks=num_racks, per_rack=per_rack,
+        num_blocks=num_blocks, k=k, rho=rho,
+    )
+
+
+class TestPlanPartitions:
+    def test_groups_are_disjoint_and_cover_all_racks(self):
+        state = _state(0)
+        plan = plan_partitions(state.topology, 3)
+        seen = [rack for group in plan.groups for rack in group]
+        assert sorted(seen) == list(state.topology.racks)
+        assert len(seen) == len(set(seen))
+
+    def test_deterministic(self):
+        state = _state(0)
+        first = plan_partitions(state.topology, 3)
+        second = plan_partitions(state.topology, 3)
+        assert first.groups == second.groups
+
+    def test_partition_count_clamped(self):
+        state = _state(0, num_racks=4)
+        # 4 racks can support at most 2 partitions (>= 2 racks each,
+        # so every sub-solve still has cross-rack moves available).
+        plan = plan_partitions(state.topology, 16)
+        assert 1 <= len(plan.groups) <= 2
+
+
+class TestExtractSubproblem:
+    def test_subproblem_constraints_are_projections(self):
+        state = _state(1)
+        plan = plan_partitions(state.topology, 2)
+        for group in plan.groups:
+            sub = extract_subproblem(state, group)
+            in_racks = set(group)
+            for local_id, block_id in enumerate(sub.blocks):
+                spec = sub.problem.block(local_id)
+                holders = state.machines_of(block_id)
+                in_count = sum(
+                    1 for m in holders
+                    if state.topology.rack_of[m] in in_racks
+                )
+                assert spec.replication_factor == in_count
+                assert 1 <= spec.rack_spread <= in_count
+                # popularity scaled so the projected per-replica share
+                # matches the global share.
+                assert spec.popularity == pytest.approx(
+                    state.share(block_id) * in_count
+                )
+
+    def test_subproblem_assignment_is_feasible(self):
+        state = _state(2)
+        plan = plan_partitions(state.topology, 2)
+        for group in plan.groups:
+            sub = extract_subproblem(state, group)
+            from repro.core.placement import PlacementState
+
+            local = PlacementState.from_assignment(
+                sub.problem,
+                {b: set(ms) for b, ms in sub.assignment.items()},
+            )
+            local.audit()
+
+
+class TestPartitionedSolver:
+    def test_preserves_constraints_and_improves(self):
+        state = columnar_from_state(_state(3))
+        initial_cost = state.cost()
+        counts = {
+            spec.block_id: state.replica_count(spec.block_id)
+            for spec in state.problem
+        }
+        stats = balance_rack_aware_partitioned(state, num_partitions=2, jobs=1)
+        assert stats.search.final_cost <= initial_cost
+        assert stats.search.final_cost == state.cost()
+        # audit() last: its recompute() rebuilds loads from scratch,
+        # which may shift the incremental floats by ulps.
+        state.audit()
+        for spec in state.problem:
+            assert state.replica_count(spec.block_id) == counts[spec.block_id]
+            assert state.rack_spread(spec.block_id) >= spec.rack_spread
+
+    def test_jobs_do_not_change_result(self):
+        base = _state(4)
+        state_seq = columnar_from_state(base)
+        state_par = columnar_from_state(base)
+        stats_seq = balance_rack_aware_partitioned(
+            state_seq, num_partitions=2, jobs=1
+        )
+        stats_par = balance_rack_aware_partitioned(
+            state_par, num_partitions=2, jobs=2
+        )
+        assert state_seq.to_assignment() == state_par.to_assignment()
+        assert stats_seq.search.final_cost == stats_par.search.final_cost
+        assert stats_seq.merged_operations == stats_par.merged_operations
+        assert stats_seq.merge_conflicts == stats_par.merge_conflicts
+
+    def test_quality_close_to_global_solver(self):
+        base = _state(5)
+        state_global = columnar_from_state(base)
+        state_part = columnar_from_state(base)
+        global_stats = balance_rack_aware(state_global)
+        part_stats = balance_rack_aware_partitioned(
+            state_part, num_partitions=2, jobs=1
+        )
+        assert (
+            part_stats.search.final_cost
+            <= global_stats.final_cost * 1.05 + 1e-9
+        )
+
+    def test_polish_reaches_local_optimum(self):
+        """After the partitioned run, the global solver finds nothing."""
+        state = columnar_from_state(_state(6))
+        stats = balance_rack_aware_partitioned(state, num_partitions=2, jobs=1)
+        assert stats.search.converged
+        followup = balance_rack_aware(state.copy())
+        assert followup.total_operations == 0
+
+    def test_max_operations_budget_respected(self):
+        state = columnar_from_state(_state(7))
+        stats = balance_rack_aware_partitioned(
+            state, num_partitions=2, jobs=1, max_operations=5
+        )
+        assert stats.search.total_operations <= 2 * 5 + 5
+        assert stats.polish_operations <= 5
+
+    def test_single_partition_matches_global_solver(self):
+        """One partition degenerates to the plain global search."""
+        base = _state(8, num_racks=4)
+        state_part = columnar_from_state(base)
+        state_global = columnar_from_state(base)
+        part = balance_rack_aware_partitioned(
+            state_part, num_partitions=1, jobs=1
+        )
+        plain = balance_rack_aware(state_global)
+        assert part.search.final_cost == plain.final_cost
+        assert state_part.to_assignment() == state_global.to_assignment()
+
+    def test_policy_passed_through(self):
+        state = columnar_from_state(_state(9))
+        stats = balance_rack_aware_partitioned(
+            state, policy=RelativeCostPolicy(0.5), num_partitions=2, jobs=1
+        )
+        state.audit()
+        assert stats.search.final_cost <= stats.search.initial_cost
+
+    def test_works_on_dict_backed_state(self):
+        """The partitioned entry point accepts the parent class too."""
+        state = _state(10)
+        stats = balance_rack_aware_partitioned(state, num_partitions=2, jobs=1)
+        state.audit()
+        assert stats.search.final_cost <= stats.search.initial_cost
